@@ -1,0 +1,212 @@
+// Command stateflow-run compiles the built-in YCSB entity program (or a
+// user-supplied .sf file) and executes a YCSB-style workload against it on
+// a chosen runtime, printing latency and outcome stats. It is the quickest
+// way to see one program execute unchanged on all three runtimes (§3: "the
+// choice of a runtime system is completely independent of the application
+// layer").
+//
+// Usage:
+//
+//	stateflow-run -backend local|stateflow|statefun \
+//	              -workload A|B|T|M -dist zipfian|uniform \
+//	              -rate 100 -duration 30s [program.sf]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/compiler"
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/metrics"
+	"statefulentities.dev/stateflow/internal/runtime/live"
+	"statefulentities.dev/stateflow/internal/runtime/local"
+	"statefulentities.dev/stateflow/internal/sim"
+	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
+	"statefulentities.dev/stateflow/internal/systems/statefun"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+	"statefulentities.dev/stateflow/internal/workload/ycsb"
+)
+
+func main() {
+	backend := flag.String("backend", "stateflow", "runtime: local | live | stateflow | statefun")
+	workload := flag.String("workload", "A", "YCSB workload: A | B | T | M")
+	dist := flag.String("dist", "zipfian", "key distribution: zipfian | uniform")
+	rate := flag.Float64("rate", 100, "request rate (requests/second)")
+	duration := flag.Duration("duration", 30*time.Second, "run length (virtual time)")
+	records := flag.Int("records", 1000, "dataset size")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	src := ycsb.Program()
+	if flag.NArg() == 1 {
+		b, err := os.ReadFile(flag.Arg(0))
+		check(err)
+		src = string(b)
+	}
+	prog, err := compiler.Compile(src)
+	check(err)
+
+	mix, err := ycsb.ByName(*workload)
+	check(err)
+	chooser, err := ycsb.ChooserByName(*dist, *records)
+	check(err)
+	wgen := ycsb.NewGenerator(mix, chooser, *records, *seed+17, "q")
+
+	switch *backend {
+	case "local":
+		runLocal(prog, wgen, *records, *rate, *duration)
+	case "live":
+		runLive(prog, wgen, *records, *rate, *duration)
+	case "stateflow", "statefun":
+		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "stateflow-run: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
+}
+
+// runLive executes the request stream on the concurrent goroutine runtime
+// with parallel clients; latencies are real wall-clock times.
+func runLive(prog *ir.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration) {
+	rt := live.New(prog, live.Config{Workers: 8})
+	defer rt.Close()
+	load := ycsb.Loader(records, 1000)
+	for i := 0; i < records; i++ {
+		class, args := load(i)
+		if _, err := rt.Create(class, args...); err != nil {
+			check(err)
+		}
+	}
+	total := int(rate * duration.Seconds())
+	reqs := make([]int, total)
+	for i := range reqs {
+		reqs[i] = i
+	}
+	const clients = 16
+	var mu sync.Mutex
+	lat := metrics.NewSeries()
+	errs := 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	per := (total + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		lo, hi := c*per, min((c+1)*per, total)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				req := reqSafe(wgen, i, &mu)
+				t0 := time.Now()
+				_, errStr, err := rt.Invoke(req.Target.Class, req.Target.Key, req.Method, req.Args...)
+				d := time.Since(t0)
+				mu.Lock()
+				lat.Add(d)
+				if err != nil || errStr != "" {
+					errs++
+				}
+				mu.Unlock()
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	fmt.Printf("live runtime (8 workers, %d clients): %d requests in %s (errors: %d, events: %d)\n",
+		clients, total, time.Since(start).Round(time.Millisecond), errs, rt.Processed())
+	fmt.Printf("per-call latency: %s\n", lat.Summary())
+}
+
+// reqSafe serializes generator access across client goroutines.
+func reqSafe(wgen *ycsb.Generator, i int, mu *sync.Mutex) sysapi.Request {
+	mu.Lock()
+	defer mu.Unlock()
+	return wgen.Next(i)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runLocal executes the request stream synchronously on the Local runtime;
+// latencies are real wall-clock execution times of the dataflow.
+func runLocal(prog *ir.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration) {
+	rt := local.New(prog)
+	load := ycsb.Loader(records, 1000)
+	for i := 0; i < records; i++ {
+		class, args := load(i)
+		if _, err := rt.Create(class, args...); err != nil {
+			check(err)
+		}
+	}
+	total := int(rate * duration.Seconds())
+	lat := metrics.NewSeries()
+	errs := 0
+	start := time.Now()
+	for i := 0; i < total; i++ {
+		req := wgen.Next(i)
+		t0 := time.Now()
+		res, err := rt.Invoke(req.Target.Class, req.Target.Key, req.Method, req.Args...)
+		check(err)
+		lat.Add(time.Since(t0))
+		if res.Err != "" {
+			errs++
+		}
+	}
+	fmt.Printf("local runtime: %d requests in %s (errors: %d)\n", total, time.Since(start).Round(time.Millisecond), errs)
+	fmt.Printf("per-call execution latency: %s\n", lat.Summary())
+}
+
+// runSim executes the workload on a simulated distributed deployment.
+func runSim(backend string, prog *ir.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed int64) {
+	cluster := sim.New(seed)
+	var sys sysapi.System
+	var sf *sfsys.System
+	var sfu *statefun.System
+	if backend == "stateflow" {
+		sf = sfsys.New(cluster, prog, sfsys.DefaultConfig())
+		sys = sf
+	} else {
+		sfu = statefun.New(cluster, prog, statefun.DefaultConfig())
+		sys = sfu
+	}
+	load := ycsb.Loader(records, 1000)
+	for i := 0; i < records; i++ {
+		class, args := load(i)
+		if sf != nil {
+			check(sf.PreloadEntity(class, args...))
+		} else {
+			check(sfu.PreloadEntity(class, args...))
+		}
+	}
+	gen := sysapi.NewGenerator("client", sys, rate, duration, duration/10, wgen.Next)
+	cluster.Add("client", gen)
+	cluster.Start()
+	start := time.Now()
+	cluster.RunUntil(duration + 10*time.Second)
+	fmt.Printf("%s: %d submitted, %d completed, %d errors over %s virtual time (%s real)\n",
+		backend, gen.Submitted, gen.Done, gen.Errors, duration, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("end-to-end latency: %s\n", gen.Latency.Summary())
+	for kind, s := range gen.PerKind {
+		fmt.Printf("  %-9s %s\n", kind+":", s.Summary())
+	}
+	if sf != nil {
+		c := sf.Coordinator()
+		fmt.Printf("transactions: %d committed, %d aborted (retried), %d failed, %d epochs\n",
+			c.Commits, c.Aborts, c.Failures, c.EpochsClosed)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stateflow-run:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,116 @@
+// Quickstart: the paper's Figure 1 end to end.
+//
+// It compiles the User/Item stateful-entity program, prints what the
+// compiler produced (operators, split functions, state machine), and runs
+// buy_item scenarios on the Local runtime (§3) — the same IR can be
+// deployed unchanged on the distributed runtimes (see the banking and
+// shoppingcart examples).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"statefulentities.dev/stateflow"
+)
+
+// source is Figure 1 of the paper, in the DSL.
+const source = `
+@entity
+class Item:
+    def __init__(self, item_id: str, price: int):
+        self.item_id: str = item_id
+        self.stock: int = 0
+        self.price: int = price
+
+    def __key__(self) -> str:
+        return self.item_id
+
+    def get_price(self) -> int:
+        return self.price
+
+    def update_stock(self, amount: int) -> bool:
+        self.stock += amount
+        return self.stock >= 0
+
+@entity
+class User:
+    def __init__(self, username: str):
+        self.username: str = username
+        self.balance: int = 100
+
+    def __key__(self) -> str:
+        return self.username
+
+    @transactional
+    def buy_item(self, amount: int, item: Item) -> bool:
+        total_price: int = amount * item.get_price()
+        if self.balance < total_price:
+            return False
+        available: bool = item.update_stock(0 - amount)
+        if not available:
+            item.update_stock(amount)
+            return False
+        self.balance -= total_price
+        return True
+`
+
+func main() {
+	// 1. Compile: static analysis + function splitting + state machines.
+	prog, err := stateflow.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- compiled dataflow ---")
+	fmt.Print(prog.Report())
+	fmt.Println("--- split functions of User.buy_item (cf. §2.4) ---")
+	fmt.Print(prog.MethodOf("User", "buy_item").Listing())
+
+	// 2. Execute on the Local runtime (HashMap state, §3).
+	rt := stateflow.NewLocal(prog)
+	must(rt.Create("Item", stateflow.Str("apple"), stateflow.Int(5)))
+	must(rt.Create("User", stateflow.Str("alice")))
+	mustInvoke(rt, "Item", "apple", "update_stock", stateflow.Int(10))
+
+	fmt.Println("\n--- executing buy_item scenarios ---")
+	// Success: 3 apples at 5 each.
+	ok := mustInvoke(rt, "User", "alice", "buy_item",
+		stateflow.Int(3), stateflow.Ref("Item", "apple"))
+	fmt.Printf("alice buys 3 apples: %v\n", ok)
+
+	// Failure on funds: 100 apples cost 500 > balance.
+	ok = mustInvoke(rt, "User", "alice", "buy_item",
+		stateflow.Int(100), stateflow.Ref("Item", "apple"))
+	fmt.Printf("alice buys 100 apples: %v (insufficient balance)\n", ok)
+
+	// Failure on stock: compensation puts the stock back (the paper's
+	// refund path).
+	ok = mustInvoke(rt, "User", "alice", "buy_item",
+		stateflow.Int(9), stateflow.Ref("Item", "apple"))
+	fmt.Printf("alice buys 9 apples: %v (out of stock, compensated)\n", ok)
+
+	user, _ := rt.State("User", "alice")
+	item, _ := rt.State("Item", "apple")
+	fmt.Printf("\nfinal state: alice balance=%s, apple stock=%s\n",
+		user["balance"], item["stock"])
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func mustInvoke(rt *stateflow.Local, class, key, method string, args ...stateflow.Value) stateflow.Value {
+	res, err := rt.Invoke(class, key, method, args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Err != "" {
+		log.Fatalf("%s.%s: %s", class, method, res.Err)
+	}
+	return res.Value
+}

@@ -1,0 +1,202 @@
+// Shopping cart: a multi-entity e-commerce checkout — the class of cloud
+// application the paper's introduction motivates — executed on BOTH
+// simulated distributed runtimes from a single compiled program (§3: the
+// runtime choice is independent of the application layer).
+//
+// A checkout walks the cart's items (a split for-loop of remote calls),
+// reserves stock on every Product entity, charges the Wallet, and
+// compensates reservations if anything fails. On StateFlow the whole
+// checkout is one Aria transaction; on the StateFun-model baseline the
+// same chain runs without isolation, so concurrent checkouts can oversell
+// a product — which this example demonstrates.
+//
+// Run with: go run ./examples/shoppingcart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"statefulentities.dev/stateflow"
+)
+
+const source = `
+@entity
+class Product:
+    def __init__(self, sku: str, price: int, stock: int):
+        self.sku: str = sku
+        self.price: int = price
+        self.stock: int = stock
+
+    def __key__(self) -> str:
+        return self.sku
+
+    def get_price(self) -> int:
+        return self.price
+
+    def reserve(self, qty: int) -> bool:
+        if self.stock < qty:
+            return False
+        self.stock -= qty
+        return True
+
+    def release(self, qty: int) -> bool:
+        self.stock += qty
+        return True
+
+    def remaining(self) -> int:
+        return self.stock
+
+@entity
+class Wallet:
+    def __init__(self, owner: str, funds: int):
+        self.owner: str = owner
+        self.funds: int = funds
+
+    def __key__(self) -> str:
+        return self.owner
+
+    def charge(self, amount: int) -> bool:
+        if self.funds < amount:
+            return False
+        self.funds -= amount
+        return True
+
+@entity
+class Cart:
+    def __init__(self, cart_id: str, owner: str):
+        self.cart_id: str = cart_id
+        self.owner: str = owner
+        self.skus: list[str] = []
+        self.qtys: list[int] = []
+        self.checked_out: bool = False
+
+    def __key__(self) -> str:
+        return self.cart_id
+
+    def add(self, sku: str, qty: int) -> int:
+        self.skus.append(sku)
+        self.qtys.append(qty)
+        return len(self.skus)
+
+    @transactional
+    def checkout(self, products: list[Product], wallet: Wallet) -> bool:
+        if self.checked_out:
+            return False
+        total: int = 0
+        reserved: int = 0
+        i: int = 0
+        ok: bool = True
+        for p in products:
+            qty: int = self.qtys[i]
+            got: bool = p.reserve(qty)
+            if not got:
+                ok = False
+                break
+            total += p.get_price() * qty
+            reserved += 1
+            i += 1
+        if ok:
+            paid: bool = wallet.charge(total)
+            if not paid:
+                ok = False
+        if not ok:
+            j: int = 0
+            for p in products:
+                if j >= reserved:
+                    break
+                p.release(self.qtys[j])
+                j += 1
+            return False
+        self.checked_out = True
+        return True
+`
+
+func main() {
+	prog, err := stateflow.Compile(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("--- compiled checkout dataflow ---")
+	fmt.Printf("Cart.checkout splits into %d blocks, %d state-machine transitions\n\n",
+		len(prog.MethodOf("Cart", "checkout").Blocks),
+		len(prog.MethodOf("Cart", "checkout").SM.Transitions))
+
+	fmt.Println("--- racing two checkouts for the last GPUs, 10 trials per runtime ---")
+	for _, backend := range []stateflow.Backend{stateflow.BackendStateFlow, stateflow.BackendStateFun} {
+		oversold := 0
+		for seed := int64(1); seed <= 10; seed++ {
+			if runScenario(prog, backend, seed) {
+				oversold++
+			}
+		}
+		verdict := "every trial consistent (transactional isolation)"
+		if oversold > 0 {
+			verdict = fmt.Sprintf("OVERSOLD in %d/10 trials (no transactions, no locking — §3)", oversold)
+		}
+		fmt.Printf("%-10s %s\n", backend, verdict)
+	}
+}
+
+// runScenario: two customers race to check out carts holding the last
+// units of the same product. It reports whether the product oversold.
+func runScenario(prog *stateflow.Program, backend stateflow.Backend, seed int64) bool {
+	simu := stateflow.NewSimulation(prog, stateflow.SimConfig{
+		Backend: backend, Epoch: 20 * time.Millisecond, Seed: seed,
+	})
+	must(simu.Preload("Product", stateflow.Str("gpu"), stateflow.Int(900), stateflow.Int(3)))
+	must(simu.Preload("Product", stateflow.Str("cable"), stateflow.Int(10), stateflow.Int(100)))
+	must(simu.Preload("Wallet", stateflow.Str("alice"), stateflow.Int(5000)))
+	must(simu.Preload("Wallet", stateflow.Str("bob"), stateflow.Int(5000)))
+	must(simu.Preload("Cart", stateflow.Str("cart-a"), stateflow.Str("alice")))
+	must(simu.Preload("Cart", stateflow.Str("cart-b"), stateflow.Str("bob")))
+
+	// Both carts want 2 GPUs; only 3 exist — at most one checkout may win.
+	for _, c := range []string{"cart-a", "cart-b"} {
+		mustCall(simu, "Cart", c, "add", stateflow.Str("gpu"), stateflow.Int(2))
+		mustCall(simu, "Cart", c, "add", stateflow.Str("cable"), stateflow.Int(1))
+	}
+
+	products := stateflow.List(stateflow.Ref("Product", "gpu"), stateflow.Ref("Product", "cable"))
+	// Fire both checkouts at the same instant so they genuinely race.
+	resA := submitCheckout(simu, "cart-a", products, "alice")
+	resB := submitCheckout(simu, "cart-b", products, "bob")
+	simu.Run(10 * time.Second)
+
+	st, _ := simu.EntityState("Product", "gpu")
+	wins := 0
+	if resA().B {
+		wins++
+	}
+	if resB().B {
+		wins++
+	}
+	// Only 3 GPUs exist and each winner takes 2: two winners or negative
+	// stock means the product oversold.
+	return st["stock"].I < 0 || wins == 2
+}
+
+// submitCheckout injects a checkout request and returns a getter for its
+// (eventual) result.
+func submitCheckout(simu *stateflow.Simulation, cart string, products stateflow.Value, owner string) func() stateflow.Value {
+	res := simu.Submit("Cart", cart, "checkout", products, stateflow.Ref("Wallet", owner))
+	return res
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustCall(simu *stateflow.Simulation, class, key, method string, args ...stateflow.Value) stateflow.Value {
+	res, err := simu.Call(class, key, method, args...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Err != "" {
+		log.Fatalf("%s.%s: %s", class, method, res.Err)
+	}
+	return res.Value
+}

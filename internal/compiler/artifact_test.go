@@ -1,0 +1,74 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestArtifactRoundTrip(t *testing.T) {
+	prog := compileFig1(t)
+	data, err := SaveArtifact(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != prog.Stats() {
+		t.Fatalf("stats diverge: %+v vs %+v", back.Stats(), prog.Stats())
+	}
+	if back.Operator("User").KeyAttr != "username" {
+		t.Fatal("reloaded program lost structure")
+	}
+}
+
+func TestArtifactRequiresSource(t *testing.T) {
+	prog := compileFig1(t)
+	prog.Source = ""
+	if _, err := SaveArtifact(prog); err == nil {
+		t.Fatal("expected missing-source error")
+	}
+}
+
+func TestArtifactRejectsGarbage(t *testing.T) {
+	if _, err := LoadArtifact([]byte("not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestArtifactRejectsWrongVersion(t *testing.T) {
+	prog := compileFig1(t)
+	data, err := SaveArtifact(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)
+	if _, err := LoadArtifact([]byte(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("want version error, got %v", err)
+	}
+}
+
+func TestArtifactRejectsTamperedFingerprint(t *testing.T) {
+	prog := compileFig1(t)
+	data, err := SaveArtifact(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), `"blocks": `, `"blocks": 9`, 1)
+	if _, err := LoadArtifact([]byte(bad)); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("want fingerprint error, got %v", err)
+	}
+}
+
+func TestArtifactRejectsBrokenSource(t *testing.T) {
+	prog := compileFig1(t)
+	data, err := SaveArtifact(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(data), "buy_item", "buy item", 1)
+	if _, err := LoadArtifact([]byte(bad)); err == nil {
+		t.Fatal("want compile error")
+	}
+}

@@ -1,0 +1,276 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/runtime/local"
+)
+
+// Edge-case corpus for the splitter: each program must compile, validate,
+// and (where an expected value is given) execute correctly end to end on
+// the Local runtime.
+
+// runInt executes C.m(d) (plus extra args) and returns the int result.
+func runInt(t *testing.T, prog *ir.Program, method string, extra ...interp.Value) int64 {
+	t.Helper()
+	rt := local.New(prog)
+	if _, err := rt.Create("D", interp.StrV("d")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Create("C", interp.StrV("c")); err != nil {
+		t.Fatal(err)
+	}
+	args := append([]interp.Value{interp.RefV("D", "d")}, extra...)
+	res, err := rt.Invoke("C", "c", method, args...)
+	if err != nil || res.Err != "" {
+		t.Fatalf("invoke: %v %s", err, res.Err)
+	}
+	return res.Value.I
+}
+
+const edgeHeader = `
+@entity
+class D:
+    def __init__(self, k: str):
+        self.k: str = k
+        self.v: int = 0
+    def __key__(self) -> str:
+        return self.k
+    def bump(self, by: int) -> int:
+        self.v += by
+        return self.v
+    def get(self) -> int:
+        return self.v
+
+@entity
+class C:
+    def __init__(self, k: str):
+        self.k: str = k
+        self.acc: int = 0
+    def __key__(self) -> str:
+        return self.k
+`
+
+func TestNestedLoopsWithRemoteCalls(t *testing.T) {
+	prog := compileWith(t, `
+    def m(self, d: D) -> int:
+        total: int = 0
+        for i in range(3):
+            for j in range(2):
+                total += d.bump(1)
+        return total
+`)
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	got := runInt(t, prog, "m")
+	if got != 1+2+3+4+5+6 {
+		t.Fatalf("nested loops: %d", got)
+	}
+}
+
+func TestContinueInSplitLoop(t *testing.T) {
+	prog := compileWith(t, `
+    def m(self, d: D, xs: list[int]) -> int:
+        total: int = 0
+        for x in xs:
+            if x == 2:
+                continue
+            total += d.bump(x)
+        return total
+`)
+	got := runInt(t, prog, "m", interp.ListV(interp.IntV(1), interp.IntV(2), interp.IntV(3)))
+	// bumps: 1 -> 1, skip 2, 3 -> 4. total = 5.
+	if got != 5 {
+		t.Fatalf("continue: %d", got)
+	}
+}
+
+func TestRemoteCallInIfCondition(t *testing.T) {
+	prog := compileWith(t, `
+    def m(self, d: D) -> int:
+        if d.bump(1) > 0:
+            return 10
+        return 20
+`)
+	if got := runInt(t, prog, "m"); got != 10 {
+		t.Fatalf("if-cond call: %d", got)
+	}
+}
+
+func TestRemoteCallInListLiteral(t *testing.T) {
+	prog := compileWith(t, `
+    def m(self, d: D) -> int:
+        xs: list[int] = [d.bump(1), d.bump(1), 100]
+        return xs[0] + xs[1] + xs[2]
+`)
+	if got := runInt(t, prog, "m"); got != 1+2+100 {
+		t.Fatalf("list literal calls: %d", got)
+	}
+}
+
+func TestRemoteCallInReturnExpression(t *testing.T) {
+	prog := compileWith(t, `
+    def m(self, d: D) -> int:
+        return d.bump(2) * 10 + d.bump(1)
+`)
+	if got := runInt(t, prog, "m"); got != 2*10+3 {
+		t.Fatalf("return expr: %d", got)
+	}
+}
+
+func TestSelfStateAcrossSuspensions(t *testing.T) {
+	// The caller's own state writes before a suspension must be visible
+	// after the resume (state persisted, not carried in env).
+	prog := compileWith(t, `
+    def m(self, d: D) -> int:
+        self.total = 7
+        x: int = d.bump(1)
+        return self.total + x
+`)
+	if got := runInt(t, prog, "m"); got != 8 {
+		t.Fatalf("state across suspension: %d", got)
+	}
+}
+
+func TestWhileLoopCounterCarried(t *testing.T) {
+	// §2.5: "we keep track of the current iteration for loop control
+	// structures" — the hidden loop counter must survive suspensions.
+	prog := compileWith(t, `
+    def m(self, d: D) -> int:
+        i: int = 0
+        while i < 4:
+            d.bump(1)
+            i += 1
+        return i
+`)
+	if got := runInt(t, prog, "m"); got != 4 {
+		t.Fatalf("loop counter: %d", got)
+	}
+}
+
+func TestDeepIfElseChains(t *testing.T) {
+	prog := compileWith(t, `
+    def m(self, d: D, n: int) -> int:
+        if n < 1:
+            return d.bump(1)
+        elif n < 2:
+            return d.bump(2)
+        elif n < 3:
+            return d.bump(3)
+        elif n < 4:
+            return d.bump(4)
+        return d.bump(5)
+`)
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := prog.MethodOf("C", "m")
+	var invokes int
+	for _, b := range m.Blocks {
+		if _, ok := b.Term.(ir.Invoke); ok {
+			invokes++
+		}
+	}
+	if invokes != 5 {
+		t.Fatalf("invokes: %d", invokes)
+	}
+}
+
+func TestArgumentEvaluationOrder(t *testing.T) {
+	// Python evaluates call arguments left to right: bump(1)=1 then
+	// bump(10)=11.
+	prog := compileWith(t, `
+    def pair(self, a: int, b: int) -> int:
+        return a * 1000 + b
+    def m(self, d: D) -> int:
+        return self.pair(d.bump(1), d.bump(10))
+`)
+	if got := runInt(t, prog, "m"); got != 1*1000+11 {
+		t.Fatalf("evaluation order: %d", got)
+	}
+}
+
+func TestSplitChainThroughThreeEntities(t *testing.T) {
+	src := `
+@entity
+class A:
+    def __init__(self, k: str):
+        self.k: str = k
+        self.v: int = 1
+    def __key__(self) -> str:
+        return self.k
+    def get(self) -> int:
+        return self.v
+
+@entity
+class B:
+    def __init__(self, k: str):
+        self.k: str = k
+    def __key__(self) -> str:
+        return self.k
+    def via(self, a: A) -> int:
+        return a.get() + 10
+
+@entity
+class C:
+    def __init__(self, k: str):
+        self.k: str = k
+    def __key__(self) -> str:
+        return self.k
+    def top(self, b: B, a: A) -> int:
+        return b.via(a) + 100
+`
+	prog, err := Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rt := local.New(prog)
+	for _, cls := range []string{"A", "B", "C"} {
+		if _, err := rt.Create(cls, interp.StrV("k")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := rt.Invoke("C", "k", "top", interp.RefV("B", "k"), interp.RefV("A", "k"))
+	if err != nil || res.Err != "" {
+		t.Fatalf("%v %s", err, res.Err)
+	}
+	if got := res.Value.I; got != 111 {
+		t.Fatalf("three-entity chain: %d", got)
+	}
+}
+
+func TestCompileErrorsCarryPositions(t *testing.T) {
+	_, err := Compile(edgeHeader + `
+    def m(self, d: D) -> bool:
+        return True and d.get() > 0
+`)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Error strings lead with line:col.
+	if !strings.Contains(err.Error(), ":") {
+		t.Fatalf("no position in %q", err)
+	}
+	var ce *Error
+	if !errorsAs(err, &ce) {
+		t.Fatalf("error type: %T", err)
+	}
+	if ce.Pos.Line == 0 {
+		t.Fatal("zero position")
+	}
+}
+
+func errorsAs(err error, target **Error) bool {
+	ce, ok := err.(*Error)
+	if ok {
+		*target = ce
+	}
+	return ok
+}

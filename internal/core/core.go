@@ -1,0 +1,373 @@
+// Package core implements the engine-independent operator logic of
+// stateful entities: given an incoming event (a method invocation or the
+// return value of a suspended call) and access to the local partition's
+// state, it drives the method's execution state machine (§2.5) until the
+// method either completes — producing a response event for the caller or
+// the egress router — or suspends at a remote call, producing an
+// invocation event for another operator (§2.3, §2.4).
+//
+// Every runtime (local, StateFlow, StateFun-model) wraps this package with
+// its own transport, scheduling, consistency and fault-tolerance layers;
+// the execution semantics live here exactly once.
+package core
+
+import (
+	"fmt"
+
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
+)
+
+// Frame is one suspended method activation inside an execution context.
+type Frame struct {
+	Ref      interp.EntityRef // entity executing the method
+	Method   string
+	Block    ir.BlockID // block to run when the frame (re)gains control
+	Env      interp.Env
+	AssignTo string // variable receiving the pending call's return value
+}
+
+// Context is the execution state machine instance inserted into
+// function-calling events (§2.5): the stack of suspended frames plus the
+// root request identity. The execution graph's intermediate results are
+// the frames' environments.
+type Context struct {
+	Req   string // root request id (assigned by the ingress router)
+	Stack []Frame
+}
+
+// Top returns the innermost frame.
+func (c *Context) Top() *Frame {
+	if len(c.Stack) == 0 {
+		return nil
+	}
+	return &c.Stack[len(c.Stack)-1]
+}
+
+// Clone deep-copies the context so suspended continuations are isolated.
+func (c *Context) Clone() *Context {
+	out := &Context{Req: c.Req, Stack: make([]Frame, len(c.Stack))}
+	for i, f := range c.Stack {
+		out.Stack[i] = Frame{Ref: f.Ref, Method: f.Method, Block: f.Block,
+			Env: f.Env.Clone(), AssignTo: f.AssignTo}
+	}
+	return out
+}
+
+// EventKind discriminates dataflow events.
+type EventKind int
+
+// Event kinds.
+const (
+	// EvInvoke asks the target operator to run a method (or __init__).
+	EvInvoke EventKind = iota
+	// EvResume delivers the return value of a completed call back to the
+	// suspended caller frame.
+	EvResume
+	// EvResponse carries the root method's return value (or error) to the
+	// egress router and then to the client.
+	EvResponse
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvInvoke:
+		return "invoke"
+	case EvResume:
+		return "resume"
+	case EvResponse:
+		return "response"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is the payload message flowing through the dataflow graph
+// (Figure 2). Runtimes wrap it in their own transport envelopes.
+type Event struct {
+	Kind   EventKind
+	Req    string           // root request id
+	Target interp.EntityRef // routing target (operator + key)
+	Method string           // EvInvoke: method to run
+	Args   []interp.Value   // EvInvoke: evaluated arguments
+	Value  interp.Value     // EvResume/EvResponse: returned value
+	Err    string           // EvResponse: execution error, if any
+	Ctx    *Context         // suspended caller stack (nil for simple root calls)
+	// Hops counts operator-to-operator transfers for this request; cost
+	// models and tests use it to assert routing behaviour.
+	Hops int
+}
+
+// Store gives the executor access to the entity states of the local
+// partition. Implementations decide how state is kept (HashMap, snapshot-
+// backed store, transactional workspace) and may track reads and writes.
+type Store interface {
+	// Lookup returns the state of an existing entity, or ok=false.
+	Lookup(ref interp.EntityRef) (interp.State, bool)
+	// Create allocates empty state for a new entity. It fails if the
+	// entity already exists.
+	Create(ref interp.EntityRef) (interp.State, error)
+}
+
+// Executor drives entity execution for one compiled program.
+type Executor struct {
+	prog *ir.Program
+	in   *interp.Interp
+}
+
+// NewExecutor builds an executor over a program.
+func NewExecutor(prog *ir.Program) *Executor {
+	return &Executor{prog: prog, in: interp.New(prog)}
+}
+
+// Program returns the compiled program.
+func (ex *Executor) Program() *ir.Program { return ex.prog }
+
+// Interp exposes the interpreter (used by runtimes for auxiliary
+// evaluation).
+func (ex *Executor) Interp() *interp.Interp { return ex.in }
+
+// KeyForCtor extracts the routing key for a constructor invocation from
+// its argument list using the operator's key parameter (§2.2: the routing
+// mechanism partitions by key before the entity exists).
+func (ex *Executor) KeyForCtor(class string, args []interp.Value) (string, error) {
+	op := ex.prog.Operator(class)
+	if op == nil {
+		return "", fmt.Errorf("core: unknown class %s", class)
+	}
+	init := op.Method("__init__")
+	for i, p := range init.Params {
+		if p.Name == op.KeyParam {
+			if i >= len(args) {
+				return "", fmt.Errorf("core: missing key argument for %s", class)
+			}
+			return keyString(args[i])
+		}
+	}
+	return "", fmt.Errorf("core: class %s has no key parameter", class)
+}
+
+func keyString(v interp.Value) (string, error) {
+	switch v.Kind {
+	case interp.KStr:
+		return v.S, nil
+	case interp.KInt:
+		return fmt.Sprintf("%d", v.I), nil
+	default:
+		return "", fmt.Errorf("core: key must be str or int, got %s", v.Kind)
+	}
+}
+
+// Step processes one event addressed to this operator partition and
+// returns the events it produces. The store must hold the state for
+// ev.Target's partition. Step never blocks: a remote call suspends the
+// context and emits an invocation event (§2.3: "a streaming dataflow
+// should never stop and wait for a remote function").
+func (ex *Executor) Step(ev *Event, store Store) ([]*Event, error) {
+	switch ev.Kind {
+	case EvInvoke:
+		return ex.stepInvoke(ev, store)
+	case EvResume:
+		return ex.stepResume(ev, store)
+	default:
+		return nil, fmt.Errorf("core: operator received %s event", ev.Kind)
+	}
+}
+
+func (ex *Executor) stepInvoke(ev *Event, store Store) ([]*Event, error) {
+	op := ex.prog.Operator(ev.Target.Class)
+	if op == nil {
+		return ex.fail(ev.Ctx, ev.Req, fmt.Sprintf("unknown operator %s", ev.Target.Class), ev.Hops)
+	}
+	if ev.Method == "__init__" {
+		return ex.stepInit(ev, op, store)
+	}
+	m := op.Method(ev.Method)
+	if m == nil {
+		return ex.fail(ev.Ctx, ev.Req, fmt.Sprintf("unknown method %s.%s", ev.Target.Class, ev.Method), ev.Hops)
+	}
+	st, ok := store.Lookup(ev.Target)
+	if !ok {
+		return ex.fail(ev.Ctx, ev.Req, fmt.Sprintf("entity %s does not exist", ev.Target), ev.Hops)
+	}
+	env, err := interp.BindParams(m, ev.Args)
+	if err != nil {
+		return ex.fail(ev.Ctx, ev.Req, err.Error(), ev.Hops)
+	}
+	ctx := ev.Ctx
+	if ctx == nil {
+		ctx = &Context{Req: ev.Req}
+	}
+	ctx.Stack = append(ctx.Stack, Frame{
+		Ref: ev.Target, Method: ev.Method, Block: 0, Env: env,
+	})
+	return ex.run(ctx, m, st, store, ev.Hops)
+}
+
+func (ex *Executor) stepInit(ev *Event, op *ir.Operator, store Store) ([]*Event, error) {
+	st, err := store.Create(ev.Target)
+	if err != nil {
+		return ex.fail(ev.Ctx, ev.Req, err.Error(), ev.Hops)
+	}
+	m := op.Method("__init__")
+	env, err := interp.BindParams(m, ev.Args)
+	if err != nil {
+		return ex.fail(ev.Ctx, ev.Req, err.Error(), ev.Hops)
+	}
+	_ = env
+	if err := ex.in.ExecInit(ev.Target.Class, ev.Args, st); err != nil {
+		return ex.fail(ev.Ctx, ev.Req, err.Error(), ev.Hops)
+	}
+	// The constructor's value is a reference to the new entity.
+	return ex.complete(ev.Ctx, ev.Req, interp.RefV(ev.Target.Class, ev.Target.Key), ev.Hops)
+}
+
+func (ex *Executor) stepResume(ev *Event, store Store) ([]*Event, error) {
+	ctx := ev.Ctx
+	fr := ctx.Top()
+	if fr == nil {
+		return nil, fmt.Errorf("core: resume with empty context (req %s)", ev.Req)
+	}
+	if fr.Ref != ev.Target {
+		return nil, fmt.Errorf("core: resume routed to %s but frame belongs to %s", ev.Target, fr.Ref)
+	}
+	st, ok := store.Lookup(fr.Ref)
+	if !ok {
+		return ex.fail(popFrame(ctx), ev.Req, fmt.Sprintf("entity %s vanished", fr.Ref), ev.Hops)
+	}
+	if fr.AssignTo != "" {
+		fr.Env[fr.AssignTo] = ev.Value
+	}
+	fr.AssignTo = ""
+	m := ex.prog.MethodOf(fr.Ref.Class, fr.Method)
+	if m == nil {
+		return nil, fmt.Errorf("core: method %s.%s missing on resume", fr.Ref.Class, fr.Method)
+	}
+	return ex.run(ctx, m, st, store, ev.Hops)
+}
+
+// run executes the top frame's state machine until it suspends or
+// completes, staying inside this operator partition.
+func (ex *Executor) run(ctx *Context, m *ir.Method, st interp.State, store Store, hops int) ([]*Event, error) {
+	fr := ctx.Top()
+	for steps := 0; ; steps++ {
+		if steps > 1_000_000 {
+			return nil, fmt.Errorf("core: state machine exceeded step bound in %s.%s", fr.Ref.Class, fr.Method)
+		}
+		b := m.Block(fr.Block)
+		if b == nil {
+			return nil, fmt.Errorf("core: missing block %d in %s.%s", fr.Block, fr.Ref.Class, fr.Method)
+		}
+		res, err := ex.in.ExecBlock(fr.Ref.Class, fr.Ref.Key, b, fr.Env, st)
+		if err != nil {
+			return ex.fail(popFrame(ctx), ctx.Req, err.Error(), hops)
+		}
+		if res.Returned {
+			return ex.complete(popFrame(ctx), ctx.Req, res.Value, hops)
+		}
+		switch t := b.Term.(type) {
+		case ir.Return:
+			v, err := ex.in.Eval(fr.Ref.Class, fr.Ref.Key, t.Value, fr.Env, st)
+			if err != nil {
+				return ex.fail(popFrame(ctx), ctx.Req, err.Error(), hops)
+			}
+			return ex.complete(popFrame(ctx), ctx.Req, v, hops)
+		case ir.Jump:
+			fr.Block = t.To
+		case ir.Branch:
+			cond, err := ex.in.Eval(fr.Ref.Class, fr.Ref.Key, t.Cond, fr.Env, st)
+			if err != nil {
+				return ex.fail(popFrame(ctx), ctx.Req, err.Error(), hops)
+			}
+			if cond.IsTruthy() {
+				fr.Block = t.True
+			} else {
+				fr.Block = t.False
+			}
+		case ir.Invoke:
+			return ex.suspend(ctx, fr, b, t, st, hops)
+		default:
+			return nil, fmt.Errorf("core: unknown terminator %T", b.Term)
+		}
+	}
+}
+
+// suspend evaluates the invocation's receiver and arguments, records the
+// continuation in the frame, prunes the carried environment to the block's
+// live-out set, and emits the invocation event.
+func (ex *Executor) suspend(ctx *Context, fr *Frame, b *ir.Block, t ir.Invoke, st interp.State, hops int) ([]*Event, error) {
+	args := make([]interp.Value, len(t.Args))
+	for i, a := range t.Args {
+		v, err := ex.in.Eval(fr.Ref.Class, fr.Ref.Key, a, fr.Env, st)
+		if err != nil {
+			return ex.fail(popFrame(ctx), ctx.Req, err.Error(), hops)
+		}
+		args[i] = v
+	}
+	var target interp.EntityRef
+	if t.Recv == nil {
+		// Constructor: route by the key argument.
+		key, err := ex.KeyForCtor(t.Class, args)
+		if err != nil {
+			return ex.fail(popFrame(ctx), ctx.Req, err.Error(), hops)
+		}
+		target = interp.EntityRef{Class: t.Class, Key: key}
+	} else {
+		recv, err := ex.in.Eval(fr.Ref.Class, fr.Ref.Key, t.Recv, fr.Env, st)
+		if err != nil {
+			return ex.fail(popFrame(ctx), ctx.Req, err.Error(), hops)
+		}
+		if recv.Kind != interp.KRef {
+			return ex.fail(popFrame(ctx), ctx.Req,
+				fmt.Sprintf("call receiver is %s, not an entity", recv.Kind), hops)
+		}
+		target = recv.R
+	}
+	fr.Block = t.To
+	fr.AssignTo = t.AssignTo
+	fr.Env = fr.Env.Prune(b.LiveOut)
+	return []*Event{{
+		Kind:   EvInvoke,
+		Req:    ctx.Req,
+		Target: target,
+		Method: t.Method,
+		Args:   args,
+		Ctx:    ctx,
+		Hops:   hops + 1,
+	}}, nil
+}
+
+// complete pops back to the caller: if frames remain, the value resumes the
+// parent frame (possibly on another operator); otherwise the root call is
+// done and the value heads to the egress router.
+func (ex *Executor) complete(ctx *Context, req string, v interp.Value, hops int) ([]*Event, error) {
+	if ctx == nil || len(ctx.Stack) == 0 {
+		return []*Event{{Kind: EvResponse, Req: req, Value: v, Hops: hops}}, nil
+	}
+	parent := ctx.Top()
+	return []*Event{{
+		Kind:   EvResume,
+		Req:    req,
+		Target: parent.Ref,
+		Value:  v,
+		Ctx:    ctx,
+		Hops:   hops + 1,
+	}}, nil
+}
+
+// fail unwinds the whole context and reports the error to the client. The
+// transactional runtime additionally aborts the surrounding transaction so
+// partial effects never commit.
+func (ex *Executor) fail(ctx *Context, req string, msg string, hops int) ([]*Event, error) {
+	return []*Event{{Kind: EvResponse, Req: req, Err: msg, Hops: hops}}, nil
+}
+
+// popFrame removes the top frame and returns the context (nil-safe).
+func popFrame(ctx *Context) *Context {
+	if ctx == nil || len(ctx.Stack) == 0 {
+		return ctx
+	}
+	ctx.Stack = ctx.Stack[:len(ctx.Stack)-1]
+	return ctx
+}

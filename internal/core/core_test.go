@@ -1,0 +1,279 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"statefulentities.dev/stateflow/internal/compiler"
+	"statefulentities.dev/stateflow/internal/interp"
+)
+
+const src = `
+@entity
+class Counter:
+    def __init__(self, name: str):
+        self.name: str = name
+        self.n: int = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def bump(self, by: int) -> int:
+        self.n += by
+        return self.n
+
+@entity
+class Driver:
+    def __init__(self, name: str):
+        self.name: str = name
+
+    def __key__(self) -> str:
+        return self.name
+
+    def double_bump(self, c: Counter) -> int:
+        a: int = c.bump(1)
+        b: int = c.bump(1)
+        return a + b
+
+    def mk(self, name: str) -> int:
+        c: Counter = Counter(name)
+        return c.bump(5)
+`
+
+type memStore map[interp.EntityRef]interp.MapState
+
+func (m memStore) Lookup(ref interp.EntityRef) (interp.State, bool) {
+	st, ok := m[ref]
+	return st, ok
+}
+
+func (m memStore) Create(ref interp.EntityRef) (interp.State, error) {
+	if _, dup := m[ref]; dup {
+		return nil, errDup{}
+	}
+	st := interp.MapState{}
+	m[ref] = st
+	return st, nil
+}
+
+type errDup struct{}
+
+func (errDup) Error() string { return "entity already exists" }
+
+func newExec(t *testing.T) (*Executor, memStore) {
+	t.Helper()
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := memStore{}
+	store[interp.EntityRef{Class: "Counter", Key: "c"}] = interp.MapState{
+		"name": interp.StrV("c"), "n": interp.IntV(0),
+	}
+	store[interp.EntityRef{Class: "Driver", Key: "d"}] = interp.MapState{
+		"name": interp.StrV("d"),
+	}
+	return NewExecutor(prog), store
+}
+
+// drive pushes events through Step until the response, returning it and
+// the trace of event kinds.
+func drive(t *testing.T, ex *Executor, store memStore, ev *Event) (*Event, []EventKind) {
+	t.Helper()
+	queue := []*Event{ev}
+	var kinds []EventKind
+	for steps := 0; len(queue) > 0; steps++ {
+		if steps > 1000 {
+			t.Fatal("event loop runaway")
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		kinds = append(kinds, cur.Kind)
+		if cur.Kind == EvResponse {
+			return cur, kinds
+		}
+		out, err := ex.Step(cur, store)
+		if err != nil {
+			t.Fatalf("step: %v", err)
+		}
+		queue = append(queue, out...)
+	}
+	t.Fatal("no response")
+	return nil, nil
+}
+
+func TestSuspendResumeCycle(t *testing.T) {
+	ex, store := newExec(t)
+	resp, kinds := drive(t, ex, store, &Event{
+		Kind:   EvInvoke,
+		Req:    "r1",
+		Target: interp.EntityRef{Class: "Driver", Key: "d"},
+		Method: "double_bump",
+		Args:   []interp.Value{interp.RefV("Counter", "c")},
+	})
+	if resp.Err != "" {
+		t.Fatalf("error: %s", resp.Err)
+	}
+	if resp.Value.I != 3 { // 1 + 2
+		t.Fatalf("value: %v", resp.Value)
+	}
+	// Event trace: invoke(driver) -> invoke(counter) -> resume(driver) ->
+	// invoke(counter) -> resume(driver) -> response.
+	want := []EventKind{EvInvoke, EvInvoke, EvResume, EvInvoke, EvResume, EvResponse}
+	if len(kinds) != len(want) {
+		t.Fatalf("trace: %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("trace[%d]: %s want %s (%v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func TestHopCounting(t *testing.T) {
+	ex, store := newExec(t)
+	resp, _ := drive(t, ex, store, &Event{
+		Kind:   EvInvoke,
+		Req:    "r1",
+		Target: interp.EntityRef{Class: "Driver", Key: "d"},
+		Method: "double_bump",
+		Args:   []interp.Value{interp.RefV("Counter", "c")},
+	})
+	if resp.Hops != 4 {
+		t.Fatalf("hops: %d", resp.Hops)
+	}
+}
+
+func TestConstructorRouting(t *testing.T) {
+	ex, store := newExec(t)
+	key, err := ex.KeyForCtor("Counter", []interp.Value{interp.StrV("fresh")})
+	if err != nil || key != "fresh" {
+		t.Fatalf("ctor key: %q %v", key, err)
+	}
+	resp, _ := drive(t, ex, store, &Event{
+		Kind:   EvInvoke,
+		Req:    "r2",
+		Target: interp.EntityRef{Class: "Driver", Key: "d"},
+		Method: "mk",
+		Args:   []interp.Value{interp.StrV("fresh")},
+	})
+	if resp.Err != "" || resp.Value.I != 5 {
+		t.Fatalf("mk: %+v", resp)
+	}
+	if _, ok := store[interp.EntityRef{Class: "Counter", Key: "fresh"}]; !ok {
+		t.Fatal("constructed entity missing")
+	}
+}
+
+func TestKeyForCtorErrors(t *testing.T) {
+	ex, _ := newExec(t)
+	if _, err := ex.KeyForCtor("Nope", nil); err == nil {
+		t.Fatal("unknown class")
+	}
+	if _, err := ex.KeyForCtor("Counter", nil); err == nil {
+		t.Fatal("missing args")
+	}
+	if _, err := ex.KeyForCtor("Counter", []interp.Value{interp.ListV()}); err == nil {
+		t.Fatal("unhashable key")
+	}
+	if k, err := ex.KeyForCtor("Counter", []interp.Value{interp.IntV(7)}); err != nil || k != "7" {
+		t.Fatalf("int key: %q %v", k, err)
+	}
+}
+
+func TestUnknownMethodAndEntityErrors(t *testing.T) {
+	ex, store := newExec(t)
+	resp, _ := drive(t, ex, store, &Event{
+		Kind: EvInvoke, Req: "r", Target: interp.EntityRef{Class: "Counter", Key: "c"},
+		Method: "nope",
+	})
+	if !strings.Contains(resp.Err, "unknown method") {
+		t.Fatalf("err: %q", resp.Err)
+	}
+	resp, _ = drive(t, ex, store, &Event{
+		Kind: EvInvoke, Req: "r", Target: interp.EntityRef{Class: "Counter", Key: "ghost"},
+		Method: "bump", Args: []interp.Value{interp.IntV(1)},
+	})
+	if !strings.Contains(resp.Err, "does not exist") {
+		t.Fatalf("err: %q", resp.Err)
+	}
+	resp, _ = drive(t, ex, store, &Event{
+		Kind: EvInvoke, Req: "r", Target: interp.EntityRef{Class: "Ghost", Key: "x"},
+		Method: "m",
+	})
+	if !strings.Contains(resp.Err, "unknown operator") {
+		t.Fatalf("err: %q", resp.Err)
+	}
+}
+
+func TestArgCountError(t *testing.T) {
+	ex, store := newExec(t)
+	resp, _ := drive(t, ex, store, &Event{
+		Kind: EvInvoke, Req: "r", Target: interp.EntityRef{Class: "Counter", Key: "c"},
+		Method: "bump",
+	})
+	if resp.Err == "" {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestContextEnvPruning(t *testing.T) {
+	// After suspension, the carried frame env must contain only live-out
+	// variables (§2.4/§2.5 intermediate results), not everything ever
+	// defined.
+	ex, store := newExec(t)
+	ev := &Event{
+		Kind:   EvInvoke,
+		Req:    "r1",
+		Target: interp.EntityRef{Class: "Driver", Key: "d"},
+		Method: "double_bump",
+		Args:   []interp.Value{interp.RefV("Counter", "c")},
+	}
+	out, err := ex.Step(ev, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Kind != EvInvoke {
+		t.Fatalf("outputs: %+v", out)
+	}
+	fr := out[0].Ctx.Top()
+	if fr == nil {
+		t.Fatal("no suspended frame")
+	}
+	// Frame belongs to the driver awaiting the first bump; only `c` is
+	// live (needed for the second bump; `a` arrives via AssignTo).
+	if _, ok := fr.Env["c"]; !ok {
+		t.Fatalf("live var c missing: %v", fr.Env)
+	}
+	if fr.AssignTo != "a" {
+		t.Fatalf("assign-to: %q", fr.AssignTo)
+	}
+}
+
+func TestContextClone(t *testing.T) {
+	ctx := &Context{Req: "r", Stack: []Frame{{
+		Ref: interp.EntityRef{Class: "A", Key: "k"}, Method: "m", Block: 2,
+		Env: interp.Env{"x": interp.ListV(interp.IntV(1))}, AssignTo: "y",
+	}}}
+	cl := ctx.Clone()
+	cl.Stack[0].Env["x"].L.Elems[0] = interp.IntV(99)
+	if ctx.Stack[0].Env["x"].L.Elems[0].I != 1 {
+		t.Fatal("clone must deep-copy envs")
+	}
+	if cl.Top().Method != "m" || cl.Req != "r" {
+		t.Fatal("clone fields")
+	}
+	var empty *Context = &Context{}
+	if empty.Top() != nil {
+		t.Fatal("empty context top")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if EvInvoke.String() != "invoke" || EvResume.String() != "resume" || EvResponse.String() != "response" {
+		t.Fatal("kind names")
+	}
+	if !strings.Contains(EventKind(42).String(), "42") {
+		t.Fatal("unknown kind")
+	}
+}

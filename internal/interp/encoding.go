@@ -1,0 +1,283 @@
+// Binary encoding of values, environments and entity state. The paper
+// requires entity state to be serializable (§2.2); runtimes use this codec
+// for snapshot persistence (§3), for shipping execution contexts inside
+// events, and for the state-size cost accounting of the system-overhead
+// experiment (§4).
+package interp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Encoder appends values to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the current encoded size.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) byte(b byte)      { e.buf = append(e.buf, b) }
+func (e *Encoder) uvarint(u uint64) { e.buf = binary.AppendUvarint(e.buf, u) }
+func (e *Encoder) varint(i int64)   { e.buf = binary.AppendVarint(e.buf, i) }
+
+func (e *Encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Value appends one value.
+func (e *Encoder) Value(v Value) {
+	e.byte(byte(v.Kind))
+	switch v.Kind {
+	case KNone:
+	case KInt:
+		e.varint(v.I)
+	case KFloat:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+		e.buf = append(e.buf, b[:]...)
+	case KStr:
+		e.str(v.S)
+	case KBool:
+		if v.B {
+			e.byte(1)
+		} else {
+			e.byte(0)
+		}
+	case KList:
+		e.uvarint(uint64(len(v.L.Elems)))
+		for _, el := range v.L.Elems {
+			e.Value(el)
+		}
+	case KDict:
+		keys := make([]string, 0, len(v.D))
+		for k := range v.D {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.uvarint(uint64(len(keys)))
+		for _, k := range keys {
+			e.Value(v.DK[k])
+			e.Value(v.D[k])
+		}
+	case KRef:
+		e.str(v.R.Class)
+		e.str(v.R.Key)
+	}
+}
+
+// Env appends an environment with deterministic key order.
+func (e *Encoder) Env(env Env) {
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	e.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		e.str(k)
+		e.Value(env[k])
+	}
+}
+
+// State appends a MapState with deterministic key order.
+func (e *Encoder) State(st MapState) { e.Env(Env(st)) }
+
+// Decoder reads values from a byte buffer.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+// NewDecoder wraps a buffer.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Remaining reports unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) bytev() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("decode: unexpected end of buffer")
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *Decoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("decode: bad uvarint")
+	}
+	d.off += n
+	return u, nil
+}
+
+func (d *Decoder) varint() (int64, error) {
+	i, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("decode: bad varint")
+	}
+	d.off += n
+	return i, nil
+}
+
+func (d *Decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if d.off+int(n) > len(d.buf) {
+		return "", fmt.Errorf("decode: string overruns buffer")
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+// Value reads one value.
+func (d *Decoder) Value() (Value, error) {
+	kb, err := d.bytev()
+	if err != nil {
+		return None, err
+	}
+	switch Kind(kb) {
+	case KNone:
+		return None, nil
+	case KInt:
+		i, err := d.varint()
+		if err != nil {
+			return None, err
+		}
+		return IntV(i), nil
+	case KFloat:
+		if d.off+8 > len(d.buf) {
+			return None, fmt.Errorf("decode: float overruns buffer")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+		d.off += 8
+		return FloatV(f), nil
+	case KStr:
+		s, err := d.str()
+		if err != nil {
+			return None, err
+		}
+		return StrV(s), nil
+	case KBool:
+		b, err := d.bytev()
+		if err != nil {
+			return None, err
+		}
+		return BoolV(b == 1), nil
+	case KList:
+		n, err := d.uvarint()
+		if err != nil {
+			return None, err
+		}
+		elems := make([]Value, n)
+		for i := range elems {
+			elems[i], err = d.Value()
+			if err != nil {
+				return None, err
+			}
+		}
+		return ListV(elems...), nil
+	case KDict:
+		n, err := d.uvarint()
+		if err != nil {
+			return None, err
+		}
+		out := DictV()
+		for i := uint64(0); i < n; i++ {
+			k, err := d.Value()
+			if err != nil {
+				return None, err
+			}
+			v, err := d.Value()
+			if err != nil {
+				return None, err
+			}
+			if err := out.DictSet(k, v); err != nil {
+				return None, err
+			}
+		}
+		return out, nil
+	case KRef:
+		class, err := d.str()
+		if err != nil {
+			return None, err
+		}
+		key, err := d.str()
+		if err != nil {
+			return None, err
+		}
+		return RefV(class, key), nil
+	default:
+		return None, fmt.Errorf("decode: unknown kind %d", kb)
+	}
+}
+
+// Env reads an environment.
+func (d *Decoder) Env() (Env, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	env := make(Env, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		env[k] = v
+	}
+	return env, nil
+}
+
+// State reads a MapState.
+func (d *Decoder) State() (MapState, error) {
+	env, err := d.Env()
+	return MapState(env), err
+}
+
+// EncodeValue is a convenience one-shot encoder.
+func EncodeValue(v Value) []byte {
+	e := NewEncoder()
+	e.Value(v)
+	return e.Bytes()
+}
+
+// DecodeValue is a convenience one-shot decoder.
+func DecodeValue(buf []byte) (Value, error) {
+	d := NewDecoder(buf)
+	v, err := d.Value()
+	if err != nil {
+		return None, err
+	}
+	if d.Remaining() != 0 {
+		return None, fmt.Errorf("decode: %d trailing bytes", d.Remaining())
+	}
+	return v, nil
+}
+
+// EncodedSize returns the serialized size of a state map; the runtime cost
+// models charge (de)serialization proportional to it.
+func EncodedSize(st MapState) int {
+	e := NewEncoder()
+	e.State(st)
+	return e.Len()
+}

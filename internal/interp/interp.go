@@ -1,0 +1,904 @@
+// The block interpreter: executes the straight-line statements of a split
+// block (plus any inline control flow) against an entity's state and a
+// variable environment. Remote calls never reach the interpreter — the
+// splitter hoists them into Invoke terminators — so execution here is
+// always local, synchronous and side-effect-free beyond the entity state.
+package interp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/lang/ast"
+	"statefulentities.dev/stateflow/internal/lang/token"
+)
+
+// State is the attribute store of one entity instance. Runtimes provide
+// implementations that track reads and writes (for transaction reservation
+// sets and for cost accounting).
+type State interface {
+	Get(attr string) (Value, bool)
+	Set(attr string, v Value)
+}
+
+// MapState is the plain map-backed State used by the local runtime and by
+// tests ("the state is kept in a local HashMap data structure", §3).
+type MapState map[string]Value
+
+// Get implements State.
+func (m MapState) Get(attr string) (Value, bool) {
+	v, ok := m[attr]
+	return v, ok
+}
+
+// Set implements State.
+func (m MapState) Set(attr string, v Value) { m[attr] = v }
+
+// RuntimeError is a DSL-level execution error.
+type RuntimeError struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg)
+}
+
+// Interp executes entity code of one compiled program.
+type Interp struct {
+	Prog *ir.Program
+}
+
+// New returns an interpreter over a compiled program.
+func New(prog *ir.Program) *Interp { return &Interp{Prog: prog} }
+
+// Result is the outcome of executing a block's statement list.
+type Result struct {
+	Returned bool  // a return statement executed
+	Value    Value // the returned value (None when Returned is false)
+}
+
+type frame struct {
+	class string
+	key   string
+	env   Env
+	state State
+	depth int
+}
+
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+const maxCallDepth = 64
+
+// ExecBlock runs a block's statements. The env is mutated in place.
+func (in *Interp) ExecBlock(class, key string, b *ir.Block, env Env, st State) (Result, error) {
+	fr := &frame{class: class, key: key, env: env, state: st}
+	c, v, err := in.execStmts(b.Stmts, fr)
+	if err != nil {
+		return Result{}, err
+	}
+	switch c {
+	case ctrlReturn:
+		return Result{Returned: true, Value: v}, nil
+	case ctrlBreak, ctrlContinue:
+		return Result{}, &RuntimeError{Msg: "break/continue escaped block (compiler bug)"}
+	}
+	return Result{}, nil
+}
+
+// Eval evaluates a single expression in the given context; used by operator
+// logic to evaluate terminator conditions, invoke arguments and return
+// values.
+func (in *Interp) Eval(class, key string, e ast.Expr, env Env, st State) (Value, error) {
+	if e == nil {
+		return None, nil
+	}
+	fr := &frame{class: class, key: key, env: env, state: st}
+	return in.eval(e, fr)
+}
+
+// ExecSimple runs a simple (unsplit) method to completion: it builds the
+// parameter environment, executes the body, and yields the return value.
+func (in *Interp) ExecSimple(class, key, method string, args []Value, st State) (Value, error) {
+	m := in.Prog.MethodOf(class, method)
+	if m == nil {
+		return None, &RuntimeError{Msg: fmt.Sprintf("unknown method %s.%s", class, method)}
+	}
+	if !m.Simple {
+		return None, &RuntimeError{Msg: fmt.Sprintf("%s.%s is split and cannot run synchronously", class, method)}
+	}
+	env, err := BindParams(m, args)
+	if err != nil {
+		return None, err
+	}
+	fr := &frame{class: class, key: key, env: env, state: st}
+	c, v, err := in.execStmts(m.Body, fr)
+	if err != nil {
+		return None, err
+	}
+	if c == ctrlReturn {
+		return v, nil
+	}
+	return None, nil
+}
+
+// ExecInit runs __init__ against a fresh state.
+func (in *Interp) ExecInit(class string, args []Value, st State) error {
+	op := in.Prog.Operator(class)
+	if op == nil {
+		return &RuntimeError{Msg: fmt.Sprintf("unknown class %s", class)}
+	}
+	m := op.Method("__init__")
+	env, err := BindParams(m, args)
+	if err != nil {
+		return err
+	}
+	fr := &frame{class: class, env: env, state: st, key: ""}
+	_, _, err = in.execStmts(m.Body, fr)
+	return err
+}
+
+// BindParams zips method parameters with argument values.
+func BindParams(m *ir.Method, args []Value) (Env, error) {
+	if len(args) != len(m.Params) {
+		return nil, &RuntimeError{Msg: fmt.Sprintf("%s expects %d args, got %d", m.Name, len(m.Params), len(args))}
+	}
+	env := make(Env, len(args)+4)
+	for i, p := range m.Params {
+		env[p.Name] = args[i]
+	}
+	return env, nil
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (in *Interp) execStmts(stmts []ast.Stmt, fr *frame) (ctrl, Value, error) {
+	for _, s := range stmts {
+		c, v, err := in.execStmt(s, fr)
+		if err != nil {
+			return ctrlNone, None, err
+		}
+		if c != ctrlNone {
+			return c, v, nil
+		}
+	}
+	return ctrlNone, None, nil
+}
+
+func (in *Interp) execStmt(s ast.Stmt, fr *frame) (ctrl, Value, error) {
+	switch x := s.(type) {
+	case *ast.PassStmt:
+		return ctrlNone, None, nil
+	case *ast.BreakStmt:
+		return ctrlBreak, None, nil
+	case *ast.ContinueStmt:
+		return ctrlContinue, None, nil
+	case *ast.ReturnStmt:
+		if x.Value == nil {
+			return ctrlReturn, None, nil
+		}
+		v, err := in.eval(x.Value, fr)
+		if err != nil {
+			return ctrlNone, None, err
+		}
+		return ctrlReturn, v, nil
+	case *ast.ExprStmt:
+		_, err := in.eval(x.Value, fr)
+		return ctrlNone, None, err
+	case *ast.AssignStmt:
+		v, err := in.eval(x.Value, fr)
+		if err != nil {
+			return ctrlNone, None, err
+		}
+		return ctrlNone, None, in.assign(x.Target, v, fr)
+	case *ast.AugAssignStmt:
+		cur, err := in.eval(x.Target, fr)
+		if err != nil {
+			return ctrlNone, None, err
+		}
+		rhs, err := in.eval(x.Value, fr)
+		if err != nil {
+			return ctrlNone, None, err
+		}
+		nv, err := binop(x.Op, cur, rhs, x.Pos())
+		if err != nil {
+			return ctrlNone, None, err
+		}
+		return ctrlNone, None, in.assign(x.Target, nv, fr)
+	case *ast.IfStmt:
+		cond, err := in.eval(x.Cond, fr)
+		if err != nil {
+			return ctrlNone, None, err
+		}
+		if cond.IsTruthy() {
+			return in.execStmts(x.Then, fr)
+		}
+		return in.execStmts(x.Else, fr)
+	case *ast.WhileStmt:
+		for i := 0; ; i++ {
+			if i > 10_000_000 {
+				return ctrlNone, None, &RuntimeError{Pos: x.Pos(), Msg: "while loop exceeded iteration bound"}
+			}
+			cond, err := in.eval(x.Cond, fr)
+			if err != nil {
+				return ctrlNone, None, err
+			}
+			if !cond.IsTruthy() {
+				return ctrlNone, None, nil
+			}
+			c, v, err := in.execStmts(x.Body, fr)
+			if err != nil {
+				return ctrlNone, None, err
+			}
+			switch c {
+			case ctrlReturn:
+				return ctrlReturn, v, nil
+			case ctrlBreak:
+				return ctrlNone, None, nil
+			}
+		}
+	case *ast.ForStmt:
+		iter, err := in.eval(x.Iterable, fr)
+		if err != nil {
+			return ctrlNone, None, err
+		}
+		if iter.Kind != KList {
+			return ctrlNone, None, &RuntimeError{Pos: x.Pos(), Msg: "for requires a list"}
+		}
+		for _, elem := range iter.L.Elems {
+			fr.env[x.Var] = elem
+			c, v, err := in.execStmts(x.Body, fr)
+			if err != nil {
+				return ctrlNone, None, err
+			}
+			switch c {
+			case ctrlReturn:
+				return ctrlReturn, v, nil
+			case ctrlBreak:
+				return ctrlNone, None, nil
+			}
+		}
+		return ctrlNone, None, nil
+	default:
+		return ctrlNone, None, &RuntimeError{Pos: s.Pos(), Msg: fmt.Sprintf("unsupported statement %T", s)}
+	}
+}
+
+func (in *Interp) assign(target ast.Expr, v Value, fr *frame) error {
+	switch t := target.(type) {
+	case *ast.Name:
+		fr.env[t.Ident] = v
+		return nil
+	case *ast.Attr:
+		if _, isSelf := t.Recv.(*ast.SelfRef); !isSelf {
+			return &RuntimeError{Pos: t.Pos(), Msg: "can only assign self attributes"}
+		}
+		fr.state.Set(t.Field, v)
+		return nil
+	case *ast.Index:
+		recv, err := in.eval(t.Recv, fr)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(t.Idx, fr)
+		if err != nil {
+			return err
+		}
+		switch recv.Kind {
+		case KList:
+			if idx.Kind != KInt {
+				return &RuntimeError{Pos: t.Pos(), Msg: "list index must be int"}
+			}
+			i := idx.I
+			if i < 0 {
+				i += int64(len(recv.L.Elems))
+			}
+			if i < 0 || i >= int64(len(recv.L.Elems)) {
+				return &RuntimeError{Pos: t.Pos(), Msg: "list index out of range"}
+			}
+			recv.L.Elems[i] = v
+		case KDict:
+			if err := recv.DictSet(idx, v); err != nil {
+				return &RuntimeError{Pos: t.Pos(), Msg: err.Error()}
+			}
+		default:
+			return &RuntimeError{Pos: t.Pos(), Msg: fmt.Sprintf("cannot index-assign %s", recv.Kind)}
+		}
+		// Container mutation through a state attribute must mark the
+		// attribute dirty so write-tracking state backends observe it.
+		in.touchStateAttr(t.Recv, recv, fr)
+		return nil
+	default:
+		return &RuntimeError{Pos: target.Pos(), Msg: "invalid assignment target"}
+	}
+}
+
+// touchStateAttr re-stores a container attribute after in-place mutation.
+func (in *Interp) touchStateAttr(recvExpr ast.Expr, v Value, fr *frame) {
+	if attr, ok := recvExpr.(*ast.Attr); ok {
+		if _, isSelf := attr.Recv.(*ast.SelfRef); isSelf {
+			fr.state.Set(attr.Field, v)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (in *Interp) eval(e ast.Expr, fr *frame) (Value, error) {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		return IntV(x.Value), nil
+	case *ast.FloatLit:
+		return FloatV(x.Value), nil
+	case *ast.StrLit:
+		return StrV(x.Value), nil
+	case *ast.BoolLit:
+		return BoolV(x.Value), nil
+	case *ast.NoneLit:
+		return None, nil
+	case *ast.SelfRef:
+		return RefV(fr.class, fr.key), nil
+	case *ast.Name:
+		if v, ok := fr.env[x.Ident]; ok {
+			return v, nil
+		}
+		return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf("undefined variable %s", x.Ident)}
+	case *ast.Attr:
+		if _, isSelf := x.Recv.(*ast.SelfRef); isSelf {
+			if v, ok := fr.state.Get(x.Field); ok {
+				return v, nil
+			}
+			return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf("entity has no attribute %s", x.Field)}
+		}
+		return None, &RuntimeError{Pos: x.Pos(), Msg: "attribute access on non-self value"}
+	case *ast.ListLit:
+		elems := make([]Value, len(x.Elems))
+		for i, el := range x.Elems {
+			v, err := in.eval(el, fr)
+			if err != nil {
+				return None, err
+			}
+			elems[i] = v
+		}
+		return ListV(elems...), nil
+	case *ast.DictLit:
+		d := DictV()
+		for i := range x.Keys {
+			k, err := in.eval(x.Keys[i], fr)
+			if err != nil {
+				return None, err
+			}
+			v, err := in.eval(x.Values[i], fr)
+			if err != nil {
+				return None, err
+			}
+			if err := d.DictSet(k, v); err != nil {
+				return None, &RuntimeError{Pos: x.Pos(), Msg: err.Error()}
+			}
+		}
+		return d, nil
+	case *ast.UnaryOp:
+		v, err := in.eval(x.Operand, fr)
+		if err != nil {
+			return None, err
+		}
+		switch x.Op {
+		case token.KwNot:
+			return BoolV(!v.IsTruthy()), nil
+		case token.MINUS:
+			switch v.Kind {
+			case KInt:
+				return IntV(-v.I), nil
+			case KFloat:
+				return FloatV(-v.F), nil
+			}
+			return None, &RuntimeError{Pos: x.Pos(), Msg: "unary minus on non-number"}
+		}
+		return None, &RuntimeError{Pos: x.Pos(), Msg: "unknown unary operator"}
+	case *ast.BinOp:
+		// Short-circuit evaluation for and/or.
+		if x.Op == token.KwAnd || x.Op == token.KwOr {
+			l, err := in.eval(x.Left, fr)
+			if err != nil {
+				return None, err
+			}
+			if x.Op == token.KwAnd && !l.IsTruthy() {
+				return l, nil
+			}
+			if x.Op == token.KwOr && l.IsTruthy() {
+				return l, nil
+			}
+			return in.eval(x.Right, fr)
+		}
+		l, err := in.eval(x.Left, fr)
+		if err != nil {
+			return None, err
+		}
+		r, err := in.eval(x.Right, fr)
+		if err != nil {
+			return None, err
+		}
+		return binop(x.Op, l, r, x.Pos())
+	case *ast.Index:
+		recv, err := in.eval(x.Recv, fr)
+		if err != nil {
+			return None, err
+		}
+		idx, err := in.eval(x.Idx, fr)
+		if err != nil {
+			return None, err
+		}
+		return index(recv, idx, x.Pos())
+	case *ast.Call:
+		return in.evalCall(x, fr)
+	default:
+		return None, &RuntimeError{Pos: e.Pos(), Msg: fmt.Sprintf("unsupported expression %T", e)}
+	}
+}
+
+func index(recv, idx Value, pos token.Pos) (Value, error) {
+	switch recv.Kind {
+	case KList:
+		if idx.Kind != KInt {
+			return None, &RuntimeError{Pos: pos, Msg: "list index must be int"}
+		}
+		i := idx.I
+		if i < 0 {
+			i += int64(len(recv.L.Elems))
+		}
+		if i < 0 || i >= int64(len(recv.L.Elems)) {
+			return None, &RuntimeError{Pos: pos, Msg: "list index out of range"}
+		}
+		return recv.L.Elems[i], nil
+	case KDict:
+		v, ok, err := recv.DictGet(idx)
+		if err != nil {
+			return None, &RuntimeError{Pos: pos, Msg: err.Error()}
+		}
+		if !ok {
+			return None, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("key error: %s", idx.Repr())}
+		}
+		return v, nil
+	case KStr:
+		if idx.Kind != KInt {
+			return None, &RuntimeError{Pos: pos, Msg: "string index must be int"}
+		}
+		runes := []rune(recv.S)
+		i := idx.I
+		if i < 0 {
+			i += int64(len(runes))
+		}
+		if i < 0 || i >= int64(len(runes)) {
+			return None, &RuntimeError{Pos: pos, Msg: "string index out of range"}
+		}
+		return StrV(string(runes[i])), nil
+	default:
+		return None, &RuntimeError{Pos: pos, Msg: fmt.Sprintf("cannot index %s", recv.Kind)}
+	}
+}
+
+func binop(op token.Kind, l, r Value, pos token.Pos) (Value, error) {
+	fail := func(format string, args ...any) (Value, error) {
+		return None, &RuntimeError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+	}
+	bothNum := l.Kind == KInt && r.Kind == KInt ||
+		(l.Kind == KInt || l.Kind == KFloat) && (r.Kind == KInt || r.Kind == KFloat)
+	switch op {
+	case token.EQ:
+		return BoolV(l.Equal(r)), nil
+	case token.NEQ:
+		return BoolV(!l.Equal(r)), nil
+	case token.LT, token.LTE, token.GT, token.GTE:
+		var cmp int
+		switch {
+		case bothNum:
+			a, b := l.AsFloat(), r.AsFloat()
+			switch {
+			case a < b:
+				cmp = -1
+			case a > b:
+				cmp = 1
+			}
+		case l.Kind == KStr && r.Kind == KStr:
+			cmp = strings.Compare(l.S, r.S)
+		default:
+			return fail("cannot compare %s with %s", l.Kind, r.Kind)
+		}
+		switch op {
+		case token.LT:
+			return BoolV(cmp < 0), nil
+		case token.LTE:
+			return BoolV(cmp <= 0), nil
+		case token.GT:
+			return BoolV(cmp > 0), nil
+		default:
+			return BoolV(cmp >= 0), nil
+		}
+	case token.KwIn:
+		switch r.Kind {
+		case KList:
+			for _, e := range r.L.Elems {
+				if e.Equal(l) {
+					return BoolV(true), nil
+				}
+			}
+			return BoolV(false), nil
+		case KDict:
+			_, ok, err := r.DictGet(l)
+			if err != nil {
+				return fail("%s", err)
+			}
+			return BoolV(ok), nil
+		case KStr:
+			if l.Kind != KStr {
+				return fail("in: left operand must be str")
+			}
+			return BoolV(strings.Contains(r.S, l.S)), nil
+		default:
+			return fail("in requires list, dict or str")
+		}
+	case token.PLUS:
+		if l.Kind == KStr && r.Kind == KStr {
+			return StrV(l.S + r.S), nil
+		}
+		if l.Kind == KList && r.Kind == KList {
+			out := make([]Value, 0, len(l.L.Elems)+len(r.L.Elems))
+			out = append(out, l.L.Elems...)
+			out = append(out, r.L.Elems...)
+			return ListV(out...), nil
+		}
+		if l.Kind == KInt && r.Kind == KInt {
+			return IntV(l.I + r.I), nil
+		}
+		if bothNum {
+			return FloatV(l.AsFloat() + r.AsFloat()), nil
+		}
+		return fail("cannot add %s and %s", l.Kind, r.Kind)
+	case token.MINUS:
+		if l.Kind == KInt && r.Kind == KInt {
+			return IntV(l.I - r.I), nil
+		}
+		if bothNum {
+			return FloatV(l.AsFloat() - r.AsFloat()), nil
+		}
+		return fail("cannot subtract %s and %s", l.Kind, r.Kind)
+	case token.STAR:
+		if l.Kind == KInt && r.Kind == KInt {
+			return IntV(l.I * r.I), nil
+		}
+		if bothNum {
+			return FloatV(l.AsFloat() * r.AsFloat()), nil
+		}
+		return fail("cannot multiply %s and %s", l.Kind, r.Kind)
+	case token.SLASH:
+		if !bothNum {
+			return fail("cannot divide %s and %s", l.Kind, r.Kind)
+		}
+		if r.AsFloat() == 0 {
+			return fail("division by zero")
+		}
+		return FloatV(l.AsFloat() / r.AsFloat()), nil
+	case token.DSLASH:
+		if l.Kind == KInt && r.Kind == KInt {
+			if r.I == 0 {
+				return fail("division by zero")
+			}
+			// Python floor division.
+			q := l.I / r.I
+			if (l.I%r.I != 0) && ((l.I < 0) != (r.I < 0)) {
+				q--
+			}
+			return IntV(q), nil
+		}
+		return fail("// requires ints")
+	case token.PERCENT:
+		if l.Kind == KInt && r.Kind == KInt {
+			if r.I == 0 {
+				return fail("modulo by zero")
+			}
+			m := l.I % r.I
+			if m != 0 && (m < 0) != (r.I < 0) {
+				m += r.I
+			}
+			return IntV(m), nil
+		}
+		return fail("%% requires ints")
+	default:
+		return fail("unknown operator %s", op)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Calls
+
+func (in *Interp) evalCall(x *ast.Call, fr *frame) (Value, error) {
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := in.eval(a, fr)
+		if err != nil {
+			return None, err
+		}
+		args[i] = v
+	}
+	if x.Recv == nil {
+		return in.callBuiltin(x, args, fr)
+	}
+	recv, err := in.eval(x.Recv, fr)
+	if err != nil {
+		return None, err
+	}
+	switch recv.Kind {
+	case KList:
+		return listMethod(x, recv, args, func(v Value) { in.touchStateAttr(x.Recv, v, fr) })
+	case KDict:
+		return dictMethod(x, recv, args)
+	case KStr:
+		return strMethod(x, recv, args)
+	case KRef:
+		// Only local self-calls to simple methods may execute inline; the
+		// splitter guarantees everything else was hoisted into Invoke
+		// terminators.
+		if recv.R.Class != fr.class || recv.R.Key != fr.key {
+			return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf(
+				"remote call %s.%s reached the interpreter (compiler bug)", recv.R.Class, x.Func)}
+		}
+		if fr.depth+1 > maxCallDepth {
+			return None, &RuntimeError{Pos: x.Pos(), Msg: "call depth exceeded"}
+		}
+		m := in.Prog.MethodOf(fr.class, x.Func)
+		if m == nil {
+			return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf("unknown method %s.%s", fr.class, x.Func)}
+		}
+		env, err := BindParams(m, args)
+		if err != nil {
+			return None, err
+		}
+		sub := &frame{class: fr.class, key: fr.key, env: env, state: fr.state, depth: fr.depth + 1}
+		c, v, err := in.execStmts(m.Body, sub)
+		if err != nil {
+			return None, err
+		}
+		if c == ctrlReturn {
+			return v, nil
+		}
+		return None, nil
+	default:
+		return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf("%s has no methods", recv.Kind)}
+	}
+}
+
+func (in *Interp) callBuiltin(x *ast.Call, args []Value, fr *frame) (Value, error) {
+	fail := func(format string, a ...any) (Value, error) {
+		return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf(format, a...)}
+	}
+	switch x.Func {
+	case "len":
+		if len(args) != 1 {
+			return fail("len expects 1 argument")
+		}
+		switch args[0].Kind {
+		case KList:
+			return IntV(int64(len(args[0].L.Elems))), nil
+		case KDict:
+			return IntV(int64(len(args[0].D))), nil
+		case KStr:
+			return IntV(int64(len([]rune(args[0].S)))), nil
+		default:
+			return fail("len of %s", args[0].Kind)
+		}
+	case "str":
+		if len(args) != 1 {
+			return fail("str expects 1 argument")
+		}
+		return StrV(args[0].String()), nil
+	case "int":
+		if len(args) != 1 {
+			return fail("int expects 1 argument")
+		}
+		switch args[0].Kind {
+		case KInt:
+			return args[0], nil
+		case KFloat:
+			return IntV(int64(args[0].F)), nil
+		case KBool:
+			if args[0].B {
+				return IntV(1), nil
+			}
+			return IntV(0), nil
+		case KStr:
+			n, err := strconv.ParseInt(strings.TrimSpace(args[0].S), 10, 64)
+			if err != nil {
+				return fail("invalid int literal %q", args[0].S)
+			}
+			return IntV(n), nil
+		default:
+			return fail("int of %s", args[0].Kind)
+		}
+	case "float":
+		if len(args) != 1 {
+			return fail("float expects 1 argument")
+		}
+		switch args[0].Kind {
+		case KInt:
+			return FloatV(float64(args[0].I)), nil
+		case KFloat:
+			return args[0], nil
+		case KStr:
+			f, err := strconv.ParseFloat(strings.TrimSpace(args[0].S), 64)
+			if err != nil {
+				return fail("invalid float literal %q", args[0].S)
+			}
+			return FloatV(f), nil
+		default:
+			return fail("float of %s", args[0].Kind)
+		}
+	case "bool":
+		if len(args) != 1 {
+			return fail("bool expects 1 argument")
+		}
+		return BoolV(args[0].IsTruthy()), nil
+	case "abs":
+		if len(args) != 1 {
+			return fail("abs expects 1 argument")
+		}
+		switch args[0].Kind {
+		case KInt:
+			if args[0].I < 0 {
+				return IntV(-args[0].I), nil
+			}
+			return args[0], nil
+		case KFloat:
+			if args[0].F < 0 {
+				return FloatV(-args[0].F), nil
+			}
+			return args[0], nil
+		default:
+			return fail("abs of %s", args[0].Kind)
+		}
+	case "min", "max":
+		if len(args) < 2 {
+			return fail("%s expects at least 2 arguments", x.Func)
+		}
+		best := args[0]
+		for _, a := range args[1:] {
+			cmpTok := token.LT
+			if x.Func == "max" {
+				cmpTok = token.GT
+			}
+			res, err := binop(cmpTok, a, best, x.Pos())
+			if err != nil {
+				return None, err
+			}
+			if res.B {
+				best = a
+			}
+		}
+		return best, nil
+	case "range":
+		var lo, hi int64
+		switch len(args) {
+		case 1:
+			hi = args[0].I
+		case 2:
+			lo, hi = args[0].I, args[1].I
+		default:
+			return fail("range expects 1 or 2 arguments")
+		}
+		elems := make([]Value, 0, max64(0, hi-lo))
+		for i := lo; i < hi; i++ {
+			elems = append(elems, IntV(i))
+		}
+		return ListV(elems...), nil
+	default:
+		return fail("unknown function %s (constructor calls must be hoisted by the compiler)", x.Func)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func listMethod(x *ast.Call, recv Value, args []Value, touch func(Value)) (Value, error) {
+	fail := func(format string, a ...any) (Value, error) {
+		return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf(format, a...)}
+	}
+	switch x.Func {
+	case "append":
+		if len(args) != 1 {
+			return fail("append expects 1 argument")
+		}
+		recv.L.Elems = append(recv.L.Elems, args[0])
+		touch(recv)
+		return None, nil
+	case "pop":
+		n := len(recv.L.Elems)
+		if n == 0 {
+			return fail("pop from empty list")
+		}
+		i := int64(n - 1)
+		if len(args) == 1 {
+			if args[0].Kind != KInt {
+				return fail("pop index must be int")
+			}
+			i = args[0].I
+			if i < 0 {
+				i += int64(n)
+			}
+			if i < 0 || i >= int64(n) {
+				return fail("pop index out of range")
+			}
+		}
+		v := recv.L.Elems[i]
+		recv.L.Elems = append(recv.L.Elems[:i], recv.L.Elems[i+1:]...)
+		touch(recv)
+		return v, nil
+	default:
+		return fail("list has no method %s", x.Func)
+	}
+}
+
+func dictMethod(x *ast.Call, recv Value, args []Value) (Value, error) {
+	fail := func(format string, a ...any) (Value, error) {
+		return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf(format, a...)}
+	}
+	switch x.Func {
+	case "get":
+		if len(args) != 2 {
+			return fail("get expects key and default")
+		}
+		v, ok, err := recv.DictGet(args[0])
+		if err != nil {
+			return fail("%s", err)
+		}
+		if !ok {
+			return args[1], nil
+		}
+		return v, nil
+	case "keys":
+		return ListV(recv.DictKeys()...), nil
+	case "values":
+		keys := recv.DictKeys()
+		vals := make([]Value, len(keys))
+		for i, k := range keys {
+			v, _, _ := recv.DictGet(k)
+			vals[i] = v
+		}
+		return ListV(vals...), nil
+	default:
+		return fail("dict has no method %s", x.Func)
+	}
+}
+
+func strMethod(x *ast.Call, recv Value, args []Value) (Value, error) {
+	fail := func(format string, a ...any) (Value, error) {
+		return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf(format, a...)}
+	}
+	if len(args) != 0 && x.Func != "" {
+		// All supported str methods take no arguments.
+	}
+	switch x.Func {
+	case "upper":
+		return StrV(strings.ToUpper(recv.S)), nil
+	case "lower":
+		return StrV(strings.ToLower(recv.S)), nil
+	case "strip":
+		return StrV(strings.TrimSpace(recv.S)), nil
+	default:
+		return fail("str has no method %s", x.Func)
+	}
+}

@@ -1,0 +1,220 @@
+package ir
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"statefulentities.dev/stateflow/internal/lang/ast"
+)
+
+// tiny builds a minimal valid program by hand.
+func tiny(t *testing.T) *Program {
+	t.Helper()
+	mkMethod := func(name string, blocks []*Block) *Method {
+		m := &Method{Name: name, Returns: TypeRef{Name: "int"}, Blocks: blocks}
+		m.SM = BuildStateMachine(blocks)
+		return m
+	}
+	getBlocks := []*Block{{ID: 0, Name: "get_0", Term: Return{}}}
+	callBlocks := []*Block{
+		{ID: 0, Name: "m_0", Term: Invoke{Class: "A", Method: "get", To: 1}},
+		{ID: 1, Name: "m_1", Term: Return{}},
+	}
+	a := &Operator{
+		Name: "A", KeyAttr: "k", KeyParam: "k",
+		Attrs:       []Field{{Name: "k", Type: TypeRef{Name: "str"}}},
+		Methods:     map[string]*Method{"get": mkMethod("get", getBlocks)},
+		MethodOrder: []string{"get"},
+	}
+	b := &Operator{
+		Name: "B", KeyAttr: "k", KeyParam: "k",
+		Attrs:       []Field{{Name: "k", Type: TypeRef{Name: "str"}}},
+		Methods:     map[string]*Method{"m": mkMethod("m", callBlocks)},
+		MethodOrder: []string{"m"},
+	}
+	return &Program{
+		Operators:     map[string]*Operator{"A": a, "B": b},
+		OperatorOrder: []string{"A", "B"},
+		Edges: []Edge{
+			{From: "ingress", To: "A"}, {From: "A", To: "egress"},
+			{From: "ingress", To: "B"}, {From: "B", To: "egress"},
+			{From: "B", To: "A", Label: "B.m -> A.get"},
+		},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := tiny(t).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadBlockID(t *testing.T) {
+	p := tiny(t)
+	p.Operators["A"].Methods["get"].Blocks[0].ID = 5
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected block-id error")
+	}
+}
+
+func TestValidateCatchesMissingTerminator(t *testing.T) {
+	p := tiny(t)
+	p.Operators["A"].Methods["get"].Blocks[0].Term = nil
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected terminator error")
+	}
+}
+
+func TestValidateCatchesDanglingJump(t *testing.T) {
+	p := tiny(t)
+	p.Operators["A"].Methods["get"].Blocks[0].Term = Jump{To: 9}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected dangling-jump error")
+	}
+}
+
+func TestValidateCatchesUnknownInvokeTarget(t *testing.T) {
+	p := tiny(t)
+	blocks := p.Operators["B"].Methods["m"].Blocks
+	blocks[0].Term = Invoke{Class: "Ghost", Method: "x", To: 1}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected unknown-invoke error")
+	}
+}
+
+func TestValidateCatchesMissingKey(t *testing.T) {
+	p := tiny(t)
+	p.Operators["A"].KeyAttr = ""
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected key error")
+	}
+}
+
+func TestBuildStateMachineShapes(t *testing.T) {
+	blocks := []*Block{
+		{ID: 0, Term: Branch{True: 1, False: 2}},
+		{ID: 1, Term: Invoke{Class: "A", Method: "m", To: 2}},
+		{ID: 2, Term: Jump{To: 3}},
+		{ID: 3, Term: Return{}},
+	}
+	sm := BuildStateMachine(blocks)
+	if len(sm.States) != 4 {
+		t.Fatalf("states: %d", len(sm.States))
+	}
+	kinds := map[TransitionKind]int{}
+	for _, tr := range sm.Transitions {
+		kinds[tr.Kind]++
+	}
+	if kinds[TransCondTrue] != 1 || kinds[TransCondFalse] != 1 ||
+		kinds[TransCall] != 1 || kinds[TransResume] != 1 ||
+		kinds[TransDirect] != 1 || kinds[TransReturn] != 1 {
+		t.Fatalf("transition kinds: %v", kinds)
+	}
+	// The call transition labels the callee.
+	for _, tr := range sm.Transitions {
+		if tr.Kind == TransCall && tr.Callee != "A.m" {
+			t.Fatalf("callee: %s", tr.Callee)
+		}
+	}
+}
+
+func TestSuccessors(t *testing.T) {
+	if len((Return{}).Successors()) != 0 {
+		t.Fatal("return successors")
+	}
+	if s := (Jump{To: 3}).Successors(); len(s) != 1 || s[0] != 3 {
+		t.Fatal("jump successors")
+	}
+	if s := (Branch{True: 1, False: 2}).Successors(); len(s) != 2 {
+		t.Fatal("branch successors")
+	}
+	if s := (Invoke{To: 4}).Successors(); len(s) != 1 || s[0] != 4 {
+		t.Fatal("invoke successors")
+	}
+}
+
+func TestTypeRefString(t *testing.T) {
+	cases := map[string]TypeRef{
+		"int":            {Name: "int"},
+		"list[str]":      {Name: "list", Args: []TypeRef{{Name: "str"}}},
+		"dict[str, int]": {Name: "dict", Args: []TypeRef{{Name: "str"}, {Name: "int"}}},
+	}
+	for want, tr := range cases {
+		if tr.String() != want {
+			t.Errorf("%v: got %s", tr, tr.String())
+		}
+	}
+}
+
+func TestStatsAndReport(t *testing.T) {
+	p := tiny(t)
+	st := p.Stats()
+	if st.Operators != 2 || st.Methods != 2 || st.Blocks != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	rep := p.Report()
+	for _, want := range []string{"operator A", "operator B", "method get", "2 operators"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestDotDeterministic(t *testing.T) {
+	a := tiny(t).Dot()
+	b := tiny(t).Dot()
+	if a != b {
+		t.Fatal("dot output must be deterministic")
+	}
+	if !strings.Contains(a, `"B" -> "A"`) {
+		t.Fatalf("missing cross edge:\n%s", a)
+	}
+}
+
+func TestJSONMarshalOmitsASTButKeepsStructure(t *testing.T) {
+	out, err := json.Marshal(tiny(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{`"operators"`, `"state_machine"`, `"key_attr"`, `"transitions"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("json missing %s", want)
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := map[string]Terminator{
+		"return None":     Return{},
+		"jump -> block 2": Jump{To: 2},
+	}
+	for want, term := range cases {
+		if got := TermString(term); got != want {
+			t.Errorf("TermString: got %q want %q", got, want)
+		}
+	}
+	inv := TermString(Invoke{Class: "A", Method: "m", AssignTo: "x", To: 1})
+	if !strings.Contains(inv, "x = invoke A.m") || !strings.Contains(inv, "resume block 1") {
+		t.Fatalf("invoke term: %s", inv)
+	}
+	br := TermString(Branch{Cond: &ast.BoolLit{Value: true}, True: 1, False: 2})
+	if !strings.Contains(br, "branch True ? block 1 : block 2") {
+		t.Fatalf("branch term: %s", br)
+	}
+}
+
+func TestMethodBlockLookup(t *testing.T) {
+	p := tiny(t)
+	m := p.MethodOf("B", "m")
+	if m.Block(0) == nil || m.Block(1) == nil {
+		t.Fatal("block lookup")
+	}
+	if m.Block(9) != nil || m.Block(-1) != nil {
+		t.Fatal("out-of-range lookup must be nil")
+	}
+	if p.MethodOf("B", "ghost") != nil || p.MethodOf("Ghost", "m") != nil {
+		t.Fatal("missing method lookup must be nil")
+	}
+}

@@ -1,0 +1,250 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+
+	"statefulentities.dev/stateflow/internal/lang/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tk := range toks {
+		out[i] = tk.Kind
+	}
+	return out
+}
+
+func wantKinds(t *testing.T, got, want []token.Kind) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("token count: got %d (%v), want %d (%v)", len(got), got, len(want), want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %s, want %s (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSimpleLine(t *testing.T) {
+	wantKinds(t, kinds(t, "x = 1\n"), []token.Kind{
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE,
+		token.NEWLINE, token.EOF,
+	})
+}
+
+func TestIndentDedent(t *testing.T) {
+	src := "if x:\n    y = 1\nz = 2\n"
+	wantKinds(t, kinds(t, src), []token.Kind{
+		token.KwIf, token.IDENT, token.COLON, token.NEWLINE,
+		token.INDENT, token.IDENT, token.ASSIGN, token.INT, token.NEWLINE,
+		token.DEDENT, token.IDENT, token.ASSIGN, token.INT, token.NEWLINE,
+		token.NEWLINE, token.EOF,
+	})
+}
+
+func TestNestedDedents(t *testing.T) {
+	src := "if a:\n  if b:\n    x = 1\ny = 2\n"
+	got := kinds(t, src)
+	// Expect two DEDENT tokens before y.
+	dedents := 0
+	for _, k := range got {
+		if k == token.DEDENT {
+			dedents++
+		}
+	}
+	if dedents != 2 {
+		t.Fatalf("expected 2 dedents, got %d: %v", dedents, got)
+	}
+}
+
+func TestDedentAtEOF(t *testing.T) {
+	src := "if a:\n    x = 1" // no trailing newline
+	got := kinds(t, src)
+	if got[len(got)-1] != token.EOF {
+		t.Fatalf("missing EOF")
+	}
+	var sawDedent bool
+	for _, k := range got {
+		if k == token.DEDENT {
+			sawDedent = true
+		}
+	}
+	if !sawDedent {
+		t.Fatalf("expected DEDENT before EOF: %v", got)
+	}
+}
+
+func TestBlankAndCommentLines(t *testing.T) {
+	src := "x = 1\n\n# comment\n   # indented comment\ny = 2\n"
+	got := kinds(t, src)
+	for _, k := range got {
+		if k == token.INDENT || k == token.DEDENT {
+			t.Fatalf("blank/comment lines must not produce layout tokens: %v", got)
+		}
+	}
+}
+
+func TestCommentAtEndOfLine(t *testing.T) {
+	wantKinds(t, kinds(t, "x = 1  # trailing\n"), []token.Kind{
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE,
+		token.NEWLINE, token.EOF,
+	})
+}
+
+func TestNewlinesInsideParens(t *testing.T) {
+	src := "f(a,\n  b)\n"
+	got := kinds(t, src)
+	wantKinds(t, got, []token.Kind{
+		token.IDENT, token.LPAREN, token.IDENT, token.COMMA,
+		token.IDENT, token.RPAREN, token.NEWLINE,
+		token.NEWLINE, token.EOF,
+	})
+}
+
+func TestOperators(t *testing.T) {
+	src := "a += 1\nb -= 2\nc *= 3\nd /= 4\ne == f != g <= h >= i < j > k\nl -> m\nn // o % p\n"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Kind{token.PLUSEQ, token.MINUSEQ, token.STAREQ, token.SLASHEQ,
+		token.EQ, token.NEQ, token.LTE, token.GTE, token.LT, token.GT,
+		token.ARROW, token.DSLASH, token.PERCENT}
+	var ops []token.Kind
+	for _, tk := range toks {
+		for _, w := range want {
+			if tk.Kind == w {
+				ops = append(ops, tk.Kind)
+			}
+		}
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("operators: got %v, want %v", ops, want)
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`s = "a\n\t\"b\"\\"` + "\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != token.STRING {
+		t.Fatalf("expected string, got %v", toks[2])
+	}
+	if toks[2].Lit != "a\n\t\"b\"\\" {
+		t.Fatalf("escape handling: got %q", toks[2].Lit)
+	}
+}
+
+func TestSingleQuoteString(t *testing.T) {
+	toks, err := Tokenize("s = 'hi'\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != token.STRING || toks[2].Lit != "hi" {
+		t.Fatalf("got %v", toks[2])
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Tokenize("s = \"abc\n"); err == nil {
+		t.Fatal("expected error for unterminated string")
+	}
+}
+
+func TestFloatLiteral(t *testing.T) {
+	toks, err := Tokenize("x = 1.5\ny = 10\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != token.FLOAT || toks[2].Lit != "1.5" {
+		t.Fatalf("float: got %v", toks[2])
+	}
+}
+
+func TestBadIndent(t *testing.T) {
+	src := "if a:\n    x = 1\n  y = 2\n"
+	if _, err := Tokenize(src); err == nil {
+		t.Fatal("expected indentation error")
+	} else if !strings.Contains(err.Error(), "unindent") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	src := "class def return if elif else for while in not and or True False None pass break continue self\n"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []token.Kind{token.KwClass, token.KwDef, token.KwReturn, token.KwIf,
+		token.KwElif, token.KwElse, token.KwFor, token.KwWhile, token.KwIn,
+		token.KwNot, token.KwAnd, token.KwOr, token.KwTrue, token.KwFalse,
+		token.KwNone, token.KwPass, token.KwBreak, token.KwContinue, token.KwSelf}
+	for i, w := range want {
+		if toks[i].Kind != w {
+			t.Fatalf("keyword %d: got %s want %s", i, toks[i].Kind, w)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("a = 1\nbb = 22\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("first token pos: %v", toks[0].Pos)
+	}
+	// bb on line 2 col 1
+	var bb token.Token
+	for _, tk := range toks {
+		if tk.Lit == "bb" {
+			bb = tk
+		}
+	}
+	if bb.Pos.Line != 2 || bb.Pos.Col != 1 {
+		t.Fatalf("bb pos: %v", bb.Pos)
+	}
+}
+
+func TestDecorator(t *testing.T) {
+	wantKinds(t, kinds(t, "@entity\nclass A:\n    pass\n"), []token.Kind{
+		token.AT, token.IDENT, token.NEWLINE,
+		token.KwClass, token.IDENT, token.COLON, token.NEWLINE,
+		token.INDENT, token.KwPass, token.NEWLINE,
+		token.NEWLINE, token.DEDENT, token.EOF,
+	})
+}
+
+func TestCRLF(t *testing.T) {
+	wantKinds(t, kinds(t, "x = 1\r\ny = 2\r\n"), []token.Kind{
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE,
+		token.IDENT, token.ASSIGN, token.INT, token.NEWLINE,
+		token.NEWLINE, token.EOF,
+	})
+}
+
+func TestUnderscoreInNumber(t *testing.T) {
+	toks, err := Tokenize("x = 1_000\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Lit != "1000" {
+		t.Fatalf("got %q", toks[2].Lit)
+	}
+}
+
+func TestLineContinuation(t *testing.T) {
+	wantKinds(t, kinds(t, "x = 1 + \\\n2\n"), []token.Kind{
+		token.IDENT, token.ASSIGN, token.INT, token.PLUS, token.INT, token.NEWLINE,
+		token.NEWLINE, token.EOF,
+	})
+}

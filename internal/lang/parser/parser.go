@@ -1,0 +1,732 @@
+// Package parser builds an AST from stateful-entity DSL source. It is a
+// hand-written recursive-descent parser over the indentation-aware token
+// stream produced by internal/lang/lexer.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"statefulentities.dev/stateflow/internal/lang/ast"
+	"statefulentities.dev/stateflow/internal/lang/lexer"
+	"statefulentities.dev/stateflow/internal/lang/token"
+)
+
+// Error is a syntax error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: syntax error: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+}
+
+// Parse parses a full module of class definitions.
+func Parse(src string) (*ast.Module, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	mod := &ast.Module{Position: token.Pos{Line: 1, Col: 1}}
+	p.skipNewlines()
+	for !p.at(token.EOF) {
+		cls, err := p.classDef()
+		if err != nil {
+			return nil, err
+		}
+		mod.Classes = append(mod.Classes, cls)
+		p.skipNewlines()
+	}
+	return mod, nil
+}
+
+func (p *parser) cur() token.Token     { return p.toks[p.pos] }
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if !p.at(k) {
+		return token.Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) skipNewlines() {
+	for p.at(token.NEWLINE) {
+		p.next()
+	}
+}
+
+// decorators parses zero or more "@name" lines.
+func (p *parser) decorators() ([]string, error) {
+	var decs []string
+	for p.at(token.AT) {
+		p.next()
+		id, err := p.expect(token.IDENT)
+		if err != nil {
+			return nil, err
+		}
+		decs = append(decs, id.Lit)
+		if _, err := p.expect(token.NEWLINE); err != nil {
+			return nil, err
+		}
+		p.skipNewlines()
+	}
+	return decs, nil
+}
+
+func (p *parser) classDef() (*ast.ClassDef, error) {
+	decs, err := p.decorators()
+	if err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(token.KwClass)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.NEWLINE); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.INDENT); err != nil {
+		return nil, err
+	}
+	cls := &ast.ClassDef{Position: kw.Pos, Decorators: decs, Name: name.Lit}
+	p.skipNewlines()
+	for !p.at(token.DEDENT) {
+		if p.at(token.KwPass) {
+			p.next()
+			if _, err := p.expect(token.NEWLINE); err != nil {
+				return nil, err
+			}
+			p.skipNewlines()
+			continue
+		}
+		fn, err := p.funcDef()
+		if err != nil {
+			return nil, err
+		}
+		cls.Methods = append(cls.Methods, fn)
+		p.skipNewlines()
+	}
+	p.next() // DEDENT
+	return cls, nil
+}
+
+func (p *parser) funcDef() (*ast.FuncDef, error) {
+	decs, err := p.decorators()
+	if err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(token.KwDef)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	fn := &ast.FuncDef{Position: kw.Pos, Decorators: decs, Name: name.Lit}
+	// Receiver: methods must declare self first.
+	if !p.at(token.KwSelf) {
+		return nil, p.errf("method %s must declare self as its first parameter", name.Lit)
+	}
+	p.next()
+	for p.at(token.COMMA) {
+		p.next()
+		prm, err := p.param()
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, prm)
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	if p.at(token.ARROW) {
+		p.next()
+		rt, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		fn.Returns = rt
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) param() (*ast.Param, error) {
+	id, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	prm := &ast.Param{Position: id.Pos, Name: id.Lit}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, fmt.Errorf("parameter %s requires a type hint (§2.2): %w", id.Lit, err)
+	}
+	t, err := p.typeExpr()
+	if err != nil {
+		return nil, err
+	}
+	prm.Type = t
+	return prm, nil
+}
+
+func (p *parser) typeExpr() (*ast.TypeExpr, error) {
+	var name token.Token
+	switch {
+	case p.at(token.IDENT):
+		name = p.next()
+	case p.at(token.KwNone):
+		name = p.next()
+		name.Lit = "None"
+	default:
+		return nil, p.errf("expected type name, found %s", p.cur())
+	}
+	te := &ast.TypeExpr{Position: name.Pos, Name: name.Lit}
+	if p.at(token.LBRACKET) {
+		p.next()
+		for {
+			arg, err := p.typeExpr()
+			if err != nil {
+				return nil, err
+			}
+			te.Args = append(te.Args, arg)
+			if !p.at(token.COMMA) {
+				break
+			}
+			p.next()
+		}
+		if _, err := p.expect(token.RBRACKET); err != nil {
+			return nil, err
+		}
+	}
+	return te, nil
+}
+
+// block parses NEWLINE INDENT stmt+ DEDENT.
+func (p *parser) block() ([]ast.Stmt, error) {
+	if _, err := p.expect(token.NEWLINE); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.INDENT); err != nil {
+		return nil, err
+	}
+	var stmts []ast.Stmt
+	p.skipNewlines()
+	for !p.at(token.DEDENT) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		p.skipNewlines()
+	}
+	p.next() // DEDENT
+	if len(stmts) == 0 {
+		return nil, p.errf("empty block")
+	}
+	return stmts, nil
+}
+
+func (p *parser) statement() (ast.Stmt, error) {
+	switch p.cur().Kind {
+	case token.KwIf:
+		return p.ifStmt()
+	case token.KwFor:
+		return p.forStmt()
+	case token.KwWhile:
+		return p.whileStmt()
+	default:
+		s, err := p.simpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.NEWLINE); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+func (p *parser) simpleStmt() (ast.Stmt, error) {
+	switch p.cur().Kind {
+	case token.KwPass:
+		t := p.next()
+		return &ast.PassStmt{Position: t.Pos}, nil
+	case token.KwBreak:
+		t := p.next()
+		return &ast.BreakStmt{Position: t.Pos}, nil
+	case token.KwContinue:
+		t := p.next()
+		return &ast.ContinueStmt{Position: t.Pos}, nil
+	case token.KwReturn:
+		t := p.next()
+		if p.at(token.NEWLINE) {
+			return &ast.ReturnStmt{Position: t.Pos}, nil
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.ReturnStmt{Position: t.Pos, Value: v}, nil
+	}
+	// Expression, assignment, or annotated assignment.
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.at(token.COLON): // annotated assignment: name: T = value
+		if err := checkAssignable(lhs); err != nil {
+			return nil, err
+		}
+		p.next()
+		ty, err := p.typeExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.ASSIGN); err != nil {
+			return nil, err
+		}
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{Position: lhs.Pos(), Target: lhs, Type: ty, Value: v}, nil
+	case p.at(token.ASSIGN):
+		if err := checkAssignable(lhs); err != nil {
+			return nil, err
+		}
+		p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AssignStmt{Position: lhs.Pos(), Target: lhs, Value: v}, nil
+	case p.cur().Kind.IsAugAssign():
+		if err := checkAssignable(lhs); err != nil {
+			return nil, err
+		}
+		op := p.next()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.AugAssignStmt{Position: lhs.Pos(), Target: lhs, Op: op.Kind.BinOpForAug(), Value: v}, nil
+	default:
+		return &ast.ExprStmt{Position: lhs.Pos(), Value: lhs}, nil
+	}
+}
+
+func checkAssignable(e ast.Expr) error {
+	switch t := e.(type) {
+	case *ast.Name:
+		return nil
+	case *ast.Attr:
+		if _, ok := t.Recv.(*ast.SelfRef); ok {
+			return nil
+		}
+		return &Error{Pos: e.Pos(), Msg: "only self attributes can be assigned"}
+	case *ast.Index:
+		return nil
+	default:
+		return &Error{Pos: e.Pos(), Msg: "invalid assignment target"}
+	}
+}
+
+func (p *parser) ifStmt() (ast.Stmt, error) {
+	kw := p.next() // if / elif
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	node := &ast.IfStmt{Position: kw.Pos, Cond: cond, Then: then}
+	switch p.cur().Kind {
+	case token.KwElif:
+		elifNode, err := p.ifStmt()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = []ast.Stmt{elifNode}
+	case token.KwElse:
+		p.next()
+		if _, err := p.expect(token.COLON); err != nil {
+			return nil, err
+		}
+		els, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		node.Else = els
+	}
+	return node, nil
+}
+
+func (p *parser) forStmt() (ast.Stmt, error) {
+	kw := p.next()
+	v, err := p.expect(token.IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwIn); err != nil {
+		return nil, err
+	}
+	iter, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.ForStmt{Position: kw.Pos, Var: v.Lit, Iterable: iter, Body: body}, nil
+}
+
+func (p *parser) whileStmt() (ast.Stmt, error) {
+	kw := p.next()
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.COLON); err != nil {
+		return nil, err
+	}
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.WhileStmt{Position: kw.Pos, Cond: cond, Body: body}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *parser) expr() (ast.Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (ast.Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.KwOr) {
+		op := p.next()
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Position: op.Pos, Op: token.KwOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (ast.Expr, error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.KwAnd) {
+		op := p.next()
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Position: op.Pos, Op: token.KwAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) notExpr() (ast.Expr, error) {
+	if p.at(token.KwNot) {
+		op := p.next()
+		operand, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryOp{Position: op.Pos, Op: token.KwNot, Operand: operand}, nil
+	}
+	return p.comparison()
+}
+
+func isCompareOp(k token.Kind) bool {
+	switch k {
+	case token.EQ, token.NEQ, token.LT, token.LTE, token.GT, token.GTE, token.KwIn:
+		return true
+	}
+	return false
+}
+
+func (p *parser) comparison() (ast.Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for isCompareOp(p.cur().Kind) {
+		op := p.next()
+		right, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Position: op.Pos, Op: op.Kind, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (ast.Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.PLUS) || p.at(token.MINUS) {
+		op := p.next()
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Position: op.Pos, Op: op.Kind, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) mulExpr() (ast.Expr, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.STAR) || p.at(token.SLASH) || p.at(token.DSLASH) || p.at(token.PERCENT) {
+		op := p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		left = &ast.BinOp{Position: op.Pos, Op: op.Kind, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unary() (ast.Expr, error) {
+	if p.at(token.MINUS) {
+		op := p.next()
+		operand, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.UnaryOp{Position: op.Pos, Op: token.MINUS, Operand: operand}, nil
+	}
+	return p.postfix()
+}
+
+// postfix parses a primary followed by call/attribute/index suffixes.
+func (p *parser) postfix() (ast.Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case token.DOT:
+			p.next()
+			field, err := p.expect(token.IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(token.LPAREN) { // method call
+				args, err := p.callArgs()
+				if err != nil {
+					return nil, err
+				}
+				e = &ast.Call{Position: field.Pos, Recv: e, Func: field.Lit, Args: args}
+			} else {
+				e = &ast.Attr{Position: field.Pos, Recv: e, Field: field.Lit}
+			}
+		case token.LBRACKET:
+			lb := p.next()
+			idx, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBRACKET); err != nil {
+				return nil, err
+			}
+			e = &ast.Index{Position: lb.Pos, Recv: e, Idx: idx}
+		case token.LPAREN:
+			// Direct call on a name: builtin (len, str, ...) or constructor.
+			name, ok := e.(*ast.Name)
+			if !ok {
+				return nil, p.errf("only named functions can be called directly")
+			}
+			args, err := p.callArgs()
+			if err != nil {
+				return nil, err
+			}
+			e = &ast.Call{Position: name.Position, Func: name.Ident, Args: args}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) callArgs() ([]ast.Expr, error) {
+	if _, err := p.expect(token.LPAREN); err != nil {
+		return nil, err
+	}
+	var args []ast.Expr
+	if !p.at(token.RPAREN) {
+		for {
+			a, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if !p.at(token.COMMA) {
+				break
+			}
+			p.next()
+		}
+	}
+	if _, err := p.expect(token.RPAREN); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) primary() (ast.Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case token.IDENT:
+		p.next()
+		return &ast.Name{Position: t.Pos, Ident: t.Lit}, nil
+	case token.KwSelf:
+		p.next()
+		return &ast.SelfRef{Position: t.Pos}, nil
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(t.Lit, 10, 64)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "invalid integer literal"}
+		}
+		return &ast.IntLit{Position: t.Pos, Value: v}, nil
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Lit, 64)
+		if err != nil {
+			return nil, &Error{Pos: t.Pos, Msg: "invalid float literal"}
+		}
+		return &ast.FloatLit{Position: t.Pos, Value: v}, nil
+	case token.STRING:
+		p.next()
+		return &ast.StrLit{Position: t.Pos, Value: t.Lit}, nil
+	case token.KwTrue:
+		p.next()
+		return &ast.BoolLit{Position: t.Pos, Value: true}, nil
+	case token.KwFalse:
+		p.next()
+		return &ast.BoolLit{Position: t.Pos, Value: false}, nil
+	case token.KwNone:
+		p.next()
+		return &ast.NoneLit{Position: t.Pos}, nil
+	case token.LPAREN:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case token.LBRACKET:
+		p.next()
+		lst := &ast.ListLit{Position: t.Pos}
+		if !p.at(token.RBRACKET) {
+			for {
+				el, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				lst.Elems = append(lst.Elems, el)
+				if !p.at(token.COMMA) {
+					break
+				}
+				p.next()
+			}
+		}
+		if _, err := p.expect(token.RBRACKET); err != nil {
+			return nil, err
+		}
+		return lst, nil
+	case token.LBRACE:
+		p.next()
+		d := &ast.DictLit{Position: t.Pos}
+		if !p.at(token.RBRACE) {
+			for {
+				k, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.COLON); err != nil {
+					return nil, err
+				}
+				v, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				d.Keys = append(d.Keys, k)
+				d.Values = append(d.Values, v)
+				if !p.at(token.COMMA) {
+					break
+				}
+				p.next()
+			}
+		}
+		if _, err := p.expect(token.RBRACE); err != nil {
+			return nil, err
+		}
+		return d, nil
+	default:
+		return nil, p.errf("unexpected token %s in expression", t)
+	}
+}

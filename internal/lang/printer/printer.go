@@ -1,0 +1,125 @@
+// Package printer renders DSL AST nodes back to source text. It is used by
+// the compiler CLI to show split-function listings, and by tests to assert
+// the shape of AST rewrites.
+package printer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"statefulentities.dev/stateflow/internal/lang/ast"
+	"statefulentities.dev/stateflow/internal/lang/token"
+)
+
+// Expr renders an expression as source text.
+func Expr(e ast.Expr) string {
+	switch x := e.(type) {
+	case nil:
+		return "None"
+	case *ast.Name:
+		return x.Ident
+	case *ast.SelfRef:
+		return "self"
+	case *ast.Attr:
+		return Expr(x.Recv) + "." + x.Field
+	case *ast.IntLit:
+		return strconv.FormatInt(x.Value, 10)
+	case *ast.FloatLit:
+		return strconv.FormatFloat(x.Value, 'g', -1, 64)
+	case *ast.StrLit:
+		return strconv.Quote(x.Value)
+	case *ast.BoolLit:
+		if x.Value {
+			return "True"
+		}
+		return "False"
+	case *ast.NoneLit:
+		return "None"
+	case *ast.ListLit:
+		parts := make([]string, len(x.Elems))
+		for i, el := range x.Elems {
+			parts[i] = Expr(el)
+		}
+		return "[" + strings.Join(parts, ", ") + "]"
+	case *ast.DictLit:
+		parts := make([]string, len(x.Keys))
+		for i := range x.Keys {
+			parts[i] = Expr(x.Keys[i]) + ": " + Expr(x.Values[i])
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case *ast.BinOp:
+		return fmt.Sprintf("(%s %s %s)", Expr(x.Left), opText(x.Op), Expr(x.Right))
+	case *ast.UnaryOp:
+		if x.Op == token.KwNot {
+			return "(not " + Expr(x.Operand) + ")"
+		}
+		return "(-" + Expr(x.Operand) + ")"
+	case *ast.Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = Expr(a)
+		}
+		if x.Recv == nil {
+			return fmt.Sprintf("%s(%s)", x.Func, strings.Join(args, ", "))
+		}
+		return fmt.Sprintf("%s.%s(%s)", Expr(x.Recv), x.Func, strings.Join(args, ", "))
+	case *ast.Index:
+		return Expr(x.Recv) + "[" + Expr(x.Idx) + "]"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+func opText(k token.Kind) string { return k.String() }
+
+// Stmts renders a statement list with the given indentation prefix.
+func Stmts(stmts []ast.Stmt, indent string) string {
+	var sb strings.Builder
+	for _, s := range stmts {
+		writeStmt(&sb, s, indent)
+	}
+	return sb.String()
+}
+
+func writeStmt(sb *strings.Builder, s ast.Stmt, indent string) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		if x.Type != nil {
+			fmt.Fprintf(sb, "%s%s: %s = %s\n", indent, Expr(x.Target), x.Type, Expr(x.Value))
+		} else {
+			fmt.Fprintf(sb, "%s%s = %s\n", indent, Expr(x.Target), Expr(x.Value))
+		}
+	case *ast.AugAssignStmt:
+		fmt.Fprintf(sb, "%s%s %s= %s\n", indent, Expr(x.Target), opText(x.Op), Expr(x.Value))
+	case *ast.ExprStmt:
+		fmt.Fprintf(sb, "%s%s\n", indent, Expr(x.Value))
+	case *ast.ReturnStmt:
+		if x.Value == nil {
+			fmt.Fprintf(sb, "%sreturn\n", indent)
+		} else {
+			fmt.Fprintf(sb, "%sreturn %s\n", indent, Expr(x.Value))
+		}
+	case *ast.IfStmt:
+		fmt.Fprintf(sb, "%sif %s:\n", indent, Expr(x.Cond))
+		sb.WriteString(Stmts(x.Then, indent+"    "))
+		if len(x.Else) > 0 {
+			fmt.Fprintf(sb, "%selse:\n", indent)
+			sb.WriteString(Stmts(x.Else, indent+"    "))
+		}
+	case *ast.ForStmt:
+		fmt.Fprintf(sb, "%sfor %s in %s:\n", indent, x.Var, Expr(x.Iterable))
+		sb.WriteString(Stmts(x.Body, indent+"    "))
+	case *ast.WhileStmt:
+		fmt.Fprintf(sb, "%swhile %s:\n", indent, Expr(x.Cond))
+		sb.WriteString(Stmts(x.Body, indent+"    "))
+	case *ast.PassStmt:
+		fmt.Fprintf(sb, "%spass\n", indent)
+	case *ast.BreakStmt:
+		fmt.Fprintf(sb, "%sbreak\n", indent)
+	case *ast.ContinueStmt:
+		fmt.Fprintf(sb, "%scontinue\n", indent)
+	default:
+		fmt.Fprintf(sb, "%s<%T>\n", indent, s)
+	}
+}

@@ -1,0 +1,159 @@
+// Package token defines the lexical tokens of the stateful-entity DSL, a
+// Python-like language subset accepted by the StateFlow compiler.
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds. Layout tokens (NEWLINE, INDENT, DEDENT) encode the
+// significant whitespace of the source language.
+const (
+	ILLEGAL Kind = iota
+	EOF
+	NEWLINE
+	INDENT
+	DEDENT
+
+	// Literals and identifiers.
+	IDENT  // username, buy_item
+	INT    // 123
+	FLOAT  // 1.5
+	STRING // "abc"
+
+	// Operators and delimiters.
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	DSLASH   // //
+	PERCENT  // %
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	LTE      // <=
+	GT       // >
+	GTE      // >=
+	ASSIGN   // =
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+	STAREQ   // *=
+	SLASHEQ  // /=
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	LBRACE   // {
+	RBRACE   // }
+	COMMA    // ,
+	COLON    // :
+	DOT      // .
+	ARROW    // ->
+	AT       // @
+
+	// Keywords.
+	KwClass
+	KwDef
+	KwReturn
+	KwIf
+	KwElif
+	KwElse
+	KwFor
+	KwWhile
+	KwIn
+	KwNot
+	KwAnd
+	KwOr
+	KwTrue
+	KwFalse
+	KwNone
+	KwPass
+	KwBreak
+	KwContinue
+	KwSelf
+)
+
+var kindNames = map[Kind]string{
+	ILLEGAL: "ILLEGAL", EOF: "EOF", NEWLINE: "NEWLINE", INDENT: "INDENT",
+	DEDENT: "DEDENT", IDENT: "IDENT", INT: "INT", FLOAT: "FLOAT",
+	STRING: "STRING", PLUS: "+", MINUS: "-", STAR: "*", SLASH: "/",
+	DSLASH: "//", PERCENT: "%", EQ: "==", NEQ: "!=", LT: "<", LTE: "<=",
+	GT: ">", GTE: ">=", ASSIGN: "=", PLUSEQ: "+=", MINUSEQ: "-=",
+	STAREQ: "*=", SLASHEQ: "/=", LPAREN: "(", RPAREN: ")", LBRACKET: "[",
+	RBRACKET: "]", LBRACE: "{", RBRACE: "}", COMMA: ",", COLON: ":",
+	DOT: ".", ARROW: "->", AT: "@",
+	KwClass: "class", KwDef: "def", KwReturn: "return", KwIf: "if",
+	KwElif: "elif", KwElse: "else", KwFor: "for", KwWhile: "while",
+	KwIn: "in", KwNot: "not", KwAnd: "and", KwOr: "or", KwTrue: "True",
+	KwFalse: "False", KwNone: "None", KwPass: "pass", KwBreak: "break",
+	KwContinue: "continue", KwSelf: "self",
+}
+
+// String returns a printable name for the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"class": KwClass, "def": KwDef, "return": KwReturn, "if": KwIf,
+	"elif": KwElif, "else": KwElse, "for": KwFor, "while": KwWhile,
+	"in": KwIn, "not": KwNot, "and": KwAnd, "or": KwOr, "True": KwTrue,
+	"False": KwFalse, "None": KwNone, "pass": KwPass, "break": KwBreak,
+	"continue": KwContinue, "self": KwSelf,
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a lexed token with its source text and position.
+type Token struct {
+	Kind Kind
+	Lit  string
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INT, FLOAT, STRING:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAugAssign reports whether the kind is an augmented assignment operator.
+func (k Kind) IsAugAssign() bool {
+	switch k {
+	case PLUSEQ, MINUSEQ, STAREQ, SLASHEQ:
+		return true
+	}
+	return false
+}
+
+// BinOpForAug returns the binary operator corresponding to an augmented
+// assignment (PLUSEQ -> PLUS). It panics on non-augmented kinds.
+func (k Kind) BinOpForAug() Kind {
+	switch k {
+	case PLUSEQ:
+		return PLUS
+	case MINUSEQ:
+		return MINUS
+	case STAREQ:
+		return STAR
+	case SLASHEQ:
+		return SLASH
+	}
+	panic("token: not an augmented assignment: " + k.String())
+}

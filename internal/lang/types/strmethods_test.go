@@ -1,0 +1,33 @@
+package types
+
+import "testing"
+
+func TestStrMethodsTyped(t *testing.T) {
+	mustCheck(t, header+`
+    def m(self) -> str:
+        a: str = "Ab Cd".upper()
+        b: str = a.lower()
+        return b.strip()
+`)
+}
+
+func TestStrMethodUnknown(t *testing.T) {
+	wantErr(t, header+`
+    def m(self) -> str:
+        return "x".frobnicate()
+`, "str has no method")
+}
+
+func TestStrMethodArity(t *testing.T) {
+	wantErr(t, header+`
+    def m(self) -> str:
+        return "x".upper(1)
+`, "takes no arguments")
+}
+
+func TestStrMethodOnAttr(t *testing.T) {
+	mustCheck(t, header+`
+    def m(self) -> str:
+        return self.k.upper()
+`)
+}

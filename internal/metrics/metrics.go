@@ -1,0 +1,202 @@
+// Package metrics provides latency recording with percentile queries and
+// the per-component time breakdown used by the paper's system-overhead
+// experiment (§4): for each event, the runtime attributes duration to
+// components such as routing, object construction, function execution,
+// state (de)serialization, queueing, and program-transformation overhead.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Series collects duration samples and answers percentile queries.
+type Series struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewSeries returns an empty series.
+func NewSeries() *Series { return &Series{} }
+
+// Add records one sample.
+func (s *Series) Add(d time.Duration) {
+	s.samples = append(s.samples, d)
+	s.sorted = false
+}
+
+// Count returns the number of samples.
+func (s *Series) Count() int { return len(s.samples) }
+
+func (s *Series) sortOnce() {
+	if !s.sorted {
+		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
+		s.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using
+// nearest-rank. It returns 0 for an empty series.
+func (s *Series) Percentile(p float64) time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sortOnce()
+	if p <= 0 {
+		return s.samples[0]
+	}
+	if p >= 100 {
+		return s.samples[len(s.samples)-1]
+	}
+	rank := int(p/100*float64(len(s.samples))+0.9999999) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s.samples) {
+		rank = len(s.samples) - 1
+	}
+	return s.samples[rank]
+}
+
+// Mean returns the arithmetic mean.
+func (s *Series) Mean() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range s.samples {
+		total += d
+	}
+	return total / time.Duration(len(s.samples))
+}
+
+// Min returns the smallest sample.
+func (s *Series) Min() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sortOnce()
+	return s.samples[0]
+}
+
+// Max returns the largest sample.
+func (s *Series) Max() time.Duration {
+	if len(s.samples) == 0 {
+		return 0
+	}
+	s.sortOnce()
+	return s.samples[len(s.samples)-1]
+}
+
+// Summary renders count/mean/p50/p99/max in one line.
+func (s *Series) Summary() string {
+	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
+		s.Count(), s.Mean().Round(time.Microsecond),
+		s.Percentile(50).Round(time.Microsecond),
+		s.Percentile(99).Round(time.Microsecond),
+		s.Max().Round(time.Microsecond))
+}
+
+// Breakdown accumulates time attributed to named runtime components (the
+// §4 overhead experiment). Attribution keys are free-form; the StateFlow
+// worker uses keys like "routing", "object_construction",
+// "function_execution", "state_serialization", "splitting_overhead".
+type Breakdown struct {
+	buckets map[string]time.Duration
+	counts  map[string]int
+}
+
+// NewBreakdown returns an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{buckets: map[string]time.Duration{}, counts: map[string]int{}}
+}
+
+// Add charges d to a component.
+func (b *Breakdown) Add(component string, d time.Duration) {
+	b.buckets[component] += d
+	b.counts[component]++
+}
+
+// Get returns the accumulated time for a component.
+func (b *Breakdown) Get(component string) time.Duration { return b.buckets[component] }
+
+// Total returns the sum over all components.
+func (b *Breakdown) Total() time.Duration {
+	var t time.Duration
+	for _, d := range b.buckets {
+		t += d
+	}
+	return t
+}
+
+// Fraction returns a component's share of the total (0 when empty).
+func (b *Breakdown) Fraction(component string) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.buckets[component]) / float64(t)
+}
+
+// Components lists component names sorted by accumulated time descending.
+func (b *Breakdown) Components() []string {
+	out := make([]string, 0, len(b.buckets))
+	for k := range b.buckets {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if b.buckets[out[i]] != b.buckets[out[j]] {
+			return b.buckets[out[i]] > b.buckets[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Table renders the breakdown as aligned rows of component, total time and
+// percentage — the table shape of the §4 overhead experiment.
+func (b *Breakdown) Table() string {
+	var sb strings.Builder
+	total := b.Total()
+	fmt.Fprintf(&sb, "%-28s %14s %8s\n", "component", "time", "share")
+	for _, c := range b.Components() {
+		fmt.Fprintf(&sb, "%-28s %14s %7.2f%%\n",
+			c, b.buckets[c].Round(time.Microsecond), 100*b.Fraction(c))
+	}
+	fmt.Fprintf(&sb, "%-28s %14s %8s\n", "total", total.Round(time.Microsecond), "100.00%")
+	return sb.String()
+}
+
+// Merge adds another breakdown into this one.
+func (b *Breakdown) Merge(o *Breakdown) {
+	for k, d := range o.buckets {
+		b.buckets[k] += d
+		b.counts[k] += o.counts[k]
+	}
+}
+
+// Counter is a simple monotonically increasing named counter set.
+type Counter struct {
+	counts map[string]int64
+}
+
+// NewCounter returns an empty counter set.
+func NewCounter() *Counter { return &Counter{counts: map[string]int64{}} }
+
+// Inc adds n to a named counter.
+func (c *Counter) Inc(name string, n int64) { c.counts[name] += n }
+
+// Get reads a counter.
+func (c *Counter) Get(name string) int64 { return c.counts[name] }
+
+// Names lists counter names sorted.
+func (c *Counter) Names() []string {
+	out := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,244 @@
+// Package queue implements the replayable partitioned log that stands in
+// for Apache Kafka: topics are split into partitions, each partition is an
+// append-only record log addressed by offset, and consumers track offsets
+// so any suffix can be replayed. The StateFun-model runtime uses it for
+// ingress/egress and for function chaining (§3: "we use Kafka to re-insert
+// an event to the streaming dataflow"); the StateFlow runtime uses it as
+// the replayable source its snapshot protocol rolls back to.
+package queue
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Record is one log entry.
+type Record struct {
+	Offset  int64
+	Key     string
+	Payload any
+}
+
+// Partition is an append-only record log.
+type Partition struct {
+	records []Record
+}
+
+// Append adds a record and returns its offset.
+func (p *Partition) Append(key string, payload any) int64 {
+	off := int64(len(p.records))
+	p.records = append(p.records, Record{Offset: off, Key: key, Payload: payload})
+	return off
+}
+
+// Read returns the record at offset, or ok=false past the end.
+func (p *Partition) Read(offset int64) (Record, bool) {
+	if offset < 0 || offset >= int64(len(p.records)) {
+		return Record{}, false
+	}
+	return p.records[offset], true
+}
+
+// End returns the next offset to be written.
+func (p *Partition) End() int64 { return int64(len(p.records)) }
+
+// Topic is a named set of partitions.
+type Topic struct {
+	Name       string
+	Partitions []*Partition
+}
+
+// PartitionFor routes a key to a partition by stable hash.
+func (t *Topic) PartitionFor(key string) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(t.Partitions)))
+}
+
+// Log is an in-memory multi-topic broker store. It is safe for concurrent
+// use so both the simulator (single-threaded) and live tests can share it.
+type Log struct {
+	mu     sync.Mutex
+	topics map[string]*Topic
+}
+
+// NewLog builds an empty log.
+func NewLog() *Log {
+	return &Log{topics: map[string]*Topic{}}
+}
+
+// CreateTopic declares a topic with the given partition count. Declaring
+// an existing topic is an error.
+func (l *Log) CreateTopic(name string, partitions int) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if partitions <= 0 {
+		return fmt.Errorf("queue: topic %s needs at least one partition", name)
+	}
+	if _, dup := l.topics[name]; dup {
+		return fmt.Errorf("queue: topic %s already exists", name)
+	}
+	t := &Topic{Name: name}
+	for i := 0; i < partitions; i++ {
+		t.Partitions = append(t.Partitions, &Partition{})
+	}
+	l.topics[name] = t
+	return nil
+}
+
+// Topic fetches a topic.
+func (l *Log) Topic(name string) (*Topic, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.topics[name]
+	if !ok {
+		return nil, fmt.Errorf("queue: unknown topic %s", name)
+	}
+	return t, nil
+}
+
+// Topics lists topic names sorted.
+func (l *Log) Topics() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.topics))
+	for n := range l.topics {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Produce appends to the partition selected by key hash and returns
+// (partition, offset).
+func (l *Log) Produce(topic, key string, payload any) (int, int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.topics[topic]
+	if !ok {
+		return 0, 0, fmt.Errorf("queue: unknown topic %s", topic)
+	}
+	p := t.PartitionFor(key)
+	off := t.Partitions[p].Append(key, payload)
+	return p, off, nil
+}
+
+// ProduceTo appends to an explicit partition.
+func (l *Log) ProduceTo(topic string, partition int, key string, payload any) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.topics[topic]
+	if !ok {
+		return 0, fmt.Errorf("queue: unknown topic %s", topic)
+	}
+	if partition < 0 || partition >= len(t.Partitions) {
+		return 0, fmt.Errorf("queue: topic %s has no partition %d", topic, partition)
+	}
+	return t.Partitions[partition].Append(key, payload), nil
+}
+
+// Fetch reads one record from a topic partition at the given offset.
+func (l *Log) Fetch(topic string, partition int, offset int64) (Record, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.topics[topic]
+	if !ok {
+		return Record{}, false, fmt.Errorf("queue: unknown topic %s", topic)
+	}
+	if partition < 0 || partition >= len(t.Partitions) {
+		return Record{}, false, fmt.Errorf("queue: topic %s has no partition %d", topic, partition)
+	}
+	rec, ok := t.Partitions[partition].Read(offset)
+	return rec, ok, nil
+}
+
+// End returns the end offset of a topic partition.
+func (l *Log) End(topic string, partition int) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.topics[topic]
+	if !ok {
+		return 0, fmt.Errorf("queue: unknown topic %s", topic)
+	}
+	if partition < 0 || partition >= len(t.Partitions) {
+		return 0, fmt.Errorf("queue: topic %s has no partition %d", topic, partition)
+	}
+	return t.Partitions[partition].End(), nil
+}
+
+// PartitionCount returns the number of partitions of a topic.
+func (l *Log) PartitionCount(topic string) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	t, ok := l.topics[topic]
+	if !ok {
+		return 0, fmt.Errorf("queue: unknown topic %s", topic)
+	}
+	return len(t.Partitions), nil
+}
+
+// Group tracks per-partition consumer offsets, like a Kafka consumer
+// group. Offsets only move via Commit, so a consumer can re-read (replay)
+// any suffix after a failure.
+type Group struct {
+	mu      sync.Mutex
+	offsets map[string][]int64 // topic -> per-partition next offset
+}
+
+// NewGroup builds an empty consumer group.
+func NewGroup() *Group {
+	return &Group{offsets: map[string][]int64{}}
+}
+
+// Subscribe initializes offsets for a topic.
+func (g *Group) Subscribe(topic string, partitions int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.offsets[topic]; !ok {
+		g.offsets[topic] = make([]int64, partitions)
+	}
+}
+
+// Position returns the next offset to consume.
+func (g *Group) Position(topic string, partition int) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	offs, ok := g.offsets[topic]
+	if !ok || partition >= len(offs) {
+		return 0
+	}
+	return offs[partition]
+}
+
+// Commit advances the consumed position.
+func (g *Group) Commit(topic string, partition int, next int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if offs, ok := g.offsets[topic]; ok && partition < len(offs) {
+		offs[partition] = next
+	}
+}
+
+// Snapshot copies all offsets (stored inside state snapshots so recovery
+// knows where to replay from).
+func (g *Group) Snapshot() map[string][]int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string][]int64, len(g.offsets))
+	for t, offs := range g.offsets {
+		out[t] = append([]int64(nil), offs...)
+	}
+	return out
+}
+
+// Restore resets offsets from a snapshot.
+func (g *Group) Restore(snap map[string][]int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.offsets = map[string][]int64{}
+	for t, offs := range snap {
+		g.offsets[t] = append([]int64(nil), offs...)
+	}
+}

@@ -1,0 +1,250 @@
+// Package live executes a compiled program on a real concurrent runtime:
+// worker goroutines own hash partitions of every operator's state and
+// exchange dataflow events over channels — the in-process analogue of the
+// distributed deployment, complementing the deterministic simulator with
+// true parallel execution.
+//
+// Semantics match the StateFun-model baseline (§3): each partition
+// processes its mailbox serially, so single-entity operations are
+// linearizable per key, while cross-entity chains interleave without
+// transactional isolation. (The Aria-transactional variant lives on the
+// simulated StateFlow runtime, where the protocol is deterministic and
+// fully testable; the live runtime demonstrates that the same IR drives a
+// genuinely concurrent system.)
+package live
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/state"
+)
+
+// Config parameterizes the live runtime.
+type Config struct {
+	// Workers is the number of partition-owning goroutines (default 4).
+	Workers int
+	// MailboxDepth is the per-worker channel capacity (default 1024).
+	MailboxDepth int
+}
+
+// Runtime is a running live deployment. Close it when done.
+type Runtime struct {
+	prog    *ir.Program
+	ex      *core.Executor
+	workers []*worker
+	pending sync.Map // req id -> chan result
+	nextReq atomic.Int64
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+}
+
+type result struct {
+	value interp.Value
+	err   string
+}
+
+// probe asks a worker for a copy of one entity's state.
+type probe struct {
+	ref   interp.EntityRef
+	reply chan interp.MapState // receives nil when the entity is missing
+}
+
+type worker struct {
+	rt    *Runtime
+	idx   int
+	inbox chan any // *core.Event or probe
+	// store is only touched by this worker's goroutine.
+	store *state.Store
+	// processed counts handled events (observability).
+	processed atomic.Int64
+}
+
+// New starts a live runtime for a compiled program.
+func New(prog *ir.Program, cfg Config) *Runtime {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.MailboxDepth <= 0 {
+		cfg.MailboxDepth = 1024
+	}
+	rt := &Runtime{prog: prog, ex: core.NewExecutor(prog)}
+	for i := 0; i < cfg.Workers; i++ {
+		w := &worker{
+			rt:    rt,
+			idx:   i,
+			inbox: make(chan any, cfg.MailboxDepth),
+			store: state.NewStore(),
+		}
+		rt.workers = append(rt.workers, w)
+		rt.wg.Add(1)
+		go w.run()
+	}
+	return rt
+}
+
+// Close stops all workers and waits for them to drain. In-flight chains
+// whose next hop races the shutdown are dropped; callers should quiesce
+// first.
+func (rt *Runtime) Close() {
+	if rt.closed.Swap(true) {
+		return
+	}
+	for _, w := range rt.workers {
+		close(w.inbox)
+	}
+	rt.wg.Wait()
+}
+
+// Workers returns the number of partitions.
+func (rt *Runtime) Workers() int { return len(rt.workers) }
+
+// Processed returns the total number of handled events.
+func (rt *Runtime) Processed() int64 {
+	var total int64
+	for _, w := range rt.workers {
+		total += w.processed.Load()
+	}
+	return total
+}
+
+func (rt *Runtime) ownerOf(ref interp.EntityRef) *worker {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(ref.Class))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(ref.Key))
+	return rt.workers[int(h.Sum32()%uint32(len(rt.workers)))]
+}
+
+// send routes an event to its target partition, tolerating shutdown races.
+func (rt *Runtime) send(ev *core.Event) {
+	if rt.closed.Load() {
+		return
+	}
+	defer func() {
+		// A worker inbox may close between the check and the send during
+		// shutdown; dropping the event is acceptable there.
+		_ = recover()
+	}()
+	rt.ownerOf(ev.Target).inbox <- ev
+}
+
+// Invoke calls a method and blocks until the chain completes. The second
+// return is the application-level error string (empty on success).
+func (rt *Runtime) Invoke(class, key, method string, args ...interp.Value) (interp.Value, string, error) {
+	if rt.closed.Load() {
+		return interp.None, "", fmt.Errorf("live: runtime closed")
+	}
+	id := fmt.Sprintf("live-%d", rt.nextReq.Add(1))
+	ch := make(chan result, 1)
+	rt.pending.Store(id, ch)
+	defer rt.pending.Delete(id)
+	rt.send(&core.Event{
+		Kind:   core.EvInvoke,
+		Req:    id,
+		Target: interp.EntityRef{Class: class, Key: key},
+		Method: method,
+		Args:   args,
+	})
+	res := <-ch
+	return res.value, res.err, nil
+}
+
+// Create instantiates an entity and blocks until done.
+func (rt *Runtime) Create(class string, args ...interp.Value) (interp.EntityRef, error) {
+	key, err := rt.ex.KeyForCtor(class, args)
+	if err != nil {
+		return interp.EntityRef{}, err
+	}
+	v, errStr, err := rt.Invoke(class, key, "__init__", args...)
+	if err != nil {
+		return interp.EntityRef{}, err
+	}
+	if errStr != "" {
+		return interp.EntityRef{}, fmt.Errorf("%s", errStr)
+	}
+	return v.R, nil
+}
+
+// EntityState reads a copy of one entity's attributes, served from the
+// owning worker's goroutine so no lock is needed on the store.
+func (rt *Runtime) EntityState(class, key string) (interp.MapState, bool) {
+	if rt.closed.Load() {
+		return nil, false
+	}
+	ref := interp.EntityRef{Class: class, Key: key}
+	reply := make(chan interp.MapState, 1)
+	func() {
+		defer func() { _ = recover() }()
+		rt.ownerOf(ref).inbox <- probe{ref: ref, reply: reply}
+	}()
+	st, ok := <-reply
+	if !ok || st == nil {
+		return nil, false
+	}
+	return st, true
+}
+
+// run is the worker goroutine: serial execution over its partition.
+func (w *worker) run() {
+	defer w.rt.wg.Done()
+	for msg := range w.inbox {
+		switch m := msg.(type) {
+		case probe:
+			if st, ok := w.store.Lookup(m.ref); ok {
+				cp := interp.MapState{}
+				for k, v := range st {
+					cp[k] = v.Clone()
+				}
+				m.reply <- cp
+			} else {
+				m.reply <- nil
+			}
+			close(m.reply)
+		case *core.Event:
+			w.processed.Add(1)
+			out, err := w.rt.ex.Step(m, liveStore{w.store})
+			if err != nil {
+				w.deliver(&core.Event{Kind: core.EvResponse, Req: m.Req, Err: err.Error()})
+				continue
+			}
+			for _, ev := range out {
+				w.deliver(ev)
+			}
+		}
+	}
+}
+
+// deliver routes a produced event: responses complete pending requests,
+// everything else hops to the owning partition.
+func (w *worker) deliver(ev *core.Event) {
+	if ev.Kind == core.EvResponse {
+		if ch, ok := w.rt.pending.Load(ev.Req); ok {
+			ch.(chan result) <- result{value: ev.Value, err: ev.Err}
+		}
+		return
+	}
+	w.rt.send(ev)
+}
+
+// liveStore adapts state.Store to core.Store.
+type liveStore struct{ s *state.Store }
+
+// Lookup implements core.Store.
+func (l liveStore) Lookup(ref interp.EntityRef) (interp.State, bool) {
+	st, ok := l.s.Lookup(ref)
+	if !ok {
+		return nil, false
+	}
+	return st, true
+}
+
+// Create implements core.Store.
+func (l liveStore) Create(ref interp.EntityRef) (interp.State, error) {
+	return l.s.Create(ref)
+}

@@ -1,0 +1,157 @@
+// Package local implements the paper's Local runtime (§3): the complete
+// dataflow graph executes in-process with entity state held in HashMap
+// data structures. It gives developers a way to debug, unit-test and
+// validate a StateFlow program before deploying it to a distributed
+// runtime; the examples and the test suite use it as the semantic
+// reference implementation.
+package local
+
+import (
+	"fmt"
+	"sort"
+
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
+)
+
+// Runtime executes a compiled program synchronously.
+type Runtime struct {
+	ex     *core.Executor
+	states map[interp.EntityRef]interp.MapState
+	nextID int
+}
+
+// New builds a local runtime for a program.
+func New(prog *ir.Program) *Runtime {
+	return &Runtime{
+		ex:     core.NewExecutor(prog),
+		states: map[interp.EntityRef]interp.MapState{},
+	}
+}
+
+// Program returns the compiled program.
+func (r *Runtime) Program() *ir.Program { return r.ex.Program() }
+
+type store struct{ r *Runtime }
+
+// Lookup implements core.Store.
+func (s store) Lookup(ref interp.EntityRef) (interp.State, bool) {
+	st, ok := s.r.states[ref]
+	return st, ok
+}
+
+// Create implements core.Store.
+func (s store) Create(ref interp.EntityRef) (interp.State, error) {
+	if _, exists := s.r.states[ref]; exists {
+		return nil, fmt.Errorf("entity %s already exists", ref)
+	}
+	st := interp.MapState{}
+	s.r.states[ref] = st
+	return st, nil
+}
+
+// Result is the outcome of a root invocation.
+type Result struct {
+	Value interp.Value
+	Err   string
+	// Hops is the number of operator-to-operator event transfers the call
+	// chain needed (0 for a simple single-entity call).
+	Hops int
+}
+
+// Invoke calls a method on an existing entity and drives the dataflow to
+// completion.
+func (r *Runtime) Invoke(class, key, method string, args ...interp.Value) (Result, error) {
+	r.nextID++
+	ev := &core.Event{
+		Kind:   core.EvInvoke,
+		Req:    fmt.Sprintf("req-%d", r.nextID),
+		Target: interp.EntityRef{Class: class, Key: key},
+		Method: method,
+		Args:   args,
+	}
+	return r.drive(ev)
+}
+
+// Create instantiates a new entity via its constructor and returns its
+// reference.
+func (r *Runtime) Create(class string, args ...interp.Value) (interp.EntityRef, error) {
+	key, err := r.ex.KeyForCtor(class, args)
+	if err != nil {
+		return interp.EntityRef{}, err
+	}
+	r.nextID++
+	ev := &core.Event{
+		Kind:   core.EvInvoke,
+		Req:    fmt.Sprintf("req-%d", r.nextID),
+		Target: interp.EntityRef{Class: class, Key: key},
+		Method: "__init__",
+		Args:   args,
+	}
+	res, err := r.drive(ev)
+	if err != nil {
+		return interp.EntityRef{}, err
+	}
+	if res.Err != "" {
+		return interp.EntityRef{}, fmt.Errorf("%s", res.Err)
+	}
+	return res.Value.R, nil
+}
+
+// drive processes the event queue until the root response appears.
+func (r *Runtime) drive(ev *core.Event) (Result, error) {
+	queue := []*core.Event{ev}
+	for steps := 0; len(queue) > 0; steps++ {
+		if steps > 1_000_000 {
+			return Result{}, fmt.Errorf("local: event loop exceeded step bound")
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.Kind == core.EvResponse {
+			return Result{Value: cur.Value, Err: cur.Err, Hops: cur.Hops}, nil
+		}
+		out, err := r.ex.Step(cur, store{r})
+		if err != nil {
+			return Result{}, err
+		}
+		queue = append(queue, out...)
+	}
+	return Result{}, fmt.Errorf("local: dataflow drained without a response")
+}
+
+// State returns a copy of an entity's attribute map, for assertions.
+func (r *Runtime) State(class, key string) (interp.MapState, bool) {
+	st, ok := r.states[interp.EntityRef{Class: class, Key: key}]
+	if !ok {
+		return nil, false
+	}
+	out := interp.MapState{}
+	for k, v := range st {
+		out[k] = v.Clone()
+	}
+	return out, true
+}
+
+// SetState installs entity state directly (used by workload preloading).
+func (r *Runtime) SetState(class, key string, st interp.MapState) {
+	r.states[interp.EntityRef{Class: class, Key: key}] = st
+}
+
+// Exists reports whether an entity has state.
+func (r *Runtime) Exists(class, key string) bool {
+	_, ok := r.states[interp.EntityRef{Class: class, Key: key}]
+	return ok
+}
+
+// Keys lists the keys of all entities of a class, sorted.
+func (r *Runtime) Keys(class string) []string {
+	var out []string
+	for ref := range r.states {
+		if ref.Class == class {
+			out = append(out, ref.Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,295 @@
+// Package sim is a deterministic discrete-event cluster simulator: the
+// execution substrate that stands in for the paper's 14-CPU testbed (§4).
+// Components (routers, workers, brokers, coordinators, clients) exchange
+// messages with configurable link latencies, and every component is a
+// serial processor: message handling consumes simulated CPU time, so
+// overload produces queueing delay exactly like a real node (this is what
+// makes the Figure-4 latency/throughput knee emerge rather than being
+// hard-coded).
+//
+// Determinism: events are ordered by (time, sequence number) and all
+// randomness flows from one seeded source, so every simulation run is
+// exactly reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Message is an opaque payload delivered to a component.
+type Message any
+
+// Handler reacts to messages. Implementations must only interact with the
+// cluster through the Context passed in.
+type Handler interface {
+	// OnMessage handles one message. CPU cost is charged via ctx.Work.
+	OnMessage(ctx *Context, from string, msg Message)
+}
+
+// StartHandler is implemented by components that act when the simulation
+// starts (e.g. sources that schedule their first arrival).
+type StartHandler interface {
+	OnStart(ctx *Context)
+}
+
+type component struct {
+	id        string
+	h         Handler
+	busyUntil time.Duration
+	crashed   bool
+	inbox     int // messages queued or in flight to this component
+}
+
+type event struct {
+	at   time.Duration
+	seq  uint64
+	to   string
+	from string
+	msg  Message
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Cluster is a simulated deployment.
+type Cluster struct {
+	comps map[string]*component
+	order []string
+	queue eventHeap
+	seq   uint64
+	now   time.Duration
+	rng   *rand.Rand
+	// Delivered counts total messages delivered, as a sanity metric.
+	Delivered uint64
+}
+
+// New builds an empty cluster with a deterministic seed.
+func New(seed int64) *Cluster {
+	return &Cluster{
+		comps: map[string]*component{},
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add registers a component under an id. Adding a duplicate id panics: the
+// topology is static and built by trusted code.
+func (c *Cluster) Add(id string, h Handler) {
+	if _, dup := c.comps[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate component %s", id))
+	}
+	c.comps[id] = &component{id: id, h: h}
+	c.order = append(c.order, id)
+}
+
+// Component returns the handler registered under id, or nil.
+func (c *Cluster) Component(id string) Handler {
+	if comp, ok := c.comps[id]; ok {
+		return comp.h
+	}
+	return nil
+}
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return c.now }
+
+// Rand exposes the cluster's deterministic randomness source.
+func (c *Cluster) Rand() *rand.Rand { return c.rng }
+
+// Crash marks a component crashed: it silently drops every message until
+// Restart. Used for failure-injection experiments.
+func (c *Cluster) Crash(id string) {
+	if comp, ok := c.comps[id]; ok {
+		comp.crashed = true
+	}
+}
+
+// Restart clears the crashed flag; the component's handler decides how to
+// recover (e.g. reload a snapshot) when the next message arrives.
+func (c *Cluster) Restart(id string) {
+	if comp, ok := c.comps[id]; ok {
+		comp.crashed = false
+		comp.busyUntil = c.now
+	}
+}
+
+// IsCrashed reports crash status.
+func (c *Cluster) IsCrashed(id string) bool {
+	comp, ok := c.comps[id]
+	return ok && comp.crashed
+}
+
+func (c *Cluster) push(at time.Duration, from, to string, msg Message) {
+	c.seq++
+	heap.Push(&c.queue, &event{at: at, seq: c.seq, to: to, from: from, msg: msg})
+}
+
+// Inject schedules a message delivery from outside the simulation (e.g. a
+// test or an interactive driver acting as an external client).
+func (c *Cluster) Inject(at time.Duration, from, to string, msg Message) {
+	if at < c.now {
+		at = c.now
+	}
+	c.push(at, from, to, msg)
+}
+
+// Start invokes OnStart on every component (in registration order) at the
+// current virtual time.
+func (c *Cluster) Start() {
+	for _, id := range c.order {
+		comp := c.comps[id]
+		if sh, ok := comp.h.(StartHandler); ok {
+			ctx := &Context{cluster: c, self: id, effective: c.now}
+			sh.OnStart(ctx)
+			ctx.flush()
+		}
+	}
+}
+
+// RunUntil processes events in time order until the queue drains or the
+// horizon passes. It returns the number of events processed.
+func (c *Cluster) RunUntil(horizon time.Duration) int {
+	n := 0
+	for len(c.queue) > 0 {
+		ev := c.queue[0]
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&c.queue)
+		c.now = ev.at
+		n++
+		comp, ok := c.comps[ev.to]
+		if !ok {
+			continue // component removed; drop
+		}
+		if comp.crashed {
+			continue // lost message
+		}
+		// Serial processor: handling begins when the component is free.
+		start := ev.at
+		if comp.busyUntil > start {
+			start = comp.busyUntil
+		}
+		ctx := &Context{cluster: c, self: ev.to, effective: start}
+		comp.h.OnMessage(ctx, ev.from, ev.msg)
+		comp.busyUntil = ctx.effective
+		ctx.flush()
+		c.Delivered++
+	}
+	// Advance the clock to the horizon even when the next event lies
+	// beyond it, so callers stepping in fixed increments make progress.
+	if c.now < horizon {
+		c.now = horizon
+	}
+	return n
+}
+
+// Drain runs until no events remain (no horizon). It guards against
+// runaway simulations with a generous event bound.
+func (c *Cluster) Drain(maxEvents int) error {
+	n := 0
+	for len(c.queue) > 0 {
+		if n >= maxEvents {
+			return fmt.Errorf("sim: drain exceeded %d events", maxEvents)
+		}
+		ev := c.queue[0]
+		n += c.RunUntil(ev.at)
+	}
+	return nil
+}
+
+// Pending reports queued events (for tests).
+func (c *Cluster) Pending() int { return len(c.queue) }
+
+// Components lists component ids sorted.
+func (c *Cluster) Components() []string {
+	out := append([]string(nil), c.order...)
+	sort.Strings(out)
+	return out
+}
+
+// Context is the capability handed to a component while it processes one
+// message.
+type Context struct {
+	cluster   *Cluster
+	self      string
+	effective time.Duration // current time including consumed CPU
+	outbox    []*event
+}
+
+// Self returns the component's own id.
+func (ctx *Context) Self() string { return ctx.self }
+
+// Now returns the component-local current time: the message arrival time
+// plus any CPU already consumed while handling it.
+func (ctx *Context) Now() time.Duration { return ctx.effective }
+
+// Rand returns the cluster's deterministic randomness source.
+func (ctx *Context) Rand() *rand.Rand { return ctx.cluster.rng }
+
+// Work charges d of CPU time to this component: subsequent sends happen
+// later, and the component stays busy (queueing later messages) until all
+// charged work completes.
+func (ctx *Context) Work(d time.Duration) {
+	if d > 0 {
+		ctx.effective += d
+	}
+}
+
+// Send delivers msg to another component after the given link latency,
+// measured from the current effective time.
+func (ctx *Context) Send(to string, msg Message, latency time.Duration) {
+	ctx.outbox = append(ctx.outbox, &event{
+		at: ctx.effective + latency, to: to, from: ctx.self, msg: msg,
+	})
+}
+
+// After schedules a message to self (a timer).
+func (ctx *Context) After(d time.Duration, msg Message) {
+	ctx.Send(ctx.self, msg, d)
+}
+
+// flush moves buffered sends into the cluster queue. Deferred so a
+// handler's sends all reflect its final effective time ordering.
+func (ctx *Context) flush() {
+	for _, e := range ctx.outbox {
+		ctx.cluster.seq++
+		e.seq = ctx.cluster.seq
+		heap.Push(&ctx.cluster.queue, e)
+	}
+	ctx.outbox = nil
+}
+
+// Latency is a randomized link-latency model: base plus uniform jitter.
+type Latency struct {
+	Base   time.Duration
+	Jitter time.Duration // uniform in [0, Jitter)
+}
+
+// Sample draws one latency value.
+func (l Latency) Sample(rng *rand.Rand) time.Duration {
+	if l.Jitter <= 0 {
+		return l.Base
+	}
+	return l.Base + time.Duration(rng.Int63n(int64(l.Jitter)))
+}

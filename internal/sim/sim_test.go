@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// echo replies to every ping after a fixed latency, charging CPU.
+type echo struct {
+	cpu      time.Duration
+	latency  time.Duration
+	received []time.Duration
+}
+
+type ping struct{ n int }
+type pong struct{ n int }
+
+func (e *echo) OnMessage(ctx *Context, from string, msg Message) {
+	switch m := msg.(type) {
+	case ping:
+		e.received = append(e.received, ctx.Now())
+		ctx.Work(e.cpu)
+		ctx.Send(from, pong{n: m.n}, e.latency)
+	}
+}
+
+// probe sends pings on start and records pong arrival times.
+type probe struct {
+	sendAt []time.Duration
+	pongs  map[int]time.Duration
+}
+
+func (p *probe) OnStart(ctx *Context) {
+	for i, at := range p.sendAt {
+		ctx.After(at, ping{n: i}) // timer to self, then forwarded
+	}
+}
+
+func (p *probe) OnMessage(ctx *Context, from string, msg Message) {
+	switch m := msg.(type) {
+	case ping:
+		ctx.Send("echo", m, time.Millisecond)
+	case pong:
+		p.pongs[m.n] = ctx.Now()
+	}
+}
+
+func TestPingPongLatency(t *testing.T) {
+	c := New(1)
+	e := &echo{latency: 2 * time.Millisecond}
+	p := &probe{sendAt: []time.Duration{0}, pongs: map[int]time.Duration{}}
+	c.Add("echo", e)
+	c.Add("probe", p)
+	c.Start()
+	c.RunUntil(time.Second)
+	got, ok := p.pongs[0]
+	if !ok {
+		t.Fatal("no pong")
+	}
+	// 0 (timer) + 1ms (to echo) + 2ms (back).
+	if got != 3*time.Millisecond {
+		t.Fatalf("pong at %s, want 3ms", got)
+	}
+}
+
+func TestSerialProcessorQueueing(t *testing.T) {
+	// Echo takes 10ms CPU per ping; three pings arriving together must be
+	// served back to back: pongs at 12, 22, 32ms.
+	c := New(1)
+	e := &echo{cpu: 10 * time.Millisecond, latency: time.Millisecond}
+	p := &probe{sendAt: []time.Duration{0, 0, 0}, pongs: map[int]time.Duration{}}
+	c.Add("echo", e)
+	c.Add("probe", p)
+	c.Start()
+	c.RunUntil(time.Second)
+	if len(p.pongs) != 3 {
+		t.Fatalf("pongs: %d", len(p.pongs))
+	}
+	var times []time.Duration
+	for i := 0; i < 3; i++ {
+		times = append(times, p.pongs[i])
+	}
+	want := []time.Duration{12 * time.Millisecond, 22 * time.Millisecond, 32 * time.Millisecond}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("pong %d at %s, want %s (all %v)", i, times[i], want[i], times)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []time.Duration {
+		c := New(99)
+		e := &echo{cpu: time.Millisecond, latency: Latency{Base: time.Millisecond, Jitter: 5 * time.Millisecond}.Sample(c.Rand())}
+		p := &probe{sendAt: []time.Duration{0, time.Millisecond, 2 * time.Millisecond}, pongs: map[int]time.Duration{}}
+		c.Add("echo", e)
+		c.Add("probe", p)
+		c.Start()
+		c.RunUntil(time.Second)
+		out := make([]time.Duration, 3)
+		for i := 0; i < 3; i++ {
+			out[i] = p.pongs[i]
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCrashDropsMessages(t *testing.T) {
+	c := New(1)
+	e := &echo{latency: time.Millisecond}
+	p := &probe{sendAt: []time.Duration{0, 10 * time.Millisecond}, pongs: map[int]time.Duration{}}
+	c.Add("echo", e)
+	c.Add("probe", p)
+	c.Start()
+	c.RunUntil(5 * time.Millisecond)
+	c.Crash("echo")
+	c.RunUntil(20 * time.Millisecond)
+	if len(p.pongs) != 1 {
+		t.Fatalf("pongs after crash: %d", len(p.pongs))
+	}
+	c.Restart("echo")
+	// New ping after restart gets served.
+	c.Inject(c.Now(), "probe", "probe", ping{n: 7})
+	c.RunUntil(40 * time.Millisecond)
+	if _, ok := p.pongs[7]; !ok {
+		t.Fatal("restarted component did not serve")
+	}
+	if !c.IsCrashed("ghost") == false {
+		t.Fatal("unknown component cannot be crashed")
+	}
+}
+
+func TestRunUntilAdvancesClockPastQuietPeriods(t *testing.T) {
+	c := New(1)
+	p := &probe{sendAt: []time.Duration{500 * time.Millisecond}, pongs: map[int]time.Duration{}}
+	c.Add("probe", p)
+	c.Add("echo", &echo{})
+	c.Start()
+	// Step in 10ms increments; the clock must reach the horizon even
+	// though the only event is far in the future.
+	for i := 0; i < 10; i++ {
+		c.RunUntil(c.Now() + 10*time.Millisecond)
+	}
+	if c.Now() != 100*time.Millisecond {
+		t.Fatalf("clock: %s", c.Now())
+	}
+}
+
+func TestDrainStopsOnBound(t *testing.T) {
+	c := New(1)
+	// A self-perpetuating timer never drains.
+	c.Add("loop", loopForever{})
+	c.Start()
+	if err := c.Drain(1000); err == nil {
+		t.Fatal("expected drain bound error")
+	}
+}
+
+type loopForever struct{}
+
+func (loopForever) OnStart(ctx *Context)                        { ctx.After(time.Millisecond, ping{}) }
+func (loopForever) OnMessage(ctx *Context, _ string, _ Message) { ctx.After(time.Millisecond, ping{}) }
+
+func TestDuplicateComponentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c := New(1)
+	c.Add("x", &echo{})
+	c.Add("x", &echo{})
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	// Two messages at the identical instant deliver in send order.
+	c := New(1)
+	rec := &recorder{}
+	c.Add("rec", rec)
+	c.Inject(time.Millisecond, "t", "rec", ping{n: 1})
+	c.Inject(time.Millisecond, "t", "rec", ping{n: 2})
+	c.RunUntil(time.Second)
+	if len(rec.order) != 2 || rec.order[0] != 1 || rec.order[1] != 2 {
+		t.Fatalf("order: %v", rec.order)
+	}
+}
+
+type recorder struct{ order []int }
+
+func (r *recorder) OnMessage(ctx *Context, _ string, msg Message) {
+	if p, ok := msg.(ping); ok {
+		r.order = append(r.order, p.n)
+	}
+}
+
+func TestLatencySample(t *testing.T) {
+	c := New(1)
+	l := Latency{Base: 10 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		d := l.Sample(c.Rand())
+		if d < 10*time.Millisecond || d >= 15*time.Millisecond {
+			t.Fatalf("sample out of range: %s", d)
+		}
+	}
+	fixed := Latency{Base: 3 * time.Millisecond}
+	if fixed.Sample(c.Rand()) != 3*time.Millisecond {
+		t.Fatal("jitterless latency must be exact")
+	}
+}
+
+func TestWorkAccumulatesWithinHandler(t *testing.T) {
+	c := New(1)
+	w := &worker{}
+	c.Add("w", w)
+	c.Inject(0, "t", "w", ping{})
+	c.RunUntil(time.Second)
+	if w.sawNow != 7*time.Millisecond {
+		t.Fatalf("Now after Work: %s", w.sawNow)
+	}
+}
+
+type worker struct{ sawNow time.Duration }
+
+func (w *worker) OnMessage(ctx *Context, _ string, _ Message) {
+	ctx.Work(3 * time.Millisecond)
+	ctx.Work(4 * time.Millisecond)
+	w.sawNow = ctx.Now()
+}
+
+func TestDeliveredCount(t *testing.T) {
+	c := New(1)
+	c.Add("rec", &recorder{})
+	c.Inject(0, "t", "rec", ping{n: 1})
+	c.Inject(0, "t", "rec", ping{n: 2})
+	c.RunUntil(time.Second)
+	if c.Delivered != 2 {
+		t.Fatalf("delivered: %d", c.Delivered)
+	}
+}

@@ -1,0 +1,137 @@
+// Package snapshot implements the consistent-snapshot fault-tolerance
+// protocol of the StateFlow runtime (§3): aligned snapshots taken at epoch
+// boundaries (when no transaction is in flight, the epoch barrier doubles
+// as the Chandy-Lamport alignment point) persisted to a durable store,
+// together with the replayable-source offsets needed to roll forward after
+// recovery.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"statefulentities.dev/stateflow/internal/state"
+)
+
+// Meta describes one completed snapshot.
+type Meta struct {
+	ID    int64 // monotonically increasing snapshot id
+	Epoch int64 // the epoch after which the snapshot was taken
+	// SourceOffsets records, per source partition, how many records had
+	// been consumed into committed epochs when the snapshot was taken;
+	// recovery replays the suffix.
+	SourceOffsets map[string][]int64
+	// Bytes per worker image, for reporting.
+	Bytes map[string]int
+}
+
+// Store is the durable snapshot repository (standing in for the DFS/object
+// store a production deployment would use). It retains every snapshot so
+// tests can restore arbitrary points.
+type Store struct {
+	mu     sync.Mutex
+	nextID int64
+	metas  []Meta
+	images map[int64]map[string][]byte // snapshot id -> worker id -> encoded state
+}
+
+// NewStore returns an empty snapshot store.
+func NewStore() *Store {
+	return &Store{images: map[int64]map[string][]byte{}}
+}
+
+// Begin allocates a snapshot id for an epoch.
+func (s *Store) Begin(epoch int64, sourceOffsets map[string][]int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	s.metas = append(s.metas, Meta{
+		ID: id, Epoch: epoch, SourceOffsets: sourceOffsets, Bytes: map[string]int{},
+	})
+	s.images[id] = map[string][]byte{}
+	return id
+}
+
+// Write stores one worker's state image for a snapshot.
+func (s *Store) Write(id int64, worker string, image []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	imgs, ok := s.images[id]
+	if !ok {
+		return fmt.Errorf("snapshot: unknown snapshot %d", id)
+	}
+	imgs[worker] = append([]byte(nil), image...)
+	for i := range s.metas {
+		if s.metas[i].ID == id {
+			s.metas[i].Bytes[worker] = len(image)
+		}
+	}
+	return nil
+}
+
+// Latest returns the most recent snapshot meta, or ok=false when none
+// exists.
+func (s *Store) Latest() (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.metas) == 0 {
+		return Meta{}, false
+	}
+	return s.metas[len(s.metas)-1], true
+}
+
+// Get returns the meta for a snapshot id.
+func (s *Store) Get(id int64) (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range s.metas {
+		if m.ID == id {
+			return m, true
+		}
+	}
+	return Meta{}, false
+}
+
+// Read fetches a worker's image from a snapshot.
+func (s *Store) Read(id int64, worker string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	imgs, ok := s.images[id]
+	if !ok {
+		return nil, false
+	}
+	img, ok := imgs[worker]
+	return img, ok
+}
+
+// RestoreStore decodes a worker's image into a state store. A worker with
+// no image in the snapshot (it held no state yet) restores to empty.
+func (s *Store) RestoreStore(id int64, worker string) (*state.Store, error) {
+	img, ok := s.Read(id, worker)
+	if !ok {
+		return state.NewStore(), nil
+	}
+	return state.DecodeStore(img)
+}
+
+// Workers lists workers with images in a snapshot, sorted.
+func (s *Store) Workers(id int64) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	imgs := s.images[id]
+	out := make([]string, 0, len(imgs))
+	for w := range imgs {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the number of snapshots taken.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.metas)
+}

@@ -1,0 +1,117 @@
+package snapshot
+
+import (
+	"testing"
+
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/state"
+)
+
+func TestBeginWriteRead(t *testing.T) {
+	s := NewStore()
+	id := s.Begin(5, map[string][]int64{"requests": {42}})
+	if err := s.Write(id, "w0", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	img, ok := s.Read(id, "w0")
+	if !ok || len(img) != 3 {
+		t.Fatalf("read: %v %v", img, ok)
+	}
+	meta, ok := s.Get(id)
+	if !ok || meta.Epoch != 5 || meta.SourceOffsets["requests"][0] != 42 {
+		t.Fatalf("meta: %+v", meta)
+	}
+	if meta.Bytes["w0"] != 3 {
+		t.Fatalf("bytes: %v", meta.Bytes)
+	}
+}
+
+func TestLatest(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Latest(); ok {
+		t.Fatal("empty store has no latest")
+	}
+	s.Begin(1, nil)
+	id2 := s.Begin(2, nil)
+	m, ok := s.Latest()
+	if !ok || m.ID != id2 {
+		t.Fatalf("latest: %+v", m)
+	}
+	if s.Count() != 2 {
+		t.Fatalf("count: %d", s.Count())
+	}
+}
+
+func TestWriteUnknownSnapshot(t *testing.T) {
+	s := NewStore()
+	if err := s.Write(99, "w0", nil); err == nil {
+		t.Fatal("unknown snapshot must fail")
+	}
+}
+
+func TestRestoreStore(t *testing.T) {
+	snaps := NewStore()
+	st := state.NewStore()
+	st.Put(interp.EntityRef{Class: "A", Key: "k"}, interp.MapState{"v": interp.IntV(7)})
+	id := snaps.Begin(1, nil)
+	if err := snaps.Write(id, "w0", st.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := snaps.RestoreStore(id, "w0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := back.Lookup(interp.EntityRef{Class: "A", Key: "k"})
+	if !ok || got["v"].I != 7 {
+		t.Fatalf("restored: %v", got)
+	}
+	// A worker with no image restores to empty.
+	empty, err := snaps.RestoreStore(id, "w-unknown")
+	if err != nil || empty.Len() != 0 {
+		t.Fatalf("empty restore: %v %v", empty.Len(), err)
+	}
+}
+
+func TestImagesAreCopied(t *testing.T) {
+	s := NewStore()
+	id := s.Begin(1, nil)
+	buf := []byte{1, 2, 3}
+	if err := s.Write(id, "w0", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 99 // mutating the caller's buffer must not corrupt the store
+	img, _ := s.Read(id, "w0")
+	if img[0] != 1 {
+		t.Fatal("image aliased caller buffer")
+	}
+}
+
+func TestWorkersSorted(t *testing.T) {
+	s := NewStore()
+	id := s.Begin(1, nil)
+	for _, w := range []string{"w2", "w0", "w1"} {
+		if err := s.Write(id, w, []byte{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := s.Workers(id)
+	if len(ws) != 3 || ws[0] != "w0" || ws[2] != "w2" {
+		t.Fatalf("workers: %v", ws)
+	}
+}
+
+func TestMultipleSnapshotsRetained(t *testing.T) {
+	s := NewStore()
+	id1 := s.Begin(1, map[string][]int64{"requests": {10}})
+	id2 := s.Begin(2, map[string][]int64{"requests": {20}})
+	if err := s.Write(id1, "w0", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(id2, "w0", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	old, _ := s.Read(id1, "w0")
+	if string(old) != "old" {
+		t.Fatal("older snapshots must be retained")
+	}
+}

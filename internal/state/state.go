@@ -1,0 +1,145 @@
+// Package state implements the keyed state backend of a dataflow worker: a
+// committed store of entity states (one HashMap per entity, §2.3) with
+// serialization support for snapshots and size accounting for the cost
+// model of the system-overhead experiment (§4).
+package state
+
+import (
+	"fmt"
+	"sort"
+
+	"statefulentities.dev/stateflow/internal/interp"
+)
+
+// Store holds the committed states of all entities resident on one worker
+// partition.
+type Store struct {
+	m map[interp.EntityRef]interp.MapState
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{m: map[interp.EntityRef]interp.MapState{}}
+}
+
+// Lookup returns an entity's live state (mutable), or ok=false.
+func (s *Store) Lookup(ref interp.EntityRef) (interp.MapState, bool) {
+	st, ok := s.m[ref]
+	return st, ok
+}
+
+// Exists reports whether the entity is present.
+func (s *Store) Exists(ref interp.EntityRef) bool {
+	_, ok := s.m[ref]
+	return ok
+}
+
+// Create allocates empty state; it fails if the entity exists.
+func (s *Store) Create(ref interp.EntityRef) (interp.MapState, error) {
+	if _, dup := s.m[ref]; dup {
+		return nil, fmt.Errorf("entity %s already exists", ref)
+	}
+	st := interp.MapState{}
+	s.m[ref] = st
+	return st, nil
+}
+
+// Put installs (or replaces) an entity's state.
+func (s *Store) Put(ref interp.EntityRef, st interp.MapState) { s.m[ref] = st }
+
+// Delete removes an entity.
+func (s *Store) Delete(ref interp.EntityRef) { delete(s.m, ref) }
+
+// Len returns the number of resident entities.
+func (s *Store) Len() int { return len(s.m) }
+
+// Refs lists resident entities in deterministic order.
+func (s *Store) Refs() []interp.EntityRef {
+	out := make([]interp.EntityRef, 0, len(s.m))
+	for ref := range s.m {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// EncodedSize returns the serialized size of one entity's state, or 0 if
+// absent. Cost models charge state (de)serialization proportional to it.
+func (s *Store) EncodedSize(ref interp.EntityRef) int {
+	st, ok := s.m[ref]
+	if !ok {
+		return 0
+	}
+	return interp.EncodedSize(st)
+}
+
+// Encode serializes the complete store deterministically.
+func (s *Store) Encode() []byte {
+	enc := interp.NewEncoder()
+	refs := s.Refs()
+	e := interp.NewEncoder()
+	e.Value(interp.IntV(int64(len(refs))))
+	for _, ref := range refs {
+		e.Value(interp.StrV(ref.Class))
+		e.Value(interp.StrV(ref.Key))
+		e.Env(interp.Env(s.m[ref]))
+	}
+	_ = enc
+	return e.Bytes()
+}
+
+// DecodeStore rebuilds a store from Encode output.
+func DecodeStore(buf []byte) (*Store, error) {
+	d := interp.NewDecoder(buf)
+	nv, err := d.Value()
+	if err != nil {
+		return nil, err
+	}
+	s := NewStore()
+	for i := int64(0); i < nv.I; i++ {
+		class, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		key, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		env, err := d.Env()
+		if err != nil {
+			return nil, err
+		}
+		s.m[interp.EntityRef{Class: class.S, Key: key.S}] = interp.MapState(env)
+	}
+	if d.Remaining() != 0 {
+		return nil, fmt.Errorf("state: %d trailing bytes", d.Remaining())
+	}
+	return s, nil
+}
+
+// Clone deep-copies the store (used to fork snapshot images).
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for ref, st := range s.m {
+		cp := interp.MapState{}
+		for k, v := range st {
+			cp[k] = v.Clone()
+		}
+		out.m[ref] = cp
+	}
+	return out
+}
+
+// TotalEncodedSize sums serialized sizes over all entities.
+func (s *Store) TotalEncodedSize() int {
+	total := 0
+	for _, st := range s.m {
+		total += interp.EncodedSize(st)
+	}
+	return total
+}

@@ -1,0 +1,131 @@
+package state
+
+import (
+	"testing"
+
+	"statefulentities.dev/stateflow/internal/interp"
+)
+
+func ref(class, key string) interp.EntityRef {
+	return interp.EntityRef{Class: class, Key: key}
+}
+
+func TestCreateLookup(t *testing.T) {
+	s := NewStore()
+	st, err := s.Create(ref("A", "k1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st["x"] = interp.IntV(1)
+	got, ok := s.Lookup(ref("A", "k1"))
+	if !ok || got["x"].I != 1 {
+		t.Fatalf("lookup: %v %v", got, ok)
+	}
+	if _, err := s.Create(ref("A", "k1")); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+	if !s.Exists(ref("A", "k1")) || s.Exists(ref("A", "zz")) {
+		t.Fatal("exists")
+	}
+}
+
+func TestPutDeleteLen(t *testing.T) {
+	s := NewStore()
+	s.Put(ref("A", "k"), interp.MapState{"x": interp.IntV(1)})
+	if s.Len() != 1 {
+		t.Fatalf("len: %d", s.Len())
+	}
+	s.Delete(ref("A", "k"))
+	if s.Len() != 0 || s.Exists(ref("A", "k")) {
+		t.Fatal("delete")
+	}
+}
+
+func TestRefsDeterministicOrder(t *testing.T) {
+	s := NewStore()
+	s.Put(ref("B", "2"), interp.MapState{})
+	s.Put(ref("A", "9"), interp.MapState{})
+	s.Put(ref("A", "1"), interp.MapState{})
+	refs := s.Refs()
+	want := []interp.EntityRef{ref("A", "1"), ref("A", "9"), ref("B", "2")}
+	for i := range want {
+		if refs[i] != want[i] {
+			t.Fatalf("order: %v", refs)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Put(ref("Account", "alice"), interp.MapState{
+		"owner":   interp.StrV("alice"),
+		"balance": interp.IntV(100),
+		"tags":    interp.ListV(interp.StrV("vip")),
+	})
+	s.Put(ref("Item", "apple"), interp.MapState{"stock": interp.IntV(7)})
+	back, err := DecodeStore(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("len: %d", back.Len())
+	}
+	st, ok := back.Lookup(ref("Account", "alice"))
+	if !ok || st["balance"].I != 100 || st["tags"].L.Elems[0].S != "vip" {
+		t.Fatalf("decoded: %v", st)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	build := func() *Store {
+		s := NewStore()
+		s.Put(ref("A", "x"), interp.MapState{"a": interp.IntV(1), "b": interp.StrV("s")})
+		s.Put(ref("B", "y"), interp.MapState{"c": interp.BoolV(true)})
+		return s
+	}
+	if string(build().Encode()) != string(build().Encode()) {
+		t.Fatal("encoding must be deterministic")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeStore([]byte{0xff, 0x01, 0x02}); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	s := NewStore()
+	s.Put(ref("A", "k"), interp.MapState{"x": interp.IntV(1)})
+	enc := s.Encode()
+	if _, err := DecodeStore(append(enc, 0x00)); err == nil {
+		t.Fatal("trailing bytes must fail")
+	}
+	if _, err := DecodeStore(enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated must fail")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := NewStore()
+	s.Put(ref("A", "k"), interp.MapState{"xs": interp.ListV(interp.IntV(1))})
+	c := s.Clone()
+	st, _ := c.Lookup(ref("A", "k"))
+	st["xs"].L.Elems[0] = interp.IntV(99)
+	orig, _ := s.Lookup(ref("A", "k"))
+	if orig["xs"].L.Elems[0].I != 1 {
+		t.Fatal("clone must deep-copy")
+	}
+}
+
+func TestSizes(t *testing.T) {
+	s := NewStore()
+	if s.EncodedSize(ref("A", "zz")) != 0 {
+		t.Fatal("missing entity size must be 0")
+	}
+	s.Put(ref("A", "small"), interp.MapState{"p": interp.StrV("x")})
+	s.Put(ref("A", "big"), interp.MapState{"p": interp.StrV(string(make([]byte, 10_000)))})
+	if s.EncodedSize(ref("A", "big")) <= s.EncodedSize(ref("A", "small")) {
+		t.Fatal("size ordering")
+	}
+	if s.TotalEncodedSize() != s.EncodedSize(ref("A", "big"))+s.EncodedSize(ref("A", "small")) {
+		t.Fatal("total size")
+	}
+}

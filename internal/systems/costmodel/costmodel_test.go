@@ -1,0 +1,56 @@
+package costmodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultsAreSane(t *testing.T) {
+	c := Default()
+	if c.ExecuteCPU <= 0 || c.ConstructCPU <= 0 || c.BrokerCPU <= 0 {
+		t.Fatal("zero CPU costs")
+	}
+	// The broker poll delay dominates the wire latencies — that asymmetry
+	// is what makes StateFun's per-call cost network-bound (§4).
+	if c.BrokerPoll.Base <= c.WorkerLink.Base*4 {
+		t.Fatal("broker poll should dominate worker links")
+	}
+	// Splitting instrumentation must be small relative to execution so the
+	// <1% overhead claim (§4) holds by construction.
+	if float64(c.SplitOverhead) > 0.01*float64(c.ExecuteCPU+c.ConstructCPU) {
+		t.Fatalf("split overhead too large: %s vs %s", c.SplitOverhead, c.ExecuteCPU)
+	}
+}
+
+func TestStateCPUProportional(t *testing.T) {
+	c := Default()
+	small := c.StateCPU(1000)
+	big := c.StateCPU(100_000)
+	if big != 100*small {
+		t.Fatalf("not proportional: %s vs %s", small, big)
+	}
+	if c.StateCPU(0) != 0 {
+		t.Fatal("zero bytes")
+	}
+}
+
+func TestStateCPUCapped(t *testing.T) {
+	c := Default()
+	atCap := c.StateCPU(c.MaxStateBytes)
+	beyond := c.StateCPU(c.MaxStateBytes * 100)
+	if beyond != atCap {
+		t.Fatalf("cap not applied: %s vs %s", beyond, atCap)
+	}
+}
+
+func TestStateCPUMagnitude(t *testing.T) {
+	// A 100 KB state must cost meaningfully more than the fixed execution
+	// cost, so the overhead experiment's state-size sweep has signal.
+	c := Default()
+	if c.StateCPU(100*1024) < c.ExecuteCPU/2 {
+		t.Fatalf("state cost too small to matter: %s", c.StateCPU(100*1024))
+	}
+	if c.StateCPU(100*1024) > 10*time.Millisecond {
+		t.Fatalf("state cost implausibly large: %s", c.StateCPU(100*1024))
+	}
+}

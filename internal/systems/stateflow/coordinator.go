@@ -1,0 +1,408 @@
+// The StateFlow coordinator: combines the ingress router (request intake,
+// replayable source, TID assignment), the Aria batch sequencer (epoch
+// close, prepare/vote/decide), the snapshot trigger, the failure detector
+// and the egress router (deduplicated client responses). The paper's
+// deployment dedicates a single core to it ("StateFlow requires a single
+// core coordinator", §4).
+package stateflow
+
+import (
+	"sort"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+	"statefulentities.dev/stateflow/internal/txn/aria"
+)
+
+type phase int
+
+const (
+	phaseOpen phase = iota
+	phaseClosing
+	phasePrepare
+	phaseApply
+	phaseSnapshot
+	phaseRecovering
+)
+
+type txnState struct {
+	req      sysapi.Request
+	replyTo  string
+	retries  int
+	finished bool
+	value    interp.Value
+	err      string
+}
+
+// Coordinator is the StateFlow coordinator node.
+type Coordinator struct {
+	sys *System
+
+	epoch   int64
+	phase   phase
+	nextTID aria.TID
+
+	// Open/closing batch.
+	batch map[aria.TID]*txnState
+	order []aria.TID
+
+	// Pending requests not yet assigned (arrivals during commit phases and
+	// retries of aborted transactions).
+	pending []pendingReq
+
+	// Replayable source position: how many log records have been drawn
+	// into batches.
+	consumed int64
+
+	votes      map[string]bool
+	unionAbort map[aria.TID]bool
+	applied    map[string]bool
+	snapDone   map[string]bool
+	recovered  map[string]bool
+	snapshotID int64
+
+	// delivered dedupes client responses across recovery replays
+	// (exactly-once output at the system border).
+	delivered map[string]bool
+
+	// Stats.
+	Commits      int
+	Aborts       int
+	Failures     int // transactions that exhausted retries
+	Recoveries   int
+	EpochsClosed int
+}
+
+type pendingReq struct {
+	req     sysapi.Request
+	replyTo string
+	retries int
+}
+
+func newCoordinator(sys *System) *Coordinator {
+	return &Coordinator{
+		sys:       sys,
+		phase:     phaseOpen,
+		batch:     map[aria.TID]*txnState{},
+		delivered: map[string]bool{},
+	}
+}
+
+// OnStart schedules the first epoch tick.
+func (c *Coordinator) OnStart(ctx *sim.Context) {
+	ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: c.epoch})
+}
+
+// OnMessage implements sim.Handler.
+func (c *Coordinator) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case sysapi.MsgRequest:
+		c.onRequest(ctx, m)
+	case msgEpochTick:
+		c.onTick(ctx, m)
+	case msgTxnFinished:
+		c.onFinished(ctx, m)
+	case msgVote:
+		c.onVote(ctx, from, m)
+	case msgApplied:
+		c.onApplied(ctx, from, m)
+	case msgSnapshotDone:
+		c.onSnapshotDone(ctx, from, m)
+	case msgStallCheck:
+		c.onStallCheck(ctx, m)
+	case msgRecovered:
+		c.onRecovered(ctx, from, m)
+	}
+}
+
+// onRequest appends the arrival to the replayable source log, then either
+// assigns it into the open batch or buffers it.
+func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
+	ctx.Work(c.sys.cfg.Costs.RoutingCPU)
+	if _, _, err := c.sys.RequestLog.Produce(sourceTopic, m.Request.Req, m); err != nil {
+		return
+	}
+	if c.phase == phaseOpen {
+		c.consumed++
+		c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo})
+	}
+	// Otherwise the record waits in the log; it is drained when the next
+	// batch opens.
+}
+
+// assign gives a request a TID in the open batch and dispatches its first
+// invocation event.
+func (c *Coordinator) assign(ctx *sim.Context, p pendingReq) {
+	c.nextTID++
+	tid := c.nextTID
+	c.batch[tid] = &txnState{req: p.req, replyTo: p.replyTo, retries: p.retries}
+	ev := &core.Event{
+		Kind:   core.EvInvoke,
+		Req:    p.req.Req,
+		Target: p.req.Target,
+		Method: p.req.Method,
+		Args:   p.req.Args,
+	}
+	owner := c.sys.ownerOf(p.req.Target)
+	ctx.Send(owner, msgTxnEvent{TID: tid, Epoch: c.epoch, Ev: ev},
+		c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+}
+
+// onTick closes the open batch.
+func (c *Coordinator) onTick(ctx *sim.Context, m msgEpochTick) {
+	if m.Epoch != c.epoch || c.phase != phaseOpen {
+		return
+	}
+	if len(c.batch) == 0 {
+		// Nothing arrived: stay open, drain any pending (none) and retick.
+		ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: c.epoch})
+		return
+	}
+	c.phase = phaseClosing
+	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch})
+	c.maybePrepare(ctx)
+}
+
+// onFinished records a transaction's root response.
+func (c *Coordinator) onFinished(ctx *sim.Context, m msgTxnFinished) {
+	if m.Epoch != c.epoch {
+		return // stale: batch was discarded by recovery
+	}
+	t, ok := c.batch[m.TID]
+	if !ok || t.finished {
+		return
+	}
+	t.finished = true
+	t.value = m.Value
+	t.err = m.Err
+	c.maybePrepare(ctx)
+}
+
+func (c *Coordinator) allFinished() bool {
+	for _, t := range c.batch {
+		if !t.finished {
+			return false
+		}
+	}
+	return true
+}
+
+// maybePrepare starts validation once the closed batch fully executed
+// (Aria's execution barrier).
+func (c *Coordinator) maybePrepare(ctx *sim.Context) {
+	if c.phase != phaseClosing || !c.allFinished() {
+		return
+	}
+	c.phase = phasePrepare
+	c.order = c.order[:0]
+	for tid := range c.batch {
+		c.order = append(c.order, tid)
+	}
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	c.votes = map[string]bool{}
+	c.unionAbort = map[aria.TID]bool{}
+	for _, w := range c.sys.workerIDs {
+		ctx.Send(w, msgPrepare{Epoch: c.epoch, Order: append([]aria.TID(nil), c.order...)},
+			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+// onVote accumulates worker votes; when unanimous, broadcasts the global
+// deterministic decision.
+func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
+	if m.Epoch != c.epoch || c.phase != phasePrepare {
+		return
+	}
+	if c.votes[from] {
+		return
+	}
+	c.votes[from] = true
+	for _, t := range m.Aborts {
+		c.unionAbort[t] = true
+	}
+	if len(c.votes) < len(c.sys.workerIDs) {
+		return
+	}
+	// A transaction that failed with an application error commits nothing:
+	// treat it as aborted for state purposes but respond immediately (it
+	// has no effects to install — its workspace writes are dropped).
+	aborts := make([]aria.TID, 0, len(c.unionAbort))
+	for _, tid := range c.order {
+		if c.unionAbort[tid] || c.batch[tid].err != "" {
+			aborts = append(aborts, tid)
+		}
+	}
+	c.phase = phaseApply
+	c.applied = map[string]bool{}
+	for _, w := range c.sys.workerIDs {
+		ctx.Send(w, msgDecide{Epoch: m.Epoch,
+			Order:  append([]aria.TID(nil), c.order...),
+			Aborts: append([]aria.TID(nil), aborts...),
+		}, c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+// onApplied finishes the batch once every worker installed it: responses
+// release, conflict-aborted transactions retry, and the next batch opens.
+func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
+	if m.Epoch != c.epoch || c.phase != phaseApply {
+		return
+	}
+	c.applied[from] = true
+	if len(c.applied) < len(c.sys.workerIDs) {
+		return
+	}
+	ctx.Work(time.Duration(len(c.batch)) * c.sys.cfg.Costs.RoutingCPU)
+	for _, tid := range c.order {
+		t := c.batch[tid]
+		switch {
+		case t.err != "":
+			// Application error: definitive, no retry.
+			c.Failures++
+			c.respond(ctx, t.replyTo, sysapi.Response{
+				Req: t.req.Req, Err: t.err, Retries: t.retries,
+			})
+		case c.unionAbort[tid]:
+			c.Aborts++
+			if t.retries+1 > c.sys.cfg.MaxRetries {
+				c.Failures++
+				c.respond(ctx, t.replyTo, sysapi.Response{
+					Req: t.req.Req, Err: "transaction aborted: retry budget exhausted",
+					Retries: t.retries,
+				})
+				break
+			}
+			c.pending = append(c.pending, pendingReq{
+				req: t.req, replyTo: t.replyTo, retries: t.retries + 1,
+			})
+		default:
+			c.Commits++
+			c.respond(ctx, t.replyTo, sysapi.Response{
+				Req: t.req.Req, Value: t.value, Retries: t.retries,
+			})
+		}
+	}
+	c.EpochsClosed++
+	if c.sys.cfg.SnapshotEvery > 0 && c.EpochsClosed%c.sys.cfg.SnapshotEvery == 0 {
+		c.startSnapshot(ctx)
+		return
+	}
+	c.openNextBatch(ctx)
+}
+
+func (c *Coordinator) respond(ctx *sim.Context, replyTo string, resp sysapi.Response) {
+	if replyTo == "" || c.delivered[resp.Req] {
+		return
+	}
+	c.delivered[resp.Req] = true
+	ctx.Send(replyTo, sysapi.MsgResponse{Response: resp},
+		c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+}
+
+// startSnapshot persists an aligned snapshot: the epoch boundary is the
+// alignment point, so the images plus the source offsets form a consistent
+// cut (§3).
+func (c *Coordinator) startSnapshot(ctx *sim.Context) {
+	c.phase = phaseSnapshot
+	offsets := map[string][]int64{sourceTopic: {c.consumed}}
+	c.snapshotID = c.sys.Snapshots.Begin(c.epoch, offsets)
+	c.snapDone = map[string]bool{}
+	for _, w := range c.sys.workerIDs {
+		ctx.Send(w, msgTakeSnapshot{ID: c.snapshotID},
+			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+func (c *Coordinator) onSnapshotDone(ctx *sim.Context, from string, m msgSnapshotDone) {
+	if c.phase != phaseSnapshot || m.ID != c.snapshotID {
+		return
+	}
+	c.snapDone[from] = true
+	if len(c.snapDone) < len(c.sys.workerIDs) {
+		return
+	}
+	c.openNextBatch(ctx)
+}
+
+// openNextBatch advances the epoch, drains buffered arrivals and retries,
+// and rearms the epoch timer.
+func (c *Coordinator) openNextBatch(ctx *sim.Context) {
+	c.epoch++
+	c.phase = phaseOpen
+	c.batch = map[aria.TID]*txnState{}
+	c.order = nil
+	// Retries first (deterministic: they carry the smallest TIDs of the
+	// new batch, so starved transactions eventually win every conflict).
+	pend := c.pending
+	c.pending = nil
+	for _, p := range pend {
+		c.assign(ctx, p)
+	}
+	// Then drain arrivals buffered in the source log.
+	end, err := c.sys.RequestLog.End(sourceTopic, 0)
+	if err == nil {
+		for ; c.consumed < end; c.consumed++ {
+			rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, c.consumed)
+			if err != nil || !ok {
+				break
+			}
+			m := rec.Payload.(sysapi.MsgRequest)
+			c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo})
+		}
+	}
+	ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: c.epoch})
+}
+
+// onStallCheck fires the failure detector: if the batch that armed it is
+// still executing past the stall timeout, a worker is presumed dead and
+// recovery starts.
+func (c *Coordinator) onStallCheck(ctx *sim.Context, m msgStallCheck) {
+	if m.Epoch != c.epoch || c.phase != phaseClosing {
+		return
+	}
+	c.Recover(ctx)
+}
+
+// Recover rolls the system back to the latest snapshot: restart crashed
+// workers, restore every worker image, discard the in-flight batch, and
+// replay the source suffix. Delivered-response deduplication keeps output
+// exactly-once across the replay.
+func (c *Coordinator) Recover(ctx *sim.Context) {
+	c.Recoveries++
+	c.phase = phaseRecovering
+	c.pending = nil
+	var snapID int64
+	if meta, ok := c.sys.Snapshots.Latest(); ok {
+		snapID = meta.ID
+		c.consumed = meta.SourceOffsets[sourceTopic][0]
+	} else {
+		c.consumed = 0
+	}
+	c.batch = map[aria.TID]*txnState{}
+	c.order = nil
+	c.recovered = map[string]bool{}
+	c.snapshotID = snapID
+	for _, w := range c.sys.workerIDs {
+		if c.sys.restart != nil {
+			c.sys.restart(w)
+		}
+		ctx.Send(w, msgRecover{SnapshotID: snapID},
+			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+func (c *Coordinator) onRecovered(ctx *sim.Context, from string, m msgRecovered) {
+	if c.phase != phaseRecovering || m.SnapshotID != c.snapshotID {
+		return
+	}
+	c.recovered[from] = true
+	if len(c.recovered) < len(c.sys.workerIDs) {
+		return
+	}
+	// Epoch bump invalidates every stale in-flight message, then the
+	// source suffix replays through the normal batch machinery.
+	c.openNextBatch(ctx)
+}

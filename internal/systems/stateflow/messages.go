@@ -1,0 +1,68 @@
+// Internal wire messages of the StateFlow runtime.
+package stateflow
+
+import (
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/txn/aria"
+)
+
+// msgTxnEvent carries one dataflow event of a transaction between workers
+// (function-to-function communication over internal dataflow cycles, §3).
+type msgTxnEvent struct {
+	TID   aria.TID
+	Epoch int64
+	Ev    *core.Event
+}
+
+// msgTxnFinished tells the coordinator a transaction's call chain reached
+// its root response.
+type msgTxnFinished struct {
+	TID   aria.TID
+	Epoch int64
+	Value interp.Value
+	Err   string
+}
+
+// msgEpochTick closes the open batch.
+type msgEpochTick struct{ Epoch int64 }
+
+// msgPrepare starts validation of a closed batch on every worker.
+type msgPrepare struct {
+	Epoch int64
+	Order []aria.TID
+}
+
+// msgVote returns a worker's local aborts.
+type msgVote struct {
+	Epoch  int64
+	Aborts []aria.TID
+}
+
+// msgDecide broadcasts the deterministic global decision.
+type msgDecide struct {
+	Epoch  int64
+	Order  []aria.TID
+	Aborts []aria.TID
+}
+
+// msgApplied acknowledges that a worker installed the batch's writes.
+type msgApplied struct{ Epoch int64 }
+
+// msgTakeSnapshot asks workers to persist their committed stores.
+type msgTakeSnapshot struct{ ID int64 }
+
+// msgSnapshotDone acknowledges one worker's snapshot write.
+type msgSnapshotDone struct{ ID int64 }
+
+// msgStallCheck fires if a batch has not completed within the stall
+// timeout; the coordinator then suspects a worker failure and triggers
+// recovery.
+type msgStallCheck struct{ Epoch int64 }
+
+// msgRecover tells a worker to reload its committed store from a snapshot
+// (id 0 means "reset to empty").
+type msgRecover struct{ SnapshotID int64 }
+
+// msgRecovered acknowledges recovery.
+type msgRecovered struct{ SnapshotID int64 }

@@ -1,0 +1,191 @@
+// Package stateflow implements the paper's StateFlow runtime (§3) on the
+// simulated cluster: a transactional dataflow system with a single-core
+// coordinator and a pool of workers that bundle execution, state and
+// messaging. Function-to-function communication flows directly between
+// workers over internal dataflow cycles (no broker roundtrips), every root
+// invocation is an ACID transaction under an Aria-style deterministic
+// protocol, and fault tolerance comes from aligned snapshots plus a
+// replayable source.
+package stateflow
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/queue"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/snapshot"
+	"statefulentities.dev/stateflow/internal/systems/costmodel"
+)
+
+const sourceTopic = "requests"
+
+// Config parameterizes a StateFlow deployment.
+type Config struct {
+	// Workers is the worker count (the paper uses 5 workers + 1
+	// coordinator on its 6 system cores).
+	Workers int
+	// EpochInterval is the Aria batch length: smaller means lower commit
+	// latency but more coordination per transaction.
+	EpochInterval time.Duration
+	// SnapshotEvery takes an aligned snapshot after every N batches
+	// (0 disables).
+	SnapshotEvery int
+	// MaxRetries bounds deterministic re-execution of conflict-aborted
+	// transactions.
+	MaxRetries int
+	// StallTimeout is the failure detector's patience for one batch.
+	StallTimeout time.Duration
+	Costs        costmodel.Costs
+}
+
+// DefaultConfig mirrors the paper's deployment shape.
+func DefaultConfig() Config {
+	return Config{
+		Workers:       5,
+		EpochInterval: 5 * time.Millisecond,
+		SnapshotEvery: 0,
+		MaxRetries:    64,
+		StallTimeout:  250 * time.Millisecond,
+		Costs:         costmodel.Default(),
+	}
+}
+
+// System is a deployed StateFlow runtime inside a simulation.
+type System struct {
+	cfg      Config
+	prog     *ir.Program
+	executor *core.Executor
+
+	coordID   string
+	workerIDs []string
+	coord     *Coordinator
+	workers   []*Worker
+
+	RequestLog *queue.Log
+	Snapshots  *snapshot.Store
+
+	restart func(id string)
+}
+
+// New builds and registers a StateFlow deployment on the cluster.
+func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	sys := &System{
+		cfg:        cfg,
+		prog:       prog,
+		executor:   core.NewExecutor(prog),
+		coordID:    "sf-coord",
+		RequestLog: queue.NewLog(),
+		Snapshots:  snapshot.NewStore(),
+		restart:    cluster.Restart,
+	}
+	if err := sys.RequestLog.CreateTopic(sourceTopic, 1); err != nil {
+		panic(err) // fresh log; cannot happen
+	}
+	sys.coord = newCoordinator(sys)
+	cluster.Add(sys.coordID, sys.coord)
+	for i := 0; i < cfg.Workers; i++ {
+		w := newWorker(sys, i)
+		sys.workers = append(sys.workers, w)
+		sys.workerIDs = append(sys.workerIDs, w.id)
+		cluster.Add(w.id, w)
+	}
+	return sys
+}
+
+// IngressID implements sysapi.System.
+func (s *System) IngressID() string { return s.coordID }
+
+// ClientLink implements sysapi.System.
+func (s *System) ClientLink() sim.Latency { return s.cfg.Costs.ClientLink }
+
+// Coordinator exposes the coordinator for stats and recovery control.
+func (s *System) Coordinator() *Coordinator { return s.coord }
+
+// Workers exposes the worker components.
+func (s *System) Workers() []*Worker { return s.workers }
+
+// WorkerIDs lists worker component ids.
+func (s *System) WorkerIDs() []string { return append([]string(nil), s.workerIDs...) }
+
+// ownerOf routes an entity to its worker partition by stable key hash.
+func (s *System) ownerOf(ref interp.EntityRef) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(ref.Class))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(ref.Key))
+	return s.workerIDs[int(h.Sum32()%uint32(len(s.workerIDs)))]
+}
+
+// OwnerIndex returns the worker index owning a ref (for tests).
+func (s *System) OwnerIndex(ref interp.EntityRef) int {
+	id := s.ownerOf(ref)
+	for i, w := range s.workerIDs {
+		if w == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// KeyForCtor derives the routing key of a constructor call from its
+// argument list.
+func (s *System) KeyForCtor(class string, args []interp.Value) (string, error) {
+	return s.executor.KeyForCtor(class, args)
+}
+
+// Preload installs entity state directly on the owning worker, bypassing
+// the dataflow (benchmark dataset loading). Call before Start.
+func (s *System) Preload(ref interp.EntityRef, st interp.MapState) {
+	idx := s.OwnerIndex(ref)
+	s.workers[idx].Preload(ref, st)
+}
+
+// PreloadEntity constructs the state an entity would have after __init__
+// with the given args and preloads it.
+func (s *System) PreloadEntity(class string, args ...interp.Value) error {
+	key, err := s.executor.KeyForCtor(class, args)
+	if err != nil {
+		return err
+	}
+	st := interp.MapState{}
+	if err := s.executor.Interp().ExecInit(class, args, st); err != nil {
+		return err
+	}
+	s.Preload(interp.EntityRef{Class: class, Key: key}, st)
+	return nil
+}
+
+// CheckpointPreloadedState writes an initial snapshot covering the
+// preloaded dataset so a recovery that happens before the first periodic
+// snapshot rolls back to the loaded state instead of to empty stores.
+func (s *System) CheckpointPreloadedState() {
+	id := s.Snapshots.Begin(0, map[string][]int64{sourceTopic: {0}})
+	for _, w := range s.workers {
+		if err := s.Snapshots.Write(id, w.id, w.committed.Encode()); err != nil {
+			panic(fmt.Sprintf("stateflow: preload checkpoint: %v", err))
+		}
+	}
+}
+
+// EntityState reads an entity's committed state (test assertions).
+func (s *System) EntityState(class, key string) (interp.MapState, bool) {
+	ref := interp.EntityRef{Class: class, Key: key}
+	idx := s.OwnerIndex(ref)
+	st, ok := s.workers[idx].committed.Lookup(ref)
+	if !ok {
+		return nil, false
+	}
+	cp := interp.MapState{}
+	for k, v := range st {
+		cp[k] = v.Clone()
+	}
+	return cp, true
+}

@@ -1,0 +1,210 @@
+// The StateFlow worker: hosts a partition of every operator's state,
+// executes transaction call chains against per-transaction Aria
+// workspaces, validates and applies batches, and persists snapshots. The
+// paper's deployment bundles "execution, state, and messaging" on each
+// worker core (§4), which is exactly this component.
+package stateflow
+
+import (
+	"fmt"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/metrics"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/state"
+	"statefulentities.dev/stateflow/internal/txn/aria"
+)
+
+// Worker is one StateFlow worker node.
+type Worker struct {
+	sys *System
+	id  string
+	idx int
+
+	committed  *state.Store
+	workspaces map[aria.TID]*aria.Workspace
+
+	// Breakdown attributes CPU time to runtime components for the §4
+	// overhead experiment.
+	Breakdown *metrics.Breakdown
+	// Applied counts applied (committed) transactions.
+	Applied int
+}
+
+func newWorker(sys *System, idx int) *Worker {
+	return &Worker{
+		sys:        sys,
+		id:         workerID(idx),
+		idx:        idx,
+		committed:  state.NewStore(),
+		workspaces: map[aria.TID]*aria.Workspace{},
+		Breakdown:  metrics.NewBreakdown(),
+	}
+}
+
+func workerID(idx int) string { return fmt.Sprintf("sf-worker-%d", idx) }
+
+// Committed exposes the committed store (tests and state preloading).
+func (w *Worker) Committed() *state.Store { return w.committed }
+
+// OnMessage implements sim.Handler.
+func (w *Worker) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case msgTxnEvent:
+		w.onTxnEvent(ctx, m)
+	case msgPrepare:
+		w.onPrepare(ctx, m)
+	case msgDecide:
+		w.onDecide(ctx, m)
+	case msgTakeSnapshot:
+		w.onSnapshot(ctx, m)
+	case msgRecover:
+		w.onRecover(ctx, m)
+	}
+}
+
+func (w *Worker) workspace(tid aria.TID) *aria.Workspace {
+	ws, ok := w.workspaces[tid]
+	if !ok {
+		ws = aria.NewWorkspace(tid, w.committed)
+		w.workspaces[tid] = ws
+	}
+	return ws
+}
+
+// onTxnEvent executes one dataflow event of a transaction on this
+// partition, charging the cost-model CPU components, and forwards the
+// produced events.
+func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
+	if m.Epoch != w.sys.coord.epoch {
+		// Stale event from a batch discarded by recovery.
+		return
+	}
+	costs := w.sys.cfg.Costs
+
+	// Event deserialization.
+	ctx.Work(costs.DeserializeCPU)
+	w.Breakdown.Add("event_deserialization", costs.DeserializeCPU)
+
+	// Object construction: the entity is rebuilt from operator state
+	// (§2.3 "the system reconstructs the object using the operator's code
+	// and the function's state").
+	stBytes := w.committed.EncodedSize(m.Ev.Target)
+	construct := costs.ConstructCPU + costs.StateCPU(stBytes)
+	ctx.Work(construct)
+	w.Breakdown.Add("object_construction", construct)
+
+	// Program-transformation (function splitting) instrumentation: the
+	// state-machine bookkeeping added by the compiler. Deliberately tiny
+	// (§4: "less than 1% of the total overhead").
+	ctx.Work(costs.SplitOverhead)
+	w.Breakdown.Add("splitting_instrumentation", costs.SplitOverhead)
+
+	ws := w.workspace(m.TID)
+	out, err := w.sys.executor.Step(m.Ev, ws)
+	ctx.Work(costs.ExecuteCPU)
+	w.Breakdown.Add("function_execution", costs.ExecuteCPU)
+	if err != nil {
+		// Internal execution fault: finish the transaction with an error.
+		ctx.Send(w.sys.coordID, msgTxnFinished{TID: m.TID, Epoch: m.Epoch, Err: err.Error()},
+			costs.WorkerLink.Sample(ctx.Rand()))
+		return
+	}
+	for _, ev := range out {
+		switch ev.Kind {
+		case core.EvResponse:
+			ctx.Send(w.sys.coordID, msgTxnFinished{
+				TID: m.TID, Epoch: m.Epoch, Value: ev.Value, Err: ev.Err,
+			}, costs.WorkerLink.Sample(ctx.Rand()))
+		default:
+			target := w.sys.ownerOf(ev.Target)
+			lat := costs.WorkerLink.Sample(ctx.Rand())
+			if target == w.id {
+				lat = 0 // same-partition transfer stays in process
+			}
+			ctx.Send(target, msgTxnEvent{TID: m.TID, Epoch: m.Epoch, Ev: ev}, lat)
+		}
+	}
+}
+
+// onPrepare validates local reservations for the batch (Aria's conflict
+// rules) and votes.
+func (w *Worker) onPrepare(ctx *sim.Context, m msgPrepare) {
+	costs := w.sys.cfg.Costs
+	sets := make(map[aria.TID]*aria.RWSet, len(w.workspaces))
+	for tid, ws := range w.workspaces {
+		sets[tid] = ws.RW
+	}
+	aborts := aria.Validate(m.Order, sets)
+	work := time.Duration(len(w.workspaces)) * costs.CommitCPU
+	ctx.Work(work)
+	w.Breakdown.Add("txn_validation", work)
+	ctx.Send(w.sys.coordID, msgVote{Epoch: m.Epoch, Aborts: aborts},
+		costs.WorkerLink.Sample(ctx.Rand()))
+}
+
+// onDecide applies committed workspaces in TID order and discards the
+// rest.
+func (w *Worker) onDecide(ctx *sim.Context, m msgDecide) {
+	costs := w.sys.cfg.Costs
+	aborted := map[aria.TID]bool{}
+	for _, t := range m.Aborts {
+		aborted[t] = true
+	}
+	for _, tid := range m.Order {
+		ws, ok := w.workspaces[tid]
+		if !ok || aborted[tid] {
+			continue
+		}
+		bytes := ws.WriteBytes()
+		work := costs.CommitCPU + costs.StateCPU(bytes)
+		ctx.Work(work)
+		w.Breakdown.Add("state_serialization", costs.StateCPU(bytes))
+		w.Breakdown.Add("txn_commit", costs.CommitCPU)
+		ws.Apply(w.committed)
+		w.Applied++
+	}
+	w.workspaces = map[aria.TID]*aria.Workspace{}
+	ctx.Send(w.sys.coordID, msgApplied{Epoch: m.Epoch},
+		costs.WorkerLink.Sample(ctx.Rand()))
+}
+
+// onSnapshot persists the committed store to the snapshot store.
+func (w *Worker) onSnapshot(ctx *sim.Context, m msgTakeSnapshot) {
+	costs := w.sys.cfg.Costs
+	img := w.committed.Encode()
+	work := costs.StateCPU(len(img))
+	ctx.Work(work)
+	w.Breakdown.Add("snapshot_persistence", work)
+	if err := w.sys.Snapshots.Write(m.ID, w.id, img); err == nil {
+		ctx.Send(w.sys.coordID, msgSnapshotDone{ID: m.ID},
+			costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+// onRecover rolls the worker back to a snapshot image (or empty state),
+// dropping every in-flight workspace.
+func (w *Worker) onRecover(ctx *sim.Context, m msgRecover) {
+	costs := w.sys.cfg.Costs
+	w.workspaces = map[aria.TID]*aria.Workspace{}
+	if m.SnapshotID == 0 {
+		w.committed = state.NewStore()
+	} else {
+		st, err := w.sys.Snapshots.RestoreStore(m.SnapshotID, w.id)
+		if err != nil {
+			st = state.NewStore()
+		}
+		w.committed = st
+	}
+	ctx.Work(costs.StateCPU(w.committed.TotalEncodedSize()))
+	ctx.Send(w.sys.coordID, msgRecovered{SnapshotID: m.SnapshotID},
+		costs.WorkerLink.Sample(ctx.Rand()))
+}
+
+// Preload installs entity state directly into the committed store,
+// bypassing the dataflow (used to load benchmark datasets).
+func (w *Worker) Preload(ref interp.EntityRef, st interp.MapState) {
+	w.committed.Put(ref, st)
+}

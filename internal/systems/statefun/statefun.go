@@ -1,0 +1,502 @@
+// Package statefun implements the baseline runtime of the paper's
+// evaluation: the Apache Flink StateFun deployment model (§3). Events
+// enter through a Kafka-model broker; an ingress router performs keyBy and
+// forwards each event to the stateful map operator instance owning the
+// key; every function execution ships the entity state to an *external*
+// stateless function runtime over the network and applies the returned
+// state updates; and function chaining re-inserts events through the
+// broker ("we use Kafka to re-insert an event to the streaming dataflow,
+// thereby avoiding cyclic dataflows").
+//
+// Faithfully to §3/§4, this runtime has no transactions and no locking:
+// concurrent chains over the same key interleave freely, so reads cost the
+// same as writes (every call pays the broker plus remote-function network
+// hops) and lost updates are possible — the inconsistency the paper
+// motivates StateFlow with.
+package statefun
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/metrics"
+	"statefulentities.dev/stateflow/internal/queue"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/state"
+	"statefulentities.dev/stateflow/internal/systems/costmodel"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+)
+
+const (
+	ingressTopic = "ingress"
+	egressTopic  = "egress"
+)
+
+// Config parameterizes a StateFun-model deployment.
+type Config struct {
+	// FlinkWorkers hosts state and messaging; FnRuntimes executes
+	// functions. The paper splits its 6 system cores half and half.
+	FlinkWorkers int
+	FnRuntimes   int
+	Costs        costmodel.Costs
+}
+
+// DefaultConfig mirrors the paper's balanced deployment.
+func DefaultConfig() Config {
+	return Config{FlinkWorkers: 3, FnRuntimes: 3, Costs: costmodel.Default()}
+}
+
+// System is a deployed StateFun-model runtime.
+type System struct {
+	cfg      Config
+	prog     *ir.Program
+	executor *core.Executor
+
+	brokerID string
+	routerID string
+	egressID string
+	workers  []*flinkWorker
+	fns      []*fnRuntime
+
+	Log *queue.Log
+}
+
+// New builds and registers the deployment on a cluster.
+func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
+	if cfg.FlinkWorkers <= 0 {
+		cfg.FlinkWorkers = 1
+	}
+	if cfg.FnRuntimes <= 0 {
+		cfg.FnRuntimes = 1
+	}
+	sys := &System{
+		cfg:      cfg,
+		prog:     prog,
+		executor: core.NewExecutor(prog),
+		brokerID: "kafka",
+		routerID: "fl-router",
+		egressID: "fl-egress",
+		Log:      queue.NewLog(),
+	}
+	if err := sys.Log.CreateTopic(ingressTopic, cfg.FlinkWorkers); err != nil {
+		panic(err)
+	}
+	if err := sys.Log.CreateTopic(egressTopic, 1); err != nil {
+		panic(err)
+	}
+	cluster.Add(sys.brokerID, &broker{sys: sys})
+	cluster.Add(sys.routerID, &router{sys: sys})
+	cluster.Add(sys.egressID, &egress{sys: sys})
+	for i := 0; i < cfg.FlinkWorkers; i++ {
+		w := &flinkWorker{sys: sys, id: fmt.Sprintf("fl-worker-%d", i), states: state.NewStore(), Breakdown: metrics.NewBreakdown()}
+		sys.workers = append(sys.workers, w)
+		cluster.Add(w.id, w)
+	}
+	for i := 0; i < cfg.FnRuntimes; i++ {
+		f := &fnRuntime{sys: sys, id: fmt.Sprintf("fn-runtime-%d", i), Breakdown: metrics.NewBreakdown()}
+		sys.fns = append(sys.fns, f)
+		cluster.Add(f.id, f)
+	}
+	return sys
+}
+
+// IngressID implements sysapi.System: clients produce into the broker.
+func (s *System) IngressID() string { return s.brokerID }
+
+// ClientLink implements sysapi.System.
+func (s *System) ClientLink() sim.Latency { return s.cfg.Costs.ClientLink }
+
+// Workers exposes the Flink workers.
+func (s *System) Workers() []*flinkWorker { return s.workers }
+
+// FnRuntimes exposes the remote function runtimes.
+func (s *System) FnRuntimes() []*fnRuntime { return s.fns }
+
+func (s *System) ownerOf(ref interp.EntityRef) *flinkWorker {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(ref.Class))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(ref.Key))
+	return s.workers[int(h.Sum32()%uint32(len(s.workers)))]
+}
+
+// KeyForCtor derives the routing key of a constructor call from its
+// argument list.
+func (s *System) KeyForCtor(class string, args []interp.Value) (string, error) {
+	return s.executor.KeyForCtor(class, args)
+}
+
+// Preload installs entity state on the owning worker before the run.
+func (s *System) Preload(ref interp.EntityRef, st interp.MapState) {
+	s.ownerOf(ref).states.Put(ref, st)
+}
+
+// PreloadEntity runs __init__ synchronously and preloads the result.
+func (s *System) PreloadEntity(class string, args ...interp.Value) error {
+	key, err := s.executor.KeyForCtor(class, args)
+	if err != nil {
+		return err
+	}
+	st := interp.MapState{}
+	if err := s.executor.Interp().ExecInit(class, args, st); err != nil {
+		return err
+	}
+	s.Preload(interp.EntityRef{Class: class, Key: key}, st)
+	return nil
+}
+
+// EntityState reads an entity's state (test assertions).
+func (s *System) EntityState(class, key string) (interp.MapState, bool) {
+	ref := interp.EntityRef{Class: class, Key: key}
+	st, ok := s.ownerOf(ref).states.Lookup(ref)
+	if !ok {
+		return nil, false
+	}
+	cp := interp.MapState{}
+	for k, v := range st {
+		cp[k] = v.Clone()
+	}
+	return cp, true
+}
+
+// ---------------------------------------------------------------------------
+// Wire messages
+
+// envelope is a dataflow event travelling through the broker and workers,
+// together with the client reply address.
+type envelope struct {
+	Ev      *core.Event
+	ReplyTo string
+	Kind    string
+}
+
+// msgRecord is a broker push to a consumer.
+type msgRecord struct {
+	Topic     string
+	Partition int
+	Env       envelope
+}
+
+// msgFnRequest ships an event plus the entity's current state image to the
+// remote function runtime.
+type msgFnRequest struct {
+	Env     envelope
+	State   interp.MapState // copy of the entity state (empty for __init__)
+	Exists  bool
+	Worker  string
+	Ref     interp.EntityRef
+	StBytes int
+}
+
+// msgFnResponse returns the state updates and produced events.
+type msgFnResponse struct {
+	Ref     interp.EntityRef
+	Writes  interp.MapState // full new state (nil if no writes)
+	Wrote   bool
+	Created bool
+	Out     []envelope
+	Err     string
+	ReplyTo string
+	Req     string
+}
+
+// ---------------------------------------------------------------------------
+// Broker
+
+// broker is the Kafka-model component: it appends produced records to the
+// replayable log and pushes them to the subscribed consumer after the
+// consumer-poll delay.
+type broker struct {
+	sys *System
+	// Produced counts records, as a load metric.
+	Produced int
+}
+
+// OnMessage implements sim.Handler.
+func (b *broker) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case sysapi.MsgRequest:
+		// Client produce into the ingress topic.
+		b.produce(ctx, ingressTopic, envelope{
+			Ev: &core.Event{
+				Kind:   core.EvInvoke,
+				Req:    m.Request.Req,
+				Target: m.Request.Target,
+				Method: m.Request.Method,
+				Args:   m.Request.Args,
+			},
+			ReplyTo: m.ReplyTo,
+			Kind:    m.Request.Kind,
+		})
+	case envelope:
+		// Worker produce (chaining or egress).
+		topic := ingressTopic
+		if m.Ev.Kind == core.EvResponse {
+			topic = egressTopic
+		}
+		b.produce(ctx, topic, m)
+	}
+}
+
+func (b *broker) produce(ctx *sim.Context, topic string, env envelope) {
+	costs := b.sys.cfg.Costs
+	ctx.Work(costs.BrokerCPU)
+	key := env.Ev.Target.Key
+	part, _, err := b.sys.Log.Produce(topic, key, env)
+	if err != nil {
+		return
+	}
+	b.Produced++
+	// Push to the consumer after the poll delay.
+	switch topic {
+	case ingressTopic:
+		ctx.Send(b.sys.routerID, msgRecord{Topic: topic, Partition: part, Env: env},
+			costs.BrokerPoll.Sample(ctx.Rand()))
+	case egressTopic:
+		ctx.Send(b.sys.egressID, msgRecord{Topic: topic, Partition: part, Env: env},
+			costs.BrokerPoll.Sample(ctx.Rand()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Router (ingress keyBy)
+
+type router struct {
+	sys *System
+}
+
+// OnMessage implements sim.Handler.
+func (r *router) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	m, ok := msg.(msgRecord)
+	if !ok {
+		return
+	}
+	costs := r.sys.cfg.Costs
+	ctx.Work(costs.RoutingCPU)
+	w := r.sys.ownerOf(m.Env.Ev.Target)
+	ctx.Send(w.id, m.Env, costs.WorkerLink.Sample(ctx.Rand()))
+}
+
+// ---------------------------------------------------------------------------
+// Egress router
+
+type egress struct {
+	sys *System
+	// Delivered dedupes per request id.
+	delivered map[string]bool
+}
+
+// OnMessage implements sim.Handler.
+func (e *egress) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	m, ok := msg.(msgRecord)
+	if !ok {
+		return
+	}
+	costs := e.sys.cfg.Costs
+	ctx.Work(costs.RoutingCPU)
+	if e.delivered == nil {
+		e.delivered = map[string]bool{}
+	}
+	ev := m.Env.Ev
+	if e.delivered[ev.Req] || m.Env.ReplyTo == "" {
+		return
+	}
+	e.delivered[ev.Req] = true
+	ctx.Send(m.Env.ReplyTo, sysapi.MsgResponse{Response: sysapi.Response{
+		Req: ev.Req, Value: ev.Value, Err: ev.Err,
+	}}, costs.ClientLink.Sample(ctx.Rand()))
+}
+
+// ---------------------------------------------------------------------------
+// Flink worker (stateful map operator partitions)
+
+type flinkWorker struct {
+	sys    *System
+	id     string
+	states *state.Store
+	rr     int
+	// Breakdown attributes CPU for the overhead experiment.
+	Breakdown *metrics.Breakdown
+	// Races counts state write-backs that overwrote a version the
+	// function never saw (lost-update hazard observable in tests).
+	versions map[interp.EntityRef]int
+	inflight map[interp.EntityRef]int
+	Races    int
+}
+
+// OnMessage implements sim.Handler.
+func (w *flinkWorker) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case envelope:
+		w.onEvent(ctx, m)
+	case msgFnResponse:
+		w.onFnResponse(ctx, m)
+	}
+}
+
+// onEvent ships the target entity's state with the event to a remote
+// function runtime. No locking: if another chain is mid-flight on the same
+// key, both read the same state version (§3's race condition).
+func (w *flinkWorker) onEvent(ctx *sim.Context, env envelope) {
+	costs := w.sys.cfg.Costs
+	ctx.Work(costs.DeserializeCPU)
+	w.Breakdown.Add("event_deserialization", costs.DeserializeCPU)
+	ref := env.Ev.Target
+	st, exists := w.states.Lookup(ref)
+	var cp interp.MapState
+	bytes := 0
+	if exists {
+		bytes = interp.EncodedSize(st)
+		ship := costs.StateCPU(bytes)
+		ctx.Work(ship)
+		w.Breakdown.Add("state_serialization", ship)
+		cp = interp.MapState{}
+		for k, v := range st {
+			cp[k] = v.Clone()
+		}
+	}
+	if w.inflight == nil {
+		w.inflight = map[interp.EntityRef]int{}
+		w.versions = map[interp.EntityRef]int{}
+	}
+	w.inflight[ref]++
+	if w.inflight[ref] > 1 {
+		w.Races++ // concurrent unlocked access to the same key
+	}
+	fn := w.sys.fns[w.rr%len(w.sys.fns)]
+	w.rr++
+	ctx.Send(fn.id, msgFnRequest{
+		Env: env, State: cp, Exists: exists, Worker: w.id, Ref: ref, StBytes: bytes,
+	}, costs.RemoteFn.Sample(ctx.Rand()))
+}
+
+// onFnResponse applies returned state and forwards produced events through
+// the broker.
+func (w *flinkWorker) onFnResponse(ctx *sim.Context, m msgFnResponse) {
+	costs := w.sys.cfg.Costs
+	if w.inflight != nil && w.inflight[m.Ref] > 0 {
+		w.inflight[m.Ref]--
+	}
+	if m.Wrote && m.Err == "" {
+		bytes := interp.EncodedSize(m.Writes)
+		work := costs.StateCPU(bytes)
+		ctx.Work(work)
+		w.Breakdown.Add("state_serialization", work)
+		w.states.Put(m.Ref, m.Writes)
+	}
+	if m.Err != "" {
+		// Fail the chain directly to egress via the broker.
+		env := envelope{
+			Ev:      &core.Event{Kind: core.EvResponse, Req: m.Req, Err: m.Err},
+			ReplyTo: m.ReplyTo,
+		}
+		ctx.Send(w.sys.brokerID, env, costs.BrokerLink.Sample(ctx.Rand()))
+		return
+	}
+	for _, out := range m.Out {
+		// Chaining and egress alike go back through the broker (§3).
+		ctx.Send(w.sys.brokerID, out, costs.BrokerLink.Sample(ctx.Rand()))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Remote function runtime
+
+type fnRuntime struct {
+	sys *System
+	id  string
+	// Breakdown attributes CPU for the overhead experiment.
+	Breakdown *metrics.Breakdown
+	// Invocations counts function executions.
+	Invocations int
+}
+
+// shippedStore adapts the shipped single-entity state to core.Store.
+type shippedStore struct {
+	ref     interp.EntityRef
+	st      interp.MapState
+	exists  bool
+	wrote   *bool
+	created *bool
+}
+
+// Lookup implements core.Store.
+func (s shippedStore) Lookup(ref interp.EntityRef) (interp.State, bool) {
+	if ref != s.ref || !s.exists {
+		return nil, false
+	}
+	return trackState{m: s.st, wrote: s.wrote}, true
+}
+
+// Create implements core.Store.
+func (s shippedStore) Create(ref interp.EntityRef) (interp.State, error) {
+	if ref != s.ref {
+		return nil, fmt.Errorf("statefun: create %s routed to partition of %s", ref, s.ref)
+	}
+	if s.exists {
+		return nil, fmt.Errorf("entity %s already exists", ref)
+	}
+	*s.created = true
+	*s.wrote = true
+	return trackState{m: s.st, wrote: s.wrote}, nil
+}
+
+type trackState struct {
+	m     interp.MapState
+	wrote *bool
+}
+
+// Get implements interp.State.
+func (t trackState) Get(attr string) (interp.Value, bool) { return t.m.Get(attr) }
+
+// Set implements interp.State.
+func (t trackState) Set(attr string, v interp.Value) {
+	*t.wrote = true
+	t.m.Set(attr, v)
+}
+
+// OnMessage implements sim.Handler.
+func (f *fnRuntime) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	m, ok := msg.(msgFnRequest)
+	if !ok {
+		return
+	}
+	costs := f.sys.cfg.Costs
+	f.Invocations++
+
+	// Deserialize shipped state + construct the entity object.
+	construct := costs.ConstructCPU + costs.StateCPU(m.StBytes)
+	ctx.Work(construct)
+	f.Breakdown.Add("object_construction", construct)
+	ctx.Work(costs.SplitOverhead)
+	f.Breakdown.Add("splitting_instrumentation", costs.SplitOverhead)
+
+	st := m.State
+	if st == nil {
+		st = interp.MapState{}
+	}
+	var wrote, created bool
+	store := shippedStore{ref: m.Ref, st: st, exists: m.Exists, wrote: &wrote, created: &created}
+	out, err := f.sys.executor.Step(m.Env.Ev, store)
+	ctx.Work(costs.ExecuteCPU)
+	f.Breakdown.Add("function_execution", costs.ExecuteCPU)
+
+	resp := msgFnResponse{
+		Ref: m.Ref, ReplyTo: m.Env.ReplyTo, Req: m.Env.Ev.Req,
+		Created: created, Wrote: wrote,
+	}
+	if wrote {
+		resp.Writes = st
+	}
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		for _, ev := range out {
+			resp.Out = append(resp.Out, envelope{Ev: ev, ReplyTo: m.Env.ReplyTo, Kind: m.Env.Kind})
+		}
+	}
+	ctx.Send(m.Worker, resp, costs.RemoteFn.Sample(ctx.Rand()))
+}

@@ -1,0 +1,225 @@
+// Package sysapi defines the client-facing request/response contract
+// shared by the simulated runtimes (StateFlow and the StateFun-model
+// baseline), plus reusable client components: a scripted client for tests
+// and an open-loop generator for benchmarks.
+package sysapi
+
+import (
+	"time"
+
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/metrics"
+	"statefulentities.dev/stateflow/internal/sim"
+)
+
+// Request is a root invocation submitted by a client ("caller outside the
+// system, such as an HTTP endpoint", §2.3).
+type Request struct {
+	Req    string // unique request id
+	Target interp.EntityRef
+	Method string // "__init__" creates the entity
+	Args   []interp.Value
+	// Kind tags the request for per-operation metrics (e.g. "read",
+	// "update", "transfer"); the runtimes ignore it.
+	Kind string
+}
+
+// Response is the terminal outcome of a request.
+type Response struct {
+	Req     string
+	Value   interp.Value
+	Err     string
+	Retries int // transactional runtimes: abort/retry count
+}
+
+// MsgRequest is the wire message a client sends to a system's ingress.
+type MsgRequest struct {
+	Request Request
+	ReplyTo string // component to receive MsgResponse
+}
+
+// MsgResponse is the wire message the egress sends back.
+type MsgResponse struct {
+	Response Response
+}
+
+// System is the minimal facade a simulated runtime exposes to clients.
+type System interface {
+	// IngressID is the component that accepts MsgRequest.
+	IngressID() string
+	// ClientLink returns the client-edge latency model.
+	ClientLink() sim.Latency
+}
+
+// ---------------------------------------------------------------------------
+// Scripted client (tests, examples)
+
+// Scheduled is one scripted submission.
+type Scheduled struct {
+	At  time.Duration
+	Req Request
+}
+
+// ScriptClient submits a fixed schedule of requests and records responses
+// and latencies. Register it with the cluster, then inspect it after the
+// run.
+type ScriptClient struct {
+	ID        string
+	Sys       System
+	Script    []Scheduled
+	Responses map[string]Response
+	Latency   *metrics.Series
+	PerKind   map[string]*metrics.Series
+	sentAt    map[string]time.Duration
+	kinds     map[string]string
+	// Done counts received responses.
+	Done int
+}
+
+// NewScriptClient builds a scripted client.
+func NewScriptClient(id string, sys System, script []Scheduled) *ScriptClient {
+	return &ScriptClient{
+		ID: id, Sys: sys, Script: script,
+		Responses: map[string]Response{},
+		Latency:   metrics.NewSeries(),
+		PerKind:   map[string]*metrics.Series{},
+		sentAt:    map[string]time.Duration{},
+		kinds:     map[string]string{},
+	}
+}
+
+// OnStart schedules every scripted submission.
+func (c *ScriptClient) OnStart(ctx *sim.Context) {
+	for _, s := range c.Script {
+		ctx.After(s.At, msgSubmit{req: s.Req})
+	}
+}
+
+type msgSubmit struct{ req Request }
+
+// OnMessage implements sim.Handler.
+func (c *ScriptClient) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case msgSubmit:
+		c.sentAt[m.req.Req] = ctx.Now()
+		c.kinds[m.req.Req] = m.req.Kind
+		ctx.Send(c.Sys.IngressID(), MsgRequest{Request: m.req, ReplyTo: c.ID},
+			c.Sys.ClientLink().Sample(ctx.Rand()))
+	case MsgResponse:
+		if _, dup := c.Responses[m.Response.Req]; dup {
+			return // duplicate delivery (should not happen; egress dedupes)
+		}
+		c.Responses[m.Response.Req] = m.Response
+		c.Done++
+		if at, ok := c.sentAt[m.Response.Req]; ok {
+			lat := ctx.Now() - at
+			c.Latency.Add(lat)
+			kind := c.kinds[m.Response.Req]
+			if kind != "" {
+				s, ok := c.PerKind[kind]
+				if !ok {
+					s = metrics.NewSeries()
+					c.PerKind[kind] = s
+				}
+				s.Add(lat)
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Open-loop generator (benchmarks)
+
+// Generator submits requests drawn from a workload function at a fixed
+// arrival rate (open loop: arrivals do not wait for responses, so queueing
+// delay shows up as latency exactly like in the paper's experiments).
+type Generator struct {
+	ID   string
+	Sys  System
+	Rate float64 // requests per second
+	// Horizon stops arrivals after this virtual time.
+	Horizon time.Duration
+	// WarmUp discards latency samples before this time.
+	WarmUp time.Duration
+	// Next produces the i-th request.
+	Next func(i int) Request
+
+	Latency   *metrics.Series
+	PerKind   map[string]*metrics.Series
+	Errors    int
+	Done      int
+	Submitted int
+	sentAt    map[string]time.Duration
+	kinds     map[string]string
+	seq       int
+}
+
+// NewGenerator builds an open-loop generator.
+func NewGenerator(id string, sys System, rate float64, horizon, warmUp time.Duration, next func(i int) Request) *Generator {
+	return &Generator{
+		ID: id, Sys: sys, Rate: rate, Horizon: horizon, WarmUp: warmUp, Next: next,
+		Latency: metrics.NewSeries(),
+		PerKind: map[string]*metrics.Series{},
+		sentAt:  map[string]time.Duration{},
+		kinds:   map[string]string{},
+	}
+}
+
+type msgArrival struct{}
+
+// OnStart schedules the first arrival.
+func (g *Generator) OnStart(ctx *sim.Context) {
+	ctx.After(g.interArrival(ctx), msgArrival{})
+}
+
+// interArrival draws an exponential gap (Poisson arrivals).
+func (g *Generator) interArrival(ctx *sim.Context) time.Duration {
+	if g.Rate <= 0 {
+		return time.Hour
+	}
+	mean := float64(time.Second) / g.Rate
+	return time.Duration(ctx.Rand().ExpFloat64() * mean)
+}
+
+// OnMessage implements sim.Handler.
+func (g *Generator) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case msgArrival:
+		if ctx.Now() > g.Horizon {
+			return
+		}
+		req := g.Next(g.seq)
+		g.seq++
+		g.Submitted++
+		g.sentAt[req.Req] = ctx.Now()
+		g.kinds[req.Req] = req.Kind
+		ctx.Send(g.Sys.IngressID(), MsgRequest{Request: req, ReplyTo: g.ID},
+			g.Sys.ClientLink().Sample(ctx.Rand()))
+		ctx.After(g.interArrival(ctx), msgArrival{})
+	case MsgResponse:
+		g.Done++
+		if m.Response.Err != "" {
+			g.Errors++
+		}
+		at, ok := g.sentAt[m.Response.Req]
+		if !ok {
+			return
+		}
+		delete(g.sentAt, m.Response.Req)
+		if at < g.WarmUp {
+			return
+		}
+		lat := ctx.Now() - at
+		g.Latency.Add(lat)
+		kind := g.kinds[m.Response.Req]
+		delete(g.kinds, m.Response.Req)
+		if kind != "" {
+			s, ok := g.PerKind[kind]
+			if !ok {
+				s = metrics.NewSeries()
+				g.PerKind[kind] = s
+			}
+			s.Add(lat)
+		}
+	}
+}

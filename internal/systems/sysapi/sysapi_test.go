@@ -1,0 +1,155 @@
+package sysapi
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/sim"
+)
+
+// echoSystem is a trivial System whose ingress component answers every
+// request after a fixed service delay.
+type echoSystem struct {
+	delay time.Duration
+}
+
+func (echoSystem) IngressID() string { return "echo" }
+
+func (echoSystem) ClientLink() sim.Latency {
+	return sim.Latency{Base: time.Millisecond}
+}
+
+type echoIngress struct{ delay time.Duration }
+
+func (e echoIngress) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	if m, ok := msg.(MsgRequest); ok {
+		ctx.Send(m.ReplyTo, MsgResponse{Response: Response{
+			Req: m.Request.Req, Value: interp.IntV(1),
+		}}, e.delay)
+	}
+}
+
+func TestScriptClientRecordsLatency(t *testing.T) {
+	cluster := sim.New(1)
+	sys := echoSystem{}
+	cluster.Add("echo", echoIngress{delay: 4 * time.Millisecond})
+	c := NewScriptClient("c", sys, []Scheduled{
+		{At: 0, Req: Request{Req: "r1", Kind: "read"}},
+		{At: 2 * time.Millisecond, Req: Request{Req: "r2", Kind: "update"}},
+	})
+	cluster.Add("c", c)
+	cluster.Start()
+	cluster.RunUntil(time.Second)
+	if c.Done != 2 {
+		t.Fatalf("done: %d", c.Done)
+	}
+	// Round trip: 1ms there + 4ms service.
+	if got := c.Latency.Min(); got != 5*time.Millisecond {
+		t.Fatalf("latency: %s", got)
+	}
+	if c.PerKind["read"].Count() != 1 || c.PerKind["update"].Count() != 1 {
+		t.Fatal("per-kind series")
+	}
+	if c.Responses["r1"].Value.I != 1 {
+		t.Fatal("response payload")
+	}
+}
+
+func TestScriptClientDedupes(t *testing.T) {
+	cluster := sim.New(1)
+	c := NewScriptClient("c", echoSystem{}, nil)
+	cluster.Add("c", c)
+	cluster.Add("echo", echoIngress{})
+	cluster.Start()
+	cluster.Inject(0, "echo", "c", MsgResponse{Response: Response{Req: "dup"}})
+	cluster.Inject(0, "echo", "c", MsgResponse{Response: Response{Req: "dup"}})
+	cluster.RunUntil(time.Second)
+	if c.Done != 1 {
+		t.Fatalf("duplicate responses counted: %d", c.Done)
+	}
+}
+
+func TestGeneratorOpenLoopRate(t *testing.T) {
+	cluster := sim.New(2)
+	sys := echoSystem{}
+	cluster.Add("echo", echoIngress{delay: time.Millisecond})
+	gen := NewGenerator("g", sys, 1000, 2*time.Second, 0, func(i int) Request {
+		return Request{Req: fmt.Sprintf("r%d", i), Kind: "read"}
+	})
+	cluster.Add("g", gen)
+	cluster.Start()
+	cluster.RunUntil(4 * time.Second)
+	// Poisson arrivals at 1000/s over 2s: expect ~2000 +- 10%.
+	if gen.Submitted < 1700 || gen.Submitted > 2300 {
+		t.Fatalf("submitted: %d", gen.Submitted)
+	}
+	if gen.Done != gen.Submitted {
+		t.Fatalf("done %d != submitted %d", gen.Done, gen.Submitted)
+	}
+	if gen.Errors != 0 {
+		t.Fatalf("errors: %d", gen.Errors)
+	}
+}
+
+func TestGeneratorWarmupDiscardsSamples(t *testing.T) {
+	cluster := sim.New(3)
+	sys := echoSystem{}
+	cluster.Add("echo", echoIngress{delay: time.Millisecond})
+	gen := NewGenerator("g", sys, 500, time.Second, 500*time.Millisecond, func(i int) Request {
+		return Request{Req: fmt.Sprintf("r%d", i)}
+	})
+	cluster.Add("g", gen)
+	cluster.Start()
+	cluster.RunUntil(3 * time.Second)
+	if gen.Latency.Count() >= gen.Done {
+		t.Fatalf("warm-up not discarded: %d samples of %d done", gen.Latency.Count(), gen.Done)
+	}
+	if gen.Latency.Count() == 0 {
+		t.Fatal("no samples after warm-up")
+	}
+}
+
+func TestGeneratorStopsAtHorizon(t *testing.T) {
+	cluster := sim.New(4)
+	sys := echoSystem{}
+	cluster.Add("echo", echoIngress{})
+	gen := NewGenerator("g", sys, 100, 100*time.Millisecond, 0, func(i int) Request {
+		return Request{Req: fmt.Sprintf("r%d", i)}
+	})
+	cluster.Add("g", gen)
+	cluster.Start()
+	cluster.RunUntil(10 * time.Second)
+	if gen.Submitted > 30 { // ~10 expected at 100/s over 100ms
+		t.Fatalf("generator ran past horizon: %d", gen.Submitted)
+	}
+	if cluster.Pending() != 0 {
+		t.Fatalf("events still pending: %d", cluster.Pending())
+	}
+}
+
+func TestGeneratorCountsErrors(t *testing.T) {
+	cluster := sim.New(5)
+	sys := echoSystem{}
+	cluster.Add("echo", failingIngress{})
+	gen := NewGenerator("g", sys, 200, 100*time.Millisecond, 0, func(i int) Request {
+		return Request{Req: fmt.Sprintf("r%d", i)}
+	})
+	cluster.Add("g", gen)
+	cluster.Start()
+	cluster.RunUntil(2 * time.Second)
+	if gen.Errors == 0 || gen.Errors != gen.Done {
+		t.Fatalf("errors: %d done: %d", gen.Errors, gen.Done)
+	}
+}
+
+type failingIngress struct{}
+
+func (failingIngress) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	if m, ok := msg.(MsgRequest); ok {
+		ctx.Send(m.ReplyTo, MsgResponse{Response: Response{
+			Req: m.Request.Req, Err: "boom",
+		}}, time.Millisecond)
+	}
+}

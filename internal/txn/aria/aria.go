@@ -1,0 +1,239 @@
+// Package aria implements the deterministic transaction protocol that
+// StateFlow layers over the dataflow (§3): an extension of Aria (Lu et
+// al., VLDB 2020). Root invocations are grouped into batches (epochs);
+// every transaction in a batch executes optimistically against the state
+// as of the batch start, buffering writes in a per-transaction workspace
+// and recording read/write reservations at entity granularity. When the
+// whole batch has finished executing, each worker validates its local
+// reservations — a transaction aborts if it read or wrote an entity that a
+// lower-TID transaction wrote — and the coordinator unions the votes into
+// a deterministic global decision. Committed workspaces apply in TID
+// order; aborted transactions are re-queued into the next batch.
+package aria
+
+import (
+	"fmt"
+	"sort"
+
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/state"
+)
+
+// TID is a transaction identifier; batch order is TID order, which makes
+// the commit decision deterministic (§3, "deterministic transaction
+// protocol").
+type TID int64
+
+// RWSet is a transaction's reservation set on one worker, at entity
+// granularity.
+type RWSet struct {
+	Reads  map[interp.EntityRef]bool
+	Writes map[interp.EntityRef]bool
+}
+
+// NewRWSet returns an empty reservation set.
+func NewRWSet() *RWSet {
+	return &RWSet{Reads: map[interp.EntityRef]bool{}, Writes: map[interp.EntityRef]bool{}}
+}
+
+// Merge unions another set into this one.
+func (rw *RWSet) Merge(o *RWSet) {
+	for r := range o.Reads {
+		rw.Reads[r] = true
+	}
+	for w := range o.Writes {
+		rw.Writes[w] = true
+	}
+}
+
+// Workspace is the per-transaction optimistic execution context on one
+// worker: reads hit the committed store (plus the transaction's own
+// writes), writes buffer locally, and reservations accumulate for
+// validation.
+type Workspace struct {
+	TID       TID
+	committed *state.Store
+	// writes holds full working copies of every entity the transaction
+	// touched with a write (copy-on-first-write).
+	writes map[interp.EntityRef]interp.MapState
+	// created marks entities the transaction constructed.
+	created map[interp.EntityRef]bool
+	RW      *RWSet
+}
+
+// NewWorkspace opens a workspace for tid over the committed store.
+func NewWorkspace(tid TID, committed *state.Store) *Workspace {
+	return &Workspace{
+		TID:       tid,
+		committed: committed,
+		writes:    map[interp.EntityRef]interp.MapState{},
+		created:   map[interp.EntityRef]bool{},
+		RW:        NewRWSet(),
+	}
+}
+
+// wsState is the interp.State view of one entity inside a workspace.
+type wsState struct {
+	ws  *Workspace
+	ref interp.EntityRef
+}
+
+// Get implements interp.State: own writes first, then the committed image.
+func (s wsState) Get(attr string) (interp.Value, bool) {
+	s.ws.RW.Reads[s.ref] = true
+	if over, ok := s.ws.writes[s.ref]; ok {
+		v, ok2 := over[attr]
+		return v, ok2
+	}
+	st, ok := s.ws.committed.Lookup(s.ref)
+	if !ok {
+		return interp.None, false
+	}
+	v, ok2 := st[attr]
+	return v, ok2
+}
+
+// Set implements interp.State: copy-on-first-write into the workspace.
+func (s wsState) Set(attr string, v interp.Value) {
+	s.ws.RW.Writes[s.ref] = true
+	over, ok := s.ws.writes[s.ref]
+	if !ok {
+		over = interp.MapState{}
+		if base, exists := s.ws.committed.Lookup(s.ref); exists {
+			for k, bv := range base {
+				over[k] = bv.Clone()
+			}
+		}
+		s.ws.writes[s.ref] = over
+	}
+	over[attr] = v
+}
+
+// Lookup implements core.Store for the executor.
+func (ws *Workspace) Lookup(ref interp.EntityRef) (interp.State, bool) {
+	if ws.created[ref] || ws.hasWrite(ref) || ws.committed.Exists(ref) {
+		ws.RW.Reads[ref] = true
+		return wsState{ws: ws, ref: ref}, true
+	}
+	return nil, false
+}
+
+func (ws *Workspace) hasWrite(ref interp.EntityRef) bool {
+	_, ok := ws.writes[ref]
+	return ok
+}
+
+// Create implements core.Store: new entities are buffered like writes.
+func (ws *Workspace) Create(ref interp.EntityRef) (interp.State, error) {
+	if ws.committed.Exists(ref) || ws.created[ref] {
+		return nil, fmt.Errorf("entity %s already exists", ref)
+	}
+	ws.created[ref] = true
+	ws.RW.Writes[ref] = true
+	ws.writes[ref] = interp.MapState{}
+	return wsState{ws: ws, ref: ref}, nil
+}
+
+// Apply installs the workspace's buffered writes into the committed store.
+// Callers must apply committed workspaces in TID order.
+func (ws *Workspace) Apply(dst *state.Store) {
+	refs := make([]interp.EntityRef, 0, len(ws.writes))
+	for ref := range ws.writes {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Class != refs[j].Class {
+			return refs[i].Class < refs[j].Class
+		}
+		return refs[i].Key < refs[j].Key
+	})
+	for _, ref := range refs {
+		dst.Put(ref, ws.writes[ref])
+	}
+}
+
+// WriteBytes estimates the serialized size of the buffered writes (used by
+// the worker cost model when applying a commit).
+func (ws *Workspace) WriteBytes() int {
+	total := 0
+	for _, st := range ws.writes {
+		total += interp.EncodedSize(st)
+	}
+	return total
+}
+
+// TouchedEntities lists every entity in the reservation set.
+func (ws *Workspace) TouchedEntities() []interp.EntityRef {
+	seen := map[interp.EntityRef]bool{}
+	for r := range ws.RW.Reads {
+		seen[r] = true
+	}
+	for w := range ws.RW.Writes {
+		seen[w] = true
+	}
+	out := make([]interp.EntityRef, 0, len(seen))
+	for ref := range seen {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Class != out[j].Class {
+			return out[i].Class < out[j].Class
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// Validate runs Aria's deterministic conflict check over one worker's
+// local reservations. order is the batch's TID order; sets holds the local
+// reservation set of each transaction that touched this worker. A
+// transaction aborts if any entity it read or wrote was written by a
+// lower-TID transaction in the batch — the WAW and RAW rules of Aria
+// (reads observe the batch-start snapshot, so WAR never aborts). The check
+// deliberately counts reservations of transactions that themselves abort
+// (Aria's conservative one-pass rule), keeping validation embarrassingly
+// parallel across workers.
+func Validate(order []TID, sets map[TID]*RWSet) []TID {
+	minWriter := map[interp.EntityRef]TID{}
+	for _, tid := range order {
+		rw, ok := sets[tid]
+		if !ok {
+			continue
+		}
+		for ref := range rw.Writes {
+			if cur, seen := minWriter[ref]; !seen || tid < cur {
+				minWriter[ref] = tid
+			}
+		}
+	}
+	var aborts []TID
+	for _, tid := range order {
+		rw, ok := sets[tid]
+		if !ok {
+			continue
+		}
+		conflicted := false
+		for ref := range rw.Writes {
+			if w, seen := minWriter[ref]; seen && w < tid {
+				conflicted = true
+				break
+			}
+		}
+		if !conflicted {
+			for ref := range rw.Reads {
+				if w, seen := minWriter[ref]; seen && w < tid {
+					conflicted = true
+					break
+				}
+			}
+		}
+		if conflicted {
+			aborts = append(aborts, tid)
+		}
+	}
+	return aborts
+}
+
+// Interface checks.
+var _ core.Store = (*Workspace)(nil)

@@ -1,0 +1,296 @@
+package aria
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/state"
+)
+
+func ref(key string) interp.EntityRef { return interp.EntityRef{Class: "A", Key: key} }
+
+func setOf(reads, writes []string) *RWSet {
+	rw := NewRWSet()
+	for _, r := range reads {
+		rw.Reads[ref(r)] = true
+	}
+	for _, w := range writes {
+		rw.Writes[ref(w)] = true
+	}
+	return rw
+}
+
+func TestValidateNoConflicts(t *testing.T) {
+	sets := map[TID]*RWSet{
+		1: setOf([]string{"x"}, []string{"x"}),
+		2: setOf([]string{"y"}, []string{"y"}),
+	}
+	if ab := Validate([]TID{1, 2}, sets); len(ab) != 0 {
+		t.Fatalf("aborts: %v", ab)
+	}
+}
+
+func TestValidateRAW(t *testing.T) {
+	// t2 reads what t1 writes: RAW, t2 aborts.
+	sets := map[TID]*RWSet{
+		1: setOf(nil, []string{"x"}),
+		2: setOf([]string{"x"}, []string{"y"}),
+	}
+	ab := Validate([]TID{1, 2}, sets)
+	if len(ab) != 1 || ab[0] != 2 {
+		t.Fatalf("aborts: %v", ab)
+	}
+}
+
+func TestValidateWAW(t *testing.T) {
+	// Both write x: lowest TID wins.
+	sets := map[TID]*RWSet{
+		1: setOf(nil, []string{"x"}),
+		2: setOf(nil, []string{"x"}),
+	}
+	ab := Validate([]TID{1, 2}, sets)
+	if len(ab) != 1 || ab[0] != 2 {
+		t.Fatalf("aborts: %v", ab)
+	}
+}
+
+func TestValidateWARCommits(t *testing.T) {
+	// t1 reads x, t2 writes x: WAR does not abort (snapshot reads, §3).
+	sets := map[TID]*RWSet{
+		1: setOf([]string{"x"}, nil),
+		2: setOf(nil, []string{"x"}),
+	}
+	if ab := Validate([]TID{1, 2}, sets); len(ab) != 0 {
+		t.Fatalf("aborts: %v", ab)
+	}
+}
+
+func TestValidateConservativeChain(t *testing.T) {
+	// t2 conflicts with t1; t3 conflicts with t2 only. Aria's one-pass
+	// rule still aborts t3 (reservations of aborted txns count).
+	sets := map[TID]*RWSet{
+		1: setOf(nil, []string{"x"}),
+		2: setOf([]string{"x"}, []string{"y"}),
+		3: setOf([]string{"y"}, nil),
+	}
+	ab := Validate([]TID{1, 2, 3}, sets)
+	if len(ab) != 2 || ab[0] != 2 || ab[1] != 3 {
+		t.Fatalf("aborts: %v", ab)
+	}
+}
+
+func TestValidateLowestAlwaysCommitsProperty(t *testing.T) {
+	// Whatever the conflict pattern, the lowest TID never aborts -> no
+	// starvation under retry (retries get the lowest TIDs of the next
+	// batch).
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		order := make([]TID, n)
+		sets := map[TID]*RWSet{}
+		keys := []string{"a", "b", "c", "d"}
+		for i := 0; i < n; i++ {
+			tid := TID(i + 1)
+			order[i] = tid
+			rw := NewRWSet()
+			for j := 0; j < 1+r.Intn(3); j++ {
+				k := keys[r.Intn(len(keys))]
+				if r.Intn(2) == 0 {
+					rw.Reads[ref(k)] = true
+				} else {
+					rw.Writes[ref(k)] = true
+				}
+			}
+			sets[tid] = rw
+		}
+		for _, ab := range Validate(order, sets) {
+			if ab == order[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDeterministicProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		build := func() ([]TID, map[TID]*RWSet) {
+			r := rand.New(rand.NewSource(seed))
+			n := 2 + r.Intn(10)
+			order := make([]TID, n)
+			sets := map[TID]*RWSet{}
+			for i := 0; i < n; i++ {
+				tid := TID(i + 1)
+				order[i] = tid
+				rw := NewRWSet()
+				rw.Writes[ref(string(rune('a'+r.Intn(4))))] = true
+				sets[tid] = rw
+			}
+			return order, sets
+		}
+		o1, s1 := build()
+		o2, s2 := build()
+		a1 := Validate(o1, s1)
+		a2 := Validate(o2, s2)
+		if len(a1) != len(a2) {
+			return false
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Workspace
+
+func TestWorkspaceReadsCommitted(t *testing.T) {
+	committed := state.NewStore()
+	committed.Put(ref("x"), interp.MapState{"v": interp.IntV(10)})
+	ws := NewWorkspace(1, committed)
+	st, ok := ws.Lookup(ref("x"))
+	if !ok {
+		t.Fatal("lookup")
+	}
+	v, ok := st.Get("v")
+	if !ok || v.I != 10 {
+		t.Fatalf("get: %v", v)
+	}
+	if !ws.RW.Reads[ref("x")] {
+		t.Fatal("read not recorded")
+	}
+}
+
+func TestWorkspaceWriteIsolation(t *testing.T) {
+	committed := state.NewStore()
+	committed.Put(ref("x"), interp.MapState{"v": interp.IntV(10)})
+	ws := NewWorkspace(1, committed)
+	st, _ := ws.Lookup(ref("x"))
+	st.Set("v", interp.IntV(99))
+	// Own read sees own write.
+	v, _ := st.Get("v")
+	if v.I != 99 {
+		t.Fatalf("own read: %v", v)
+	}
+	// Committed store untouched until Apply.
+	base, _ := committed.Lookup(ref("x"))
+	if base["v"].I != 10 {
+		t.Fatalf("committed leaked: %v", base["v"])
+	}
+	if !ws.RW.Writes[ref("x")] {
+		t.Fatal("write not recorded")
+	}
+	ws.Apply(committed)
+	base, _ = committed.Lookup(ref("x"))
+	if base["v"].I != 99 {
+		t.Fatalf("apply: %v", base["v"])
+	}
+}
+
+func TestWorkspaceCopyOnWritePreservesOtherAttrs(t *testing.T) {
+	committed := state.NewStore()
+	committed.Put(ref("x"), interp.MapState{"a": interp.IntV(1), "b": interp.IntV(2)})
+	ws := NewWorkspace(1, committed)
+	st, _ := ws.Lookup(ref("x"))
+	st.Set("a", interp.IntV(100))
+	ws.Apply(committed)
+	base, _ := committed.Lookup(ref("x"))
+	if base["a"].I != 100 || base["b"].I != 2 {
+		t.Fatalf("after apply: %v", base)
+	}
+}
+
+func TestWorkspaceCreate(t *testing.T) {
+	committed := state.NewStore()
+	ws := NewWorkspace(1, committed)
+	st, err := ws.Create(ref("new"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Set("v", interp.IntV(5))
+	// Visible inside the workspace.
+	if _, ok := ws.Lookup(ref("new")); !ok {
+		t.Fatal("created entity invisible in workspace")
+	}
+	// Invisible outside until apply.
+	if committed.Exists(ref("new")) {
+		t.Fatal("created entity leaked")
+	}
+	ws.Apply(committed)
+	if !committed.Exists(ref("new")) {
+		t.Fatal("create not applied")
+	}
+}
+
+func TestWorkspaceCreateDuplicate(t *testing.T) {
+	committed := state.NewStore()
+	committed.Put(ref("x"), interp.MapState{})
+	ws := NewWorkspace(1, committed)
+	if _, err := ws.Create(ref("x")); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+	if _, err := ws.Create(ref("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Create(ref("y")); err == nil {
+		t.Fatal("duplicate create inside workspace must fail")
+	}
+}
+
+func TestWorkspaceLookupMissing(t *testing.T) {
+	ws := NewWorkspace(1, state.NewStore())
+	if _, ok := ws.Lookup(ref("ghost")); ok {
+		t.Fatal("missing entity must not resolve")
+	}
+}
+
+func TestTwoWorkspacesAreIsolated(t *testing.T) {
+	committed := state.NewStore()
+	committed.Put(ref("x"), interp.MapState{"v": interp.IntV(0)})
+	w1 := NewWorkspace(1, committed)
+	w2 := NewWorkspace(2, committed)
+	s1, _ := w1.Lookup(ref("x"))
+	s2, _ := w2.Lookup(ref("x"))
+	s1.Set("v", interp.IntV(1))
+	v, _ := s2.Get("v")
+	if v.I != 0 {
+		t.Fatalf("w2 saw w1's write: %v", v)
+	}
+}
+
+func TestWriteBytesAndTouched(t *testing.T) {
+	committed := state.NewStore()
+	ws := NewWorkspace(1, committed)
+	if ws.WriteBytes() != 0 {
+		t.Fatal("empty workspace bytes")
+	}
+	st, _ := ws.Create(ref("a"))
+	st.Set("payload", interp.StrV(string(make([]byte, 1000))))
+	if ws.WriteBytes() < 1000 {
+		t.Fatalf("write bytes: %d", ws.WriteBytes())
+	}
+	touched := ws.TouchedEntities()
+	if len(touched) != 1 || touched[0] != ref("a") {
+		t.Fatalf("touched: %v", touched)
+	}
+}
+
+func TestRWSetMerge(t *testing.T) {
+	a := setOf([]string{"x"}, []string{"y"})
+	b := setOf([]string{"z"}, []string{"y"})
+	a.Merge(b)
+	if len(a.Reads) != 2 || len(a.Writes) != 1 {
+		t.Fatalf("merge: %v", a)
+	}
+}
