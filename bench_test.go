@@ -288,8 +288,8 @@ func BenchmarkAriaValidate(b *testing.B) {
 				tid := aria.TID(i + 1)
 				order[i] = tid
 				rw := aria.NewRWSet()
-				rw.Reads[interp.EntityRef{Class: "A", Key: fmt.Sprint(i % 64)}] = true
-				rw.Writes[interp.EntityRef{Class: "A", Key: fmt.Sprint((i + 1) % 64)}] = true
+				rw.Read(aria.ResKey{Class: 0, Key: fmt.Sprint(i % 64)}, aria.SlotBit(i%4))
+				rw.Write(aria.ResKey{Class: 0, Key: fmt.Sprint((i + 1) % 64)}, aria.SlotBit(i%4))
 				sets[tid] = rw
 			}
 			b.ResetTimer()

@@ -1,0 +1,3 @@
+module statefulentities.dev/stateflow
+
+go 1.24

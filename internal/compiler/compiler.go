@@ -66,6 +66,7 @@ func CompileChecked(info *types.Info) (*ir.Program, error) {
 		prog.OperatorOrder = append(prog.OperatorOrder, name)
 	}
 	prog.Edges = buildEdges(prog)
+	computeLayouts(prog)
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}

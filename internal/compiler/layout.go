@@ -1,0 +1,151 @@
+// Layout computation and slot stamping: the final compiler pass. The
+// static analysis already determined every class's attribute set and —
+// via the splitter's def/use analysis — every method's variable set, so
+// this pass lowers both to dense integer layouts (ir.ClassLayout and
+// ir.FrameLayout) and stamps 1-based slot indices directly into the AST
+// nodes the interpreter executes (ast.Name.Slot, ast.Attr.Slot,
+// ast.ForStmt.VarSlot). Runtimes then read and write variables and
+// attributes by slice index instead of hashing names on every access.
+package compiler
+
+import (
+	"sort"
+
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/lang/ast"
+)
+
+// computeLayouts builds and stamps all layouts for a compiled program.
+func computeLayouts(prog *ir.Program) {
+	for classID, name := range prog.OperatorOrder {
+		op := prog.Operators[name]
+		attrs := make([]string, len(op.Attrs))
+		for i, a := range op.Attrs {
+			attrs[i] = a.Name
+		}
+		op.Layout = ir.NewClassLayout(name, classID, attrs)
+		for _, mn := range op.MethodOrder {
+			m := op.Methods[mn]
+			m.Frame = frameLayout(m)
+			stampMethod(m, op.Layout)
+		}
+	}
+}
+
+// frameLayout collects every variable a method can read or write —
+// parameters, assignment targets, loop variables, splitter temporaries,
+// invoke result targets, and plain reads (which must resolve to a slot so
+// the undefined-variable check stays cheap) — and assigns dense slots:
+// parameters first in declaration order, the rest sorted for determinism.
+func frameLayout(m *ir.Method) *ir.FrameLayout {
+	seen := map[string]bool{}
+	var vars []string
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			vars = append(vars, n)
+		}
+	}
+	for _, p := range m.Params {
+		add(p.Name)
+	}
+	nParams := len(vars)
+	collect := func(e ast.Expr) {
+		ast.WalkExpr(e, func(x ast.Expr) bool {
+			if n, ok := x.(*ast.Name); ok {
+				add(n.Ident)
+			}
+			return true
+		})
+	}
+	walkStmts := func(stmts []ast.Stmt) {
+		ast.WalkStmts(stmts, func(s ast.Stmt) {
+			if f, ok := s.(*ast.ForStmt); ok {
+				add(f.Var)
+			}
+			for _, e := range ast.ExprsOf(s) {
+				collect(e)
+			}
+		})
+	}
+	walkStmts(m.Body)
+	for _, b := range m.Blocks {
+		walkStmts(b.Stmts)
+		switch t := b.Term.(type) {
+		case ir.Return:
+			collect(t.Value)
+		case ir.Branch:
+			collect(t.Cond)
+		case ir.Invoke:
+			collect(t.Recv)
+			for _, a := range t.Args {
+				collect(a)
+			}
+			add(t.AssignTo)
+		}
+		// Defensive: liveness results are derived from the same ASTs, but
+		// keep the layout a superset of whatever the runtime prunes by.
+		for _, v := range b.Params {
+			add(v)
+		}
+		for _, v := range b.Defines {
+			add(v)
+		}
+		for _, v := range b.LiveOut {
+			add(v)
+		}
+	}
+	sort.Strings(vars[nParams:])
+	return ir.NewFrameLayout(vars)
+}
+
+// stampMethod writes slot indices into every AST node of the method: both
+// the pre-split Body (executed by simple methods, __init__ and inline
+// self-calls) and the split blocks (which share and extend those nodes).
+func stampMethod(m *ir.Method, cl *ir.ClassLayout) {
+	fl := m.Frame
+	stampExpr := func(e ast.Expr) {
+		ast.WalkExpr(e, func(x ast.Expr) bool {
+			switch n := x.(type) {
+			case *ast.Name:
+				if s, ok := fl.SlotOf(n.Ident); ok {
+					n.Slot = s + 1
+				}
+			case *ast.Attr:
+				if _, isSelf := n.Recv.(*ast.SelfRef); isSelf {
+					if s, ok := cl.SlotOf(n.Field); ok {
+						n.Slot = s + 1
+					}
+				}
+			}
+			return true
+		})
+	}
+	stampStmts := func(stmts []ast.Stmt) {
+		ast.WalkStmts(stmts, func(s ast.Stmt) {
+			if f, ok := s.(*ast.ForStmt); ok {
+				if slot, ok := fl.SlotOf(f.Var); ok {
+					f.VarSlot = slot + 1
+				}
+			}
+			for _, e := range ast.ExprsOf(s) {
+				stampExpr(e)
+			}
+		})
+	}
+	stampStmts(m.Body)
+	for _, b := range m.Blocks {
+		stampStmts(b.Stmts)
+		switch t := b.Term.(type) {
+		case ir.Return:
+			stampExpr(t.Value)
+		case ir.Branch:
+			stampExpr(t.Cond)
+		case ir.Invoke:
+			stampExpr(t.Recv)
+			for _, a := range t.Args {
+				stampExpr(a)
+			}
+		}
+	}
+}

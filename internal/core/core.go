@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
@@ -23,7 +24,7 @@ type Frame struct {
 	Ref      interp.EntityRef // entity executing the method
 	Method   string
 	Block    ir.BlockID // block to run when the frame (re)gains control
-	Env      interp.Env
+	Env      *interp.Frame
 	AssignTo string // variable receiving the pending call's return value
 }
 
@@ -153,7 +154,7 @@ func keyString(v interp.Value) (string, error) {
 	case interp.KStr:
 		return v.S, nil
 	case interp.KInt:
-		return fmt.Sprintf("%d", v.I), nil
+		return strconv.FormatInt(v.I, 10), nil
 	default:
 		return "", fmt.Errorf("core: key must be str or int, got %s", v.Kind)
 	}
@@ -181,7 +182,7 @@ func (ex *Executor) stepInvoke(ev *Event, store Store) ([]*Event, error) {
 		return ex.fail(ev.Ctx, ev.Req, fmt.Sprintf("unknown operator %s", ev.Target.Class), ev.Hops)
 	}
 	if ev.Method == "__init__" {
-		return ex.stepInit(ev, op, store)
+		return ex.stepInit(ev, store)
 	}
 	m := op.Method(ev.Method)
 	if m == nil {
@@ -195,6 +196,25 @@ func (ex *Executor) stepInvoke(ev *Event, store Store) ([]*Event, error) {
 	if err != nil {
 		return ex.fail(ev.Ctx, ev.Req, err.Error(), ev.Hops)
 	}
+	// Fast path for root calls to simple methods: the single
+	// return-terminated block cannot suspend, so no execution context
+	// needs to be allocated.
+	if m.Simple && ev.Ctx == nil && len(m.Blocks) == 1 {
+		if t, ok := m.Blocks[0].Term.(ir.Return); ok {
+			res, err := ex.in.ExecBlock(ev.Target.Class, ev.Target.Key, m.Blocks[0], env, st)
+			if err != nil {
+				return ex.fail(nil, ev.Req, err.Error(), ev.Hops)
+			}
+			v := res.Value
+			if !res.Returned {
+				v, err = ex.in.Eval(ev.Target.Class, ev.Target.Key, t.Value, env, st)
+				if err != nil {
+					return ex.fail(nil, ev.Req, err.Error(), ev.Hops)
+				}
+			}
+			return ex.complete(nil, ev.Req, v, ev.Hops)
+		}
+	}
 	ctx := ev.Ctx
 	if ctx == nil {
 		ctx = &Context{Req: ev.Req}
@@ -205,17 +225,12 @@ func (ex *Executor) stepInvoke(ev *Event, store Store) ([]*Event, error) {
 	return ex.run(ctx, m, st, store, ev.Hops)
 }
 
-func (ex *Executor) stepInit(ev *Event, op *ir.Operator, store Store) ([]*Event, error) {
+func (ex *Executor) stepInit(ev *Event, store Store) ([]*Event, error) {
 	st, err := store.Create(ev.Target)
 	if err != nil {
 		return ex.fail(ev.Ctx, ev.Req, err.Error(), ev.Hops)
 	}
-	m := op.Method("__init__")
-	env, err := interp.BindParams(m, ev.Args)
-	if err != nil {
-		return ex.fail(ev.Ctx, ev.Req, err.Error(), ev.Hops)
-	}
-	_ = env
+	// ExecInit binds the parameters itself (including the arity check).
 	if err := ex.in.ExecInit(ev.Target.Class, ev.Args, st); err != nil {
 		return ex.fail(ev.Ctx, ev.Req, err.Error(), ev.Hops)
 	}
@@ -237,7 +252,7 @@ func (ex *Executor) stepResume(ev *Event, store Store) ([]*Event, error) {
 		return ex.fail(popFrame(ctx), ev.Req, fmt.Sprintf("entity %s vanished", fr.Ref), ev.Hops)
 	}
 	if fr.AssignTo != "" {
-		fr.Env[fr.AssignTo] = ev.Value
+		fr.Env.Set(fr.AssignTo, ev.Value)
 	}
 	fr.AssignTo = ""
 	m := ex.prog.MethodOf(fr.Ref.Class, fr.Method)
@@ -326,7 +341,7 @@ func (ex *Executor) suspend(ctx *Context, fr *Frame, b *ir.Block, t ir.Invoke, s
 	}
 	fr.Block = t.To
 	fr.AssignTo = t.AssignTo
-	fr.Env = fr.Env.Prune(b.LiveOut)
+	fr.Env.Prune(b.LiveOut)
 	return []*Event{{
 		Kind:   EvInvoke,
 		Req:    ctx.Req,

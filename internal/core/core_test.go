@@ -242,8 +242,8 @@ func TestContextEnvPruning(t *testing.T) {
 	}
 	// Frame belongs to the driver awaiting the first bump; only `c` is
 	// live (needed for the second bump; `a` arrives via AssignTo).
-	if _, ok := fr.Env["c"]; !ok {
-		t.Fatalf("live var c missing: %v", fr.Env)
+	if _, ok := fr.Env.Get("c"); !ok {
+		t.Fatalf("live var c missing: %v", fr.Env.ToEnv())
 	}
 	if fr.AssignTo != "a" {
 		t.Fatalf("assign-to: %q", fr.AssignTo)
@@ -253,11 +253,13 @@ func TestContextEnvPruning(t *testing.T) {
 func TestContextClone(t *testing.T) {
 	ctx := &Context{Req: "r", Stack: []Frame{{
 		Ref: interp.EntityRef{Class: "A", Key: "k"}, Method: "m", Block: 2,
-		Env: interp.Env{"x": interp.ListV(interp.IntV(1))}, AssignTo: "y",
+		Env: interp.FrameFromEnv(nil, interp.Env{"x": interp.ListV(interp.IntV(1))}), AssignTo: "y",
 	}}}
 	cl := ctx.Clone()
-	cl.Stack[0].Env["x"].L.Elems[0] = interp.IntV(99)
-	if ctx.Stack[0].Env["x"].L.Elems[0].I != 1 {
+	clx, _ := cl.Stack[0].Env.Get("x")
+	clx.L.Elems[0] = interp.IntV(99)
+	ox, _ := ctx.Stack[0].Env.Get("x")
+	if ox.L.Elems[0].I != 1 {
 		t.Fatal("clone must deep-copy envs")
 	}
 	if cl.Top().Method != "m" || cl.Req != "r" {

@@ -26,6 +26,10 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the current encoded size.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Append splices pre-encoded bytes (e.g. a row's cached encoding) into
+// the buffer.
+func (e *Encoder) Append(b []byte) { e.buf = append(e.buf, b...) }
+
 func (e *Encoder) byte(b byte)      { e.buf = append(e.buf, b) }
 func (e *Encoder) uvarint(u uint64) { e.buf = binary.AppendUvarint(e.buf, u) }
 func (e *Encoder) varint(i int64)   { e.buf = binary.AppendVarint(e.buf, i) }

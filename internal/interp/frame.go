@@ -1,0 +1,199 @@
+// Frame is the slice-backed variable environment of one method
+// activation. The compiler's layout pass assigns every variable of a
+// method a dense slot (ir.FrameLayout); the interpreter reads and writes
+// stamped names by slice index instead of hashing strings. Variables
+// outside the layout (hand-built IR, unstamped ASTs) fall back to an
+// overflow map, preserving the exact semantics of the old map-backed Env.
+package interp
+
+import (
+	"sort"
+
+	"statefulentities.dev/stateflow/internal/ir"
+)
+
+// Frame holds the variables of one method activation: a dense slot array
+// described by the method's FrameLayout plus an overflow map for names
+// outside the layout.
+type Frame struct {
+	layout *ir.FrameLayout
+	slots  []Value
+	def    uint64 // definedness bitmap for frames of up to 64 slots
+	defBig []bool // definedness spill for wider frames (non-nil iff used)
+	extra  map[string]Value
+}
+
+// NewFrame allocates an empty frame for a layout (nil layout gives a pure
+// map-backed frame).
+func NewFrame(layout *ir.FrameLayout) *Frame {
+	n := layout.NumSlots()
+	f := &Frame{layout: layout, slots: make([]Value, n)}
+	if n > 64 {
+		f.defBig = make([]bool, n)
+	}
+	return f
+}
+
+func (f *Frame) defined(i int) bool {
+	if f.defBig != nil {
+		return f.defBig[i]
+	}
+	return f.def&(1<<uint(i)) != 0
+}
+
+func (f *Frame) setDef(i int) {
+	if f.defBig != nil {
+		f.defBig[i] = true
+		return
+	}
+	f.def |= 1 << uint(i)
+}
+
+func (f *Frame) clearDef(i int) {
+	if f.defBig != nil {
+		f.defBig[i] = false
+		return
+	}
+	f.def &^= 1 << uint(i)
+}
+
+// Layout returns the frame's layout (possibly nil).
+func (f *Frame) Layout() *ir.FrameLayout { return f.layout }
+
+// Get reads a variable by name.
+func (f *Frame) Get(name string) (Value, bool) {
+	if i, ok := f.layout.SlotOf(name); ok {
+		if !f.defined(i) {
+			return None, false
+		}
+		return f.slots[i], true
+	}
+	v, ok := f.extra[name]
+	return v, ok
+}
+
+// Set writes a variable by name.
+func (f *Frame) Set(name string, v Value) {
+	if i, ok := f.layout.SlotOf(name); ok {
+		f.slots[i] = v
+		f.setDef(i)
+		return
+	}
+	if f.extra == nil {
+		f.extra = map[string]Value{}
+	}
+	f.extra[name] = v
+}
+
+// GetSlot reads a variable by 0-based layout slot.
+func (f *Frame) GetSlot(i int) (Value, bool) {
+	if i >= len(f.slots) || !f.defined(i) {
+		return None, false
+	}
+	return f.slots[i], true
+}
+
+// SetSlot writes a variable by 0-based layout slot.
+func (f *Frame) SetSlot(i int, v Value) {
+	f.slots[i] = v
+	f.setDef(i)
+}
+
+// Len counts defined variables.
+func (f *Frame) Len() int {
+	n := len(f.extra)
+	for i := range f.slots {
+		if f.defined(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Names lists defined variable names, sorted.
+func (f *Frame) Names() []string {
+	out := make([]string, 0, f.Len())
+	for i := range f.slots {
+		if f.defined(i) {
+			out = append(out, f.layout.Vars[i])
+		}
+	}
+	for k := range f.extra {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the frame so suspended continuations are isolated
+// from later mutation.
+func (f *Frame) Clone() *Frame {
+	out := &Frame{layout: f.layout, slots: make([]Value, len(f.slots)), def: f.def}
+	if f.defBig != nil {
+		out.defBig = make([]bool, len(f.defBig))
+		copy(out.defBig, f.defBig)
+	}
+	for i := range f.slots {
+		if f.defined(i) {
+			out.slots[i] = f.slots[i].Clone()
+		}
+	}
+	if len(f.extra) > 0 {
+		out.extra = make(map[string]Value, len(f.extra))
+		for k, v := range f.extra {
+			out.extra[k] = v.Clone()
+		}
+	}
+	return out
+}
+
+// Prune drops every variable not in keep (the block's live-out set),
+// releasing the values the continuation no longer needs.
+func (f *Frame) Prune(keep []string) {
+	keepSlot := make([]bool, len(f.slots))
+	var keepExtra map[string]bool
+	for _, k := range keep {
+		if i, ok := f.layout.SlotOf(k); ok {
+			keepSlot[i] = true
+		} else if f.extra != nil {
+			if keepExtra == nil {
+				keepExtra = map[string]bool{}
+			}
+			keepExtra[k] = true
+		}
+	}
+	for i := range f.slots {
+		if !keepSlot[i] {
+			f.slots[i] = None
+			f.clearDef(i)
+		}
+	}
+	for k := range f.extra {
+		if !keepExtra[k] {
+			delete(f.extra, k)
+		}
+	}
+}
+
+// ToEnv converts the frame to a name-keyed Env (tests, debugging).
+func (f *Frame) ToEnv() Env {
+	out := make(Env, f.Len())
+	for i := range f.slots {
+		if f.defined(i) {
+			out[f.layout.Vars[i]] = f.slots[i]
+		}
+	}
+	for k, v := range f.extra {
+		out[k] = v
+	}
+	return out
+}
+
+// FrameFromEnv builds a frame over a layout from name-keyed variables.
+func FrameFromEnv(layout *ir.FrameLayout, env Env) *Frame {
+	f := NewFrame(layout)
+	for k, v := range env {
+		f.Set(k, v)
+	}
+	return f
+}

@@ -47,13 +47,26 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("%s: runtime error: %s", e.Pos, e.Msg)
 }
 
-// Interp executes entity code of one compiled program.
+// Interp executes entity code of one compiled program. By default it
+// takes the slotted fast path — variables and self attributes stamped
+// with layout slots by the compiler resolve by slice index — and falls
+// back to name-keyed lookup for unstamped nodes or map-only state
+// backends. SetSlotted(false) forces the name-keyed path everywhere;
+// differential tests use it to prove both paths compute identical state.
 type Interp struct {
-	Prog *ir.Program
+	Prog    *ir.Program
+	slotted bool
 }
 
-// New returns an interpreter over a compiled program.
-func New(prog *ir.Program) *Interp { return &Interp{Prog: prog} }
+// New returns an interpreter over a compiled program (slotted execution
+// enabled).
+func New(prog *ir.Program) *Interp { return &Interp{Prog: prog, slotted: true} }
+
+// SetSlotted toggles the slotted fast path (true by default).
+func (in *Interp) SetSlotted(on bool) { in.slotted = on }
+
+// Slotted reports whether the slotted fast path is enabled.
+func (in *Interp) Slotted() bool { return in.slotted }
 
 // Result is the outcome of executing a block's statement list.
 type Result struct {
@@ -64,8 +77,11 @@ type Result struct {
 type frame struct {
 	class string
 	key   string
-	env   Env
+	env   *Frame
 	state State
+	// slots is the state's slot fast path, non-nil only when slotted
+	// execution is on and the backend supports it.
+	slots SlotState
 	depth int
 }
 
@@ -80,10 +96,41 @@ const (
 
 const maxCallDepth = 64
 
-// ExecBlock runs a block's statements. The env is mutated in place.
-func (in *Interp) ExecBlock(class, key string, b *ir.Block, env Env, st State) (Result, error) {
-	fr := &frame{class: class, key: key, env: env, state: st}
-	c, v, err := in.execStmts(b.Stmts, fr)
+// getVar reads a variable through its 1-based slot stamp when slotted
+// execution is on and the stamp fits the frame layout, falling back to
+// name lookup otherwise.
+func (in *Interp) getVar(fr *frame, slot int, name string) (Value, bool) {
+	if in.slotted && slot > 0 && slot <= len(fr.env.slots) {
+		return fr.env.GetSlot(slot - 1)
+	}
+	return fr.env.Get(name)
+}
+
+// setVar writes a variable through its 1-based slot stamp when possible
+// (see getVar).
+func (in *Interp) setVar(fr *frame, slot int, name string, v Value) {
+	if in.slotted && slot > 0 && slot <= len(fr.env.slots) {
+		fr.env.SetSlot(slot-1, v)
+		return
+	}
+	fr.env.Set(name, v)
+}
+
+// makeFrame pairs a variable frame with a state backend, capturing the
+// state's slot fast path when available. Returned by value so entry
+// points keep activation records on the stack.
+func (in *Interp) makeFrame(class, key string, env *Frame, st State, depth int) frame {
+	fr := frame{class: class, key: key, env: env, state: st, depth: depth}
+	if in.slotted {
+		fr.slots, _ = st.(SlotState)
+	}
+	return fr
+}
+
+// ExecBlock runs a block's statements. The frame is mutated in place.
+func (in *Interp) ExecBlock(class, key string, b *ir.Block, env *Frame, st State) (Result, error) {
+	fr := in.makeFrame(class, key, env, st, 0)
+	c, v, err := in.execStmts(b.Stmts, &fr)
 	if err != nil {
 		return Result{}, err
 	}
@@ -99,12 +146,12 @@ func (in *Interp) ExecBlock(class, key string, b *ir.Block, env Env, st State) (
 // Eval evaluates a single expression in the given context; used by operator
 // logic to evaluate terminator conditions, invoke arguments and return
 // values.
-func (in *Interp) Eval(class, key string, e ast.Expr, env Env, st State) (Value, error) {
+func (in *Interp) Eval(class, key string, e ast.Expr, env *Frame, st State) (Value, error) {
 	if e == nil {
 		return None, nil
 	}
-	fr := &frame{class: class, key: key, env: env, state: st}
-	return in.eval(e, fr)
+	fr := in.makeFrame(class, key, env, st, 0)
+	return in.eval(e, &fr)
 }
 
 // ExecSimple runs a simple (unsplit) method to completion: it builds the
@@ -121,8 +168,8 @@ func (in *Interp) ExecSimple(class, key, method string, args []Value, st State) 
 	if err != nil {
 		return None, err
 	}
-	fr := &frame{class: class, key: key, env: env, state: st}
-	c, v, err := in.execStmts(m.Body, fr)
+	fr := in.makeFrame(class, key, env, st, 0)
+	c, v, err := in.execStmts(m.Body, &fr)
 	if err != nil {
 		return None, err
 	}
@@ -143,21 +190,27 @@ func (in *Interp) ExecInit(class string, args []Value, st State) error {
 	if err != nil {
 		return err
 	}
-	fr := &frame{class: class, env: env, state: st, key: ""}
-	_, _, err = in.execStmts(m.Body, fr)
+	fr := in.makeFrame(class, "", env, st, 0)
+	_, _, err = in.execStmts(m.Body, &fr)
 	return err
 }
 
-// BindParams zips method parameters with argument values.
-func BindParams(m *ir.Method, args []Value) (Env, error) {
+// BindParams zips method parameters with argument values into a fresh
+// frame over the method's layout. Parameters occupy the leading slots.
+func BindParams(m *ir.Method, args []Value) (*Frame, error) {
 	if len(args) != len(m.Params) {
 		return nil, &RuntimeError{Msg: fmt.Sprintf("%s expects %d args, got %d", m.Name, len(m.Params), len(args))}
 	}
-	env := make(Env, len(args)+4)
+	f := NewFrame(m.Frame)
 	for i, p := range m.Params {
-		env[p.Name] = args[i]
+		// The layout pass places parameters in the leading slots.
+		if m.Frame != nil && i < len(m.Frame.Vars) && m.Frame.Vars[i] == p.Name {
+			f.SetSlot(i, args[i])
+		} else {
+			f.Set(p.Name, args[i])
+		}
 	}
-	return env, nil
+	return f, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -257,7 +310,7 @@ func (in *Interp) execStmt(s ast.Stmt, fr *frame) (ctrl, Value, error) {
 			return ctrlNone, None, &RuntimeError{Pos: x.Pos(), Msg: "for requires a list"}
 		}
 		for _, elem := range iter.L.Elems {
-			fr.env[x.Var] = elem
+			in.setVar(fr, x.VarSlot, x.Var, elem)
 			c, v, err := in.execStmts(x.Body, fr)
 			if err != nil {
 				return ctrlNone, None, err
@@ -278,13 +331,17 @@ func (in *Interp) execStmt(s ast.Stmt, fr *frame) (ctrl, Value, error) {
 func (in *Interp) assign(target ast.Expr, v Value, fr *frame) error {
 	switch t := target.(type) {
 	case *ast.Name:
-		fr.env[t.Ident] = v
+		in.setVar(fr, t.Slot, t.Ident, v)
 		return nil
 	case *ast.Attr:
 		if _, isSelf := t.Recv.(*ast.SelfRef); !isSelf {
 			return &RuntimeError{Pos: t.Pos(), Msg: "can only assign self attributes"}
 		}
-		fr.state.Set(t.Field, v)
+		if fr.slots != nil && t.Slot > 0 {
+			fr.slots.SetSlot(t.Slot-1, v)
+		} else {
+			fr.state.Set(t.Field, v)
+		}
 		return nil
 	case *ast.Index:
 		recv, err := in.eval(t.Recv, fr)
@@ -328,7 +385,11 @@ func (in *Interp) assign(target ast.Expr, v Value, fr *frame) error {
 func (in *Interp) touchStateAttr(recvExpr ast.Expr, v Value, fr *frame) {
 	if attr, ok := recvExpr.(*ast.Attr); ok {
 		if _, isSelf := attr.Recv.(*ast.SelfRef); isSelf {
-			fr.state.Set(attr.Field, v)
+			if fr.slots != nil && attr.Slot > 0 {
+				fr.slots.SetSlot(attr.Slot-1, v)
+			} else {
+				fr.state.Set(attr.Field, v)
+			}
 		}
 	}
 }
@@ -351,13 +412,17 @@ func (in *Interp) eval(e ast.Expr, fr *frame) (Value, error) {
 	case *ast.SelfRef:
 		return RefV(fr.class, fr.key), nil
 	case *ast.Name:
-		if v, ok := fr.env[x.Ident]; ok {
+		if v, ok := in.getVar(fr, x.Slot, x.Ident); ok {
 			return v, nil
 		}
 		return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf("undefined variable %s", x.Ident)}
 	case *ast.Attr:
 		if _, isSelf := x.Recv.(*ast.SelfRef); isSelf {
-			if v, ok := fr.state.Get(x.Field); ok {
+			if fr.slots != nil && x.Slot > 0 {
+				if v, ok := fr.slots.GetSlot(x.Slot - 1); ok {
+					return v, nil
+				}
+			} else if v, ok := fr.state.Get(x.Field); ok {
 				return v, nil
 			}
 			return None, &RuntimeError{Pos: x.Pos(), Msg: fmt.Sprintf("entity has no attribute %s", x.Field)}
@@ -665,8 +730,8 @@ func (in *Interp) evalCall(x *ast.Call, fr *frame) (Value, error) {
 		if err != nil {
 			return None, err
 		}
-		sub := &frame{class: fr.class, key: fr.key, env: env, state: fr.state, depth: fr.depth + 1}
-		c, v, err := in.execStmts(m.Body, sub)
+		sub := in.makeFrame(fr.class, fr.key, env, fr.state, fr.depth+1)
+		c, v, err := in.execStmts(m.Body, &sub)
 		if err != nil {
 			return None, err
 		}

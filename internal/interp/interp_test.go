@@ -29,7 +29,7 @@ func evalSrc(t *testing.T, body string, env Env, st MapState) (Value, error) {
 	if st == nil {
 		st = MapState{}
 	}
-	fr := &frame{class: "C", key: "k", env: env, state: st}
+	fr := &frame{class: "C", key: "k", env: FrameFromEnv(nil, env), state: st}
 	c, v, err := in.execStmts(fn.Body, fr)
 	if err != nil {
 		return None, err
@@ -270,7 +270,7 @@ func TestContainerAttrMutationMarksState(t *testing.T) {
 	}
 	fn := mod.Class("C").Method("m")
 	in := &Interp{}
-	fr := &frame{class: "C", key: "k", env: Env{}, state: track}
+	fr := &frame{class: "C", key: "k", env: NewFrame(nil), state: track}
 	_, v, err := in.execStmts(fn.Body, fr)
 	if err != nil {
 		t.Fatal(err)

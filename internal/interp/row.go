@@ -1,0 +1,294 @@
+// Row is the dense, slot-indexed attribute store of one entity instance —
+// the slotted counterpart of MapState. The class's ir.ClassLayout fixes a
+// slot for every declared attribute; dynamically-added attributes (only
+// possible through hand-built IR) spill into an overflow map. Rows cache
+// their canonical encoding so state-size cost accounting and snapshot
+// writes stop re-serializing unchanged entities: any write invalidates
+// the cache, and the codec walks the layout's precomputed sorted slot
+// order so the bytes stay identical to the name-keyed MapState encoding
+// (which differential tests rely on).
+package interp
+
+import (
+	"sort"
+
+	"statefulentities.dev/stateflow/internal/ir"
+)
+
+// SlotState is the fast path of State: attribute access by layout slot
+// index, used by the interpreter when executing slot-stamped ASTs against
+// slot-capable state backends.
+type SlotState interface {
+	State
+	// GetSlot reads the attribute in a 0-based layout slot.
+	GetSlot(slot int) (Value, bool)
+	// SetSlot writes the attribute in a 0-based layout slot.
+	SetSlot(slot int, v Value)
+}
+
+// Row holds one entity's attributes in layout order.
+type Row struct {
+	layout      *ir.ClassLayout
+	slots       []Value
+	presentBits uint64           // presence bitmap for rows of up to 64 slots
+	presentBig  []bool           // presence spill for wider rows (non-nil iff used)
+	extra       map[string]Value // attributes outside the layout (rare)
+	enc         []byte           // cached canonical encoding; nil = dirty
+	// aliased disables the encoding cache: a container value (list/dict)
+	// was handed out by Get, so the holder can mutate the row's state
+	// through the shared backing store without going through Set. The
+	// flag is deliberately sticky — the alias may outlive any later Set
+	// (touchStateAttr re-installs the same container) — so an aliased
+	// row re-encodes per call, exactly the pre-slotted behavior. Scalars
+	// are copied on read, so scalar-only rows keep full caching.
+	aliased bool
+}
+
+// NewRow allocates an empty row for a class layout (nil layout gives a
+// pure map-backed row).
+func NewRow(layout *ir.ClassLayout) *Row {
+	n := layout.NumSlots()
+	r := &Row{layout: layout, slots: make([]Value, n)}
+	if n > 64 {
+		r.presentBig = make([]bool, n)
+	}
+	return r
+}
+
+func (r *Row) isPresent(i int) bool {
+	if r.presentBig != nil {
+		return r.presentBig[i]
+	}
+	return r.presentBits&(1<<uint(i)) != 0
+}
+
+func (r *Row) markPresent(i int) {
+	if r.presentBig != nil {
+		r.presentBig[i] = true
+		return
+	}
+	r.presentBits |= 1 << uint(i)
+}
+
+// RowFromMap builds a row over a layout from name-keyed attributes.
+func RowFromMap(layout *ir.ClassLayout, st MapState) *Row {
+	r := NewRow(layout)
+	for k, v := range st {
+		r.Set(k, v)
+	}
+	return r
+}
+
+// Layout returns the row's class layout (possibly nil).
+func (r *Row) Layout() *ir.ClassLayout { return r.layout }
+
+// leak marks the row uncacheable when a container value escapes.
+func (r *Row) leak(v Value) Value {
+	if v.Kind == KList || v.Kind == KDict {
+		r.aliased = true
+		r.enc = nil
+	}
+	return v
+}
+
+// Get implements State.
+func (r *Row) Get(attr string) (Value, bool) {
+	if i, ok := r.layout.SlotOf(attr); ok {
+		if !r.isPresent(i) {
+			return None, false
+		}
+		return r.leak(r.slots[i]), true
+	}
+	v, ok := r.extra[attr]
+	if ok {
+		v = r.leak(v)
+	}
+	return v, ok
+}
+
+// Set implements State, invalidating the cached encoding.
+func (r *Row) Set(attr string, v Value) {
+	r.enc = nil
+	if i, ok := r.layout.SlotOf(attr); ok {
+		r.slots[i] = v
+		r.markPresent(i)
+		return
+	}
+	if r.extra == nil {
+		r.extra = map[string]Value{}
+	}
+	r.extra[attr] = v
+}
+
+// GetSlot implements SlotState.
+func (r *Row) GetSlot(slot int) (Value, bool) {
+	if slot >= len(r.slots) || !r.isPresent(slot) {
+		return None, false
+	}
+	return r.leak(r.slots[slot]), true
+}
+
+// SetSlot implements SlotState, invalidating the cached encoding.
+func (r *Row) SetSlot(slot int, v Value) {
+	r.enc = nil
+	r.slots[slot] = v
+	r.markPresent(slot)
+}
+
+// Len counts present attributes.
+func (r *Row) Len() int {
+	n := len(r.extra)
+	for i := range r.slots {
+		if r.isPresent(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// ToMap returns the attributes as a MapState sharing the row's values.
+// Shared containers count as escaped aliases (see Get).
+func (r *Row) ToMap() MapState {
+	out := make(MapState, r.Len())
+	for i := range r.slots {
+		if r.isPresent(i) {
+			out[r.layout.Attrs[i]] = r.leak(r.slots[i])
+		}
+	}
+	for k, v := range r.extra {
+		out[k] = r.leak(v)
+	}
+	return out
+}
+
+// CloneMap returns the attributes as a deep-copied MapState.
+func (r *Row) CloneMap() MapState {
+	out := make(MapState, r.Len())
+	for i := range r.slots {
+		if r.isPresent(i) {
+			out[r.layout.Attrs[i]] = r.slots[i].Clone()
+		}
+	}
+	for k, v := range r.extra {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// Clone deep-copies the row. The encoding cache carries over (clones
+// encode identically).
+func (r *Row) Clone() *Row {
+	out := &Row{layout: r.layout, slots: make([]Value, len(r.slots)), presentBits: r.presentBits}
+	if r.presentBig != nil {
+		out.presentBig = make([]bool, len(r.presentBig))
+		copy(out.presentBig, r.presentBig)
+	}
+	for i := range r.slots {
+		if r.isPresent(i) {
+			out.slots[i] = r.slots[i].Clone()
+		}
+	}
+	if len(r.extra) > 0 {
+		out.extra = make(map[string]Value, len(r.extra))
+		for k, v := range r.extra {
+			out.extra[k] = v.Clone()
+		}
+	}
+	if r.enc != nil {
+		out.enc = r.enc
+	}
+	return out
+}
+
+// Encoding returns the row's canonical encoding — byte-identical to
+// Encoder.State over the row's attributes — computing and caching it if
+// dirty. Rows with escaped container aliases re-encode every time (the
+// alias holder can mutate state without notifying the row). The returned
+// slice must not be mutated.
+func (r *Row) Encoding() []byte {
+	if r.aliased {
+		e := NewEncoder()
+		r.appendEncoding(e)
+		return e.Bytes()
+	}
+	if r.enc == nil {
+		e := NewEncoder()
+		r.appendEncoding(e)
+		r.enc = e.Bytes()
+	}
+	return r.enc
+}
+
+// EncodedSize returns the serialized size of the row, cached until the
+// next write.
+func (r *Row) EncodedSize() int { return len(r.Encoding()) }
+
+// Row appends a row in canonical (sorted attribute name) order.
+func (e *Encoder) Row(r *Row) { r.appendEncoding(e) }
+
+// appendEncoding walks the layout's precomputed sorted slots so no
+// per-encode sorting or map iteration happens on the fast path. It reads
+// values directly (no alias bookkeeping): encoding does not escape them.
+func (r *Row) appendEncoding(e *Encoder) {
+	if len(r.extra) > 0 {
+		// Slow path: merge layout slots and overflow attributes by name.
+		m := make(MapState, r.Len())
+		for i := range r.slots {
+			if r.isPresent(i) {
+				m[r.layout.Attrs[i]] = r.slots[i]
+			}
+		}
+		for k, v := range r.extra {
+			m[k] = v
+		}
+		e.State(m)
+		return
+	}
+	e.uvarint(uint64(r.Len()))
+	for _, slot := range r.layout.SortedSlots() {
+		if r.isPresent(slot) {
+			e.str(r.layout.Attrs[slot])
+			e.Value(r.slots[slot])
+		}
+	}
+}
+
+// Row reads a canonical row encoding back into a row over the given
+// layout.
+func (d *Decoder) Row(layout *ir.ClassLayout) (*Row, error) {
+	st, err := d.State()
+	if err != nil {
+		return nil, err
+	}
+	return RowFromMap(layout, st), nil
+}
+
+// Equal reports semantic equality of two rows' attribute maps.
+func (r *Row) Equal(o *Row) bool {
+	if r.Len() != o.Len() {
+		return false
+	}
+	om := o.ToMap()
+	for k, v := range r.ToMap() {
+		ov, ok := om[k]
+		if !ok || !v.Equal(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// Attrs lists present attribute names, sorted.
+func (r *Row) Attrs() []string {
+	out := make([]string, 0, r.Len())
+	for i := range r.slots {
+		if r.isPresent(i) {
+			out = append(out, r.layout.Attrs[i])
+		}
+	}
+	for k := range r.extra {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,246 @@
+package interp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"statefulentities.dev/stateflow/internal/ir"
+)
+
+func testLayout() *ir.ClassLayout {
+	return ir.NewClassLayout("C", 0, []string{"b", "a", "c"})
+}
+
+func TestRowGetSetSlots(t *testing.T) {
+	r := NewRow(testLayout())
+	if _, ok := r.Get("a"); ok {
+		t.Fatal("fresh row must be empty")
+	}
+	r.Set("a", IntV(1))
+	if v, ok := r.Get("a"); !ok || v.I != 1 {
+		t.Fatalf("get a: %v %v", v, ok)
+	}
+	// Slot access agrees with name access.
+	slot, _ := r.Layout().SlotOf("a")
+	if v, ok := r.GetSlot(slot); !ok || v.I != 1 {
+		t.Fatalf("get slot: %v %v", v, ok)
+	}
+	r.SetSlot(slot, IntV(2))
+	if v, _ := r.Get("a"); v.I != 2 {
+		t.Fatalf("slot write not visible by name: %v", v)
+	}
+	// Attributes outside the layout spill into the overflow map.
+	r.Set("dyn", StrV("x"))
+	if v, ok := r.Get("dyn"); !ok || v.S != "x" {
+		t.Fatalf("overflow attr: %v %v", v, ok)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len: %d", r.Len())
+	}
+}
+
+// The row codec must emit exactly the bytes of the canonical name-keyed
+// MapState encoding — differential state comparison depends on it.
+func TestRowEncodingCanonical(t *testing.T) {
+	r := NewRow(testLayout())
+	r.Set("c", ListV(IntV(1), StrV("s")))
+	r.Set("a", FloatV(2.5))
+	r.Set("b", BoolV(true))
+	e := NewEncoder()
+	e.State(r.ToMap())
+	if !bytes.Equal(r.Encoding(), e.Bytes()) {
+		t.Fatal("row encoding must match canonical MapState encoding")
+	}
+	// Including when overflow attributes force the slow path.
+	r.Set("zz", IntV(9))
+	e2 := NewEncoder()
+	e2.State(r.ToMap())
+	if !bytes.Equal(r.Encoding(), e2.Bytes()) {
+		t.Fatal("overflow row encoding must stay canonical")
+	}
+}
+
+func TestRowEncodingCacheInvalidation(t *testing.T) {
+	r := NewRow(testLayout())
+	r.Set("a", StrV("x"))
+	small := r.EncodedSize()
+	if small == 0 {
+		t.Fatal("size must be positive")
+	}
+	if r.EncodedSize() != small {
+		t.Fatal("cached size must be stable")
+	}
+	r.Set("a", StrV(string(make([]byte, 500))))
+	if r.EncodedSize() <= small {
+		t.Fatal("write must invalidate the size cache")
+	}
+	slot, _ := r.Layout().SlotOf("a")
+	before := r.EncodedSize()
+	r.SetSlot(slot, StrV("tiny"))
+	if r.EncodedSize() >= before {
+		t.Fatal("slot write must invalidate the size cache")
+	}
+}
+
+// A container value handed out by Get can be mutated through the alias
+// without a Set; the encoding must reflect such mutations instead of
+// serving stale cached bytes.
+func TestRowEncodingAliasedContainer(t *testing.T) {
+	r := NewRow(testLayout())
+	r.Set("a", ListV(IntV(1)))
+	before := len(r.Encoding())
+	v, _ := r.Get("a") // alias escapes
+	v.L.Elems = append(v.L.Elems, StrV(string(make([]byte, 100))))
+	r.Set("a", v) // what touchStateAttr does on tracked paths
+	mid := len(r.Encoding())
+	if mid <= before {
+		t.Fatal("tracked container write not re-encoded")
+	}
+	// Mutation through the alias alone, with no Set at all.
+	v.L.Elems = append(v.L.Elems, StrV(string(make([]byte, 200))))
+	if len(r.Encoding()) <= mid {
+		t.Fatal("aliased mutation served stale cached encoding")
+	}
+	e := NewEncoder()
+	e.State(MapState{"a": v})
+	if !bytes.Equal(r.Encoding(), e.Bytes()) {
+		t.Fatal("aliased row encoding must stay canonical")
+	}
+	// Scalar-only rows keep caching (the fast path): same backing array
+	// returned twice.
+	s := NewRow(testLayout())
+	s.Set("a", IntV(1))
+	if &s.Encoding()[0] != &s.Encoding()[0] {
+		t.Fatal("scalar row must serve the cached encoding")
+	}
+}
+
+func TestRowCloneIsolation(t *testing.T) {
+	r := NewRow(testLayout())
+	r.Set("a", ListV(IntV(1)))
+	c := r.Clone()
+	v, _ := c.Get("a")
+	v.L.Elems[0] = IntV(99)
+	orig, _ := r.Get("a")
+	if orig.L.Elems[0].I != 1 {
+		t.Fatal("clone must deep-copy values")
+	}
+	if !bytes.Equal(r.Encoding(), func() []byte { c2 := r.Clone(); return c2.Encoding() }()) {
+		t.Fatal("clone must encode identically")
+	}
+}
+
+func TestRowDecodeRoundTrip(t *testing.T) {
+	r := NewRow(testLayout())
+	r.Set("a", IntV(7))
+	r.Set("c", StrV("hello"))
+	d := NewDecoder(r.Encoding())
+	back, err := d.Row(testLayout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Equal(back) {
+		t.Fatalf("round trip: %v vs %v", r.ToMap(), back.ToMap())
+	}
+}
+
+// Rows wider than 64 slots exercise the presence spill path.
+func TestRowWide(t *testing.T) {
+	attrs := make([]string, 80)
+	for i := range attrs {
+		attrs[i] = fmt.Sprintf("f%02d", i)
+	}
+	wide := ir.NewClassLayout("W", 0, attrs)
+	r := NewRow(wide)
+	for i := 0; i < 80; i += 3 {
+		r.SetSlot(i, IntV(int64(i)))
+	}
+	if v, ok := r.GetSlot(78); !ok || v.I != 78 {
+		t.Fatalf("wide slot: %v %v", v, ok)
+	}
+	if _, ok := r.GetSlot(79); ok {
+		t.Fatal("unset wide slot must miss")
+	}
+	e := NewEncoder()
+	e.State(r.ToMap())
+	if !bytes.Equal(r.Encoding(), e.Bytes()) {
+		t.Fatal("wide row encoding must stay canonical")
+	}
+	c := r.Clone()
+	if !r.Equal(c) {
+		t.Fatal("wide clone")
+	}
+}
+
+func TestFrameSlotNameAgreement(t *testing.T) {
+	fl := ir.NewFrameLayout([]string{"x", "y"})
+	f := NewFrame(fl)
+	if _, ok := f.Get("x"); ok {
+		t.Fatal("fresh frame must be empty")
+	}
+	f.SetSlot(0, IntV(1))
+	if v, ok := f.Get("x"); !ok || v.I != 1 {
+		t.Fatalf("name read of slot write: %v %v", v, ok)
+	}
+	f.Set("y", IntV(2))
+	if v, ok := f.GetSlot(1); !ok || v.I != 2 {
+		t.Fatalf("slot read of name write: %v %v", v, ok)
+	}
+	f.Set("spill", IntV(3))
+	if f.Len() != 3 {
+		t.Fatalf("len: %d", f.Len())
+	}
+	names := f.Names()
+	if len(names) != 3 || names[0] != "spill" || names[1] != "x" || names[2] != "y" {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestFramePruneAndClone(t *testing.T) {
+	fl := ir.NewFrameLayout([]string{"a", "b", "c"})
+	f := NewFrame(fl)
+	f.Set("a", IntV(1))
+	f.Set("b", ListV(IntV(5)))
+	f.Set("c", IntV(3))
+	f.Set("extra", IntV(4))
+	cl := f.Clone()
+	v, _ := cl.Get("b")
+	v.L.Elems[0] = IntV(99)
+	if ov, _ := f.Get("b"); ov.L.Elems[0].I != 5 {
+		t.Fatal("clone must deep-copy")
+	}
+	f.Prune([]string{"b"})
+	if _, ok := f.Get("a"); ok {
+		t.Fatal("pruned var a survived")
+	}
+	if _, ok := f.Get("extra"); ok {
+		t.Fatal("pruned overflow var survived")
+	}
+	if v, ok := f.Get("b"); !ok || v.L.Elems[0].I != 5 {
+		t.Fatalf("live var b lost: %v %v", v, ok)
+	}
+	// Reading a pruned variable reports undefined, like the old Env.
+	if _, ok := f.GetSlot(0); ok {
+		t.Fatal("pruned slot must be undefined")
+	}
+}
+
+func TestFrameWide(t *testing.T) {
+	vars := make([]string, 70)
+	for i := range vars {
+		vars[i] = fmt.Sprintf("v%02d", i)
+	}
+	f := NewFrame(ir.NewFrameLayout(vars))
+	f.SetSlot(69, IntV(7))
+	if v, ok := f.Get("v69"); !ok || v.I != 7 {
+		t.Fatalf("wide frame: %v %v", v, ok)
+	}
+	f.Prune([]string{"v69"})
+	if _, ok := f.Get("v69"); !ok {
+		t.Fatal("wide prune lost live var")
+	}
+	if _, ok := f.Get("v00"); ok {
+		t.Fatal("wide prune kept dead var")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"statefulentities.dev/stateflow/internal/lang/ast"
 )
@@ -207,6 +208,10 @@ type Method struct {
 	ReadOnly bool          `json:"read_only"`
 	Blocks   []*Block      `json:"blocks"`
 	SM       *StateMachine `json:"state_machine"`
+	// Frame is the method's static variable layout (parameters, locals and
+	// splitter temporaries mapped to dense frame slots), stamped by the
+	// compiler's layout pass. Nil frames fall back to name-keyed storage.
+	Frame *FrameLayout `json:"frame,omitempty"`
 	// Body is the original (pre-split) body, used by Simple execution and
 	// by the local runtime.
 	Body []ast.Stmt `json:"-"`
@@ -224,11 +229,15 @@ func (m *Method) Block(id BlockID) *Block {
 // one entity class (§2.3). Operators are partitioned by entity key at
 // runtime.
 type Operator struct {
-	Name     string             `json:"name"` // class name
-	KeyAttr  string             `json:"key_attr"`
-	KeyParam string             `json:"key_param"` // __init__ parameter that carries the key
-	Attrs    []Field            `json:"attrs"`
-	Methods  map[string]*Method `json:"methods"`
+	Name     string  `json:"name"` // class name
+	KeyAttr  string  `json:"key_attr"`
+	KeyParam string  `json:"key_param"` // __init__ parameter that carries the key
+	Attrs    []Field `json:"attrs"`
+	// Layout is the class's static attribute layout (attribute name to
+	// dense slot index plus the program-wide class id), stamped by the
+	// compiler's layout pass and rebuilt on demand for hand-built IR.
+	Layout  *ClassLayout       `json:"layout,omitempty"`
+	Methods map[string]*Method `json:"methods"`
 	// MethodOrder preserves source declaration order for deterministic
 	// output.
 	MethodOrder []string `json:"method_order"`
@@ -256,6 +265,9 @@ type Program struct {
 	// Source is the original DSL source, embedded for local re-analysis
 	// and debugging.
 	Source string `json:"source,omitempty"`
+
+	layoutsOnce sync.Once
+	layouts     *Layouts
 }
 
 // Operator returns the named operator, or nil.

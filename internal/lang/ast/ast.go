@@ -201,10 +201,12 @@ type IfStmt struct {
 	Else     []Stmt // possibly nil
 }
 
-// ForStmt is `for var in iterable:`.
+// ForStmt is `for var in iterable:`. VarSlot, when non-zero, is the
+// 1-based frame slot of the loop variable (see Name.Slot).
 type ForStmt struct {
 	Position token.Pos
 	Var      string
+	VarSlot  int
 	Iterable Expr
 	Body     []Stmt
 }
@@ -257,20 +259,27 @@ type Expr interface {
 	expr()
 }
 
-// Name is an identifier reference.
+// Name is an identifier reference. Slot, when non-zero, is the 1-based
+// frame slot the compiler's layout pass resolved the identifier to;
+// interpreters use it for direct slice access and fall back to name lookup
+// when it is zero (unstamped AST).
 type Name struct {
 	Position token.Pos
 	Ident    string
+	Slot     int
 }
 
 // SelfRef is the receiver reference `self`.
 type SelfRef struct{ Position token.Pos }
 
-// Attr is attribute access `X.field` (most commonly self.field).
+// Attr is attribute access `X.field` (most commonly self.field). Slot,
+// when non-zero, is the 1-based attribute slot of Field in the enclosing
+// class's layout (stamped by the compiler for self attributes only).
 type Attr struct {
 	Position token.Pos
 	Recv     Expr
 	Field    string
+	Slot     int
 }
 
 // IntLit is an integer literal.

@@ -79,7 +79,7 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 			rt:    rt,
 			idx:   i,
 			inbox: make(chan any, cfg.MailboxDepth),
-			store: state.NewStore(),
+			store: state.NewStore(prog.Layouts()),
 		}
 		rt.workers = append(rt.workers, w)
 		rt.wg.Add(1)
@@ -197,11 +197,7 @@ func (w *worker) run() {
 		switch m := msg.(type) {
 		case probe:
 			if st, ok := w.store.Lookup(m.ref); ok {
-				cp := interp.MapState{}
-				for k, v := range st {
-					cp[k] = v.Clone()
-				}
-				m.reply <- cp
+				m.reply <- st.CloneMap()
 			} else {
 				m.reply <- nil
 			}

@@ -1,33 +1,56 @@
 // Package local implements the paper's Local runtime (§3): the complete
-// dataflow graph executes in-process with entity state held in HashMap
-// data structures. It gives developers a way to debug, unit-test and
-// validate a StateFlow program before deploying it to a distributed
+// dataflow graph executes in-process, for debugging, unit-testing and
+// validating a StateFlow program before deploying it to a distributed
 // runtime; the examples and the test suite use it as the semantic
 // reference implementation.
+//
+// Entity state lives in slot-indexed rows laid out by the compiler
+// (interp.Row) and execution takes the slotted fast path. The legacy
+// name-keyed path — HashMap state plus name-resolved variables — is kept
+// behind Options.MapFallback; differential tests run both and assert
+// byte-identical committed state.
 package local
 
 import (
 	"fmt"
 	"sort"
+	"strconv"
 
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/state"
 )
+
+// Options tune the runtime.
+type Options struct {
+	// MapFallback executes through the legacy name-keyed path: map-backed
+	// entity state and name-resolved variable access, with the slotted
+	// fast path disabled. Used by differential tests.
+	MapFallback bool
+}
 
 // Runtime executes a compiled program synchronously.
 type Runtime struct {
 	ex     *core.Executor
-	states map[interp.EntityRef]interp.MapState
+	states *state.Store                         // slotted row store (default)
+	maps   map[interp.EntityRef]interp.MapState // legacy path (MapFallback)
 	nextID int
 }
 
-// New builds a local runtime for a program.
-func New(prog *ir.Program) *Runtime {
-	return &Runtime{
-		ex:     core.NewExecutor(prog),
-		states: map[interp.EntityRef]interp.MapState{},
+// New builds a local runtime for a program (slotted execution).
+func New(prog *ir.Program) *Runtime { return NewWithOptions(prog, Options{}) }
+
+// NewWithOptions builds a local runtime with explicit options.
+func NewWithOptions(prog *ir.Program, opt Options) *Runtime {
+	r := &Runtime{ex: core.NewExecutor(prog)}
+	if opt.MapFallback {
+		r.maps = map[interp.EntityRef]interp.MapState{}
+		r.ex.Interp().SetSlotted(false)
+	} else {
+		r.states = state.NewStore(prog.Layouts())
 	}
+	return r
 }
 
 // Program returns the compiled program.
@@ -37,18 +60,28 @@ type store struct{ r *Runtime }
 
 // Lookup implements core.Store.
 func (s store) Lookup(ref interp.EntityRef) (interp.State, bool) {
-	st, ok := s.r.states[ref]
-	return st, ok
+	if s.r.maps != nil {
+		st, ok := s.r.maps[ref]
+		return st, ok
+	}
+	st, ok := s.r.states.Lookup(ref)
+	if !ok {
+		return nil, false
+	}
+	return st, true
 }
 
 // Create implements core.Store.
 func (s store) Create(ref interp.EntityRef) (interp.State, error) {
-	if _, exists := s.r.states[ref]; exists {
-		return nil, fmt.Errorf("entity %s already exists", ref)
+	if s.r.maps != nil {
+		if _, exists := s.r.maps[ref]; exists {
+			return nil, fmt.Errorf("entity %s already exists", ref)
+		}
+		st := interp.MapState{}
+		s.r.maps[ref] = st
+		return st, nil
 	}
-	st := interp.MapState{}
-	s.r.states[ref] = st
-	return st, nil
+	return s.r.states.Create(ref)
 }
 
 // Result is the outcome of a root invocation.
@@ -66,7 +99,7 @@ func (r *Runtime) Invoke(class, key, method string, args ...interp.Value) (Resul
 	r.nextID++
 	ev := &core.Event{
 		Kind:   core.EvInvoke,
-		Req:    fmt.Sprintf("req-%d", r.nextID),
+		Req:    "req-" + strconv.Itoa(r.nextID),
 		Target: interp.EntityRef{Class: class, Key: key},
 		Method: method,
 		Args:   args,
@@ -84,7 +117,7 @@ func (r *Runtime) Create(class string, args ...interp.Value) (interp.EntityRef, 
 	r.nextID++
 	ev := &core.Event{
 		Kind:   core.EvInvoke,
-		Req:    fmt.Sprintf("req-%d", r.nextID),
+		Req:    "req-" + strconv.Itoa(r.nextID),
 		Target: interp.EntityRef{Class: class, Key: key},
 		Method: "__init__",
 		Args:   args,
@@ -122,36 +155,82 @@ func (r *Runtime) drive(ev *core.Event) (Result, error) {
 
 // State returns a copy of an entity's attribute map, for assertions.
 func (r *Runtime) State(class, key string) (interp.MapState, bool) {
-	st, ok := r.states[interp.EntityRef{Class: class, Key: key}]
+	ref := interp.EntityRef{Class: class, Key: key}
+	if r.maps != nil {
+		st, ok := r.maps[ref]
+		if !ok {
+			return nil, false
+		}
+		out := interp.MapState{}
+		for k, v := range st {
+			out[k] = v.Clone()
+		}
+		return out, true
+	}
+	st, ok := r.states.Lookup(ref)
 	if !ok {
 		return nil, false
 	}
-	out := interp.MapState{}
-	for k, v := range st {
-		out[k] = v.Clone()
-	}
-	return out, true
+	return st.CloneMap(), true
 }
 
 // SetState installs entity state directly (used by workload preloading).
 func (r *Runtime) SetState(class, key string, st interp.MapState) {
-	r.states[interp.EntityRef{Class: class, Key: key}] = st
+	ref := interp.EntityRef{Class: class, Key: key}
+	if r.maps != nil {
+		r.maps[ref] = st
+		return
+	}
+	r.states.PutMap(ref, st)
 }
 
 // Exists reports whether an entity has state.
 func (r *Runtime) Exists(class, key string) bool {
-	_, ok := r.states[interp.EntityRef{Class: class, Key: key}]
-	return ok
+	ref := interp.EntityRef{Class: class, Key: key}
+	if r.maps != nil {
+		_, ok := r.maps[ref]
+		return ok
+	}
+	return r.states.Exists(ref)
 }
 
 // Keys lists the keys of all entities of a class, sorted.
 func (r *Runtime) Keys(class string) []string {
 	var out []string
-	for ref := range r.states {
+	if r.maps != nil {
+		for ref := range r.maps {
+			if ref.Class == class {
+				out = append(out, ref.Key)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	for _, ref := range r.states.Refs() {
 		if ref.Class == class {
 			out = append(out, ref.Key)
 		}
 	}
-	sort.Strings(out)
 	return out
+}
+
+// EncodeState serializes one entity's committed state canonically (the
+// sorted attribute-name codec); differential tests compare these bytes
+// across execution modes.
+func (r *Runtime) EncodeState(class, key string) ([]byte, bool) {
+	ref := interp.EntityRef{Class: class, Key: key}
+	if r.maps != nil {
+		st, ok := r.maps[ref]
+		if !ok {
+			return nil, false
+		}
+		e := interp.NewEncoder()
+		e.State(st)
+		return e.Bytes(), true
+	}
+	st, ok := r.states.Lookup(ref)
+	if !ok {
+		return nil, false
+	}
+	return st.Encoding(), true
 }

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"statefulentities.dev/stateflow/internal/ir"
 	"statefulentities.dev/stateflow/internal/state"
 )
 
@@ -22,6 +23,18 @@ type Meta struct {
 	// been consumed into committed epochs when the snapshot was taken;
 	// recovery replays the suffix.
 	SourceOffsets map[string][]int64
+	// PendingPositions records, per source topic, the log positions of
+	// requests that had been consumed but were still awaiting retry
+	// (conflict-aborted) when the snapshot was taken. Their effects are
+	// not in the images, so recovery must re-fetch and replay them in
+	// addition to the suffix — without this the aligned cut would lose
+	// in-flight retries whose positions predate the offset.
+	PendingPositions map[string][]int64
+	// Expected is the number of worker images the snapshot needs to be
+	// complete (0 means unknown: treated as complete). Latest skips
+	// snapshots that are still missing images, so a recovery triggered
+	// mid-snapshot never restores a half-written cut.
+	Expected int
 	// Bytes per worker image, for reporting.
 	Bytes map[string]int
 }
@@ -30,25 +43,36 @@ type Meta struct {
 // store a production deployment would use). It retains every snapshot so
 // tests can restore arbitrary points.
 type Store struct {
-	mu     sync.Mutex
-	nextID int64
-	metas  []Meta
-	images map[int64]map[string][]byte // snapshot id -> worker id -> encoded state
+	mu      sync.Mutex
+	nextID  int64
+	metas   []Meta
+	images  map[int64]map[string][]byte // snapshot id -> worker id -> encoded state
+	layouts *ir.Layouts                 // class layouts for restored state rows
 }
 
-// NewStore returns an empty snapshot store.
-func NewStore() *Store {
-	return &Store{images: map[int64]map[string][]byte{}}
+// NewStore returns an empty snapshot store. The class-layout registry is
+// used to lay out restored state rows; nil is allowed (restored rows fall
+// back to name-keyed maps).
+func NewStore(layouts *ir.Layouts) *Store {
+	return &Store{images: map[int64]map[string][]byte{}, layouts: layouts}
 }
 
 // Begin allocates a snapshot id for an epoch.
 func (s *Store) Begin(epoch int64, sourceOffsets map[string][]int64) int64 {
+	return s.BeginWithPending(epoch, sourceOffsets, nil, 0)
+}
+
+// BeginWithPending allocates a snapshot id, additionally recording the
+// positions of consumed-but-pending requests (see Meta.PendingPositions)
+// and the number of worker images required for completeness.
+func (s *Store) BeginWithPending(epoch int64, sourceOffsets, pending map[string][]int64, expected int) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextID++
 	id := s.nextID
 	s.metas = append(s.metas, Meta{
-		ID: id, Epoch: epoch, SourceOffsets: sourceOffsets, Bytes: map[string]int{},
+		ID: id, Epoch: epoch, SourceOffsets: sourceOffsets,
+		PendingPositions: pending, Expected: expected, Bytes: map[string]int{},
 	})
 	s.images[id] = map[string][]byte{}
 	return id
@@ -71,15 +95,21 @@ func (s *Store) Write(id int64, worker string, image []byte) error {
 	return nil
 }
 
-// Latest returns the most recent snapshot meta, or ok=false when none
-// exists.
+// Latest returns the most recent complete snapshot meta (every expected
+// worker image written), or ok=false when none exists. A snapshot still
+// being written — e.g. when recovery fires mid-snapshot because a worker
+// died before persisting its image — is skipped, so restores never use a
+// half-written cut.
 func (s *Store) Latest() (Meta, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.metas) == 0 {
-		return Meta{}, false
+	for i := len(s.metas) - 1; i >= 0; i-- {
+		m := s.metas[i]
+		if m.Expected == 0 || len(s.images[m.ID]) >= m.Expected {
+			return m, true
+		}
 	}
-	return s.metas[len(s.metas)-1], true
+	return Meta{}, false
 }
 
 // Get returns the meta for a snapshot id.
@@ -111,9 +141,9 @@ func (s *Store) Read(id int64, worker string) ([]byte, bool) {
 func (s *Store) RestoreStore(id int64, worker string) (*state.Store, error) {
 	img, ok := s.Read(id, worker)
 	if !ok {
-		return state.NewStore(), nil
+		return state.NewStore(s.layouts), nil
 	}
-	return state.DecodeStore(img)
+	return state.DecodeStore(img, s.layouts)
 }
 
 // Workers lists workers with images in a snapshot, sorted.

@@ -8,7 +8,7 @@ import (
 )
 
 func TestBeginWriteRead(t *testing.T) {
-	s := NewStore()
+	s := NewStore(nil)
 	id := s.Begin(5, map[string][]int64{"requests": {42}})
 	if err := s.Write(id, "w0", []byte{1, 2, 3}); err != nil {
 		t.Fatal(err)
@@ -26,8 +26,36 @@ func TestBeginWriteRead(t *testing.T) {
 	}
 }
 
+// A snapshot still missing worker images (e.g. a worker died before
+// persisting) must never be returned by Latest — recovery would restore
+// a half-written, inconsistent cut.
+func TestLatestSkipsIncompleteSnapshots(t *testing.T) {
+	s := NewStore(nil)
+	complete := s.BeginWithPending(1, nil, nil, 2)
+	if err := s.Write(complete, "w0", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(complete, "w1", []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	half := s.BeginWithPending(2, nil, nil, 2)
+	if err := s.Write(half, "w0", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	m, ok := s.Latest()
+	if !ok || m.ID != complete {
+		t.Fatalf("latest must skip the half-written snapshot: %+v %v", m, ok)
+	}
+	if err := s.Write(half, "w1", []byte{4}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := s.Latest(); m.ID != half {
+		t.Fatalf("completed snapshot must become latest: %+v", m)
+	}
+}
+
 func TestLatest(t *testing.T) {
-	s := NewStore()
+	s := NewStore(nil)
 	if _, ok := s.Latest(); ok {
 		t.Fatal("empty store has no latest")
 	}
@@ -43,16 +71,16 @@ func TestLatest(t *testing.T) {
 }
 
 func TestWriteUnknownSnapshot(t *testing.T) {
-	s := NewStore()
+	s := NewStore(nil)
 	if err := s.Write(99, "w0", nil); err == nil {
 		t.Fatal("unknown snapshot must fail")
 	}
 }
 
 func TestRestoreStore(t *testing.T) {
-	snaps := NewStore()
-	st := state.NewStore()
-	st.Put(interp.EntityRef{Class: "A", Key: "k"}, interp.MapState{"v": interp.IntV(7)})
+	snaps := NewStore(nil)
+	st := state.NewStore(nil)
+	st.PutMap(interp.EntityRef{Class: "A", Key: "k"}, interp.MapState{"v": interp.IntV(7)})
 	id := snaps.Begin(1, nil)
 	if err := snaps.Write(id, "w0", st.Encode()); err != nil {
 		t.Fatal(err)
@@ -62,7 +90,8 @@ func TestRestoreStore(t *testing.T) {
 		t.Fatal(err)
 	}
 	got, ok := back.Lookup(interp.EntityRef{Class: "A", Key: "k"})
-	if !ok || got["v"].I != 7 {
+	v, has := got.Get("v")
+	if !ok || !has || v.I != 7 {
 		t.Fatalf("restored: %v", got)
 	}
 	// A worker with no image restores to empty.
@@ -73,7 +102,7 @@ func TestRestoreStore(t *testing.T) {
 }
 
 func TestImagesAreCopied(t *testing.T) {
-	s := NewStore()
+	s := NewStore(nil)
 	id := s.Begin(1, nil)
 	buf := []byte{1, 2, 3}
 	if err := s.Write(id, "w0", buf); err != nil {
@@ -87,7 +116,7 @@ func TestImagesAreCopied(t *testing.T) {
 }
 
 func TestWorkersSorted(t *testing.T) {
-	s := NewStore()
+	s := NewStore(nil)
 	id := s.Begin(1, nil)
 	for _, w := range []string{"w2", "w0", "w1"} {
 		if err := s.Write(id, w, []byte{0}); err != nil {
@@ -101,7 +130,7 @@ func TestWorkersSorted(t *testing.T) {
 }
 
 func TestMultipleSnapshotsRetained(t *testing.T) {
-	s := NewStore()
+	s := NewStore(nil)
 	id1 := s.Begin(1, map[string][]int64{"requests": {10}})
 	id2 := s.Begin(2, map[string][]int64{"requests": {20}})
 	if err := s.Write(id1, "w0", []byte("old")); err != nil {

@@ -1,7 +1,11 @@
-// Package state implements the keyed state backend of a dataflow worker: a
-// committed store of entity states (one HashMap per entity, §2.3) with
-// serialization support for snapshots and size accounting for the cost
-// model of the system-overhead experiment (§4).
+// Package state implements the keyed state backend of a dataflow worker:
+// a committed store of entity states with serialization support for
+// snapshots and size accounting for the cost model of the system-overhead
+// experiment (§4). Entities are stored as dense slot-indexed rows
+// (interp.Row) laid out by the compiler's per-class attribute layouts;
+// every row caches its canonical encoding, so EncodedSize,
+// TotalEncodedSize and snapshot Encode never re-serialize an entity whose
+// state has not changed since the last serialization.
 package state
 
 import (
@@ -9,21 +13,32 @@ import (
 	"sort"
 
 	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
 )
 
 // Store holds the committed states of all entities resident on one worker
 // partition.
 type Store struct {
-	m map[interp.EntityRef]interp.MapState
+	m       map[interp.EntityRef]*interp.Row
+	layouts *ir.Layouts
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	return &Store{m: map[interp.EntityRef]interp.MapState{}}
+// NewStore returns an empty store over a program's class layouts. A nil
+// registry is allowed (tests, hand-built stores): rows then fall back to
+// name-keyed attribute maps.
+func NewStore(layouts *ir.Layouts) *Store {
+	return &Store{m: map[interp.EntityRef]*interp.Row{}, layouts: layouts}
 }
 
-// Lookup returns an entity's live state (mutable), or ok=false.
-func (s *Store) Lookup(ref interp.EntityRef) (interp.MapState, bool) {
+// Layouts exposes the store's class-layout registry (possibly nil).
+func (s *Store) Layouts() *ir.Layouts { return s.layouts }
+
+// ClassID returns the dense class id used in transaction reservation
+// keys, consistent for the lifetime of the store's layout registry.
+func (s *Store) ClassID(class string) int { return s.layouts.IDOf(class) }
+
+// Lookup returns an entity's live row (mutable), or ok=false.
+func (s *Store) Lookup(ref interp.EntityRef) (*interp.Row, bool) {
 	st, ok := s.m[ref]
 	return st, ok
 }
@@ -34,18 +49,29 @@ func (s *Store) Exists(ref interp.EntityRef) bool {
 	return ok
 }
 
+// NewRow allocates a detached row laid out for the given class (not
+// installed in the store).
+func (s *Store) NewRow(class string) *interp.Row {
+	return interp.NewRow(s.layouts.LayoutOf(class))
+}
+
 // Create allocates empty state; it fails if the entity exists.
-func (s *Store) Create(ref interp.EntityRef) (interp.MapState, error) {
+func (s *Store) Create(ref interp.EntityRef) (*interp.Row, error) {
 	if _, dup := s.m[ref]; dup {
 		return nil, fmt.Errorf("entity %s already exists", ref)
 	}
-	st := interp.MapState{}
+	st := s.NewRow(ref.Class)
 	s.m[ref] = st
 	return st, nil
 }
 
-// Put installs (or replaces) an entity's state.
-func (s *Store) Put(ref interp.EntityRef, st interp.MapState) { s.m[ref] = st }
+// Put installs (or replaces) an entity's row.
+func (s *Store) Put(ref interp.EntityRef, st *interp.Row) { s.m[ref] = st }
+
+// PutMap installs an entity's state from a name-keyed attribute map.
+func (s *Store) PutMap(ref interp.EntityRef, st interp.MapState) {
+	s.m[ref] = interp.RowFromMap(s.layouts.LayoutOf(ref.Class), st)
+}
 
 // Delete removes an entity.
 func (s *Store) Delete(ref interp.EntityRef) { delete(s.m, ref) }
@@ -69,38 +95,40 @@ func (s *Store) Refs() []interp.EntityRef {
 }
 
 // EncodedSize returns the serialized size of one entity's state, or 0 if
-// absent. Cost models charge state (de)serialization proportional to it.
+// absent. Cost models charge state (de)serialization proportional to it;
+// the size comes from the row's encoding cache, so unchanged entities
+// cost nothing to price.
 func (s *Store) EncodedSize(ref interp.EntityRef) int {
 	st, ok := s.m[ref]
 	if !ok {
 		return 0
 	}
-	return interp.EncodedSize(st)
+	return st.EncodedSize()
 }
 
-// Encode serializes the complete store deterministically.
+// Encode serializes the complete store deterministically, reusing each
+// row's cached encoding.
 func (s *Store) Encode() []byte {
-	enc := interp.NewEncoder()
-	refs := s.Refs()
 	e := interp.NewEncoder()
+	refs := s.Refs()
 	e.Value(interp.IntV(int64(len(refs))))
 	for _, ref := range refs {
 		e.Value(interp.StrV(ref.Class))
 		e.Value(interp.StrV(ref.Key))
-		e.Env(interp.Env(s.m[ref]))
+		e.Append(s.m[ref].Encoding())
 	}
-	_ = enc
 	return e.Bytes()
 }
 
-// DecodeStore rebuilds a store from Encode output.
-func DecodeStore(buf []byte) (*Store, error) {
+// DecodeStore rebuilds a store from Encode output, laying rows out by the
+// given class-layout registry (nil gives map-backed rows).
+func DecodeStore(buf []byte, layouts *ir.Layouts) (*Store, error) {
 	d := interp.NewDecoder(buf)
 	nv, err := d.Value()
 	if err != nil {
 		return nil, err
 	}
-	s := NewStore()
+	s := NewStore(layouts)
 	for i := int64(0); i < nv.I; i++ {
 		class, err := d.Value()
 		if err != nil {
@@ -110,11 +138,11 @@ func DecodeStore(buf []byte) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
-		env, err := d.Env()
+		row, err := d.Row(layouts.LayoutOf(class.S))
 		if err != nil {
 			return nil, err
 		}
-		s.m[interp.EntityRef{Class: class.S, Key: key.S}] = interp.MapState(env)
+		s.m[interp.EntityRef{Class: class.S, Key: key.S}] = row
 	}
 	if d.Remaining() != 0 {
 		return nil, fmt.Errorf("state: %d trailing bytes", d.Remaining())
@@ -124,22 +152,19 @@ func DecodeStore(buf []byte) (*Store, error) {
 
 // Clone deep-copies the store (used to fork snapshot images).
 func (s *Store) Clone() *Store {
-	out := NewStore()
+	out := NewStore(s.layouts)
 	for ref, st := range s.m {
-		cp := interp.MapState{}
-		for k, v := range st {
-			cp[k] = v.Clone()
-		}
-		out.m[ref] = cp
+		out.m[ref] = st.Clone()
 	}
 	return out
 }
 
-// TotalEncodedSize sums serialized sizes over all entities.
+// TotalEncodedSize sums serialized sizes over all entities from the rows'
+// encoding caches.
 func (s *Store) TotalEncodedSize() int {
 	total := 0
 	for _, st := range s.m {
-		total += interp.EncodedSize(st)
+		total += st.EncodedSize()
 	}
 	return total
 }

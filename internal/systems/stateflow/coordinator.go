@@ -31,6 +31,7 @@ const (
 type txnState struct {
 	req      sysapi.Request
 	replyTo  string
+	pos      int64 // source-log position of the request
 	retries  int
 	finished bool
 	value    interp.Value
@@ -48,6 +49,10 @@ type Coordinator struct {
 	// Open/closing batch.
 	batch map[aria.TID]*txnState
 	order []aria.TID
+	// unfinished counts batch transactions whose root response has not
+	// arrived yet; it makes the per-finish completion check O(1) instead
+	// of rescanning the whole batch map.
+	unfinished int
 
 	// Pending requests not yet assigned (arrivals during commit phases and
 	// retries of aborted transactions).
@@ -79,6 +84,7 @@ type Coordinator struct {
 type pendingReq struct {
 	req     sysapi.Request
 	replyTo string
+	pos     int64 // source-log position of the request
 	retries int
 }
 
@@ -122,12 +128,13 @@ func (c *Coordinator) OnMessage(ctx *sim.Context, from string, msg sim.Message) 
 // assigns it into the open batch or buffers it.
 func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 	ctx.Work(c.sys.cfg.Costs.RoutingCPU)
-	if _, _, err := c.sys.RequestLog.Produce(sourceTopic, m.Request.Req, m); err != nil {
+	_, pos, err := c.sys.RequestLog.Produce(sourceTopic, m.Request.Req, m)
+	if err != nil {
 		return
 	}
 	if c.phase == phaseOpen {
 		c.consumed++
-		c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo})
+		c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
 	}
 	// Otherwise the record waits in the log; it is drained when the next
 	// batch opens.
@@ -138,7 +145,8 @@ func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 func (c *Coordinator) assign(ctx *sim.Context, p pendingReq) {
 	c.nextTID++
 	tid := c.nextTID
-	c.batch[tid] = &txnState{req: p.req, replyTo: p.replyTo, retries: p.retries}
+	c.batch[tid] = &txnState{req: p.req, replyTo: p.replyTo, pos: p.pos, retries: p.retries}
+	c.unfinished++
 	ev := &core.Event{
 		Kind:   core.EvInvoke,
 		Req:    p.req.Req,
@@ -161,9 +169,19 @@ func (c *Coordinator) onTick(ctx *sim.Context, m msgEpochTick) {
 		ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: c.epoch})
 		return
 	}
-	c.phase = phaseClosing
-	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch})
+	c.enterPhase(ctx, phaseClosing)
 	c.maybePrepare(ctx)
+}
+
+// enterPhase transitions to a worker-dependent phase and arms the failure
+// detector: if the epoch is still stuck in this phase when the stall
+// timeout elapses, a worker is presumed dead and recovery starts. Every
+// phase that waits on all workers (execution, validation, apply,
+// snapshot) is guarded, so a worker crash can never deadlock the batch
+// pipeline.
+func (c *Coordinator) enterPhase(ctx *sim.Context, p phase) {
+	c.phase = p
+	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: p})
 }
 
 // onFinished records a transaction's root response.
@@ -178,17 +196,11 @@ func (c *Coordinator) onFinished(ctx *sim.Context, m msgTxnFinished) {
 	t.finished = true
 	t.value = m.Value
 	t.err = m.Err
+	c.unfinished--
 	c.maybePrepare(ctx)
 }
 
-func (c *Coordinator) allFinished() bool {
-	for _, t := range c.batch {
-		if !t.finished {
-			return false
-		}
-	}
-	return true
-}
+func (c *Coordinator) allFinished() bool { return c.unfinished == 0 }
 
 // maybePrepare starts validation once the closed batch fully executed
 // (Aria's execution barrier).
@@ -196,7 +208,7 @@ func (c *Coordinator) maybePrepare(ctx *sim.Context) {
 	if c.phase != phaseClosing || !c.allFinished() {
 		return
 	}
-	c.phase = phasePrepare
+	c.enterPhase(ctx, phasePrepare)
 	c.order = c.order[:0]
 	for tid := range c.batch {
 		c.order = append(c.order, tid)
@@ -235,7 +247,7 @@ func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
 			aborts = append(aborts, tid)
 		}
 	}
-	c.phase = phaseApply
+	c.enterPhase(ctx, phaseApply)
 	c.applied = map[string]bool{}
 	for _, w := range c.sys.workerIDs {
 		ctx.Send(w, msgDecide{Epoch: m.Epoch,
@@ -276,7 +288,7 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 				break
 			}
 			c.pending = append(c.pending, pendingReq{
-				req: t.req, replyTo: t.replyTo, retries: t.retries + 1,
+				req: t.req, replyTo: t.replyTo, pos: t.pos, retries: t.retries + 1,
 			})
 		default:
 			c.Commits++
@@ -303,12 +315,20 @@ func (c *Coordinator) respond(ctx *sim.Context, replyTo string, resp sysapi.Resp
 }
 
 // startSnapshot persists an aligned snapshot: the epoch boundary is the
-// alignment point, so the images plus the source offsets form a consistent
-// cut (§3).
+// alignment point, so the images plus the source offsets form a
+// consistent cut (§3). Conflict-aborted requests awaiting retry were
+// consumed before the offset but have no effects in the images, so their
+// log positions are recorded too; recovery replays them alongside the
+// suffix.
 func (c *Coordinator) startSnapshot(ctx *sim.Context) {
-	c.phase = phaseSnapshot
+	c.enterPhase(ctx, phaseSnapshot)
 	offsets := map[string][]int64{sourceTopic: {c.consumed}}
-	c.snapshotID = c.sys.Snapshots.Begin(c.epoch, offsets)
+	var pendingPos []int64
+	for _, p := range c.pending {
+		pendingPos = append(pendingPos, p.pos)
+	}
+	c.snapshotID = c.sys.Snapshots.BeginWithPending(c.epoch, offsets,
+		map[string][]int64{sourceTopic: pendingPos}, len(c.sys.workerIDs))
 	c.snapDone = map[string]bool{}
 	for _, w := range c.sys.workerIDs {
 		ctx.Send(w, msgTakeSnapshot{ID: c.snapshotID},
@@ -334,6 +354,7 @@ func (c *Coordinator) openNextBatch(ctx *sim.Context) {
 	c.phase = phaseOpen
 	c.batch = map[aria.TID]*txnState{}
 	c.order = nil
+	c.unfinished = 0
 	// Retries first (deterministic: they carry the smallest TIDs of the
 	// new batch, so starved transactions eventually win every conflict).
 	pend := c.pending
@@ -350,17 +371,17 @@ func (c *Coordinator) openNextBatch(ctx *sim.Context) {
 				break
 			}
 			m := rec.Payload.(sysapi.MsgRequest)
-			c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo})
+			c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: c.consumed})
 		}
 	}
 	ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: c.epoch})
 }
 
-// onStallCheck fires the failure detector: if the batch that armed it is
-// still executing past the stall timeout, a worker is presumed dead and
-// recovery starts.
+// onStallCheck fires the failure detector: if the epoch that armed it is
+// still stuck in the same worker-dependent phase past the stall timeout,
+// a worker is presumed dead and recovery starts.
 func (c *Coordinator) onStallCheck(ctx *sim.Context, m msgStallCheck) {
-	if m.Epoch != c.epoch || c.phase != phaseClosing {
+	if m.Epoch != c.epoch || c.phase != m.Phase {
 		return
 	}
 	c.Recover(ctx)
@@ -378,11 +399,25 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	if meta, ok := c.sys.Snapshots.Latest(); ok {
 		snapID = meta.ID
 		c.consumed = meta.SourceOffsets[sourceTopic][0]
+		// Re-queue the consumed-but-pending requests the snapshot
+		// recorded: their positions predate the offset, so the suffix
+		// replay alone would lose them.
+		for _, pos := range meta.PendingPositions[sourceTopic] {
+			rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, pos)
+			if err != nil || !ok {
+				continue
+			}
+			m := rec.Payload.(sysapi.MsgRequest)
+			c.pending = append(c.pending, pendingReq{
+				req: m.Request, replyTo: m.ReplyTo, pos: pos,
+			})
+		}
 	} else {
 		c.consumed = 0
 	}
 	c.batch = map[aria.TID]*txnState{}
 	c.order = nil
+	c.unfinished = 0
 	c.recovered = map[string]bool{}
 	c.snapshotID = snapID
 	for _, w := range c.sys.workerIDs {

@@ -55,10 +55,14 @@ type msgTakeSnapshot struct{ ID int64 }
 // msgSnapshotDone acknowledges one worker's snapshot write.
 type msgSnapshotDone struct{ ID int64 }
 
-// msgStallCheck fires if a batch has not completed within the stall
-// timeout; the coordinator then suspects a worker failure and triggers
-// recovery.
-type msgStallCheck struct{ Epoch int64 }
+// msgStallCheck fires if the epoch is still stuck in the phase that
+// armed it (execution, validation, apply or snapshot all wait on every
+// worker) when the stall timeout elapses; the coordinator then suspects
+// a worker failure and triggers recovery.
+type msgStallCheck struct {
+	Epoch int64
+	Phase phase
+}
 
 // msgRecover tells a worker to reload its committed store from a snapshot
 // (id 0 means "reset to empty").

@@ -88,12 +88,8 @@ func (s *System) QueryWhere(class string, mode QueryConsistency, pred func(Row) 
 	return rows, nil
 }
 
-func appendIf(rows []Row, key string, st interp.MapState, pred func(Row) bool) []Row {
-	cp := interp.MapState{}
-	for k, v := range st {
-		cp[k] = v.Clone()
-	}
-	row := Row{Key: key, State: cp}
+func appendIf(rows []Row, key string, st *interp.Row, pred func(Row) bool) []Row {
+	row := Row{Key: key, State: st.CloneMap()}
 	if pred(row) {
 		rows = append(rows, row)
 	}

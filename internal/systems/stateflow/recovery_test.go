@@ -1,0 +1,150 @@
+package stateflow
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/compiler"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+)
+
+// countingClient wraps the scripted client and counts every raw
+// MsgResponse delivery per request id, so tests can prove the
+// coordinator's delivered-set suppressed duplicates (the ScriptClient
+// itself silently drops them).
+type countingClient struct {
+	inner      *sysapi.ScriptClient
+	Deliveries map[string]int
+}
+
+func (c *countingClient) OnStart(ctx *sim.Context) { c.inner.OnStart(ctx) }
+
+func (c *countingClient) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	if m, ok := msg.(sysapi.MsgResponse); ok {
+		c.Deliveries[m.Response.Req]++
+	}
+	c.inner.OnMessage(ctx, from, msg)
+}
+
+// TestRecoveryMidBatchExactlyOnceDelivery crashes a worker while a batch
+// is executing, recovers from the latest snapshot, and asserts:
+//
+//   - the source-suffix replay re-commits transactions whose responses
+//     already went out before the crash (Commits counts them twice),
+//   - yet no client ever receives a second response for any request
+//     (Coordinator.delivered suppresses the duplicates),
+//   - the Retries/Recoveries/Aborts stats stay mutually consistent,
+//   - committed state matches a single serial execution (no double
+//     effects from the replay).
+func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 2
+	cfg.EpochInterval = 10 * time.Millisecond
+
+	const n = 24
+	var script []sysapi.Scheduled
+	for i := 0; i < n; i++ {
+		script = append(script, sysapi.Scheduled{
+			At:  time.Duration(i+1) * 5 * time.Millisecond,
+			Req: transferReq(fmt.Sprintf("t%d", i), acct(i%4), acct((i+1)%4), 1),
+		})
+	}
+
+	cluster := sim.New(42)
+	sys := New(cluster, prog, cfg)
+	for i := 0; i < 4; i++ {
+		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	sys.CheckpointPreloadedState()
+	client := &countingClient{
+		inner:      sysapi.NewScriptClient("client", sys, script),
+		Deliveries: map[string]int{},
+	}
+	cluster.Add("client", client)
+	cluster.Start()
+
+	// Advance in small steps until (a) a snapshot exists, (b) at least
+	// one response was delivered after it (so the replay must re-commit
+	// work whose response already went out), and (c) the coordinator is
+	// mid-batch — the batch closed with transactions still executing.
+	// Kill a worker at exactly that point.
+	snapCount := sys.Snapshots.Count()
+	commitsAtSnap := sys.Coordinator().Commits
+	for i := 0; ; i++ {
+		if c := sys.Snapshots.Count(); c != snapCount {
+			snapCount = c
+			commitsAtSnap = sys.Coordinator().Commits
+		}
+		if snapCount > 1 && sys.Coordinator().Commits > commitsAtSnap &&
+			sys.coord.phase == phaseClosing && sys.coord.unfinished > 0 {
+			break
+		}
+		if i > 50_000 {
+			t.Fatal("never observed a post-snapshot mid-batch point")
+		}
+		cluster.RunUntil(cluster.Now() + 200*time.Microsecond)
+	}
+	delivered := client.inner.Done
+	if delivered == n {
+		t.Fatalf("crash not mid-run: %d/%d responses delivered", delivered, n)
+	}
+	commitsBefore := sys.Coordinator().Commits
+	victim := sys.WorkerIDs()[sys.OwnerIndex(interp.EntityRef{Class: "Account", Key: acct(0)})]
+	cluster.Crash(victim)
+	cluster.RunUntil(10 * time.Second)
+
+	coord := sys.Coordinator()
+	if coord.Recoveries != 1 {
+		t.Fatalf("recoveries: %d", coord.Recoveries)
+	}
+	if client.inner.Done != n {
+		t.Fatalf("responses after recovery: %d/%d", client.inner.Done, n)
+	}
+	// The replay re-committed work that predates the crash but postdates
+	// the snapshot, so the commit counter exceeds the request count...
+	if coord.Commits <= commitsBefore || coord.Commits <= n {
+		t.Fatalf("replay did not re-commit: before=%d after=%d n=%d",
+			commitsBefore, coord.Commits, n)
+	}
+	// ...yet every request's response reached the client exactly once.
+	for id, count := range client.Deliveries {
+		if count != 1 {
+			t.Fatalf("request %s delivered %d times (delivered-set failed)", id, count)
+		}
+	}
+	if len(client.Deliveries) != n {
+		t.Fatalf("distinct responses: %d/%d", len(client.Deliveries), n)
+	}
+	// Stats consistency: every response's retry count is within budget,
+	// and the per-transaction retries never exceed the abort events the
+	// coordinator recorded.
+	totalRetries := 0
+	for id, resp := range client.inner.Responses {
+		if resp.Err != "" {
+			t.Fatalf("request %s failed: %s", id, resp.Err)
+		}
+		if resp.Retries > cfg.MaxRetries {
+			t.Fatalf("request %s retries %d exceed budget %d", id, resp.Retries, cfg.MaxRetries)
+		}
+		totalRetries += resp.Retries
+	}
+	if totalRetries > coord.Aborts {
+		t.Fatalf("retries %d exceed recorded aborts %d", totalRetries, coord.Aborts)
+	}
+	// Exactly-once effects: each account sent and received exactly n/4
+	// single-unit transfers, so all balances return to 100.
+	for i := 0; i < 4; i++ {
+		if got := balance(t, sys, acct(i)); got != 100 {
+			t.Fatalf("%s: got %d want 100 (duplicate or lost effects)", acct(i), got)
+		}
+	}
+}

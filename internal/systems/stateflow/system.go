@@ -41,6 +41,9 @@ type Config struct {
 	// StallTimeout is the failure detector's patience for one batch.
 	StallTimeout time.Duration
 	Costs        costmodel.Costs
+	// MapFallback disables the slotted execution fast path, forcing
+	// name-keyed variable and attribute resolution (differential testing).
+	MapFallback bool
 }
 
 // DefaultConfig mirrors the paper's deployment shape.
@@ -83,11 +86,14 @@ func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
 		executor:   core.NewExecutor(prog),
 		coordID:    "sf-coord",
 		RequestLog: queue.NewLog(),
-		Snapshots:  snapshot.NewStore(),
+		Snapshots:  snapshot.NewStore(prog.Layouts()),
 		restart:    cluster.Restart,
 	}
 	if err := sys.RequestLog.CreateTopic(sourceTopic, 1); err != nil {
 		panic(err) // fresh log; cannot happen
+	}
+	if cfg.MapFallback {
+		sys.executor.Interp().SetSlotted(false)
 	}
 	sys.coord = newCoordinator(sys)
 	cluster.Add(sys.coordID, sys.coord)
@@ -167,7 +173,7 @@ func (s *System) PreloadEntity(class string, args ...interp.Value) error {
 // preloaded dataset so a recovery that happens before the first periodic
 // snapshot rolls back to the loaded state instead of to empty stores.
 func (s *System) CheckpointPreloadedState() {
-	id := s.Snapshots.Begin(0, map[string][]int64{sourceTopic: {0}})
+	id := s.Snapshots.BeginWithPending(0, map[string][]int64{sourceTopic: {0}}, nil, len(s.workers))
 	for _, w := range s.workers {
 		if err := s.Snapshots.Write(id, w.id, w.committed.Encode()); err != nil {
 			panic(fmt.Sprintf("stateflow: preload checkpoint: %v", err))
@@ -183,9 +189,5 @@ func (s *System) EntityState(class, key string) (interp.MapState, bool) {
 	if !ok {
 		return nil, false
 	}
-	cp := interp.MapState{}
-	for k, v := range st {
-		cp[k] = v.Clone()
-	}
-	return cp, true
+	return st.CloneMap(), true
 }

@@ -38,7 +38,7 @@ func newWorker(sys *System, idx int) *Worker {
 		sys:        sys,
 		id:         workerID(idx),
 		idx:        idx,
-		committed:  state.NewStore(),
+		committed:  state.NewStore(sys.prog.Layouts()),
 		workspaces: map[aria.TID]*aria.Workspace{},
 		Breakdown:  metrics.NewBreakdown(),
 	}
@@ -190,11 +190,11 @@ func (w *Worker) onRecover(ctx *sim.Context, m msgRecover) {
 	costs := w.sys.cfg.Costs
 	w.workspaces = map[aria.TID]*aria.Workspace{}
 	if m.SnapshotID == 0 {
-		w.committed = state.NewStore()
+		w.committed = state.NewStore(w.sys.prog.Layouts())
 	} else {
 		st, err := w.sys.Snapshots.RestoreStore(m.SnapshotID, w.id)
 		if err != nil {
-			st = state.NewStore()
+			st = state.NewStore(w.sys.prog.Layouts())
 		}
 		w.committed = st
 	}
@@ -206,5 +206,5 @@ func (w *Worker) onRecover(ctx *sim.Context, m msgRecover) {
 // Preload installs entity state directly into the committed store,
 // bypassing the dataflow (used to load benchmark datasets).
 func (w *Worker) Preload(ref interp.EntityRef, st interp.MapState) {
-	w.committed.Put(ref, st)
+	w.committed.PutMap(ref, st)
 }

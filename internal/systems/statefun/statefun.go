@@ -42,6 +42,9 @@ type Config struct {
 	FlinkWorkers int
 	FnRuntimes   int
 	Costs        costmodel.Costs
+	// MapFallback disables the slotted execution fast path, forcing
+	// name-keyed variable and attribute resolution (differential testing).
+	MapFallback bool
 }
 
 // DefaultConfig mirrors the paper's balanced deployment.
@@ -87,11 +90,14 @@ func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
 	if err := sys.Log.CreateTopic(egressTopic, 1); err != nil {
 		panic(err)
 	}
+	if cfg.MapFallback {
+		sys.executor.Interp().SetSlotted(false)
+	}
 	cluster.Add(sys.brokerID, &broker{sys: sys})
 	cluster.Add(sys.routerID, &router{sys: sys})
 	cluster.Add(sys.egressID, &egress{sys: sys})
 	for i := 0; i < cfg.FlinkWorkers; i++ {
-		w := &flinkWorker{sys: sys, id: fmt.Sprintf("fl-worker-%d", i), states: state.NewStore(), Breakdown: metrics.NewBreakdown()}
+		w := &flinkWorker{sys: sys, id: fmt.Sprintf("fl-worker-%d", i), states: state.NewStore(prog.Layouts()), Breakdown: metrics.NewBreakdown()}
 		sys.workers = append(sys.workers, w)
 		cluster.Add(w.id, w)
 	}
@@ -131,7 +137,7 @@ func (s *System) KeyForCtor(class string, args []interp.Value) (string, error) {
 
 // Preload installs entity state on the owning worker before the run.
 func (s *System) Preload(ref interp.EntityRef, st interp.MapState) {
-	s.ownerOf(ref).states.Put(ref, st)
+	s.ownerOf(ref).states.PutMap(ref, st)
 }
 
 // PreloadEntity runs __init__ synchronously and preloads the result.
@@ -155,11 +161,7 @@ func (s *System) EntityState(class, key string) (interp.MapState, bool) {
 	if !ok {
 		return nil, false
 	}
-	cp := interp.MapState{}
-	for k, v := range st {
-		cp[k] = v.Clone()
-	}
-	return cp, true
+	return st.CloneMap(), true
 }
 
 // ---------------------------------------------------------------------------
@@ -180,11 +182,11 @@ type msgRecord struct {
 	Env       envelope
 }
 
-// msgFnRequest ships an event plus the entity's current state image to the
+// msgFnRequest ships an event plus the entity's current state row to the
 // remote function runtime.
 type msgFnRequest struct {
 	Env     envelope
-	State   interp.MapState // copy of the entity state (empty for __init__)
+	State   *interp.Row // copy of the entity state row (nil for __init__)
 	Exists  bool
 	Worker  string
 	Ref     interp.EntityRef
@@ -194,7 +196,7 @@ type msgFnRequest struct {
 // msgFnResponse returns the state updates and produced events.
 type msgFnResponse struct {
 	Ref     interp.EntityRef
-	Writes  interp.MapState // full new state (nil if no writes)
+	Writes  *interp.Row // full new state row (nil if no writes)
 	Wrote   bool
 	Created bool
 	Out     []envelope
@@ -346,17 +348,14 @@ func (w *flinkWorker) onEvent(ctx *sim.Context, env envelope) {
 	w.Breakdown.Add("event_deserialization", costs.DeserializeCPU)
 	ref := env.Ev.Target
 	st, exists := w.states.Lookup(ref)
-	var cp interp.MapState
+	var cp *interp.Row
 	bytes := 0
 	if exists {
-		bytes = interp.EncodedSize(st)
+		bytes = st.EncodedSize() // cached on the row until the next write
 		ship := costs.StateCPU(bytes)
 		ctx.Work(ship)
 		w.Breakdown.Add("state_serialization", ship)
-		cp = interp.MapState{}
-		for k, v := range st {
-			cp[k] = v.Clone()
-		}
+		cp = st.Clone()
 	}
 	if w.inflight == nil {
 		w.inflight = map[interp.EntityRef]int{}
@@ -381,7 +380,7 @@ func (w *flinkWorker) onFnResponse(ctx *sim.Context, m msgFnResponse) {
 		w.inflight[m.Ref]--
 	}
 	if m.Wrote && m.Err == "" {
-		bytes := interp.EncodedSize(m.Writes)
+		bytes := m.Writes.EncodedSize()
 		work := costs.StateCPU(bytes)
 		ctx.Work(work)
 		w.Breakdown.Add("state_serialization", work)
@@ -414,10 +413,10 @@ type fnRuntime struct {
 	Invocations int
 }
 
-// shippedStore adapts the shipped single-entity state to core.Store.
+// shippedStore adapts the shipped single-entity state row to core.Store.
 type shippedStore struct {
 	ref     interp.EntityRef
-	st      interp.MapState
+	st      *interp.Row
 	exists  bool
 	wrote   *bool
 	created *bool
@@ -428,7 +427,7 @@ func (s shippedStore) Lookup(ref interp.EntityRef) (interp.State, bool) {
 	if ref != s.ref || !s.exists {
 		return nil, false
 	}
-	return trackState{m: s.st, wrote: s.wrote}, true
+	return trackState{row: s.st, wrote: s.wrote}, true
 }
 
 // Create implements core.Store.
@@ -441,22 +440,36 @@ func (s shippedStore) Create(ref interp.EntityRef) (interp.State, error) {
 	}
 	*s.created = true
 	*s.wrote = true
-	return trackState{m: s.st, wrote: s.wrote}, nil
+	return trackState{row: s.st, wrote: s.wrote}, nil
 }
 
+// trackState wraps the shipped row, flagging writes so the worker knows
+// whether to install the returned state. It forwards the slot fast path.
 type trackState struct {
-	m     interp.MapState
+	row   *interp.Row
 	wrote *bool
 }
 
 // Get implements interp.State.
-func (t trackState) Get(attr string) (interp.Value, bool) { return t.m.Get(attr) }
+func (t trackState) Get(attr string) (interp.Value, bool) { return t.row.Get(attr) }
 
 // Set implements interp.State.
 func (t trackState) Set(attr string, v interp.Value) {
 	*t.wrote = true
-	t.m.Set(attr, v)
+	t.row.Set(attr, v)
 }
+
+// GetSlot implements interp.SlotState.
+func (t trackState) GetSlot(slot int) (interp.Value, bool) { return t.row.GetSlot(slot) }
+
+// SetSlot implements interp.SlotState.
+func (t trackState) SetSlot(slot int, v interp.Value) {
+	*t.wrote = true
+	t.row.SetSlot(slot, v)
+}
+
+// Interface check.
+var _ interp.SlotState = trackState{}
 
 // OnMessage implements sim.Handler.
 func (f *fnRuntime) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
@@ -476,7 +489,7 @@ func (f *fnRuntime) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 
 	st := m.State
 	if st == nil {
-		st = interp.MapState{}
+		st = interp.NewRow(f.sys.prog.Layouts().LayoutOf(m.Ref.Class))
 	}
 	var wrote, created bool
 	store := shippedStore{ref: m.Ref, st: st, exists: m.Exists, wrote: &wrote, created: &created}

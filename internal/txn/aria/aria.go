@@ -3,12 +3,20 @@
 // al., VLDB 2020). Root invocations are grouped into batches (epochs);
 // every transaction in a batch executes optimistically against the state
 // as of the batch start, buffering writes in a per-transaction workspace
-// and recording read/write reservations at entity granularity. When the
-// whole batch has finished executing, each worker validates its local
-// reservations — a transaction aborts if it read or wrote an entity that a
-// lower-TID transaction wrote — and the coordinator unions the votes into
-// a deterministic global decision. Committed workspaces apply in TID
-// order; aborted transactions are re-queued into the next batch.
+// and recording read/write reservations. When the whole batch has
+// finished executing, each worker validates its local reservations and
+// the coordinator unions the votes into a deterministic global decision.
+// Committed workspaces apply in TID order; aborted transactions are
+// re-queued into the next batch.
+//
+// Reservations are recorded at (class-id, key, slot-bitmap) granularity:
+// the reservation key interns the entity class as the compiler's dense
+// class id, and the bitmap marks which attribute slots of the entity the
+// transaction touched (plus a whole-entity bit for existence checks,
+// creations, overflow slots and dynamically-added attributes). Two
+// transactions that touch disjoint attributes of the same entity no
+// longer conflict; committed writes apply slot-by-slot so disjoint
+// updates merge instead of clobbering each other.
 package aria
 
 import (
@@ -25,41 +33,80 @@ import (
 // protocol").
 type TID int64
 
-// RWSet is a transaction's reservation set on one worker, at entity
-// granularity.
+// ResKey identifies an entity inside a reservation set: the dense class
+// id (interned per state store from the program's layouts) plus the
+// partition key.
+type ResKey struct {
+	Class int32
+	Key   string
+}
+
+// Bits is an attribute-slot bitmap. Bit i covers layout slot i for
+// i < 63; EntityBit covers entity existence, creation, overflow slots
+// (≥ 63) and attributes outside the class layout.
+type Bits uint64
+
+// EntityBit is the whole-entity reservation bit.
+const EntityBit Bits = 1 << 63
+
+// AllBits reserves the entire entity (creation, whole-row install).
+const AllBits Bits = ^Bits(0)
+
+// SlotBit maps a 0-based layout slot to its reservation bit.
+func SlotBit(slot int) Bits {
+	if slot < 0 || slot >= 63 {
+		return EntityBit
+	}
+	return 1 << uint(slot)
+}
+
+// RWSet is a transaction's reservation set on one worker.
 type RWSet struct {
-	Reads  map[interp.EntityRef]bool
-	Writes map[interp.EntityRef]bool
+	Reads  map[ResKey]Bits
+	Writes map[ResKey]Bits
 }
 
 // NewRWSet returns an empty reservation set.
 func NewRWSet() *RWSet {
-	return &RWSet{Reads: map[interp.EntityRef]bool{}, Writes: map[interp.EntityRef]bool{}}
+	return &RWSet{Reads: map[ResKey]Bits{}, Writes: map[ResKey]Bits{}}
 }
+
+// Read records a read reservation.
+func (rw *RWSet) Read(k ResKey, b Bits) { rw.Reads[k] |= b }
+
+// Write records a write reservation.
+func (rw *RWSet) Write(k ResKey, b Bits) { rw.Writes[k] |= b }
 
 // Merge unions another set into this one.
 func (rw *RWSet) Merge(o *RWSet) {
-	for r := range o.Reads {
-		rw.Reads[r] = true
+	for k, b := range o.Reads {
+		rw.Reads[k] |= b
 	}
-	for w := range o.Writes {
-		rw.Writes[w] = true
+	for k, b := range o.Writes {
+		rw.Writes[k] |= b
 	}
+}
+
+// wsEntry is the buffered working copy of one entity inside a workspace.
+type wsEntry struct {
+	row *interp.Row // copy-on-first-write working row
+	// wroteBits marks written slots; EntityBit set means the whole row
+	// must be installed on apply (created, overflow or extra attributes).
+	wroteBits  Bits
+	wroteExtra map[string]bool // written attributes outside the layout
+	created    bool
 }
 
 // Workspace is the per-transaction optimistic execution context on one
 // worker: reads hit the committed store (plus the transaction's own
-// writes), writes buffer locally, and reservations accumulate for
-// validation.
+// writes), writes buffer locally in row working copies, and reservations
+// accumulate for validation.
 type Workspace struct {
 	TID       TID
 	committed *state.Store
-	// writes holds full working copies of every entity the transaction
-	// touched with a write (copy-on-first-write).
-	writes map[interp.EntityRef]interp.MapState
-	// created marks entities the transaction constructed.
-	created map[interp.EntityRef]bool
-	RW      *RWSet
+	writes    map[interp.EntityRef]*wsEntry
+	RW        *RWSet
+	classIDs  map[string]int32 // ResKey intern cache over the store's layouts
 }
 
 // NewWorkspace opens a workspace for tid over the committed store.
@@ -67,146 +114,236 @@ func NewWorkspace(tid TID, committed *state.Store) *Workspace {
 	return &Workspace{
 		TID:       tid,
 		committed: committed,
-		writes:    map[interp.EntityRef]interp.MapState{},
-		created:   map[interp.EntityRef]bool{},
+		writes:    map[interp.EntityRef]*wsEntry{},
 		RW:        NewRWSet(),
+		classIDs:  map[string]int32{},
 	}
 }
 
-// wsState is the interp.State view of one entity inside a workspace.
+// resKey interns the entity reference as a reservation key.
+func (ws *Workspace) resKey(ref interp.EntityRef) ResKey {
+	id, ok := ws.classIDs[ref.Class]
+	if !ok {
+		id = int32(ws.committed.ClassID(ref.Class))
+		ws.classIDs[ref.Class] = id
+	}
+	return ResKey{Class: id, Key: ref.Key}
+}
+
+// entry returns the copy-on-first-write working row for ref, cloning the
+// committed image on first touch.
+func (ws *Workspace) entry(ref interp.EntityRef) *wsEntry {
+	e, ok := ws.writes[ref]
+	if !ok {
+		var row *interp.Row
+		if base, exists := ws.committed.Lookup(ref); exists {
+			row = base.Clone()
+		} else {
+			row = ws.committed.NewRow(ref.Class)
+		}
+		e = &wsEntry{row: row}
+		ws.writes[ref] = e
+	}
+	return e
+}
+
+// wsState is the interp.State view of one entity inside a workspace. It
+// implements the slot fast path so slot-stamped attribute access records
+// slot-granular reservations without name hashing.
 type wsState struct {
 	ws  *Workspace
 	ref interp.EntityRef
+	key ResKey
+	// row is the committed image (nil if the entity does not exist); the
+	// workspace's own working copy, when present, shadows it.
+	row *interp.Row
 }
 
-// Get implements interp.State: own writes first, then the committed image.
-func (s wsState) Get(attr string) (interp.Value, bool) {
-	s.ws.RW.Reads[s.ref] = true
-	if over, ok := s.ws.writes[s.ref]; ok {
-		v, ok2 := over[attr]
-		return v, ok2
+func (s wsState) readRow() *interp.Row {
+	if e, ok := s.ws.writes[s.ref]; ok {
+		return e.row
 	}
-	st, ok := s.ws.committed.Lookup(s.ref)
-	if !ok {
+	return s.row
+}
+
+// Get implements interp.State: own writes first, then the committed
+// image.
+func (s wsState) Get(attr string) (interp.Value, bool) {
+	r := s.readRow()
+	if r == nil {
+		s.ws.RW.Read(s.key, EntityBit)
 		return interp.None, false
 	}
-	v, ok2 := st[attr]
-	return v, ok2
+	if slot, ok := r.Layout().SlotOf(attr); ok {
+		s.ws.RW.Read(s.key, SlotBit(slot))
+	} else {
+		s.ws.RW.Read(s.key, EntityBit)
+	}
+	return r.Get(attr)
 }
 
 // Set implements interp.State: copy-on-first-write into the workspace.
 func (s wsState) Set(attr string, v interp.Value) {
-	s.ws.RW.Writes[s.ref] = true
-	over, ok := s.ws.writes[s.ref]
-	if !ok {
-		over = interp.MapState{}
-		if base, exists := s.ws.committed.Lookup(s.ref); exists {
-			for k, bv := range base {
-				over[k] = bv.Clone()
+	e := s.ws.entry(s.ref)
+	if slot, ok := e.row.Layout().SlotOf(attr); ok && slot < 63 {
+		b := SlotBit(slot)
+		s.ws.RW.Write(s.key, b)
+		e.wroteBits |= b
+	} else {
+		// Off-layout or overflow attribute: Apply installs the whole
+		// working row, so the reservation must cover every slot —
+		// otherwise a lower-TID slot write would pass validation and
+		// then be reverted by the row install.
+		s.ws.RW.Write(s.key, AllBits)
+		e.wroteBits |= EntityBit
+		if !ok {
+			if e.wroteExtra == nil {
+				e.wroteExtra = map[string]bool{}
 			}
+			e.wroteExtra[attr] = true
 		}
-		s.ws.writes[s.ref] = over
 	}
-	over[attr] = v
+	e.row.Set(attr, v)
+}
+
+// GetSlot implements interp.SlotState.
+func (s wsState) GetSlot(slot int) (interp.Value, bool) {
+	s.ws.RW.Read(s.key, SlotBit(slot))
+	r := s.readRow()
+	if r == nil {
+		return interp.None, false
+	}
+	return r.GetSlot(slot)
+}
+
+// SetSlot implements interp.SlotState.
+func (s wsState) SetSlot(slot int, v interp.Value) {
+	e := s.ws.entry(s.ref)
+	if slot < 63 {
+		b := SlotBit(slot)
+		s.ws.RW.Write(s.key, b)
+		e.wroteBits |= b
+	} else {
+		// Overflow slot: whole-row install on apply (see Set).
+		s.ws.RW.Write(s.key, AllBits)
+		e.wroteBits |= EntityBit
+	}
+	e.row.SetSlot(slot, v)
 }
 
 // Lookup implements core.Store for the executor.
 func (ws *Workspace) Lookup(ref interp.EntityRef) (interp.State, bool) {
-	if ws.created[ref] || ws.hasWrite(ref) || ws.committed.Exists(ref) {
-		ws.RW.Reads[ref] = true
-		return wsState{ws: ws, ref: ref}, true
+	key := ws.resKey(ref)
+	if e, ok := ws.writes[ref]; ok {
+		ws.RW.Read(key, EntityBit)
+		return wsState{ws: ws, ref: ref, key: key, row: e.row}, true
+	}
+	if base, exists := ws.committed.Lookup(ref); exists {
+		ws.RW.Read(key, EntityBit)
+		return wsState{ws: ws, ref: ref, key: key, row: base}, true
 	}
 	return nil, false
 }
 
-func (ws *Workspace) hasWrite(ref interp.EntityRef) bool {
-	_, ok := ws.writes[ref]
-	return ok
-}
-
 // Create implements core.Store: new entities are buffered like writes.
 func (ws *Workspace) Create(ref interp.EntityRef) (interp.State, error) {
-	if ws.committed.Exists(ref) || ws.created[ref] {
+	if ws.committed.Exists(ref) {
 		return nil, fmt.Errorf("entity %s already exists", ref)
 	}
-	ws.created[ref] = true
-	ws.RW.Writes[ref] = true
-	ws.writes[ref] = interp.MapState{}
-	return wsState{ws: ws, ref: ref}, nil
+	if e, ok := ws.writes[ref]; ok && e.created {
+		return nil, fmt.Errorf("entity %s already exists", ref)
+	}
+	key := ws.resKey(ref)
+	ws.RW.Write(key, AllBits)
+	e := &wsEntry{row: ws.committed.NewRow(ref.Class), wroteBits: AllBits, created: true}
+	ws.writes[ref] = e
+	return wsState{ws: ws, ref: ref, key: key}, nil
 }
 
-// Apply installs the workspace's buffered writes into the committed store.
-// Callers must apply committed workspaces in TID order.
+// Apply installs the workspace's buffered writes into the committed
+// store. Whole-entity writes (creations, extra attributes) install the
+// working row; plain attribute writes merge slot-by-slot so lower-TID
+// writes to disjoint slots survive. Callers must apply committed
+// workspaces in TID order.
 func (ws *Workspace) Apply(dst *state.Store) {
 	refs := make([]interp.EntityRef, 0, len(ws.writes))
 	for ref := range ws.writes {
 		refs = append(refs, ref)
 	}
+	sortRefs(refs)
+	for _, ref := range refs {
+		e := ws.writes[ref]
+		base, exists := dst.Lookup(ref)
+		if !exists || e.created || e.wroteBits&EntityBit != 0 {
+			dst.Put(ref, e.row)
+			continue
+		}
+		for slot := 0; slot < 63; slot++ {
+			if e.wroteBits&(1<<uint(slot)) == 0 {
+				continue
+			}
+			if v, ok := e.row.GetSlot(slot); ok {
+				base.SetSlot(slot, v)
+			}
+		}
+	}
+}
+
+// WriteBytes estimates the serialized size of the buffered writes (used
+// by the worker cost model when applying a commit).
+func (ws *Workspace) WriteBytes() int {
+	total := 0
+	for _, e := range ws.writes {
+		total += e.row.EncodedSize()
+	}
+	return total
+}
+
+// TouchedEntities lists every entity in the reservation set, resolving
+// class ids back through the committed store's layouts.
+func (ws *Workspace) TouchedEntities() []interp.EntityRef {
+	classes := map[int32]string{}
+	for class, id := range ws.classIDs {
+		classes[id] = class
+	}
+	seen := map[interp.EntityRef]bool{}
+	add := func(k ResKey) {
+		seen[interp.EntityRef{Class: classes[k.Class], Key: k.Key}] = true
+	}
+	for k := range ws.RW.Reads {
+		add(k)
+	}
+	for k := range ws.RW.Writes {
+		add(k)
+	}
+	out := make([]interp.EntityRef, 0, len(seen))
+	for ref := range seen {
+		out = append(out, ref)
+	}
+	sortRefs(out)
+	return out
+}
+
+func sortRefs(refs []interp.EntityRef) {
 	sort.Slice(refs, func(i, j int) bool {
 		if refs[i].Class != refs[j].Class {
 			return refs[i].Class < refs[j].Class
 		}
 		return refs[i].Key < refs[j].Key
 	})
-	for _, ref := range refs {
-		dst.Put(ref, ws.writes[ref])
-	}
-}
-
-// WriteBytes estimates the serialized size of the buffered writes (used by
-// the worker cost model when applying a commit).
-func (ws *Workspace) WriteBytes() int {
-	total := 0
-	for _, st := range ws.writes {
-		total += interp.EncodedSize(st)
-	}
-	return total
-}
-
-// TouchedEntities lists every entity in the reservation set.
-func (ws *Workspace) TouchedEntities() []interp.EntityRef {
-	seen := map[interp.EntityRef]bool{}
-	for r := range ws.RW.Reads {
-		seen[r] = true
-	}
-	for w := range ws.RW.Writes {
-		seen[w] = true
-	}
-	out := make([]interp.EntityRef, 0, len(seen))
-	for ref := range seen {
-		out = append(out, ref)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Class != out[j].Class {
-			return out[i].Class < out[j].Class
-		}
-		return out[i].Key < out[j].Key
-	})
-	return out
 }
 
 // Validate runs Aria's deterministic conflict check over one worker's
-// local reservations. order is the batch's TID order; sets holds the local
-// reservation set of each transaction that touched this worker. A
-// transaction aborts if any entity it read or wrote was written by a
+// local reservations. order is the batch's TID order; sets holds the
+// local reservation set of each transaction that touched this worker. A
+// transaction aborts if any slot it read or wrote was written by a
 // lower-TID transaction in the batch — the WAW and RAW rules of Aria
-// (reads observe the batch-start snapshot, so WAR never aborts). The check
-// deliberately counts reservations of transactions that themselves abort
-// (Aria's conservative one-pass rule), keeping validation embarrassingly
-// parallel across workers.
+// (reads observe the batch-start snapshot, so WAR never aborts). The
+// check deliberately counts reservations of transactions that themselves
+// abort (Aria's conservative one-pass rule), keeping validation
+// embarrassingly parallel across workers.
 func Validate(order []TID, sets map[TID]*RWSet) []TID {
-	minWriter := map[interp.EntityRef]TID{}
-	for _, tid := range order {
-		rw, ok := sets[tid]
-		if !ok {
-			continue
-		}
-		for ref := range rw.Writes {
-			if cur, seen := minWriter[ref]; !seen || tid < cur {
-				minWriter[ref] = tid
-			}
-		}
-	}
+	earlier := map[ResKey]Bits{}
 	var aborts []TID
 	for _, tid := range order {
 		rw, ok := sets[tid]
@@ -214,15 +351,15 @@ func Validate(order []TID, sets map[TID]*RWSet) []TID {
 			continue
 		}
 		conflicted := false
-		for ref := range rw.Writes {
-			if w, seen := minWriter[ref]; seen && w < tid {
+		for k, b := range rw.Writes {
+			if earlier[k]&b != 0 {
 				conflicted = true
 				break
 			}
 		}
 		if !conflicted {
-			for ref := range rw.Reads {
-				if w, seen := minWriter[ref]; seen && w < tid {
+			for k, b := range rw.Reads {
+				if earlier[k]&b != 0 {
 					conflicted = true
 					break
 				}
@@ -231,9 +368,15 @@ func Validate(order []TID, sets map[TID]*RWSet) []TID {
 		if conflicted {
 			aborts = append(aborts, tid)
 		}
+		for k, b := range rw.Writes {
+			earlier[k] |= b
+		}
 	}
 	return aborts
 }
 
 // Interface checks.
-var _ core.Store = (*Workspace)(nil)
+var (
+	_ core.Store       = (*Workspace)(nil)
+	_ interp.SlotState = wsState{}
+)

@@ -6,18 +6,23 @@ import (
 	"testing/quick"
 
 	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
 	"statefulentities.dev/stateflow/internal/state"
 )
 
 func ref(key string) interp.EntityRef { return interp.EntityRef{Class: "A", Key: key} }
 
+// rkey is the reservation key of ref(key) over a nil layout registry
+// (class "A" interns to id 0).
+func rkey(key string) ResKey { return ResKey{Class: 0, Key: key} }
+
 func setOf(reads, writes []string) *RWSet {
 	rw := NewRWSet()
 	for _, r := range reads {
-		rw.Reads[ref(r)] = true
+		rw.Read(rkey(r), EntityBit)
 	}
 	for _, w := range writes {
-		rw.Writes[ref(w)] = true
+		rw.Write(rkey(w), EntityBit)
 	}
 	return rw
 }
@@ -81,6 +86,46 @@ func TestValidateConservativeChain(t *testing.T) {
 	}
 }
 
+// Disjoint slot bitmaps on the same entity must not conflict; overlapping
+// ones must.
+func TestValidateSlotGranularity(t *testing.T) {
+	mk := func(readSlots, writeSlots []int) *RWSet {
+		rw := NewRWSet()
+		for _, s := range readSlots {
+			rw.Read(rkey("x"), SlotBit(s))
+		}
+		for _, s := range writeSlots {
+			rw.Write(rkey("x"), SlotBit(s))
+		}
+		return rw
+	}
+	// Disjoint attribute writes on the same entity both commit.
+	sets := map[TID]*RWSet{
+		1: mk(nil, []int{0}),
+		2: mk([]int{1}, []int{1}),
+	}
+	if ab := Validate([]TID{1, 2}, sets); len(ab) != 0 {
+		t.Fatalf("disjoint slots aborted: %v", ab)
+	}
+	// Reading a slot a lower TID wrote aborts.
+	sets = map[TID]*RWSet{
+		1: mk(nil, []int{0}),
+		2: mk([]int{0}, []int{1}),
+	}
+	if ab := Validate([]TID{1, 2}, sets); len(ab) != 1 || ab[0] != 2 {
+		t.Fatalf("overlapping slot read survived: %v", ab)
+	}
+	// The whole-entity bit conflicts with any slot write... of itself
+	// only: EntityBit and slot bits are disjoint reservations.
+	sets = map[TID]*RWSet{
+		1: mk(nil, []int{64}), // overflow slot -> EntityBit
+		2: mk([]int{62}, nil),
+	}
+	if ab := Validate([]TID{1, 2}, sets); len(ab) != 0 {
+		t.Fatalf("overflow vs plain slot: %v", ab)
+	}
+}
+
 func TestValidateLowestAlwaysCommitsProperty(t *testing.T) {
 	// Whatever the conflict pattern, the lowest TID never aborts -> no
 	// starvation under retry (retries get the lowest TIDs of the next
@@ -97,10 +142,11 @@ func TestValidateLowestAlwaysCommitsProperty(t *testing.T) {
 			rw := NewRWSet()
 			for j := 0; j < 1+r.Intn(3); j++ {
 				k := keys[r.Intn(len(keys))]
+				b := SlotBit(r.Intn(4))
 				if r.Intn(2) == 0 {
-					rw.Reads[ref(k)] = true
+					rw.Read(rkey(k), b)
 				} else {
-					rw.Writes[ref(k)] = true
+					rw.Write(rkey(k), b)
 				}
 			}
 			sets[tid] = rw
@@ -128,7 +174,7 @@ func TestValidateDeterministicProperty(t *testing.T) {
 				tid := TID(i + 1)
 				order[i] = tid
 				rw := NewRWSet()
-				rw.Writes[ref(string(rune('a'+r.Intn(4))))] = true
+				rw.Write(rkey(string(rune('a'+r.Intn(4)))), SlotBit(r.Intn(3)))
 				sets[tid] = rw
 			}
 			return order, sets
@@ -155,64 +201,129 @@ func TestValidateDeterministicProperty(t *testing.T) {
 // ---------------------------------------------------------------------------
 // Workspace
 
+func get(t *testing.T, st interp.State, attr string) interp.Value {
+	t.Helper()
+	v, ok := st.Get(attr)
+	if !ok {
+		t.Fatalf("attr %s missing", attr)
+	}
+	return v
+}
+
 func TestWorkspaceReadsCommitted(t *testing.T) {
-	committed := state.NewStore()
-	committed.Put(ref("x"), interp.MapState{"v": interp.IntV(10)})
+	committed := state.NewStore(nil)
+	committed.PutMap(ref("x"), interp.MapState{"v": interp.IntV(10)})
 	ws := NewWorkspace(1, committed)
 	st, ok := ws.Lookup(ref("x"))
 	if !ok {
 		t.Fatal("lookup")
 	}
-	v, ok := st.Get("v")
-	if !ok || v.I != 10 {
+	if v := get(t, st, "v"); v.I != 10 {
 		t.Fatalf("get: %v", v)
 	}
-	if !ws.RW.Reads[ref("x")] {
+	if ws.RW.Reads[rkey("x")] == 0 {
 		t.Fatal("read not recorded")
 	}
 }
 
 func TestWorkspaceWriteIsolation(t *testing.T) {
-	committed := state.NewStore()
-	committed.Put(ref("x"), interp.MapState{"v": interp.IntV(10)})
+	committed := state.NewStore(nil)
+	committed.PutMap(ref("x"), interp.MapState{"v": interp.IntV(10)})
 	ws := NewWorkspace(1, committed)
 	st, _ := ws.Lookup(ref("x"))
 	st.Set("v", interp.IntV(99))
 	// Own read sees own write.
-	v, _ := st.Get("v")
-	if v.I != 99 {
+	if v := get(t, st, "v"); v.I != 99 {
 		t.Fatalf("own read: %v", v)
 	}
 	// Committed store untouched until Apply.
 	base, _ := committed.Lookup(ref("x"))
-	if base["v"].I != 10 {
-		t.Fatalf("committed leaked: %v", base["v"])
+	if get(t, base, "v").I != 10 {
+		t.Fatalf("committed leaked")
 	}
-	if !ws.RW.Writes[ref("x")] {
+	if ws.RW.Writes[rkey("x")] == 0 {
 		t.Fatal("write not recorded")
 	}
 	ws.Apply(committed)
 	base, _ = committed.Lookup(ref("x"))
-	if base["v"].I != 99 {
-		t.Fatalf("apply: %v", base["v"])
+	if get(t, base, "v").I != 99 {
+		t.Fatalf("apply")
 	}
 }
 
 func TestWorkspaceCopyOnWritePreservesOtherAttrs(t *testing.T) {
-	committed := state.NewStore()
-	committed.Put(ref("x"), interp.MapState{"a": interp.IntV(1), "b": interp.IntV(2)})
+	committed := state.NewStore(nil)
+	committed.PutMap(ref("x"), interp.MapState{"a": interp.IntV(1), "b": interp.IntV(2)})
 	ws := NewWorkspace(1, committed)
 	st, _ := ws.Lookup(ref("x"))
 	st.Set("a", interp.IntV(100))
 	ws.Apply(committed)
 	base, _ := committed.Lookup(ref("x"))
-	if base["a"].I != 100 || base["b"].I != 2 {
+	if get(t, base, "a").I != 100 || get(t, base, "b").I != 2 {
 		t.Fatalf("after apply: %v", base)
 	}
 }
 
+// Two workspaces writing disjoint layout slots of the same entity must
+// both survive: slot-granular validation passes both and merge-apply
+// keeps both writes.
+func TestDisjointSlotWritesMerge(t *testing.T) {
+	layouts := &ir.Layouts{ByClass: map[string]*ir.ClassLayout{
+		"A": ir.NewClassLayout("A", 0, []string{"a", "b"}),
+	}}
+	layouts.ByID = []*ir.ClassLayout{layouts.ByClass["A"]}
+	committed := state.NewStore(layouts)
+	committed.PutMap(ref("x"), interp.MapState{"a": interp.IntV(1), "b": interp.IntV(2)})
+	w1 := NewWorkspace(1, committed)
+	w2 := NewWorkspace(2, committed)
+	s1, _ := w1.Lookup(ref("x"))
+	s2, _ := w2.Lookup(ref("x"))
+	s1.Set("a", interp.IntV(100))
+	s2.Set("b", interp.IntV(200))
+	order := []TID{1, 2}
+	sets := map[TID]*RWSet{1: w1.RW, 2: w2.RW}
+	if ab := Validate(order, sets); len(ab) != 0 {
+		t.Fatalf("disjoint attr writes aborted: %v", ab)
+	}
+	w1.Apply(committed)
+	w2.Apply(committed)
+	base, _ := committed.Lookup(ref("x"))
+	if get(t, base, "a").I != 100 || get(t, base, "b").I != 200 {
+		t.Fatalf("merge lost a write: %v", base.ToMap())
+	}
+}
+
+// A write that forces a whole-row install on apply (off-layout or
+// overflow attribute) must reserve the entire entity: otherwise it would
+// pass validation against a lower-TID slot write and then revert it when
+// the full row is installed.
+func TestWholeRowInstallConflictsWithSlotWrites(t *testing.T) {
+	layouts := &ir.Layouts{ByClass: map[string]*ir.ClassLayout{
+		"A": ir.NewClassLayout("A", 0, []string{"a", "b"}),
+	}}
+	layouts.ByID = []*ir.ClassLayout{layouts.ByClass["A"]}
+	committed := state.NewStore(layouts)
+	committed.PutMap(ref("x"), interp.MapState{"a": interp.IntV(1), "b": interp.IntV(2)})
+	w1 := NewWorkspace(1, committed)
+	w2 := NewWorkspace(2, committed)
+	s1, _ := w1.Lookup(ref("x"))
+	s2, _ := w2.Lookup(ref("x"))
+	s1.Set("a", interp.IntV(100)) // slot write
+	s2.Set("dyn", interp.IntV(9)) // off-layout write -> whole-row install
+	aborts := Validate([]TID{1, 2}, map[TID]*RWSet{1: w1.RW, 2: w2.RW})
+	if len(aborts) != 1 || aborts[0] != 2 {
+		t.Fatalf("whole-row installer must abort against lower slot write: %v", aborts)
+	}
+	// Applying only the survivor keeps the slot write.
+	w1.Apply(committed)
+	base, _ := committed.Lookup(ref("x"))
+	if get(t, base, "a").I != 100 {
+		t.Fatal("slot write lost")
+	}
+}
+
 func TestWorkspaceCreate(t *testing.T) {
-	committed := state.NewStore()
+	committed := state.NewStore(nil)
 	ws := NewWorkspace(1, committed)
 	st, err := ws.Create(ref("new"))
 	if err != nil {
@@ -234,8 +345,8 @@ func TestWorkspaceCreate(t *testing.T) {
 }
 
 func TestWorkspaceCreateDuplicate(t *testing.T) {
-	committed := state.NewStore()
-	committed.Put(ref("x"), interp.MapState{})
+	committed := state.NewStore(nil)
+	committed.PutMap(ref("x"), interp.MapState{})
 	ws := NewWorkspace(1, committed)
 	if _, err := ws.Create(ref("x")); err == nil {
 		t.Fatal("duplicate create must fail")
@@ -249,28 +360,27 @@ func TestWorkspaceCreateDuplicate(t *testing.T) {
 }
 
 func TestWorkspaceLookupMissing(t *testing.T) {
-	ws := NewWorkspace(1, state.NewStore())
+	ws := NewWorkspace(1, state.NewStore(nil))
 	if _, ok := ws.Lookup(ref("ghost")); ok {
 		t.Fatal("missing entity must not resolve")
 	}
 }
 
 func TestTwoWorkspacesAreIsolated(t *testing.T) {
-	committed := state.NewStore()
-	committed.Put(ref("x"), interp.MapState{"v": interp.IntV(0)})
+	committed := state.NewStore(nil)
+	committed.PutMap(ref("x"), interp.MapState{"v": interp.IntV(0)})
 	w1 := NewWorkspace(1, committed)
 	w2 := NewWorkspace(2, committed)
 	s1, _ := w1.Lookup(ref("x"))
 	s2, _ := w2.Lookup(ref("x"))
 	s1.Set("v", interp.IntV(1))
-	v, _ := s2.Get("v")
-	if v.I != 0 {
+	if v := get(t, s2, "v"); v.I != 0 {
 		t.Fatalf("w2 saw w1's write: %v", v)
 	}
 }
 
 func TestWriteBytesAndTouched(t *testing.T) {
-	committed := state.NewStore()
+	committed := state.NewStore(nil)
 	ws := NewWorkspace(1, committed)
 	if ws.WriteBytes() != 0 {
 		t.Fatal("empty workspace bytes")

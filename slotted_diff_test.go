@@ -1,0 +1,372 @@
+// Differential tests for the slotted execution engine: every example
+// program runs twice under a seeded random workload — once on the slotted
+// fast path (slot-stamped ASTs, slice-backed frames, dense state rows)
+// and once on the legacy name-keyed path (MapFallback) — on each of the
+// three runtimes (Local, StateFlow, StateFun-model). Both runs must
+// produce identical responses for every call and byte-identical canonical
+// encodings of every entity's committed state.
+package stateflow_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/runtime/local"
+	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
+	"statefulentities.dev/stateflow/internal/workload/tpcc"
+	"statefulentities.dev/stateflow/internal/workload/ycsb"
+)
+
+// exampleSource extracts the embedded DSL source from an example's
+// main.go, so the differential tests exercise the exact programs the
+// examples ship.
+func exampleSource(t *testing.T, name string) string {
+	t.Helper()
+	buf, err := os.ReadFile("examples/" + name + "/main.go")
+	if err != nil {
+		t.Fatalf("read example %s: %v", name, err)
+	}
+	s := string(buf)
+	const marker = "const source = `"
+	i := strings.Index(s, marker)
+	if i < 0 {
+		t.Fatalf("example %s has no embedded source", name)
+	}
+	s = s[i+len(marker):]
+	j := strings.Index(s, "`")
+	if j < 0 {
+		t.Fatalf("example %s source not terminated", name)
+	}
+	return s[:j]
+}
+
+// diffPrograms lists the programs under differential test.
+func diffPrograms(t *testing.T) map[string]string {
+	return map[string]string{
+		"quickstart":   exampleSource(t, "quickstart"),
+		"banking":      exampleSource(t, "banking"),
+		"shoppingcart": exampleSource(t, "shoppingcart"),
+		"tpcc":         tpcc.Program(),
+		"ycsb":         ycsb.Program(),
+	}
+}
+
+// argGen deterministically generates call arguments from method
+// signatures. Two generators with the same seed over the same program
+// produce identical argument streams, which is what makes the two
+// execution modes comparable.
+type argGen struct {
+	r       *rand.Rand
+	keys    map[string][]string // class -> keys of existing entities
+	nextKey int
+}
+
+func newArgGen(seed int64) *argGen {
+	return &argGen{r: rand.New(rand.NewSource(seed)), keys: map[string][]string{}}
+}
+
+func (g *argGen) freshKey() string {
+	g.nextKey++
+	return fmt.Sprintf("k%03d", g.nextKey)
+}
+
+func (g *argGen) pickKey(class string) (string, bool) {
+	ks := g.keys[class]
+	if len(ks) == 0 {
+		return "", false
+	}
+	return ks[g.r.Intn(len(ks))], true
+}
+
+// value generates one argument for a type, or ok=false if the type is
+// not generatable (e.g. no entity of the class exists yet).
+func (g *argGen) value(tr ir.TypeRef) (stateflow.Value, bool) {
+	if tr.Entity {
+		k, ok := g.pickKey(tr.Name)
+		if !ok {
+			return stateflow.None, false
+		}
+		return stateflow.Ref(tr.Name, k), true
+	}
+	switch tr.Name {
+	case "int":
+		return stateflow.Int(int64(g.r.Intn(30))), true
+	case "float":
+		return stateflow.Float(float64(g.r.Intn(20))), true
+	case "str":
+		return stateflow.Str(fmt.Sprintf("s%d", g.r.Intn(8))), true
+	case "bool":
+		return stateflow.Bool(g.r.Intn(2) == 0), true
+	case "list":
+		elem := ir.TypeRef{Name: "int"}
+		if len(tr.Args) > 0 {
+			elem = tr.Args[0]
+		}
+		n := 1 + g.r.Intn(3)
+		elems := make([]stateflow.Value, 0, n)
+		for i := 0; i < n; i++ {
+			v, ok := g.value(elem)
+			if !ok {
+				return stateflow.None, false
+			}
+			elems = append(elems, v)
+		}
+		return stateflow.List(elems...), true
+	default:
+		return stateflow.None, false
+	}
+}
+
+// ctorArgs generates constructor arguments, substituting a fresh unique
+// key for the operator's key parameter.
+func (g *argGen) ctorArgs(op *ir.Operator) ([]stateflow.Value, string, bool) {
+	init := op.Method("__init__")
+	args := make([]stateflow.Value, 0, len(init.Params))
+	key := ""
+	for _, p := range init.Params {
+		if p.Name == op.KeyParam {
+			key = g.freshKey()
+			args = append(args, stateflow.Str(key))
+			continue
+		}
+		v, ok := g.value(p.Type)
+		if !ok {
+			return nil, "", false
+		}
+		args = append(args, v)
+	}
+	return args, key, key != ""
+}
+
+// step describes one generated call of the workload.
+type step struct {
+	class, key, method string
+	args               []stateflow.Value
+}
+
+// workload generates a deterministic call sequence over a program: every
+// class gets a few entities, then n random method calls land on random
+// entities. The generated sequence depends only on (prog, seed).
+func workload(prog *stateflow.Program, seed int64, entities, n int) ([]step, *argGen) {
+	g := newArgGen(seed)
+	var creates []step
+	for _, class := range prog.OperatorOrder {
+		op := prog.Operators[class]
+		for i := 0; i < entities; i++ {
+			args, key, ok := g.ctorArgs(op)
+			if !ok {
+				continue
+			}
+			creates = append(creates, step{class: class, key: key, method: "__init__", args: args})
+			g.keys[class] = append(g.keys[class], key)
+		}
+	}
+	var calls []step
+	for len(calls) < n {
+		class := prog.OperatorOrder[g.r.Intn(len(prog.OperatorOrder))]
+		op := prog.Operators[class]
+		var methods []string
+		for _, mn := range op.MethodOrder {
+			if !strings.HasPrefix(mn, "__") {
+				methods = append(methods, mn)
+			}
+		}
+		if len(methods) == 0 {
+			continue
+		}
+		m := op.Methods[methods[g.r.Intn(len(methods))]]
+		key, ok := g.pickKey(class)
+		if !ok {
+			continue
+		}
+		args := make([]stateflow.Value, 0, len(m.Params))
+		argsOK := true
+		for _, p := range m.Params {
+			v, ok := g.value(p.Type)
+			if !ok {
+				argsOK = false
+				break
+			}
+			args = append(args, v)
+		}
+		if !argsOK {
+			continue
+		}
+		calls = append(calls, step{class: class, key: key, method: m.Name, args: args})
+	}
+	return append(creates, calls...), g
+}
+
+// localTranscript runs the workload on the Local runtime and returns the
+// response transcript plus the canonical encoding of every entity.
+func localTranscript(t *testing.T, prog *stateflow.Program, steps []step, mapFallback bool) ([]string, map[string][]byte) {
+	t.Helper()
+	rt := local.NewWithOptions(prog, local.Options{MapFallback: mapFallback})
+	var transcript []string
+	for _, s := range steps {
+		var line string
+		if s.method == "__init__" {
+			_, err := rt.Create(s.class, s.args...)
+			line = fmt.Sprintf("create %s<%s> err=%v", s.class, s.key, err != nil)
+		} else {
+			res, err := rt.Invoke(s.class, s.key, s.method, s.args...)
+			if err != nil {
+				t.Fatalf("invoke %s.%s: %v", s.class, s.method, err)
+			}
+			line = fmt.Sprintf("%s<%s>.%s -> %s / %s / hops=%d",
+				s.class, s.key, s.method, res.Value.Repr(), res.Err, res.Hops)
+		}
+		transcript = append(transcript, line)
+	}
+	states := map[string][]byte{}
+	for _, class := range prog.OperatorOrder {
+		for _, key := range rt.Keys(class) {
+			enc, ok := rt.EncodeState(class, key)
+			if !ok {
+				t.Fatalf("state of %s<%s> vanished", class, key)
+			}
+			states[class+"<"+key+">"] = enc
+		}
+	}
+	return transcript, states
+}
+
+func compareRuns(t *testing.T, name string, tA, tB []string, sA, sB map[string][]byte) {
+	t.Helper()
+	if len(tA) != len(tB) {
+		t.Fatalf("%s: transcript lengths differ: %d vs %d", name, len(tA), len(tB))
+	}
+	for i := range tA {
+		if tA[i] != tB[i] {
+			t.Fatalf("%s: call %d diverged:\n  slotted: %s\n  map:     %s", name, i, tA[i], tB[i])
+		}
+	}
+	if len(sA) != len(sB) {
+		t.Fatalf("%s: entity sets differ: %d vs %d", name, len(sA), len(sB))
+	}
+	keys := make([]string, 0, len(sA))
+	for k := range sA {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		b, ok := sB[k]
+		if !ok {
+			t.Fatalf("%s: entity %s missing from map-mode run", name, k)
+		}
+		if !bytes.Equal(sA[k], b) {
+			t.Fatalf("%s: committed state of %s not byte-identical", name, k)
+		}
+	}
+}
+
+// TestDifferentialLocal proves slotted and map execution byte-identical
+// on the Local runtime for every example program.
+func TestDifferentialLocal(t *testing.T) {
+	for name, src := range diffPrograms(t) {
+		t.Run(name, func(t *testing.T) {
+			prog := stateflow.MustCompile(src)
+			steps, _ := workload(prog, 42, 3, 60)
+			if len(steps) == 0 {
+				t.Fatal("workload generated no steps")
+			}
+			tSlot, sSlot := localTranscript(t, prog, steps, false)
+			tMap, sMap := localTranscript(t, prog, steps, true)
+			compareRuns(t, name, tSlot, tMap, sSlot, sMap)
+		})
+	}
+}
+
+// simTranscript runs the workload on a simulated distributed runtime and
+// returns the response transcript plus the canonical committed state of
+// every tracked entity.
+func simTranscript(t *testing.T, prog *stateflow.Program, backend stateflow.Backend, steps []step, mapFallback bool) ([]string, map[string][]byte) {
+	t.Helper()
+	sim := stateflow.NewSimulation(prog, stateflow.SimConfig{
+		Backend: backend, Seed: 7, MapFallback: mapFallback,
+	})
+	// Constructors run through the dataflow, so the full execute path
+	// (including entity creation) is under test.
+	var transcript []string
+	refs := map[string]stateflow.EntityRef{}
+	for _, s := range steps {
+		res, err := sim.Call(s.class, s.key, s.method, s.args...)
+		if err != nil {
+			t.Fatalf("call %s.%s: %v", s.class, s.method, err)
+		}
+		refs[s.class+"<"+s.key+">"] = stateflow.EntityRef{Class: s.class, Key: s.key}
+		transcript = append(transcript,
+			fmt.Sprintf("%s<%s>.%s -> %s / %s / retries=%d",
+				s.class, s.key, s.method, res.Value.Repr(), res.Err, res.Retries))
+	}
+	if sf := sim.StateFlow(); sf != nil {
+		transcript = append(transcript, fmt.Sprintf("commits=%d aborts=%d",
+			sf.Coordinator().Commits, sf.Coordinator().Aborts))
+	}
+	states := map[string][]byte{}
+	names := make([]string, 0, len(refs))
+	for n := range refs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ref := refs[n]
+		st, ok := sim.EntityState(ref.Class, ref.Key)
+		if !ok {
+			continue
+		}
+		e := interp.NewEncoder()
+		e.State(interp.MapState(st))
+		states[n] = e.Bytes()
+	}
+	return transcript, states
+}
+
+// TestDifferentialSimulated proves slotted and map execution identical on
+// the StateFlow and StateFun-model runtimes for every example program.
+func TestDifferentialSimulated(t *testing.T) {
+	for name, src := range diffPrograms(t) {
+		for _, backend := range []stateflow.Backend{stateflow.BackendStateFlow, stateflow.BackendStateFun} {
+			t.Run(name+"/"+string(backend), func(t *testing.T) {
+				prog := stateflow.MustCompile(src)
+				steps, _ := workload(prog, 11, 2, 20)
+				if len(steps) == 0 {
+					t.Fatal("workload generated no steps")
+				}
+				tSlot, sSlot := simTranscript(t, prog, backend, steps, false)
+				tMap, sMap := simTranscript(t, prog, backend, steps, true)
+				compareRuns(t, name+"/"+string(backend), tSlot, tMap, sSlot, sMap)
+			})
+		}
+	}
+}
+
+// TestQuerySeesSlottedState sanity-checks the query layer over rows: live
+// aggregation over committed row state matches direct entity reads.
+func TestQuerySeesSlottedState(t *testing.T) {
+	prog := stateflow.MustCompile(exampleSource(t, "banking"))
+	sim := stateflow.NewSimulation(prog, stateflow.SimConfig{Backend: stateflow.BackendStateFlow})
+	for i := 0; i < 4; i++ {
+		if err := sim.Preload("Account", stateflow.Str(fmt.Sprintf("acc%d", i)), stateflow.Int(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := sim.Call("Account", "acc0", "transfer", stateflow.Int(30), stateflow.Ref("Account", "acc1")); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := sim.StateFlow().Query("Account", sfsys.QueryLive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := sfsys.AggregateInt(rows, "balance"); total != 400 {
+		t.Fatalf("total balance %d, want 400 (money conservation)", total)
+	}
+}

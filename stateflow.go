@@ -119,6 +119,10 @@ type SimConfig struct {
 	SnapshotEvery int
 	// Seed makes the simulation deterministic (default 1).
 	Seed int64
+	// MapFallback disables the slotted execution fast path, forcing
+	// name-keyed variable and attribute resolution. Differential tests
+	// run both modes and assert identical results and committed state.
+	MapFallback bool
 }
 
 // Simulation is a deployed distributed runtime on the deterministic
@@ -181,6 +185,7 @@ func NewSimulation(prog *Program, cfg SimConfig) *Simulation {
 			c.EpochInterval = cfg.Epoch
 		}
 		c.SnapshotEvery = cfg.SnapshotEvery
+		c.MapFallback = cfg.MapFallback
 		s.sf = sfsys.New(cluster, prog, c)
 	case BackendStateFun:
 		c := statefun.DefaultConfig()
@@ -188,6 +193,7 @@ func NewSimulation(prog *Program, cfg SimConfig) *Simulation {
 			c.FlinkWorkers = cfg.Workers
 			c.FnRuntimes = cfg.Workers
 		}
+		c.MapFallback = cfg.MapFallback
 		s.sfu = statefun.New(cluster, prog, c)
 	default:
 		panic(fmt.Sprintf("stateflow: unknown backend %q", cfg.Backend))
@@ -241,9 +247,10 @@ type Result struct {
 	Latency time.Duration
 }
 
-// Call submits a method invocation and advances virtual time until its
-// response arrives (or the patience budget runs out).
-func (s *Simulation) Call(class, key, method string, args ...Value) (Result, error) {
+// inject assigns a request id and injects the invocation as if the client
+// had sent it over its edge link, returning the id. Call and Submit share
+// this path.
+func (s *Simulation) inject(class, key, method string, args []Value) string {
 	s.ensureStarted()
 	s.nextID++
 	id := fmt.Sprintf("api-%d", s.nextID)
@@ -254,11 +261,17 @@ func (s *Simulation) Call(class, key, method string, args ...Value) (Result, err
 		Method: method,
 		Args:   args,
 	}
-	// Inject the request as if the client had sent it over its edge link.
 	s.client.sent[id] = s.Cluster.Now()
 	submitAt := s.Cluster.Now() + sysIf.ClientLink().Sample(s.Cluster.Rand())
 	s.Cluster.Inject(submitAt, "api-client", sysIf.IngressID(),
 		sysapi.MsgRequest{Request: req, ReplyTo: "api-client"})
+	return id
+}
+
+// Call submits a method invocation and advances virtual time until its
+// response arrives (or the patience budget runs out).
+func (s *Simulation) Call(class, key, method string, args ...Value) (Result, error) {
+	id := s.inject(class, key, method, args)
 	deadline := s.Cluster.Now() + 30*time.Second
 	for s.Cluster.Now() < deadline {
 		s.Cluster.RunUntil(s.Cluster.Now() + 10*time.Millisecond)
@@ -277,20 +290,7 @@ func (s *Simulation) Call(class, key, method string, args ...Value) (Result, err
 // via Run or later Calls) has delivered the response. Use it to race
 // concurrent requests against each other.
 func (s *Simulation) Submit(class, key, method string, args ...Value) func() Value {
-	s.ensureStarted()
-	s.nextID++
-	id := fmt.Sprintf("api-%d", s.nextID)
-	sysIf := s.ingress()
-	req := sysapi.Request{
-		Req:    id,
-		Target: EntityRef{Class: class, Key: key},
-		Method: method,
-		Args:   args,
-	}
-	s.client.sent[id] = s.Cluster.Now()
-	submitAt := s.Cluster.Now() + sysIf.ClientLink().Sample(s.Cluster.Rand())
-	s.Cluster.Inject(submitAt, "api-client", sysIf.IngressID(),
-		sysapi.MsgRequest{Request: req, ReplyTo: "api-client"})
+	id := s.inject(class, key, method, args)
 	return func() Value {
 		return s.client.responses[id].Value
 	}
