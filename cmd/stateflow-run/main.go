@@ -1,13 +1,15 @@
 // Command stateflow-run compiles the built-in YCSB entity program (or a
 // user-supplied .sf file) and executes a YCSB-style workload against it on
 // a chosen runtime, printing latency and outcome stats. It is the quickest
-// way to see one program execute unchanged on all three runtimes (§3: "the
+// way to see one program execute unchanged on every runtime (§3: "the
 // choice of a runtime system is completely independent of the application
-// layer").
+// layer"): the local and live paths share one workload driver written
+// against the stateflow.Client interface, and the simulated paths share
+// one open-loop generator.
 //
 // Usage:
 //
-//	stateflow-run -backend local|stateflow|statefun \
+//	stateflow-run -backend local|live|stateflow|statefun \
 //	              -workload A|B|T|M -dist zipfian|uniform \
 //	              -rate 100 -duration 30s [program.sf]
 package main
@@ -19,11 +21,8 @@ import (
 	"sync"
 	"time"
 
-	"statefulentities.dev/stateflow/internal/compiler"
-	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow"
 	"statefulentities.dev/stateflow/internal/metrics"
-	"statefulentities.dev/stateflow/internal/runtime/live"
-	"statefulentities.dev/stateflow/internal/runtime/local"
 	"statefulentities.dev/stateflow/internal/sim"
 	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
 	"statefulentities.dev/stateflow/internal/systems/statefun"
@@ -47,7 +46,7 @@ func main() {
 		check(err)
 		src = string(b)
 	}
-	prog, err := compiler.Compile(src)
+	prog, err := stateflow.Compile(src)
 	check(err)
 
 	mix, err := ycsb.ByName(*workload)
@@ -58,9 +57,11 @@ func main() {
 
 	switch *backend {
 	case "local":
-		runLocal(prog, wgen, *records, *rate, *duration)
+		// The Local runtime is synchronous and single-threaded: one client.
+		runClient("local runtime", stateflow.NewLocalClient(prog), 1, wgen, *records, *rate, *duration)
 	case "live":
-		runLive(prog, wgen, *records, *rate, *duration)
+		runClient("live runtime (8 workers)", stateflow.NewLiveClient(prog, stateflow.LiveConfig{Workers: 8}),
+			16, wgen, *records, *rate, *duration)
 	case "stateflow", "statefun":
 		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed)
 	default:
@@ -69,32 +70,27 @@ func main() {
 	}
 }
 
-// runLive executes the request stream on the concurrent goroutine runtime
-// with parallel clients; latencies are real wall-clock times.
-func runLive(prog *ir.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration) {
-	rt := live.New(prog, live.Config{Workers: 8})
-	defer rt.Close()
+// runClient executes the request stream through the portable Client
+// interface — the same driver serves the synchronous Local runtime (one
+// client goroutine) and the concurrent live runtime (many). Latencies are
+// real wall-clock times.
+func runClient(label string, c stateflow.Client, clients int, wgen *ycsb.Generator, records int, rate float64, duration time.Duration) {
+	defer func() { check(c.Close()) }()
+	admin := c.Admin()
 	load := ycsb.Loader(records, 1000)
 	for i := 0; i < records; i++ {
 		class, args := load(i)
-		if _, err := rt.Create(class, args...); err != nil {
-			check(err)
-		}
+		check(admin.Preload(class, args...))
 	}
 	total := int(rate * duration.Seconds())
-	reqs := make([]int, total)
-	for i := range reqs {
-		reqs[i] = i
-	}
-	const clients = 16
 	var mu sync.Mutex
 	lat := metrics.NewSeries()
 	errs := 0
 	var wg sync.WaitGroup
 	start := time.Now()
 	per := (total + clients - 1) / clients
-	for c := 0; c < clients; c++ {
-		lo, hi := c*per, min((c+1)*per, total)
+	for cl := 0; cl < clients; cl++ {
+		lo, hi := cl*per, min((cl+1)*per, total)
 		if lo >= hi {
 			break
 		}
@@ -104,11 +100,13 @@ func runLive(prog *ir.Program, wgen *ycsb.Generator, records int, rate float64, 
 			for i := lo; i < hi; i++ {
 				req := reqSafe(wgen, i, &mu)
 				t0 := time.Now()
-				_, errStr, err := rt.Invoke(req.Target.Class, req.Target.Key, req.Method, req.Args...)
+				res, err := c.Entity(req.Target.Class, req.Target.Key).
+					With(stateflow.WithKind(req.Kind)).
+					Call(req.Method, req.Args...)
 				d := time.Since(t0)
 				mu.Lock()
 				lat.Add(d)
-				if err != nil || errStr != "" {
+				if err != nil || res.Err != "" {
 					errs++
 				}
 				mu.Unlock()
@@ -116,8 +114,8 @@ func runLive(prog *ir.Program, wgen *ycsb.Generator, records int, rate float64, 
 		}(lo, hi)
 	}
 	wg.Wait()
-	fmt.Printf("live runtime (8 workers, %d clients): %d requests in %s (errors: %d, events: %d)\n",
-		clients, total, time.Since(start).Round(time.Millisecond), errs, rt.Processed())
+	fmt.Printf("%s, %d clients: %d requests in %s (errors: %d)\n",
+		label, clients, total, time.Since(start).Round(time.Millisecond), errs)
 	fmt.Printf("per-call latency: %s\n", lat.Summary())
 }
 
@@ -135,56 +133,22 @@ func min(a, b int) int {
 	return b
 }
 
-// runLocal executes the request stream synchronously on the Local runtime;
-// latencies are real wall-clock execution times of the dataflow.
-func runLocal(prog *ir.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration) {
-	rt := local.New(prog)
-	load := ycsb.Loader(records, 1000)
-	for i := 0; i < records; i++ {
-		class, args := load(i)
-		if _, err := rt.Create(class, args...); err != nil {
-			check(err)
-		}
-	}
-	total := int(rate * duration.Seconds())
-	lat := metrics.NewSeries()
-	errs := 0
-	start := time.Now()
-	for i := 0; i < total; i++ {
-		req := wgen.Next(i)
-		t0 := time.Now()
-		res, err := rt.Invoke(req.Target.Class, req.Target.Key, req.Method, req.Args...)
-		check(err)
-		lat.Add(time.Since(t0))
-		if res.Err != "" {
-			errs++
-		}
-	}
-	fmt.Printf("local runtime: %d requests in %s (errors: %d)\n", total, time.Since(start).Round(time.Millisecond), errs)
-	fmt.Printf("per-call execution latency: %s\n", lat.Summary())
-}
-
-// runSim executes the workload on a simulated distributed deployment.
-func runSim(backend string, prog *ir.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed int64) {
+// runSim executes the workload on a simulated distributed deployment with
+// an open-loop generator (arrivals do not wait for responses).
+func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed int64) {
 	cluster := sim.New(seed)
-	var sys sysapi.System
+	var sys sysapi.Backend
 	var sf *sfsys.System
-	var sfu *statefun.System
 	if backend == "stateflow" {
 		sf = sfsys.New(cluster, prog, sfsys.DefaultConfig())
 		sys = sf
 	} else {
-		sfu = statefun.New(cluster, prog, statefun.DefaultConfig())
-		sys = sfu
+		sys = statefun.New(cluster, prog, statefun.DefaultConfig())
 	}
 	load := ycsb.Loader(records, 1000)
 	for i := 0; i < records; i++ {
 		class, args := load(i)
-		if sf != nil {
-			check(sf.PreloadEntity(class, args...))
-		} else {
-			check(sfu.PreloadEntity(class, args...))
-		}
+		check(sys.PreloadEntity(class, args...))
 	}
 	gen := sysapi.NewGenerator("client", sys, rate, duration, duration/10, wgen.Next)
 	cluster.Add("client", gen)

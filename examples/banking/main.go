@@ -1,5 +1,6 @@
 // Banking: YCSB+T-style atomic transfers on the simulated StateFlow
-// runtime, with an injected worker crash.
+// runtime, with an injected worker crash — driven entirely through the
+// portable Client interface.
 //
 // The example demonstrates the paper's §3 fault-tolerance story: the
 // runtime takes aligned snapshots at epoch boundaries, keeps a replayable
@@ -56,9 +57,13 @@ func main() {
 		Epoch:         5 * time.Millisecond,
 		SnapshotEvery: 3,
 	})
+	// The Client surface is portable: everything below except the crash
+	// injection would run unchanged on a Local or Live deployment.
+	client := simu.Client()
+	admin := client.Admin()
 	names := []string{"alice", "bob", "carol", "dave"}
 	for _, n := range names {
-		if err := simu.Preload("Account", stateflow.Str(n), stateflow.Int(100)); err != nil {
+		if err := admin.Preload("Account", stateflow.Str(n), stateflow.Int(100)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -66,7 +71,7 @@ func main() {
 	fmt.Println("--- phase 1: transfers before the crash ---")
 	for i := 0; i < 10; i++ {
 		from, to := names[i%4], names[(i+1)%4]
-		res, err := simu.Call("Account", from, "transfer",
+		res, err := client.Entity("Account", from).Call("transfer",
 			stateflow.Int(5), stateflow.Ref("Account", to))
 		if err != nil {
 			log.Fatal(err)
@@ -74,9 +79,10 @@ func main() {
 		fmt.Printf("transfer %s -> %s: %v (latency %s, retries %d)\n",
 			from, to, res.Value, res.Latency.Round(time.Millisecond), res.Retries)
 	}
-	printBalances(simu, names)
+	printBalances(admin, names)
 
-	// Crash the worker that owns alice's partition.
+	// Crash the worker that owns alice's partition (simulation-only
+	// control: fault injection is not part of the Client surface).
 	sf := simu.StateFlow()
 	victim := sf.WorkerIDs()[sf.OwnerIndex(stateflow.EntityRef{Class: "Account", Key: "alice"})]
 	fmt.Printf("\n--- phase 2: crashing %s mid-run ---\n", victim)
@@ -85,7 +91,7 @@ func main() {
 	// This transfer's chain stalls on the dead worker; the failure
 	// detector fires, the system rolls back to the last snapshot, replays
 	// the request log, and the transfer completes after recovery.
-	res, err := simu.Call("Account", "alice", "transfer",
+	res, err := client.Entity("Account", "alice").Call("transfer",
 		stateflow.Int(7), stateflow.Ref("Account", "carol"))
 	if err != nil {
 		log.Fatal(err)
@@ -96,10 +102,10 @@ func main() {
 		sf.Coordinator().Recoveries, sf.Snapshots.Count())
 
 	fmt.Println("\n--- phase 3: after recovery ---")
-	printBalances(simu, names)
+	printBalances(admin, names)
 	var total int64
-	for _, n := range names {
-		st, _ := simu.EntityState("Account", n)
+	for _, n := range admin.Keys("Account") {
+		st, _ := admin.Inspect("Account", n)
 		total += st["balance"].I
 	}
 	if total != int64(len(names))*100 {
@@ -108,9 +114,9 @@ func main() {
 	fmt.Printf("invariant holds: total balance = %d (exactly-once effects)\n", total)
 }
 
-func printBalances(simu *stateflow.Simulation, names []string) {
+func printBalances(admin stateflow.Admin, names []string) {
 	for _, n := range names {
-		st, ok := simu.EntityState("Account", n)
+		st, ok := admin.Inspect("Account", n)
 		if !ok {
 			log.Fatalf("account %s missing", n)
 		}

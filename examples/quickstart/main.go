@@ -2,9 +2,11 @@
 //
 // It compiles the User/Item stateful-entity program, prints what the
 // compiler produced (operators, split functions, state machine), and runs
-// buy_item scenarios on the Local runtime (§3) — the same IR can be
-// deployed unchanged on the distributed runtimes (see the banking and
-// shoppingcart examples).
+// buy_item scenarios through the portable Client interface on the Local
+// runtime (§3). Because the scenarios only touch stateflow.Client, the
+// same code would run unchanged on a simulated distributed deployment
+// (Simulation.Client()) or the concurrent Live runtime (NewLiveClient) —
+// see the banking and shoppingcart examples.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -68,49 +70,49 @@ func main() {
 	fmt.Println("--- split functions of User.buy_item (cf. §2.4) ---")
 	fmt.Print(prog.MethodOf("User", "buy_item").Listing())
 
-	// 2. Execute on the Local runtime (HashMap state, §3).
-	rt := stateflow.NewLocal(prog)
-	must(rt.Create("Item", stateflow.Str("apple"), stateflow.Int(5)))
-	must(rt.Create("User", stateflow.Str("alice")))
-	mustInvoke(rt, "Item", "apple", "update_stock", stateflow.Int(10))
+	// 2. Execute through the Client interface, here backed by the Local
+	// runtime (in-process state, §3).
+	client := stateflow.NewLocalClient(prog)
+	apple := must(client.Create("Item", stateflow.Str("apple"), stateflow.Int(5)))
+	alice := must(client.Create("User", stateflow.Str("alice")))
+	mustCall(apple, "update_stock", stateflow.Int(10))
 
 	fmt.Println("\n--- executing buy_item scenarios ---")
 	// Success: 3 apples at 5 each.
-	ok := mustInvoke(rt, "User", "alice", "buy_item",
-		stateflow.Int(3), stateflow.Ref("Item", "apple"))
+	ok := mustCall(alice, "buy_item", stateflow.Int(3), apple.RefValue())
 	fmt.Printf("alice buys 3 apples: %v\n", ok)
 
 	// Failure on funds: 100 apples cost 500 > balance.
-	ok = mustInvoke(rt, "User", "alice", "buy_item",
-		stateflow.Int(100), stateflow.Ref("Item", "apple"))
+	ok = mustCall(alice, "buy_item", stateflow.Int(100), apple.RefValue())
 	fmt.Printf("alice buys 100 apples: %v (insufficient balance)\n", ok)
 
 	// Failure on stock: compensation puts the stock back (the paper's
 	// refund path).
-	ok = mustInvoke(rt, "User", "alice", "buy_item",
-		stateflow.Int(9), stateflow.Ref("Item", "apple"))
+	ok = mustCall(alice, "buy_item", stateflow.Int(9), apple.RefValue())
 	fmt.Printf("alice buys 9 apples: %v (out of stock, compensated)\n", ok)
 
-	user, _ := rt.State("User", "alice")
-	item, _ := rt.State("Item", "apple")
+	// 3. Inspect committed state through the Admin surface.
+	admin := client.Admin()
+	user, _ := admin.Inspect("User", "alice")
+	item, _ := admin.Inspect("Item", "apple")
 	fmt.Printf("\nfinal state: alice balance=%s, apple stock=%s\n",
 		user["balance"], item["stock"])
 }
 
-func must[T any](v T, err error) T {
+func must(e *stateflow.Entity, err error) *stateflow.Entity {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return v
+	return e
 }
 
-func mustInvoke(rt *stateflow.Local, class, key, method string, args ...stateflow.Value) stateflow.Value {
-	res, err := rt.Invoke(class, key, method, args...)
+func mustCall(e *stateflow.Entity, method string, args ...stateflow.Value) stateflow.Value {
+	res, err := e.Call(method, args...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if res.Err != "" {
-		log.Fatalf("%s.%s: %s", class, method, res.Err)
+		log.Fatalf("%s.%s: %s", e.Class(), method, res.Err)
 	}
 	return res.Value
 }

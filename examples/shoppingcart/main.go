@@ -1,7 +1,9 @@
 // Shopping cart: a multi-entity e-commerce checkout — the class of cloud
 // application the paper's introduction motivates — executed on BOTH
 // simulated distributed runtimes from a single compiled program (§3: the
-// runtime choice is independent of the application layer).
+// runtime choice is independent of the application layer). The racing
+// checkouts are fired through Entity.Submit, whose Futures carry the full
+// outcome (value, error, retries, latency) of each request.
 //
 // A checkout walks the cart's items (a split for-loop of remote calls),
 // reserves stock on every Product entity, charges the Wallet, and
@@ -145,43 +147,46 @@ func runScenario(prog *stateflow.Program, backend stateflow.Backend, seed int64)
 	simu := stateflow.NewSimulation(prog, stateflow.SimConfig{
 		Backend: backend, Epoch: 20 * time.Millisecond, Seed: seed,
 	})
-	must(simu.Preload("Product", stateflow.Str("gpu"), stateflow.Int(900), stateflow.Int(3)))
-	must(simu.Preload("Product", stateflow.Str("cable"), stateflow.Int(10), stateflow.Int(100)))
-	must(simu.Preload("Wallet", stateflow.Str("alice"), stateflow.Int(5000)))
-	must(simu.Preload("Wallet", stateflow.Str("bob"), stateflow.Int(5000)))
-	must(simu.Preload("Cart", stateflow.Str("cart-a"), stateflow.Str("alice")))
-	must(simu.Preload("Cart", stateflow.Str("cart-b"), stateflow.Str("bob")))
+	client := simu.Client()
+	admin := client.Admin()
+	must(admin.Preload("Product", stateflow.Str("gpu"), stateflow.Int(900), stateflow.Int(3)))
+	must(admin.Preload("Product", stateflow.Str("cable"), stateflow.Int(10), stateflow.Int(100)))
+	must(admin.Preload("Wallet", stateflow.Str("alice"), stateflow.Int(5000)))
+	must(admin.Preload("Wallet", stateflow.Str("bob"), stateflow.Int(5000)))
+	must(admin.Preload("Cart", stateflow.Str("cart-a"), stateflow.Str("alice")))
+	must(admin.Preload("Cart", stateflow.Str("cart-b"), stateflow.Str("bob")))
 
 	// Both carts want 2 GPUs; only 3 exist — at most one checkout may win.
 	for _, c := range []string{"cart-a", "cart-b"} {
-		mustCall(simu, "Cart", c, "add", stateflow.Str("gpu"), stateflow.Int(2))
-		mustCall(simu, "Cart", c, "add", stateflow.Str("cable"), stateflow.Int(1))
+		cart := client.Entity("Cart", c)
+		mustCall(cart, "add", stateflow.Str("gpu"), stateflow.Int(2))
+		mustCall(cart, "add", stateflow.Str("cable"), stateflow.Int(1))
 	}
 
 	products := stateflow.List(stateflow.Ref("Product", "gpu"), stateflow.Ref("Product", "cable"))
-	// Fire both checkouts at the same instant so they genuinely race.
-	resA := submitCheckout(simu, "cart-a", products, "alice")
-	resB := submitCheckout(simu, "cart-b", products, "bob")
+	// Fire both checkouts at the same instant so they genuinely race; the
+	// Futures resolve as virtual time advances.
+	futA := client.Entity("Cart", "cart-a").Submit("checkout", products, stateflow.Ref("Wallet", "alice"))
+	futB := client.Entity("Cart", "cart-b").Submit("checkout", products, stateflow.Ref("Wallet", "bob"))
 	simu.Run(10 * time.Second)
 
-	st, _ := simu.EntityState("Product", "gpu")
+	st, _ := admin.Inspect("Product", "gpu")
 	wins := 0
-	if resA().B {
-		wins++
-	}
-	if resB().B {
-		wins++
+	for _, fut := range []*stateflow.Future{futA, futB} {
+		res, err := fut.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Err != "" {
+			log.Fatalf("checkout %s: %s", fut.Target(), res.Err)
+		}
+		if res.Value.B {
+			wins++
+		}
 	}
 	// Only 3 GPUs exist and each winner takes 2: two winners or negative
 	// stock means the product oversold.
 	return st["stock"].I < 0 || wins == 2
-}
-
-// submitCheckout injects a checkout request and returns a getter for its
-// (eventual) result.
-func submitCheckout(simu *stateflow.Simulation, cart string, products stateflow.Value, owner string) func() stateflow.Value {
-	res := simu.Submit("Cart", cart, "checkout", products, stateflow.Ref("Wallet", owner))
-	return res
 }
 
 func must(err error) {
@@ -190,13 +195,13 @@ func must(err error) {
 	}
 }
 
-func mustCall(simu *stateflow.Simulation, class, key, method string, args ...stateflow.Value) stateflow.Value {
-	res, err := simu.Call(class, key, method, args...)
+func mustCall(e *stateflow.Entity, method string, args ...stateflow.Value) stateflow.Value {
+	res, err := e.Call(method, args...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	if res.Err != "" {
-		log.Fatalf("%s.%s: %s", class, method, res.Err)
+		log.Fatalf("%s.%s: %s", e.Class(), method, res.Err)
 	}
 	return res.Value
 }

@@ -1,6 +1,7 @@
 // TPC-C subset: the NewOrder and Payment transactions the paper reports
 // StateFlow can "partly" execute (§3), running on the transactional
-// StateFlow runtime.
+// StateFlow runtime and driven through the Client interface: submissions
+// return Futures, preloading and the final audit go through Admin.
 //
 // NewOrder is the most demanding shape the compiler handles: a
 // transactional method whose body loops over a list of entity references
@@ -34,20 +35,23 @@ func main() {
 	simu := stateflow.NewSimulation(prog, stateflow.SimConfig{
 		Backend: stateflow.BackendStateFlow, Workers: 5, Epoch: 5 * time.Millisecond,
 	})
+	client := simu.Client()
+	admin := client.Admin()
 	scale := tpcc.Scale{Warehouses: 2, DistrictsPerWH: 2, CustomersPerDist: 10, Items: 50}
 	err = scale.Load(func(class string, args []interp.Value) error {
-		return simu.Preload(class, args...)
+		return admin.Preload(class, args...)
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Drive a deterministic transaction mix.
+	// Drive a deterministic transaction mix; every submission returns a
+	// Future that resolves as virtual time advances.
 	gen := tpcc.NewGenerator(scale, 42, "txn-")
 	const n = 80
 	type pending struct {
 		kind string
-		get  func() stateflow.Value
+		fut  *stateflow.Future
 		amt  int64
 	}
 	var txns []pending
@@ -59,8 +63,10 @@ func main() {
 		}
 		txns = append(txns, pending{
 			kind: req.Kind,
-			get:  simu.Submit(req.Target.Class, req.Target.Key, req.Method, req.Args...),
-			amt:  amt,
+			fut: client.Entity(req.Target.Class, req.Target.Key).
+				With(stateflow.WithKind(req.Kind)).
+				Submit(req.Method, req.Args...),
+			amt: amt,
 		})
 		simu.Run(4 * time.Millisecond) // ~250 txn/s arrival rate
 	}
@@ -69,8 +75,15 @@ func main() {
 	orders, payments := 0, 0
 	var paid int64
 	for _, t := range txns {
+		res, err := t.fut.Wait()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Err != "" {
+			log.Fatalf("%s %s: %s", t.kind, t.fut.Target(), res.Err)
+		}
 		if t.kind == "new_order" {
-			if t.get().I > 0 {
+			if res.Value.I > 0 {
 				orders++
 			}
 		} else {
@@ -86,13 +99,13 @@ func main() {
 	// the sum of committed payments (atomicity across three entities).
 	var wytd, dytd, cytd int64
 	for w := 0; w < scale.Warehouses; w++ {
-		st, _ := simu.EntityState("Warehouse", tpcc.WarehouseKey(w))
+		st, _ := admin.Inspect("Warehouse", tpcc.WarehouseKey(w))
 		wytd += st["ytd"].I
 		for d := 0; d < scale.DistrictsPerWH; d++ {
-			ds, _ := simu.EntityState("District", tpcc.DistrictKey(w, d))
+			ds, _ := admin.Inspect("District", tpcc.DistrictKey(w, d))
 			dytd += ds["ytd"].I
 			for cu := 0; cu < scale.CustomersPerDist; cu++ {
-				cs, _ := simu.EntityState("Customer", tpcc.CustomerKey(w, d, cu))
+				cs, _ := admin.Inspect("Customer", tpcc.CustomerKey(w, d, cu))
 				cytd += cs["ytd_payment"].I
 			}
 		}

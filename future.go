@@ -1,0 +1,107 @@
+package stateflow
+
+import "sync"
+
+// Future is the handle to a submitted invocation. Unlike a bare result
+// getter it carries the full outcome — Value, Err, Retries, Latency — plus
+// the completion state, uniformly across all runtimes:
+//
+//   - on Local, futures are born complete (the runtime is synchronous);
+//   - on a Simulation, Wait drives virtual time until the response arrives
+//     (or the handle's timeout budget runs out), while Done/Peek only
+//     observe time already simulated (via Run or other calls);
+//   - on Live, Wait blocks the calling goroutine; shutdown fails pending
+//     futures instead of stranding their waiters.
+//
+// A Future resolves at most once: the first observed outcome is memoized
+// and every accessor afterwards returns it. A transport error from Wait
+// (a timeout, say) does NOT resolve the future — the request keeps
+// running, and a later Wait (after more virtual time on a Simulation, or
+// more wall clock on Live) can still observe the real outcome. Futures
+// from the Live runtime are safe to share across goroutines; Simulation
+// futures, like the Simulation itself, are single-threaded.
+type Future struct {
+	ref    EntityRef
+	method string
+
+	mu   sync.Mutex
+	done bool
+	res  Result
+	err  error
+
+	// poll reports the outcome without blocking or advancing time.
+	poll func() (Result, error, bool)
+	// wait blocks (or drives virtual time) until the outcome is known.
+	wait func() (Result, error)
+}
+
+// newFuture wires a backend's poll/wait hooks into a Future.
+func newFuture(ref EntityRef, method string, poll func() (Result, error, bool), wait func() (Result, error)) *Future {
+	return &Future{ref: ref, method: method, poll: poll, wait: wait}
+}
+
+// completedFuture is born resolved (the Local runtime answers
+// synchronously at submit time).
+func completedFuture(ref EntityRef, method string, res Result, err error) *Future {
+	return &Future{ref: ref, method: method, done: true, res: res, err: err}
+}
+
+// Target returns the entity the call was addressed to.
+func (f *Future) Target() EntityRef { return f.ref }
+
+// Method returns the invoked method name.
+func (f *Future) Method() string { return f.method }
+
+// Wait returns the outcome, blocking (Live), driving virtual time
+// (Simulation) or returning immediately (Local) until it is known. The
+// error is transport-level — timeout or runtime shutdown; application
+// failures travel in Result.Err. A transport error leaves the future
+// unresolved, so Wait can be retried.
+//
+// The lock is NOT held while the backend waits: concurrent Done/Peek
+// calls stay non-blocking, and concurrent Waits each wait and agree on
+// the first memoized outcome.
+func (f *Future) Wait() (Result, error) {
+	f.mu.Lock()
+	if f.done {
+		defer f.mu.Unlock()
+		return f.res, f.err
+	}
+	f.mu.Unlock()
+	res, err := f.wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return f.res, f.err
+	}
+	if err != nil {
+		// Transport failure (e.g. timeout): the request may yet complete;
+		// leave the future unresolved so a retry can observe it.
+		return Result{}, err
+	}
+	f.res, f.done = res, true
+	return f.res, nil
+}
+
+// Peek reports the outcome if the future has completed, without blocking
+// or advancing time. When it returns true, Wait returns the same outcome
+// immediately (including a permanent transport error such as runtime
+// shutdown — poll only ever reports terminal states).
+func (f *Future) Peek() (Result, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.done {
+		res, err, ok := f.poll()
+		if !ok {
+			return Result{}, false
+		}
+		f.res, f.err, f.done = res, err, true
+	}
+	return f.res, true
+}
+
+// Done reports completion without blocking or advancing time.
+func (f *Future) Done() bool {
+	_, ok := f.Peek()
+	return ok
+}

@@ -73,7 +73,7 @@ func runOne(system string, mix ycsb.Mix, dist string, rate float64, opt Options)
 	}
 	cluster := sim.New(opt.Seed)
 
-	var sys sysapi.System
+	var sys sysapi.Backend
 	var sfSys *stateflow.System
 	switch system {
 	case "stateflow":
@@ -82,8 +82,7 @@ func runOne(system string, mix ycsb.Mix, dist string, rate float64, opt Options)
 		sfSys = stateflow.New(cluster, prog, cfg)
 		sys = sfSys
 	case "statefun":
-		sfu := statefun.New(cluster, prog, statefun.DefaultConfig())
-		sys = sfu
+		sys = statefun.New(cluster, prog, statefun.DefaultConfig())
 	default:
 		return RunPoint{}, fmt.Errorf("bench: unknown system %q", system)
 	}
@@ -92,15 +91,8 @@ func runOne(system string, mix ycsb.Mix, dist string, rate float64, opt Options)
 	load := ycsb.Loader(opt.Records, opt.PayloadBytes)
 	for i := 0; i < opt.Records; i++ {
 		class, args := load(i)
-		switch s := sys.(type) {
-		case *stateflow.System:
-			if err := s.PreloadEntity(class, args...); err != nil {
-				return RunPoint{}, err
-			}
-		case *statefun.System:
-			if err := s.PreloadEntity(class, args...); err != nil {
-				return RunPoint{}, err
-			}
+		if err := sys.PreloadEntity(class, args...); err != nil {
+			return RunPoint{}, err
 		}
 	}
 
@@ -308,19 +300,15 @@ func RunConsistency(opt Options) ([]ConsistencyResult, error) {
 	const accounts = 4
 	const burst = 40
 	script := func() []sysapi.Scheduled {
+		reqs := sysapi.NewBuilder("t")
 		var s []sysapi.Scheduled
 		for i := 0; i < burst; i++ {
 			from := ycsb.Key(i % accounts)
 			to := ycsb.Key((i + 1) % accounts)
 			s = append(s, sysapi.Scheduled{
 				At: time.Millisecond + time.Duration(i)*150*time.Microsecond,
-				Req: sysapi.Request{
-					Req:    fmt.Sprintf("t%d", i),
-					Target: interp.EntityRef{Class: "Account", Key: from},
-					Method: "transfer",
-					Args:   []interp.Value{interp.IntV(5), interp.RefV("Account", to)},
-					Kind:   "transfer",
-				},
+				Req: reqs.At(i, interp.EntityRef{Class: "Account", Key: from}, "transfer",
+					[]interp.Value{interp.IntV(5), interp.RefV("Account", to)}, "transfer"),
 			})
 		}
 		return s
@@ -329,28 +317,20 @@ func RunConsistency(opt Options) ([]ConsistencyResult, error) {
 	var out []ConsistencyResult
 	for _, system := range []string{"statefun", "stateflow"} {
 		cluster := sim.New(opt.Seed)
-		var sys sysapi.System
+		var sys sysapi.Backend
 		var sf *stateflow.System
-		var sfu *statefun.System
 		if system == "stateflow" {
 			cfg := stateflow.DefaultConfig()
 			cfg.EpochInterval = opt.Epoch
 			sf = stateflow.New(cluster, prog, cfg)
 			sys = sf
 		} else {
-			sfu = statefun.New(cluster, prog, statefun.DefaultConfig())
-			sys = sfu
+			sys = statefun.New(cluster, prog, statefun.DefaultConfig())
 		}
 		for i := 0; i < accounts; i++ {
 			args := []interp.Value{interp.StrV(ycsb.Key(i)), interp.IntV(1000), interp.StrV("")}
-			if sf != nil {
-				if err := sf.PreloadEntity("Account", args...); err != nil {
-					return nil, err
-				}
-			} else {
-				if err := sfu.PreloadEntity("Account", args...); err != nil {
-					return nil, err
-				}
+			if err := sys.PreloadEntity("Account", args...); err != nil {
+				return nil, err
 			}
 		}
 		client := sysapi.NewScriptClient("client", sys, script())
@@ -360,13 +340,7 @@ func RunConsistency(opt Options) ([]ConsistencyResult, error) {
 
 		var total int64
 		for i := 0; i < accounts; i++ {
-			var st interp.MapState
-			var ok bool
-			if sf != nil {
-				st, ok = sf.EntityState("Account", ycsb.Key(i))
-			} else {
-				st, ok = sfu.EntityState("Account", ycsb.Key(i))
-			}
+			st, ok := sys.EntityState("Account", ycsb.Key(i))
 			if !ok {
 				return nil, fmt.Errorf("bench: account %d missing", i)
 			}

@@ -11,19 +11,32 @@
 // simulated StateFlow runtime, where the protocol is deterministic and
 // fully testable; the live runtime demonstrates that the same IR drives a
 // genuinely concurrent system.)
+//
+// Clients drive the runtime synchronously via Invoke or asynchronously via
+// Submit, which returns a Pending future. Shutdown is loss-free for
+// callers: Close fails every still-pending request with ErrClosed instead
+// of leaving its waiter blocked.
 package live
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
 	"statefulentities.dev/stateflow/internal/state"
 )
+
+// ErrClosed is the transport error reported for requests that raced or
+// followed Close: the runtime can no longer complete them.
+var ErrClosed = errors.New("live: runtime closed")
 
 // Config parameterizes the live runtime.
 type Config struct {
@@ -38,15 +51,85 @@ type Runtime struct {
 	prog    *ir.Program
 	ex      *core.Executor
 	workers []*worker
-	pending sync.Map // req id -> chan result
+	pending sync.Map // req id -> *Pending
 	nextReq atomic.Int64
 	closed  atomic.Bool
-	wg      sync.WaitGroup
+	// quit broadcasts shutdown: senders and idle workers select on it, so
+	// no channel is ever closed while sends race it.
+	quit chan struct{}
+	wg   sync.WaitGroup
 }
 
 type result struct {
 	value interp.Value
-	err   string
+	err   string // application-level error
+	fail  error  // transport-level error (shutdown)
+}
+
+// Pending is an in-flight invocation: a future completed exactly once by
+// the owning worker's response or by shutdown. It is safe to share across
+// goroutines.
+type Pending struct {
+	req    string
+	done   chan struct{}
+	res    result    // written exactly once before done closes
+	doneAt time.Time // stamped at completion, before done closes
+}
+
+func newPending(req string) *Pending {
+	return &Pending{req: req, done: make(chan struct{})}
+}
+
+// complete resolves the future. Callers must guarantee exactly-once (the
+// runtime does, via pending.LoadAndDelete).
+func (p *Pending) complete(r result) {
+	p.res = r
+	p.doneAt = time.Now()
+	close(p.done)
+}
+
+// Req returns the request id.
+func (p *Pending) Req() string { return p.req }
+
+// DoneAt returns when the request completed (the zero time while still
+// pending). Latency measured against it excludes any delay between
+// completion and the caller collecting the future.
+func (p *Pending) DoneAt() time.Time {
+	select {
+	case <-p.done:
+		return p.doneAt
+	default:
+		return time.Time{}
+	}
+}
+
+// Done reports completion without blocking.
+func (p *Pending) Done() bool {
+	select {
+	case <-p.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Wait blocks until the request completes, returning the value, the
+// application-level error string, and the transport error (ErrClosed when
+// shutdown fails the request).
+func (p *Pending) Wait() (interp.Value, string, error) {
+	<-p.done
+	return p.res.value, p.res.err, p.res.fail
+}
+
+// WaitContext is Wait bounded by a context. If the context expires first
+// the request itself keeps running; a later Wait can still observe it.
+func (p *Pending) WaitContext(ctx context.Context) (interp.Value, string, error) {
+	select {
+	case <-p.done:
+		return p.res.value, p.res.err, p.res.fail
+	case <-ctx.Done():
+		return interp.None, "", ctx.Err()
+	}
 }
 
 // probe asks a worker for a copy of one entity's state.
@@ -55,10 +138,16 @@ type probe struct {
 	reply chan interp.MapState // receives nil when the entity is missing
 }
 
+// keysProbe asks a worker for its keys of one class.
+type keysProbe struct {
+	class string
+	reply chan []string
+}
+
 type worker struct {
 	rt    *Runtime
 	idx   int
-	inbox chan any // *core.Event or probe
+	inbox chan any // *core.Event, probe or keysProbe
 	// store is only touched by this worker's goroutine.
 	store *state.Store
 	// processed counts handled events (observability).
@@ -73,7 +162,7 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 1024
 	}
-	rt := &Runtime{prog: prog, ex: core.NewExecutor(prog)}
+	rt := &Runtime{prog: prog, ex: core.NewExecutor(prog), quit: make(chan struct{})}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			rt:    rt,
@@ -88,17 +177,20 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 	return rt
 }
 
-// Close stops all workers and waits for them to drain. In-flight chains
-// whose next hop races the shutdown are dropped; callers should quiesce
-// first.
+// Close stops all workers, waits for them to drain, and fails every
+// request still pending with ErrClosed — an in-flight chain whose next hop
+// raced the shutdown can never produce a response, so its waiter must not
+// block forever.
 func (rt *Runtime) Close() {
 	if rt.closed.Swap(true) {
 		return
 	}
-	for _, w := range rt.workers {
-		close(w.inbox)
-	}
+	close(rt.quit)
 	rt.wg.Wait()
+	rt.pending.Range(func(k, _ any) bool {
+		rt.complete(k.(string), result{fail: ErrClosed})
+		return true
+	})
 }
 
 // Workers returns the number of partitions.
@@ -121,29 +213,33 @@ func (rt *Runtime) ownerOf(ref interp.EntityRef) *worker {
 	return rt.workers[int(h.Sum32()%uint32(len(rt.workers)))]
 }
 
-// send routes an event to its target partition, tolerating shutdown races.
+// send routes an event to its target partition. During shutdown the event
+// is dropped; Close fails the chain's pending request afterwards.
 func (rt *Runtime) send(ev *core.Event) {
-	if rt.closed.Load() {
-		return
+	select {
+	case rt.ownerOf(ev.Target).inbox <- ev:
+	case <-rt.quit:
 	}
-	defer func() {
-		// A worker inbox may close between the check and the send during
-		// shutdown; dropping the event is acceptable there.
-		_ = recover()
-	}()
-	rt.ownerOf(ev.Target).inbox <- ev
 }
 
-// Invoke calls a method and blocks until the chain completes. The second
-// return is the application-level error string (empty on success).
-func (rt *Runtime) Invoke(class, key, method string, args ...interp.Value) (interp.Value, string, error) {
-	if rt.closed.Load() {
-		return interp.None, "", fmt.Errorf("live: runtime closed")
+// complete resolves a pending request exactly once: LoadAndDelete makes
+// worker delivery, Submit's shutdown re-check and Close's drain race
+// safely — whoever removes the entry completes it.
+func (rt *Runtime) complete(id string, r result) {
+	if p, ok := rt.pending.LoadAndDelete(id); ok {
+		p.(*Pending).complete(r)
 	}
+}
+
+// Submit sends an invocation without waiting and returns its future.
+func (rt *Runtime) Submit(class, key, method string, args ...interp.Value) *Pending {
 	id := fmt.Sprintf("live-%d", rt.nextReq.Add(1))
-	ch := make(chan result, 1)
-	rt.pending.Store(id, ch)
-	defer rt.pending.Delete(id)
+	p := newPending(id)
+	if rt.closed.Load() {
+		p.complete(result{fail: ErrClosed})
+		return p
+	}
+	rt.pending.Store(id, p)
 	rt.send(&core.Event{
 		Kind:   core.EvInvoke,
 		Req:    id,
@@ -151,8 +247,18 @@ func (rt *Runtime) Invoke(class, key, method string, args ...interp.Value) (inte
 		Method: method,
 		Args:   args,
 	})
-	res := <-ch
-	return res.value, res.err, nil
+	if rt.closed.Load() {
+		// Close may have drained the pending map before our Store landed;
+		// fail the request ourselves so a racing shutdown cannot strand it.
+		rt.complete(id, result{fail: ErrClosed})
+	}
+	return p
+}
+
+// Invoke calls a method and blocks until the chain completes. The second
+// return is the application-level error string (empty on success).
+func (rt *Runtime) Invoke(class, key, method string, args ...interp.Value) (interp.Value, string, error) {
+	return rt.Submit(class, key, method, args...).Wait()
 }
 
 // Create instantiates an entity and blocks until done.
@@ -171,47 +277,131 @@ func (rt *Runtime) Create(class string, args ...interp.Value) (interp.EntityRef,
 	return v.R, nil
 }
 
+// PreloadEntity loads an entity by running its constructor through the
+// dataflow. (Unlike the simulated systems there is no out-of-band store
+// access: workers own their partitions exclusively.)
+func (rt *Runtime) PreloadEntity(class string, args ...interp.Value) error {
+	_, err := rt.Create(class, args...)
+	return err
+}
+
+// ask sends a control message to the worker, reporting false during
+// shutdown (the reply channel might never be served).
+func (w *worker) ask(msg any) bool {
+	select {
+	case w.inbox <- msg:
+		return true
+	case <-w.rt.quit:
+		return false
+	}
+}
+
 // EntityState reads a copy of one entity's attributes, served from the
-// owning worker's goroutine so no lock is needed on the store.
+// owning worker's goroutine so no lock is needed on the store. During
+// shutdown it reports false.
 func (rt *Runtime) EntityState(class, key string) (interp.MapState, bool) {
 	if rt.closed.Load() {
 		return nil, false
 	}
 	ref := interp.EntityRef{Class: class, Key: key}
 	reply := make(chan interp.MapState, 1)
-	func() {
-		defer func() { _ = recover() }()
-		rt.ownerOf(ref).inbox <- probe{ref: ref, reply: reply}
-	}()
-	st, ok := <-reply
-	if !ok || st == nil {
+	if !rt.ownerOf(ref).ask(probe{ref: ref, reply: reply}) {
 		return nil, false
 	}
-	return st, true
+	select {
+	case st := <-reply:
+		if st == nil {
+			return nil, false
+		}
+		return st, true
+	case <-rt.quit:
+		return nil, false
+	}
 }
 
-// run is the worker goroutine: serial execution over its partition.
+// Keys lists the keys of every entity of a class, sorted across all
+// partitions; each worker serves its slice from its own goroutine. During
+// shutdown it reports nil.
+func (rt *Runtime) Keys(class string) []string {
+	if rt.closed.Load() {
+		return nil
+	}
+	var out []string
+	for _, w := range rt.workers {
+		reply := make(chan []string, 1)
+		if !w.ask(keysProbe{class: class, reply: reply}) {
+			return nil
+		}
+		select {
+		case keys := <-reply:
+			out = append(out, keys...)
+		case <-rt.quit:
+			return nil
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// run is the worker goroutine: serial execution over its partition. It
+// prefers draining its inbox and only honors quit when idle, so queued
+// work is served before shutdown.
 func (w *worker) run() {
 	defer w.rt.wg.Done()
-	for msg := range w.inbox {
-		switch m := msg.(type) {
-		case probe:
-			if st, ok := w.store.Lookup(m.ref); ok {
-				m.reply <- st.CloneMap()
-			} else {
+	for {
+		select {
+		case msg := <-w.inbox:
+			w.handle(msg)
+		default:
+			select {
+			case msg := <-w.inbox:
+				w.handle(msg)
+			case <-w.rt.quit:
+				w.flush()
+				return
+			}
+		}
+	}
+}
+
+// handle processes one inbox message.
+func (w *worker) handle(msg any) {
+	switch m := msg.(type) {
+	case probe:
+		if st, ok := w.store.Lookup(m.ref); ok {
+			m.reply <- st.CloneMap()
+		} else {
+			m.reply <- nil
+		}
+	case keysProbe:
+		m.reply <- w.store.Keys(m.class)
+	case *core.Event:
+		w.processed.Add(1)
+		out, err := w.rt.ex.Step(m, liveStore{w.store})
+		if err != nil {
+			w.deliver(&core.Event{Kind: core.EvResponse, Req: m.Req, Err: err.Error()})
+			return
+		}
+		for _, ev := range out {
+			w.deliver(ev)
+		}
+	}
+}
+
+// flush answers control probes still queued at shutdown and drops events
+// (Close fails their pending requests afterwards).
+func (w *worker) flush() {
+	for {
+		select {
+		case msg := <-w.inbox:
+			switch m := msg.(type) {
+			case probe:
+				m.reply <- nil
+			case keysProbe:
 				m.reply <- nil
 			}
-			close(m.reply)
-		case *core.Event:
-			w.processed.Add(1)
-			out, err := w.rt.ex.Step(m, liveStore{w.store})
-			if err != nil {
-				w.deliver(&core.Event{Kind: core.EvResponse, Req: m.Req, Err: err.Error()})
-				continue
-			}
-			for _, ev := range out {
-				w.deliver(ev)
-			}
+		default:
+			return
 		}
 	}
 }
@@ -220,9 +410,7 @@ func (w *worker) run() {
 // everything else hops to the owning partition.
 func (w *worker) deliver(ev *core.Event) {
 	if ev.Kind == core.EvResponse {
-		if ch, ok := w.rt.pending.Load(ev.Req); ok {
-			ch.(chan result) <- result{value: ev.Value, err: ev.Err}
-		}
+		w.rt.complete(ev.Req, result{value: ev.Value, err: ev.Err})
 		return
 	}
 	w.rt.send(ev)

@@ -1,9 +1,12 @@
 package live
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"statefulentities.dev/stateflow/internal/compiler"
 	"statefulentities.dev/stateflow/internal/interp"
@@ -225,5 +228,154 @@ func TestProcessedCounter(t *testing.T) {
 	}
 	if rt.Workers() != 2 {
 		t.Fatalf("workers: %d", rt.Workers())
+	}
+}
+
+// TestSubmitFuture exercises the async path: Submit returns a Pending
+// resolved by the worker's response.
+func TestSubmitFuture(t *testing.T) {
+	rt := newRT(t, 4)
+	if _, err := rt.Create("Counter", interp.StrV("f")); err != nil {
+		t.Fatal(err)
+	}
+	p := rt.Submit("Counter", "f", "bump", interp.IntV(3))
+	v, errStr, err := p.Wait()
+	if err != nil || errStr != "" {
+		t.Fatalf("%v %s", err, errStr)
+	}
+	if v.I != 3 {
+		t.Fatalf("bump: %v", v)
+	}
+	if !p.Done() {
+		t.Fatal("completed future not Done")
+	}
+	// Wait memoizes: calling again returns the same outcome.
+	if v2, _, _ := p.Wait(); v2.I != 3 {
+		t.Fatalf("second Wait: %v", v2)
+	}
+}
+
+func TestSubmitApplicationError(t *testing.T) {
+	rt := newRT(t, 2)
+	_, errStr, err := rt.Submit("Counter", "ghost", "get").Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errStr == "" {
+		t.Fatal("expected missing-entity error on the future")
+	}
+}
+
+func TestWaitContextTimeout(t *testing.T) {
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(prog, Config{Workers: 1, MailboxDepth: 1})
+	defer rt.Close()
+	// A pending that never completes: fabricate one not backed by any
+	// event, so only the context can end the wait.
+	p := newPending("never")
+	rt.pending.Store("never", p)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, _, err := p.WaitContext(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline error, got %v", err)
+	}
+	// Close must still complete it (the late Wait observes ErrClosed).
+	go rt.Close()
+	if _, _, err := p.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed after shutdown, got %v", err)
+	}
+}
+
+// TestCloseCompletesInflight is the regression test for the shutdown
+// hang: Invoke used to block forever on its result channel if Close raced
+// an in-flight request (the chain's next hop was dropped and nothing ever
+// answered). Now every pending request must complete — with a response or
+// with ErrClosed. Run under -race in CI.
+func TestCloseCompletesInflight(t *testing.T) {
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		rt := New(prog, Config{Workers: 4})
+		if _, err := rt.Create("Driver", interp.StrV("d")); err != nil {
+			t.Fatal(err)
+		}
+		var refs []interp.Value
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("c%d", i)
+			if _, err := rt.Create("Counter", interp.StrV(key)); err != nil {
+				t.Fatal(err)
+			}
+			refs = append(refs, interp.RefV("Counter", key))
+		}
+		// Hammer multi-hop chains from many goroutines while Close races.
+		const goroutines = 8
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 25; i++ {
+					p := rt.Submit("Driver", "d", "fanout", interp.ListV(refs...), interp.IntV(1))
+					if _, _, err := p.Wait(); err != nil && !errors.Is(err, ErrClosed) {
+						t.Errorf("unexpected transport error: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		go rt.Close()
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("waiters hung after Close: pending requests were not completed")
+		}
+		rt.Close()
+	}
+}
+
+// TestSubmitAfterClose: a Submit that loses the race entirely still gets
+// a completed (failed) future, never a hang.
+func TestSubmitAfterClose(t *testing.T) {
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(prog, Config{Workers: 2})
+	rt.Close()
+	p := rt.Submit("Counter", "x", "get")
+	if !p.Done() {
+		t.Fatal("post-close submit must complete immediately")
+	}
+	if _, _, err := p.Wait(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+}
+
+func TestKeysAcrossPartitions(t *testing.T) {
+	rt := newRT(t, 4)
+	want := []string{"a", "b", "c", "d", "e"}
+	for _, k := range want {
+		if _, err := rt.Create("Counter", interp.StrV(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Create("Driver", interp.StrV("dr")); err != nil {
+		t.Fatal(err)
+	}
+	got := rt.Keys("Counter")
+	if len(got) != len(want) {
+		t.Fatalf("keys: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys not sorted/complete: %v", got)
+		}
 	}
 }

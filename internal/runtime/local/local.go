@@ -174,6 +174,23 @@ func (r *Runtime) State(class, key string) (interp.MapState, bool) {
 	return st.CloneMap(), true
 }
 
+// PreloadEntity installs the state an entity would have after __init__
+// with the given args, bypassing the dataflow (dataset loading); it
+// mirrors the simulated systems' PreloadEntity so one client surface can
+// preload any runtime.
+func (r *Runtime) PreloadEntity(class string, args ...interp.Value) error {
+	key, err := r.ex.KeyForCtor(class, args)
+	if err != nil {
+		return err
+	}
+	st := interp.MapState{}
+	if err := r.ex.Interp().ExecInit(class, args, st); err != nil {
+		return err
+	}
+	r.SetState(class, key, st)
+	return nil
+}
+
 // SetState installs entity state directly (used by workload preloading).
 func (r *Runtime) SetState(class, key string, st interp.MapState) {
 	ref := interp.EntityRef{Class: class, Key: key}
@@ -196,8 +213,8 @@ func (r *Runtime) Exists(class, key string) bool {
 
 // Keys lists the keys of all entities of a class, sorted.
 func (r *Runtime) Keys(class string) []string {
-	var out []string
 	if r.maps != nil {
+		var out []string
 		for ref := range r.maps {
 			if ref.Class == class {
 				out = append(out, ref.Key)
@@ -206,12 +223,7 @@ func (r *Runtime) Keys(class string) []string {
 		sort.Strings(out)
 		return out
 	}
-	for _, ref := range r.states.Refs() {
-		if ref.Class == class {
-			out = append(out, ref.Key)
-		}
-	}
-	return out
+	return r.states.Keys(class)
 }
 
 // EncodeState serializes one entity's committed state canonically (the

@@ -94,6 +94,18 @@ func (s *Store) Refs() []interp.EntityRef {
 	return out
 }
 
+// Keys lists the keys of resident entities of one class, sorted.
+func (s *Store) Keys(class string) []string {
+	var out []string
+	for ref := range s.m {
+		if ref.Class == class {
+			out = append(out, ref.Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // EncodedSize returns the serialized size of one entity's state, or 0 if
 // absent. Cost models charge state (de)serialization proportional to it;
 // the size comes from the row's encoding cache, so unchanged entities

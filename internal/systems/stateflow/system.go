@@ -11,6 +11,7 @@ package stateflow
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"time"
 
 	"statefulentities.dev/stateflow/internal/core"
@@ -20,6 +21,7 @@ import (
 	"statefulentities.dev/stateflow/internal/sim"
 	"statefulentities.dev/stateflow/internal/snapshot"
 	"statefulentities.dev/stateflow/internal/systems/costmodel"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
 )
 
 const sourceTopic = "requests"
@@ -191,3 +193,16 @@ func (s *System) EntityState(class, key string) (interp.MapState, bool) {
 	}
 	return st.CloneMap(), true
 }
+
+// Keys lists the keys of every committed entity of a class, sorted across
+// all worker partitions.
+func (s *System) Keys(class string) []string {
+	var out []string
+	for _, w := range s.workers {
+		out = append(out, w.committed.Keys(class)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ sysapi.Backend = (*System)(nil)

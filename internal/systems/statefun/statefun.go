@@ -18,6 +18,7 @@ package statefun
 import (
 	"fmt"
 	"hash/fnv"
+	"sort"
 
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
@@ -163,6 +164,19 @@ func (s *System) EntityState(class, key string) (interp.MapState, bool) {
 	}
 	return st.CloneMap(), true
 }
+
+// Keys lists the keys of every entity of a class, sorted across all
+// worker partitions.
+func (s *System) Keys(class string) []string {
+	var out []string
+	for _, w := range s.workers {
+		out = append(out, w.states.Keys(class)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var _ sysapi.Backend = (*System)(nil)
 
 // ---------------------------------------------------------------------------
 // Wire messages

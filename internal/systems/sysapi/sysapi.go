@@ -5,6 +5,7 @@
 package sysapi
 
 import (
+	"fmt"
 	"time"
 
 	"statefulentities.dev/stateflow/internal/interp"
@@ -49,6 +50,58 @@ type System interface {
 	IngressID() string
 	// ClientLink returns the client-edge latency model.
 	ClientLink() sim.Latency
+}
+
+// Backend extends System with the out-of-band surface every simulated
+// runtime provides: key derivation, dataset preloading and committed-state
+// introspection. The root package and the benchmark harness drive both
+// systems through this one interface instead of type-switching on the
+// concrete runtime.
+type Backend interface {
+	System
+	// KeyForCtor derives the routing key of a constructor call from its
+	// argument list.
+	KeyForCtor(class string, args []interp.Value) (string, error)
+	// PreloadEntity installs the state an entity would have after __init__
+	// with the given args, bypassing the dataflow. Call before the run.
+	PreloadEntity(class string, args ...interp.Value) error
+	// EntityState reads a copy of an entity's committed state.
+	EntityState(class, key string) (interp.MapState, bool)
+	// Keys lists the keys of every committed entity of a class, sorted.
+	Keys(class string) []string
+}
+
+// ---------------------------------------------------------------------------
+// Request builder
+
+// Builder mints uniquely-identified requests. The Simulation client, the
+// scripted clients and the workload generators all build requests through
+// it, so id formatting and request assembly live in one place.
+type Builder struct {
+	prefix string
+	seq    int
+}
+
+// NewBuilder builds a request builder; prefix keeps ids unique across
+// multiple request sources sharing a deployment.
+func NewBuilder(prefix string) *Builder { return &Builder{prefix: prefix} }
+
+// Next assembles the next sequentially-numbered request.
+func (b *Builder) Next(target interp.EntityRef, method string, args []interp.Value, kind string) Request {
+	b.seq++
+	return b.At(b.seq, target, method, args, kind)
+}
+
+// At assembles a request with an explicit sequence number; generators
+// driven by an external index (the i-th workload operation) use this form.
+func (b *Builder) At(i int, target interp.EntityRef, method string, args []interp.Value, kind string) Request {
+	return Request{
+		Req:    fmt.Sprintf("%s%d", b.prefix, i),
+		Target: target,
+		Method: method,
+		Args:   args,
+		Kind:   kind,
+	}
 }
 
 // ---------------------------------------------------------------------------

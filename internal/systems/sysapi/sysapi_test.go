@@ -153,3 +153,24 @@ func (failingIngress) OnMessage(ctx *sim.Context, from string, msg sim.Message) 
 		}}, time.Millisecond)
 	}
 }
+
+func TestBuilder(t *testing.T) {
+	b := NewBuilder("req-")
+	target := interp.EntityRef{Class: "Account", Key: "alice"}
+	r1 := b.Next(target, "read", nil, "read")
+	r2 := b.Next(target, "update", []interp.Value{interp.IntV(5)}, "update")
+	if r1.Req != "req-1" || r2.Req != "req-2" {
+		t.Fatalf("sequential ids: %s %s", r1.Req, r2.Req)
+	}
+	if r2.Method != "update" || r2.Kind != "update" || len(r2.Args) != 1 {
+		t.Fatalf("request fields: %+v", r2)
+	}
+	at := b.At(7, target, "read", nil, "")
+	if at.Req != "req-7" || at.Target != target {
+		t.Fatalf("At: %+v", at)
+	}
+	// At does not advance the sequence.
+	if r3 := b.Next(target, "read", nil, ""); r3.Req != "req-3" {
+		t.Fatalf("sequence after At: %s", r3.Req)
+	}
+}

@@ -170,22 +170,22 @@ func (s Scale) Load(fn func(class string, args []interp.Value) error) error {
 // mix (~45% NewOrder, ~43% Payment; the remainder here folds into
 // Payment).
 type Generator struct {
-	scale  Scale
-	rng    *rand.Rand
-	prefix string
+	scale Scale
+	rng   *rand.Rand
+	reqs  *sysapi.Builder
 }
 
 // NewGenerator builds a deterministic TPC-C request generator.
 func NewGenerator(scale Scale, seed int64, prefix string) *Generator {
-	return &Generator{scale: scale, rng: rand.New(rand.NewSource(seed)), prefix: prefix}
+	return &Generator{scale: scale, rng: rand.New(rand.NewSource(seed)), reqs: sysapi.NewBuilder(prefix)}
 }
 
 // Next produces the i-th transaction request.
 func (g *Generator) Next(i int) sysapi.Request {
-	id := fmt.Sprintf("%s%d", g.prefix, i)
 	w := g.rng.Intn(g.scale.Warehouses)
 	d := g.rng.Intn(g.scale.DistrictsPerWH)
 	c := g.rng.Intn(g.scale.CustomersPerDist)
+	target := interp.EntityRef{Class: "District", Key: DistrictKey(w, d)}
 	if g.rng.Intn(100) < 45 {
 		// NewOrder: 2-5 distinct items.
 		n := 2 + g.rng.Intn(4)
@@ -198,28 +198,16 @@ func (g *Generator) Next(i int) sysapi.Request {
 			stocks = append(stocks, interp.RefV("Stock", StockKey(w, it)))
 			qtys = append(qtys, interp.IntV(int64(1+g.rng.Intn(5))))
 		}
-		return sysapi.Request{
-			Req:    id,
-			Target: interp.EntityRef{Class: "District", Key: DistrictKey(w, d)},
-			Method: "new_order",
-			Args: []interp.Value{
-				interp.RefV("Customer", CustomerKey(w, d, c)),
-				interp.RefV("Warehouse", WarehouseKey(w)),
-				interp.ListV(stocks...),
-				interp.ListV(qtys...),
-			},
-			Kind: "new_order",
-		}
-	}
-	return sysapi.Request{
-		Req:    id,
-		Target: interp.EntityRef{Class: "District", Key: DistrictKey(w, d)},
-		Method: "payment",
-		Args: []interp.Value{
+		return g.reqs.At(i, target, "new_order", []interp.Value{
 			interp.RefV("Customer", CustomerKey(w, d, c)),
 			interp.RefV("Warehouse", WarehouseKey(w)),
-			interp.IntV(int64(1 + g.rng.Intn(5000))),
-		},
-		Kind: "payment",
+			interp.ListV(stocks...),
+			interp.ListV(qtys...),
+		}, "new_order")
 	}
+	return g.reqs.At(i, target, "payment", []interp.Value{
+		interp.RefV("Customer", CustomerKey(w, d, c)),
+		interp.RefV("Warehouse", WarehouseKey(w)),
+		interp.IntV(int64(1 + g.rng.Intn(5000))),
+	}, "payment")
 }

@@ -220,7 +220,7 @@ type Generator struct {
 	chooser KeyChooser
 	n       int
 	rng     *rand.Rand
-	prefix  string
+	reqs    *sysapi.Builder
 }
 
 // NewGenerator builds a request generator. The prefix keeps request ids
@@ -228,43 +228,27 @@ type Generator struct {
 func NewGenerator(mix Mix, chooser KeyChooser, n int, seed int64, prefix string) *Generator {
 	return &Generator{
 		mix: mix, chooser: chooser, n: n,
-		rng: rand.New(rand.NewSource(seed)), prefix: prefix,
+		rng: rand.New(rand.NewSource(seed)), reqs: sysapi.NewBuilder(prefix),
 	}
 }
 
 // Next produces the i-th request.
 func (g *Generator) Next(i int) sysapi.Request {
-	id := fmt.Sprintf("%s%d", g.prefix, i)
 	op := g.rng.Intn(100)
-	key := Key(g.chooser.Next(g.rng))
+	target := interp.EntityRef{Class: "Account", Key: Key(g.chooser.Next(g.rng))}
 	switch {
 	case op < g.mix.Read:
-		return sysapi.Request{
-			Req:    id,
-			Target: interp.EntityRef{Class: "Account", Key: key},
-			Method: "read",
-			Kind:   "read",
-		}
+		return g.reqs.At(i, target, "read", nil, "read")
 	case op < g.mix.Read+g.mix.Update:
-		return sysapi.Request{
-			Req:    id,
-			Target: interp.EntityRef{Class: "Account", Key: key},
-			Method: "update",
-			Args:   []interp.Value{interp.IntV(int64(g.rng.Intn(100) - 50))},
-			Kind:   "update",
-		}
+		return g.reqs.At(i, target, "update",
+			[]interp.Value{interp.IntV(int64(g.rng.Intn(100) - 50))}, "update")
 	default:
 		// YCSB+T transfer: two distinct accounts.
 		to := Key(g.chooser.Next(g.rng))
-		for to == key {
+		for to == target.Key {
 			to = Key(g.chooser.Next(g.rng))
 		}
-		return sysapi.Request{
-			Req:    id,
-			Target: interp.EntityRef{Class: "Account", Key: key},
-			Method: "transfer",
-			Args:   []interp.Value{interp.IntV(int64(1 + g.rng.Intn(10))), interp.RefV("Account", to)},
-			Kind:   "transfer",
-		}
+		return g.reqs.At(i, target, "transfer",
+			[]interp.Value{interp.IntV(int64(1 + g.rng.Intn(10))), interp.RefV("Account", to)}, "transfer")
 	}
 }

@@ -1,0 +1,70 @@
+package stateflow
+
+import "time"
+
+// The former hardcoded client constants, now only defaults: every call
+// made through an Entity handle can override them with CallOptions.
+const (
+	// DefaultTimeout bounds how long a call waits for its response
+	// (virtual time on simulations, wall clock on the Live runtime).
+	DefaultTimeout = 30 * time.Second
+	// DefaultPatience is the virtual-time step a Simulation advances
+	// between response checks.
+	DefaultPatience = 10 * time.Millisecond
+)
+
+// CallOption tunes how a Client delivers calls. Options attach to Entity
+// handles via Entity.With and apply to every Call/Submit made through the
+// derived handle.
+type CallOption func(*callOptions)
+
+// callOptions is the resolved option set carried by an Entity handle.
+type callOptions struct {
+	kind     string
+	timeout  time.Duration
+	patience time.Duration
+}
+
+func defaultCallOptions() callOptions {
+	return callOptions{timeout: DefaultTimeout, patience: DefaultPatience}
+}
+
+// apply returns a copy of o with opts folded in.
+func (o callOptions) apply(opts []CallOption) callOptions {
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// WithKind tags requests made through the handle for per-operation
+// metrics (e.g. "read", "update", "transfer"); the runtimes ignore it.
+func WithKind(kind string) CallOption {
+	return func(o *callOptions) { o.kind = kind }
+}
+
+// WithTimeout bounds how long a Call or Future.Wait waits for the
+// response: virtual time on simulations, wall clock on the Live runtime
+// (the synchronous Local runtime always answers immediately). d <= 0
+// restores DefaultTimeout.
+func WithTimeout(d time.Duration) CallOption {
+	return func(o *callOptions) {
+		if d <= 0 {
+			d = DefaultTimeout
+		}
+		o.timeout = d
+	}
+}
+
+// WithPatience sets the virtual-time step a Simulation advances between
+// response checks: smaller values observe responses with finer latency
+// resolution, larger values batch more simulated work per check. Local
+// and Live ignore it. d <= 0 restores DefaultPatience.
+func WithPatience(d time.Duration) CallOption {
+	return func(o *callOptions) {
+		if d <= 0 {
+			d = DefaultPatience
+		}
+		o.patience = d
+	}
+}

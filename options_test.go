@@ -1,0 +1,77 @@
+// White-box table tests of CallOption resolution.
+package stateflow
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCallOptionsApply(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []CallOption
+		want callOptions
+	}{
+		{
+			name: "defaults",
+			opts: nil,
+			want: callOptions{timeout: DefaultTimeout, patience: DefaultPatience},
+		},
+		{
+			name: "kind",
+			opts: []CallOption{WithKind("transfer")},
+			want: callOptions{kind: "transfer", timeout: DefaultTimeout, patience: DefaultPatience},
+		},
+		{
+			name: "timeout and patience",
+			opts: []CallOption{WithTimeout(time.Second), WithPatience(time.Millisecond)},
+			want: callOptions{timeout: time.Second, patience: time.Millisecond},
+		},
+		{
+			name: "non-positive restores defaults",
+			opts: []CallOption{WithTimeout(-1), WithPatience(0)},
+			want: callOptions{timeout: DefaultTimeout, patience: DefaultPatience},
+		},
+		{
+			name: "last write wins",
+			opts: []CallOption{WithKind("a"), WithKind("b"), WithTimeout(time.Second), WithTimeout(2 * time.Second)},
+			want: callOptions{kind: "b", timeout: 2 * time.Second, patience: DefaultPatience},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := defaultCallOptions().apply(tc.opts); got != tc.want {
+				t.Fatalf("got %+v want %+v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEntityWithDerivesWithoutMutating(t *testing.T) {
+	c := NewLocalClient(MustCompile(`
+@entity
+class C:
+    def __init__(self, k: str):
+        self.k: str = k
+
+    def __key__(self) -> str:
+        return self.k
+
+    def get(self) -> str:
+        return self.k
+`))
+	base := c.Entity("C", "x")
+	derived := base.With(WithKind("read"), WithTimeout(time.Second))
+	if base.opts != defaultCallOptions() {
+		t.Fatalf("With mutated the base handle: %+v", base.opts)
+	}
+	if derived.opts.kind != "read" || derived.opts.timeout != time.Second {
+		t.Fatalf("derived options: %+v", derived.opts)
+	}
+	if derived.Ref() != base.Ref() || derived.Class() != "C" || derived.Key() != "x" {
+		t.Fatal("derived handle must address the same entity")
+	}
+	if rv := base.RefValue(); rv.R.Class != "C" || rv.R.Key != "x" {
+		t.Fatalf("RefValue: %v", rv)
+	}
+}

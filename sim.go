@@ -1,0 +1,309 @@
+package stateflow
+
+import (
+	"fmt"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/sim"
+	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
+	"statefulentities.dev/stateflow/internal/systems/statefun"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+)
+
+// Backend selects which distributed runtime a Simulation deploys.
+type Backend string
+
+// Available backends.
+const (
+	// BackendStateFlow deploys the transactional StateFlow runtime.
+	BackendStateFlow Backend = "stateflow"
+	// BackendStateFun deploys the Flink-StateFun-model baseline.
+	BackendStateFun Backend = "statefun"
+)
+
+// SimConfig parameterizes a Simulation.
+type SimConfig struct {
+	Backend Backend
+	// Workers is the StateFlow worker count (default 5) or, for the
+	// baseline, the Flink worker count (default 3; the baseline also gets
+	// an equal number of remote function runtimes).
+	Workers int
+	// Epoch is StateFlow's transaction batch interval (default 10ms).
+	Epoch time.Duration
+	// SnapshotEvery takes a StateFlow snapshot after every N batches
+	// (default 0: only the preload checkpoint).
+	SnapshotEvery int
+	// Seed makes the simulation deterministic (default 1).
+	Seed int64
+	// MapFallback disables the slotted execution fast path, forcing
+	// name-keyed variable and attribute resolution. Differential tests
+	// run both modes and assert identical results and committed state.
+	MapFallback bool
+}
+
+// Simulation is a deployed distributed runtime on the deterministic
+// cluster simulator. Client() returns its portable caller surface; a
+// Call drives virtual time until the response returns, a Submit returns
+// a Future resolved as virtual time advances. The Simulation and
+// everything derived from it are single-threaded.
+type Simulation struct {
+	Cluster *sim.Cluster
+	kind    Backend
+	sf      *sfsys.System
+	sfu     *statefun.System
+	// sys is the deployed runtime behind one facade: all dispatch that
+	// used to branch on the backend goes through it.
+	sys     sysapi.Backend
+	client  *simClient
+	reqs    *sysapi.Builder
+	api     *simulationClient
+	started bool
+}
+
+// simClient is the sim.Handler that records responses on the cluster's
+// client edge.
+type simClient struct {
+	responses map[string]sysapi.Response
+	latency   map[string]time.Duration
+	sent      map[string]time.Duration
+}
+
+// OnMessage implements sim.Handler.
+func (c *simClient) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	if m, ok := msg.(sysapi.MsgResponse); ok {
+		if _, dup := c.responses[m.Response.Req]; dup {
+			return
+		}
+		c.responses[m.Response.Req] = m.Response
+		if at, ok := c.sent[m.Response.Req]; ok {
+			c.latency[m.Response.Req] = ctx.Now() - at
+		}
+	}
+}
+
+// NewSimulation builds a simulated deployment of a compiled program.
+func NewSimulation(prog *Program, cfg SimConfig) *Simulation {
+	if cfg.Backend == "" {
+		cfg.Backend = BackendStateFlow
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	cluster := sim.New(cfg.Seed)
+	s := &Simulation{
+		Cluster: cluster,
+		kind:    cfg.Backend,
+		client: &simClient{
+			responses: map[string]sysapi.Response{},
+			latency:   map[string]time.Duration{},
+			sent:      map[string]time.Duration{},
+		},
+		reqs: sysapi.NewBuilder("api-"),
+	}
+	s.api = &simulationClient{s: s}
+	switch cfg.Backend {
+	case BackendStateFlow:
+		c := sfsys.DefaultConfig()
+		if cfg.Workers > 0 {
+			c.Workers = cfg.Workers
+		}
+		if cfg.Epoch > 0 {
+			c.EpochInterval = cfg.Epoch
+		}
+		c.SnapshotEvery = cfg.SnapshotEvery
+		c.MapFallback = cfg.MapFallback
+		s.sf = sfsys.New(cluster, prog, c)
+		s.sys = s.sf
+	case BackendStateFun:
+		c := statefun.DefaultConfig()
+		if cfg.Workers > 0 {
+			c.FlinkWorkers = cfg.Workers
+			c.FnRuntimes = cfg.Workers
+		}
+		c.MapFallback = cfg.MapFallback
+		s.sfu = statefun.New(cluster, prog, c)
+		s.sys = s.sfu
+	default:
+		panic(fmt.Sprintf("stateflow: unknown backend %q", cfg.Backend))
+	}
+	cluster.Add("api-client", s.client)
+	return s
+}
+
+// Client returns the Simulation's portable caller surface.
+func (s *Simulation) Client() Client { return s.api }
+
+// Backend reports which runtime the Simulation deployed.
+func (s *Simulation) Backend() Backend { return s.kind }
+
+// StateFlow returns the underlying StateFlow system (nil for the baseline
+// backend).
+func (s *Simulation) StateFlow() *sfsys.System { return s.sf }
+
+// StateFun returns the underlying baseline system (nil for StateFlow).
+func (s *Simulation) StateFun() *statefun.System { return s.sfu }
+
+// Preload installs an entity built by __init__ with the given args,
+// bypassing the dataflow. Must be called before the first Call.
+func (s *Simulation) Preload(class string, args ...Value) error {
+	if s.started {
+		return fmt.Errorf("stateflow: Preload after simulation start")
+	}
+	return s.sys.PreloadEntity(class, args...)
+}
+
+func (s *Simulation) ensureStarted() {
+	if !s.started {
+		if s.sf != nil {
+			s.sf.CheckpointPreloadedState()
+		}
+		s.Cluster.Start()
+		s.started = true
+	}
+}
+
+// inject assembles a request and injects it as if the client had sent it
+// over its edge link, returning the request id. Calls and Futures share
+// this path.
+func (s *Simulation) inject(ref EntityRef, method string, args []Value, kind string) string {
+	s.ensureStarted()
+	req := s.reqs.Next(ref, method, args, kind)
+	s.client.sent[req.Req] = s.Cluster.Now()
+	submitAt := s.Cluster.Now() + s.sys.ClientLink().Sample(s.Cluster.Rand())
+	s.Cluster.Inject(submitAt, "api-client", s.sys.IngressID(),
+		sysapi.MsgRequest{Request: req, ReplyTo: "api-client"})
+	return req.Req
+}
+
+// await advances virtual time in patience-sized steps until the response
+// to id arrives or the timeout budget runs out.
+func (s *Simulation) await(id string, o callOptions) (Result, error) {
+	deadline := s.Cluster.Now() + o.timeout
+	for {
+		if res, ok := s.lookup(id); ok {
+			return res, nil
+		}
+		if s.Cluster.Now() >= deadline {
+			return Result{}, fmt.Errorf("stateflow: request %s timed out after %s of virtual time", id, o.timeout)
+		}
+		step := o.patience
+		if rem := deadline - s.Cluster.Now(); rem < step {
+			step = rem
+		}
+		s.Cluster.RunUntil(s.Cluster.Now() + step)
+	}
+}
+
+// lookup reads a recorded response without advancing time.
+func (s *Simulation) lookup(id string) (Result, bool) {
+	resp, ok := s.client.responses[id]
+	if !ok {
+		return Result{}, false
+	}
+	return Result{
+		Value: resp.Value, Err: resp.Err, Retries: resp.Retries,
+		Latency: s.client.latency[id],
+	}, true
+}
+
+// Run advances virtual time unconditionally (e.g. to let submitted
+// requests race each other, or background work such as snapshots
+// complete).
+func (s *Simulation) Run(d time.Duration) {
+	s.ensureStarted()
+	s.Cluster.RunUntil(s.Cluster.Now() + d)
+}
+
+// ---------------------------------------------------------------------------
+// Client implementation
+
+// simulationClient implements Client/Admin/caller over a Simulation.
+type simulationClient struct{ s *Simulation }
+
+// Entity implements Client.
+func (c *simulationClient) Entity(class, key string) *Entity { return newEntity(c, class, key) }
+
+// Create implements Client.
+func (c *simulationClient) Create(class string, args ...Value) (*Entity, error) {
+	return createVia(c, c.s.sys.KeyForCtor, class, args)
+}
+
+// Admin implements Client.
+func (c *simulationClient) Admin() Admin { return c }
+
+// Close implements Client (no-op: the simulation owns no real resources).
+func (c *simulationClient) Close() error { return nil }
+
+func (c *simulationClient) call(ref EntityRef, method string, args []Value, o callOptions) (Result, error) {
+	id := c.s.inject(ref, method, args, o.kind)
+	return c.s.await(id, o)
+}
+
+func (c *simulationClient) submit(ref EntityRef, method string, args []Value, o callOptions) *Future {
+	id := c.s.inject(ref, method, args, o.kind)
+	poll := func() (Result, error, bool) {
+		res, ok := c.s.lookup(id)
+		return res, nil, ok
+	}
+	wait := func() (Result, error) { return c.s.await(id, o) }
+	return newFuture(ref, method, poll, wait)
+}
+
+// Inspect implements Admin.
+func (c *simulationClient) Inspect(class, key string) (map[string]Value, bool) {
+	st, ok := c.s.sys.EntityState(class, key)
+	return st, ok
+}
+
+// Keys implements Admin.
+func (c *simulationClient) Keys(class string) []string { return c.s.sys.Keys(class) }
+
+// Preload implements Admin.
+func (c *simulationClient) Preload(class string, args ...Value) error {
+	return c.s.Preload(class, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Legacy entry points (thin wrappers over the Client surface)
+
+// Call submits a method invocation and advances virtual time until its
+// response arrives (or the default timeout budget runs out).
+//
+// Deprecated: use Client().Entity(class, key).Call(method, args...); the
+// handle form carries CallOptions and is portable across runtimes.
+func (s *Simulation) Call(class, key, method string, args ...Value) (Result, error) {
+	return s.api.call(EntityRef{Class: class, Key: key}, method, args, defaultCallOptions())
+}
+
+// Submit sends an invocation without waiting and returns a getter for the
+// response value; the getter yields None until the simulation (advanced
+// via Run or later Calls) has delivered the response.
+//
+// Deprecated: the getter is lossy — it drops Err, Retries and Latency.
+// Use Client().Entity(class, key).Submit(method, args...), whose Future
+// carries the full outcome.
+func (s *Simulation) Submit(class, key, method string, args ...Value) func() Value {
+	f := s.api.submit(EntityRef{Class: class, Key: key}, method, args, defaultCallOptions())
+	return func() Value {
+		res, _ := f.Peek()
+		return res.Value
+	}
+}
+
+// Create instantiates an entity through the dataflow.
+//
+// Deprecated: use Client().Create, which returns a typed Entity handle.
+func (s *Simulation) Create(class string, args ...Value) (Result, error) {
+	key, err := s.sys.KeyForCtor(class, args)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Call(class, key, "__init__", args...)
+}
+
+// EntityState reads an entity's committed state.
+//
+// Deprecated: use Client().Admin().Inspect.
+func (s *Simulation) EntityState(class, key string) (map[string]Value, bool) {
+	return s.api.Inspect(class, key)
+}

@@ -285,20 +285,21 @@ func TestDifferentialLocal(t *testing.T) {
 	}
 }
 
-// simTranscript runs the workload on a simulated distributed runtime and
-// returns the response transcript plus the canonical committed state of
-// every tracked entity.
+// simTranscript runs the workload on a simulated distributed runtime —
+// through the portable Client interface — and returns the response
+// transcript plus the canonical committed state of every tracked entity.
 func simTranscript(t *testing.T, prog *stateflow.Program, backend stateflow.Backend, steps []step, mapFallback bool) ([]string, map[string][]byte) {
 	t.Helper()
 	sim := stateflow.NewSimulation(prog, stateflow.SimConfig{
 		Backend: backend, Seed: 7, MapFallback: mapFallback,
 	})
+	client := sim.Client()
 	// Constructors run through the dataflow, so the full execute path
 	// (including entity creation) is under test.
 	var transcript []string
 	refs := map[string]stateflow.EntityRef{}
 	for _, s := range steps {
-		res, err := sim.Call(s.class, s.key, s.method, s.args...)
+		res, err := client.Entity(s.class, s.key).Call(s.method, s.args...)
 		if err != nil {
 			t.Fatalf("call %s.%s: %v", s.class, s.method, err)
 		}
@@ -317,9 +318,10 @@ func simTranscript(t *testing.T, prog *stateflow.Program, backend stateflow.Back
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	admin := client.Admin()
 	for _, n := range names {
 		ref := refs[n]
-		st, ok := sim.EntityState(ref.Class, ref.Key)
+		st, ok := admin.Inspect(ref.Class, ref.Key)
 		if !ok {
 			continue
 		}

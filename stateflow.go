@@ -8,31 +8,38 @@
 // imperative, transactional object-oriented code to a stateful dataflow
 // intermediate representation, and three execution targets for that IR —
 //
-//   - a Local runtime (§3) executing synchronously against HashMap state,
-//     for development and tests;
+//   - a Local runtime (§3) executing synchronously against in-process
+//     state, for development and tests;
 //   - StateFlow (§3), a transactional dataflow runtime with Aria-style
 //     deterministic transaction batches, aligned snapshots and a
-//     replayable source, deployed on a deterministic cluster simulation;
-//   - a StateFun-model baseline (§3) that routes every event through a
-//     Kafka-model broker and executes functions in a remote stateless
-//     runtime, with no transactions and no locking.
+//     replayable source, deployed on a deterministic cluster simulation
+//     (alongside a StateFun-model baseline that routes every event
+//     through a Kafka-model broker, with no transactions and no locking);
+//   - a Live runtime: worker goroutines own hash partitions of entity
+//     state, for genuinely concurrent in-process execution.
+//
+// All targets share one caller surface, the Client interface: Entity
+// returns a typed handle whose Call delivers a full Result and whose
+// Submit returns a Future; Admin unifies state introspection and dataset
+// preloading. Code written against Client runs unchanged on any backend:
+//
+//	prog := stateflow.MustCompile(src)
+//	var c stateflow.Client = stateflow.NewLocalClient(prog) // or
+//	// stateflow.NewSimulation(prog, cfg).Client(), or
+//	// stateflow.NewLiveClient(prog, stateflow.LiveConfig{})
+//	acct, _ := c.Create("Account", stateflow.Str("alice"), stateflow.Int(100))
+//	res, _ := acct.Call("deposit", stateflow.Int(10))
+//	fut := acct.Submit("read") // async; fut.Wait() for the outcome
 //
 // The examples/ directory shows the API end to end, and cmd/stateflow-bench
 // regenerates every figure of the paper's evaluation.
 package stateflow
 
 import (
-	"fmt"
-	"time"
-
 	"statefulentities.dev/stateflow/internal/compiler"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
 	"statefulentities.dev/stateflow/internal/runtime/local"
-	"statefulentities.dev/stateflow/internal/sim"
-	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
-	"statefulentities.dev/stateflow/internal/systems/statefun"
-	"statefulentities.dev/stateflow/internal/systems/sysapi"
 )
 
 // Program is a compiled stateful-entity application: the enriched stateful
@@ -81,252 +88,16 @@ func MustCompile(src string) *Program { return compiler.MustCompile(src) }
 // Local runtime
 
 // Local is the paper's Local runtime (§3): the dataflow executes in
-// process against HashMap state, for debugging, unit testing and
-// validation.
+// process against in-memory state, for debugging, unit testing and
+// validation. NewLocalClient (or LocalClient around an existing runtime)
+// exposes it through the portable Client interface.
 type Local = local.Runtime
 
-// LocalResult is the outcome of a Local invocation.
+// LocalResult is the outcome of a direct Local invocation.
+//
+// Deprecated: call through LocalClient, which returns the portable
+// Result.
 type LocalResult = local.Result
 
 // NewLocal builds a Local runtime for a compiled program.
 func NewLocal(prog *Program) *Local { return local.New(prog) }
-
-// ---------------------------------------------------------------------------
-// Simulated distributed runtimes
-
-// Backend selects which distributed runtime a Simulation deploys.
-type Backend string
-
-// Available backends.
-const (
-	// BackendStateFlow deploys the transactional StateFlow runtime.
-	BackendStateFlow Backend = "stateflow"
-	// BackendStateFun deploys the Flink-StateFun-model baseline.
-	BackendStateFun Backend = "statefun"
-)
-
-// SimConfig parameterizes a Simulation.
-type SimConfig struct {
-	Backend Backend
-	// Workers is the StateFlow worker count (default 5) or, for the
-	// baseline, the Flink worker count (default 3; the baseline also gets
-	// an equal number of remote function runtimes).
-	Workers int
-	// Epoch is StateFlow's transaction batch interval (default 10ms).
-	Epoch time.Duration
-	// SnapshotEvery takes a StateFlow snapshot after every N batches
-	// (default 0: only the preload checkpoint).
-	SnapshotEvery int
-	// Seed makes the simulation deterministic (default 1).
-	Seed int64
-	// MapFallback disables the slotted execution fast path, forcing
-	// name-keyed variable and attribute resolution. Differential tests
-	// run both modes and assert identical results and committed state.
-	MapFallback bool
-}
-
-// Simulation is a deployed distributed runtime on the deterministic
-// cluster simulator, with a synchronous convenience API: Call drives
-// virtual time until the response returns.
-type Simulation struct {
-	Cluster *sim.Cluster
-	backend Backend
-	sf      *sfsys.System
-	sfu     *statefun.System
-	client  *simClient
-	nextID  int
-	started bool
-}
-
-type simClient struct {
-	responses map[string]sysapi.Response
-	latency   map[string]time.Duration
-	sent      map[string]time.Duration
-}
-
-// OnMessage implements sim.Handler.
-func (c *simClient) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
-	if m, ok := msg.(sysapi.MsgResponse); ok {
-		if _, dup := c.responses[m.Response.Req]; dup {
-			return
-		}
-		c.responses[m.Response.Req] = m.Response
-		if at, ok := c.sent[m.Response.Req]; ok {
-			c.latency[m.Response.Req] = ctx.Now() - at
-		}
-	}
-}
-
-// NewSimulation builds a simulated deployment of a compiled program.
-func NewSimulation(prog *Program, cfg SimConfig) *Simulation {
-	if cfg.Backend == "" {
-		cfg.Backend = BackendStateFlow
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	cluster := sim.New(cfg.Seed)
-	s := &Simulation{
-		Cluster: cluster,
-		backend: cfg.Backend,
-		client: &simClient{
-			responses: map[string]sysapi.Response{},
-			latency:   map[string]time.Duration{},
-			sent:      map[string]time.Duration{},
-		},
-	}
-	switch cfg.Backend {
-	case BackendStateFlow:
-		c := sfsys.DefaultConfig()
-		if cfg.Workers > 0 {
-			c.Workers = cfg.Workers
-		}
-		if cfg.Epoch > 0 {
-			c.EpochInterval = cfg.Epoch
-		}
-		c.SnapshotEvery = cfg.SnapshotEvery
-		c.MapFallback = cfg.MapFallback
-		s.sf = sfsys.New(cluster, prog, c)
-	case BackendStateFun:
-		c := statefun.DefaultConfig()
-		if cfg.Workers > 0 {
-			c.FlinkWorkers = cfg.Workers
-			c.FnRuntimes = cfg.Workers
-		}
-		c.MapFallback = cfg.MapFallback
-		s.sfu = statefun.New(cluster, prog, c)
-	default:
-		panic(fmt.Sprintf("stateflow: unknown backend %q", cfg.Backend))
-	}
-	cluster.Add("api-client", s.client)
-	return s
-}
-
-// StateFlow returns the underlying StateFlow system (nil for the baseline
-// backend).
-func (s *Simulation) StateFlow() *sfsys.System { return s.sf }
-
-// StateFun returns the underlying baseline system (nil for StateFlow).
-func (s *Simulation) StateFun() *statefun.System { return s.sfu }
-
-// Preload installs an entity built by __init__ with the given args,
-// bypassing the dataflow. Must be called before the first Call.
-func (s *Simulation) Preload(class string, args ...Value) error {
-	if s.started {
-		return fmt.Errorf("stateflow: Preload after simulation start")
-	}
-	if s.sf != nil {
-		return s.sf.PreloadEntity(class, args...)
-	}
-	return s.sfu.PreloadEntity(class, args...)
-}
-
-func (s *Simulation) ensureStarted() {
-	if !s.started {
-		if s.sf != nil {
-			s.sf.CheckpointPreloadedState()
-		}
-		s.Cluster.Start()
-		s.started = true
-	}
-}
-
-func (s *Simulation) ingress() sysapi.System {
-	if s.sf != nil {
-		return s.sf
-	}
-	return s.sfu
-}
-
-// Result is the outcome of a simulated invocation.
-type Result struct {
-	Value   Value
-	Err     string
-	Retries int
-	// Latency is the request's end-to-end virtual-time latency.
-	Latency time.Duration
-}
-
-// inject assigns a request id and injects the invocation as if the client
-// had sent it over its edge link, returning the id. Call and Submit share
-// this path.
-func (s *Simulation) inject(class, key, method string, args []Value) string {
-	s.ensureStarted()
-	s.nextID++
-	id := fmt.Sprintf("api-%d", s.nextID)
-	sysIf := s.ingress()
-	req := sysapi.Request{
-		Req:    id,
-		Target: EntityRef{Class: class, Key: key},
-		Method: method,
-		Args:   args,
-	}
-	s.client.sent[id] = s.Cluster.Now()
-	submitAt := s.Cluster.Now() + sysIf.ClientLink().Sample(s.Cluster.Rand())
-	s.Cluster.Inject(submitAt, "api-client", sysIf.IngressID(),
-		sysapi.MsgRequest{Request: req, ReplyTo: "api-client"})
-	return id
-}
-
-// Call submits a method invocation and advances virtual time until its
-// response arrives (or the patience budget runs out).
-func (s *Simulation) Call(class, key, method string, args ...Value) (Result, error) {
-	id := s.inject(class, key, method, args)
-	deadline := s.Cluster.Now() + 30*time.Second
-	for s.Cluster.Now() < deadline {
-		s.Cluster.RunUntil(s.Cluster.Now() + 10*time.Millisecond)
-		if resp, ok := s.client.responses[id]; ok {
-			return Result{
-				Value: resp.Value, Err: resp.Err, Retries: resp.Retries,
-				Latency: s.client.latency[id],
-			}, nil
-		}
-	}
-	return Result{}, fmt.Errorf("stateflow: request %s timed out in simulation", id)
-}
-
-// Submit sends an invocation without waiting and returns a getter for the
-// response value; the getter yields None until the simulation (advanced
-// via Run or later Calls) has delivered the response. Use it to race
-// concurrent requests against each other.
-func (s *Simulation) Submit(class, key, method string, args ...Value) func() Value {
-	id := s.inject(class, key, method, args)
-	return func() Value {
-		return s.client.responses[id].Value
-	}
-}
-
-// Create instantiates an entity through the dataflow.
-func (s *Simulation) Create(class string, args ...Value) (Result, error) {
-	key, err := s.keyForCtor(class, args)
-	if err != nil {
-		return Result{}, err
-	}
-	return s.Call(class, key, "__init__", args...)
-}
-
-func (s *Simulation) keyForCtor(class string, args []Value) (string, error) {
-	if s.sf != nil {
-		return s.sf.KeyForCtor(class, args)
-	}
-	return s.sfu.KeyForCtor(class, args)
-}
-
-// EntityState reads an entity's committed state.
-func (s *Simulation) EntityState(class, key string) (map[string]Value, bool) {
-	var st interp.MapState
-	var ok bool
-	if s.sf != nil {
-		st, ok = s.sf.EntityState(class, key)
-	} else {
-		st, ok = s.sfu.EntityState(class, key)
-	}
-	return st, ok
-}
-
-// Run advances virtual time unconditionally (e.g. to let background work
-// such as snapshots complete).
-func (s *Simulation) Run(d time.Duration) {
-	s.ensureStarted()
-	s.Cluster.RunUntil(s.Cluster.Now() + d)
-}
