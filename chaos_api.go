@@ -1,0 +1,77 @@
+package stateflow
+
+import (
+	"time"
+
+	"statefulentities.dev/stateflow/internal/chaos"
+)
+
+// ChaosPlan is a declarative, seed-reproducible fault schedule for a
+// Simulation: crash/restart windows per component role plus per-edge
+// message drop / duplicate / reorder-delay probabilities and latency
+// spikes. Build one by hand or derive one from a seed with
+// ChaosPlanFromSeed, then pass it to NewSimulation via WithChaos.
+type ChaosPlan = chaos.Plan
+
+// ChaosCrash is one crash/restart window sequence of a ChaosPlan.
+type ChaosCrash = chaos.Crash
+
+// ChaosEdge selects deliveries by (sender role, receiver role).
+type ChaosEdge = chaos.Edge
+
+// ChaosPerturbation is one per-edge perturbation spec of a ChaosPlan.
+type ChaosPerturbation = chaos.Perturbation
+
+// ChaosStats summarizes what an installed fault plan actually did:
+// scheduled crash windows, applied drops/duplicates/delays, and the
+// faults clamped off because the backend's failure contract does not
+// cover them (the StateFun-model baseline, faithfully to the paper, has
+// no recovery: crash and drop faults are clamped there).
+type ChaosStats = chaos.Stats
+
+// ChaosPlanFromSeed derives a full-strength fault plan deterministically
+// from a seed: randomized worker crash windows plus drop, duplicate and
+// latency-spike probabilities on every edge, all active within horizon.
+// The same seed always yields the same plan, so a failing run reproduces
+// from (workload seed, chaos seed) alone.
+func ChaosPlanFromSeed(seed int64, horizon time.Duration) ChaosPlan {
+	return chaos.FromSeed(seed, horizon)
+}
+
+// SimOption tunes a Simulation beyond SimConfig.
+type SimOption func(*simOptions)
+
+type simOptions struct {
+	chaos *ChaosPlan
+}
+
+// WithChaos installs a fault plan on the simulation's cluster before it
+// starts: the plan's crash windows and message perturbations are applied
+// deterministically from the cluster's single RNG, so a chaos run is as
+// reproducible as a fault-free one. Faults the backend's failure
+// contract does not cover are clamped off (see ChaosStats).
+func WithChaos(plan ChaosPlan) SimOption {
+	return func(o *simOptions) { o.chaos = &plan }
+}
+
+// ChaosStats reports the installed fault plan's activity; the zero value
+// is returned when the simulation runs without chaos.
+func (s *Simulation) ChaosStats() ChaosStats {
+	if s.chaos == nil {
+		return ChaosStats{}
+	}
+	return s.chaos.Stats()
+}
+
+// ResponseDeliveries returns, per request id, how many raw response
+// deliveries reached the client edge — before deduplication. Every count
+// must be exactly 1 on a correct run: 0 is a lost response, >1 is a
+// duplicate the client had to suppress. The chaos oracle asserts this;
+// it is exposed for tests and debugging.
+func (s *Simulation) ResponseDeliveries() map[string]int {
+	out := make(map[string]int, len(s.client.deliveries))
+	for id, n := range s.client.deliveries {
+		out[id] = n
+	}
+	return out
+}

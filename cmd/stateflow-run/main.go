@@ -11,7 +11,12 @@
 //
 //	stateflow-run -backend local|live|stateflow|statefun \
 //	              -workload A|B|T|M -dist zipfian|uniform \
-//	              -rate 100 -duration 30s [program.sf]
+//	              -rate 100 -duration 30s [-chaos-seed N] [program.sf]
+//
+// With -chaos-seed, the simulated backends run under a deterministic
+// fault plan derived from the seed (worker crash windows, message drops,
+// duplicates and latency spikes); the plan and the fault activity are
+// printed so any run reproduces from its two seeds.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/metrics"
 	"statefulentities.dev/stateflow/internal/sim"
 	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
@@ -38,6 +44,7 @@ func main() {
 	duration := flag.Duration("duration", 30*time.Second, "run length (virtual time)")
 	records := flag.Int("records", 1000, "dataset size")
 	seed := flag.Int64("seed", 1, "seed")
+	chaosSeed := flag.Int64("chaos-seed", 0, "run the simulated backends under a seeded fault plan (0: off)")
 	flag.Parse()
 
 	src := ycsb.Program()
@@ -55,6 +62,9 @@ func main() {
 	check(err)
 	wgen := ycsb.NewGenerator(mix, chooser, *records, *seed+17, "q")
 
+	if *chaosSeed != 0 && *backend != "stateflow" && *backend != "statefun" {
+		check(fmt.Errorf("-chaos-seed needs a simulated backend (stateflow or statefun)"))
+	}
 	switch *backend {
 	case "local":
 		// The Local runtime is synchronous and single-threaded: one client.
@@ -63,7 +73,7 @@ func main() {
 		runClient("live runtime (8 workers)", stateflow.NewLiveClient(prog, stateflow.LiveConfig{Workers: 8}),
 			16, wgen, *records, *rate, *duration)
 	case "stateflow", "statefun":
-		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed)
+		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed)
 	default:
 		fmt.Fprintf(os.Stderr, "stateflow-run: unknown backend %q\n", *backend)
 		os.Exit(2)
@@ -134,13 +144,18 @@ func min(a, b int) int {
 }
 
 // runSim executes the workload on a simulated distributed deployment with
-// an open-loop generator (arrivals do not wait for responses).
-func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed int64) {
+// an open-loop generator (arrivals do not wait for responses), optionally
+// under a seeded fault plan.
+func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64) {
 	cluster := sim.New(seed)
 	var sys sysapi.Backend
 	var sf *sfsys.System
 	if backend == "stateflow" {
-		sf = sfsys.New(cluster, prog, sfsys.DefaultConfig())
+		cfg := sfsys.DefaultConfig()
+		if chaosSeed != 0 {
+			cfg.SnapshotEvery = 20 // give recovery real snapshots to roll back to
+		}
+		sf = sfsys.New(cluster, prog, cfg)
 		sys = sf
 	} else {
 		sys = statefun.New(cluster, prog, statefun.DefaultConfig())
@@ -150,8 +165,17 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 		class, args := load(i)
 		check(sys.PreloadEntity(class, args...))
 	}
+	var eng *chaos.Engine
+	if chaosSeed != 0 {
+		plan := chaos.FromSeed(chaosSeed, duration)
+		fmt.Printf("chaos: %s\n", plan)
+		eng = chaos.Install(cluster, sys.ChaosTopology(), plan)
+	}
 	gen := sysapi.NewGenerator("client", sys, rate, duration, duration/10, wgen.Next)
 	cluster.Add("client", gen)
+	if sf != nil {
+		sf.CheckpointPreloadedState()
+	}
 	cluster.Start()
 	start := time.Now()
 	cluster.RunUntil(duration + 10*time.Second)
@@ -163,8 +187,16 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 	}
 	if sf != nil {
 		c := sf.Coordinator()
-		fmt.Printf("transactions: %d committed, %d aborted (retried), %d failed, %d epochs\n",
-			c.Commits, c.Aborts, c.Failures, c.EpochsClosed)
+		fmt.Printf("transactions: %d committed, %d aborted (retried), %d failed, %d epochs, %d recoveries\n",
+			c.Commits, c.Aborts, c.Failures, c.EpochsClosed, c.Recoveries)
+	}
+	if eng != nil {
+		st := eng.Stats()
+		fmt.Printf("chaos activity: %d crash windows, %d dropped, %d duplicated, %d delayed (clamped: %d drops, %d dups)\n",
+			st.CrashWindows, st.Dropped, st.Duplicated, st.Delayed, st.ClampedDrops, st.ClampedDups)
+		for _, cl := range st.Clamped {
+			fmt.Printf("  clamped: %s\n", cl)
+		}
 	}
 }
 

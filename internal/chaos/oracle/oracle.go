@@ -1,0 +1,293 @@
+// Package oracle checks the paper's transactional guarantees mechanically
+// under generated failures: it runs a deterministic workload twice on the
+// same simulated backend — once fault-free (the reference), once under a
+// seeded chaos plan — and asserts that the chaos run is indistinguishable
+// where the system's contract says it must be:
+//
+//   - exactly-once responses: every submitted request resolves, exactly
+//     one raw response delivery reaches the client edge per request (no
+//     lost responses, no duplicates the client had to suppress);
+//   - response equivalence: the chaos transcript (values and application
+//     errors, not latencies or retry counts) is byte-identical to the
+//     reference transcript;
+//   - state equivalence: the committed state of every workload class is
+//     byte-identical to the reference run's;
+//   - workload invariants (banking balance conservation, TPC-C
+//     payment/ytd consistency) hold on both runs.
+//
+// Workloads are built so their outcome is order-insensitive under the
+// concurrency the oracle drives (disjoint key slots per in-flight wave,
+// or commutative contended operations), which is what makes byte-level
+// equivalence a sound oracle rather than a flaky one.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/chaos"
+)
+
+// Op is one client invocation of a workload script.
+type Op struct {
+	Class, Key, Method string
+	Args               []stateflow.Value
+	Kind               string
+}
+
+// Invariant is a workload property checked against committed state.
+type Invariant struct {
+	Name  string
+	Check func(admin stateflow.Admin) error
+}
+
+// Workload is a deterministic, seed-parameterized workload script plus
+// the properties the oracle asserts over it.
+type Workload struct {
+	Name string
+	// Source is the DSL entity program.
+	Source string
+	// Classes lists the entity classes whose committed state the oracle
+	// diffs against the reference run.
+	Classes []string
+	// Preload installs the dataset (before the first call).
+	Preload func(admin stateflow.Admin) error
+	// Ops derives the op script from a seed.
+	Ops func(seed int64) []Op
+	// Window is how many ops are in flight concurrently.
+	Window int
+	// Contended marks workloads whose concurrent ops touch shared keys.
+	// Their outcome is order-insensitive only under transactional
+	// isolation, so on the non-transactional baseline (the paper's
+	// motivating race, §3) the oracle drives them sequentially.
+	Contended bool
+	// Invariants are checked on both the reference and the chaos run.
+	Invariants []Invariant
+}
+
+// window resolves the effective in-flight window for a backend.
+func (w Workload) window(backend stateflow.Backend) int {
+	win := w.Window
+	if win <= 0 {
+		win = 1
+	}
+	if w.Contended && backend != stateflow.BackendStateFlow {
+		return 1
+	}
+	return win
+}
+
+// Run is the observable outcome of one workload execution.
+type Run struct {
+	// Transcript records per-op outcomes: values and application errors
+	// only — the fields the failure contract promises are fault-invariant.
+	Transcript string
+	// StateDigest is the canonical dump of every workload class's
+	// committed state.
+	StateDigest string
+	// Trace adds the fault-sensitive observables (per-op latencies,
+	// delivery counts, virtual clock): byte-identical across reruns of
+	// the same (workload, seed, plan), divergent across seeds.
+	Trace string
+	// Stats reports chaos activity (zero for reference runs).
+	Stats chaos.Stats
+	// Recoveries counts StateFlow coordinator recoveries (0 on the
+	// baseline backend): evidence the crash windows and drops actually
+	// exercised the rollback/replay path the run survived.
+	Recoveries int
+}
+
+// Config tunes oracle runs.
+type Config struct {
+	// SnapshotEvery is the StateFlow snapshot cadence (batches).
+	SnapshotEvery int
+	// Epoch is the StateFlow batch interval.
+	Epoch time.Duration
+	// Horizon bounds chaos activity (and sizes generated plans).
+	Horizon time.Duration
+	// Timeout bounds each op's virtual-time wait.
+	Timeout time.Duration
+}
+
+// DefaultConfig returns the sweep configuration.
+func DefaultConfig() Config {
+	return Config{
+		SnapshotEvery: 3,
+		Epoch:         5 * time.Millisecond,
+		Horizon:       300 * time.Millisecond,
+		Timeout:       2 * time.Minute,
+	}
+}
+
+// RunOnce executes the workload once on a backend — fault-free when plan
+// is nil, under the plan otherwise — and returns the observables.
+func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan, cfg Config) (Run, error) {
+	prog, err := stateflow.Compile(w.Source)
+	if err != nil {
+		return Run{}, fmt.Errorf("compile %s: %w", w.Name, err)
+	}
+	simCfg := stateflow.SimConfig{
+		Backend:       backend,
+		Seed:          seed,
+		Epoch:         cfg.Epoch,
+		SnapshotEvery: cfg.SnapshotEvery,
+	}
+	var sim *stateflow.Simulation
+	if plan != nil {
+		sim = stateflow.NewSimulation(prog, simCfg, stateflow.WithChaos(*plan))
+	} else {
+		sim = stateflow.NewSimulation(prog, simCfg)
+	}
+	client := sim.Client()
+	admin := client.Admin()
+	if w.Preload != nil {
+		if err := w.Preload(admin); err != nil {
+			return Run{}, fmt.Errorf("%s preload: %w", w.Name, err)
+		}
+	}
+
+	ops := w.Ops(seed)
+	window := w.window(backend)
+	var transcript, trace strings.Builder
+	lost := 0
+	for base := 0; base < len(ops); base += window {
+		end := base + window
+		if end > len(ops) {
+			end = len(ops)
+		}
+		futs := make([]*stateflow.Future, 0, end-base)
+		for _, op := range ops[base:end] {
+			e := client.Entity(op.Class, op.Key).
+				With(stateflow.WithKind(op.Kind), stateflow.WithTimeout(cfg.Timeout))
+			futs = append(futs, e.Submit(op.Method, op.Args...))
+		}
+		for i, f := range futs {
+			op := ops[base+i]
+			res, err := f.Wait()
+			if err != nil {
+				lost++
+				fmt.Fprintf(&transcript, "op%03d %s<%s>.%s -> LOST: %v\n",
+					base+i, op.Class, op.Key, op.Method, err)
+				continue
+			}
+			fmt.Fprintf(&transcript, "op%03d %s<%s>.%s -> %s / err=%q\n",
+				base+i, op.Class, op.Key, op.Method, res.Value.Repr(), res.Err)
+			fmt.Fprintf(&trace, "op%03d latency=%s retries=%d\n", base+i, res.Latency, res.Retries)
+		}
+	}
+	if lost > 0 {
+		return Run{Transcript: transcript.String()},
+			fmt.Errorf("%s on %s: %d/%d requests lost (no response within %s of virtual time)",
+				w.Name, backend, lost, len(ops), cfg.Timeout)
+	}
+
+	// Quiesce before judging: delayed duplicate deliveries must land, any
+	// crash window scheduled past the last response must open, be
+	// detected and finish recovering (recovery replays re-commit work the
+	// clients already saw; the digest below must observe the converged
+	// state, not a replay in progress).
+	settle := cfg.Horizon - sim.Cluster.Now()
+	if settle < 0 {
+		settle = 0
+	}
+	sim.Run(settle + time.Second)
+
+	// Exactly-once at the client edge: every request resolved above, and
+	// each request's raw delivery count is exactly one plus the wire
+	// duplicates the chaos plan itself injected on the client edge — any
+	// extra delivery is a duplicate the system emitted.
+	deliveries := sim.ResponseDeliveries()
+	if len(deliveries) != len(ops) {
+		return Run{}, fmt.Errorf("%s on %s: %d raw-delivery records for %d ops",
+			w.Name, backend, len(deliveries), len(ops))
+	}
+	injected := sim.ChaosStats().DupResponses
+	dups := 0
+	for id, n := range deliveries {
+		if want := 1 + injected[id]; n != want {
+			dups++
+			fmt.Fprintf(&trace, "DUPLICATE %s delivered %d times, want %d\n", id, n, want)
+		}
+	}
+	if dups > 0 {
+		return Run{}, fmt.Errorf("%s on %s: %d requests whose raw response deliveries exceed the injected duplicates (system emitted duplicates)",
+			w.Name, backend, dups)
+	}
+
+	run := Run{
+		Transcript:  transcript.String(),
+		StateDigest: stateDigest(admin, w.Classes),
+		Stats:       sim.ChaosStats(),
+	}
+	if sf := sim.StateFlow(); sf != nil {
+		run.Recoveries = sf.Coordinator().Recoveries
+	}
+	fmt.Fprintf(&trace, "delivered=%d now=%s recoveries=%d\n",
+		sim.Cluster.Delivered, sim.Cluster.Now(), run.Recoveries)
+	run.Trace = trace.String()
+
+	for _, inv := range w.Invariants {
+		if err := inv.Check(admin); err != nil {
+			return run, fmt.Errorf("%s on %s: invariant %q violated: %w", w.Name, backend, inv.Name, err)
+		}
+	}
+	return run, nil
+}
+
+// stateDigest canonically dumps the committed state of the classes.
+func stateDigest(admin stateflow.Admin, classes []string) string {
+	var b strings.Builder
+	for _, class := range classes {
+		for _, key := range admin.Keys(class) {
+			st, ok := admin.Inspect(class, key)
+			if !ok {
+				fmt.Fprintf(&b, "%s<%s> MISSING\n", class, key)
+				continue
+			}
+			attrs := make([]string, 0, len(st))
+			for a := range st {
+				attrs = append(attrs, a)
+			}
+			sort.Strings(attrs)
+			fmt.Fprintf(&b, "%s<%s>", class, key)
+			for _, a := range attrs {
+				fmt.Fprintf(&b, " %s=%s", a, st[a].Repr())
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// Verify runs the workload fault-free and under the seed's chaos plan on
+// one backend and asserts every oracle property, returning the chaos
+// run's observables. The returned error, if any, embeds the seed and the
+// full plan needed to reproduce the run.
+func Verify(w Workload, backend stateflow.Backend, seed int64, cfg Config) (Run, error) {
+	plan := chaos.FromSeed(seed, cfg.Horizon)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("workload=%s backend=%s seed=%d plan=%s: %s",
+			w.Name, backend, seed, plan, fmt.Sprintf(format, args...))
+	}
+
+	ref, err := RunOnce(w, backend, seed, nil, cfg)
+	if err != nil {
+		return Run{}, fail("fault-free reference failed: %v", err)
+	}
+	got, err := RunOnce(w, backend, seed, &plan, cfg)
+	if err != nil {
+		return got, fail("chaos run failed: %v", err)
+	}
+	if got.Transcript != ref.Transcript {
+		return got, fail("response transcripts diverge:\n--- reference ---\n%s--- chaos ---\n%s",
+			ref.Transcript, got.Transcript)
+	}
+	if got.StateDigest != ref.StateDigest {
+		return got, fail("committed state diverges:\n--- reference ---\n%s--- chaos ---\n%s",
+			ref.StateDigest, got.StateDigest)
+	}
+	return got, nil
+}

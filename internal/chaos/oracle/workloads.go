@@ -1,0 +1,343 @@
+// The oracle's workload catalogue. Each workload is built so that the
+// outcome (responses and final state) is independent of the interleaving
+// the oracle's concurrency window allows: ops in one in-flight wave
+// either touch disjoint key slots (YCSB, TPC-C by warehouse) or commute
+// and return interleaving-insensitive values (banking transfers between
+// well-funded accounts). That property is what lets the oracle demand
+// byte-identical outcomes between a fault-free and a chaos run.
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/workload/tpcc"
+	"statefulentities.dev/stateflow/internal/workload/ycsb"
+)
+
+// Workloads returns the oracle's workload catalogue: quickstart, banking,
+// tpcc and ycsb.
+func Workloads() []Workload {
+	return []Workload{Quickstart(), Banking(), TPCC(), YCSB()}
+}
+
+// ---------------------------------------------------------------------------
+// Quickstart (the paper's Figure-1 program)
+
+const quickstartSource = `
+@entity
+class Item:
+    def __init__(self, item_id: str, price: int):
+        self.item_id: str = item_id
+        self.stock: int = 0
+        self.price: int = price
+
+    def __key__(self) -> str:
+        return self.item_id
+
+    def get_price(self) -> int:
+        return self.price
+
+    def update_stock(self, amount: int) -> bool:
+        self.stock += amount
+        return self.stock >= 0
+
+@entity
+class User:
+    def __init__(self, username: str):
+        self.username: str = username
+        self.balance: int = 100
+
+    def __key__(self) -> str:
+        return self.username
+
+    @transactional
+    def buy_item(self, amount: int, item: Item) -> bool:
+        total_price: int = amount * item.get_price()
+        if self.balance < total_price:
+            return False
+        available: bool = item.update_stock(0 - amount)
+        if not available:
+            item.update_stock(amount)
+            return False
+        self.balance -= total_price
+        return True
+`
+
+// Quickstart drives entity creation through the dataflow plus a mix of
+// buys (some succeeding, some failing on funds or stock) sequentially:
+// buy outcomes depend on prior buys, so the script is its own serial
+// order. Recovery must replay __init__s exactly once too.
+func Quickstart() Workload {
+	items := []string{"apple", "book", "car"}
+	users := []string{"alice", "bob", "carol"}
+	return Workload{
+		Name:      "quickstart",
+		Source:    quickstartSource,
+		Classes:   []string{"Item", "User"},
+		Window:    1,
+		Contended: true,
+		Ops: func(seed int64) []Op {
+			rng := rand.New(rand.NewSource(seed*31 + 1))
+			var ops []Op
+			for i, it := range items {
+				ops = append(ops, Op{Class: "Item", Key: it, Method: "__init__",
+					Args: []stateflow.Value{stateflow.Str(it), stateflow.Int(int64(1 + i))}, Kind: "create"})
+			}
+			for _, u := range users {
+				ops = append(ops, Op{Class: "User", Key: u, Method: "__init__",
+					Args: []stateflow.Value{stateflow.Str(u)}, Kind: "create"})
+			}
+			for i := 0; i < 24; i++ {
+				it := items[rng.Intn(len(items))]
+				switch rng.Intn(4) {
+				case 0:
+					ops = append(ops, Op{Class: "Item", Key: it, Method: "update_stock",
+						Args: []stateflow.Value{stateflow.Int(int64(1 + rng.Intn(8)))}, Kind: "restock"})
+				case 1:
+					ops = append(ops, Op{Class: "Item", Key: it, Method: "get_price", Kind: "read"})
+				default:
+					u := users[rng.Intn(len(users))]
+					ops = append(ops, Op{Class: "User", Key: u, Method: "buy_item",
+						Args: []stateflow.Value{stateflow.Int(int64(1 + rng.Intn(4))), stateflow.Ref("Item", it)},
+						Kind: "buy"})
+				}
+			}
+			return ops
+		},
+		Invariants: []Invariant{{
+			Name: "no negative balances or stock",
+			Check: func(admin stateflow.Admin) error {
+				for _, u := range users {
+					if st, ok := admin.Inspect("User", u); ok && st["balance"].I < 0 {
+						return fmt.Errorf("User<%s>.balance = %d", u, st["balance"].I)
+					}
+				}
+				for _, it := range items {
+					if st, ok := admin.Inspect("Item", it); ok && st["stock"].I < 0 {
+						return fmt.Errorf("Item<%s>.stock = %d", it, st["stock"].I)
+					}
+				}
+				return nil
+			},
+		}},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Banking (YCSB+T-style transfers, fully contended)
+
+const bankingAccounts = 16
+const bankingInitial = 10_000
+
+// Banking runs concurrent waves of transfers over a shared account pool.
+// Transfers commute (fixed amounts, balances never near zero, response
+// always True), so any serial order the transactional backend picks
+// yields the same responses and state; total money is conserved.
+func Banking() Workload {
+	key := func(i int) string { return fmt.Sprintf("acct-%02d", i) }
+	return Workload{
+		Name:    "banking",
+		Source:  ycsb.Program(), // Account entity with transactional transfer
+		Classes: []string{"Account"},
+		Preload: func(admin stateflow.Admin) error {
+			for i := 0; i < bankingAccounts; i++ {
+				if err := admin.Preload("Account",
+					stateflow.Str(key(i)), stateflow.Int(bankingInitial), stateflow.Str("")); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Window:    8,
+		Contended: true,
+		Ops: func(seed int64) []Op {
+			rng := rand.New(rand.NewSource(seed*31 + 2))
+			ops := make([]Op, 0, 40)
+			for i := 0; i < 40; i++ {
+				from := rng.Intn(bankingAccounts)
+				to := rng.Intn(bankingAccounts - 1)
+				if to >= from {
+					to++
+				}
+				ops = append(ops, Op{Class: "Account", Key: key(from), Method: "transfer",
+					Args: []stateflow.Value{stateflow.Int(int64(1 + rng.Intn(5))), stateflow.Ref("Account", key(to))},
+					Kind: "transfer"})
+			}
+			return ops
+		},
+		Invariants: []Invariant{{
+			Name: "balance conservation",
+			Check: func(admin stateflow.Admin) error {
+				var total int64
+				keys := admin.Keys("Account")
+				for _, k := range keys {
+					st, ok := admin.Inspect("Account", k)
+					if !ok {
+						return fmt.Errorf("Account<%s> missing", k)
+					}
+					total += st["balance"].I
+				}
+				if want := int64(bankingAccounts * bankingInitial); total != want || len(keys) != bankingAccounts {
+					return fmt.Errorf("total balance %d over %d accounts, want %d over %d",
+						total, len(keys), want, bankingAccounts)
+				}
+				return nil
+			},
+		}},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TPC-C (NewOrder + Payment, waves disjoint by warehouse)
+
+// TPCC partitions each in-flight wave by warehouse (wave slot j drives
+// warehouse j only), so concurrent transactions never share entities;
+// inside a warehouse the script is serial. Payment must atomically
+// update district, warehouse and customer year-to-date totals — the
+// cross-entity atomicity a mid-transaction crash would tear.
+func TPCC() Workload {
+	scale := tpcc.Scale{Warehouses: 4, DistrictsPerWH: 2, CustomersPerDist: 4, Items: 8}
+	return Workload{
+		Name:    "tpcc",
+		Source:  tpcc.Program(),
+		Classes: []string{"Warehouse", "District", "Customer", "Stock"},
+		Preload: func(admin stateflow.Admin) error {
+			return scale.Load(func(class string, args []interp.Value) error {
+				return admin.Preload(class, args...)
+			})
+		},
+		Window: scale.Warehouses,
+		Ops: func(seed int64) []Op {
+			rng := rand.New(rand.NewSource(seed*31 + 3))
+			ops := make([]Op, 0, 32)
+			for i := 0; i < 32; i++ {
+				w := i % scale.Warehouses // wave slot == warehouse: disjoint waves
+				d := rng.Intn(scale.DistrictsPerWH)
+				c := rng.Intn(scale.CustomersPerDist)
+				if rng.Intn(2) == 0 {
+					n := 2 + rng.Intn(3)
+					seen := map[int]bool{}
+					var stocks, qtys []stateflow.Value
+					for len(stocks) < n {
+						it := rng.Intn(scale.Items)
+						if seen[it] {
+							continue
+						}
+						seen[it] = true
+						stocks = append(stocks, stateflow.Ref("Stock", tpcc.StockKey(w, it)))
+						qtys = append(qtys, stateflow.Int(int64(1+rng.Intn(3))))
+					}
+					ops = append(ops, Op{Class: "District", Key: tpcc.DistrictKey(w, d), Method: "new_order",
+						Args: []stateflow.Value{
+							stateflow.Ref("Customer", tpcc.CustomerKey(w, d, c)),
+							stateflow.Ref("Warehouse", tpcc.WarehouseKey(w)),
+							interp.ListV(stocks...),
+							interp.ListV(qtys...),
+						}, Kind: "new_order"})
+					continue
+				}
+				ops = append(ops, Op{Class: "District", Key: tpcc.DistrictKey(w, d), Method: "payment",
+					Args: []stateflow.Value{
+						stateflow.Ref("Customer", tpcc.CustomerKey(w, d, c)),
+						stateflow.Ref("Warehouse", tpcc.WarehouseKey(w)),
+						stateflow.Int(int64(1 + rng.Intn(500))),
+					}, Kind: "payment"})
+			}
+			return ops
+		},
+		Invariants: []Invariant{{
+			Name: "payment/ytd consistency",
+			Check: func(admin stateflow.Admin) error {
+				var whTotal, distTotal, custTotal int64
+				for w := 0; w < scale.Warehouses; w++ {
+					wst, ok := admin.Inspect("Warehouse", tpcc.WarehouseKey(w))
+					if !ok {
+						return fmt.Errorf("Warehouse<%s> missing", tpcc.WarehouseKey(w))
+					}
+					whTotal += wst["ytd"].I
+					var sum int64
+					for d := 0; d < scale.DistrictsPerWH; d++ {
+						dst, ok := admin.Inspect("District", tpcc.DistrictKey(w, d))
+						if !ok {
+							return fmt.Errorf("District<%s> missing", tpcc.DistrictKey(w, d))
+						}
+						sum += dst["ytd"].I
+						distTotal += dst["ytd"].I
+						for c := 0; c < scale.CustomersPerDist; c++ {
+							cst, ok := admin.Inspect("Customer", tpcc.CustomerKey(w, d, c))
+							if !ok {
+								return fmt.Errorf("Customer<%s> missing", tpcc.CustomerKey(w, d, c))
+							}
+							custTotal += cst["ytd_payment"].I
+						}
+					}
+					if wst["ytd"].I != sum {
+						return fmt.Errorf("warehouse %d ytd %d != district sum %d (torn payment)",
+							w, wst["ytd"].I, sum)
+					}
+				}
+				if custTotal != whTotal || distTotal != whTotal {
+					return fmt.Errorf("ytd totals diverge: warehouses=%d districts=%d customers=%d",
+						whTotal, distTotal, custTotal)
+				}
+				return nil
+			},
+		}},
+	}
+}
+
+// ---------------------------------------------------------------------------
+// YCSB (read/update/transfer mix, waves disjoint by key slot)
+
+// YCSB partitions the keyspace into Window slots of keysPerSlot records;
+// the op at wave position j only touches slot j, so concurrent waves are
+// disjoint and reads/updates return deterministic values even on the
+// non-transactional baseline.
+func YCSB() Workload {
+	const window, keysPerSlot = 8, 4
+	const records = window * keysPerSlot
+	return Workload{
+		Name:    "ycsb",
+		Source:  ycsb.Program(),
+		Classes: []string{"Account"},
+		Preload: func(admin stateflow.Admin) error {
+			for i := 0; i < records; i++ {
+				if err := admin.Preload("Account",
+					stateflow.Str(ycsb.Key(i)), stateflow.Int(ycsb.InitialBalance),
+					stateflow.Str(ycsb.Payload(32))); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Window: window,
+		Ops: func(seed int64) []Op {
+			rng := rand.New(rand.NewSource(seed*31 + 4))
+			ops := make([]Op, 0, 48)
+			for i := 0; i < 48; i++ {
+				slot := i % window
+				pick := func() string { return ycsb.Key(slot*keysPerSlot + rng.Intn(keysPerSlot)) }
+				key := pick()
+				switch r := rng.Intn(100); {
+				case r < 40:
+					ops = append(ops, Op{Class: "Account", Key: key, Method: "read", Kind: "read"})
+				case r < 80:
+					ops = append(ops, Op{Class: "Account", Key: key, Method: "update",
+						Args: []stateflow.Value{stateflow.Int(int64(rng.Intn(100) - 50))}, Kind: "update"})
+				default:
+					to := pick()
+					for to == key {
+						to = pick()
+					}
+					ops = append(ops, Op{Class: "Account", Key: key, Method: "transfer",
+						Args: []stateflow.Value{stateflow.Int(int64(1 + rng.Intn(10))), stateflow.Ref("Account", to)},
+						Kind: "transfer"})
+				}
+			}
+			return ops
+		},
+	}
+}

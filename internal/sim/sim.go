@@ -41,7 +41,11 @@ type component struct {
 	h         Handler
 	busyUntil time.Duration
 	crashed   bool
-	inbox     int // messages queued or in flight to this component
+	// holdUntil pins the crashed flag until the given virtual time:
+	// Restart calls before it are ignored (a dead machine cannot be
+	// willed back by its peers; see CrashUntil).
+	holdUntil time.Duration
+	inbox     int // messages queued (in flight) to this component
 }
 
 type event struct {
@@ -50,6 +54,13 @@ type event struct {
 	to   string
 	from string
 	msg  Message
+	// fn, when non-nil, is a scheduled virtual-time action (ScheduleAt)
+	// instead of a message delivery.
+	fn func(*Cluster)
+	// counted marks whether the event incremented its target's inbox at
+	// enqueue time (false when the target was not yet registered), so the
+	// dequeue-side decrement stays balanced.
+	counted bool
 }
 
 type eventHeap []*event
@@ -72,14 +83,37 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Perturb is a per-delivery fault verdict returned by a PerturbFunc:
+// the zero value delivers the message untouched.
+type Perturb struct {
+	// Drop loses the message (it is never enqueued; Delivered and inbox
+	// accounting never see it). Drop wins over the other fields: a
+	// verdict with both Drop and Duplicate set loses every copy — model
+	// "original lost, late copy survives" as a plain Delay instead.
+	Drop bool
+	// Delay adds extra delivery latency on top of the link latency.
+	Delay time.Duration
+	// Duplicate enqueues a second copy of the message, DupDelay after the
+	// original delivery time.
+	Duplicate bool
+	DupDelay  time.Duration
+}
+
+// PerturbFunc inspects one message send and decides its fault verdict.
+// It runs at send time (deterministic order) and may draw randomness from
+// the cluster's single RNG so runs stay exactly reproducible. Self-sends
+// (from == to, i.e. timers) and scheduled actions are never perturbed.
+type PerturbFunc func(from, to string, at time.Duration, msg Message) Perturb
+
 // Cluster is a simulated deployment.
 type Cluster struct {
-	comps map[string]*component
-	order []string
-	queue eventHeap
-	seq   uint64
-	now   time.Duration
-	rng   *rand.Rand
+	comps   map[string]*component
+	order   []string
+	queue   eventHeap
+	seq     uint64
+	now     time.Duration
+	rng     *rand.Rand
+	perturb PerturbFunc
 	// Delivered counts total messages delivered, as a sanity metric.
 	Delivered uint64
 }
@@ -124,10 +158,30 @@ func (c *Cluster) Crash(id string) {
 	}
 }
 
+// CrashUntil crashes a component and holds it down until the given
+// virtual time: Restart calls before then are ignored, so a recovery
+// protocol cannot resurrect a machine the fault schedule still holds
+// dead. The hold releases at `until`; the component stays crashed until
+// someone actually calls Restart at or after that time.
+func (c *Cluster) CrashUntil(id string, until time.Duration) {
+	if comp, ok := c.comps[id]; ok {
+		comp.crashed = true
+		if until > comp.holdUntil {
+			comp.holdUntil = until
+		}
+	}
+}
+
 // Restart clears the crashed flag; the component's handler decides how to
-// recover (e.g. reload a snapshot) when the next message arrives.
+// recover (e.g. reload a snapshot) when the next message arrives. A
+// restart also resets busyUntil: pre-crash CPU backlog does not survive
+// the reboot. Restarting a component still held down by CrashUntil is a
+// no-op.
 func (c *Cluster) Restart(id string) {
 	if comp, ok := c.comps[id]; ok {
+		if c.now < comp.holdUntil {
+			return
+		}
 		comp.crashed = false
 		comp.busyUntil = c.now
 	}
@@ -139,9 +193,46 @@ func (c *Cluster) IsCrashed(id string) bool {
 	return ok && comp.crashed
 }
 
+// Inbox reports how many messages are currently queued for a component.
+// Dropped-at-delivery messages (crashed target) still count while queued:
+// the sender has no way to know the target is dead.
+func (c *Cluster) Inbox(id string) int {
+	if comp, ok := c.comps[id]; ok {
+		return comp.inbox
+	}
+	return 0
+}
+
+// SetPerturb installs a delivery interceptor consulted for every
+// cross-component message send (self-sends and scheduled actions are
+// exempt: timers are a component's own clockwork, not network traffic).
+// Pass nil to remove it.
+func (c *Cluster) SetPerturb(f PerturbFunc) { c.perturb = f }
+
+// push enqueues one message send, applying the perturb interceptor.
 func (c *Cluster) push(at time.Duration, from, to string, msg Message) {
+	if c.perturb != nil && from != to {
+		p := c.perturb(from, to, at, msg)
+		if p.Drop {
+			return
+		}
+		if p.Duplicate {
+			c.pushRaw(at+p.Delay+p.DupDelay, from, to, msg)
+		}
+		at += p.Delay
+	}
+	c.pushRaw(at, from, to, msg)
+}
+
+// pushRaw enqueues an event without perturbation.
+func (c *Cluster) pushRaw(at time.Duration, from, to string, msg Message) {
 	c.seq++
-	heap.Push(&c.queue, &event{at: at, seq: c.seq, to: to, from: from, msg: msg})
+	counted := false
+	if comp, ok := c.comps[to]; ok {
+		comp.inbox++
+		counted = true
+	}
+	heap.Push(&c.queue, &event{at: at, seq: c.seq, to: to, from: from, msg: msg, counted: counted})
 }
 
 // Inject schedules a message delivery from outside the simulation (e.g. a
@@ -151,6 +242,18 @@ func (c *Cluster) Inject(at time.Duration, from, to string, msg Message) {
 		at = c.now
 	}
 	c.push(at, from, to, msg)
+}
+
+// ScheduleAt registers a virtual-time action: fn runs against the cluster
+// when the clock reaches at (clamped to now), ordered with message
+// deliveries by (time, sequence). Fault schedules use it to crash and
+// restart components at planned instants; fn must not block.
+func (c *Cluster) ScheduleAt(at time.Duration, fn func(*Cluster)) {
+	if at < c.now {
+		at = c.now
+	}
+	c.seq++
+	heap.Push(&c.queue, &event{at: at, seq: c.seq, fn: fn})
 }
 
 // Start invokes OnStart on every component (in registration order) at the
@@ -178,12 +281,19 @@ func (c *Cluster) RunUntil(horizon time.Duration) int {
 		heap.Pop(&c.queue)
 		c.now = ev.at
 		n++
+		if ev.fn != nil {
+			ev.fn(c) // scheduled virtual-time action
+			continue
+		}
 		comp, ok := c.comps[ev.to]
 		if !ok {
 			continue // component removed; drop
 		}
+		if ev.counted {
+			comp.inbox--
+		}
 		if comp.crashed {
-			continue // lost message
+			continue // lost message (consumed from the inbox, never delivered)
 		}
 		// Serial processor: handling begins when the component is free.
 		start := ev.at
@@ -269,13 +379,12 @@ func (ctx *Context) After(d time.Duration, msg Message) {
 	ctx.Send(ctx.self, msg, d)
 }
 
-// flush moves buffered sends into the cluster queue. Deferred so a
-// handler's sends all reflect its final effective time ordering.
+// flush moves buffered sends into the cluster queue (through the perturb
+// interceptor). Deferred so a handler's sends all reflect its final
+// effective time ordering.
 func (ctx *Context) flush() {
 	for _, e := range ctx.outbox {
-		ctx.cluster.seq++
-		e.seq = ctx.cluster.seq
-		heap.Push(&ctx.cluster.queue, e)
+		ctx.cluster.push(e.at, e.from, e.to, e.msg)
 	}
 	ctx.outbox = nil
 }

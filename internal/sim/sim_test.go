@@ -233,6 +233,178 @@ func (w *worker) OnMessage(ctx *Context, _ string, _ Message) {
 	w.sawNow = ctx.Now()
 }
 
+// TestCrashSemantics pins the crash contract down precisely: a message
+// delivered to a crashed component is consumed from its inbox but never
+// handled, and neither Delivered nor the handler observe it.
+func TestCrashSemantics(t *testing.T) {
+	c := New(1)
+	rec := &recorder{}
+	c.Add("rec", rec)
+	c.Inject(time.Millisecond, "t", "rec", ping{n: 1})
+	c.Inject(2*time.Millisecond, "t", "rec", ping{n: 2})
+	if got := c.Inbox("rec"); got != 2 {
+		t.Fatalf("inbox after inject: %d, want 2", got)
+	}
+	c.Crash("rec")
+	c.RunUntil(5 * time.Millisecond)
+	if len(rec.order) != 0 {
+		t.Fatalf("crashed component handled messages: %v", rec.order)
+	}
+	if c.Delivered != 0 {
+		t.Fatalf("Delivered counted dropped messages: %d", c.Delivered)
+	}
+	if got := c.Inbox("rec"); got != 0 {
+		t.Fatalf("inbox after dropped deliveries: %d, want 0 (messages are consumed, not retained)", got)
+	}
+	c.Restart("rec")
+	c.Inject(c.Now(), "t", "rec", ping{n: 3})
+	c.RunUntil(10 * time.Millisecond)
+	if len(rec.order) != 1 || rec.order[0] != 3 || c.Delivered != 1 {
+		t.Fatalf("post-restart delivery: order=%v delivered=%d", rec.order, c.Delivered)
+	}
+}
+
+// TestInboxBalancedForLateAdd: a message enqueued before its target is
+// registered must not corrupt the inbox accounting when delivered later.
+func TestInboxBalancedForLateAdd(t *testing.T) {
+	c := New(1)
+	c.Inject(time.Millisecond, "t", "late", ping{n: 1})
+	rec := &recorder{}
+	c.Add("late", rec)
+	c.RunUntil(10 * time.Millisecond)
+	if got := c.Inbox("late"); got != 0 {
+		t.Fatalf("inbox after late-add delivery: %d, want 0", got)
+	}
+	if len(rec.order) != 1 {
+		t.Fatalf("late-added component not served: %v", rec.order)
+	}
+}
+
+// TestRestartResetsBusyUntil: CPU backlog charged before a crash must not
+// delay work handled after the restart.
+func TestRestartResetsBusyUntil(t *testing.T) {
+	c := New(1)
+	e := &echo{cpu: 500 * time.Millisecond, latency: time.Millisecond}
+	p := &probe{sendAt: []time.Duration{0}, pongs: map[int]time.Duration{}}
+	c.Add("echo", e)
+	c.Add("probe", p)
+	c.Start()
+	// First ping reaches echo at 1ms and charges 500ms of CPU.
+	c.RunUntil(2 * time.Millisecond)
+	c.Crash("echo")
+	c.RunUntil(10 * time.Millisecond)
+	c.Restart("echo")
+	// Cheapen the handler so the post-restart response time is legible.
+	e.cpu = 0
+	c.Inject(c.Now(), "probe", "echo", ping{n: 9})
+	c.RunUntil(20 * time.Millisecond)
+	// Served at ~10ms + 1ms reply latency, NOT after the stale 501ms
+	// busyUntil left over from before the crash.
+	got, ok := p.pongs[9]
+	if !ok {
+		t.Fatal("restarted component never served")
+	}
+	if got != 11*time.Millisecond {
+		t.Fatalf("post-restart pong at %s, want 11ms (busyUntil must reset)", got)
+	}
+}
+
+// TestCrashUntilHoldsDownRestart: a component crashed with a hold-down
+// window ignores Restart until the window ends.
+func TestCrashUntilHoldsDownRestart(t *testing.T) {
+	c := New(1)
+	rec := &recorder{}
+	c.Add("rec", rec)
+	c.RunUntil(time.Millisecond)
+	c.CrashUntil("rec", 10*time.Millisecond)
+	c.Restart("rec") // too early: ignored
+	if !c.IsCrashed("rec") {
+		t.Fatal("Restart during hold-down must be a no-op")
+	}
+	c.RunUntil(10 * time.Millisecond)
+	c.Restart("rec")
+	if c.IsCrashed("rec") {
+		t.Fatal("Restart after hold-down must succeed")
+	}
+}
+
+// TestInjectClampsAtNow: an injection scheduled in the past delivers at
+// the current instant, never before it.
+func TestInjectClampsAtNow(t *testing.T) {
+	c := New(1)
+	rec := &recorder{}
+	c.Add("rec", rec)
+	c.RunUntil(50 * time.Millisecond)
+	c.Inject(10*time.Millisecond, "t", "rec", ping{n: 1}) // in the past
+	c.RunUntil(50 * time.Millisecond)                     // no clock progress needed
+	if len(rec.order) != 1 {
+		t.Fatalf("clamped injection not delivered: %v", rec.order)
+	}
+	if c.Now() != 50*time.Millisecond {
+		t.Fatalf("clock moved backwards: %s", c.Now())
+	}
+}
+
+// TestScheduleAtRunsInTimeOrder: scheduled actions interleave with
+// deliveries by (time, sequence) and clamp to now like Inject.
+func TestScheduleAtRunsInTimeOrder(t *testing.T) {
+	c := New(1)
+	rec := &recorder{}
+	c.Add("rec", rec)
+	var fired []time.Duration
+	c.ScheduleAt(3*time.Millisecond, func(cl *Cluster) { fired = append(fired, cl.Now()) })
+	c.ScheduleAt(-time.Hour, func(cl *Cluster) { fired = append(fired, cl.Now()) }) // clamped to 0
+	c.Inject(2*time.Millisecond, "t", "rec", ping{n: 1})
+	c.RunUntil(time.Second)
+	if len(fired) != 2 || fired[0] != 0 || fired[1] != 3*time.Millisecond {
+		t.Fatalf("actions fired at %v", fired)
+	}
+	if len(rec.order) != 1 {
+		t.Fatalf("delivery lost around scheduled actions: %v", rec.order)
+	}
+}
+
+// TestPerturbDropDelayDuplicate exercises every verdict of the delivery
+// interceptor and its self-send exemption.
+func TestPerturbDropDelayDuplicate(t *testing.T) {
+	c := New(1)
+	rec := &recorder{}
+	c.Add("rec", rec)
+	var seen int
+	c.SetPerturb(func(from, to string, at time.Duration, msg Message) Perturb {
+		seen++
+		p := msg.(ping)
+		switch p.n {
+		case 1:
+			return Perturb{Drop: true}
+		case 2:
+			return Perturb{Delay: 5 * time.Millisecond}
+		case 3:
+			return Perturb{Duplicate: true, DupDelay: time.Millisecond}
+		}
+		return Perturb{}
+	})
+	c.Inject(time.Millisecond, "t", "rec", ping{n: 1})
+	c.Inject(time.Millisecond, "t", "rec", ping{n: 2})
+	c.Inject(time.Millisecond, "t", "rec", ping{n: 3})
+	c.RunUntil(time.Second)
+	if want := []int{3, 3, 2}; len(rec.order) != 3 || rec.order[0] != want[0] || rec.order[1] != want[1] || rec.order[2] != want[2] {
+		t.Fatalf("perturbed order: %v, want %v (drop 1, duplicate 3, delay 2 past the dup)", rec.order, want)
+	}
+	if seen != 3 {
+		t.Fatalf("interceptor consulted %d times, want 3 (duplicates are not re-perturbed)", seen)
+	}
+	// Self-sends bypass the interceptor entirely.
+	seen = 0
+	c.Add("timer", loopForever{})
+	c.Inject(c.Now(), "timer", "timer", ping{})
+	c.RunUntil(c.Now() + 2*time.Millisecond)
+	if seen != 0 {
+		t.Fatalf("self-sends were perturbed %d times", seen)
+	}
+	c.SetPerturb(nil)
+}
+
 func TestDeliveredCount(t *testing.T) {
 	c := New(1)
 	c.Add("rec", &recorder{})

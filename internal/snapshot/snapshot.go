@@ -78,13 +78,19 @@ func (s *Store) BeginWithPending(epoch int64, sourceOffsets, pending map[string]
 	return id
 }
 
-// Write stores one worker's state image for a snapshot.
+// Write stores one worker's state image for a snapshot. Writes are
+// first-write-wins: a snapshot image, once persisted, is immutable — a
+// duplicated or delayed snapshot request re-arriving after later batches
+// committed must not overwrite the aligned cut with newer state.
 func (s *Store) Write(id int64, worker string, image []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	imgs, ok := s.images[id]
 	if !ok {
 		return fmt.Errorf("snapshot: unknown snapshot %d", id)
+	}
+	if _, dup := imgs[worker]; dup {
+		return nil // immutable once written
 	}
 	imgs[worker] = append([]byte(nil), image...)
 	for i := range s.metas {

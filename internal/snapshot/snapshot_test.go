@@ -144,3 +144,25 @@ func TestMultipleSnapshotsRetained(t *testing.T) {
 		t.Fatal("older snapshots must be retained")
 	}
 }
+
+// A snapshot image is immutable once written: a duplicated or delayed
+// snapshot request re-arriving after later batches committed must not
+// overwrite the aligned cut with newer state.
+func TestWriteIsFirstWriteWins(t *testing.T) {
+	s := NewStore(nil)
+	id := s.Begin(1, nil)
+	if err := s.Write(id, "w0", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(id, "w0", []byte{9, 9, 9, 9}); err != nil {
+		t.Fatalf("duplicate write must be an accepted no-op, got %v", err)
+	}
+	img, ok := s.Read(id, "w0")
+	if !ok || len(img) != 3 || img[0] != 1 {
+		t.Fatalf("image was overwritten: %v", img)
+	}
+	meta, _ := s.Get(id)
+	if meta.Bytes["w0"] != 3 {
+		t.Fatalf("bytes re-accounted on duplicate write: %v", meta.Bytes)
+	}
+}

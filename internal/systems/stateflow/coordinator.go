@@ -73,12 +73,28 @@ type Coordinator struct {
 	// (exactly-once output at the system border).
 	delivered map[string]bool
 
+	// seen dedupes request arrivals by id before they reach the source
+	// log (exactly-once input at the system border: a duplicated client
+	// send — e.g. a transport retry, or chaos duplication — must not
+	// become a second transaction).
+	seen map[string]bool
+
+	// progress counts accepted worker messages; the failure detector
+	// compares it against the value captured when a stall check was
+	// armed, so recovery only fires when a phase made no progress at all
+	// for a full stall timeout.
+	progress uint64
+
 	// Stats.
 	Commits      int
 	Aborts       int
 	Failures     int // transactions that exhausted retries
 	Recoveries   int
 	EpochsClosed int
+	// RestoredSnapshots records, per recovery, the snapshot id it rolled
+	// back to (0: reset to empty) — tests assert every restored id was a
+	// complete snapshot.
+	RestoredSnapshots []int64
 }
 
 type pendingReq struct {
@@ -94,6 +110,7 @@ func newCoordinator(sys *System) *Coordinator {
 		phase:     phaseOpen,
 		batch:     map[aria.TID]*txnState{},
 		delivered: map[string]bool{},
+		seen:      map[string]bool{},
 	}
 }
 
@@ -128,10 +145,14 @@ func (c *Coordinator) OnMessage(ctx *sim.Context, from string, msg sim.Message) 
 // assigns it into the open batch or buffers it.
 func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 	ctx.Work(c.sys.cfg.Costs.RoutingCPU)
+	if c.seen[m.Request.Req] {
+		return // duplicate send; already logged (idempotent-producer model)
+	}
 	_, pos, err := c.sys.RequestLog.Produce(sourceTopic, m.Request.Req, m)
 	if err != nil {
 		return
 	}
+	c.seen[m.Request.Req] = true
 	if c.phase == phaseOpen {
 		c.consumed++
 		c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
@@ -174,14 +195,14 @@ func (c *Coordinator) onTick(ctx *sim.Context, m msgEpochTick) {
 }
 
 // enterPhase transitions to a worker-dependent phase and arms the failure
-// detector: if the epoch is still stuck in this phase when the stall
-// timeout elapses, a worker is presumed dead and recovery starts. Every
-// phase that waits on all workers (execution, validation, apply,
-// snapshot) is guarded, so a worker crash can never deadlock the batch
-// pipeline.
+// detector: if the epoch is still stuck in this phase — with no worker
+// progress at all — when the stall timeout elapses, a worker is presumed
+// dead and recovery starts. Every phase that waits on all workers
+// (execution, validation, apply, snapshot, recovery) is guarded, so a
+// worker crash or a lost message can never deadlock the batch pipeline.
 func (c *Coordinator) enterPhase(ctx *sim.Context, p phase) {
 	c.phase = p
-	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: p})
+	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: p, Progress: c.progress})
 }
 
 // onFinished records a transaction's root response.
@@ -193,6 +214,7 @@ func (c *Coordinator) onFinished(ctx *sim.Context, m msgTxnFinished) {
 	if !ok || t.finished {
 		return
 	}
+	c.progress++
 	t.finished = true
 	t.value = m.Value
 	t.err = m.Err
@@ -231,6 +253,7 @@ func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
 	if c.votes[from] {
 		return
 	}
+	c.progress++
 	c.votes[from] = true
 	for _, t := range m.Aborts {
 		c.unionAbort[t] = true
@@ -262,6 +285,9 @@ func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
 func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 	if m.Epoch != c.epoch || c.phase != phaseApply {
 		return
+	}
+	if !c.applied[from] {
+		c.progress++
 	}
 	c.applied[from] = true
 	if len(c.applied) < len(c.sys.workerIDs) {
@@ -331,7 +357,7 @@ func (c *Coordinator) startSnapshot(ctx *sim.Context) {
 		map[string][]int64{sourceTopic: pendingPos}, len(c.sys.workerIDs))
 	c.snapDone = map[string]bool{}
 	for _, w := range c.sys.workerIDs {
-		ctx.Send(w, msgTakeSnapshot{ID: c.snapshotID},
+		ctx.Send(w, msgTakeSnapshot{ID: c.snapshotID, Epoch: c.epoch},
 			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
 }
@@ -339,6 +365,9 @@ func (c *Coordinator) startSnapshot(ctx *sim.Context) {
 func (c *Coordinator) onSnapshotDone(ctx *sim.Context, from string, m msgSnapshotDone) {
 	if c.phase != phaseSnapshot || m.ID != c.snapshotID {
 		return
+	}
+	if !c.snapDone[from] {
+		c.progress++
 	}
 	c.snapDone[from] = true
 	if len(c.snapDone) < len(c.sys.workerIDs) {
@@ -378,10 +407,16 @@ func (c *Coordinator) openNextBatch(ctx *sim.Context) {
 }
 
 // onStallCheck fires the failure detector: if the epoch that armed it is
-// still stuck in the same worker-dependent phase past the stall timeout,
-// a worker is presumed dead and recovery starts.
+// still stuck in the same worker-dependent phase past the stall timeout
+// AND no worker message arrived since the check was armed, a worker is
+// presumed dead and recovery starts. With progress, the check re-arms:
+// slow is not dead.
 func (c *Coordinator) onStallCheck(ctx *sim.Context, m msgStallCheck) {
 	if m.Epoch != c.epoch || c.phase != m.Phase {
+		return
+	}
+	if c.progress != m.Progress {
+		ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: c.phase, Progress: c.progress})
 		return
 	}
 	c.Recover(ctx)
@@ -393,7 +428,17 @@ func (c *Coordinator) onStallCheck(ctx *sim.Context, m msgStallCheck) {
 // exactly-once across the replay.
 func (c *Coordinator) Recover(ctx *sim.Context) {
 	c.Recoveries++
-	c.phase = phaseRecovering
+	// View change: bumping the epoch *before* the restore makes every
+	// message of the discarded world — in-flight events, votes, delayed
+	// snapshot requests — provably stale to any worker that processes the
+	// recovery, with no global knowledge required (workers just keep an
+	// epoch high-water mark).
+	c.epoch++
+	// The recovery phase is itself failure-guarded: if a recover message
+	// is lost (or a worker dies again mid-restore), the stall check fires
+	// and recovery restarts from the same snapshot — Recover is
+	// idempotent, so re-entering it is always safe.
+	c.enterPhase(ctx, phaseRecovering)
 	c.pending = nil
 	var snapID int64
 	if meta, ok := c.sys.Snapshots.Latest(); ok {
@@ -420,18 +465,28 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	c.unfinished = 0
 	c.recovered = map[string]bool{}
 	c.snapshotID = snapID
+	c.RestoredSnapshots = append(c.RestoredSnapshots, snapID)
 	for _, w := range c.sys.workerIDs {
-		if c.sys.restart != nil {
+		// Only dead workers get respawned (the cluster-manager model); a
+		// live worker keeps its CPU backlog and merely rolls its state
+		// back when the recover message reaches it.
+		if c.sys.restart != nil && (c.sys.isCrashed == nil || c.sys.isCrashed(w)) {
 			c.sys.restart(w)
 		}
-		ctx.Send(w, msgRecover{SnapshotID: snapID},
+		ctx.Send(w, msgRecover{SnapshotID: snapID, Epoch: c.epoch},
 			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
 }
 
 func (c *Coordinator) onRecovered(ctx *sim.Context, from string, m msgRecovered) {
-	if c.phase != phaseRecovering || m.SnapshotID != c.snapshotID {
+	// The epoch check rejects acks from an earlier recovery round that
+	// happened to restore the same snapshot id — the worker they name has
+	// not rolled back in *this* round.
+	if c.phase != phaseRecovering || m.SnapshotID != c.snapshotID || m.Epoch != c.epoch {
 		return
+	}
+	if !c.recovered[from] {
+		c.progress++
 	}
 	c.recovered[from] = true
 	if len(c.recovered) < len(c.sys.workerIDs) {

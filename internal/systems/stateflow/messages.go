@@ -49,24 +49,46 @@ type msgDecide struct {
 // msgApplied acknowledges that a worker installed the batch's writes.
 type msgApplied struct{ Epoch int64 }
 
-// msgTakeSnapshot asks workers to persist their committed stores.
-type msgTakeSnapshot struct{ ID int64 }
+// msgTakeSnapshot asks workers to persist their committed stores. Epoch
+// is the coordination epoch the snapshot aligns with: a delayed copy
+// re-arriving after the system moved on is stale and must not write
+// post-recovery state into an old cut.
+type msgTakeSnapshot struct {
+	ID    int64
+	Epoch int64
+}
 
 // msgSnapshotDone acknowledges one worker's snapshot write.
 type msgSnapshotDone struct{ ID int64 }
 
 // msgStallCheck fires if the epoch is still stuck in the phase that
-// armed it (execution, validation, apply or snapshot all wait on every
-// worker) when the stall timeout elapses; the coordinator then suspects
-// a worker failure and triggers recovery.
+// armed it (execution, validation, apply, snapshot and recovery all wait
+// on every worker) when the stall timeout elapses; the coordinator then
+// suspects a worker failure and triggers recovery. Progress carries the
+// coordinator's progress counter at arm time: if workers delivered any
+// phase work since, the check re-arms instead of firing, so a large
+// batch that is merely slow (e.g. a post-recovery replay of the whole
+// backlog) is never mistaken for a dead worker.
 type msgStallCheck struct {
-	Epoch int64
-	Phase phase
+	Epoch    int64
+	Phase    phase
+	Progress uint64
 }
 
 // msgRecover tells a worker to reload its committed store from a snapshot
-// (id 0 means "reset to empty").
-type msgRecover struct{ SnapshotID int64 }
+// (id 0 means "reset to empty"). Recovery bumps the coordination epoch
+// before sending these — like a view change — so every message of the
+// discarded world is provably stale to any worker that has recovered.
+type msgRecover struct {
+	SnapshotID int64
+	Epoch      int64
+}
 
-// msgRecovered acknowledges recovery.
-type msgRecovered struct{ SnapshotID int64 }
+// msgRecovered acknowledges recovery. Epoch echoes the recover message's
+// view number: two recovery rounds can restore the same snapshot id, and
+// a delayed ack from the earlier round must not satisfy the later one
+// (the worker it names has not rolled back in that round).
+type msgRecovered struct {
+	SnapshotID int64
+	Epoch      int64
+}

@@ -2,9 +2,11 @@ package stateflow
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
+	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/compiler"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/sim"
@@ -29,17 +31,21 @@ func (c *countingClient) OnMessage(ctx *sim.Context, from string, msg sim.Messag
 	c.inner.OnMessage(ctx, from, msg)
 }
 
-// TestRecoveryMidBatchExactlyOnceDelivery crashes a worker while a batch
-// is executing, recovers from the latest snapshot, and asserts:
-//
-//   - the source-suffix replay re-commits transactions whose responses
-//     already went out before the crash (Commits counts them twice),
-//   - yet no client ever receives a second response for any request
-//     (Coordinator.delivered suppresses the duplicates),
-//   - the Retries/Recoveries/Aborts stats stay mutually consistent,
-//   - committed state matches a single serial execution (no double
-//     effects from the replay).
-func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
+// recoveryRequests is the shared scenario's request count.
+const recoveryRequests = 24
+
+// recoveryFixture is the bank scenario shared by this file's tests: 24
+// contended single-unit transfers circulating over 4 accounts (so every
+// balance returns to 100 iff effects are exactly-once), frequent
+// snapshots, and a delivery-counting client.
+type recoveryFixture struct {
+	cluster *sim.Cluster
+	sys     *System
+	client  *countingClient
+}
+
+func newRecoveryFixture(t *testing.T, seed int64) *recoveryFixture {
+	t.Helper()
 	prog, err := compiler.Compile(bank)
 	if err != nil {
 		t.Fatalf("compile: %v", err)
@@ -47,17 +53,14 @@ func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.SnapshotEvery = 2
 	cfg.EpochInterval = 10 * time.Millisecond
-
-	const n = 24
 	var script []sysapi.Scheduled
-	for i := 0; i < n; i++ {
+	for i := 0; i < recoveryRequests; i++ {
 		script = append(script, sysapi.Scheduled{
 			At:  time.Duration(i+1) * 5 * time.Millisecond,
 			Req: transferReq(fmt.Sprintf("t%d", i), acct(i%4), acct((i+1)%4), 1),
 		})
 	}
-
-	cluster := sim.New(42)
+	cluster := sim.New(seed)
 	sys := New(cluster, prog, cfg)
 	for i := 0; i < 4; i++ {
 		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
@@ -70,6 +73,49 @@ func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
 		Deliveries: map[string]int{},
 	}
 	cluster.Add("client", client)
+	return &recoveryFixture{cluster: cluster, sys: sys, client: client}
+}
+
+// assertExactlyOnce checks the scenario's shared post-conditions: every
+// request answered exactly once without error, and every balance back at
+// 100 (no lost or duplicated effects). fail lets callers prefix failures
+// with reproduction info (seed, plan).
+func (f *recoveryFixture) assertExactlyOnce(t *testing.T, fail func(format string, args ...any)) {
+	t.Helper()
+	if f.client.inner.Done != recoveryRequests {
+		fail("responses: %d/%d", f.client.inner.Done, recoveryRequests)
+	}
+	for id, count := range f.client.Deliveries {
+		if count != 1 {
+			fail("request %s delivered %d times", id, count)
+		}
+	}
+	for id, resp := range f.client.inner.Responses {
+		if resp.Err != "" {
+			fail("request %s failed: %s", id, resp.Err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if got := balance(t, f.sys, acct(i)); got != 100 {
+			fail("%s: balance %d, want 100 (lost or duplicated effects)", acct(i), got)
+		}
+	}
+}
+
+// TestRecoveryMidBatchExactlyOnceDelivery crashes a worker while a batch
+// is executing, recovers from the latest snapshot, and asserts:
+//
+//   - the source-suffix replay re-commits transactions whose responses
+//     already went out before the crash (Commits counts them twice),
+//   - yet no client ever receives a second response for any request
+//     (Coordinator.delivered suppresses the duplicates),
+//   - the Retries/Recoveries/Aborts stats stay mutually consistent,
+//   - committed state matches a single serial execution (no double
+//     effects from the replay).
+func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
+	const n = recoveryRequests
+	f := newRecoveryFixture(t, 42)
+	cluster, sys, client := f.cluster, f.sys, f.client
 	cluster.Start()
 
 	// Advance in small steps until (a) a snapshot exists, (b) at least
@@ -115,12 +161,9 @@ func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
 		t.Fatalf("replay did not re-commit: before=%d after=%d n=%d",
 			commitsBefore, coord.Commits, n)
 	}
-	// ...yet every request's response reached the client exactly once.
-	for id, count := range client.Deliveries {
-		if count != 1 {
-			t.Fatalf("request %s delivered %d times (delivered-set failed)", id, count)
-		}
-	}
+	// ...yet every request's response reached the client exactly once and
+	// committed state matches one serial execution.
+	f.assertExactlyOnce(t, t.Fatalf)
 	if len(client.Deliveries) != n {
 		t.Fatalf("distinct responses: %d/%d", len(client.Deliveries), n)
 	}
@@ -129,22 +172,163 @@ func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
 	// coordinator recorded.
 	totalRetries := 0
 	for id, resp := range client.inner.Responses {
-		if resp.Err != "" {
-			t.Fatalf("request %s failed: %s", id, resp.Err)
-		}
-		if resp.Retries > cfg.MaxRetries {
-			t.Fatalf("request %s retries %d exceed budget %d", id, resp.Retries, cfg.MaxRetries)
+		if resp.Retries > sys.cfg.MaxRetries {
+			t.Fatalf("request %s retries %d exceed budget %d", id, resp.Retries, sys.cfg.MaxRetries)
 		}
 		totalRetries += resp.Retries
 	}
 	if totalRetries > coord.Aborts {
 		t.Fatalf("retries %d exceed recorded aborts %d", totalRetries, coord.Aborts)
 	}
-	// Exactly-once effects: each account sent and received exactly n/4
-	// single-unit transfers, so all balances return to 100.
-	for i := 0; i < 4; i++ {
-		if got := balance(t, sys, acct(i)); got != 100 {
-			t.Fatalf("%s: got %d want 100 (duplicate or lost effects)", acct(i), got)
+}
+
+// TestRecoveryGeneratedCrashPoints generalizes the hand-picked crash
+// above: across seeds, the chaos engine schedules a generated (instant,
+// victim-count, downtime) crash window that lands wherever the seed puts
+// it — mid-batch, mid-snapshot, or during a recovery already in flight —
+// and the exactly-once contract must hold every time:
+//
+//   - every request's response reaches the client exactly once,
+//   - committed state matches one serial execution (balances conserved),
+//   - a crash that interrupts a snapshot leaves it incomplete, and the
+//     recovery restores the last *complete* snapshot (Latest skips the
+//     torn cut),
+//   - snapshots carrying pending-retry positions replay them (the
+//     conflict-heavy script makes retries routinely straddle snapshots).
+//
+// Failure messages carry the seed and the generated plan verbatim.
+func TestRecoveryGeneratedCrashPoints(t *testing.T) {
+	totalRecoveries, tornSnapshots, pendingSnapshots := 0, 0, 0
+	for seed := int64(1); seed <= 12; seed++ {
+		// Generate the crash point from the seed (plan-local RNG: the
+		// cluster RNG stays reserved for the run itself).
+		rng := rand.New(rand.NewSource(seed * 977))
+		plan := chaos.Plan{
+			Name: fmt.Sprintf("crashpoint-seed-%d", seed),
+			Seed: seed,
+			Crashes: []chaos.Crash{{
+				Role:     "worker",
+				Victims:  1 + rng.Intn(2),
+				At:       20*time.Millisecond + time.Duration(rng.Int63n(int64(90*time.Millisecond))),
+				Downtime: 5*time.Millisecond + time.Duration(rng.Int63n(int64(30*time.Millisecond))),
+				Every:    60 * time.Millisecond,
+				Count:    1 + rng.Intn(2),
+			}},
+		}
+		fail := func(format string, args ...any) {
+			t.Helper()
+			t.Fatalf("seed=%d plan=%s: %s", seed, plan, fmt.Sprintf(format, args...))
+		}
+
+		f := newRecoveryFixture(t, seed)
+		cluster, sys := f.cluster, f.sys
+		eng := chaos.Install(cluster, sys.ChaosTopology(), plan)
+		cluster.Start()
+		cluster.RunUntil(20 * time.Second)
+
+		if got := eng.Stats().CrashWindows; got == 0 {
+			fail("no crash window scheduled")
+		}
+		f.assertExactlyOnce(t, fail)
+		totalRecoveries += sys.Coordinator().Recoveries
+
+		// Post-mortem on the snapshot store: torn snapshots (crash landed
+		// mid-checkpoint) must have been skipped by every restore. The
+		// epoch view-change guarantees a torn snapshot stays torn (a
+		// delayed image write from the old world is rejected), so
+		// end-state completeness is restore-time completeness.
+		for id := int64(1); id <= int64(sys.Snapshots.Count()); id++ {
+			meta, ok := sys.Snapshots.Get(id)
+			if !ok {
+				continue
+			}
+			if meta.Expected > 0 && len(sys.Snapshots.Workers(id)) < meta.Expected {
+				tornSnapshots++
+			}
+			if len(meta.PendingPositions[sourceTopic]) > 0 {
+				pendingSnapshots++
+			}
+		}
+		for _, id := range sys.Coordinator().RestoredSnapshots {
+			if id == 0 {
+				continue // reset-to-empty, nothing to tear
+			}
+			meta, ok := sys.Snapshots.Get(id)
+			if !ok {
+				fail("recovery restored unknown snapshot %d", id)
+			}
+			if meta.Expected > 0 && len(sys.Snapshots.Workers(id)) < meta.Expected {
+				fail("recovery restored torn snapshot %d", id)
+			}
 		}
 	}
+	// The sweep as a whole must have exercised the interesting paths: real
+	// recoveries, and snapshots that recorded pending retries. (Torn
+	// snapshots depend on where seeds land; log them for visibility.)
+	if totalRecoveries == 0 {
+		t.Fatal("no generated crash point triggered a recovery")
+	}
+	if pendingSnapshots == 0 {
+		t.Fatal("no snapshot recorded pending-retry positions (conflict script too tame)")
+	}
+	t.Logf("sweep: %d recoveries, %d torn snapshots skipped, %d snapshots with pending retries",
+		totalRecoveries, tornSnapshots, pendingSnapshots)
+}
+
+// TestRecoveryMidSnapshotRestoresLastComplete pins the mid-checkpoint
+// case deterministically (the generated sweep above only hits it when a
+// seed lands there): a worker dies after the snapshot began but before
+// every image was written; the torn snapshot must be skipped and the
+// previous complete one restored, with no lost or duplicated effects.
+func TestRecoveryMidSnapshotRestoresLastComplete(t *testing.T) {
+	f := newRecoveryFixture(t, 42)
+	cluster, sys := f.cluster, f.sys
+	cluster.Start()
+
+	// Step until the coordinator is mid-snapshot with at least one image
+	// still unwritten, then kill a worker that has not written yet.
+	var tornID int64
+	for i := 0; ; i++ {
+		if sys.coord.phase == phaseSnapshot {
+			id := sys.coord.snapshotID
+			written := map[string]bool{}
+			for _, w := range sys.Snapshots.Workers(id) {
+				written[w] = true
+			}
+			if len(written) < len(sys.WorkerIDs()) {
+				tornID = id
+				for _, w := range sys.WorkerIDs() {
+					if !written[w] {
+						cluster.Crash(w)
+						break
+					}
+				}
+				break
+			}
+		}
+		if i > 100_000 {
+			t.Fatal("never caught the coordinator mid-snapshot")
+		}
+		cluster.RunUntil(cluster.Now() + 50*time.Microsecond)
+	}
+	cluster.RunUntil(20 * time.Second)
+
+	if sys.Coordinator().Recoveries == 0 {
+		t.Fatal("mid-snapshot crash did not trigger recovery")
+	}
+	if got := len(sys.Snapshots.Workers(tornID)); got >= len(sys.WorkerIDs()) {
+		t.Fatalf("torn snapshot %d ended up complete (%d images)", tornID, got)
+	}
+	for _, id := range sys.Coordinator().RestoredSnapshots {
+		if id == tornID {
+			t.Fatalf("recovery restored the torn snapshot %d", tornID)
+		}
+	}
+	if len(sys.Coordinator().RestoredSnapshots) == 0 {
+		t.Fatal("no restore recorded despite recovery")
+	}
+	if latest, ok := sys.Snapshots.Latest(); ok && latest.ID == tornID {
+		t.Fatalf("Latest returned the torn snapshot %d", tornID)
+	}
+	f.assertExactlyOnce(t, t.Fatalf)
 }

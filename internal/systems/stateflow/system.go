@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
@@ -74,7 +75,8 @@ type System struct {
 	RequestLog *queue.Log
 	Snapshots  *snapshot.Store
 
-	restart func(id string)
+	restart   func(id string)
+	isCrashed func(id string) bool
 }
 
 // New builds and registers a StateFlow deployment on the cluster.
@@ -90,6 +92,7 @@ func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
 		RequestLog: queue.NewLog(),
 		Snapshots:  snapshot.NewStore(prog.Layouts()),
 		restart:    cluster.Restart,
+		isCrashed:  cluster.IsCrashed,
 	}
 	if err := sys.RequestLog.CreateTopic(sourceTopic, 1); err != nil {
 		panic(err) // fresh log; cannot happen
@@ -203,6 +206,56 @@ func (s *System) Keys(class string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ChaosTopology implements sysapi.Backend: the StateFlow runtime's
+// written failure contract, consumed by the chaos engine.
+//
+//   - Workers are crashable: the coordinator's stall detector guards
+//     every worker-dependent phase (execution, validation, apply,
+//     snapshot and recovery itself), so a dead worker is detected and
+//     the system rolls back to the last complete snapshot and replays.
+//   - Every intra-system delivery may be dropped, for the same reason: a
+//     lost message stalls the phase that needed it, which triggers
+//     recovery. Client-edge deliveries are NOT drop-safe — the
+//     delivered-set would suppress a resend of a lost response.
+//   - Duplicates are safe wherever a receiver dedupes or rejects stale
+//     copies: epoch/phase/id guards on every coordination message (both
+//     coordinator- and worker-side), the ingress seen-set for client
+//     requests (exactly-once input), the client's response dedup. Only
+//     msgTxnEvent is excluded: a second delivery inside the same epoch
+//     would re-execute the event in the same workspace.
+func (s *System) ChaosTopology() chaos.Topology {
+	members := map[string]bool{s.coordID: true}
+	for _, w := range s.workerIDs {
+		members[w] = true
+	}
+	return chaos.Topology{
+		Roles: map[string][]string{
+			"coordinator": {s.coordID},
+			"worker":      append([]string(nil), s.workerIDs...),
+		},
+		Crashable: map[string]bool{"worker": true},
+		DropSafe: func(from, to string, msg sim.Message) bool {
+			return members[from] && members[to]
+		},
+		DupSafe: func(from, to string, msg sim.Message) bool {
+			switch msg.(type) {
+			case msgTxnFinished, msgPrepare, msgVote, msgDecide, msgApplied,
+				msgTakeSnapshot, msgSnapshotDone, msgRecover, msgRecovered:
+				return true
+			case sysapi.MsgRequest, sysapi.MsgResponse:
+				return true
+			}
+			return false
+		},
+		ResponseID: func(msg sim.Message) (string, bool) {
+			if m, ok := msg.(sysapi.MsgResponse); ok {
+				return m.Response.Req, true
+			}
+			return "", false
+		},
+	}
 }
 
 var _ sysapi.Backend = (*System)(nil)

@@ -26,6 +26,12 @@ type Worker struct {
 	committed  *state.Store
 	workspaces map[aria.TID]*aria.Workspace
 
+	// epoch is the worker's own high-water mark of the coordination
+	// epoch: messages carrying a lower epoch belong to a discarded world
+	// (a closed batch, or everything before a recovery's view change) and
+	// are dropped. Purely worker-local state — a real node could keep it.
+	epoch int64
+
 	// Breakdown attributes CPU time to runtime components for the §4
 	// overhead experiment.
 	Breakdown *metrics.Breakdown
@@ -45,6 +51,19 @@ func newWorker(sys *System, idx int) *Worker {
 }
 
 func workerID(idx int) string { return fmt.Sprintf("sf-worker-%d", idx) }
+
+// observe advances the worker's epoch high-water mark and reports whether
+// a message carrying the given epoch is current. Equal epochs are
+// current: duplicates within an epoch are handled by the idempotent
+// handlers (empty-workspace re-apply, first-write-wins snapshot images,
+// coordinator-side dedup of votes/acks).
+func (w *Worker) observe(epoch int64) bool {
+	if epoch < w.epoch {
+		return false
+	}
+	w.epoch = epoch
+	return true
+}
 
 // Committed exposes the committed store (tests and state preloading).
 func (w *Worker) Committed() *state.Store { return w.committed }
@@ -78,8 +97,12 @@ func (w *Worker) workspace(tid aria.TID) *aria.Workspace {
 // partition, charging the cost-model CPU components, and forwards the
 // produced events.
 func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
-	if m.Epoch != w.sys.coord.epoch {
-		// Stale event from a batch discarded by recovery.
+	if !w.observe(m.Epoch) {
+		// Stale event from a batch discarded by recovery. (An old-epoch
+		// event arriving before this worker has seen anything newer can
+		// slip through and execute; its workspace is garbage that no
+		// decide order will ever reference, and its root response carries
+		// the old epoch, which the coordinator rejects.)
 		return
 	}
 	costs := w.sys.cfg.Costs
@@ -132,6 +155,9 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 // onPrepare validates local reservations for the batch (Aria's conflict
 // rules) and votes.
 func (w *Worker) onPrepare(ctx *sim.Context, m msgPrepare) {
+	if !w.observe(m.Epoch) {
+		return // stale (delayed or duplicated) prepare from a closed epoch
+	}
 	costs := w.sys.cfg.Costs
 	sets := make(map[aria.TID]*aria.RWSet, len(w.workspaces))
 	for tid, ws := range w.workspaces {
@@ -148,6 +174,12 @@ func (w *Worker) onPrepare(ctx *sim.Context, m msgPrepare) {
 // onDecide applies committed workspaces in TID order and discards the
 // rest.
 func (w *Worker) onDecide(ctx *sim.Context, m msgDecide) {
+	if !w.observe(m.Epoch) {
+		// Stale decide from a closed epoch: without this guard a delayed
+		// duplicate would wipe the next epoch's in-flight workspaces,
+		// tearing any split transaction already executing.
+		return
+	}
 	costs := w.sys.cfg.Costs
 	aborted := map[aria.TID]bool{}
 	for _, t := range m.Aborts {
@@ -173,6 +205,13 @@ func (w *Worker) onDecide(ctx *sim.Context, m msgDecide) {
 
 // onSnapshot persists the committed store to the snapshot store.
 func (w *Worker) onSnapshot(ctx *sim.Context, m msgTakeSnapshot) {
+	if !w.observe(m.Epoch) {
+		// Stale snapshot request: the aligned cut it belonged to is over
+		// (recovery's view change bumped the epoch past it). Writing the
+		// *current* store into the old snapshot id would mix state from
+		// two different cuts into one "complete" snapshot.
+		return
+	}
 	costs := w.sys.cfg.Costs
 	img := w.committed.Encode()
 	work := costs.StateCPU(len(img))
@@ -187,6 +226,13 @@ func (w *Worker) onSnapshot(ctx *sim.Context, m msgTakeSnapshot) {
 // onRecover rolls the worker back to a snapshot image (or empty state),
 // dropping every in-flight workspace.
 func (w *Worker) onRecover(ctx *sim.Context, m msgRecover) {
+	if !w.observe(m.Epoch) {
+		// Stale recover: a copy arriving after the system moved past that
+		// recovery (any later batch or recovery bumped the epoch) must
+		// not wipe the worker. A same-epoch duplicate re-restores the
+		// same image before any later-epoch work existed — idempotent.
+		return
+	}
 	costs := w.sys.cfg.Costs
 	w.workspaces = map[aria.TID]*aria.Workspace{}
 	if m.SnapshotID == 0 {
@@ -199,7 +245,7 @@ func (w *Worker) onRecover(ctx *sim.Context, m msgRecover) {
 		w.committed = st
 	}
 	ctx.Work(costs.StateCPU(w.committed.TotalEncodedSize()))
-	ctx.Send(w.sys.coordID, msgRecovered{SnapshotID: m.SnapshotID},
+	ctx.Send(w.sys.coordID, msgRecovered{SnapshotID: m.SnapshotID, Epoch: m.Epoch},
 		costs.WorkerLink.Sample(ctx.Rand()))
 }
 

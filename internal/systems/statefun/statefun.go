@@ -20,6 +20,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
@@ -174,6 +175,50 @@ func (s *System) Keys(class string) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// ChaosTopology implements sysapi.Backend: the baseline's failure
+// contract, which is — faithfully to §3 — almost empty. The StateFun
+// deployment model has no transactions, no failure detector and no
+// replay-driven redelivery in this reproduction, so no role is crashable
+// and no delivery may be dropped; the chaos engine clamps those fault
+// classes off and reports it. What the baseline does tolerate is latency
+// (no component keeps timers that a delay could violate) and duplicate
+// deliveries of anything the egress dedupes by request id: egress-bound
+// broker pushes and the client-bound responses themselves.
+func (s *System) ChaosTopology() chaos.Topology {
+	var workers, fns []string
+	for _, w := range s.workers {
+		workers = append(workers, w.id)
+	}
+	for _, f := range s.fns {
+		fns = append(fns, f.id)
+	}
+	return chaos.Topology{
+		Roles: map[string][]string{
+			"broker": {s.brokerID},
+			"router": {s.routerID},
+			"egress": {s.egressID},
+			"worker": workers,
+			"fn":     fns,
+		},
+		Crashable: map[string]bool{},
+		DupSafe: func(from, to string, msg sim.Message) bool {
+			switch msg.(type) {
+			case sysapi.MsgResponse:
+				return true // clients dedupe by request id
+			case msgRecord:
+				return to == s.egressID // egress dedupes by request id
+			}
+			return false
+		},
+		ResponseID: func(msg sim.Message) (string, bool) {
+			if m, ok := msg.(sysapi.MsgResponse); ok {
+				return m.Response.Req, true
+			}
+			return "", false
+		},
+	}
 }
 
 var _ sysapi.Backend = (*System)(nil)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/metrics"
 	"statefulentities.dev/stateflow/internal/sim"
@@ -69,6 +70,10 @@ type Backend interface {
 	EntityState(class, key string) (interp.MapState, bool)
 	// Keys lists the keys of every committed entity of a class, sorted.
 	Keys(class string) []string
+	// ChaosTopology declares the runtime's failure contract to the chaos
+	// engine: component roles, crash-recoverable roles, and which
+	// deliveries may safely be dropped or duplicated.
+	ChaosTopology() chaos.Topology
 }
 
 // ---------------------------------------------------------------------------
@@ -250,13 +255,13 @@ func (g *Generator) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 			g.Sys.ClientLink().Sample(ctx.Rand()))
 		ctx.After(g.interArrival(ctx), msgArrival{})
 	case MsgResponse:
+		at, ok := g.sentAt[m.Response.Req]
+		if !ok {
+			return // duplicate (or unknown) response: already accounted
+		}
 		g.Done++
 		if m.Response.Err != "" {
 			g.Errors++
-		}
-		at, ok := g.sentAt[m.Response.Req]
-		if !ok {
-			return
 		}
 		delete(g.sentAt, m.Response.Req)
 		if at < g.WarmUp {

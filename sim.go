@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/sim"
 	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
 	"statefulentities.dev/stateflow/internal/systems/statefun"
@@ -57,6 +58,7 @@ type Simulation struct {
 	client  *simClient
 	reqs    *sysapi.Builder
 	api     *simulationClient
+	chaos   *chaos.Engine
 	started bool
 }
 
@@ -66,11 +68,15 @@ type simClient struct {
 	responses map[string]sysapi.Response
 	latency   map[string]time.Duration
 	sent      map[string]time.Duration
+	// deliveries counts raw response deliveries per request id, before
+	// deduplication (the exactly-once-output evidence chaos tests check).
+	deliveries map[string]int
 }
 
 // OnMessage implements sim.Handler.
 func (c *simClient) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 	if m, ok := msg.(sysapi.MsgResponse); ok {
+		c.deliveries[m.Response.Req]++
 		if _, dup := c.responses[m.Response.Req]; dup {
 			return
 		}
@@ -82,21 +88,28 @@ func (c *simClient) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 }
 
 // NewSimulation builds a simulated deployment of a compiled program.
-func NewSimulation(prog *Program, cfg SimConfig) *Simulation {
+// Options extend the plain SimConfig: WithChaos installs a deterministic
+// fault plan on the cluster before anything runs.
+func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation {
 	if cfg.Backend == "" {
 		cfg.Backend = BackendStateFlow
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	var o simOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
 	cluster := sim.New(cfg.Seed)
 	s := &Simulation{
 		Cluster: cluster,
 		kind:    cfg.Backend,
 		client: &simClient{
-			responses: map[string]sysapi.Response{},
-			latency:   map[string]time.Duration{},
-			sent:      map[string]time.Duration{},
+			responses:  map[string]sysapi.Response{},
+			latency:    map[string]time.Duration{},
+			sent:       map[string]time.Duration{},
+			deliveries: map[string]int{},
 		},
 		reqs: sysapi.NewBuilder("api-"),
 	}
@@ -127,6 +140,9 @@ func NewSimulation(prog *Program, cfg SimConfig) *Simulation {
 		panic(fmt.Sprintf("stateflow: unknown backend %q", cfg.Backend))
 	}
 	cluster.Add("api-client", s.client)
+	if o.chaos != nil {
+		s.chaos = chaos.Install(cluster, s.sys.ChaosTopology(), *o.chaos)
+	}
 	return s
 }
 
