@@ -1,6 +1,7 @@
 package stateflow
 
 import (
+	"maps"
 	"time"
 
 	"statefulentities.dev/stateflow/internal/chaos"
@@ -64,14 +65,21 @@ func (s *Simulation) ChaosStats() ChaosStats {
 }
 
 // ResponseDeliveries returns, per request id, how many raw response
-// deliveries reached the client edge — before deduplication. Every count
-// must be exactly 1 on a correct run: 0 is a lost response, >1 is a
-// duplicate the client had to suppress. The chaos oracle asserts this;
-// it is exposed for tests and debugging.
+// deliveries reached the client edge — before deduplication. On a
+// fault-free run every count is exactly 1. Under chaos the oracle checks
+// the accounting identity instead: the system's own sends per id
+// (deliveries − injected duplicates + injected drops) must be exactly
+// one, plus at most one replay per solicitation (client retries and
+// injected request duplicates) — any excess is a duplicate the system
+// emitted unprompted.
 func (s *Simulation) ResponseDeliveries() map[string]int {
-	out := make(map[string]int, len(s.client.deliveries))
-	for id, n := range s.client.deliveries {
-		out[id] = n
-	}
-	return out
+	return maps.Clone(s.client.deliveries)
+}
+
+// ClientRetries returns, per request id, how many times the client edge
+// re-sent the request because no response had arrived within the retry
+// interval (see SimConfig.ClientRetry). The chaos oracle uses it to bound
+// legitimate response replays.
+func (s *Simulation) ClientRetries() map[string]int {
+	return maps.Clone(s.client.rx.Retries)
 }

@@ -200,17 +200,47 @@ type LiveConfig struct {
 	Workers int
 	// MailboxDepth is the per-worker channel capacity (default 1024).
 	MailboxDepth int
+	// JournalPath enables the durable response journal: completed
+	// outcomes are appended to this file (fsynced before the caller sees
+	// them) and a runtime reopened on the same path re-serves them for
+	// retried request ids (see WithRequestID) instead of re-executing.
+	// Torn tails from a crash mid-append are detected and discarded.
+	JournalPath string
 }
 
 // NewLive starts a Live runtime for a compiled program. Close it when
-// done.
+// done. It panics if the configured journal cannot be opened; use
+// OpenLive to handle that error (without a JournalPath it cannot fail).
 func NewLive(prog *Program, cfg LiveConfig) *Live {
-	return live.New(prog, live.Config{Workers: cfg.Workers, MailboxDepth: cfg.MailboxDepth})
+	rt, err := OpenLive(prog, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// OpenLive starts a Live runtime, recovering the response journal when
+// one is configured.
+func OpenLive(prog *Program, cfg LiveConfig) (*Live, error) {
+	return live.Open(prog, live.Config{
+		Workers: cfg.Workers, MailboxDepth: cfg.MailboxDepth, JournalPath: cfg.JournalPath,
+	})
 }
 
 // NewLiveClient starts a Live runtime and returns its Client surface;
-// Close stops the runtime.
+// Close stops the runtime. Like NewLive it panics on a journal open
+// failure; use OpenLiveClient to handle it.
 func NewLiveClient(prog *Program, cfg LiveConfig) Client { return LiveClient(NewLive(prog, cfg)) }
+
+// OpenLiveClient starts a Live runtime with error handling for the
+// journal and returns its Client surface.
+func OpenLiveClient(prog *Program, cfg LiveConfig) (Client, error) {
+	rt, err := OpenLive(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return LiveClient(rt), nil
+}
 
 // LiveClient adapts an existing Live runtime to the Client interface.
 func LiveClient(rt *Live) Client { return &liveClient{rt: rt} }
@@ -244,7 +274,7 @@ func (c *liveClient) call(ref EntityRef, method string, args []Value, o callOpti
 
 func (c *liveClient) submit(ref EntityRef, method string, args []Value, o callOptions) *Future {
 	start := time.Now()
-	p := c.rt.Submit(ref.Class, ref.Key, method, args...)
+	p := c.rt.SubmitWithID(o.requestID, ref.Class, ref.Key, method, args...)
 	poll := func() (Result, error, bool) {
 		if !p.Done() {
 			return Result{}, nil, false

@@ -22,12 +22,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3 | fig4 | overhead | consistency | all")
+	exp := flag.String("exp", "all", "experiment: fig3 | fig4 | overhead | consistency | dlog | all")
 	duration := flag.Duration("duration", 30*time.Second, "measured virtual time per point")
 	warmup := flag.Duration("warmup", 3*time.Second, "virtual warm-up discarded from stats")
 	records := flag.Int("records", 1000, "YCSB dataset size")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	epoch := flag.Duration("epoch", 10*time.Millisecond, "StateFlow batch (epoch) interval")
+	benchJSON := flag.String("bench-json", "", "with -exp dlog: also write the rows as a JSON benchmark artifact to this path")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -68,6 +69,14 @@ func main() {
 			rows, err := bench.RunContentionAblation(opt, nil)
 			check(err)
 			fmt.Print(bench.PrintAblation("Ablation: contention via dataset size (workload T, zipfian, 200 RPS)", rows))
+		case "dlog":
+			rows, err := bench.RunDlog(opt)
+			check(err)
+			fmt.Print(bench.PrintDlog(rows))
+			if *benchJSON != "" {
+				check(bench.WriteDlogJSON(*benchJSON, opt, rows))
+				fmt.Printf("wrote %s\n", *benchJSON)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "stateflow-bench: unknown experiment %q\n", name)
 			os.Exit(2)

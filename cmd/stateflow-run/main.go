@@ -45,6 +45,8 @@ func main() {
 	records := flag.Int("records", 1000, "dataset size")
 	seed := flag.Int64("seed", 1, "seed")
 	chaosSeed := flag.Int64("chaos-seed", 0, "run the simulated backends under a seeded fault plan (0: off)")
+	maxBatch := flag.Int("max-batch", sfsys.DefaultConfig().MaxBatch,
+		"StateFlow batch-size cap: backlogs and post-recovery replays drain chunked over batches of at most this many transactions (0: unbounded)")
 	flag.Parse()
 
 	src := ycsb.Program()
@@ -73,7 +75,7 @@ func main() {
 		runClient("live runtime (8 workers)", stateflow.NewLiveClient(prog, stateflow.LiveConfig{Workers: 8}),
 			16, wgen, *records, *rate, *duration)
 	case "stateflow", "statefun":
-		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed)
+		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch)
 	default:
 		fmt.Fprintf(os.Stderr, "stateflow-run: unknown backend %q\n", *backend)
 		os.Exit(2)
@@ -146,12 +148,13 @@ func min(a, b int) int {
 // runSim executes the workload on a simulated distributed deployment with
 // an open-loop generator (arrivals do not wait for responses), optionally
 // under a seeded fault plan.
-func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64) {
+func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int) {
 	cluster := sim.New(seed)
 	var sys sysapi.Backend
 	var sf *sfsys.System
 	if backend == "stateflow" {
 		cfg := sfsys.DefaultConfig()
+		cfg.MaxBatch = maxBatch
 		if chaosSeed != 0 {
 			cfg.SnapshotEvery = 20 // give recovery real snapshots to roll back to
 		}
@@ -172,6 +175,11 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 		eng = chaos.Install(cluster, sys.ChaosTopology(), plan)
 	}
 	gen := sysapi.NewGenerator("client", sys, rate, duration, duration/10, wgen.Next)
+	if chaosSeed != 0 {
+		// Under client-edge faults (drops, ingress downtime) the open-loop
+		// clients must retransmit or lost requests stay lost.
+		gen.RetryEvery = 50 * time.Millisecond
+	}
 	cluster.Add("client", gen)
 	if sf != nil {
 		sf.CheckpointPreloadedState()
@@ -187,13 +195,18 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 	}
 	if sf != nil {
 		c := sf.Coordinator()
-		fmt.Printf("transactions: %d committed, %d aborted (retried), %d failed, %d epochs, %d recoveries\n",
-			c.Commits, c.Aborts, c.Failures, c.EpochsClosed, c.Recoveries)
+		fmt.Printf("transactions: %d committed, %d aborted (retried), %d failed, %d epochs, %d recoveries (%d coordinator reboots, %d egress replays)\n",
+			c.Commits, c.Aborts, c.Failures, c.EpochsClosed, c.Recoveries, c.Restarts, c.Replays)
+		if sf.Dlog != nil {
+			ls := sf.Dlog.Stats()
+			fmt.Printf("durable log: %d appends (%d B), %d syncs, %d checkpoints (%d records compacted), %d torn tails discarded\n",
+				ls.Appends, ls.AppendedBytes, ls.Syncs, ls.Checkpoints, ls.Compacted, ls.TornTails)
+		}
 	}
 	if eng != nil {
 		st := eng.Stats()
-		fmt.Printf("chaos activity: %d crash windows, %d dropped, %d duplicated, %d delayed (clamped: %d drops, %d dups)\n",
-			st.CrashWindows, st.Dropped, st.Duplicated, st.Delayed, st.ClampedDrops, st.ClampedDups)
+		fmt.Printf("chaos activity: %d crash windows, %d dropped, %d duplicated, %d delayed (clamped: %d drops, %d dups); %d client retries\n",
+			st.CrashWindows, st.Dropped, st.Duplicated, st.Delayed, st.ClampedDrops, st.ClampedDups, gen.Retried())
 		for _, cl := range st.Clamped {
 			fmt.Printf("  clamped: %s\n", cl)
 		}

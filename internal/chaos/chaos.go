@@ -22,6 +22,7 @@ package chaos
 
 import (
 	"fmt"
+	"maps"
 	"math/rand"
 	"sort"
 	"strings"
@@ -170,10 +171,15 @@ type Topology struct {
 	DupSafe func(from, to string, msg sim.Message) bool
 	// ResponseID extracts the request id from a client-bound response
 	// message (ok=false for anything else). The engine uses it to account
-	// the response duplicates it injects per request id, so an oracle can
-	// tell wire-level duplicates the plan created apart from duplicates
-	// the system itself emitted (which are always a bug).
+	// the response duplicates and drops it injects per request id, so an
+	// oracle can tell wire-level faults the plan created apart from
+	// behavior the system itself exhibited (which would be a bug).
 	ResponseID func(msg sim.Message) (string, bool)
+	// RequestID extracts the request id from a client request message
+	// (ok=false for anything else), for the symmetric per-id accounting of
+	// injected request duplicates and drops: a duplicated request may
+	// legitimately solicit one extra response replay from the egress.
+	RequestID func(msg sim.Message) (string, bool)
 }
 
 // Stats summarizes what an Engine actually did (and declined to do).
@@ -189,10 +195,26 @@ type Stats struct {
 	// specs against non-crashable roles), for visibility in logs.
 	Clamped []string
 	// DupResponses counts, per request id, client-bound response
-	// duplicates the engine injected (see Topology.ResponseID). A raw
-	// delivery count of 1+DupResponses[id] is exactly-once output; more
-	// means the system itself duplicated.
-	DupResponses map[string]int
+	// duplicates the engine injected (see Topology.ResponseID);
+	// DroppedResponses counts the response deliveries it lost. Together
+	// with the client's retry count they bound the raw deliveries a
+	// correct system may produce: the system's own sends per id
+	// (deliveries - DupResponses + DroppedResponses) must not exceed one
+	// plus the solicitations for a resend (client retries + DupRequests).
+	DupResponses     map[string]int
+	DroppedResponses map[string]int
+	// DupRequests / DroppedRequests count injected request duplicates and
+	// losses per id (see Topology.RequestID).
+	DupRequests     map[string]int
+	DroppedRequests map[string]int
+}
+
+// bump increments a per-id counter map, allocating it on first use.
+func bump(m *map[string]int, id string) {
+	if *m == nil {
+		*m = map[string]int{}
+	}
+	(*m)[id]++
 }
 
 // Engine is an installed fault plan driving one cluster.
@@ -293,6 +315,16 @@ func (e *Engine) perturbDelivery(from, to string, at time.Duration, msg sim.Mess
 	case r < spec.DropP:
 		if e.topo.DropSafe != nil && e.topo.DropSafe(from, to, msg) {
 			e.stats.Dropped++
+			if e.topo.ResponseID != nil {
+				if id, ok := e.topo.ResponseID(msg); ok {
+					bump(&e.stats.DroppedResponses, id)
+				}
+			}
+			if e.topo.RequestID != nil {
+				if id, ok := e.topo.RequestID(msg); ok {
+					bump(&e.stats.DroppedRequests, id)
+				}
+			}
 			return sim.Perturb{Drop: true}
 		}
 		e.stats.ClampedDrops++
@@ -301,10 +333,12 @@ func (e *Engine) perturbDelivery(from, to string, at time.Duration, msg sim.Mess
 			e.stats.Duplicated++
 			if e.topo.ResponseID != nil {
 				if id, ok := e.topo.ResponseID(msg); ok {
-					if e.stats.DupResponses == nil {
-						e.stats.DupResponses = map[string]int{}
-					}
-					e.stats.DupResponses[id]++
+					bump(&e.stats.DupResponses, id)
+				}
+			}
+			if e.topo.RequestID != nil {
+				if id, ok := e.topo.RequestID(msg); ok {
+					bump(&e.stats.DupRequests, id)
 				}
 			}
 			return sim.Perturb{Duplicate: true, DupDelay: spec.DupDelay.Sample(rng)}
@@ -332,12 +366,10 @@ func (e *Engine) clamp(format string, args ...any) {
 func (e *Engine) Stats() Stats {
 	s := e.stats
 	s.Clamped = append([]string(nil), e.stats.Clamped...)
-	if e.stats.DupResponses != nil {
-		s.DupResponses = make(map[string]int, len(e.stats.DupResponses))
-		for id, n := range e.stats.DupResponses {
-			s.DupResponses[id] = n
-		}
-	}
+	s.DupResponses = maps.Clone(e.stats.DupResponses)
+	s.DroppedResponses = maps.Clone(e.stats.DroppedResponses)
+	s.DupRequests = maps.Clone(e.stats.DupRequests)
+	s.DroppedRequests = maps.Clone(e.stats.DroppedRequests)
 	return s
 }
 
@@ -348,13 +380,20 @@ func (e *Engine) Plan() Plan { return e.plan }
 // Seeded plan generation
 
 // FromSeed derives a full-strength fault plan deterministically from a
-// seed: 1-3 repeated worker crash windows at randomized instants, plus
-// drop, duplicate and latency-spike probabilities on every edge. The
-// horizon bounds fault activity; crash windows open in the first ~60% of
-// it so recovery always has room to finish.
+// seed: 1-3 repeated worker crash windows plus one coordinator crash
+// window at randomized instants, and per-edge drop, duplicate and
+// latency-spike probabilities — aggressive on the client edge (where
+// retry + response-replay carry the contract), sub-percent inside the
+// system. The horizon bounds fault activity; crash windows open in the
+// first ~60% of it so recovery always has room to finish.
 //
 // The plan is pure data: generating it consumes nothing from the cluster
 // RNG, so the same (workload seed, chaos seed) pair replays exactly.
+//
+// Systems whose contract does not cover a fault class clamp it at install
+// time (the StateFun baseline clamps every crash window and drop; a
+// StateFlow deployment without its durable log clamps the coordinator
+// window).
 //
 // Horizons below 100ms (including zero) are raised to 100ms: the
 // generated schedule needs room for a crash window plus its recovery, so
@@ -390,20 +429,64 @@ func FromSeed(seed int64, horizon time.Duration) Plan {
 			Count:    1 + rng.Intn(2),
 		})
 	}
+	// One coordinator crash window per plan: every seed exercises the
+	// durable-log restart path (clamped off on systems without one).
+	{
+		downtime := time.Duration(rng.Int63n(int64(30*time.Millisecond))) + 10*time.Millisecond
+		at := active/8 + time.Duration(rng.Int63n(int64(active)/2))
+		if at+downtime > horizon {
+			at = horizon - downtime
+		}
+		p.Crashes = append(p.Crashes, Crash{
+			Role:     "coordinator",
+			Victims:  1,
+			At:       at,
+			Downtime: downtime,
+			Count:    1,
+		})
+	}
 	// Drop/dup rates are per message: a batch of T transactions crosses
 	// ~4T edges, so even sub-percent rates hit most batches. Rates much
 	// above 1% push large batches into permanent replay during the fault
-	// window — chaotic, but uninformative.
-	p.Perturbs = []Perturbation{{
-		Edge:     Edge{From: "*", To: "*"},
-		DropP:    0.002 + rng.Float64()*0.008,
-		DupP:     0.002 + rng.Float64()*0.008,
-		DupDelay: sim.Latency{Base: 0, Jitter: 2 * time.Millisecond},
-		DelayP:   0.01 + rng.Float64()*0.04,
-		Delay: sim.Latency{
-			Base:   time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
-			Jitter: time.Duration(rng.Int63n(int64(8*time.Millisecond))) + time.Millisecond,
+	// window — chaotic, but uninformative. The client edge takes several
+	// percent of drops instead: each lost request or response there must
+	// be healed by one retry/replay round trip, which is exactly the
+	// machinery the oracle wants under load. First match wins, so the
+	// client-edge specs precede the catch-all.
+	p.Perturbs = []Perturbation{
+		{
+			Edge:     Edge{From: "*", To: "client"},
+			DropP:    0.03 + rng.Float64()*0.07,
+			DupP:     0.01 + rng.Float64()*0.02,
+			DupDelay: sim.Latency{Base: 0, Jitter: 2 * time.Millisecond},
+			DelayP:   0.02 + rng.Float64()*0.03,
+			Delay: sim.Latency{
+				Base:   time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
+				Jitter: time.Duration(rng.Int63n(int64(6*time.Millisecond))) + time.Millisecond,
+			},
 		},
-	}}
+		{
+			Edge:     Edge{From: "client", To: "*"},
+			DropP:    0.03 + rng.Float64()*0.07,
+			DupP:     0.01 + rng.Float64()*0.02,
+			DupDelay: sim.Latency{Base: 0, Jitter: 2 * time.Millisecond},
+			DelayP:   0.02 + rng.Float64()*0.03,
+			Delay: sim.Latency{
+				Base:   time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
+				Jitter: time.Duration(rng.Int63n(int64(6*time.Millisecond))) + time.Millisecond,
+			},
+		},
+		{
+			Edge:     Edge{From: "*", To: "*"},
+			DropP:    0.002 + rng.Float64()*0.008,
+			DupP:     0.002 + rng.Float64()*0.008,
+			DupDelay: sim.Latency{Base: 0, Jitter: 2 * time.Millisecond},
+			DelayP:   0.01 + rng.Float64()*0.04,
+			Delay: sim.Latency{
+				Base:   time.Duration(rng.Int63n(int64(2 * time.Millisecond))),
+				Jitter: time.Duration(rng.Int63n(int64(8*time.Millisecond))) + time.Millisecond,
+			},
+		},
+	}
 	return p
 }

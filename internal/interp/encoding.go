@@ -39,6 +39,16 @@ func (e *Encoder) str(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+// Uvarint appends an unsigned varint (exported for subsystems framing
+// their own records around values, e.g. the durable-log codecs).
+func (e *Encoder) Uvarint(u uint64) { e.uvarint(u) }
+
+// Varint appends a signed varint.
+func (e *Encoder) Varint(i int64) { e.varint(i) }
+
+// Str appends a length-prefixed string.
+func (e *Encoder) Str(s string) { e.str(s) }
+
 // Value appends one value.
 func (e *Encoder) Value(v Value) {
 	e.byte(byte(v.Kind))
@@ -148,6 +158,16 @@ func (d *Decoder) str() (string, error) {
 	d.off += int(n)
 	return s, nil
 }
+
+// Uvarint reads an unsigned varint (exported counterpart of
+// Encoder.Uvarint).
+func (d *Decoder) Uvarint() (uint64, error) { return d.uvarint() }
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() (int64, error) { return d.varint() }
+
+// Str reads a length-prefixed string.
+func (d *Decoder) Str() (string, error) { return d.str() }
 
 // Value reads one value.
 func (d *Decoder) Value() (Value, error) {

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/dlog"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
 	"statefulentities.dev/stateflow/internal/state"
@@ -44,7 +45,18 @@ type Config struct {
 	Workers int
 	// MailboxDepth is the per-worker channel capacity (default 1024).
 	MailboxDepth int
+	// JournalPath enables the durable response journal: every completed
+	// request's outcome (id, value, application error) is appended to a
+	// file-backed dlog and fsynced before the caller observes it. A new
+	// runtime opened on the same path re-serves journaled outcomes for
+	// client-supplied request ids instead of re-executing them — the
+	// response-replay egress of the Live runtime, surviving process
+	// restarts. Empty: no journal.
+	JournalPath string
 }
+
+// journalResponse is the journal's record kind (dlog reserves kind 0).
+const journalResponse dlog.Kind = 1
 
 // Runtime is a running live deployment. Close it when done.
 type Runtime struct {
@@ -54,6 +66,16 @@ type Runtime struct {
 	pending sync.Map // req id -> *Pending
 	nextReq atomic.Int64
 	closed  atomic.Bool
+	// journal, when enabled, persists every completed outcome; replay
+	// holds journaled outcomes (from this and previous incarnations) that
+	// are re-served by *caller-supplied* request ids without re-execution.
+	// incarnation makes minted ids unique across processes sharing a
+	// journal, so an auto-minted id can never collide with a journaled
+	// one from an earlier incarnation.
+	journal     *dlog.FileLog
+	replay      sync.Map // req id -> result
+	incarnation string
+	journalErrs atomic.Int64
 	// quit broadcasts shutdown: senders and idle workers select on it, so
 	// no channel is ever closed while sends race it.
 	quit chan struct{}
@@ -154,8 +176,22 @@ type worker struct {
 	processed atomic.Int64
 }
 
-// New starts a live runtime for a compiled program.
+// New starts a live runtime for a compiled program. It panics if the
+// configured journal cannot be opened — use Open to handle that error
+// (without a JournalPath, New cannot fail).
 func New(prog *ir.Program, cfg Config) *Runtime {
+	rt, err := Open(prog, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return rt
+}
+
+// Open starts a live runtime, recovering the response journal when one is
+// configured: outcomes journaled by a previous incarnation are loaded for
+// replay before any worker starts. A torn journal tail (a crash mid-
+// append) is detected and discarded by the dlog layer, never replayed.
+func Open(prog *ir.Program, cfg Config) (*Runtime, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
 	}
@@ -163,6 +199,22 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 		cfg.MailboxDepth = 1024
 	}
 	rt := &Runtime{prog: prog, ex: core.NewExecutor(prog), quit: make(chan struct{})}
+	if cfg.JournalPath != "" {
+		jl, err := dlog.OpenFile(cfg.JournalPath)
+		if err != nil {
+			return nil, err
+		}
+		rt.journal = jl
+		rt.incarnation = fmt.Sprintf("i%x-", time.Now().UnixNano())
+		for _, rec := range jl.Recovered().Records {
+			if rec.Kind != journalResponse {
+				continue
+			}
+			if id, res, err := decodeJournalResponse(rec.Data); err == nil {
+				rt.replay.Store(id, res)
+			}
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
 			rt:    rt,
@@ -174,13 +226,43 @@ func New(prog *ir.Program, cfg Config) *Runtime {
 		rt.wg.Add(1)
 		go w.run()
 	}
-	return rt
+	return rt, nil
 }
+
+// encodeJournalResponse frames one completed outcome.
+func encodeJournalResponse(id string, r result) []byte {
+	e := interp.NewEncoder()
+	e.Str(id)
+	e.Value(r.value)
+	e.Str(r.err)
+	return e.Bytes()
+}
+
+func decodeJournalResponse(data []byte) (string, result, error) {
+	d := interp.NewDecoder(data)
+	id, err := d.Str()
+	if err != nil {
+		return "", result{}, err
+	}
+	v, err := d.Value()
+	if err != nil {
+		return "", result{}, err
+	}
+	errStr, err := d.Str()
+	if err != nil {
+		return "", result{}, err
+	}
+	return id, result{value: v, err: errStr}, nil
+}
+
+// JournalErrors reports journal append/sync failures (outcomes were still
+// delivered to callers, but are not guaranteed replayable).
+func (rt *Runtime) JournalErrors() int64 { return rt.journalErrs.Load() }
 
 // Close stops all workers, waits for them to drain, and fails every
 // request still pending with ErrClosed — an in-flight chain whose next hop
 // raced the shutdown can never produce a response, so its waiter must not
-// block forever.
+// block forever. The response journal, if any, is synced and closed last.
 func (rt *Runtime) Close() {
 	if rt.closed.Swap(true) {
 		return
@@ -191,6 +273,11 @@ func (rt *Runtime) Close() {
 		rt.complete(k.(string), result{fail: ErrClosed})
 		return true
 	})
+	if rt.journal != nil {
+		if err := rt.journal.Close(); err != nil {
+			rt.journalErrs.Add(1)
+		}
+	}
 }
 
 // Workers returns the number of partitions.
@@ -224,8 +311,22 @@ func (rt *Runtime) send(ev *core.Event) {
 
 // complete resolves a pending request exactly once: LoadAndDelete makes
 // worker delivery, Submit's shutdown re-check and Close's drain race
-// safely — whoever removes the entry completes it.
+// safely — whoever removes the entry completes it. Real outcomes (not
+// shutdown failures) are journaled — appended and fsynced — and
+// published to the replay map BEFORE the pending entry is released: a
+// duplicate SubmitWithID can therefore never slip between removal and
+// publication and re-execute a completed request (write-ahead at the
+// egress, idempotence preserved under races).
 func (rt *Runtime) complete(id string, r result) {
+	if rt.journal != nil && r.fail == nil {
+		if _, dup := rt.replay.LoadOrStore(id, r); !dup {
+			if err := rt.journal.Append(dlog.Record{Kind: journalResponse, Data: encodeJournalResponse(id, r)}); err != nil {
+				rt.journalErrs.Add(1)
+			} else if err := rt.journal.Sync(); err != nil {
+				rt.journalErrs.Add(1)
+			}
+		}
+	}
 	if p, ok := rt.pending.LoadAndDelete(id); ok {
 		p.(*Pending).complete(r)
 	}
@@ -233,13 +334,47 @@ func (rt *Runtime) complete(id string, r result) {
 
 // Submit sends an invocation without waiting and returns its future.
 func (rt *Runtime) Submit(class, key, method string, args ...interp.Value) *Pending {
-	id := fmt.Sprintf("live-%d", rt.nextReq.Add(1))
+	return rt.SubmitWithID("", class, key, method, args...)
+}
+
+// SubmitWithID is Submit with a caller-supplied stable request id (empty:
+// mint one). With the journal enabled, a supplied id whose outcome is
+// already journaled — by this incarnation or a previous one — is
+// answered from the journal without re-execution: the client-retry/
+// response-replay protocol of the simulated runtimes, carried over
+// process restarts. A supplied id currently in flight returns its
+// existing future (idempotent submit). Minted ids never consult the
+// journal (nobody can retry an id they have not seen) and carry an
+// incarnation prefix so they cannot collide with a previous process's
+// journaled ids.
+func (rt *Runtime) SubmitWithID(id, class, key, method string, args ...interp.Value) *Pending {
+	if id == "" {
+		id = fmt.Sprintf("live-%s%d", rt.incarnation, rt.nextReq.Add(1))
+	} else if r, ok := rt.replay.Load(id); ok {
+		p := newPending(id)
+		p.complete(r.(result))
+		return p
+	}
 	p := newPending(id)
 	if rt.closed.Load() {
 		p.complete(result{fail: ErrClosed})
 		return p
 	}
-	rt.pending.Store(id, p)
+	if prev, loaded := rt.pending.LoadOrStore(id, p); loaded {
+		return prev.(*Pending) // same id already in flight: share its future
+	}
+	// Re-check replay now that our pending entry is visible: complete()
+	// publishes the outcome before deleting the pending entry, so if the
+	// id completed between our first replay check and the store above,
+	// the outcome is guaranteed visible here — withdraw instead of
+	// re-executing. (If the completer already consumed our fresh entry,
+	// it resolved p with the same outcome; don't complete twice.)
+	if r, ok := rt.replay.Load(id); ok {
+		if _, mine := rt.pending.LoadAndDelete(id); mine {
+			p.complete(r.(result))
+		}
+		return p
+	}
 	rt.send(&core.Event{
 		Kind:   core.EvInvoke,
 		Req:    id,

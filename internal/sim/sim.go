@@ -36,11 +36,24 @@ type StartHandler interface {
 	OnStart(ctx *Context)
 }
 
+// RestartHandler is implemented by components that must rebuild volatile
+// state when they come back from a crash (e.g. a coordinator reloading
+// its durable log). OnRestart runs as a scheduled event immediately after
+// the Restart that revived the component — a reboot, not a message — and
+// is skipped if the component is crashed again before the event fires.
+type RestartHandler interface {
+	OnRestart(ctx *Context)
+}
+
 type component struct {
 	id        string
 	h         Handler
 	busyUntil time.Duration
 	crashed   bool
+	// booting marks a RestartHandler component whose reboot event is
+	// scheduled but has not run: the machine is still down, and any crash
+	// arriving meanwhile cancels the boot (the kill wins).
+	booting bool
 	// holdUntil pins the crashed flag until the given virtual time:
 	// Restart calls before it are ignored (a dead machine cannot be
 	// willed back by its peers; see CrashUntil).
@@ -114,6 +127,9 @@ type Cluster struct {
 	now     time.Duration
 	rng     *rand.Rand
 	perturb PerturbFunc
+	// crashWatch holds per-component crash observers (durable-storage
+	// models apply their device crash contract at the crash instant).
+	crashWatch map[string][]func(at time.Duration)
 	// Delivered counts total messages delivered, as a sanity metric.
 	Delivered uint64
 }
@@ -154,7 +170,7 @@ func (c *Cluster) Rand() *rand.Rand { return c.rng }
 // Restart. Used for failure-injection experiments.
 func (c *Cluster) Crash(id string) {
 	if comp, ok := c.comps[id]; ok {
-		comp.crashed = true
+		c.markCrashed(comp)
 	}
 }
 
@@ -165,11 +181,38 @@ func (c *Cluster) Crash(id string) {
 // someone actually calls Restart at or after that time.
 func (c *Cluster) CrashUntil(id string, until time.Duration) {
 	if comp, ok := c.comps[id]; ok {
-		comp.crashed = true
+		c.markCrashed(comp)
 		if until > comp.holdUntil {
 			comp.holdUntil = until
 		}
 	}
+}
+
+// markCrashed flips a component to crashed, notifying crash watchers on
+// the alive→dead transition only (a machine already dead cannot crash
+// harder; its attached storage already applied the contract). A crash —
+// even a redundant one — cancels any pending reboot: the machine never
+// came up, so a kill issued after the restart wins.
+func (c *Cluster) markCrashed(comp *component) {
+	comp.booting = false
+	if comp.crashed {
+		return
+	}
+	comp.crashed = true
+	for _, fn := range c.crashWatch[comp.id] {
+		fn(c.now)
+	}
+}
+
+// WatchCrash registers fn to run at the virtual instant id crashes (on
+// each alive→dead transition). Durable-storage models use it to apply
+// their crash contract — e.g. a dlog.SimLog losing its unsynced tail —
+// at the exact crash time rather than at the later restart.
+func (c *Cluster) WatchCrash(id string, fn func(at time.Duration)) {
+	if c.crashWatch == nil {
+		c.crashWatch = map[string][]func(at time.Duration){}
+	}
+	c.crashWatch[id] = append(c.crashWatch[id], fn)
 }
 
 // Restart clears the crashed flag; the component's handler decides how to
@@ -177,14 +220,43 @@ func (c *Cluster) CrashUntil(id string, until time.Duration) {
 // restart also resets busyUntil: pre-crash CPU backlog does not survive
 // the reboot. Restarting a component still held down by CrashUntil is a
 // no-op.
+//
+// If the component implements RestartHandler and was actually crashed,
+// the restart is a *reboot*: the component stays dead until a scheduled
+// boot event at the restart instant clears the crash flag and invokes
+// OnRestart — so no message queued for that same instant can slip into
+// the component ahead of its recovery, and a hold-down window re-imposed
+// before the boot suppresses it.
 func (c *Cluster) Restart(id string) {
-	if comp, ok := c.comps[id]; ok {
-		if c.now < comp.holdUntil {
-			return
-		}
+	comp, ok := c.comps[id]
+	if !ok {
+		return
+	}
+	if c.now < comp.holdUntil {
+		return
+	}
+	rh, hasHook := comp.h.(RestartHandler)
+	if !comp.crashed || !hasHook {
 		comp.crashed = false
 		comp.busyUntil = c.now
+		return
 	}
+	comp.booting = true
+	c.ScheduleAt(c.now, func(cl *Cluster) {
+		if !comp.booting {
+			return // re-killed before the boot completed, or already booted
+		}
+		if cl.now < comp.holdUntil {
+			return // crashed again (with a hold) before the boot completed
+		}
+		comp.booting = false
+		comp.crashed = false
+		comp.busyUntil = cl.now
+		ctx := &Context{cluster: cl, self: comp.id, effective: cl.now}
+		rh.OnRestart(ctx)
+		comp.busyUntil = ctx.effective
+		ctx.flush()
+	})
 }
 
 // IsCrashed reports crash status.

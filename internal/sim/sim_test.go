@@ -405,6 +405,161 @@ func TestPerturbDropDelayDuplicate(t *testing.T) {
 	c.SetPerturb(nil)
 }
 
+// rebooter records OnRestart invocations and sends a boot notice.
+type rebooter struct {
+	restarts []time.Duration
+}
+
+func (r *rebooter) OnMessage(ctx *Context, _ string, _ Message) {}
+
+func (r *rebooter) OnRestart(ctx *Context) {
+	r.restarts = append(r.restarts, ctx.Now())
+	ctx.Send("rec", ping{n: 100 + len(r.restarts)}, time.Millisecond)
+}
+
+// TestRestartHandlerFiresOnReboot: OnRestart runs exactly once per actual
+// crash→restart transition, at the restart instant, with a working
+// Context; a Restart of a component that never crashed does not fire it,
+// and neither does a Restart swallowed by a hold-down window.
+func TestRestartHandlerFiresOnReboot(t *testing.T) {
+	c := New(1)
+	rb := &rebooter{}
+	rec := &recorder{}
+	c.Add("rb", rb)
+	c.Add("rec", rec)
+	c.Restart("rb") // never crashed: no reboot
+	c.RunUntil(time.Millisecond)
+	if len(rb.restarts) != 0 {
+		t.Fatalf("OnRestart fired without a crash: %v", rb.restarts)
+	}
+	c.CrashUntil("rb", 10*time.Millisecond)
+	c.Restart("rb") // held down: ignored
+	c.RunUntil(10 * time.Millisecond)
+	if len(rb.restarts) != 0 {
+		t.Fatalf("OnRestart fired during hold-down: %v", rb.restarts)
+	}
+	c.Restart("rb")
+	c.RunUntil(20 * time.Millisecond)
+	if len(rb.restarts) != 1 || rb.restarts[0] != 10*time.Millisecond {
+		t.Fatalf("OnRestart invocations: %v, want one at 10ms", rb.restarts)
+	}
+	if len(rec.order) != 1 || rec.order[0] != 101 {
+		t.Fatalf("reboot hook sends not flushed: %v", rec.order)
+	}
+	// Second cycle fires again.
+	c.Crash("rb")
+	c.Restart("rb")
+	c.RunUntil(30 * time.Millisecond)
+	if len(rb.restarts) != 2 {
+		t.Fatalf("second reboot not observed: %v", rb.restarts)
+	}
+}
+
+// TestRestartHandlerSkippedWhenRecrashed: a new hold-down window imposed
+// between the Restart and its scheduled boot event suppresses the boot
+// (the fault schedule killed the machine again before it came up), and
+// the component stays dead until a later restart succeeds.
+func TestRestartHandlerSkippedWhenRecrashed(t *testing.T) {
+	c := New(1)
+	rb := &rebooter{}
+	c.Add("rb", rb)
+	c.Add("rec", &recorder{})
+	c.RunUntil(time.Millisecond)
+	c.Crash("rb")
+	c.Restart("rb")
+	c.CrashUntil("rb", 20*time.Millisecond) // dies again before the boot event runs
+	c.RunUntil(10 * time.Millisecond)
+	if len(rb.restarts) != 0 {
+		t.Fatalf("boot ran on a re-crashed component: %v", rb.restarts)
+	}
+	if !c.IsCrashed("rb") {
+		t.Fatal("component must stay dead until a post-hold restart")
+	}
+	c.RunUntil(20 * time.Millisecond)
+	c.Restart("rb")
+	c.RunUntil(30 * time.Millisecond)
+	if len(rb.restarts) != 1 {
+		t.Fatalf("post-hold restart did not boot: %v", rb.restarts)
+	}
+}
+
+// TestRestartHandlerCrashCancelsPendingBoot: a plain Crash (no hold)
+// issued between a Restart and its scheduled boot event wins — the
+// machine never came up, so the boot is cancelled and the component
+// stays dead until a later restart.
+func TestRestartHandlerCrashCancelsPendingBoot(t *testing.T) {
+	c := New(1)
+	rb := &rebooter{}
+	c.Add("rb", rb)
+	c.Add("rec", &recorder{})
+	c.RunUntil(time.Millisecond)
+	c.Crash("rb")
+	c.Restart("rb")
+	c.Crash("rb") // re-killed before the boot event runs
+	c.RunUntil(10 * time.Millisecond)
+	if len(rb.restarts) != 0 {
+		t.Fatalf("boot ran despite the later kill: %v", rb.restarts)
+	}
+	if !c.IsCrashed("rb") {
+		t.Fatal("component must stay dead after the boot was cancelled")
+	}
+	c.Restart("rb")
+	c.RunUntil(20 * time.Millisecond)
+	if len(rb.restarts) != 1 {
+		t.Fatalf("later restart did not boot: %v", rb.restarts)
+	}
+}
+
+// TestRestartHandlerBlocksSameInstantDeliveries: a message landing at the
+// exact restart instant (queued before the boot event) is dropped — the
+// machine is up only once its boot completed, so no delivery can observe
+// pre-reset state.
+func TestRestartHandlerBlocksSameInstantDeliveries(t *testing.T) {
+	c := New(1)
+	rb := &rebooter{}
+	rec := &recorder{}
+	c.Add("rb", rb)
+	c.Add("rec", rec)
+	c.RunUntil(time.Millisecond)
+	c.Crash("rb")
+	// Schedule the restart, then queue a delivery for the same instant:
+	// the ping's sequence number falls between the restart action and the
+	// boot event it schedules, so it reaches the component mid-reboot.
+	c.ScheduleAt(5*time.Millisecond, func(cl *Cluster) { cl.Restart("rb") })
+	c.Inject(5*time.Millisecond, "t", "rb", ping{n: 1})
+	c.RunUntil(10 * time.Millisecond)
+	if len(rb.restarts) != 1 {
+		t.Fatalf("boot did not run: %v", rb.restarts)
+	}
+	// The ping at the restart instant must have been dropped (it would
+	// have been handled with pre-boot state); later traffic flows.
+	c.Inject(c.Now(), "t", "rb", ping{n: 2})
+	c.RunUntil(20 * time.Millisecond)
+	if c.Delivered != 2 { // boot notice to rec + post-boot ping
+		t.Fatalf("deliveries: %d (same-instant pre-boot message must be dropped)", c.Delivered)
+	}
+}
+
+// TestWatchCrashFiresAtCrashInstant: crash watchers observe the exact
+// virtual crash time, once per alive→dead transition.
+func TestWatchCrashFiresAtCrashInstant(t *testing.T) {
+	c := New(1)
+	c.Add("rec", &recorder{})
+	var seen []time.Duration
+	c.WatchCrash("rec", func(at time.Duration) { seen = append(seen, at) })
+	c.RunUntil(3 * time.Millisecond)
+	c.Crash("rec")
+	c.Crash("rec")                          // already dead: no second notification
+	c.CrashUntil("rec", 9*time.Millisecond) // still dead: no notification
+	c.RunUntil(9 * time.Millisecond)
+	c.Restart("rec")
+	c.RunUntil(12 * time.Millisecond)
+	c.CrashUntil("rec", 15*time.Millisecond)
+	if len(seen) != 2 || seen[0] != 3*time.Millisecond || seen[1] != 12*time.Millisecond {
+		t.Fatalf("crash notifications: %v, want [3ms 12ms]", seen)
+	}
+}
+
 func TestDeliveredCount(t *testing.T) {
 	c := New(1)
 	c.Add("rec", &recorder{})

@@ -165,9 +165,61 @@ func (s *Store) Workers(id int64) []string {
 	return out
 }
 
-// Count returns the number of snapshots taken.
+// Count returns the number of snapshots ever begun — a stable id bound
+// (snapshot ids are 1..Count) that compaction does not shrink.
 func (s *Store) Count() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return int(s.nextID)
+}
+
+// Retained returns the number of snapshots still held (Count minus the
+// ones Compact retired).
+func (s *Store) Retained() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return len(s.metas)
+}
+
+// Compact retires old snapshots, keeping the newest keep complete ones
+// (and everything newer than the oldest of those, complete or torn — a
+// torn cut younger than a retained restore point still documents a
+// failure under investigation). Recovery only ever restores the latest
+// complete snapshot, so compaction never removes a restore target; it
+// bounds the store the way log compaction bounds the dlog. keep <= 0 is
+// a no-op. It returns the number of snapshots retired.
+func (s *Store) Compact(keep int) int {
+	if keep <= 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Find the keep-th newest complete snapshot; everything older goes.
+	complete := 0
+	cutoff := int64(-1)
+	for i := len(s.metas) - 1; i >= 0; i-- {
+		m := s.metas[i]
+		if m.Expected == 0 || len(s.images[m.ID]) >= m.Expected {
+			complete++
+			if complete == keep {
+				cutoff = m.ID
+				break
+			}
+		}
+	}
+	if cutoff < 0 {
+		return 0 // fewer complete snapshots than the budget: keep all
+	}
+	kept := s.metas[:0]
+	retired := 0
+	for _, m := range s.metas {
+		if m.ID < cutoff {
+			delete(s.images, m.ID)
+			retired++
+			continue
+		}
+		kept = append(kept, m)
+	}
+	s.metas = kept
+	return retired
 }

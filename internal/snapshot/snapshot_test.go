@@ -166,3 +166,56 @@ func TestWriteIsFirstWriteWins(t *testing.T) {
 		t.Fatalf("bytes re-accounted on duplicate write: %v", meta.Bytes)
 	}
 }
+
+// Compact retires old snapshots while preserving the newest complete
+// restore points, skipping over torn cuts, and keeping Count (the id
+// bound) stable.
+func TestCompactRetiresOldSnapshots(t *testing.T) {
+	s := NewStore(nil)
+	var ids []int64
+	for i := 0; i < 6; i++ {
+		id := s.BeginWithPending(int64(i), nil, nil, 1)
+		if err := s.Write(id, "w0", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	torn := s.BeginWithPending(6, nil, nil, 2) // one image missing: torn forever
+	if err := s.Write(torn, "w0", []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := s.Compact(0); got != 0 {
+		t.Fatalf("Compact(0) retired %d", got)
+	}
+	retired := s.Compact(2)
+	if retired != 4 {
+		t.Fatalf("retired %d snapshots, want 4", retired)
+	}
+	if s.Count() != 7 {
+		t.Fatalf("Count changed to %d", s.Count())
+	}
+	if s.Retained() != 3 { // 2 complete + the newer torn one
+		t.Fatalf("retained %d", s.Retained())
+	}
+	// The newest complete snapshot is still restorable; retired ones are
+	// gone.
+	latest, ok := s.Latest()
+	if !ok || latest.ID != ids[5] {
+		t.Fatalf("latest after compact: %+v ok=%v", latest, ok)
+	}
+	if _, ok := s.Read(ids[5], "w0"); !ok {
+		t.Fatal("latest complete snapshot lost its image")
+	}
+	if _, ok := s.Read(ids[0], "w0"); ok {
+		t.Fatal("retired snapshot still readable")
+	}
+	if _, ok := s.Get(ids[1]); ok {
+		t.Fatal("retired meta still present")
+	}
+	// A second compaction with a bigger budget than complete snapshots
+	// keeps everything.
+	if got := s.Compact(5); got != 0 {
+		t.Fatalf("over-budget compact retired %d", got)
+	}
+}

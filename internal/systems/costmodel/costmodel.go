@@ -32,6 +32,14 @@ type Costs struct {
 	CommitCPU      time.Duration // per-transaction validation/commit work
 	BrokerCPU      time.Duration // broker work per produced/consumed record
 
+	// Durable-log (coordinator WAL) costs.
+	LogAppendCPU time.Duration // encode + buffered append of one record
+	LogSyncCPU   time.Duration // blocking fsync (epoch records, checkpoints)
+	// LogGroupDelay is the group-commit window: responses release when the
+	// batched fsync covering their delivered-records completes, this long
+	// after the batch applied.
+	LogGroupDelay time.Duration
+
 	// MaxStateBytes caps the per-event state cost accounting (guards the
 	// simulation against pathological states).
 	MaxStateBytes int
@@ -60,6 +68,12 @@ func Default() Costs {
 		StateByteCPU:  4 * time.Nanosecond,
 		CommitCPU:     8 * time.Microsecond,
 		BrokerCPU:     12 * time.Microsecond,
+		// WAL: appends hit the page cache; the blocking fsync cost and the
+		// group-commit window are calibrated to a datacenter NVMe device
+		// (sequential append, one flush per batch).
+		LogAppendCPU:  2 * time.Microsecond,
+		LogSyncCPU:    30 * time.Microsecond,
+		LogGroupDelay: 800 * time.Microsecond,
 		MaxStateBytes: 1 << 20,
 	}
 }

@@ -1,9 +1,20 @@
 // The StateFlow coordinator: combines the ingress router (request intake,
 // replayable source, TID assignment), the Aria batch sequencer (epoch
 // close, prepare/vote/decide), the snapshot trigger, the failure detector
-// and the egress router (deduplicated client responses). The paper's
-// deployment dedicates a single core to it ("StateFlow requires a single
-// core coordinator", §4).
+// and the egress router (deduplicated client responses with durable
+// response-replay). The paper's deployment dedicates a single core to it
+// ("StateFlow requires a single core coordinator", §4).
+//
+// Crash safety: the coordinator journals its protocol-critical state to a
+// durable append log (internal/dlog) — epoch advances are fsynced before
+// any message of the new epoch leaves the node, released responses are
+// group-committed before they are sent, and checkpoints (folded into the
+// aligned-snapshot cadence) compact the log and prune the dedup maps.
+// After a crash, OnRestart rebuilds exactly the facts the exactly-once
+// contract depends on (epoch high-water mark, delivered responses) and
+// runs the ordinary snapshot-rollback recovery; everything else (seen-set,
+// cursor, pending retries) is reconstructed from the replayable source
+// and the snapshot metadata, which are durable by their own contracts.
 package stateflow
 
 import (
@@ -38,6 +49,16 @@ type txnState struct {
 	err      string
 }
 
+// stagedResponse is a response whose delivered-record is appended but
+// whose covering group-commit sync has not completed: it must not be sent
+// (write-ahead: a response a client saw must be recoverable) and is
+// released by the msgLogSynced that confirms durability.
+type stagedResponse struct {
+	lsn     int64
+	replyTo string
+	ent     deliveredEntry
+}
+
 // Coordinator is the StateFlow coordinator node.
 type Coordinator struct {
 	sys *System
@@ -69,15 +90,27 @@ type Coordinator struct {
 	recovered  map[string]bool
 	snapshotID int64
 
-	// delivered dedupes client responses across recovery replays
-	// (exactly-once output at the system border).
-	delivered map[string]bool
+	// delivered is the egress state: per answered request, the full
+	// response, its release time and source position. It dedupes client
+	// responses across recovery replays (exactly-once output at the system
+	// border) and re-serves the recorded response to a retrying client
+	// whose copy was lost. Durable: rebuilt from the dlog on restart,
+	// compacted into checkpoints, pruned by the retention window.
+	delivered map[string]deliveredEntry
 
 	// seen dedupes request arrivals by id before they reach the source
 	// log (exactly-once input at the system border: a duplicated client
-	// send — e.g. a transport retry, or chaos duplication — must not
-	// become a second transaction).
+	// send — a transport retry, or chaos duplication — must not become a
+	// second transaction). Volatile: rebuilt at recovery from delivered +
+	// snapshot pending positions + the source-log suffix, which together
+	// cover every id still inside the dedup window.
 	seen map[string]bool
+
+	// staged responses awaiting their group-commit sync, FIFO by LSN;
+	// stagedIDs guards against re-staging when a stall-triggered recovery
+	// replays a transaction whose response is already in the pipeline.
+	staged    []stagedResponse
+	stagedIDs map[string]bool
 
 	// progress counts accepted worker messages; the failure detector
 	// compares it against the value captured when a stall check was
@@ -91,6 +124,12 @@ type Coordinator struct {
 	Failures     int // transactions that exhausted retries
 	Recoveries   int
 	EpochsClosed int
+	// Restarts counts coordinator reboots (crash recoveries via the
+	// durable log), a subset of Recoveries.
+	Restarts int
+	// Replays counts responses re-served from the durable egress buffer
+	// to retrying clients.
+	Replays int
 	// RestoredSnapshots records, per recovery, the snapshot id it rolled
 	// back to (0: reset to empty) — tests assert every restored id was a
 	// complete snapshot.
@@ -109,8 +148,9 @@ func newCoordinator(sys *System) *Coordinator {
 		sys:       sys,
 		phase:     phaseOpen,
 		batch:     map[aria.TID]*txnState{},
-		delivered: map[string]bool{},
+		delivered: map[string]deliveredEntry{},
 		seen:      map[string]bool{},
+		stagedIDs: map[string]bool{},
 	}
 }
 
@@ -134,6 +174,8 @@ func (c *Coordinator) OnMessage(ctx *sim.Context, from string, msg sim.Message) 
 		c.onApplied(ctx, from, m)
 	case msgSnapshotDone:
 		c.onSnapshotDone(ctx, from, m)
+	case msgLogSynced:
+		c.onLogSynced(ctx, m)
 	case msgStallCheck:
 		c.onStallCheck(ctx, m)
 	case msgRecovered:
@@ -141,24 +183,40 @@ func (c *Coordinator) OnMessage(ctx *sim.Context, from string, msg sim.Message) 
 	}
 }
 
+// batchFull reports whether the open batch reached the configured cap.
+func (c *Coordinator) batchFull() bool {
+	return c.sys.cfg.MaxBatch > 0 && len(c.batch) >= c.sys.cfg.MaxBatch
+}
+
 // onRequest appends the arrival to the replayable source log, then either
-// assigns it into the open batch or buffers it.
+// assigns it into the open batch or buffers it. A request whose response
+// was already released is answered from the durable egress buffer instead
+// (response replay: the client is retrying because its copy was lost).
 func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 	ctx.Work(c.sys.cfg.Costs.RoutingCPU)
-	if c.seen[m.Request.Req] {
-		return // duplicate send; already logged (idempotent-producer model)
+	id := m.Request.Req
+	if ent, ok := c.delivered[id]; ok {
+		if m.ReplyTo != "" {
+			c.Replays++
+			ctx.Send(m.ReplyTo, sysapi.MsgResponse{Response: ent.resp},
+				c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		}
+		return
 	}
-	_, pos, err := c.sys.RequestLog.Produce(sourceTopic, m.Request.Req, m)
+	if c.seen[id] {
+		return // duplicate send of an in-flight request; already logged
+	}
+	_, pos, err := c.sys.RequestLog.Produce(sourceTopic, id, m)
 	if err != nil {
 		return
 	}
-	c.seen[m.Request.Req] = true
-	if c.phase == phaseOpen {
+	c.seen[id] = true
+	if c.phase == phaseOpen && !c.batchFull() {
 		c.consumed++
 		c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
 	}
-	// Otherwise the record waits in the log; it is drained when the next
-	// batch opens.
+	// Otherwise the record waits in the log; it is drained when a batch
+	// with capacity opens.
 }
 
 // assign gives a request a TID in the open batch and dispatches its first
@@ -281,7 +339,8 @@ func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
 }
 
 // onApplied finishes the batch once every worker installed it: responses
-// release, conflict-aborted transactions retry, and the next batch opens.
+// stage onto the durable log's group commit, conflict-aborted
+// transactions retry, and the next batch opens.
 func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 	if m.Epoch != c.epoch || c.phase != phaseApply {
 		return
@@ -300,14 +359,14 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 		case t.err != "":
 			// Application error: definitive, no retry.
 			c.Failures++
-			c.respond(ctx, t.replyTo, sysapi.Response{
+			c.respond(ctx, t, sysapi.Response{
 				Req: t.req.Req, Err: t.err, Retries: t.retries,
 			})
 		case c.unionAbort[tid]:
 			c.Aborts++
 			if t.retries+1 > c.sys.cfg.MaxRetries {
 				c.Failures++
-				c.respond(ctx, t.replyTo, sysapi.Response{
+				c.respond(ctx, t, sysapi.Response{
 					Req: t.req.Req, Err: "transaction aborted: retry budget exhausted",
 					Retries: t.retries,
 				})
@@ -318,11 +377,12 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 			})
 		default:
 			c.Commits++
-			c.respond(ctx, t.replyTo, sysapi.Response{
+			c.respond(ctx, t, sysapi.Response{
 				Req: t.req.Req, Value: t.value, Retries: t.retries,
 			})
 		}
 	}
+	c.groupCommit(ctx)
 	c.EpochsClosed++
 	if c.sys.cfg.SnapshotEvery > 0 && c.EpochsClosed%c.sys.cfg.SnapshotEvery == 0 {
 		c.startSnapshot(ctx)
@@ -331,13 +391,77 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 	c.openNextBatch(ctx)
 }
 
-func (c *Coordinator) respond(ctx *sim.Context, replyTo string, resp sysapi.Response) {
-	if replyTo == "" || c.delivered[resp.Req] {
+// respond releases one request's terminal response. Without a durable log
+// it is sent immediately (legacy in-memory mode); with one, the response
+// is staged: its delivered-record is appended and the send waits for the
+// group-commit sync, so a response a client could have seen is always in
+// the recoverable prefix.
+func (c *Coordinator) respond(ctx *sim.Context, t *txnState, resp sysapi.Response) {
+	if t.replyTo == "" {
 		return
 	}
-	c.delivered[resp.Req] = true
-	ctx.Send(replyTo, sysapi.MsgResponse{Response: resp},
-		c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+	id := resp.Req
+	if _, done := c.delivered[id]; done {
+		return
+	}
+	ent := deliveredEntry{resp: resp, at: ctx.Now(), pos: t.pos}
+	if c.sys.Dlog == nil {
+		c.delivered[id] = ent
+		ctx.Send(t.replyTo, sysapi.MsgResponse{Response: resp},
+			c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		return
+	}
+	if c.stagedIDs[id] {
+		return // already in the pipeline (a stall recovery replayed its txn)
+	}
+	ctx.Work(c.sys.cfg.Costs.LogAppendCPU)
+	lsn := c.sys.Dlog.Append(encodeDeliveredRecord(id, ent))
+	c.staged = append(c.staged, stagedResponse{lsn: lsn, replyTo: t.replyTo, ent: ent})
+	c.stagedIDs[id] = true
+}
+
+// groupCommit issues one batched sync covering every response staged so
+// far and schedules the release at its completion — one fsync per batch,
+// not per response.
+func (c *Coordinator) groupCommit(ctx *sim.Context) {
+	if c.sys.Dlog == nil || len(c.staged) == 0 {
+		return
+	}
+	delay := c.sys.cfg.Costs.LogGroupDelay
+	upTo := c.sys.Dlog.SyncAt(ctx.Now() + delay)
+	ctx.After(delay, msgLogSynced{UpTo: upTo})
+}
+
+// onLogSynced releases every staged response the completed sync covers:
+// the delivered-records are durable, so the responses may now be seen by
+// clients. Deliberately not epoch- or phase-guarded — released state is
+// from durably committed batches, valid across concurrent recoveries.
+func (c *Coordinator) onLogSynced(ctx *sim.Context, m msgLogSynced) {
+	n := 0
+	for n < len(c.staged) && c.staged[n].lsn <= m.UpTo {
+		s := c.staged[n]
+		id := s.ent.resp.Req
+		c.delivered[id] = s.ent
+		delete(c.stagedIDs, id)
+		ctx.Send(s.replyTo, sysapi.MsgResponse{Response: s.ent.resp},
+			c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		n++
+	}
+	c.staged = c.staged[n:]
+}
+
+// logEpochSync durably records an epoch advance before any message of the
+// new epoch leaves the coordinator (blocking fsync: the view-change guard
+// is only sound if a restart recovers an epoch >= every epoch ever
+// spoken).
+func (c *Coordinator) logEpochSync(ctx *sim.Context) {
+	if c.sys.Dlog == nil {
+		return
+	}
+	ctx.Work(c.sys.cfg.Costs.LogAppendCPU)
+	c.sys.Dlog.Append(encodeEpochRecord(c.epoch))
+	ctx.Work(c.sys.cfg.Costs.LogSyncCPU)
+	c.sys.Dlog.SyncNow(ctx.Now())
 }
 
 // startSnapshot persists an aligned snapshot: the epoch boundary is the
@@ -373,28 +497,86 @@ func (c *Coordinator) onSnapshotDone(ctx *sim.Context, from string, m msgSnapsho
 	if len(c.snapDone) < len(c.sys.workerIDs) {
 		return
 	}
+	c.writeCheckpoint(ctx)
 	c.openNextBatch(ctx)
 }
 
-// openNextBatch advances the epoch, drains buffered arrivals and retries,
-// and rearms the epoch timer.
+// writeCheckpoint folds the coordinator's durable state into a dlog
+// checkpoint, compacting the log, pruning the dedup maps, and retiring
+// old snapshots. Runs when an aligned snapshot completes, so the
+// checkpoint's prune bound (the snapshot's source offset) is fresh.
+func (c *Coordinator) writeCheckpoint(ctx *sim.Context) {
+	if c.sys.Dlog == nil {
+		return
+	}
+	// Prune settled dedup state: an entry may leave the maps once (a) its
+	// release is older than the retention window, so no client retry or
+	// delayed wire duplicate can still name it, and (b) its source
+	// position precedes the just-completed snapshot's offset, so no
+	// recovery replay can re-execute it (a replayed transaction without
+	// its delivered-entry would re-send its response).
+	if retention := c.sys.cfg.DedupRetention; retention > 0 {
+		offset := int64(0)
+		if meta, ok := c.sys.Snapshots.Get(c.snapshotID); ok {
+			offset = meta.SourceOffsets[sourceTopic][0]
+		}
+		for id, ent := range c.delivered {
+			if ent.at+retention <= ctx.Now() && ent.pos < offset {
+				delete(c.delivered, id)
+				delete(c.seen, id)
+			}
+		}
+	}
+	// Staged-but-unreleased responses are durable facts too (their records
+	// are about to be compacted away): bake them into the checkpoint so a
+	// later crash still suppresses their replays — the un-sent responses
+	// are then served via retry replay.
+	ck := walCheckpoint{epoch: c.epoch, nextTID: c.nextTID, delivered: c.delivered}
+	if len(c.staged) > 0 {
+		merged := make(map[string]deliveredEntry, len(c.delivered)+len(c.staged))
+		for id, ent := range c.delivered {
+			merged[id] = ent
+		}
+		for _, s := range c.staged {
+			merged[s.ent.resp.Req] = s.ent
+		}
+		ck.delivered = merged
+	}
+	payload := encodeCheckpoint(ck)
+	ctx.Work(c.sys.cfg.Costs.StateCPU(len(payload)) + c.sys.cfg.Costs.LogSyncCPU)
+	c.sys.Dlog.Checkpoint(ctx.Now(), payload)
+	if retain := c.sys.cfg.SnapshotRetain; retain > 0 {
+		c.sys.Snapshots.Compact(retain)
+	}
+}
+
+// openNextBatch advances the epoch (durably), drains buffered arrivals
+// and retries up to the batch cap, and rearms the epoch timer.
 func (c *Coordinator) openNextBatch(ctx *sim.Context) {
 	c.epoch++
+	c.logEpochSync(ctx)
 	c.phase = phaseOpen
 	c.batch = map[aria.TID]*txnState{}
 	c.order = nil
 	c.unfinished = 0
 	// Retries first (deterministic: they carry the smallest TIDs of the
-	// new batch, so starved transactions eventually win every conflict).
+	// new batch, so starved transactions eventually win every conflict);
+	// past the cap they stay pending, ahead of the source backlog.
 	pend := c.pending
 	c.pending = nil
-	for _, p := range pend {
+	for i, p := range pend {
+		if c.batchFull() {
+			c.pending = append(c.pending, pend[i:]...)
+			break
+		}
 		c.assign(ctx, p)
 	}
-	// Then drain arrivals buffered in the source log.
+	// Then drain arrivals buffered in the source log, chunked by the cap:
+	// a post-recovery backlog replays over as many batches as it needs
+	// instead of ballooning one giant batch.
 	end, err := c.sys.RequestLog.End(sourceTopic, 0)
 	if err == nil {
-		for ; c.consumed < end; c.consumed++ {
+		for ; c.consumed < end && !c.batchFull(); c.consumed++ {
 			rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, c.consumed)
 			if err != nil || !ok {
 				break
@@ -432,8 +614,10 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	// message of the discarded world — in-flight events, votes, delayed
 	// snapshot requests — provably stale to any worker that processes the
 	// recovery, with no global knowledge required (workers just keep an
-	// epoch high-water mark).
+	// epoch high-water mark). The bump is fsynced before the recover
+	// messages leave, so even a crash right here cannot fork the view.
 	c.epoch++
+	c.logEpochSync(ctx)
 	// The recovery phase is itself failure-guarded: if a recover message
 	// is lost (or a worker dies again mid-restore), the stall check fires
 	// and recovery restarts from the same snapshot — Recover is
@@ -463,6 +647,7 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	c.batch = map[aria.TID]*txnState{}
 	c.order = nil
 	c.unfinished = 0
+	c.rebuildSeen()
 	c.recovered = map[string]bool{}
 	c.snapshotID = snapID
 	c.RestoredSnapshots = append(c.RestoredSnapshots, snapID)
@@ -476,6 +661,91 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 		ctx.Send(w, msgRecover{SnapshotID: snapID, Epoch: c.epoch},
 			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
+}
+
+// rebuildSeen reconstructs the arrival-dedup set from durable ground
+// truth: every delivered (or staged) response, every pending retry the
+// snapshot recorded, and every id in the source-log suffix the replay
+// will re-consume. Ids pruned by the retention window stay pruned —
+// that IS the dedup window contract.
+func (c *Coordinator) rebuildSeen() {
+	seen := make(map[string]bool, len(c.delivered)+len(c.pending))
+	for id := range c.delivered {
+		seen[id] = true
+	}
+	for id := range c.stagedIDs {
+		seen[id] = true
+	}
+	for _, p := range c.pending {
+		seen[p.req.Req] = true
+	}
+	if end, err := c.sys.RequestLog.End(sourceTopic, 0); err == nil {
+		for pos := c.consumed; pos < end; pos++ {
+			rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, pos)
+			if err != nil || !ok {
+				break
+			}
+			if m, ok := rec.Payload.(sysapi.MsgRequest); ok {
+				seen[m.Request.Req] = true
+			}
+		}
+	}
+	c.seen = seen
+}
+
+// OnRestart implements sim.RestartHandler: the coordinator machine came
+// back from a crash with its memory gone. Rebuild the durable facts from
+// the dlog (epoch high-water mark, delivered responses — exactly what
+// exactly-once needs), then run the ordinary rollback recovery for
+// everything else. Torn log tails were already discarded by the device's
+// crash contract; write-ahead ordering guarantees nothing torn was ever
+// externalized.
+func (c *Coordinator) OnRestart(ctx *sim.Context) {
+	if c.sys.Dlog == nil {
+		// No durable log, no crash contract: the chaos topology clamps
+		// coordinator crash windows in this mode. A forced restart
+		// recovers with whatever in-memory state happens to survive the
+		// test harness (the Go object), purely best-effort.
+		c.Recover(ctx)
+		return
+	}
+	c.Restarts++
+	img := c.sys.Dlog.Recover(ctx.Now())
+	ck, err := decodeCheckpoint(img.Checkpoint)
+	if err != nil {
+		// A durable checkpoint is written atomically; a decode failure
+		// means corruption outside the crash contract. Start from zero —
+		// the replayable source and snapshots still bound the damage.
+		ck = walCheckpoint{delivered: map[string]deliveredEntry{}}
+	}
+	c.phase = phaseOpen
+	c.batch = map[aria.TID]*txnState{}
+	c.order = nil
+	c.unfinished = 0
+	c.pending = nil
+	c.votes, c.unionAbort, c.applied, c.snapDone, c.recovered = nil, nil, nil, nil, nil
+	c.staged = nil
+	c.stagedIDs = map[string]bool{}
+	c.seen = map[string]bool{}
+	c.progress = 0
+	c.epoch = ck.epoch
+	c.nextTID = ck.nextTID
+	c.delivered = ck.delivered
+	ctx.Work(c.sys.cfg.Costs.LogSyncCPU)
+	for _, r := range img.Records {
+		ctx.Work(c.sys.cfg.Costs.LogAppendCPU)
+		switch r.Kind {
+		case recKindEpoch:
+			if e, err := decodeEpochRecord(r.Data); err == nil && e > c.epoch {
+				c.epoch = e
+			}
+		case recKindDelivered:
+			if id, ent, err := decodeDeliveredRecord(r.Data); err == nil {
+				c.delivered[id] = ent
+			}
+		}
+	}
+	c.Recover(ctx)
 }
 
 func (c *Coordinator) onRecovered(ctx *sim.Context, from string, m msgRecovered) {

@@ -1,0 +1,366 @@
+package stateflow
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/chaos"
+	"statefulentities.dev/stateflow/internal/compiler"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+)
+
+// durableFixture is the bank scenario with a retrying, delivery-counting
+// client: the client edge the durable coordinator's contract assumes.
+// Transfers circulate over `accounts` accounts; with n a multiple of
+// accounts, every balance returns to 100 iff effects are exactly-once.
+type durableFixture struct {
+	cluster  *sim.Cluster
+	sys      *System
+	client   *countingClient
+	accounts int
+}
+
+func newDurableFixture(t *testing.T, seed int64, cfg Config, n, accounts int) *durableFixture {
+	t.Helper()
+	if n%accounts != 0 {
+		t.Fatalf("fixture invariant: %d transfers around a %d-cycle do not conserve per-account balances", n, accounts)
+	}
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	var script []sysapi.Scheduled
+	for i := 0; i < n; i++ {
+		script = append(script, sysapi.Scheduled{
+			At:  time.Duration(i+1) * 5 * time.Millisecond,
+			Req: transferReq(fmt.Sprintf("t%d", i), acct(i%accounts), acct((i+1)%accounts), 1),
+		})
+	}
+	cluster := sim.New(seed)
+	sys := New(cluster, prog, cfg)
+	for i := 0; i < accounts; i++ {
+		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	sys.CheckpointPreloadedState()
+	inner := sysapi.NewScriptClient("client", sys, script)
+	inner.RetryEvery = 20 * time.Millisecond
+	client := &countingClient{inner: inner, Deliveries: map[string]int{}}
+	cluster.Add("client", client)
+	return &durableFixture{cluster: cluster, sys: sys, client: client, accounts: accounts}
+}
+
+// assertExactlyOnceEffective checks the client-edge contract under
+// retries: every request answered without error, every raw delivery
+// explained (one original plus at most one replay per retry the client
+// sent), and every balance conserved.
+func (f *durableFixture) assertExactlyOnceEffective(t *testing.T, n int) {
+	t.Helper()
+	if f.client.inner.Done != n {
+		t.Fatalf("responses: %d/%d", f.client.inner.Done, n)
+	}
+	for id, resp := range f.client.inner.Responses {
+		if resp.Err != "" {
+			t.Fatalf("request %s failed: %s", id, resp.Err)
+		}
+	}
+	for id, count := range f.client.Deliveries {
+		if allowed := 1 + f.client.inner.Retries[id]; count > allowed {
+			t.Fatalf("request %s delivered %d times with %d retries (unsolicited duplicate)",
+				id, count, f.client.inner.Retries[id])
+		}
+	}
+	for i := 0; i < f.accounts; i++ {
+		if got := balance(t, f.sys, acct(i)); got != 100 {
+			t.Fatalf("%s: balance %d, want 100 (lost or duplicated effects)", acct(i), got)
+		}
+	}
+}
+
+// TestCoordinatorCrashRecoversExactlyOnce kills the coordinator cold in
+// the middle of the run (scheduled window, like the chaos engine's) and
+// requires the durable-log reboot to preserve the full contract: every
+// request eventually answered exactly-once-effectively, balances
+// conserved, and the reboot actually exercised (Restarts, dlog recovery).
+func TestCoordinatorCrashRecoversExactlyOnce(t *testing.T) {
+	const n = 24
+	for _, seedCase := range []struct {
+		seed    int64
+		crashAt time.Duration
+	}{
+		{7, 23 * time.Millisecond},
+		{8, 41 * time.Millisecond},
+		{9, 62 * time.Millisecond},
+		{10, 87 * time.Millisecond},
+	} {
+		cfg := DefaultConfig()
+		cfg.SnapshotEvery = 2
+		cfg.EpochInterval = 10 * time.Millisecond
+		f := newDurableFixture(t, seedCase.seed, cfg, n, 4)
+		down := 15 * time.Millisecond
+		end := seedCase.crashAt + down
+		f.cluster.ScheduleAt(seedCase.crashAt, func(c *sim.Cluster) { c.CrashUntil("sf-coord", end) })
+		f.cluster.ScheduleAt(end, func(c *sim.Cluster) { c.Restart("sf-coord") })
+		f.cluster.Start()
+		f.cluster.RunUntil(20 * time.Second)
+
+		coord := f.sys.Coordinator()
+		if coord.Restarts == 0 {
+			t.Fatalf("seed %d crash@%s: coordinator never rebooted", seedCase.seed, seedCase.crashAt)
+		}
+		f.assertExactlyOnceEffective(t, n)
+		if got := f.sys.Dlog.Stats(); got.Appends == 0 || got.Syncs == 0 {
+			t.Fatalf("seed %d: durable log never exercised: %+v", seedCase.seed, got)
+		}
+	}
+}
+
+// TestCoordinatorCrashMidGroupCommit pins the torn-tail window: the
+// coordinator dies after staging responses but before their group-commit
+// sync completes. The staged records tear (never replayed), the responses
+// were never sent, and the recovery re-executes and answers each request
+// exactly once.
+func TestCoordinatorCrashMidGroupCommit(t *testing.T) {
+	const n = 24
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 2
+	cfg.EpochInterval = 10 * time.Millisecond
+	f := newDurableFixture(t, 42, cfg, n, 4)
+	f.cluster.Start()
+
+	// Step finely until responses are staged awaiting their sync, then
+	// kill the coordinator at that exact instant.
+	for i := 0; ; i++ {
+		if len(f.sys.coord.staged) > 0 {
+			break
+		}
+		if i > 200_000 {
+			t.Fatal("never caught the coordinator with staged responses")
+		}
+		f.cluster.RunUntil(f.cluster.Now() + 20*time.Microsecond)
+	}
+	staged := len(f.sys.coord.staged)
+	f.cluster.Crash("sf-coord")
+	f.cluster.RunUntil(f.cluster.Now() + 30*time.Millisecond)
+	f.cluster.Restart("sf-coord")
+	f.cluster.RunUntil(20 * time.Second)
+
+	if f.sys.Coordinator().Restarts != 1 {
+		t.Fatalf("restarts: %d", f.sys.Coordinator().Restarts)
+	}
+	if got := f.sys.Dlog.Stats().TornTails; got == 0 {
+		t.Fatalf("crash over %d staged responses tore no log tail", staged)
+	}
+	f.assertExactlyOnceEffective(t, n)
+}
+
+// TestResponseDropReplayServesRetry un-clamps the client edge by hand:
+// every coordinator→client delivery inside the fault horizon is dropped,
+// so the only way any request resolves is the client retrying and the
+// egress re-serving the recorded response from its durable buffer.
+func TestResponseDropReplayServesRetry(t *testing.T) {
+	const n = 8
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 2
+	f := newDurableFixture(t, 11, cfg, n, 4)
+	horizon := 60 * time.Millisecond
+	plan := chaos.Plan{
+		Name:    "drop-every-response",
+		Horizon: horizon,
+		Perturbs: []chaos.Perturbation{{
+			Edge:  chaos.Edge{From: "coordinator", To: "client"},
+			DropP: 1.0,
+		}},
+	}
+	eng := chaos.Install(f.cluster, f.sys.ChaosTopology(), plan)
+	f.cluster.Start()
+	f.cluster.RunUntil(20 * time.Second)
+
+	st := eng.Stats()
+	if st.Dropped == 0 {
+		t.Fatal("plan dropped nothing: client-edge responses are still clamped")
+	}
+	coord := f.sys.Coordinator()
+	if coord.Replays == 0 {
+		t.Fatal("no response was re-served from the egress buffer")
+	}
+	f.assertExactlyOnceEffective(t, n)
+	// Replays must be solicited: never more than the retries that asked.
+	totalRetries := 0
+	for _, r := range f.client.inner.Retries {
+		totalRetries += r
+	}
+	if coord.Replays > totalRetries {
+		t.Fatalf("%d replays exceed %d retries", coord.Replays, totalRetries)
+	}
+}
+
+// TestDedupMapsPrunedAtCheckpoint bounds the seen/delivered maps: with a
+// short retention window and frequent checkpoints, long runs must not
+// accumulate one entry per request ever seen — the unbounded-growth bug
+// this PR retires. The script is conflict-free (deposits spread over many
+// accounts, +1 then -1 rounds) so the run length measures settled-entry
+// turnover, not Aria's chain-conflict churn.
+func TestDedupMapsPrunedAtCheckpoint(t *testing.T) {
+	const n, A = 120, 20 // n/A rounds is even: +1/-1 deposits cancel per account
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 2
+	cfg.EpochInterval = 5 * time.Millisecond
+	cfg.DedupRetention = 25 * time.Millisecond
+	var script []sysapi.Scheduled
+	for i := 0; i < n; i++ {
+		amount := int64(1)
+		if (i/A)%2 == 1 {
+			amount = -1
+		}
+		script = append(script, sysapi.Scheduled{
+			At: time.Duration(i+1) * 5 * time.Millisecond,
+			Req: sysapi.Request{
+				Req:    fmt.Sprintf("t%d", i),
+				Target: interp.EntityRef{Class: "Account", Key: acct(i % A)},
+				Method: "deposit",
+				Args:   []interp.Value{interp.IntV(amount)},
+				Kind:   "deposit",
+			},
+		})
+	}
+	cluster := sim.New(13)
+	sys := New(cluster, prog, cfg)
+	for i := 0; i < A; i++ {
+		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	sys.CheckpointPreloadedState()
+	inner := sysapi.NewScriptClient("client", sys, script)
+	inner.RetryEvery = 20 * time.Millisecond
+	client := &countingClient{inner: inner, Deliveries: map[string]int{}}
+	cluster.Add("client", client)
+	cluster.Start()
+	cluster.RunUntil(20 * time.Second)
+
+	if client.inner.Done != n {
+		t.Fatalf("responses: %d/%d", client.inner.Done, n)
+	}
+	for id, resp := range client.inner.Responses {
+		if resp.Err != "" {
+			t.Fatalf("request %s failed: %s", id, resp.Err)
+		}
+	}
+	for i := 0; i < A; i++ {
+		if got := balance(t, sys, acct(i)); got != 100 {
+			t.Fatalf("%s: balance %d, want 100", acct(i), got)
+		}
+	}
+	coord := sys.Coordinator()
+	if len(coord.delivered) >= n/2 || len(coord.seen) >= n/2 {
+		t.Fatalf("dedup maps not pruned: %d delivered, %d seen after %d requests",
+			len(coord.delivered), len(coord.seen), n)
+	}
+	if st := sys.Dlog.Stats(); st.Checkpoints == 0 || st.Compacted == 0 {
+		t.Fatalf("no checkpoint compaction happened: %+v", st)
+	}
+}
+
+// TestBoundedBatchesChunkReplay caps the batch size and throws a burst
+// plus a recovery replay at it: no batch may ever exceed the cap, and the
+// backlog must drain chunked across consecutive batches.
+func TestBoundedBatchesChunkReplay(t *testing.T) {
+	const n, cap = 32, 4
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 2
+	cfg.MaxBatch = cap
+	// One burst: every request lands inside the first epoch.
+	var script []sysapi.Scheduled
+	for i := 0; i < n; i++ {
+		script = append(script, sysapi.Scheduled{
+			At:  time.Millisecond,
+			Req: transferReq(fmt.Sprintf("t%d", i), acct(i%4), acct((i+1)%4), 1),
+		})
+	}
+	cluster := sim.New(17)
+	sys := New(cluster, prog, cfg)
+	for i := 0; i < 4; i++ {
+		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	sys.CheckpointPreloadedState()
+	inner := sysapi.NewScriptClient("client", sys, script)
+	inner.RetryEvery = 25 * time.Millisecond
+	client := &countingClient{inner: inner, Deliveries: map[string]int{}}
+	cluster.Add("client", client)
+	// A worker crash mid-run forces a rollback whose replay backlog spans
+	// many batches.
+	cluster.ScheduleAt(30*time.Millisecond, func(c *sim.Cluster) { c.CrashUntil("sf-worker-0", 45*time.Millisecond) })
+	cluster.ScheduleAt(45*time.Millisecond, func(c *sim.Cluster) { c.Restart("sf-worker-0") })
+	cluster.Start()
+
+	maxBatch := 0
+	for i := 0; i < 2_000_000 && client.inner.Done < n; i++ {
+		if got := len(sys.coord.batch); got > maxBatch {
+			maxBatch = got
+		}
+		cluster.RunUntil(cluster.Now() + 100*time.Microsecond)
+	}
+	cluster.RunUntil(cluster.Now() + 5*time.Second)
+	if client.inner.Done != n {
+		t.Fatalf("responses: %d/%d", client.inner.Done, n)
+	}
+	if maxBatch > cap {
+		t.Fatalf("batch grew to %d, cap %d", maxBatch, cap)
+	}
+	if sys.Coordinator().Recoveries == 0 {
+		t.Fatal("worker crash never triggered a recovery (replay path untested)")
+	}
+	if got := sys.Coordinator().EpochsClosed; got < n/cap {
+		t.Fatalf("only %d epochs closed for %d requests at cap %d (no chunking?)", got, n, cap)
+	}
+	for i := 0; i < 4; i++ {
+		if got := balance(t, sys, acct(i)); got != 100 {
+			t.Fatalf("%s: balance %d, want 100", acct(i), got)
+		}
+	}
+}
+
+// TestSnapshotRetainCompactsStore bounds the snapshot store: with
+// SnapshotRetain set, old snapshots retire at each dlog checkpoint while
+// recovery still restores the newest complete one.
+func TestSnapshotRetainCompactsStore(t *testing.T) {
+	const n = 60
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 2
+	cfg.EpochInterval = 5 * time.Millisecond
+	cfg.SnapshotRetain = 3
+	f := newDurableFixture(t, 19, cfg, n, 20)
+	f.cluster.ScheduleAt(70*time.Millisecond, func(c *sim.Cluster) { c.CrashUntil("sf-worker-1", 85*time.Millisecond) })
+	f.cluster.ScheduleAt(85*time.Millisecond, func(c *sim.Cluster) { c.Restart("sf-worker-1") })
+	f.cluster.Start()
+	f.cluster.RunUntil(20 * time.Second)
+
+	f.assertExactlyOnceEffective(t, n)
+	taken, held := f.sys.Snapshots.Count(), f.sys.Snapshots.Retained()
+	if taken < 8 {
+		t.Fatalf("scenario too tame: only %d snapshots taken", taken)
+	}
+	// Retained can exceed SnapshotRetain by the torn/newer stragglers the
+	// compactor deliberately keeps, but must stay far below Count.
+	if held > cfg.SnapshotRetain+3 {
+		t.Fatalf("snapshot store not compacted: %d taken, %d still held", taken, held)
+	}
+	if f.sys.Coordinator().Recoveries == 0 {
+		t.Fatal("no recovery exercised against the compacted store")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/dlog"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
 	"statefulentities.dev/stateflow/internal/queue"
@@ -47,17 +48,38 @@ type Config struct {
 	// MapFallback disables the slotted execution fast path, forcing
 	// name-keyed variable and attribute resolution (differential testing).
 	MapFallback bool
+	// MaxBatch caps how many transactions one epoch batch may hold:
+	// arrivals and post-recovery replay backlogs beyond the cap wait in
+	// the source log and drain chunked over subsequent batches, so a giant
+	// replay can never balloon into one pathological batch. 0: unbounded.
+	MaxBatch int
+	// DisableDlog turns the coordinator's durable log off (the legacy
+	// in-memory coordinator, kept for benchmarking the WAL's cost). The
+	// coordinator is then a single point of failure again and the chaos
+	// topology clamps coordinator crash windows.
+	DisableDlog bool
+	// DedupRetention bounds the seen/delivered dedup maps: entries whose
+	// response was released at least this long ago — and whose source
+	// position a recovery replay can no longer reach — are pruned at each
+	// dlog checkpoint. It is the dedup window: a client retry or wire
+	// duplicate older than this may be re-executed. 0: keep forever.
+	DedupRetention time.Duration
+	// SnapshotRetain keeps only the newest N snapshots at each dlog
+	// checkpoint, bounding the snapshot store like the log. 0: keep all.
+	SnapshotRetain int
 }
 
 // DefaultConfig mirrors the paper's deployment shape.
 func DefaultConfig() Config {
 	return Config{
-		Workers:       5,
-		EpochInterval: 5 * time.Millisecond,
-		SnapshotEvery: 0,
-		MaxRetries:    64,
-		StallTimeout:  250 * time.Millisecond,
-		Costs:         costmodel.Default(),
+		Workers:        5,
+		EpochInterval:  5 * time.Millisecond,
+		SnapshotEvery:  0,
+		MaxRetries:     64,
+		StallTimeout:   250 * time.Millisecond,
+		Costs:          costmodel.Default(),
+		MaxBatch:       1024,
+		DedupRetention: 30 * time.Second,
 	}
 }
 
@@ -74,6 +96,11 @@ type System struct {
 
 	RequestLog *queue.Log
 	Snapshots  *snapshot.Store
+	// Dlog is the coordinator's durable append log (nil when the config
+	// disables it). Like the request log and the snapshot store it models
+	// an attached durable device: its synced contents survive a
+	// coordinator crash, its unsynced tail tears per the device contract.
+	Dlog *dlog.SimLog
 
 	restart   func(id string)
 	isCrashed func(id string) bool
@@ -99,6 +126,12 @@ func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
 	}
 	if cfg.MapFallback {
 		sys.executor.Interp().SetSlotted(false)
+	}
+	if !cfg.DisableDlog {
+		sys.Dlog = dlog.NewSimLog()
+		// The device applies its crash contract at the coordinator's crash
+		// instant: synced records survive, the in-flight tail tears.
+		cluster.WatchCrash(sys.coordID, sys.Dlog.Crash)
 	}
 	sys.coord = newCoordinator(sys)
 	cluster.Add(sys.coordID, sys.coord)
@@ -215,10 +248,17 @@ func (s *System) Keys(class string) []string {
 //     every worker-dependent phase (execution, validation, apply,
 //     snapshot and recovery itself), so a dead worker is detected and
 //     the system rolls back to the last complete snapshot and replays.
-//   - Every intra-system delivery may be dropped, for the same reason: a
-//     lost message stalls the phase that needed it, which triggers
-//     recovery. Client-edge deliveries are NOT drop-safe — the
-//     delivered-set would suppress a resend of a lost response.
+//   - The coordinator is crashable too — when its durable log is on: the
+//     restart reboots from the log (epoch high-water mark, delivered
+//     responses), rolls the workers back to the last complete snapshot
+//     and replays the source suffix. With DisableDlog the coordinator is
+//     a single point of failure again and its crash windows are clamped.
+//   - Every intra-system delivery may be dropped: a lost message stalls
+//     the phase that needed it, which triggers recovery. With the durable
+//     log on, the client edge is drop-safe as well — a lost request is
+//     covered by client-driven retry (the ingress dedupes ids), a lost
+//     response by the durable egress buffer, which re-serves the recorded
+//     response to the retrying client instead of suppressing it.
 //   - Duplicates are safe wherever a receiver dedupes or rejects stale
 //     copies: epoch/phase/id guards on every coordination message (both
 //     coordinator- and worker-side), the ingress seen-set for client
@@ -230,14 +270,29 @@ func (s *System) ChaosTopology() chaos.Topology {
 	for _, w := range s.workerIDs {
 		members[w] = true
 	}
+	durable := s.Dlog != nil
 	return chaos.Topology{
 		Roles: map[string][]string{
 			"coordinator": {s.coordID},
 			"worker":      append([]string(nil), s.workerIDs...),
 		},
-		Crashable: map[string]bool{"worker": true},
+		Crashable: map[string]bool{"worker": true, "coordinator": durable},
 		DropSafe: func(from, to string, msg sim.Message) bool {
-			return members[from] && members[to]
+			if members[from] && members[to] {
+				return true
+			}
+			if !durable {
+				return false
+			}
+			if !members[from] && to == s.coordID {
+				_, ok := msg.(sysapi.MsgRequest)
+				return ok // clients retry; the ingress dedupes
+			}
+			if from == s.coordID && !members[to] {
+				_, ok := msg.(sysapi.MsgResponse)
+				return ok // retries are re-served from the egress buffer
+			}
+			return false
 		},
 		DupSafe: func(from, to string, msg sim.Message) bool {
 			switch msg.(type) {
@@ -252,6 +307,12 @@ func (s *System) ChaosTopology() chaos.Topology {
 		ResponseID: func(msg sim.Message) (string, bool) {
 			if m, ok := msg.(sysapi.MsgResponse); ok {
 				return m.Response.Req, true
+			}
+			return "", false
+		},
+		RequestID: func(msg sim.Message) (string, bool) {
+			if m, ok := msg.(sysapi.MsgRequest); ok {
+				return m.Request.Req, true
 			}
 			return "", false
 		},

@@ -1,0 +1,173 @@
+// Typed durable-log records of the StateFlow coordinator. The coordinator
+// writes its protocol-critical state — the coordination epoch and every
+// released client response — to an append-only dlog and folds the rest
+// into checkpoint payloads, so a restart can rebuild exactly the facts
+// the exactly-once contract depends on.
+package stateflow
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/dlog"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+	"statefulentities.dev/stateflow/internal/txn/aria"
+)
+
+// Record kinds of the coordinator WAL (dlog reserves kind 0).
+const (
+	// recKindEpoch logs an epoch advance. Synced blocking before any
+	// message of the new epoch is sent: after a restart the recovered
+	// epoch is therefore >= every epoch the old incarnation ever spoke,
+	// which is what makes the view-change stale-message guard sound.
+	recKindEpoch dlog.Kind = 1
+	// recKindDelivered logs one released client response (request id,
+	// source-log position, release time, full response). Group-committed:
+	// the response is sent only after the covering sync completes, so a
+	// response a client saw is always recoverable — and replayable.
+	recKindDelivered dlog.Kind = 2
+)
+
+// deliveredEntry is the durable egress state for one answered request:
+// enough to suppress the recovery replay's duplicate and to re-serve the
+// response to a retrying client whose copy was lost.
+type deliveredEntry struct {
+	resp sysapi.Response
+	// at is the virtual release time (drives retention pruning).
+	at time.Duration
+	// pos is the request's source-log position: entries at or above the
+	// latest complete snapshot's offset are never pruned, because a
+	// recovery replay can still re-execute them.
+	pos int64
+}
+
+// walCheckpoint is the compacted coordinator state a dlog checkpoint
+// carries: everything the coordinator must remember that individual
+// records no longer cover once the log prefix is dropped.
+type walCheckpoint struct {
+	epoch     int64
+	nextTID   aria.TID
+	delivered map[string]deliveredEntry
+}
+
+func encodeEpochRecord(epoch int64) dlog.Record {
+	e := interp.NewEncoder()
+	e.Varint(epoch)
+	return dlog.Record{Kind: recKindEpoch, Data: e.Bytes()}
+}
+
+func decodeEpochRecord(data []byte) (int64, error) {
+	return interp.NewDecoder(data).Varint()
+}
+
+func appendDelivered(e *interp.Encoder, id string, ent deliveredEntry) {
+	e.Str(id)
+	e.Varint(ent.pos)
+	e.Varint(int64(ent.at))
+	e.Str(ent.resp.Req)
+	e.Value(ent.resp.Value)
+	e.Str(ent.resp.Err)
+	e.Varint(int64(ent.resp.Retries))
+}
+
+func readDelivered(d *interp.Decoder) (string, deliveredEntry, error) {
+	fail := func(err error) (string, deliveredEntry, error) {
+		return "", deliveredEntry{}, fmt.Errorf("stateflow: delivered record: %w", err)
+	}
+	id, err := d.Str()
+	if err != nil {
+		return fail(err)
+	}
+	pos, err := d.Varint()
+	if err != nil {
+		return fail(err)
+	}
+	at, err := d.Varint()
+	if err != nil {
+		return fail(err)
+	}
+	req, err := d.Str()
+	if err != nil {
+		return fail(err)
+	}
+	val, err := d.Value()
+	if err != nil {
+		return fail(err)
+	}
+	errStr, err := d.Str()
+	if err != nil {
+		return fail(err)
+	}
+	retries, err := d.Varint()
+	if err != nil {
+		return fail(err)
+	}
+	return id, deliveredEntry{
+		resp: sysapi.Response{Req: req, Value: val, Err: errStr, Retries: int(retries)},
+		at:   time.Duration(at),
+		pos:  pos,
+	}, nil
+}
+
+func encodeDeliveredRecord(id string, ent deliveredEntry) dlog.Record {
+	e := interp.NewEncoder()
+	appendDelivered(e, id, ent)
+	return dlog.Record{Kind: recKindDelivered, Data: e.Bytes()}
+}
+
+func decodeDeliveredRecord(data []byte) (string, deliveredEntry, error) {
+	return readDelivered(interp.NewDecoder(data))
+}
+
+func encodeCheckpoint(c walCheckpoint) []byte {
+	e := interp.NewEncoder()
+	e.Varint(c.epoch)
+	e.Varint(int64(c.nextTID))
+	e.Uvarint(uint64(len(c.delivered)))
+	// Deterministic order is not required for correctness (entries land in
+	// a map) but keeps same-run checkpoints byte-identical for tests.
+	for _, id := range sortedKeys(c.delivered) {
+		appendDelivered(e, id, c.delivered[id])
+	}
+	return e.Bytes()
+}
+
+func decodeCheckpoint(data []byte) (walCheckpoint, error) {
+	out := walCheckpoint{delivered: map[string]deliveredEntry{}}
+	if len(data) == 0 {
+		return out, nil
+	}
+	d := interp.NewDecoder(data)
+	epoch, err := d.Varint()
+	if err != nil {
+		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
+	}
+	tid, err := d.Varint()
+	if err != nil {
+		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
+	}
+	n, err := d.Uvarint()
+	if err != nil {
+		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
+	}
+	out.epoch, out.nextTID = epoch, aria.TID(tid)
+	for i := uint64(0); i < n; i++ {
+		id, ent, err := readDelivered(d)
+		if err != nil {
+			return out, err
+		}
+		out.delivered[id] = ent
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]deliveredEntry) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -207,6 +207,8 @@ func (s *System) ChaosTopology() chaos.Topology {
 			switch msg.(type) {
 			case sysapi.MsgResponse:
 				return true // clients dedupe by request id
+			case sysapi.MsgRequest:
+				return to == s.brokerID // ingress produce dedupes by request id
 			case msgRecord:
 				return to == s.egressID // egress dedupes by request id
 			}
@@ -215,6 +217,12 @@ func (s *System) ChaosTopology() chaos.Topology {
 		ResponseID: func(msg sim.Message) (string, bool) {
 			if m, ok := msg.(sysapi.MsgResponse); ok {
 				return m.Response.Req, true
+			}
+			return "", false
+		},
+		RequestID: func(msg sim.Message) (string, bool) {
+			if m, ok := msg.(sysapi.MsgRequest); ok {
+				return m.Request.Req, true
 			}
 			return "", false
 		},
@@ -274,12 +282,27 @@ type broker struct {
 	sys *System
 	// Produced counts records, as a load metric.
 	Produced int
+	// seen dedupes client request ids at the ingress produce (the
+	// idempotent-producer model): a client retransmission or a duplicated
+	// wire delivery must not become a second dataflow record — without
+	// this, a retried in-flight request would execute twice. Unbounded
+	// (one entry per request for the run) — acceptable for the simulated
+	// baseline; the StateFlow coordinator's equivalent is bounded by
+	// DedupRetention.
+	seen map[string]bool
 }
 
 // OnMessage implements sim.Handler.
 func (b *broker) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 	switch m := msg.(type) {
 	case sysapi.MsgRequest:
+		if b.seen == nil {
+			b.seen = map[string]bool{}
+		}
+		if b.seen[m.Request.Req] {
+			return // duplicate send; already in the ingress topic
+		}
+		b.seen[m.Request.Req] = true
 		// Client produce into the ingress topic.
 		b.produce(ctx, ingressTopic, envelope{
 			Ev: &core.Event{

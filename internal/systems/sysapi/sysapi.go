@@ -110,6 +110,96 @@ func (b *Builder) At(i int, target interp.EntityRef, method string, args []inter
 }
 
 // ---------------------------------------------------------------------------
+// Client-edge retransmitter
+
+// Retransmitter is the client-edge retry state machine shared by every
+// simulated client (the Simulation's api client, ScriptClient and
+// Generator): it transmits requests over the client link and re-sends
+// any request with no response after Every — same request id, so the
+// ingress dedupes in-flight copies and the StateFlow egress re-serves
+// already-answered ones from its durable buffer. This is the client half
+// of the contract that makes client-edge drops and ingress downtime
+// survivable.
+type Retransmitter struct {
+	Sys     System
+	ReplyTo string
+	// Every is the retransmission interval; <= 0 disables retries.
+	Every time.Duration
+	// Max bounds retransmissions per request (default 100), so an
+	// unresolvable request cannot keep the event queue alive forever.
+	Max int
+	// Retries counts re-sends per request id.
+	Retries  map[string]int
+	inflight map[string]Request
+}
+
+// msgRetry is the retransmitter's self-timer.
+type msgRetry struct {
+	id      string
+	attempt int
+}
+
+func (r *Retransmitter) max() int {
+	if r.Max > 0 {
+		return r.Max
+	}
+	return 100
+}
+
+func (r *Retransmitter) transmit(ctx *sim.Context, req Request) {
+	ctx.Send(r.Sys.IngressID(), MsgRequest{Request: req, ReplyTo: r.ReplyTo},
+		r.Sys.ClientLink().Sample(ctx.Rand()))
+}
+
+// Send transmits a fresh request and arms its retry timer.
+func (r *Retransmitter) Send(ctx *sim.Context, req Request) {
+	if r.Retries == nil {
+		r.Retries = map[string]int{}
+	}
+	if r.inflight == nil {
+		r.inflight = map[string]Request{}
+	}
+	r.transmit(ctx, req)
+	if r.Every > 0 {
+		r.inflight[req.Req] = req
+		ctx.After(r.Every, msgRetry{id: req.Req, attempt: 1})
+	}
+}
+
+// Handle processes retransmitter-owned messages, reporting whether it
+// consumed the message. Responses are observed (the id resolves, retries
+// stop) but NOT consumed — the owner still records them.
+func (r *Retransmitter) Handle(ctx *sim.Context, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case msgRetry:
+		req, ok := r.inflight[m.id]
+		if !ok {
+			return true // resolved: stop retrying
+		}
+		if m.attempt > r.max() {
+			delete(r.inflight, m.id)
+			return true
+		}
+		r.Retries[m.id]++
+		r.transmit(ctx, req)
+		ctx.After(r.Every, msgRetry{id: m.id, attempt: m.attempt + 1})
+		return true
+	case MsgResponse:
+		delete(r.inflight, m.Response.Req)
+	}
+	return false
+}
+
+// Total sums retransmissions across all request ids.
+func (r *Retransmitter) Total() int {
+	total := 0
+	for _, n := range r.Retries {
+		total += n
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
 // Scripted client (tests, examples)
 
 // Scheduled is one scripted submission.
@@ -120,7 +210,8 @@ type Scheduled struct {
 
 // ScriptClient submits a fixed schedule of requests and records responses
 // and latencies. Register it with the cluster, then inspect it after the
-// run.
+// run. With RetryEvery set it retransmits unanswered requests (see
+// Retransmitter).
 type ScriptClient struct {
 	ID        string
 	Sys       System
@@ -128,8 +219,14 @@ type ScriptClient struct {
 	Responses map[string]Response
 	Latency   *metrics.Series
 	PerKind   map[string]*metrics.Series
-	sentAt    map[string]time.Duration
-	kinds     map[string]string
+	// RetryEvery re-sends a request that has no response after this much
+	// virtual time (0: no retries). Retries counts re-sends per id.
+	RetryEvery time.Duration
+	MaxRetries int // per request; 0 means the default (100)
+	Retries    map[string]int
+	rx         Retransmitter
+	sentAt     map[string]time.Duration
+	kinds      map[string]string
 	// Done counts received responses.
 	Done int
 }
@@ -141,13 +238,19 @@ func NewScriptClient(id string, sys System, script []Scheduled) *ScriptClient {
 		Responses: map[string]Response{},
 		Latency:   metrics.NewSeries(),
 		PerKind:   map[string]*metrics.Series{},
+		Retries:   map[string]int{},
 		sentAt:    map[string]time.Duration{},
 		kinds:     map[string]string{},
 	}
 }
 
-// OnStart schedules every scripted submission.
+// OnStart schedules every scripted submission (retry knobs are locked in
+// here, after the caller had a chance to set them).
 func (c *ScriptClient) OnStart(ctx *sim.Context) {
+	c.rx = Retransmitter{
+		Sys: c.Sys, ReplyTo: c.ID,
+		Every: c.RetryEvery, Max: c.MaxRetries, Retries: c.Retries,
+	}
 	for _, s := range c.Script {
 		ctx.After(s.At, msgSubmit{req: s.Req})
 	}
@@ -157,15 +260,17 @@ type msgSubmit struct{ req Request }
 
 // OnMessage implements sim.Handler.
 func (c *ScriptClient) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	if c.rx.Handle(ctx, msg) {
+		return
+	}
 	switch m := msg.(type) {
 	case msgSubmit:
 		c.sentAt[m.req.Req] = ctx.Now()
 		c.kinds[m.req.Req] = m.req.Kind
-		ctx.Send(c.Sys.IngressID(), MsgRequest{Request: m.req, ReplyTo: c.ID},
-			c.Sys.ClientLink().Sample(ctx.Rand()))
+		c.rx.Send(ctx, m.req)
 	case MsgResponse:
 		if _, dup := c.Responses[m.Response.Req]; dup {
-			return // duplicate delivery (should not happen; egress dedupes)
+			return // duplicate delivery (a replay the retry solicited, or wire dup)
 		}
 		c.Responses[m.Response.Req] = m.Response
 		c.Done++
@@ -191,6 +296,9 @@ func (c *ScriptClient) OnMessage(ctx *sim.Context, from string, msg sim.Message)
 // Generator submits requests drawn from a workload function at a fixed
 // arrival rate (open loop: arrivals do not wait for responses, so queueing
 // delay shows up as latency exactly like in the paper's experiments).
+// With RetryEvery set it retransmits unanswered requests, like a fleet of
+// real clients with a request timeout — required when the fault plan may
+// drop client-edge messages or crash the ingress (see Retransmitter).
 type Generator struct {
 	ID   string
 	Sys  System
@@ -201,12 +309,16 @@ type Generator struct {
 	WarmUp time.Duration
 	// Next produces the i-th request.
 	Next func(i int) Request
+	// RetryEvery re-sends a request with no response after this much
+	// virtual time (0: no retries).
+	RetryEvery time.Duration
 
 	Latency   *metrics.Series
 	PerKind   map[string]*metrics.Series
 	Errors    int
 	Done      int
 	Submitted int
+	rx        Retransmitter
 	sentAt    map[string]time.Duration
 	kinds     map[string]string
 	seq       int
@@ -223,10 +335,14 @@ func NewGenerator(id string, sys System, rate float64, horizon, warmUp time.Dura
 	}
 }
 
+// Retried reports total retransmissions across all requests.
+func (g *Generator) Retried() int { return g.rx.Total() }
+
 type msgArrival struct{}
 
 // OnStart schedules the first arrival.
 func (g *Generator) OnStart(ctx *sim.Context) {
+	g.rx = Retransmitter{Sys: g.Sys, ReplyTo: g.ID, Every: g.RetryEvery}
 	ctx.After(g.interArrival(ctx), msgArrival{})
 }
 
@@ -241,6 +357,9 @@ func (g *Generator) interArrival(ctx *sim.Context) time.Duration {
 
 // OnMessage implements sim.Handler.
 func (g *Generator) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	if g.rx.Handle(ctx, msg) {
+		return
+	}
 	switch m := msg.(type) {
 	case msgArrival:
 		if ctx.Now() > g.Horizon {
@@ -251,8 +370,7 @@ func (g *Generator) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 		g.Submitted++
 		g.sentAt[req.Req] = ctx.Now()
 		g.kinds[req.Req] = req.Kind
-		ctx.Send(g.Sys.IngressID(), MsgRequest{Request: req, ReplyTo: g.ID},
-			g.Sys.ClientLink().Sample(ctx.Rand()))
+		g.rx.Send(ctx, req)
 		ctx.After(g.interArrival(ctx), msgArrival{})
 	case MsgResponse:
 		at, ok := g.sentAt[m.Response.Req]

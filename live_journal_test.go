@@ -1,0 +1,67 @@
+package stateflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"statefulentities.dev/stateflow"
+)
+
+const journalCounterSrc = `
+@entity
+class Counter:
+    def __init__(self, name: str):
+        self.name: str = name
+        self.n: int = 0
+
+    def __key__(self) -> str:
+        return self.name
+
+    def bump(self, by: int) -> int:
+        self.n += by
+        return self.n
+`
+
+// TestLiveClientJournalReplay drives the durable response journal through
+// the public Client surface: a client with a stable request id
+// (WithRequestID) retries against a restarted process and receives the
+// journaled outcome instead of a re-execution.
+func TestLiveClientJournalReplay(t *testing.T) {
+	prog := stateflow.MustCompile(journalCounterSrc)
+	path := filepath.Join(t.TempDir(), "responses.dlog")
+
+	c1, err := stateflow.OpenLiveClient(prog, stateflow.LiveConfig{Workers: 2, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Create("Counter", stateflow.Str("c1")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c1.Entity("Counter", "c1").
+		With(stateflow.WithRequestID("order-41")).
+		Call("bump", stateflow.Int(5))
+	if err != nil || res.Err != "" || res.Value.I != 5 {
+		t.Fatalf("bump: %+v err=%v", res, err)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process restart": a fresh runtime on the same journal. The retry
+	// of order-41 is re-served; live entity state is gone, proving the
+	// answer came from the journal, not a second execution.
+	c2, err := stateflow.OpenLiveClient(prog, stateflow.LiveConfig{Workers: 2, JournalPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res, err = c2.Entity("Counter", "c1").
+		With(stateflow.WithRequestID("order-41")).
+		Call("bump", stateflow.Int(5))
+	if err != nil || res.Err != "" || res.Value.I != 5 {
+		t.Fatalf("replayed bump: %+v err=%v", res, err)
+	}
+	if _, ok := c2.Admin().Inspect("Counter", "c1"); ok {
+		t.Fatal("journal replay re-executed the request")
+	}
+}

@@ -20,9 +20,10 @@ type CallOption func(*callOptions)
 
 // callOptions is the resolved option set carried by an Entity handle.
 type callOptions struct {
-	kind     string
-	timeout  time.Duration
-	patience time.Duration
+	kind      string
+	timeout   time.Duration
+	patience  time.Duration
+	requestID string
 }
 
 func defaultCallOptions() callOptions {
@@ -54,6 +55,18 @@ func WithTimeout(d time.Duration) CallOption {
 		}
 		o.timeout = d
 	}
+}
+
+// WithRequestID pins the request id of the next Call or Submit made
+// through the handle instead of letting the runtime mint one. On the
+// Live runtime with a response journal (LiveConfig.JournalPath), stable
+// ids are the client half of the exactly-once protocol: a retried id
+// whose outcome is journaled — even by a previous process — is answered
+// from the journal without re-execution, and an id currently in flight
+// returns the same future. Use a fresh id per logical request; other
+// runtimes currently mint ids internally and ignore this option.
+func WithRequestID(id string) CallOption {
+	return func(o *callOptions) { o.requestID = id }
 }
 
 // WithPatience sets the virtual-time step a Simulation advances between

@@ -40,7 +40,20 @@ type SimConfig struct {
 	// name-keyed variable and attribute resolution. Differential tests
 	// run both modes and assert identical results and committed state.
 	MapFallback bool
+	// ClientRetry is the client-edge retransmission interval: a submitted
+	// request whose response has not arrived after this much virtual time
+	// is re-sent (same request id — the ingress dedupes in-flight copies
+	// and the StateFlow egress re-serves already-answered ones from its
+	// durable buffer). This is what makes client-edge message drops
+	// survivable. 0 selects the 50ms default; negative disables retries.
+	ClientRetry time.Duration
 }
+
+// DefaultClientRetry is the client retransmission interval used when
+// SimConfig.ClientRetry is zero. Retries are capped per request (see
+// sysapi.Retransmitter) so an unresolvable request cannot keep a drained
+// simulation alive forever.
+const DefaultClientRetry = 50 * time.Millisecond
 
 // Simulation is a deployed distributed runtime on the deterministic
 // cluster simulator. Client() returns its portable caller surface; a
@@ -63,8 +76,13 @@ type Simulation struct {
 }
 
 // simClient is the sim.Handler that records responses on the cluster's
-// client edge.
+// client edge and drives client-side retransmission (one shared
+// sysapi.Retransmitter state machine): a request without a response
+// after the retry interval is re-sent with the same id, so a dropped
+// request (the ingress dedupes) or a dropped response (the egress
+// replays) heals instead of hanging.
 type simClient struct {
+	rx        sysapi.Retransmitter
 	responses map[string]sysapi.Response
 	latency   map[string]time.Duration
 	sent      map[string]time.Duration
@@ -73,9 +91,18 @@ type simClient struct {
 	deliveries map[string]int
 }
 
+// msgClientSubmit asks the client component to transmit a fresh request.
+type msgClientSubmit struct{ req sysapi.Request }
+
 // OnMessage implements sim.Handler.
 func (c *simClient) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
-	if m, ok := msg.(sysapi.MsgResponse); ok {
+	if c.rx.Handle(ctx, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case msgClientSubmit:
+		c.rx.Send(ctx, m.req)
+	case sysapi.MsgResponse:
 		c.deliveries[m.Response.Req]++
 		if _, dup := c.responses[m.Response.Req]; dup {
 			return
@@ -101,11 +128,16 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 	for _, opt := range opts {
 		opt(&o)
 	}
+	retryEvery := cfg.ClientRetry
+	if retryEvery == 0 {
+		retryEvery = DefaultClientRetry
+	}
 	cluster := sim.New(cfg.Seed)
 	s := &Simulation{
 		Cluster: cluster,
 		kind:    cfg.Backend,
 		client: &simClient{
+			rx:         sysapi.Retransmitter{ReplyTo: "api-client", Every: retryEvery},
 			responses:  map[string]sysapi.Response{},
 			latency:    map[string]time.Duration{},
 			sent:       map[string]time.Duration{},
@@ -139,6 +171,7 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 	default:
 		panic(fmt.Sprintf("stateflow: unknown backend %q", cfg.Backend))
 	}
+	s.client.rx.Sys = s.sys
 	cluster.Add("api-client", s.client)
 	if o.chaos != nil {
 		s.chaos = chaos.Install(cluster, s.sys.ChaosTopology(), *o.chaos)
@@ -178,16 +211,14 @@ func (s *Simulation) ensureStarted() {
 	}
 }
 
-// inject assembles a request and injects it as if the client had sent it
-// over its edge link, returning the request id. Calls and Futures share
-// this path.
+// inject assembles a request and hands it to the client-edge component,
+// which transmits it over the edge link and owns its retransmission
+// timer. Calls and Futures share this path.
 func (s *Simulation) inject(ref EntityRef, method string, args []Value, kind string) string {
 	s.ensureStarted()
 	req := s.reqs.Next(ref, method, args, kind)
 	s.client.sent[req.Req] = s.Cluster.Now()
-	submitAt := s.Cluster.Now() + s.sys.ClientLink().Sample(s.Cluster.Rand())
-	s.Cluster.Inject(submitAt, "api-client", s.sys.IngressID(),
-		sysapi.MsgRequest{Request: req, ReplyTo: "api-client"})
+	s.Cluster.Inject(s.Cluster.Now(), "api-client", "api-client", msgClientSubmit{req: req})
 	return req.Req
 }
 
