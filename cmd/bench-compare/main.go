@@ -1,0 +1,118 @@
+// Command bench-compare is the CI bench-regression gate: it compares a
+// freshly re-run contention benchmark against the checked-in baseline
+// (BENCH_pr5.json) and fails if the Aria fallback's wins regress.
+//
+//	bench-compare -baseline BENCH_pr5.json -current /tmp/BENCH_now.json
+//
+// The gated metrics are deterministic functions of the simulation seed —
+// commits-per-batch and the fallback-on/off virtual-latency ratio — so
+// the comparison is stable on shared runners: an unchanged protocol
+// reproduces the baseline exactly, and only a real behavioral regression
+// (or an intentional, reviewed change to the protocol that warrants
+// regenerating the baseline) moves them. Wall-clock fields (ns/commit,
+// wall_ms) are reported for the trajectory but never gated.
+//
+// Checks:
+//
+//  1. commits-per-batch with the fallback on must not drop below the
+//     baseline: the chain must keep draining in O(1) batches.
+//  2. the fallback-on/off virtual-latency ratio (p50 and p99) must not
+//     regress by more than 15% relative to the baseline ratio.
+//  3. both modes must commit every transaction (equivalence: the
+//     fallback changes when transactions commit, never whether).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"statefulentities.dev/stateflow/internal/bench"
+)
+
+// tolerance is the allowed relative regression of the latency ratio.
+const tolerance = 0.15
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_pr5.json", "checked-in benchmark baseline")
+	currentPath := flag.String("current", "", "freshly generated benchmark artifact to gate")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "bench-compare: -current is required")
+		os.Exit(2)
+	}
+
+	baseline, err := bench.ReadPR5JSON(*baselinePath)
+	check(err)
+	current, err := bench.ReadPR5JSON(*currentPath)
+	check(err)
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "bench-compare: FAIL: "+format+"\n", args...)
+	}
+
+	baseOn, err := baseline.FindContention("contention/fallback=on")
+	check(err)
+	baseOff, err := baseline.FindContention("contention/fallback=off")
+	check(err)
+	curOn, err := current.FindContention("contention/fallback=on")
+	check(err)
+	curOff, err := current.FindContention("contention/fallback=off")
+	check(err)
+
+	// 1. Commits-per-batch must not drop. Deterministic: a tiny epsilon
+	// absorbs float formatting, not behavior.
+	if curOn.CommitsPerBatch < baseOn.CommitsPerBatch*0.999 {
+		fail("commits-per-batch dropped: %.2f (baseline %.2f) — the fallback no longer drains the chain in-batch",
+			curOn.CommitsPerBatch, baseOn.CommitsPerBatch)
+	}
+
+	// 2. The on/off virtual-latency ratio must not regress > 15%.
+	for _, m := range []struct {
+		name          string
+		baseOn, curOn float64
+		baseOff       float64
+		curOff        float64
+	}{
+		{"p50", baseOn.VirtualP50Ms, curOn.VirtualP50Ms, baseOff.VirtualP50Ms, curOff.VirtualP50Ms},
+		{"p99", baseOn.VirtualP99Ms, curOn.VirtualP99Ms, baseOff.VirtualP99Ms, curOff.VirtualP99Ms},
+	} {
+		if m.baseOff <= 0 || m.curOff <= 0 {
+			fail("%s: degenerate fallback-off latency (baseline %.3f, current %.3f)", m.name, m.baseOff, m.curOff)
+			continue
+		}
+		baseRatio := m.baseOn / m.baseOff
+		curRatio := m.curOn / m.curOff
+		if curRatio > baseRatio*(1+tolerance) {
+			fail("%s fallback-on/off latency ratio regressed: %.4f (baseline %.4f, tolerance %d%%)",
+				m.name, curRatio, baseRatio, int(tolerance*100))
+		}
+		fmt.Printf("bench-compare: %s ratio on/off: %.4f (baseline %.4f)\n", m.name, curRatio, baseRatio)
+	}
+
+	// 3. Equivalence: both modes commit the full workload.
+	if curOn.Commits != curOff.Commits {
+		fail("fallback on/off commit counts diverge: %d vs %d", curOn.Commits, curOff.Commits)
+	}
+	if curOn.Commits != baseOn.Commits {
+		fail("workload size changed: %d commits (baseline %d) — regenerate the baseline deliberately",
+			curOn.Commits, baseOn.Commits)
+	}
+
+	fmt.Printf("bench-compare: commits/batch on=%.2f off=%.2f (baseline on=%.2f off=%.2f)\n",
+		curOn.CommitsPerBatch, curOff.CommitsPerBatch, baseOn.CommitsPerBatch, baseOff.CommitsPerBatch)
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "bench-compare: %d check(s) failed against %s\n", failures, *baselinePath)
+		os.Exit(1)
+	}
+	fmt.Println("bench-compare: PASS")
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(1)
+	}
+}

@@ -22,13 +22,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3 | fig4 | overhead | consistency | dlog | all")
+	exp := flag.String("exp", "all", "experiment: fig3 | fig4 | overhead | consistency | dlog | contention | all")
 	duration := flag.Duration("duration", 30*time.Second, "measured virtual time per point")
 	warmup := flag.Duration("warmup", 3*time.Second, "virtual warm-up discarded from stats")
 	records := flag.Int("records", 1000, "YCSB dataset size")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	epoch := flag.Duration("epoch", 10*time.Millisecond, "StateFlow batch (epoch) interval")
-	benchJSON := flag.String("bench-json", "", "with -exp dlog: also write the rows as a JSON benchmark artifact to this path")
+	benchJSON := flag.String("bench-json", "", "with -exp dlog or -exp contention: also write the rows as a JSON benchmark artifact to this path (contention bundles the dlog rows — the BENCH_pr5.json shape CI enforces)")
+	noFallback := flag.Bool("no-fallback", false, "disable Aria's deterministic fallback phase on the StateFlow runtime (the contention experiment always measures both modes)")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -37,6 +38,7 @@ func main() {
 	opt.Records = *records
 	opt.Seed = *seed
 	opt.Epoch = *epoch
+	opt.NoFallback = *noFallback
 
 	run := func(name string) {
 		start := time.Now()
@@ -75,6 +77,20 @@ func main() {
 			fmt.Print(bench.PrintDlog(rows))
 			if *benchJSON != "" {
 				check(bench.WriteDlogJSON(*benchJSON, opt, rows))
+				fmt.Printf("wrote %s\n", *benchJSON)
+			}
+		case "contention":
+			rows, err := bench.RunContention(opt)
+			check(err)
+			fmt.Print(bench.PrintContention(rows))
+			if *benchJSON != "" {
+				// The artifact carries the dlog experiment too: one
+				// BENCH_*.json per PR accumulates the whole perf
+				// trajectory (see cmd/bench-compare).
+				dlogRows, err := bench.RunDlog(opt)
+				check(err)
+				fmt.Print(bench.PrintDlog(dlogRows))
+				check(bench.WritePR5JSON(*benchJSON, opt, rows, dlogRows))
 				fmt.Printf("wrote %s\n", *benchJSON)
 			}
 		default:

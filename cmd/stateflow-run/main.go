@@ -47,6 +47,8 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 0, "run the simulated backends under a seeded fault plan (0: off)")
 	maxBatch := flag.Int("max-batch", sfsys.DefaultConfig().MaxBatch,
 		"StateFlow batch-size cap: backlogs and post-recovery replays drain chunked over batches of at most this many transactions (0: unbounded)")
+	noFallback := flag.Bool("no-fallback", false,
+		"disable Aria's deterministic fallback phase: conflict-aborted transactions retry in the next batch instead of re-executing inside the current one (A/B benchmarking)")
 	flag.Parse()
 
 	src := ycsb.Program()
@@ -75,7 +77,7 @@ func main() {
 		runClient("live runtime (8 workers)", stateflow.NewLiveClient(prog, stateflow.LiveConfig{Workers: 8}),
 			16, wgen, *records, *rate, *duration)
 	case "stateflow", "statefun":
-		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch)
+		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch, *noFallback)
 	default:
 		fmt.Fprintf(os.Stderr, "stateflow-run: unknown backend %q\n", *backend)
 		os.Exit(2)
@@ -148,13 +150,14 @@ func min(a, b int) int {
 // runSim executes the workload on a simulated distributed deployment with
 // an open-loop generator (arrivals do not wait for responses), optionally
 // under a seeded fault plan.
-func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int) {
+func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int, noFallback bool) {
 	cluster := sim.New(seed)
 	var sys sysapi.Backend
 	var sf *sfsys.System
 	if backend == "stateflow" {
 		cfg := sfsys.DefaultConfig()
 		cfg.MaxBatch = maxBatch
+		cfg.DisableFallback = noFallback
 		if chaosSeed != 0 {
 			cfg.SnapshotEvery = 20 // give recovery real snapshots to roll back to
 		}
@@ -197,6 +200,7 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 		c := sf.Coordinator()
 		fmt.Printf("transactions: %d committed, %d aborted (retried), %d failed, %d epochs, %d recoveries (%d coordinator reboots, %d egress replays)\n",
 			c.Commits, c.Aborts, c.Failures, c.EpochsClosed, c.Recoveries, c.Restarts, c.Replays)
+		fmt.Printf("fallback phase: %d rounds, %d rescued commits\n", c.FallbackRounds, c.FallbackCommits)
 		if sf.Dlog != nil {
 			ls := sf.Dlog.Stats()
 			fmt.Printf("durable log: %d appends (%d B), %d syncs, %d checkpoints (%d records compacted), %d torn tails discarded\n",

@@ -1,0 +1,130 @@
+// Differential tests for Aria's deterministic fallback phase: contended
+// workloads run with the fallback on and off, and the two modes must
+// produce identical responses and byte-identical committed state — the
+// fallback's re-execution rounds replay exactly the serial order the
+// legacy one-commit-per-batch retry drain would have produced. The
+// chained-transfer workload is additionally checked across every
+// simulated backend: its final balances are a pure function of the
+// transfer list, so StateFlow (either commit strategy) and the
+// StateFun-model baseline must all converge to the same state.
+package stateflow_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/chaos/oracle"
+	"statefulentities.dev/stateflow/internal/workload/ycsb"
+)
+
+// dumpClass canonically renders the committed state of one class.
+func dumpClass(admin stateflow.Admin, class string) string {
+	var b strings.Builder
+	for _, key := range admin.Keys(class) {
+		st, ok := admin.Inspect(class, key)
+		if !ok {
+			fmt.Fprintf(&b, "%s<%s> MISSING\n", class, key)
+			continue
+		}
+		attrs := make([]string, 0, len(st))
+		for a := range st {
+			attrs = append(attrs, a)
+		}
+		sort.Strings(attrs)
+		fmt.Fprintf(&b, "%s<%s>", class, key)
+		for _, a := range attrs {
+			fmt.Fprintf(&b, " %s=%s", a, st[a].Repr())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestFallbackDifferentialOracleWorkloads drives the oracle's contended
+// workloads (banking: fully contended transfer pool; ycsb: mixed
+// read/update/transfer) fault-free on StateFlow with the fallback phase
+// on and off: transcripts and committed state must be byte-identical.
+func TestFallbackDifferentialOracleWorkloads(t *testing.T) {
+	for _, w := range []oracle.Workload{oracle.Banking(), oracle.YCSB()} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := oracle.DefaultConfig()
+				on, err := oracle.RunOnce(w, stateflow.BackendStateFlow, seed, nil, cfg)
+				if err != nil {
+					t.Fatalf("seed %d fallback-on: %v", seed, err)
+				}
+				cfg.DisableFallback = true
+				off, err := oracle.RunOnce(w, stateflow.BackendStateFlow, seed, nil, cfg)
+				if err != nil {
+					t.Fatalf("seed %d fallback-off: %v", seed, err)
+				}
+				if on.Transcript != off.Transcript {
+					t.Fatalf("seed %d: transcripts diverge:\n--- fallback on ---\n%s--- fallback off ---\n%s",
+						seed, on.Transcript, off.Transcript)
+				}
+				if on.StateDigest != off.StateDigest {
+					t.Fatalf("seed %d: committed state diverges:\n--- fallback on ---\n%s--- fallback off ---\n%s",
+						seed, on.StateDigest, off.StateDigest)
+				}
+			}
+		})
+	}
+}
+
+// TestFallbackDifferentialChainAcrossBackends commits a k=32 transfer
+// chain on StateFlow with the fallback on, with it off, and on the
+// StateFun-model baseline, and requires byte-identical final committed
+// state from all three: the chain's outcome is independent of the commit
+// strategy, so any divergence is a lost or duplicated effect.
+func TestFallbackDifferentialChainAcrossBackends(t *testing.T) {
+	const k = 32
+	key := func(i int) string { return ycsb.Key(i) }
+
+	runChain := func(backend stateflow.Backend, disableFallback bool) string {
+		prog := stateflow.MustCompile(ycsb.Program())
+		sim := stateflow.NewSimulation(prog, stateflow.SimConfig{
+			Backend:         backend,
+			Seed:            7,
+			Epoch:           20 * time.Millisecond,
+			DisableFallback: disableFallback,
+		})
+		admin := sim.Client().Admin()
+		for i := 0; i <= k; i++ {
+			if err := admin.Preload("Account",
+				stateflow.Str(key(i)), stateflow.Int(1000), stateflow.Str("")); err != nil {
+				t.Fatalf("preload: %v", err)
+			}
+		}
+		futs := make([]*stateflow.Future, 0, k)
+		for i := 0; i < k; i++ {
+			e := sim.Client().Entity("Account", key(i)).
+				With(stateflow.WithKind("transfer"), stateflow.WithTimeout(time.Minute))
+			futs = append(futs, e.Submit("transfer",
+				stateflow.Int(5), stateflow.Ref("Account", key(i+1))))
+		}
+		for i, f := range futs {
+			res, err := f.Wait()
+			if err != nil || res.Err != "" || !res.Value.B {
+				t.Fatalf("%s disableFallback=%v: transfer %d: err=%v res=(%s,%q)",
+					backend, disableFallback, i, err, res.Value.Repr(), res.Err)
+			}
+		}
+		sim.Run(time.Second) // settle
+		return dumpClass(admin, "Account")
+	}
+
+	on := runChain(stateflow.BackendStateFlow, false)
+	off := runChain(stateflow.BackendStateFlow, true)
+	base := runChain(stateflow.BackendStateFun, false)
+	if on != off {
+		t.Fatalf("StateFlow fallback on/off state diverges:\n--- on ---\n%s--- off ---\n%s", on, off)
+	}
+	if on != base {
+		t.Fatalf("StateFlow/StateFun state diverges:\n--- stateflow ---\n%s--- statefun ---\n%s", on, base)
+	}
+}

@@ -31,6 +31,10 @@ type Options struct {
 	WarmUp       time.Duration // discarded head
 	Seed         int64
 	Epoch        time.Duration // StateFlow batch interval
+	// NoFallback disables Aria's deterministic fallback phase on the
+	// StateFlow runtime (A/B benchmarking; the contention experiment
+	// ignores it and always measures both modes).
+	NoFallback bool
 }
 
 // DefaultOptions mirror the paper's scale at laptop-friendly durations.
@@ -79,6 +83,7 @@ func runOne(system string, mix ycsb.Mix, dist string, rate float64, opt Options)
 	case "stateflow":
 		cfg := stateflow.DefaultConfig()
 		cfg.EpochInterval = opt.Epoch
+		cfg.DisableFallback = opt.NoFallback
 		sfSys = stateflow.New(cluster, prog, cfg)
 		sys = sfSys
 	case "statefun":

@@ -56,6 +56,7 @@ func RunDlog(opt Options) ([]DlogRow, error) {
 		cfg.EpochInterval = opt.Epoch
 		cfg.SnapshotEvery = 10
 		cfg.DisableDlog = disable
+		cfg.DisableFallback = opt.NoFallback
 		sys := stateflow.New(cluster, prog, cfg)
 		load := ycsb.Loader(opt.Records, opt.PayloadBytes)
 		for i := 0; i < opt.Records; i++ {

@@ -2,6 +2,8 @@ package chaos_test
 
 import (
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -14,8 +16,14 @@ import (
 var backends = []stateflow.Backend{stateflow.BackendStateFlow, stateflow.BackendStateFun}
 
 // sweepSeeds returns the per-combo seed count: the full sweep by default,
-// a small one under -short (CI's dedicated chaos job).
+// a small one under -short (CI's dedicated chaos job), or an explicit
+// override via CHAOS_SWEEP_SEEDS (the nightly workflow runs 100).
 func sweepSeeds() int64 {
+	if s := os.Getenv("CHAOS_SWEEP_SEEDS"); s != "" {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil && n > 0 {
+			return n
+		}
+	}
 	if testing.Short() {
 		return 5
 	}
@@ -68,6 +76,9 @@ func TestOracleSeedSweep(t *testing.T) {
 				}
 				t.Logf("%d crash windows, %d drops (%d client-edge response drops), %d delays, %d recoveries (%d coordinator reboots, %d egress replays) survived",
 					crashWindows, drops, clientDrops, delays, recoveries, restarts, replays)
+				if sweepSeeds() < 5 {
+					return // tiny CHAOS_SWEEP_SEEDS override: skip the vacuousness floor
+				}
 				if delays == 0 {
 					t.Fatal("sweep never delayed a message")
 				}

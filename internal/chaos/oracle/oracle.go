@@ -117,6 +117,9 @@ type Config struct {
 	Horizon time.Duration
 	// Timeout bounds each op's virtual-time wait.
 	Timeout time.Duration
+	// DisableFallback turns off the StateFlow backend's Aria fallback
+	// phase (differential runs compare the two commit strategies).
+	DisableFallback bool
 }
 
 // DefaultConfig returns the sweep configuration.
@@ -137,10 +140,11 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		return Run{}, fmt.Errorf("compile %s: %w", w.Name, err)
 	}
 	simCfg := stateflow.SimConfig{
-		Backend:       backend,
-		Seed:          seed,
-		Epoch:         cfg.Epoch,
-		SnapshotEvery: cfg.SnapshotEvery,
+		Backend:         backend,
+		Seed:            seed,
+		Epoch:           cfg.Epoch,
+		SnapshotEvery:   cfg.SnapshotEvery,
+		DisableFallback: cfg.DisableFallback,
 	}
 	var sim *stateflow.Simulation
 	if plan != nil {

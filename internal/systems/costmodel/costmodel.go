@@ -32,6 +32,13 @@ type Costs struct {
 	CommitCPU      time.Duration // per-transaction validation/commit work
 	BrokerCPU      time.Duration // broker work per produced/consumed record
 
+	// FallbackCPU prices Aria's deterministic fallback phase, per
+	// transaction: shipping one reservation-set footprint with the batch
+	// vote (worker side) and one node's share of the dependency-graph
+	// scheduling pass (coordinator side). Re-executed call chains charge
+	// the ordinary execution costs on top.
+	FallbackCPU time.Duration
+
 	// Durable-log (coordinator WAL) costs.
 	LogAppendCPU time.Duration // encode + buffered append of one record
 	LogSyncCPU   time.Duration // blocking fsync (epoch records, checkpoints)
@@ -67,6 +74,7 @@ func Default() Costs {
 		SplitOverhead: 900 * time.Nanosecond,
 		StateByteCPU:  4 * time.Nanosecond,
 		CommitCPU:     8 * time.Microsecond,
+		FallbackCPU:   3 * time.Microsecond,
 		BrokerCPU:     12 * time.Microsecond,
 		// WAL: appends hit the page cache; the blocking fsync cost and the
 		// group-commit window are calibrated to a datacenter NVMe device

@@ -90,6 +90,21 @@ type Coordinator struct {
 	recovered  map[string]bool
 	snapshotID int64
 
+	// Fallback phase state (batch-scoped, reset when the batch finishes
+	// or a recovery discards it). fbVotes holds the per-worker local
+	// reservation sets shipped with the batch votes (merged into global
+	// footprints only if the batch actually has conflict aborts — an
+	// uncontended batch pays nothing beyond the shipping); fbRounds the
+	// not-yet-executed re-execution rounds of the deterministic schedule;
+	// fbSet marks every transaction the schedule rescues (they skip the
+	// next-batch retry path); fbRound/fbOrder identify the round in
+	// flight (fbRound 0: no fallback running).
+	fbVotes  []map[aria.TID]*aria.RWSet
+	fbRounds [][]aria.TID
+	fbSet    map[aria.TID]bool
+	fbRound  int
+	fbOrder  []aria.TID
+
 	// delivered is the egress state: per answered request, the full
 	// response, its release time and source position. It dedupes client
 	// responses across recovery replays (exactly-once output at the system
@@ -124,6 +139,12 @@ type Coordinator struct {
 	Failures     int // transactions that exhausted retries
 	Recoveries   int
 	EpochsClosed int
+	// FallbackRounds counts executed fallback re-execution rounds;
+	// FallbackCommits the transactions the fallback phase rescued (a
+	// subset of Commits — they would have been next-batch retries
+	// without it).
+	FallbackRounds  int
+	FallbackCommits int
 	// Restarts counts coordinator reboots (crash recoveries via the
 	// durable log), a subset of Recoveries.
 	Restarts int
@@ -263,10 +284,11 @@ func (c *Coordinator) enterPhase(ctx *sim.Context, p phase) {
 	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: p, Progress: c.progress})
 }
 
-// onFinished records a transaction's root response.
+// onFinished records a transaction's root response (from the batch's
+// first execution or from the fallback round in flight).
 func (c *Coordinator) onFinished(ctx *sim.Context, m msgTxnFinished) {
-	if m.Epoch != c.epoch {
-		return // stale: batch was discarded by recovery
+	if m.Epoch != c.epoch || m.Round != c.fbRound {
+		return // stale: batch discarded by recovery, or a finished round
 	}
 	t, ok := c.batch[m.TID]
 	if !ok || t.finished {
@@ -282,13 +304,23 @@ func (c *Coordinator) onFinished(ctx *sim.Context, m msgTxnFinished) {
 
 func (c *Coordinator) allFinished() bool { return c.unfinished == 0 }
 
-// maybePrepare starts validation once the closed batch fully executed
-// (Aria's execution barrier).
+// maybePrepare starts validation once the closed batch — or the fallback
+// round in flight — fully executed (Aria's execution barrier).
 func (c *Coordinator) maybePrepare(ctx *sim.Context) {
 	if c.phase != phaseClosing || !c.allFinished() {
 		return
 	}
 	c.enterPhase(ctx, phasePrepare)
+	if c.fbRound > 0 {
+		c.votes = map[string]bool{}
+		c.unionAbort = map[aria.TID]bool{}
+		for _, w := range c.sys.workerIDs {
+			ctx.Send(w, msgPrepare{Epoch: c.epoch, Round: c.fbRound,
+				Order: append([]aria.TID(nil), c.fbOrder...)},
+				c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+		}
+		return
+	}
 	c.order = c.order[:0]
 	for tid := range c.batch {
 		c.order = append(c.order, tid)
@@ -303,9 +335,10 @@ func (c *Coordinator) maybePrepare(ctx *sim.Context) {
 }
 
 // onVote accumulates worker votes; when unanimous, broadcasts the global
-// deterministic decision.
+// deterministic decision — for the batch, scheduling the fallback phase
+// over the conflict aborts first, or for the fallback round in flight.
 func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
-	if m.Epoch != c.epoch || c.phase != phasePrepare {
+	if m.Epoch != c.epoch || c.phase != phasePrepare || m.Round != c.fbRound {
 		return
 	}
 	if c.votes[from] {
@@ -316,8 +349,18 @@ func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
 	for _, t := range m.Aborts {
 		c.unionAbort[t] = true
 	}
+	if len(m.Sets) > 0 {
+		c.fbVotes = append(c.fbVotes, m.Sets)
+	}
 	if len(c.votes) < len(c.sys.workerIDs) {
 		return
+	}
+	if c.fbRound > 0 {
+		c.decideFallbackRound(ctx)
+		return
+	}
+	if !c.sys.cfg.DisableFallback {
+		c.scheduleFallback(ctx)
 	}
 	// A transaction that failed with an application error commits nothing:
 	// treat it as aborted for state purposes but respond immediately (it
@@ -338,11 +381,72 @@ func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
 	}
 }
 
-// onApplied finishes the batch once every worker installed it: responses
-// stage onto the durable log's group commit, conflict-aborted
-// transactions retry, and the next batch opens.
+// scheduleFallback computes the deterministic fallback schedule over the
+// batch's conflict aborts: the dependency-graph pass (aria.Fallback) on
+// the global footprints merged from the batch votes, filtered down to
+// transactions that are actually retryable (an application error is a
+// definitive response, not a conflict — it never re-executes). Runs
+// before the batch decide so the decide/apply wave and the response loop
+// both know which aborts the fallback phase rescues. A batch without
+// conflict aborts skips the merge and the graph pass entirely — the
+// uncontended hot path pays only the set shipping on votes.
+func (c *Coordinator) scheduleFallback(ctx *sim.Context) {
+	votes := c.fbVotes
+	c.fbVotes = nil
+	conflicted := false
+	for _, tid := range c.order {
+		if c.unionAbort[tid] && c.batch[tid].err == "" {
+			conflicted = true
+			break
+		}
+	}
+	if !conflicted {
+		return
+	}
+	// Merge the workers' local sets into global per-transaction
+	// footprints. Copied, never aliased: the workers wipe their
+	// workspaces at decide while the footprints must survive into the
+	// fallback rounds.
+	merged := map[aria.TID]*aria.RWSet{}
+	for _, sets := range votes {
+		for tid, rw := range sets {
+			m, ok := merged[tid]
+			if !ok {
+				m = aria.NewRWSet()
+				merged[tid] = m
+			}
+			m.Merge(rw)
+		}
+	}
+	sched := aria.Fallback(c.order, merged)
+	if len(sched.Commit) == 0 {
+		return
+	}
+	var rounds [][]aria.TID
+	set := map[aria.TID]bool{}
+	for _, members := range sched.Rounds {
+		var keep []aria.TID
+		for _, tid := range members {
+			if t, ok := c.batch[tid]; ok && t.err == "" && c.unionAbort[tid] {
+				keep = append(keep, tid)
+				set[tid] = true
+			}
+		}
+		if len(keep) > 0 {
+			rounds = append(rounds, keep)
+		}
+	}
+	c.fbRounds, c.fbSet = rounds, set
+	ctx.Work(time.Duration(len(set)) * c.sys.cfg.Costs.FallbackCPU)
+}
+
+// onApplied finishes the batch — or one fallback round — once every
+// worker installed it: responses stage onto the durable log's group
+// commit, conflict-aborted transactions enter the fallback phase (or, if
+// it is disabled or did not rescue them, retry in the next batch), and
+// the next round or batch opens.
 func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
-	if m.Epoch != c.epoch || c.phase != phaseApply {
+	if m.Epoch != c.epoch || c.phase != phaseApply || m.Round != c.fbRound {
 		return
 	}
 	if !c.applied[from] {
@@ -350,6 +454,10 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 	}
 	c.applied[from] = true
 	if len(c.applied) < len(c.sys.workerIDs) {
+		return
+	}
+	if c.fbRound > 0 {
+		c.finishFallbackRound(ctx)
 		return
 	}
 	ctx.Work(time.Duration(len(c.batch)) * c.sys.cfg.Costs.RoutingCPU)
@@ -362,6 +470,9 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 			c.respond(ctx, t, sysapi.Response{
 				Req: t.req.Req, Err: t.err, Retries: t.retries,
 			})
+		case c.unionAbort[tid] && c.fbSet[tid]:
+			// Conflict abort rescued by the fallback schedule: it
+			// re-executes (and responds) within this batch.
 		case c.unionAbort[tid]:
 			c.Aborts++
 			if t.retries+1 > c.sys.cfg.MaxRetries {
@@ -383,6 +494,119 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 		}
 	}
 	c.groupCommit(ctx)
+	if len(c.fbRounds) > 0 {
+		c.startFallbackRound(ctx)
+		return
+	}
+	c.finishBatch(ctx)
+}
+
+// startFallbackRound dispatches the next fallback re-execution round:
+// each rescued transaction restarts its call chain from its root
+// invocation against the now-current committed state (standard commits
+// plus every earlier round). Round members have pairwise-disjoint
+// declared footprints, so they re-execute concurrently; the round is then
+// validated like a miniature batch, which catches footprints that drifted
+// under the re-read values.
+func (c *Coordinator) startFallbackRound(ctx *sim.Context) {
+	round := c.fbRounds[0]
+	c.fbRounds = c.fbRounds[1:]
+	c.fbRound++
+	c.FallbackRounds++
+	c.fbOrder = round
+	c.unfinished = len(round)
+	c.enterPhase(ctx, phaseClosing)
+	for _, tid := range round {
+		t := c.batch[tid]
+		t.finished, t.value, t.err = false, interp.None, ""
+		ev := &core.Event{
+			Kind:   core.EvInvoke,
+			Req:    t.req.Req,
+			Target: t.req.Target,
+			Method: t.req.Method,
+			Args:   t.req.Args,
+		}
+		ctx.Send(c.sys.ownerOf(t.req.Target), msgTxnEvent{TID: tid, Epoch: c.epoch, Round: c.fbRound, Ev: ev},
+			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+// decideFallbackRound broadcasts the round's deterministic decision once
+// its votes are unanimous: committed members apply, demoted members (a
+// conflict the declared footprints did not predict) re-run with the next
+// round.
+func (c *Coordinator) decideFallbackRound(ctx *sim.Context) {
+	aborts := make([]aria.TID, 0)
+	for _, tid := range c.fbOrder {
+		if c.unionAbort[tid] || c.batch[tid].err != "" {
+			aborts = append(aborts, tid)
+		}
+	}
+	c.enterPhase(ctx, phaseApply)
+	c.applied = map[string]bool{}
+	for _, w := range c.sys.workerIDs {
+		ctx.Send(w, msgDecide{Epoch: c.epoch, Round: c.fbRound,
+			Order:  append([]aria.TID(nil), c.fbOrder...),
+			Aborts: append([]aria.TID(nil), aborts...),
+		}, c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+// finishFallbackRound settles one applied fallback round: committed
+// members respond, an application error from the re-execution is as
+// definitive as one from a first execution, and demoted members merge
+// into the next round (kept in TID order, so the round's internal
+// validation stays deterministic). Validation commits at least the
+// lowest TID of every round, so the phase always drains within the
+// batch.
+func (c *Coordinator) finishFallbackRound(ctx *sim.Context) {
+	ctx.Work(time.Duration(len(c.fbOrder)) * c.sys.cfg.Costs.RoutingCPU)
+	var demoted []aria.TID
+	for _, tid := range c.fbOrder {
+		t := c.batch[tid]
+		switch {
+		case t.err != "":
+			c.Failures++
+			c.respond(ctx, t, sysapi.Response{
+				Req: t.req.Req, Err: t.err, Retries: t.retries,
+			})
+		case c.unionAbort[tid]:
+			demoted = append(demoted, tid)
+		default:
+			c.Commits++
+			c.FallbackCommits++
+			c.respond(ctx, t, sysapi.Response{
+				Req: t.req.Req, Value: t.value, Retries: t.retries,
+			})
+		}
+	}
+	c.groupCommit(ctx)
+	if len(demoted) > 0 {
+		if len(c.fbRounds) == 0 {
+			c.fbRounds = [][]aria.TID{demoted}
+		} else {
+			merged := append(demoted, c.fbRounds[0]...)
+			sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+			c.fbRounds[0] = merged
+		}
+	}
+	if len(c.fbRounds) > 0 {
+		c.startFallbackRound(ctx)
+		return
+	}
+	c.finishBatch(ctx)
+}
+
+// resetFallback drops all batch-scoped fallback state.
+func (c *Coordinator) resetFallback() {
+	c.fbVotes, c.fbRounds, c.fbSet, c.fbRound, c.fbOrder = nil, nil, nil, 0, nil
+}
+
+// finishBatch closes the epoch's accounting once the batch — including
+// any fallback rounds — fully settled, then snapshots or opens the next
+// batch.
+func (c *Coordinator) finishBatch(ctx *sim.Context) {
+	c.resetFallback()
 	c.EpochsClosed++
 	if c.sys.cfg.SnapshotEvery > 0 && c.EpochsClosed%c.sys.cfg.SnapshotEvery == 0 {
 		c.startSnapshot(ctx)
@@ -647,6 +871,7 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	c.batch = map[aria.TID]*txnState{}
 	c.order = nil
 	c.unfinished = 0
+	c.resetFallback()
 	c.rebuildSeen()
 	c.recovered = map[string]bool{}
 	c.snapshotID = snapID
@@ -724,6 +949,7 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 	c.unfinished = 0
 	c.pending = nil
 	c.votes, c.unionAbort, c.applied, c.snapDone, c.recovered = nil, nil, nil, nil, nil
+	c.resetFallback()
 	c.staged = nil
 	c.stagedIDs = map[string]bool{}
 	c.seen = map[string]bool{}

@@ -344,6 +344,10 @@ func TestSnapshotRetainCompactsStore(t *testing.T) {
 	cfg.SnapshotEvery = 2
 	cfg.EpochInterval = 5 * time.Millisecond
 	cfg.SnapshotRetain = 3
+	// Legacy retry path: with the fallback on, the contended cycle
+	// collapses into a handful of long batches and the scenario stops
+	// producing enough snapshots to exercise retention.
+	cfg.DisableFallback = true
 	f := newDurableFixture(t, 19, cfg, n, 20)
 	f.cluster.ScheduleAt(70*time.Millisecond, func(c *sim.Cluster) { c.CrashUntil("sf-worker-1", 85*time.Millisecond) })
 	f.cluster.ScheduleAt(85*time.Millisecond, func(c *sim.Cluster) { c.Restart("sf-worker-1") })

@@ -1,0 +1,289 @@
+package stateflow
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/compiler"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+)
+
+// chainScript submits the canonical conflict chain: t_i transfers from
+// acct(i) to acct(i+1), so every transaction shares an account with its
+// predecessor (WAW on the shared balance slot) and standard Aria
+// validation commits only the head of the chain per batch. A spacing
+// wider than the client-link jitter keeps arrival order — and therefore
+// TID order — equal to chain order; zero spacing submits one burst whose
+// TIDs permute under the jitter (the conflict graph is the same either
+// way).
+func chainScript(k int, amount int64, spacing time.Duration) []sysapi.Scheduled {
+	script := make([]sysapi.Scheduled, 0, k)
+	for i := 0; i < k; i++ {
+		script = append(script, sysapi.Scheduled{
+			At:  time.Millisecond + time.Duration(i)*spacing,
+			Req: transferReq(fmt.Sprintf("t%d", i), acct(i), acct(i+1), amount),
+		})
+	}
+	return script
+}
+
+// assertChainState checks the serial-order outcome of a fully committed
+// k-chain of transfers of `amount`: the head loses the amount, the tail
+// gains it, everyone in between breaks even.
+func assertChainState(t *testing.T, sys *System, k int, amount int64) {
+	t.Helper()
+	for i := 0; i <= k; i++ {
+		want := int64(100)
+		switch i {
+		case 0:
+			want -= amount
+		case k:
+			want += amount
+		}
+		if got := balance(t, sys, acct(i)); got != want {
+			t.Fatalf("%s: balance %d, want %d", acct(i), got, want)
+		}
+	}
+}
+
+// TestChainDrainsInOneBatchWithFallback is the fallback phase's headline
+// property: a k-chain of conflicting transfers submitted into one batch
+// commits IN FULL in that batch — the head through standard validation,
+// every dependent through deterministic re-execution rounds — with zero
+// next-batch retries. Without the fallback the same workload needs k
+// batches (pinned by the companion test below).
+func TestChainDrainsInOneBatchWithFallback(t *testing.T) {
+	const k = 32
+	cfg := DefaultConfig()
+	// One epoch long enough to absorb the whole spaced chain: TID order
+	// equals chain order, so the batch is the pure-chain worst case.
+	cfg.EpochInterval = 50 * time.Millisecond
+	fx := newFixture(t, cfg, k+1, chainScript(k, 5, time.Millisecond))
+	fx.cluster.RunUntil(5 * time.Second)
+
+	if fx.client.Done != k {
+		t.Fatalf("responses: %d/%d", fx.client.Done, k)
+	}
+	for id, r := range fx.client.Responses {
+		if r.Err != "" || !r.Value.B {
+			t.Fatalf("%s: err=%q value=%v", id, r.Err, r.Value)
+		}
+		// The PR 4 retry-budget pathology is gone: no chain member burns
+		// retries climbing through one-commit-per-batch drains.
+		if r.Retries != 0 {
+			t.Fatalf("%s: %d retries, want 0 (fallback should commit in-batch)", id, r.Retries)
+		}
+	}
+	c := fx.sys.Coordinator()
+	if c.EpochsClosed != 1 {
+		t.Fatalf("batches: %d, want 1 (chain must drain in O(1) batches)", c.EpochsClosed)
+	}
+	if c.Commits != k {
+		t.Fatalf("commits: %d, want %d", c.Commits, k)
+	}
+	if c.FallbackCommits != k-1 {
+		t.Fatalf("fallback commits: %d, want %d", c.FallbackCommits, k-1)
+	}
+	if c.FallbackRounds != k-1 {
+		t.Fatalf("fallback rounds: %d, want %d (a pure chain re-executes one per round)",
+			c.FallbackRounds, k-1)
+	}
+	if c.Aborts != 0 {
+		t.Fatalf("next-batch retries: %d, want 0", c.Aborts)
+	}
+	assertChainState(t, fx.sys, k, 5)
+}
+
+// TestChainOnePerBatchWithoutFallback pins the legacy behavior the
+// fallback replaces — and that the two modes converge to byte-identical
+// committed state: the chain drains exactly one commit per batch, the
+// tail transaction pays k-1 retries, and the final balances match the
+// fallback run's.
+func TestChainOnePerBatchWithoutFallback(t *testing.T) {
+	const k = 32
+	cfg := DefaultConfig()
+	cfg.EpochInterval = 50 * time.Millisecond
+	cfg.DisableFallback = true
+	fx := newFixture(t, cfg, k+1, chainScript(k, 5, time.Millisecond))
+	fx.cluster.RunUntil(10 * time.Second)
+
+	if fx.client.Done != k {
+		t.Fatalf("responses: %d/%d", fx.client.Done, k)
+	}
+	c := fx.sys.Coordinator()
+	if c.EpochsClosed != k {
+		t.Fatalf("batches: %d, want %d (one commit per batch without fallback)", c.EpochsClosed, k)
+	}
+	if c.Commits != k || c.FallbackCommits != 0 {
+		t.Fatalf("commits: %d (fallback %d), want %d (0)", c.Commits, c.FallbackCommits, k)
+	}
+	// The retry-budget pathology the fallback removes: retry counts climb
+	// linearly down the chain.
+	maxRetries := 0
+	for _, r := range fx.client.Responses {
+		if r.Retries > maxRetries {
+			maxRetries = r.Retries
+		}
+	}
+	if maxRetries != k-1 {
+		t.Fatalf("max retries: %d, want %d (linear climb down the chain)", maxRetries, k-1)
+	}
+	// Byte-identical final committed state across both modes.
+	assertChainState(t, fx.sys, k, 5)
+}
+
+// TestFallbackDifferentialContendedState runs a contended random transfer
+// mix (not a pure chain: fans, chains and disjoint clusters) with the
+// fallback on and off and asserts the committed state of every account is
+// byte-identical: the fallback's re-execution rounds replay exactly the
+// serial order the legacy one-batch-per-round retry drain would have
+// produced.
+func TestFallbackDifferentialContendedState(t *testing.T) {
+	const accounts, transfers = 8, 48
+	script := make([]sysapi.Scheduled, 0, transfers)
+	for i := 0; i < transfers; i++ {
+		from := (i * 5) % accounts
+		to := (from + 1 + (i*3)%(accounts-1)) % accounts
+		script = append(script, sysapi.Scheduled{
+			At:  time.Duration(1+i/16) * time.Millisecond, // three bursts
+			Req: transferReq(fmt.Sprintf("t%d", i), acct(from), acct(to), int64(1+i%7)),
+		})
+	}
+	run := func(disable bool) (*System, map[string]sysapi.Response) {
+		cfg := DefaultConfig()
+		cfg.EpochInterval = 5 * time.Millisecond
+		cfg.DisableFallback = disable
+		fx := newFixture(t, cfg, accounts, script)
+		fx.cluster.RunUntil(10 * time.Second)
+		if fx.client.Done != transfers {
+			t.Fatalf("disable=%v: responses %d/%d", disable, fx.client.Done, transfers)
+		}
+		return fx.sys, fx.client.Responses
+	}
+	on, onResp := run(false)
+	off, offResp := run(true)
+	for i := 0; i < accounts; i++ {
+		if got, want := balance(t, on, acct(i)), balance(t, off, acct(i)); got != want {
+			t.Fatalf("%s: fallback-on balance %d != fallback-off %d", acct(i), got, want)
+		}
+	}
+	for id, a := range onResp {
+		b, ok := offResp[id]
+		if !ok {
+			t.Fatalf("%s: missing without fallback", id)
+		}
+		if a.Err != b.Err || a.Value.Repr() != b.Value.Repr() {
+			t.Fatalf("%s: outcome diverges: on=(%s,%q) off=(%s,%q)",
+				id, a.Value.Repr(), a.Err, b.Value.Repr(), b.Err)
+		}
+	}
+	if on.Coordinator().FallbackCommits == 0 {
+		t.Fatal("differential run never exercised the fallback phase")
+	}
+}
+
+// TestCoordinatorCrashMidFallback kills the coordinator while fallback
+// re-execution rounds are in flight: the reboot from the durable log must
+// recover to a consistent decide — the replay re-runs the batch (fallback
+// included), the delivered-buffer suppresses duplicate responses, and the
+// chain still commits with its serial-order state intact.
+func TestCoordinatorCrashMidFallback(t *testing.T) {
+	const k = 16
+	cfg := DefaultConfig()
+	cfg.EpochInterval = 5 * time.Millisecond
+	cfg.SnapshotEvery = 2
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cluster := sim.New(42)
+	sys := New(cluster, prog, cfg)
+	for i := 0; i <= k; i++ {
+		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	sys.CheckpointPreloadedState()
+	client := sysapi.NewScriptClient("client", sys, chainScript(k, 5, 0))
+	// Retrying client: a response whose delivered-record synced right
+	// before the crash is suppressed by the replay and must be solicited
+	// back from the egress buffer.
+	client.RetryEvery = 20 * time.Millisecond
+	cluster.Add("client", client)
+	cluster.Start()
+
+	// Step finely until the fallback phase is mid-flight (some rounds
+	// executed, work still outstanding), then crash the coordinator.
+	for i := 0; ; i++ {
+		if sys.coord.fbRound >= 3 && sys.coord.fbRound <= k-2 {
+			break
+		}
+		if i > 500_000 {
+			t.Fatal("never caught the coordinator mid-fallback")
+		}
+		cluster.RunUntil(cluster.Now() + 20*time.Microsecond)
+	}
+	cluster.Crash("sf-coord")
+	cluster.RunUntil(cluster.Now() + 30*time.Millisecond)
+	cluster.Restart("sf-coord")
+	cluster.RunUntil(20 * time.Second)
+
+	c := sys.Coordinator()
+	if c.Restarts == 0 {
+		t.Fatal("coordinator never rebooted from the log")
+	}
+	if client.Done != k {
+		t.Fatalf("responses: %d/%d", client.Done, k)
+	}
+	for id, r := range client.Responses {
+		if r.Err != "" || !r.Value.B {
+			t.Fatalf("%s: err=%q value=%v", id, r.Err, r.Value)
+		}
+	}
+	assertChainState(t, sys, k, 5)
+}
+
+// TestFallbackDrainsUnderfundedChain: a transaction whose re-execution
+// surfaces an application outcome (here: the funds check failing against
+// the post-rescue balances) must respond with that outcome instead of
+// retrying forever — fallback re-execution follows the same response
+// contract as a first execution.
+func TestFallbackDrainsUnderfundedChain(t *testing.T) {
+	// acct(0) starts with 100; three transfers of 60 out of the shared
+	// account conflict pairwise. Serially only the first succeeds; the
+	// second and third must return False (insufficient funds) from their
+	// fallback re-executions — deterministically, in TID order.
+	script := []sysapi.Scheduled{
+		{At: time.Millisecond, Req: transferReq("t0", acct(0), acct(1), 60)},
+		{At: time.Millisecond, Req: transferReq("t1", acct(0), acct(2), 60)},
+		{At: time.Millisecond, Req: transferReq("t2", acct(0), acct(3), 60)},
+	}
+	cfg := DefaultConfig()
+	cfg.EpochInterval = 5 * time.Millisecond
+	fx := newFixture(t, cfg, 4, script)
+	fx.cluster.RunUntil(5 * time.Second)
+	if fx.client.Done != 3 {
+		t.Fatalf("responses: %d/3", fx.client.Done)
+	}
+	var trues int
+	for id, r := range fx.client.Responses {
+		if r.Err != "" {
+			t.Fatalf("%s: unexpected error %q", id, r.Err)
+		}
+		if r.Value.B {
+			trues++
+		}
+	}
+	if trues != 1 {
+		t.Fatalf("%d transfers succeeded, want exactly 1 (funds bound)", trues)
+	}
+	if got := balance(t, fx.sys, acct(0)); got != 40 {
+		t.Fatalf("acct-000 balance: %d, want 40", got)
+	}
+	if fx.sys.Coordinator().EpochsClosed != 1 {
+		t.Fatalf("batches: %d, want 1", fx.sys.Coordinator().EpochsClosed)
+	}
+}

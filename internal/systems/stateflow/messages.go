@@ -9,17 +9,24 @@ import (
 
 // msgTxnEvent carries one dataflow event of a transaction between workers
 // (function-to-function communication over internal dataflow cycles, §3).
+// Round > 0 marks a fallback re-execution of a conflict-aborted
+// transaction; workers and coordinator drop events from a finished round
+// of the same epoch, so a delayed duplicate can never leak a stale
+// execution into a later round.
 type msgTxnEvent struct {
 	TID   aria.TID
 	Epoch int64
+	Round int
 	Ev    *core.Event
 }
 
 // msgTxnFinished tells the coordinator a transaction's call chain reached
-// its root response.
+// its root response. Round echoes the execution round of the events that
+// produced it (0: the batch's optimistic first execution).
 type msgTxnFinished struct {
 	TID   aria.TID
 	Epoch int64
+	Round int
 	Value interp.Value
 	Err   string
 }
@@ -27,27 +34,44 @@ type msgTxnFinished struct {
 // msgEpochTick closes the open batch.
 type msgEpochTick struct{ Epoch int64 }
 
-// msgPrepare starts validation of a closed batch on every worker.
+// msgPrepare starts validation on every worker: of the closed batch
+// (Round 0, Order is the full batch TID order) or of one fallback
+// re-execution round (Round ≥ 1, Order is that round's members).
 type msgPrepare struct {
 	Epoch int64
+	Round int
 	Order []aria.TID
 }
 
-// msgVote returns a worker's local aborts.
+// msgVote returns a worker's local aborts for the batch or for a
+// fallback round. On the batch vote (Round 0, fallback phase enabled)
+// Sets additionally carries the worker's local reservation sets: the
+// coordinator merges them per TID into the global footprints that the
+// fallback dependency graph (aria.Fallback) is built from.
 type msgVote struct {
 	Epoch  int64
+	Round  int
 	Aborts []aria.TID
+	Sets   map[aria.TID]*aria.RWSet
 }
 
-// msgDecide broadcasts the deterministic global decision.
+// msgDecide broadcasts the deterministic global decision for the batch
+// (Round 0) or for one fallback round. The round guard matters for the
+// apply: a delayed duplicate of an earlier round's decide must not wipe
+// the workspaces of the round currently in flight.
 type msgDecide struct {
 	Epoch  int64
+	Round  int
 	Order  []aria.TID
 	Aborts []aria.TID
 }
 
-// msgApplied acknowledges that a worker installed the batch's writes.
-type msgApplied struct{ Epoch int64 }
+// msgApplied acknowledges that a worker installed the batch's (or one
+// fallback round's) writes.
+type msgApplied struct {
+	Epoch int64
+	Round int
+}
 
 // msgTakeSnapshot asks workers to persist their committed stores. Epoch
 // is the coordination epoch the snapshot aligns with: a delayed copy

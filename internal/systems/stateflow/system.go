@@ -67,6 +67,15 @@ type Config struct {
 	// SnapshotRetain keeps only the newest N snapshots at each dlog
 	// checkpoint, bounding the snapshot store like the log. 0: keep all.
 	SnapshotRetain int
+	// DisableFallback turns off Aria's deterministic fallback phase.
+	// With the fallback on (the default), conflict-aborted transactions
+	// re-execute in deterministic rounds inside the same batch — a pure
+	// conflict chain (t1: A→B, t2: B→C, …) commits in full in one batch.
+	// Disabled, they are re-queued into the next batch (the legacy
+	// one-commit-per-chain-per-batch behavior, kept for A/B
+	// benchmarking). Not to be confused with MapFallback, which concerns
+	// the interpreter's slotted fast path.
+	DisableFallback bool
 }
 
 // DefaultConfig mirrors the paper's deployment shape.

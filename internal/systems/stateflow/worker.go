@@ -31,6 +31,12 @@ type Worker struct {
 	// (a closed batch, or everything before a recovery's view change) and
 	// are dropped. Purely worker-local state — a real node could keep it.
 	epoch int64
+	// round is the high-water mark of the fallback re-execution round
+	// within the current epoch (0: the batch's first execution). A
+	// delayed or duplicated prepare/decide/event from a finished round
+	// must be dropped — a stale decide would otherwise wipe the current
+	// round's in-flight workspaces.
+	round int
 
 	// Breakdown attributes CPU time to runtime components for the §4
 	// overhead experiment.
@@ -61,7 +67,25 @@ func (w *Worker) observe(epoch int64) bool {
 	if epoch < w.epoch {
 		return false
 	}
-	w.epoch = epoch
+	if epoch > w.epoch {
+		w.epoch = epoch
+		w.round = 0
+	}
+	return true
+}
+
+// observeRound additionally advances the fallback-round high-water mark
+// within the current epoch. Equal rounds are current (duplicates within a
+// round are handled like duplicates within an epoch); lower rounds belong
+// to a finished re-execution pass and are dropped.
+func (w *Worker) observeRound(epoch int64, round int) bool {
+	if !w.observe(epoch) {
+		return false
+	}
+	if round < w.round {
+		return false
+	}
+	w.round = round
 	return true
 }
 
@@ -97,12 +121,13 @@ func (w *Worker) workspace(tid aria.TID) *aria.Workspace {
 // partition, charging the cost-model CPU components, and forwards the
 // produced events.
 func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
-	if !w.observe(m.Epoch) {
-		// Stale event from a batch discarded by recovery. (An old-epoch
-		// event arriving before this worker has seen anything newer can
-		// slip through and execute; its workspace is garbage that no
-		// decide order will ever reference, and its root response carries
-		// the old epoch, which the coordinator rejects.)
+	if !w.observeRound(m.Epoch, m.Round) {
+		// Stale event from a batch discarded by recovery or from a
+		// finished fallback round. (An old-epoch event arriving before
+		// this worker has seen anything newer can slip through and
+		// execute; its workspace is garbage that no decide order will
+		// ever reference, and its root response carries the old epoch or
+		// round, which the coordinator rejects.)
 		return
 	}
 	costs := w.sys.cfg.Costs
@@ -131,7 +156,7 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 	w.Breakdown.Add("function_execution", costs.ExecuteCPU)
 	if err != nil {
 		// Internal execution fault: finish the transaction with an error.
-		ctx.Send(w.sys.coordID, msgTxnFinished{TID: m.TID, Epoch: m.Epoch, Err: err.Error()},
+		ctx.Send(w.sys.coordID, msgTxnFinished{TID: m.TID, Epoch: m.Epoch, Round: m.Round, Err: err.Error()},
 			costs.WorkerLink.Sample(ctx.Rand()))
 		return
 	}
@@ -139,7 +164,7 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 		switch ev.Kind {
 		case core.EvResponse:
 			ctx.Send(w.sys.coordID, msgTxnFinished{
-				TID: m.TID, Epoch: m.Epoch, Value: ev.Value, Err: ev.Err,
+				TID: m.TID, Epoch: m.Epoch, Round: m.Round, Value: ev.Value, Err: ev.Err,
 			}, costs.WorkerLink.Sample(ctx.Rand()))
 		default:
 			target := w.sys.ownerOf(ev.Target)
@@ -147,37 +172,50 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 			if target == w.id {
 				lat = 0 // same-partition transfer stays in process
 			}
-			ctx.Send(target, msgTxnEvent{TID: m.TID, Epoch: m.Epoch, Ev: ev}, lat)
+			ctx.Send(target, msgTxnEvent{TID: m.TID, Epoch: m.Epoch, Round: m.Round, Ev: ev}, lat)
 		}
 	}
 }
 
-// onPrepare validates local reservations for the batch (Aria's conflict
-// rules) and votes.
+// onPrepare validates local reservations for the batch — or for one
+// fallback re-execution round — (Aria's conflict rules) and votes. On the
+// batch vote with the fallback phase enabled, the vote also ships the
+// local reservation sets so the coordinator can build the global fallback
+// dependency graph.
 func (w *Worker) onPrepare(ctx *sim.Context, m msgPrepare) {
-	if !w.observe(m.Epoch) {
-		return // stale (delayed or duplicated) prepare from a closed epoch
+	if !w.observeRound(m.Epoch, m.Round) {
+		return // stale (delayed or duplicated) prepare from a closed epoch/round
 	}
 	costs := w.sys.cfg.Costs
 	sets := make(map[aria.TID]*aria.RWSet, len(w.workspaces))
-	for tid, ws := range w.workspaces {
-		sets[tid] = ws.RW
+	for _, tid := range m.Order {
+		if ws, ok := w.workspaces[tid]; ok {
+			sets[tid] = ws.RW
+		}
 	}
 	aborts := aria.Validate(m.Order, sets)
 	work := time.Duration(len(w.workspaces)) * costs.CommitCPU
+	vote := msgVote{Epoch: m.Epoch, Round: m.Round, Aborts: aborts}
+	if m.Round == 0 && !w.sys.cfg.DisableFallback {
+		// The extra fallback pass is priced per shipped reservation set:
+		// serializing the footprints is work the legacy protocol never
+		// paid.
+		work += time.Duration(len(sets)) * costs.FallbackCPU
+		vote.Sets = sets
+	}
 	ctx.Work(work)
 	w.Breakdown.Add("txn_validation", work)
-	ctx.Send(w.sys.coordID, msgVote{Epoch: m.Epoch, Aborts: aborts},
-		costs.WorkerLink.Sample(ctx.Rand()))
+	ctx.Send(w.sys.coordID, vote, costs.WorkerLink.Sample(ctx.Rand()))
 }
 
 // onDecide applies committed workspaces in TID order and discards the
 // rest.
 func (w *Worker) onDecide(ctx *sim.Context, m msgDecide) {
-	if !w.observe(m.Epoch) {
-		// Stale decide from a closed epoch: without this guard a delayed
-		// duplicate would wipe the next epoch's in-flight workspaces,
-		// tearing any split transaction already executing.
+	if !w.observeRound(m.Epoch, m.Round) {
+		// Stale decide from a closed epoch or a finished fallback round:
+		// without this guard a delayed duplicate would wipe the in-flight
+		// workspaces of the next epoch (or of the round currently
+		// re-executing), tearing any split transaction already running.
 		return
 	}
 	costs := w.sys.cfg.Costs
@@ -199,7 +237,7 @@ func (w *Worker) onDecide(ctx *sim.Context, m msgDecide) {
 		w.Applied++
 	}
 	w.workspaces = map[aria.TID]*aria.Workspace{}
-	ctx.Send(w.sys.coordID, msgApplied{Epoch: m.Epoch},
+	ctx.Send(w.sys.coordID, msgApplied{Epoch: m.Epoch, Round: m.Round},
 		costs.WorkerLink.Sample(ctx.Rand()))
 }
 

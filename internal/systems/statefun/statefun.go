@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/core"
@@ -47,11 +48,25 @@ type Config struct {
 	// MapFallback disables the slotted execution fast path, forcing
 	// name-keyed variable and attribute resolution (differential testing).
 	MapFallback bool
+	// DedupRetention bounds the broker's ingress dedup set — the same
+	// horizon the StateFlow coordinator uses for its seen/delivered
+	// maps: a request id becomes prunable once its LATEST arrival is at
+	// least this old (duplicates refresh the window, so a still-retrying
+	// in-flight request is never evicted), and a retry or wire duplicate
+	// lagging the window may re-execute. Pruning drains lazily, so an
+	// expired id can linger up to one extra window — erring toward
+	// suppression, never toward double execution. 0: keep forever.
+	DedupRetention time.Duration
 }
 
 // DefaultConfig mirrors the paper's balanced deployment.
 func DefaultConfig() Config {
-	return Config{FlinkWorkers: 3, FnRuntimes: 3, Costs: costmodel.Default()}
+	return Config{
+		FlinkWorkers:   3,
+		FnRuntimes:     3,
+		Costs:          costmodel.Default(),
+		DedupRetention: 30 * time.Second,
+	}
 }
 
 // System is a deployed StateFun-model runtime.
@@ -63,6 +78,7 @@ type System struct {
 	brokerID string
 	routerID string
 	egressID string
+	broker   *broker
 	workers  []*flinkWorker
 	fns      []*fnRuntime
 
@@ -95,7 +111,8 @@ func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
 	if cfg.MapFallback {
 		sys.executor.Interp().SetSlotted(false)
 	}
-	cluster.Add(sys.brokerID, &broker{sys: sys})
+	sys.broker = &broker{sys: sys}
+	cluster.Add(sys.brokerID, sys.broker)
 	cluster.Add(sys.routerID, &router{sys: sys})
 	cluster.Add(sys.egressID, &egress{sys: sys})
 	for i := 0; i < cfg.FlinkWorkers; i++ {
@@ -285,11 +302,45 @@ type broker struct {
 	// seen dedupes client request ids at the ingress produce (the
 	// idempotent-producer model): a client retransmission or a duplicated
 	// wire delivery must not become a second dataflow record — without
-	// this, a retried in-flight request would execute twice. Unbounded
-	// (one entry per request for the run) — acceptable for the simulated
-	// baseline; the StateFlow coordinator's equivalent is bounded by
-	// DedupRetention.
-	seen map[string]bool
+	// this, a retried in-flight request would execute twice. Bounded by
+	// Config.DedupRetention like the StateFlow coordinator's dedup maps:
+	// seen records each id's LATEST arrival (a duplicate refreshes the
+	// window, so a still-retrying in-flight request is never evicted mid
+	// flight), and seenOrder drains FIFO with lazy re-arming — an entry
+	// whose id was refreshed since its append re-enters the queue at its
+	// new time instead of being evicted. O(1) amortized per arrival;
+	// re-arming can leave the queue unsorted, so an expired id may
+	// linger behind a younger head up to one extra window (suppression
+	// errs conservative; the bound on the set size is unaffected).
+	seen      map[string]time.Duration
+	seenOrder []seenEntry
+}
+
+// seenEntry is one ingress dedup record awaiting retention expiry.
+type seenEntry struct {
+	id string
+	at time.Duration
+}
+
+// pruneSeen retires dedup entries whose latest arrival fell off the
+// retention window.
+func (b *broker) pruneSeen(now time.Duration) {
+	retention := b.sys.cfg.DedupRetention
+	if retention <= 0 {
+		return
+	}
+	for len(b.seenOrder) > 0 && b.seenOrder[0].at+retention <= now {
+		e := b.seenOrder[0]
+		b.seenOrder = b.seenOrder[1:]
+		if last, ok := b.seen[e.id]; ok && last+retention > now {
+			// A duplicate refreshed this id after the entry was queued:
+			// re-arm at the refreshed time (unexpired, so the loop
+			// cannot revisit it this pass).
+			b.seenOrder = append(b.seenOrder, seenEntry{id: e.id, at: last})
+			continue
+		}
+		delete(b.seen, e.id)
+	}
 }
 
 // OnMessage implements sim.Handler.
@@ -297,12 +348,17 @@ func (b *broker) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 	switch m := msg.(type) {
 	case sysapi.MsgRequest:
 		if b.seen == nil {
-			b.seen = map[string]bool{}
+			b.seen = map[string]time.Duration{}
 		}
-		if b.seen[m.Request.Req] {
-			return // duplicate send; already in the ingress topic
+		b.pruneSeen(ctx.Now())
+		if _, dup := b.seen[m.Request.Req]; dup {
+			// Duplicate send; already in the ingress topic. Refresh the
+			// window: an in-flight retry must never age out of the set.
+			b.seen[m.Request.Req] = ctx.Now()
+			return
 		}
-		b.seen[m.Request.Req] = true
+		b.seen[m.Request.Req] = ctx.Now()
+		b.seenOrder = append(b.seenOrder, seenEntry{id: m.Request.Req, at: ctx.Now()})
 		// Client produce into the ingress topic.
 		b.produce(ctx, ingressTopic, envelope{
 			Ev: &core.Event{

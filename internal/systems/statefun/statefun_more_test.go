@@ -8,6 +8,53 @@ import (
 	"statefulentities.dev/stateflow/internal/systems/sysapi"
 )
 
+// TestIngressDedupWindowBounded pins the broker dedup set's retention
+// contract (the same horizon the StateFlow coordinator applies to its
+// seen/delivered maps): a duplicate inside the window is suppressed and
+// refreshes the window (a steadily retrying client is never evicted mid
+// flight, however long it retries), the entry is pruned once the window
+// passes with no further arrivals — so the set stays bounded and, by the
+// documented trade-off, a duplicate lagging the window re-executes.
+func TestIngressDedupWindowBounded(t *testing.T) {
+	retention := DefaultConfig().DedupRetention // 30s
+	fx := newFixture(t, 1, []sysapi.Scheduled{
+		{At: time.Millisecond, Req: updateReq("dup", acct(0), 10)},
+		// In-window duplicate: deduped, window refreshed.
+		{At: 100 * time.Millisecond, Req: updateReq("dup", acct(0), 10)},
+		// 29s later — inside the window of the 100ms refresh: deduped
+		// and refreshed again.
+		{At: 29 * time.Second, Req: updateReq("dup", acct(0), 10)},
+		// 45s: more than one retention after the FIRST arrival, but only
+		// 16s after the last refresh — still deduped (the refresh is
+		// what keeps a retrying in-flight request safe).
+		{At: 45 * time.Second, Req: updateReq("dup", acct(0), 10)},
+		// 80s: a full window after the last arrival at 45s. The entry
+		// was pruned; this lagging duplicate re-executes (the
+		// dedup-window contract, not a bug).
+		{At: 80 * time.Second, Req: updateReq("dup", acct(0), 10)},
+	})
+	fx.cluster.RunUntil(retention / 2)
+	if got := balance(t, fx.sys, acct(0)); got != 110 {
+		t.Fatalf("after in-window duplicate: balance %d, want 110 (deduped once)", got)
+	}
+	fx.cluster.RunUntil(50 * time.Second)
+	if got := balance(t, fx.sys, acct(0)); got != 110 {
+		t.Fatalf("after refresh chain: balance %d, want 110 (retrying id must stay deduped)", got)
+	}
+	fx.cluster.RunUntil(100 * time.Second)
+	if got := balance(t, fx.sys, acct(0)); got != 120 {
+		t.Fatalf("after out-of-window duplicate: balance %d, want 120 (entry pruned, re-executed)", got)
+	}
+	// The set itself is bounded: the pre-window ids are gone.
+	b := fx.sys.broker
+	if len(b.seen) != len(b.seenOrder) {
+		t.Fatalf("seen map (%d) and FIFO (%d) diverge", len(b.seen), len(b.seenOrder))
+	}
+	if len(b.seen) != 1 {
+		t.Fatalf("dedup set not pruned: %d entries, want 1 (only the post-window arrival)", len(b.seen))
+	}
+}
+
 func TestEgressDedupes(t *testing.T) {
 	fx := newFixture(t, 1, []sysapi.Scheduled{
 		{At: time.Millisecond, Req: readReq("r1", acct(0))},

@@ -375,6 +375,84 @@ func Validate(order []TID, sets map[TID]*RWSet) []TID {
 	return aborts
 }
 
+// overlaps reports whether any reservation bit of a intersects b.
+func overlaps(a, b map[ResKey]Bits) bool {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for k, bits := range a {
+		if b[k]&bits != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Conflicts reports whether two reservation sets touch overlapping
+// reservation bits in a way that orders them (WAW, RAW or WAR): if so,
+// the two transactions must commit in their relative serial order —
+// read/read overlap alone never conflicts.
+func Conflicts(a, b *RWSet) bool {
+	return overlaps(a.Writes, b.Writes) ||
+		overlaps(a.Writes, b.Reads) ||
+		overlaps(b.Writes, a.Reads)
+}
+
+// Schedule is the fallback phase's deterministic plan for a batch's
+// conflict-aborted transactions: which of them commit via deterministic
+// re-execution and in what order.
+type Schedule struct {
+	// Commit lists every fallback-scheduled transaction in its
+	// deterministic apply order (the concatenation of Rounds).
+	Commit []TID
+	// Rounds partitions Commit into re-execution rounds. Members of one
+	// round have pairwise-disjoint reservation footprints, so they may
+	// re-execute concurrently; a transaction lands in the round after the
+	// last lower-TID aborted transaction it conflicts with, which
+	// preserves the batch's TID serial order along every conflict chain.
+	Rounds [][]TID
+}
+
+// Fallback computes Aria's deterministic fallback schedule: the second
+// validation pass that rescues conflict-aborted transactions instead of
+// kicking them into the next batch. It rebuilds the batch's dependency
+// graph from the gathered reservation sets and layers the aborted
+// transactions into re-execution rounds: a transaction whose conflicts
+// are all with earlier rounds (or with standard-committed transactions,
+// which apply before any fallback round) is reorderable — it re-executes
+// against the then-current committed state and commits in its round.
+// Every conflict edge (RAW, WAW, WAR) between two aborted transactions
+// orders the higher TID after the lower, so the resulting serial order
+// is exactly the one the legacy retry path would have produced across
+// one batch per round — a pure conflict chain drains in one batch
+// instead of one commit per batch.
+//
+// The schedule is a pure function of (order, sets): every node computing
+// it from the same global reservation sets reaches the same plan.
+func Fallback(order []TID, sets map[TID]*RWSet) Schedule {
+	aborted := Validate(order, sets)
+	var sched Schedule
+	round := make(map[TID]int, len(aborted))
+	for i, tid := range aborted {
+		rw := sets[tid]
+		r := 0
+		for _, lower := range aborted[:i] {
+			if round[lower] >= r && Conflicts(sets[lower], rw) {
+				r = round[lower] + 1
+			}
+		}
+		round[tid] = r
+		for len(sched.Rounds) <= r {
+			sched.Rounds = append(sched.Rounds, nil)
+		}
+		sched.Rounds[r] = append(sched.Rounds[r], tid)
+	}
+	for _, members := range sched.Rounds {
+		sched.Commit = append(sched.Commit, members...)
+	}
+	return sched
+}
+
 // Interface checks.
 var (
 	_ core.Store       = (*Workspace)(nil)

@@ -199,6 +199,162 @@ func TestValidateDeterministicProperty(t *testing.T) {
 }
 
 // ---------------------------------------------------------------------------
+// Fallback schedule
+
+// chainSets builds the canonical conflict chain t1: k0→k1, t2: k1→k2, …
+// (each transaction reads and writes both endpoints, like a transfer).
+func chainSets(n int) ([]TID, map[TID]*RWSet) {
+	order := make([]TID, n)
+	sets := map[TID]*RWSet{}
+	key := func(i int) string { return string(rune('a' + i)) }
+	for i := 0; i < n; i++ {
+		tid := TID(i + 1)
+		order[i] = tid
+		rw := NewRWSet()
+		for _, k := range []string{key(i), key(i + 1)} {
+			rw.Read(rkey(k), SlotBit(0))
+			rw.Write(rkey(k), SlotBit(0))
+		}
+		sets[tid] = rw
+	}
+	return order, sets
+}
+
+// A pure conflict chain: standard validation commits only the head, and
+// the fallback schedule must rescue every other member — one per round,
+// in TID order (each depends on its predecessor).
+func TestFallbackSchedulesWholeChain(t *testing.T) {
+	order, sets := chainSets(6)
+	sched := Fallback(order, sets)
+	if len(sched.Commit) != 5 {
+		t.Fatalf("commit: %v", sched.Commit)
+	}
+	if len(sched.Rounds) != 5 {
+		t.Fatalf("rounds: %v", sched.Rounds)
+	}
+	for i, round := range sched.Rounds {
+		if len(round) != 1 || round[0] != TID(i+2) {
+			t.Fatalf("round %d: %v (want [%d])", i, round, i+2)
+		}
+	}
+}
+
+// A fan (everyone conflicts with t1 only, pairwise disjoint): the whole
+// aborted set is reorderable in a single concurrent round.
+func TestFallbackFanIsOneRound(t *testing.T) {
+	sets := map[TID]*RWSet{
+		1: setOf(nil, []string{"a", "b", "c"}),
+		2: setOf([]string{"a"}, []string{"x"}),
+		3: setOf([]string{"b"}, []string{"y"}),
+		4: setOf([]string{"c"}, []string{"z"}),
+	}
+	sched := Fallback([]TID{1, 2, 3, 4}, sets)
+	if len(sched.Rounds) != 1 {
+		t.Fatalf("rounds: %v", sched.Rounds)
+	}
+	if got := sched.Rounds[0]; len(got) != 3 || got[0] != 2 || got[1] != 3 || got[2] != 4 {
+		t.Fatalf("round 0: %v", got)
+	}
+}
+
+// No conflicts, no schedule.
+func TestFallbackEmptyWithoutConflicts(t *testing.T) {
+	sets := map[TID]*RWSet{
+		1: setOf([]string{"x"}, []string{"x"}),
+		2: setOf([]string{"y"}, []string{"y"}),
+	}
+	if sched := Fallback([]TID{1, 2}, sets); len(sched.Commit) != 0 || len(sched.Rounds) != 0 {
+		t.Fatalf("schedule not empty: %+v", sched)
+	}
+}
+
+// Every conflict edge must order the higher TID into a later round than
+// the lower; round members must be pairwise conflict-free; and the
+// schedule must be a pure function of its inputs.
+func TestFallbackScheduleProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		build := func() ([]TID, map[TID]*RWSet) {
+			r := rand.New(rand.NewSource(seed))
+			n := 3 + r.Intn(16)
+			order := make([]TID, n)
+			sets := map[TID]*RWSet{}
+			keys := []string{"a", "b", "c", "d", "e"}
+			for i := 0; i < n; i++ {
+				tid := TID(i + 1)
+				order[i] = tid
+				rw := NewRWSet()
+				for j := 0; j < 1+r.Intn(3); j++ {
+					k := keys[r.Intn(len(keys))]
+					b := SlotBit(r.Intn(3))
+					if r.Intn(2) == 0 {
+						rw.Read(rkey(k), b)
+					} else {
+						rw.Write(rkey(k), b)
+					}
+				}
+				sets[tid] = rw
+			}
+			return order, sets
+		}
+		order, sets := build()
+		sched := Fallback(order, sets)
+		round := map[TID]int{}
+		for r, members := range sched.Rounds {
+			for i, tid := range members {
+				round[tid] = r
+				for _, peer := range members[:i] {
+					if Conflicts(sets[peer], sets[tid]) {
+						return false // round members must be disjoint
+					}
+				}
+			}
+		}
+		for tid, r := range round {
+			for peer, pr := range round {
+				if peer < tid && Conflicts(sets[peer], sets[tid]) && pr >= r {
+					return false // conflict edge must order the rounds
+				}
+			}
+		}
+		// Determinism: same inputs, same plan.
+		order2, sets2 := build()
+		sched2 := Fallback(order2, sets2)
+		if len(sched2.Commit) != len(sched.Commit) {
+			return false
+		}
+		for i := range sched.Commit {
+			if sched.Commit[i] != sched2.Commit[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Conflicts must see all three dependency kinds and ignore read/read.
+func TestConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b *RWSet
+		want bool
+	}{
+		{"waw", setOf(nil, []string{"x"}), setOf(nil, []string{"x"}), true},
+		{"raw", setOf(nil, []string{"x"}), setOf([]string{"x"}, nil), true},
+		{"war", setOf([]string{"x"}, nil), setOf(nil, []string{"x"}), true},
+		{"read-read", setOf([]string{"x"}, nil), setOf([]string{"x"}, nil), false},
+		{"disjoint", setOf([]string{"x"}, []string{"x"}), setOf([]string{"y"}, []string{"y"}), false},
+	}
+	for _, c := range cases {
+		if got := Conflicts(c.a, c.b); got != c.want {
+			t.Errorf("%s: Conflicts = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Workspace
 
 func get(t *testing.T, st interp.State, attr string) interp.Value {

@@ -40,6 +40,13 @@ type SimConfig struct {
 	// name-keyed variable and attribute resolution. Differential tests
 	// run both modes and assert identical results and committed state.
 	MapFallback bool
+	// DisableFallback turns off the StateFlow backend's Aria fallback
+	// phase: conflict-aborted transactions then retry in the next batch
+	// instead of re-executing deterministically inside the current one.
+	// Kept for A/B benchmarking and differential tests; no effect on the
+	// baseline backend. (MapFallback above concerns the interpreter, not
+	// the transaction protocol.)
+	DisableFallback bool
 	// ClientRetry is the client-edge retransmission interval: a submitted
 	// request whose response has not arrived after this much virtual time
 	// is re-sent (same request id — the ingress dedupes in-flight copies
@@ -157,6 +164,7 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 		}
 		c.SnapshotEvery = cfg.SnapshotEvery
 		c.MapFallback = cfg.MapFallback
+		c.DisableFallback = cfg.DisableFallback
 		s.sf = sfsys.New(cluster, prog, c)
 		s.sys = s.sf
 	case BackendStateFun:
