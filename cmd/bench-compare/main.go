@@ -1,8 +1,9 @@
 // Command bench-compare is the CI bench-regression gate: it compares a
 // freshly re-run contention benchmark against the checked-in baseline
-// (BENCH_pr5.json) and fails if the Aria fallback's wins regress.
+// (BENCH_pr6.json) and fails if the Aria fallback's wins or the epoch
+// pipeline's fsync merge regress.
 //
-//	bench-compare -baseline BENCH_pr5.json -current /tmp/BENCH_now.json
+//	bench-compare -baseline BENCH_pr6.json -current /tmp/BENCH_now.json
 //
 // The gated metrics are deterministic functions of the simulation seed —
 // commits-per-batch and the fallback-on/off virtual-latency ratio — so
@@ -20,6 +21,12 @@
 //     regress by more than 15% relative to the baseline ratio.
 //  3. both modes must commit every transaction (equivalence: the
 //     fallback changes when transactions commit, never whether).
+//  4. the pipelined dlog-on hot path must keep its fsync merge: fsyncs
+//     per commit at most 1/1.5 of the serial dlog-on baseline, virtual
+//     p50 no worse than it, and the pipeline-on/off fsync ratio no worse
+//     than the baseline's. The serial baseline row resolves from the
+//     ".../pipeline=off" name, falling back to the PR 5-era
+//     "coordinator-hotpath/dlog=on" so older artifacts still gate.
 package main
 
 import (
@@ -33,8 +40,13 @@ import (
 // tolerance is the allowed relative regression of the latency ratio.
 const tolerance = 0.15
 
+// syncMergeFactor is the minimum fsync reduction the pipelined schedule
+// must hold over the serial dlog-on baseline: adjacent epochs share one
+// group-commit sync, so fsyncs per commit must drop at least 1.5x.
+const syncMergeFactor = 1.5
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_pr5.json", "checked-in benchmark baseline")
+	baselinePath := flag.String("baseline", "BENCH_pr6.json", "checked-in benchmark baseline")
 	currentPath := flag.String("current", "", "freshly generated benchmark artifact to gate")
 	flag.Parse()
 	if *currentPath == "" {
@@ -103,6 +115,54 @@ func main() {
 
 	fmt.Printf("bench-compare: commits/batch on=%.2f off=%.2f (baseline on=%.2f off=%.2f)\n",
 		curOn.CommitsPerBatch, curOff.CommitsPerBatch, baseOn.CommitsPerBatch, baseOff.CommitsPerBatch)
+
+	// 4. The pipelined epoch schedule's fsync merge. The serial baseline
+	// is the pipeline=off row when the artifact has the dimension, or the
+	// PR 5-era dlog=on row when it predates pipelining.
+	syncsPerCommit := func(r bench.DlogRow) float64 {
+		if r.Commits == 0 {
+			return 0
+		}
+		return float64(r.LogSyncs) / float64(r.Commits)
+	}
+	baseSerial, err := baseline.FindDlog(
+		"coordinator-hotpath/dlog=on/pipeline=off", "coordinator-hotpath/dlog=on")
+	check(err)
+	curPipe, err := current.FindDlog("coordinator-hotpath/dlog=on/pipeline=on")
+	check(err)
+	curSerial, err := current.FindDlog("coordinator-hotpath/dlog=on/pipeline=off")
+	check(err)
+	if syncsPerCommit(curPipe) <= 0 || syncsPerCommit(curSerial) <= 0 || syncsPerCommit(baseSerial) <= 0 {
+		fail("degenerate dlog sync counts (pipelined %d/%d, serial %d/%d, baseline %d/%d)",
+			curPipe.LogSyncs, curPipe.Commits, curSerial.LogSyncs, curSerial.Commits,
+			baseSerial.LogSyncs, baseSerial.Commits)
+	} else {
+		merge := syncsPerCommit(baseSerial) / syncsPerCommit(curPipe)
+		if merge < syncMergeFactor {
+			fail("pipelined fsync merge regressed: %.2fx fewer syncs/commit than the serial baseline (need >= %.1fx)",
+				merge, syncMergeFactor)
+		}
+		if curPipe.VirtualP50Ms > baseSerial.VirtualP50Ms*(1+tolerance) {
+			fail("pipelined virtual p50 regressed vs serial baseline: %.3fms (baseline %.3fms, tolerance %d%%)",
+				curPipe.VirtualP50Ms, baseSerial.VirtualP50Ms, int(tolerance*100))
+		}
+		curRatio := syncsPerCommit(curPipe) / syncsPerCommit(curSerial)
+		if baseSerialOff, err := baseline.FindDlog("coordinator-hotpath/dlog=on/pipeline=off"); err == nil {
+			if basePipe, err := baseline.FindDlog("coordinator-hotpath/dlog=on/pipeline=on"); err == nil {
+				baseRatio := syncsPerCommit(basePipe) / syncsPerCommit(baseSerialOff)
+				if curRatio > baseRatio*(1+tolerance) {
+					fail("pipeline on/off syncs-per-commit ratio regressed: %.4f (baseline %.4f, tolerance %d%%)",
+						curRatio, baseRatio, int(tolerance*100))
+				}
+			}
+		}
+		if curRatio >= 1 {
+			fail("pipelining no longer merges fsyncs: on/off syncs-per-commit ratio %.4f (must be < 1)", curRatio)
+		}
+		fmt.Printf("bench-compare: fsync merge %.2fx vs serial baseline; pipelined p50 %.3fms (serial baseline %.3fms); on/off syncs ratio %.4f\n",
+			merge, curPipe.VirtualP50Ms, baseSerial.VirtualP50Ms, curRatio)
+	}
+
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "bench-compare: %d check(s) failed against %s\n", failures, *baselinePath)
 		os.Exit(1)

@@ -28,8 +28,9 @@ func main() {
 	records := flag.Int("records", 1000, "YCSB dataset size")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	epoch := flag.Duration("epoch", 10*time.Millisecond, "StateFlow batch (epoch) interval")
-	benchJSON := flag.String("bench-json", "", "with -exp dlog or -exp contention: also write the rows as a JSON benchmark artifact to this path (contention bundles the dlog rows — the BENCH_pr5.json shape CI enforces)")
+	benchJSON := flag.String("bench-json", "", "with -exp dlog or -exp contention: also write the rows as a JSON benchmark artifact to this path (contention bundles the dlog rows — the BENCH_pr6.json shape CI enforces)")
 	noFallback := flag.Bool("no-fallback", false, "disable Aria's deterministic fallback phase on the StateFlow runtime (the contention experiment always measures both modes)")
+	noPipelining := flag.Bool("no-pipelining", false, "force the serial epoch schedule on the StateFlow runtime (the dlog and contention experiments always measure both schedules)")
 	flag.Parse()
 
 	opt := bench.DefaultOptions()
@@ -39,6 +40,7 @@ func main() {
 	opt.Seed = *seed
 	opt.Epoch = *epoch
 	opt.NoFallback = *noFallback
+	opt.NoPipelining = *noPipelining
 
 	run := func(name string) {
 		start := time.Now()

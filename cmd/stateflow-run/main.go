@@ -49,6 +49,8 @@ func main() {
 		"StateFlow batch-size cap: backlogs and post-recovery replays drain chunked over batches of at most this many transactions (0: unbounded)")
 	noFallback := flag.Bool("no-fallback", false,
 		"disable Aria's deterministic fallback phase: conflict-aborted transactions retry in the next batch instead of re-executing inside the current one (A/B benchmarking)")
+	noPipelining := flag.Bool("no-pipelining", false,
+		"force the serial epoch schedule: the coordinator fully commits each epoch before opening the next instead of overlapping execute and commit phases (A/B benchmarking)")
 	flag.Parse()
 
 	src := ycsb.Program()
@@ -77,7 +79,7 @@ func main() {
 		runClient("live runtime (8 workers)", stateflow.NewLiveClient(prog, stateflow.LiveConfig{Workers: 8}),
 			16, wgen, *records, *rate, *duration)
 	case "stateflow", "statefun":
-		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch, *noFallback)
+		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch, *noFallback, *noPipelining)
 	default:
 		fmt.Fprintf(os.Stderr, "stateflow-run: unknown backend %q\n", *backend)
 		os.Exit(2)
@@ -150,7 +152,7 @@ func min(a, b int) int {
 // runSim executes the workload on a simulated distributed deployment with
 // an open-loop generator (arrivals do not wait for responses), optionally
 // under a seeded fault plan.
-func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int, noFallback bool) {
+func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int, noFallback, noPipelining bool) {
 	cluster := sim.New(seed)
 	var sys sysapi.Backend
 	var sf *sfsys.System
@@ -158,6 +160,7 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 		cfg := sfsys.DefaultConfig()
 		cfg.MaxBatch = maxBatch
 		cfg.DisableFallback = noFallback
+		cfg.DisablePipelining = noPipelining
 		if chaosSeed != 0 {
 			cfg.SnapshotEvery = 20 // give recovery real snapshots to roll back to
 		}

@@ -35,6 +35,10 @@ type Options struct {
 	// StateFlow runtime (A/B benchmarking; the contention experiment
 	// ignores it and always measures both modes).
 	NoFallback bool
+	// NoPipelining forces the serial epoch schedule on the StateFlow
+	// runtime (A/B benchmarking; the dlog and contention experiments
+	// ignore it and measure the pipeline dimension explicitly).
+	NoPipelining bool
 }
 
 // DefaultOptions mirror the paper's scale at laptop-friendly durations.
@@ -84,6 +88,7 @@ func runOne(system string, mix ycsb.Mix, dist string, rate float64, opt Options)
 		cfg := stateflow.DefaultConfig()
 		cfg.EpochInterval = opt.Epoch
 		cfg.DisableFallback = opt.NoFallback
+		cfg.DisablePipelining = opt.NoPipelining
 		sfSys = stateflow.New(cluster, prog, cfg)
 		sys = sfSys
 	case "statefun":

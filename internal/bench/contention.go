@@ -6,7 +6,7 @@
 // client latencies quantify what the in-batch re-execution rounds buy
 // over next-batch retries. All virtual-time metrics are deterministic
 // functions of the seed, which is what lets CI compare a re-run against
-// the checked-in BENCH_pr5.json byte for byte rather than against noisy
+// the checked-in BENCH_pr6.json byte for byte rather than against noisy
 // wall-clock numbers.
 package bench
 
@@ -70,19 +70,30 @@ type ContentionRow struct {
 }
 
 // RunContention measures the chained-transfer workload with the fallback
-// phase on and off.
+// phase on and off, plus the fallback-on point under the serial epoch
+// schedule so the pipeline's effect on the contended path is tracked too.
 func RunContention(opt Options) ([]ContentionRow, error) {
 	prog, err := compileProgram()
 	if err != nil {
 		return nil, err
 	}
+	cases := []struct {
+		name              string
+		disableFallback   bool
+		disablePipelining bool
+	}{
+		{"contention/fallback=on", false, false},
+		{"contention/fallback=off", true, false},
+		{"contention/fallback=on/pipeline=off", false, true},
+	}
 	var out []ContentionRow
-	for _, disable := range []bool{false, true} {
+	for _, tc := range cases {
 		cluster := sim.New(opt.Seed)
 		cfg := stateflow.DefaultConfig()
 		cfg.EpochInterval = contentionEpoch
 		cfg.SnapshotEvery = 10
-		cfg.DisableFallback = disable
+		cfg.DisableFallback = tc.disableFallback
+		cfg.DisablePipelining = tc.disablePipelining
 		sys := stateflow.New(cluster, prog, cfg)
 
 		accounts := contentionWaves * (contentionChain + 1)
@@ -119,15 +130,11 @@ func RunContention(opt Options) ([]ContentionRow, error) {
 
 		total := contentionWaves * contentionChain
 		if client.Done != total {
-			return nil, fmt.Errorf("contention (fallback disabled=%v): %d/%d responses", disable, client.Done, total)
+			return nil, fmt.Errorf("contention (%s): %d/%d responses", tc.name, client.Done, total)
 		}
 		coord := sys.Coordinator()
-		name := "contention/fallback=on"
-		if disable {
-			name = "contention/fallback=off"
-		}
 		row := ContentionRow{
-			Name:           name,
+			Name:           tc.name,
 			Commits:        coord.Commits,
 			Batches:        coord.EpochsClosed,
 			Retried:        coord.Aborts,
@@ -167,9 +174,12 @@ func PrintContention(rows []ContentionRow) string {
 	return b.String()
 }
 
-// PR5Doc is the BENCH_pr5.json schema: the contention experiment that
-// gates regressions plus the PR 4 dlog experiment carried forward, so
-// the benchmark trajectory accumulates in one artifact per PR.
+// PR5Doc is the BENCH_pr5.json / BENCH_pr6.json schema: the contention
+// experiment that gates regressions plus the dlog experiment carried
+// forward, so the benchmark trajectory accumulates in one artifact per
+// PR. From PR 6 on, both sections carry the epoch-schedule dimension
+// (".../pipeline=on|off" rows); bench-compare accepts older artifacts
+// without it.
 type PR5Doc struct {
 	Benchmark  string          `json:"benchmark"`
 	Chain      int             `json:"chain"`
@@ -181,7 +191,8 @@ type PR5Doc struct {
 }
 
 // WritePR5JSON writes the benchmark artifact checked in as
-// BENCH_pr5.json and enforced by the CI bench-compare step.
+// BENCH_pr6.json (BENCH_pr5.json historically) and enforced by the CI
+// bench-compare step.
 func WritePR5JSON(path string, opt Options, cont []ContentionRow, dlog []DlogRow) error {
 	doc := PR5Doc{
 		Benchmark:  "aria-fallback-contention",
@@ -221,4 +232,19 @@ func (d PR5Doc) FindContention(name string) (ContentionRow, error) {
 		}
 	}
 	return ContentionRow{}, fmt.Errorf("benchmark doc has no contention row %q", name)
+}
+
+// FindDlog returns the first dlog row matching any of the given names —
+// callers list the preferred (newer-schema) name first and a legacy
+// fallback after it, so a PR 5-era artifact without the pipeline
+// dimension still resolves its serial dlog-on row.
+func (d PR5Doc) FindDlog(names ...string) (DlogRow, error) {
+	for _, name := range names {
+		for _, r := range d.Dlog {
+			if r.Name == name {
+				return r, nil
+			}
+		}
+	}
+	return DlogRow{}, fmt.Errorf("benchmark doc has no dlog row %q", strings.Join(names, `" or "`))
 }

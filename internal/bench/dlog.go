@@ -35,11 +35,14 @@ type DlogRow struct {
 	LogCheckpoints int `json:"log_checkpoints"`
 }
 
-// RunDlog measures the coordinator hot path with the durable log on and
-// off: YCSB A (update-heavy — every transaction crosses the egress and
-// therefore the WAL) at a rate that keeps the coordinator busy, with
-// periodic snapshots so checkpoint compaction is part of the measured
-// path.
+// RunDlog measures the coordinator hot path across the durability and
+// epoch-schedule dimensions: YCSB A (update-heavy — every transaction
+// crosses the egress and therefore the WAL) at a rate that keeps the
+// coordinator busy, with periodic snapshots so checkpoint compaction is
+// part of the measured path. With the log on, both epoch schedules are
+// measured — pipelined (two epochs in flight, adjacent epochs sharing
+// one group-commit fsync) and serial — so the fsync merge shows up as a
+// log_syncs-per-commit gap between the two rows.
 func RunDlog(opt Options) ([]DlogRow, error) {
 	prog, err := compileProgram()
 	if err != nil {
@@ -49,13 +52,23 @@ func RunDlog(opt Options) ([]DlogRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	cases := []struct {
+		name              string
+		disableDlog       bool
+		disablePipelining bool
+	}{
+		{"coordinator-hotpath/dlog=on/pipeline=on", false, false},
+		{"coordinator-hotpath/dlog=on/pipeline=off", false, true},
+		{"coordinator-hotpath/dlog=off", true, false},
+	}
 	var out []DlogRow
-	for _, disable := range []bool{false, true} {
+	for _, tc := range cases {
 		cluster := sim.New(opt.Seed)
 		cfg := stateflow.DefaultConfig()
 		cfg.EpochInterval = opt.Epoch
 		cfg.SnapshotEvery = 10
-		cfg.DisableDlog = disable
+		cfg.DisableDlog = tc.disableDlog
+		cfg.DisablePipelining = tc.disablePipelining
 		cfg.DisableFallback = opt.NoFallback
 		sys := stateflow.New(cluster, prog, cfg)
 		load := ycsb.Loader(opt.Records, opt.PayloadBytes)
@@ -79,12 +92,8 @@ func RunDlog(opt Options) ([]DlogRow, error) {
 		wall := time.Since(start)
 
 		commits := sys.Coordinator().Commits
-		name := "coordinator-hotpath/dlog=on"
-		if disable {
-			name = "coordinator-hotpath/dlog=off"
-		}
 		row := DlogRow{
-			Name:         name,
+			Name:         tc.name,
 			VirtualP50Ms: float64(gen.Latency.Percentile(50)) / float64(time.Millisecond),
 			VirtualP99Ms: float64(gen.Latency.Percentile(99)) / float64(time.Millisecond),
 			Commits:      commits,
@@ -105,12 +114,12 @@ func RunDlog(opt Options) ([]DlogRow, error) {
 // PrintDlog renders the comparison as a table.
 func PrintDlog(rows []DlogRow) string {
 	var b strings.Builder
-	b.WriteString("Coordinator hot path: durable log on vs. off (YCSB A, uniform, 2000 RPS)\n")
-	fmt.Fprintf(&b, "%-28s %12s %12s %12s %9s %9s\n",
-		"config", "ns/op(real)", "p50(virt)", "p99(virt)", "commits", "appends")
+	b.WriteString("Coordinator hot path: dlog x epoch schedule (YCSB A, uniform, 2000 RPS)\n")
+	fmt.Fprintf(&b, "%-36s %12s %12s %12s %9s %9s %9s\n",
+		"config", "ns/op(real)", "p50(virt)", "p99(virt)", "commits", "appends", "syncs")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-28s %12d %11.2fms %11.2fms %9d %9d\n",
-			r.Name, r.NsPerOp, r.VirtualP50Ms, r.VirtualP99Ms, r.Commits, r.LogAppends)
+		fmt.Fprintf(&b, "%-36s %12d %11.2fms %11.2fms %9d %9d %9d\n",
+			r.Name, r.NsPerOp, r.VirtualP50Ms, r.VirtualP99Ms, r.Commits, r.LogAppends, r.LogSyncs)
 	}
 	return b.String()
 }

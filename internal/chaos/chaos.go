@@ -284,9 +284,7 @@ func (e *Engine) installCrash(cr Crash) {
 			}
 			end := at + cr.Downtime
 			e.stats.CrashWindows++
-			id := id
-			e.cluster.ScheduleAt(at, func(c *sim.Cluster) { c.CrashUntil(id, end) })
-			e.cluster.ScheduleAt(end, func(c *sim.Cluster) { c.Restart(id) })
+			e.cluster.ScheduleCrash(id, at, end)
 		}
 	}
 }
@@ -429,10 +427,17 @@ func FromSeed(seed int64, horizon time.Duration) Plan {
 			Count:    1 + rng.Intn(2),
 		})
 	}
-	// One coordinator crash window per plan: every seed exercises the
+	// A recurring coordinator crash window: every seed exercises the
 	// durable-log restart path (clamped off on systems without one).
+	// Several instants per plan, spread so their phases within the epoch
+	// cycle decorrelate: with the pipelined schedule the commit slot is
+	// occupied a large fraction of each epoch, so a handful of
+	// independent instants all but guarantees at least one reboot lands
+	// with two epochs in flight — the overlap window whose recovery path
+	// (replayed responses, re-executed open epoch, fenced volatile
+	// advance) the sweep must exercise, not merely permit.
 	{
-		downtime := time.Duration(rng.Int63n(int64(30*time.Millisecond))) + 10*time.Millisecond
+		downtime := time.Duration(rng.Int63n(int64(12*time.Millisecond))) + 8*time.Millisecond
 		at := active/8 + time.Duration(rng.Int63n(int64(active)/2))
 		if at+downtime > horizon {
 			at = horizon - downtime
@@ -442,7 +447,8 @@ func FromSeed(seed int64, horizon time.Duration) Plan {
 			Victims:  1,
 			At:       at,
 			Downtime: downtime,
-			Count:    1,
+			Every:    downtime + 15*time.Millisecond + time.Duration(rng.Int63n(int64(10*time.Millisecond))),
+			Count:    5,
 		})
 	}
 	// Drop/dup rates are per message: a batch of T transactions crosses

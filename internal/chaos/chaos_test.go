@@ -45,7 +45,7 @@ func TestOracleSeedSweep(t *testing.T) {
 			t.Run(fmt.Sprintf("%s/%s", w.Name, backend), func(t *testing.T) {
 				t.Parallel()
 				recoveries, restarts, replays, crashWindows, drops, delays := 0, 0, 0, 0, 0, 0
-				clientDrops := 0
+				clientDrops, midPipeline, midPipelineSeeds := 0, 0, 0
 				for seed := int64(1); seed <= sweepSeeds(); seed++ {
 					run, err := oracle.Verify(w, backend, seed, cfg)
 					if err != nil {
@@ -66,6 +66,10 @@ func TestOracleSeedSweep(t *testing.T) {
 					}
 					recoveries += run.Recoveries
 					restarts += run.CoordRestarts
+					midPipeline += run.MidPipelineRestarts
+					if run.MidPipelineRestarts > 0 {
+						midPipelineSeeds++
+					}
 					replays += run.Replays
 					crashWindows += run.Stats.CrashWindows
 					drops += run.Stats.Dropped
@@ -74,8 +78,8 @@ func TestOracleSeedSweep(t *testing.T) {
 						clientDrops += n
 					}
 				}
-				t.Logf("%d crash windows, %d drops (%d client-edge response drops), %d delays, %d recoveries (%d coordinator reboots, %d egress replays) survived",
-					crashWindows, drops, clientDrops, delays, recoveries, restarts, replays)
+				t.Logf("%d crash windows, %d drops (%d client-edge response drops), %d delays, %d recoveries (%d coordinator reboots, %d mid-pipeline, %d egress replays) survived",
+					crashWindows, drops, clientDrops, delays, recoveries, restarts, midPipeline, replays)
 				if sweepSeeds() < 5 {
 					return // tiny CHAOS_SWEEP_SEEDS override: skip the vacuousness floor
 				}
@@ -91,6 +95,17 @@ func TestOracleSeedSweep(t *testing.T) {
 					}
 					if replays == 0 {
 						t.Fatal("sweep never re-served a response from the egress buffer")
+					}
+					// The pipelined-recovery floor: a large share of the
+					// sweep's reboots must land with two epochs in flight
+					// (a per-seed demand would be wrong — a lightly loaded
+					// workload legitimately has no overlap open when the
+					// window fires — but a sweep where most seeds never
+					// interrupt the overlap is not testing the pipelined
+					// restart path).
+					if 3*midPipelineSeeds < int(sweepSeeds()) {
+						t.Fatalf("only %d/%d seeds rebooted with two epochs in flight (%d mid-pipeline reboots total)",
+							midPipelineSeeds, sweepSeeds(), midPipeline)
 					}
 				}
 			})

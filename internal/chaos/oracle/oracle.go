@@ -102,6 +102,12 @@ type Run struct {
 	// subset of Recoveries): evidence the coordinator crash window
 	// actually exercised the dlog restart path.
 	CoordRestarts int
+	// MidPipelineRestarts counts the coordinator reboots that landed with
+	// two epochs in flight (the commit slot occupied alongside the open
+	// exec slot) — the overlap window the pipelined recovery must get
+	// right: the committing epoch's responses replayed exactly once, the
+	// open epoch re-executed, its possibly-volatile advance fenced.
+	MidPipelineRestarts int
 	// Replays counts responses the egress re-served from its durable
 	// buffer to retrying clients.
 	Replays int
@@ -120,6 +126,9 @@ type Config struct {
 	// DisableFallback turns off the StateFlow backend's Aria fallback
 	// phase (differential runs compare the two commit strategies).
 	DisableFallback bool
+	// DisablePipelining forces the StateFlow backend's serial epoch
+	// schedule (differential runs compare it against the pipelined one).
+	DisablePipelining bool
 }
 
 // DefaultConfig returns the sweep configuration.
@@ -140,11 +149,12 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		return Run{}, fmt.Errorf("compile %s: %w", w.Name, err)
 	}
 	simCfg := stateflow.SimConfig{
-		Backend:         backend,
-		Seed:            seed,
-		Epoch:           cfg.Epoch,
-		SnapshotEvery:   cfg.SnapshotEvery,
-		DisableFallback: cfg.DisableFallback,
+		Backend:           backend,
+		Seed:              seed,
+		Epoch:             cfg.Epoch,
+		SnapshotEvery:     cfg.SnapshotEvery,
+		DisableFallback:   cfg.DisableFallback,
+		DisablePipelining: cfg.DisablePipelining,
 	}
 	var sim *stateflow.Simulation
 	if plan != nil {
@@ -255,10 +265,12 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 	if sf := sim.StateFlow(); sf != nil {
 		run.Recoveries = sf.Coordinator().Recoveries
 		run.CoordRestarts = sf.Coordinator().Restarts
+		run.MidPipelineRestarts = sf.Coordinator().MidPipelineRestarts
 		run.Replays = sf.Coordinator().Replays
 	}
-	fmt.Fprintf(&trace, "delivered=%d now=%s recoveries=%d restarts=%d replays=%d\n",
-		sim.Cluster.Delivered, sim.Cluster.Now(), run.Recoveries, run.CoordRestarts, run.Replays)
+	fmt.Fprintf(&trace, "delivered=%d now=%s recoveries=%d restarts=%d midpipeline=%d replays=%d\n",
+		sim.Cluster.Delivered, sim.Cluster.Now(), run.Recoveries, run.CoordRestarts,
+		run.MidPipelineRestarts, run.Replays)
 	run.Trace = trace.String()
 
 	for _, inv := range w.Invariants {

@@ -31,9 +31,15 @@ type Kind uint8
 // state summary that subsumes every record before it.
 const KindCheckpoint Kind = 0
 
-// Record is one typed log entry.
+// Record is one typed log entry. At is the owner-stamped write time in
+// nanoseconds — virtual time for simulated owners, wall-clock time for
+// the Live runtime — carried in the durable framing so checkpoint
+// policies can retain records by age (e.g. pruning a response journal to
+// a retention window) without decoding owner payloads. 0 means unstamped
+// (records framed before the stamp existed decode as 0).
 type Record struct {
 	Kind Kind
+	At   int64
 	Data []byte
 }
 

@@ -278,6 +278,41 @@ func TestFileLogTornTailByteSweep(t *testing.T) {
 	}
 }
 
+// TestFileLogTimestampRoundTrip: the owner-stamped write time travels in
+// the durable framing (not the payload) and survives append, close and
+// replay byte-for-byte — the hook age-based journal retention hangs off.
+func TestFileLogTimestampRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ts.dlog")
+	l, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stamps := []int64{0, 1, 1722470400123456789, -7}
+	for i, at := range stamps {
+		if err := l.Append(Record{Kind: 1, At: at, Data: []byte(fmt.Sprintf("r%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Recovered()
+	if len(got.Records) != len(stamps) {
+		t.Fatalf("recovered %d records, want %d", len(got.Records), len(stamps))
+	}
+	for i, r := range got.Records {
+		if r.At != stamps[i] {
+			t.Fatalf("record %d: At=%d, want %d", i, r.At, stamps[i])
+		}
+	}
+}
+
 // TestFileLogCorruptTail flips bytes inside the last frame: the CRC must
 // catch the corruption and recovery must stop before the bad frame.
 func TestFileLogCorruptTail(t *testing.T) {

@@ -11,11 +11,19 @@ import (
 )
 
 // fileMagic heads every log file; a file that does not start with it is
-// rejected rather than silently replayed.
-var fileMagic = []byte("SFDLOG01")
+// rejected rather than silently replayed. Version 02 added the record
+// timestamp to the frame body; 01 files are foreign to it (the journal is
+// a cache of responses a client may retry for, not a migration surface).
+var fileMagic = []byte("SFDLOG02")
 
-// frameHeader is [u32 length of kind+payload][u32 crc32 of kind+payload].
+// frameHeader is [u32 length of body][u32 crc32 of body], where the body
+// is [kind][8-byte LE At timestamp][payload] — the timestamp sits in the
+// durable framing, not the payload, so checkpoint policies can retain
+// records by age without decoding owner payloads.
 const frameHeader = 8
+
+// frameBodyMin is the smallest valid body: kind byte + timestamp.
+const frameBodyMin = 9
 
 // FileLog is the real durable log used outside the simulator (the Live
 // runtime's response journal). Records are CRC-framed in an append-only
@@ -130,21 +138,26 @@ func parseFrame(buf []byte, off int) (Record, int, bool) {
 	}
 	n := int(binary.LittleEndian.Uint32(buf[off:]))
 	crc := binary.LittleEndian.Uint32(buf[off+4:])
-	if n < 1 || off+frameHeader+n > len(buf) {
+	if n < frameBodyMin || off+frameHeader+n > len(buf) {
 		return Record{}, 0, false
 	}
 	body := buf[off+frameHeader : off+frameHeader+n]
 	if crc32.ChecksumIEEE(body) != crc {
 		return Record{}, 0, false
 	}
-	return Record{Kind: Kind(body[0]), Data: append([]byte(nil), body[1:]...)}, off + frameHeader + n, true
+	return Record{
+		Kind: Kind(body[0]),
+		At:   int64(binary.LittleEndian.Uint64(body[1:])),
+		Data: append([]byte(nil), body[frameBodyMin:]...),
+	}, off + frameHeader + n, true
 }
 
 // appendFrame writes one framed record to w.
 func appendFrame(w io.Writer, rec Record) error {
-	body := make([]byte, 1+len(rec.Data))
+	body := make([]byte, frameBodyMin+len(rec.Data))
 	body[0] = byte(rec.Kind)
-	copy(body[1:], rec.Data)
+	binary.LittleEndian.PutUint64(body[1:], uint64(rec.At))
+	copy(body[frameBodyMin:], rec.Data)
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(body))

@@ -52,7 +52,7 @@ func NewSimLog() *SimLog { return &SimLog{} }
 // subsequent sync point completes.
 func (l *SimLog) Append(rec Record) int64 {
 	data := append([]byte(nil), rec.Data...)
-	l.recs = append(l.recs, simRec{rec: Record{Kind: rec.Kind, Data: data}, durableAt: volatile})
+	l.recs = append(l.recs, simRec{rec: Record{Kind: rec.Kind, At: rec.At, Data: data}, durableAt: volatile})
 	l.stats.Appends++
 	l.stats.AppendedBytes += len(data)
 	l.nextLSN++
@@ -123,7 +123,7 @@ func (l *SimLog) Recover(now time.Duration) Recovered {
 		out.Checkpoint = append([]byte(nil), l.base...)
 	}
 	for _, r := range l.recs {
-		out.Records = append(out.Records, Record{Kind: r.rec.Kind, Data: append([]byte(nil), r.rec.Data...)})
+		out.Records = append(out.Records, Record{Kind: r.rec.Kind, At: r.rec.At, Data: append([]byte(nil), r.rec.Data...)})
 	}
 	return out
 }

@@ -320,7 +320,8 @@ func (rt *Runtime) send(ev *core.Event) {
 func (rt *Runtime) complete(id string, r result) {
 	if rt.journal != nil && r.fail == nil {
 		if _, dup := rt.replay.LoadOrStore(id, r); !dup {
-			if err := rt.journal.Append(dlog.Record{Kind: journalResponse, Data: encodeJournalResponse(id, r)}); err != nil {
+			rec := dlog.Record{Kind: journalResponse, At: time.Now().UnixNano(), Data: encodeJournalResponse(id, r)}
+			if err := rt.journal.Append(rec); err != nil {
 				rt.journalErrs.Add(1)
 			} else if err := rt.journal.Sync(); err != nil {
 				rt.journalErrs.Add(1)

@@ -59,6 +59,24 @@ type component struct {
 	// willed back by its peers; see CrashUntil).
 	holdUntil time.Duration
 	inbox     int // messages queued (in flight) to this component
+	// plannedCrashes holds crash instants registered through
+	// ScheduleCrash. A send this component stamps past one of them is
+	// voided before the wire sees it: the CPU span that issued it was
+	// preempted at the instant, so the send never left the node.
+	plannedCrashes []time.Duration
+}
+
+// preemptedBefore reports whether a planned crash instant lies in
+// [now, sentAt): the machine dies before its local clock reaches sentAt,
+// so an effect stamped there never happened. Instants before now have
+// already fired and are covered by the crashed flag.
+func (comp *component) preemptedBefore(now, sentAt time.Duration) bool {
+	for _, x := range comp.plannedCrashes {
+		if x >= now && x < sentAt {
+			return true
+		}
+	}
+	return false
 }
 
 type event struct {
@@ -67,6 +85,15 @@ type event struct {
 	to   string
 	from string
 	msg  Message
+	// sentAt is the sender's local (effective) time at the Send call. A
+	// crash voids every queued send the component issued after the crash
+	// instant: a handler whose CPU span straddles the instant was
+	// preempted there, and nothing it "did" past that point — a send any
+	// more than an fsync — ever happened.
+	sentAt time.Duration
+	// dropped marks an event voided by the sender's crash; it is consumed
+	// from the queue (and the inbox accounting) without being delivered.
+	dropped bool
 	// fn, when non-nil, is a scheduled virtual-time action (ScheduleAt)
 	// instead of a message delivery.
 	fn func(*Cluster)
@@ -188,6 +215,22 @@ func (c *Cluster) CrashUntil(id string, until time.Duration) {
 	}
 }
 
+// ScheduleCrash plans a crash window: the component crashes at `at`
+// (held down, see CrashUntil) and is restarted at `until`. Planning
+// through this API — rather than raw ScheduleAt actions — registers the
+// crash instant with the component up front, so a send a handler stamps
+// past it is voided before the wire (and the perturb interceptor) ever
+// sees it. A handler whose CPU span straddles the instant was preempted
+// there; without the registry, its sends would reach the perturbation
+// layer at flush time, before the crash event pops from the queue.
+func (c *Cluster) ScheduleCrash(id string, at, until time.Duration) {
+	if comp, ok := c.comps[id]; ok {
+		comp.plannedCrashes = append(comp.plannedCrashes, at)
+	}
+	c.ScheduleAt(at, func(c *Cluster) { c.CrashUntil(id, until) })
+	c.ScheduleAt(until, func(c *Cluster) { c.Restart(id) })
+}
+
 // markCrashed flips a component to crashed, notifying crash watchers on
 // the alive→dead transition only (a machine already dead cannot crash
 // harder; its attached storage already applied the contract). A crash —
@@ -199,6 +242,18 @@ func (c *Cluster) markCrashed(comp *component) {
 		return
 	}
 	comp.crashed = true
+	// Void every queued send this component issued after the crash
+	// instant. A handler whose CPU span straddles the instant ran to
+	// completion in engine order, but the machine was preempted at the
+	// instant itself: sends stamped past it never left the node — exactly
+	// as the storage crash contract already voids syncs stamped past it.
+	// Without this, an fsync could be torn while a send issued *after* it
+	// survives, an ordering no real machine can produce.
+	for _, ev := range c.queue {
+		if ev.fn == nil && ev.from == comp.id && ev.sentAt > c.now {
+			ev.dropped = true
+		}
+	}
 	for _, fn := range c.crashWatch[comp.id] {
 		fn(c.now)
 	}
@@ -282,29 +337,32 @@ func (c *Cluster) Inbox(id string) int {
 func (c *Cluster) SetPerturb(f PerturbFunc) { c.perturb = f }
 
 // push enqueues one message send, applying the perturb interceptor.
-func (c *Cluster) push(at time.Duration, from, to string, msg Message) {
+func (c *Cluster) push(at, sentAt time.Duration, from, to string, msg Message) {
+	if comp, ok := c.comps[from]; ok && comp.preemptedBefore(c.now, sentAt) {
+		return // sender dies before stamping this send; it never leaves the node
+	}
 	if c.perturb != nil && from != to {
 		p := c.perturb(from, to, at, msg)
 		if p.Drop {
 			return
 		}
 		if p.Duplicate {
-			c.pushRaw(at+p.Delay+p.DupDelay, from, to, msg)
+			c.pushRaw(at+p.Delay+p.DupDelay, sentAt, from, to, msg)
 		}
 		at += p.Delay
 	}
-	c.pushRaw(at, from, to, msg)
+	c.pushRaw(at, sentAt, from, to, msg)
 }
 
 // pushRaw enqueues an event without perturbation.
-func (c *Cluster) pushRaw(at time.Duration, from, to string, msg Message) {
+func (c *Cluster) pushRaw(at, sentAt time.Duration, from, to string, msg Message) {
 	c.seq++
 	counted := false
 	if comp, ok := c.comps[to]; ok {
 		comp.inbox++
 		counted = true
 	}
-	heap.Push(&c.queue, &event{at: at, seq: c.seq, to: to, from: from, msg: msg, counted: counted})
+	heap.Push(&c.queue, &event{at: at, seq: c.seq, to: to, from: from, msg: msg, sentAt: sentAt, counted: counted})
 }
 
 // Inject schedules a message delivery from outside the simulation (e.g. a
@@ -313,7 +371,7 @@ func (c *Cluster) Inject(at time.Duration, from, to string, msg Message) {
 	if at < c.now {
 		at = c.now
 	}
-	c.push(at, from, to, msg)
+	c.push(at, at, from, to, msg)
 }
 
 // ScheduleAt registers a virtual-time action: fn runs against the cluster
@@ -363,6 +421,9 @@ func (c *Cluster) RunUntil(horizon time.Duration) int {
 		}
 		if ev.counted {
 			comp.inbox--
+		}
+		if ev.dropped {
+			continue // voided by the sender's crash; never delivered
 		}
 		if comp.crashed {
 			continue // lost message (consumed from the inbox, never delivered)
@@ -442,7 +503,7 @@ func (ctx *Context) Work(d time.Duration) {
 // measured from the current effective time.
 func (ctx *Context) Send(to string, msg Message, latency time.Duration) {
 	ctx.outbox = append(ctx.outbox, &event{
-		at: ctx.effective + latency, to: to, from: ctx.self, msg: msg,
+		at: ctx.effective + latency, sentAt: ctx.effective, to: to, from: ctx.self, msg: msg,
 	})
 }
 
@@ -456,7 +517,7 @@ func (ctx *Context) After(d time.Duration, msg Message) {
 // effective time ordering.
 func (ctx *Context) flush() {
 	for _, e := range ctx.outbox {
-		ctx.cluster.push(e.at, e.from, e.to, e.msg)
+		ctx.cluster.push(e.at, e.sentAt, e.from, e.to, e.msg)
 	}
 	ctx.outbox = nil
 }

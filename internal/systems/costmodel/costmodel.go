@@ -39,6 +39,13 @@ type Costs struct {
 	// the ordinary execution costs on top.
 	FallbackCPU time.Duration
 
+	// PipelineCPU prices the coordinator's epoch-pipeline bookkeeping:
+	// promoting a fully executed batch into the commit stage while the
+	// next epoch opens (stage-table updates, per-epoch demultiplexing).
+	// Charged only on the pipelined path; the serial coordinator never
+	// pays it.
+	PipelineCPU time.Duration
+
 	// Durable-log (coordinator WAL) costs.
 	LogAppendCPU time.Duration // encode + buffered append of one record
 	LogSyncCPU   time.Duration // blocking fsync (epoch records, checkpoints)
@@ -75,6 +82,7 @@ func Default() Costs {
 		StateByteCPU:  4 * time.Nanosecond,
 		CommitCPU:     8 * time.Microsecond,
 		FallbackCPU:   3 * time.Microsecond,
+		PipelineCPU:   1 * time.Microsecond,
 		BrokerCPU:     12 * time.Microsecond,
 		// WAL: appends hit the page cache; the blocking fsync cost and the
 		// group-commit window are calibrated to a datacenter NVMe device

@@ -5,16 +5,34 @@
 // response-replay). The paper's deployment dedicates a single core to it
 // ("StateFlow requires a single core coordinator", §4).
 //
+// Epoch pipelining: the coordinator keeps a two-slot stage table — exec
+// (the open/executing epoch) and commit (the epoch in
+// validate/apply/snapshot) — and runs them concurrently. When epoch N's
+// batch is fully executed and the commit slot is free, N is promoted into
+// it and epoch N+1 opens immediately: N+1 accumulates arrivals and
+// dispatches execution events while N validates, applies, snapshots and
+// group-commits. Workers demultiplex by epoch (per-epoch workspaces) and
+// buffer N+1's events until N's final decide is applied locally, so
+// serializability is never at stake — the overlap hides the commit phases
+// behind the next epoch's open window. Config.DisablePipelining restores
+// the serial schedule.
+//
 // Crash safety: the coordinator journals its protocol-critical state to a
-// durable append log (internal/dlog) — epoch advances are fsynced before
-// any message of the new epoch leaves the node, released responses are
-// group-committed before they are sent, and checkpoints (folded into the
-// aligned-snapshot cadence) compact the log and prune the dedup maps.
-// After a crash, OnRestart rebuilds exactly the facts the exactly-once
-// contract depends on (epoch high-water mark, delivered responses) and
-// runs the ordinary snapshot-rollback recovery; everything else (seen-set,
-// cursor, pending retries) is reconstructed from the replayable source
-// and the snapshot metadata, which are durable by their own contracts.
+// durable append log (internal/dlog). Released responses are
+// group-committed before they are sent; on the serial path epoch advances
+// are fsynced before any message of the new epoch leaves the node. On the
+// pipelined path the advance record for N+1 is appended when N is
+// promoted and rides N's group-commit fsync instead of forcing its own —
+// merging the two syncs that the serial schedule pays per epoch into one.
+// At most one epoch advance may be volatile at a time (the next one
+// blocks), and a restart compensates for the possibly-torn volatile
+// record by over-bumping the recovered epoch, which keeps the view-change
+// guard sound. After a crash, OnRestart rebuilds exactly the facts the
+// exactly-once contract depends on (epoch high-water mark, delivered
+// responses) and runs the ordinary snapshot-rollback recovery; everything
+// else (seen-set, cursor, pending retries) is reconstructed from the
+// replayable source and the snapshot metadata, which are durable by their
+// own contracts.
 package stateflow
 
 import (
@@ -24,6 +42,7 @@ import (
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/snapshot"
 	"statefulentities.dev/stateflow/internal/systems/sysapi"
 	"statefulentities.dev/stateflow/internal/txn/aria"
 )
@@ -59,21 +78,74 @@ type stagedResponse struct {
 	ent     deliveredEntry
 }
 
-// Coordinator is the StateFlow coordinator node.
-type Coordinator struct {
-	sys *System
+type pendingReq struct {
+	req     sysapi.Request
+	replyTo string
+	pos     int64 // source-log position of the request
+	retries int
+}
 
-	epoch   int64
-	phase   phase
-	nextTID aria.TID
+// epochState is one slot of the coordinator's pipeline stage table: the
+// full per-epoch protocol state, from the open batch through validation,
+// fallback rounds and apply. The epoch number is the demultiplexing key —
+// worker messages carry it, and stageFor routes them to the slot they
+// belong to — so two epochs can be in flight without their votes, acks or
+// finishes contaminating each other.
+type epochState struct {
+	epoch int64
+	phase phase
 
-	// Open/closing batch.
 	batch map[aria.TID]*txnState
 	order []aria.TID
 	// unfinished counts batch transactions whose root response has not
 	// arrived yet; it makes the per-finish completion check O(1) instead
 	// of rescanning the whole batch map.
 	unfinished int
+
+	// consumedEnd freezes the source cursor at batch close: it is this
+	// epoch's aligned cut. The pipelined successor keeps consuming past it
+	// while this epoch commits, so the snapshot taken at this epoch's
+	// boundary must record this value — not the live cursor — as its
+	// replay offset.
+	consumedEnd int64
+
+	votes      map[string]bool
+	unionAbort map[aria.TID]bool
+	applied    map[string]bool
+
+	// Fallback phase state (epoch-scoped, discarded with the slot). fbVotes
+	// holds the per-worker local reservation sets shipped with the batch
+	// votes (merged into global footprints only if the batch actually has
+	// conflict aborts — an uncontended batch pays nothing beyond the
+	// shipping); fbRounds the not-yet-executed re-execution rounds of the
+	// deterministic schedule; fbSet marks every transaction the schedule
+	// rescues (they skip the next-batch retry path); fbRound/fbOrder
+	// identify the round in flight (fbRound 0: no fallback running).
+	fbVotes  []map[aria.TID]*aria.RWSet
+	fbRounds [][]aria.TID
+	fbSet    map[aria.TID]bool
+	fbRound  int
+	fbOrder  []aria.TID
+}
+
+// Coordinator is the StateFlow coordinator node.
+type Coordinator struct {
+	sys *System
+
+	// epoch is the latest epoch ever opened (the exec slot's epoch outside
+	// recovery); it is the value the view-change guard reasons about.
+	epoch   int64
+	nextTID aria.TID
+
+	// The pipeline stage table. exec is the epoch accepting and executing
+	// its batch; commit is the epoch in validate/fallback/apply/snapshot.
+	// Serial schedule: at most one is non-nil at a time (exec moves into
+	// commit and a new exec opens only when commit settles). Pipelined
+	// schedule: both run concurrently. recovering parks both slots while a
+	// rollback is in flight.
+	exec       *epochState
+	commit     *epochState
+	recovering bool
 
 	// Pending requests not yet assigned (arrivals during commit phases and
 	// retries of aborted transactions).
@@ -83,27 +155,18 @@ type Coordinator struct {
 	// into batches.
 	consumed int64
 
-	votes      map[string]bool
-	unionAbort map[aria.TID]bool
-	applied    map[string]bool
 	snapDone   map[string]bool
 	recovered  map[string]bool
 	snapshotID int64
 
-	// Fallback phase state (batch-scoped, reset when the batch finishes
-	// or a recovery discards it). fbVotes holds the per-worker local
-	// reservation sets shipped with the batch votes (merged into global
-	// footprints only if the batch actually has conflict aborts — an
-	// uncontended batch pays nothing beyond the shipping); fbRounds the
-	// not-yet-executed re-execution rounds of the deterministic schedule;
-	// fbSet marks every transaction the schedule rescues (they skip the
-	// next-batch retry path); fbRound/fbOrder identify the round in
-	// flight (fbRound 0: no fallback running).
-	fbVotes  []map[aria.TID]*aria.RWSet
-	fbRounds [][]aria.TID
-	fbSet    map[aria.TID]bool
-	fbRound  int
-	fbOrder  []aria.TID
+	// sealed is the newest snapshot id whose seal is durable (carried in
+	// the latest dlog checkpoint). A snapshot's images may be complete in
+	// the store while its seal is still volatile; recovery restores only
+	// up to sealed, so the snapshot path never needs to force the WAL
+	// ahead of the images — the checkpoint that seals the snapshot is the
+	// single sync that makes both the images and the delivered-records
+	// they depend on recoverable together.
+	sealed int64
 
 	// delivered is the egress state: per answered request, the full
 	// response, its release time and source position. It dedupes client
@@ -127,6 +190,17 @@ type Coordinator struct {
 	staged    []stagedResponse
 	stagedIDs map[string]bool
 
+	// Durable-log write ordering. lastLSN is the newest appended record;
+	// durableLSN the newest record a completed (or issued-blocking) sync
+	// covers; epochLSN the LSN of the newest epoch-advance record. The
+	// pipelined epoch advance stays volatile (epochLSN > durableLSN) until
+	// the commit epoch's group-commit sync sweeps it up — and while it is
+	// volatile, the next advance is forced to block, so at most one epoch
+	// record is ever at risk in a crash.
+	lastLSN    int64
+	durableLSN int64
+	epochLSN   int64
+
 	// progress counts accepted worker messages; the failure detector
 	// compares it against the value captured when a stall check was
 	// armed, so recovery only fires when a phase made no progress at all
@@ -142,12 +216,18 @@ type Coordinator struct {
 	// FallbackRounds counts executed fallback re-execution rounds;
 	// FallbackCommits the transactions the fallback phase rescued (a
 	// subset of Commits — they would have been next-batch retries
-	// without it).
+	// without it); FallbackSpills the transactions the round budget
+	// evicted into the next batch's retry queue.
 	FallbackRounds  int
 	FallbackCommits int
+	FallbackSpills  int
 	// Restarts counts coordinator reboots (crash recoveries via the
-	// durable log), a subset of Recoveries.
-	Restarts int
+	// durable log), a subset of Recoveries. MidPipelineRestarts counts the
+	// reboots that interrupted two in-flight epochs (the commit slot was
+	// occupied alongside an open exec slot when the crash landed) — the
+	// overlap window the pipelined recovery path must get right.
+	Restarts            int
+	MidPipelineRestarts int
 	// Replays counts responses re-served from the durable egress buffer
 	// to retrying clients.
 	Replays int
@@ -157,18 +237,10 @@ type Coordinator struct {
 	RestoredSnapshots []int64
 }
 
-type pendingReq struct {
-	req     sysapi.Request
-	replyTo string
-	pos     int64 // source-log position of the request
-	retries int
-}
-
 func newCoordinator(sys *System) *Coordinator {
 	return &Coordinator{
 		sys:       sys,
-		phase:     phaseOpen,
-		batch:     map[aria.TID]*txnState{},
+		exec:      &epochState{phase: phaseOpen, batch: map[aria.TID]*txnState{}},
 		delivered: map[string]deliveredEntry{},
 		seen:      map[string]bool{},
 		stagedIDs: map[string]bool{},
@@ -204,9 +276,21 @@ func (c *Coordinator) OnMessage(ctx *sim.Context, from string, msg sim.Message) 
 	}
 }
 
-// batchFull reports whether the open batch reached the configured cap.
-func (c *Coordinator) batchFull() bool {
-	return c.sys.cfg.MaxBatch > 0 && len(c.batch) >= c.sys.cfg.MaxBatch
+// stageFor routes an epoch-stamped worker message to the pipeline slot it
+// belongs to (nil: the epoch is not in flight — the message is stale).
+func (c *Coordinator) stageFor(epoch int64) *epochState {
+	if c.exec != nil && c.exec.epoch == epoch {
+		return c.exec
+	}
+	if c.commit != nil && c.commit.epoch == epoch {
+		return c.commit
+	}
+	return nil
+}
+
+// batchFull reports whether the slot's batch reached the configured cap.
+func (c *Coordinator) batchFull(st *epochState) bool {
+	return c.sys.cfg.MaxBatch > 0 && len(st.batch) >= c.sys.cfg.MaxBatch
 }
 
 // onRequest appends the arrival to the replayable source log, then either
@@ -232,21 +316,21 @@ func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 		return
 	}
 	c.seen[id] = true
-	if c.phase == phaseOpen && !c.batchFull() {
+	if st := c.exec; !c.recovering && st != nil && st.phase == phaseOpen && !c.batchFull(st) {
 		c.consumed++
-		c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
+		c.assign(ctx, st, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
 	}
 	// Otherwise the record waits in the log; it is drained when a batch
 	// with capacity opens.
 }
 
-// assign gives a request a TID in the open batch and dispatches its first
-// invocation event.
-func (c *Coordinator) assign(ctx *sim.Context, p pendingReq) {
+// assign gives a request a TID in the slot's batch and dispatches its
+// first invocation event.
+func (c *Coordinator) assign(ctx *sim.Context, st *epochState, p pendingReq) {
 	c.nextTID++
 	tid := c.nextTID
-	c.batch[tid] = &txnState{req: p.req, replyTo: p.replyTo, pos: p.pos, retries: p.retries}
-	c.unfinished++
+	st.batch[tid] = &txnState{req: p.req, replyTo: p.replyTo, pos: p.pos, retries: p.retries}
+	st.unfinished++
 	ev := &core.Event{
 		Kind:   core.EvInvoke,
 		Req:    p.req.Req,
@@ -255,42 +339,53 @@ func (c *Coordinator) assign(ctx *sim.Context, p pendingReq) {
 		Args:   p.req.Args,
 	}
 	owner := c.sys.ownerOf(p.req.Target)
-	ctx.Send(owner, msgTxnEvent{TID: tid, Epoch: c.epoch, Ev: ev},
+	ctx.Send(owner, msgTxnEvent{TID: tid, Epoch: st.epoch, Ev: ev},
 		c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 }
 
-// onTick closes the open batch.
+// onTick closes the open batch. An empty batch first drains pending
+// retries — the pipelined commit stage spills them while the exec slot is
+// already open, and with no fresh arrivals the tick is the only thing
+// that would ever pick them up.
 func (c *Coordinator) onTick(ctx *sim.Context, m msgEpochTick) {
-	if m.Epoch != c.epoch || c.phase != phaseOpen {
+	st := c.exec
+	if c.recovering || st == nil || m.Epoch != st.epoch || st.phase != phaseOpen {
 		return
 	}
-	if len(c.batch) == 0 {
-		// Nothing arrived: stay open, drain any pending (none) and retick.
-		ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: c.epoch})
+	if len(st.batch) == 0 {
+		c.drainPending(ctx, st)
+	}
+	if len(st.batch) == 0 {
+		// Nothing arrived: stay open and retick.
+		ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: st.epoch})
 		return
 	}
-	c.enterPhase(ctx, phaseClosing)
-	c.maybePrepare(ctx)
+	st.consumedEnd = c.consumed
+	c.enterPhase(ctx, st, phaseClosing)
+	c.maybePrepare(ctx, st)
 }
 
-// enterPhase transitions to a worker-dependent phase and arms the failure
-// detector: if the epoch is still stuck in this phase — with no worker
-// progress at all — when the stall timeout elapses, a worker is presumed
-// dead and recovery starts. Every phase that waits on all workers
-// (execution, validation, apply, snapshot, recovery) is guarded, so a
-// worker crash or a lost message can never deadlock the batch pipeline.
-func (c *Coordinator) enterPhase(ctx *sim.Context, p phase) {
-	c.phase = p
-	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: p, Progress: c.progress})
+// enterPhase transitions a slot to a worker-dependent phase and arms the
+// failure detector: if the epoch is still stuck in this phase — with no
+// worker progress at all — when the stall timeout elapses, a worker is
+// presumed dead and recovery starts. Every phase that waits on all
+// workers (execution, validation, apply, snapshot, recovery) is guarded,
+// so a worker crash or a lost message can never deadlock the pipeline.
+func (c *Coordinator) enterPhase(ctx *sim.Context, st *epochState, p phase) {
+	st.phase = p
+	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: st.epoch, Phase: p, Progress: c.progress})
 }
 
 // onFinished records a transaction's root response (from the batch's
-// first execution or from the fallback round in flight).
+// first execution or from the fallback round in flight). The epoch stamp
+// routes it to the right slot: with pipelining, finishes for the exec
+// epoch arrive while the commit epoch is still validating.
 func (c *Coordinator) onFinished(ctx *sim.Context, m msgTxnFinished) {
-	if m.Epoch != c.epoch || m.Round != c.fbRound {
+	st := c.stageFor(m.Epoch)
+	if st == nil || m.Round != st.fbRound {
 		return // stale: batch discarded by recovery, or a finished round
 	}
-	t, ok := c.batch[m.TID]
+	t, ok := st.batch[m.TID]
 	if !ok || t.finished {
 		return
 	}
@@ -298,38 +393,63 @@ func (c *Coordinator) onFinished(ctx *sim.Context, m msgTxnFinished) {
 	t.finished = true
 	t.value = m.Value
 	t.err = m.Err
-	c.unfinished--
-	c.maybePrepare(ctx)
+	st.unfinished--
+	c.maybePrepare(ctx, st)
 }
 
-func (c *Coordinator) allFinished() bool { return c.unfinished == 0 }
+// maybePrepare advances a fully executed slot (Aria's execution barrier).
+// A fallback round validates in place; a fully executed batch is promoted
+// into the commit stage — unless the slot is still occupied, in which
+// case the batch waits closed (backpressure: the pipeline is exactly two
+// deep).
+func (c *Coordinator) maybePrepare(ctx *sim.Context, st *epochState) {
+	if st.phase != phaseClosing || st.unfinished != 0 {
+		return
+	}
+	if st.fbRound > 0 {
+		c.sendPrepare(ctx, st)
+		return
+	}
+	if c.commit != nil {
+		return // commit slot busy; promoted when it settles
+	}
+	c.promote(ctx, st)
+}
 
-// maybePrepare starts validation once the closed batch — or the fallback
-// round in flight — fully executed (Aria's execution barrier).
-func (c *Coordinator) maybePrepare(ctx *sim.Context) {
-	if c.phase != phaseClosing || !c.allFinished() {
-		return
+// promote moves a fully executed batch into the commit stage and — on the
+// pipelined schedule — opens the next epoch immediately, so its batch
+// accumulates and executes while this one validates, applies and
+// group-commits.
+func (c *Coordinator) promote(ctx *sim.Context, st *epochState) {
+	c.commit = st
+	if c.exec == st {
+		c.exec = nil
 	}
-	c.enterPhase(ctx, phasePrepare)
-	if c.fbRound > 0 {
-		c.votes = map[string]bool{}
-		c.unionAbort = map[aria.TID]bool{}
-		for _, w := range c.sys.workerIDs {
-			ctx.Send(w, msgPrepare{Epoch: c.epoch, Round: c.fbRound,
-				Order: append([]aria.TID(nil), c.fbOrder...)},
-				c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	c.sendPrepare(ctx, st)
+	if !c.sys.cfg.DisablePipelining {
+		ctx.Work(c.sys.cfg.Costs.PipelineCPU)
+		c.openEpoch(ctx)
+	}
+}
+
+// sendPrepare starts validation on every worker: of the batch (round 0,
+// Order is the full batch TID order) or of the fallback round in flight.
+func (c *Coordinator) sendPrepare(ctx *sim.Context, st *epochState) {
+	c.enterPhase(ctx, st, phasePrepare)
+	st.votes = map[string]bool{}
+	st.unionAbort = map[aria.TID]bool{}
+	order := st.fbOrder
+	if st.fbRound == 0 {
+		st.order = st.order[:0]
+		for tid := range st.batch {
+			st.order = append(st.order, tid)
 		}
-		return
+		sort.Slice(st.order, func(i, j int) bool { return st.order[i] < st.order[j] })
+		order = st.order
 	}
-	c.order = c.order[:0]
-	for tid := range c.batch {
-		c.order = append(c.order, tid)
-	}
-	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
-	c.votes = map[string]bool{}
-	c.unionAbort = map[aria.TID]bool{}
 	for _, w := range c.sys.workerIDs {
-		ctx.Send(w, msgPrepare{Epoch: c.epoch, Order: append([]aria.TID(nil), c.order...)},
+		ctx.Send(w, msgPrepare{Epoch: st.epoch, Round: st.fbRound,
+			Order: append([]aria.TID(nil), order...)},
 			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
 }
@@ -338,64 +458,69 @@ func (c *Coordinator) maybePrepare(ctx *sim.Context) {
 // deterministic decision — for the batch, scheduling the fallback phase
 // over the conflict aborts first, or for the fallback round in flight.
 func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
-	if m.Epoch != c.epoch || c.phase != phasePrepare || m.Round != c.fbRound {
+	st := c.commit
+	if st == nil || m.Epoch != st.epoch || st.phase != phasePrepare || m.Round != st.fbRound {
 		return
 	}
-	if c.votes[from] {
+	if st.votes[from] {
 		return
 	}
 	c.progress++
-	c.votes[from] = true
+	st.votes[from] = true
 	for _, t := range m.Aborts {
-		c.unionAbort[t] = true
+		st.unionAbort[t] = true
 	}
 	if len(m.Sets) > 0 {
-		c.fbVotes = append(c.fbVotes, m.Sets)
+		st.fbVotes = append(st.fbVotes, m.Sets)
 	}
-	if len(c.votes) < len(c.sys.workerIDs) {
+	if len(st.votes) < len(c.sys.workerIDs) {
 		return
 	}
-	if c.fbRound > 0 {
-		c.decideFallbackRound(ctx)
+	if st.fbRound > 0 {
+		c.decideFallbackRound(ctx, st)
 		return
 	}
 	if !c.sys.cfg.DisableFallback {
-		c.scheduleFallback(ctx)
+		c.scheduleFallback(ctx, st)
 	}
 	// A transaction that failed with an application error commits nothing:
 	// treat it as aborted for state purposes but respond immediately (it
 	// has no effects to install — its workspace writes are dropped).
-	aborts := make([]aria.TID, 0, len(c.unionAbort))
-	for _, tid := range c.order {
-		if c.unionAbort[tid] || c.batch[tid].err != "" {
+	aborts := make([]aria.TID, 0, len(st.unionAbort))
+	for _, tid := range st.order {
+		if st.unionAbort[tid] || st.batch[tid].err != "" {
 			aborts = append(aborts, tid)
 		}
 	}
-	c.enterPhase(ctx, phaseApply)
-	c.applied = map[string]bool{}
+	final := len(st.fbRounds) == 0
+	c.enterPhase(ctx, st, phaseApply)
+	st.applied = map[string]bool{}
 	for _, w := range c.sys.workerIDs {
-		ctx.Send(w, msgDecide{Epoch: m.Epoch,
-			Order:  append([]aria.TID(nil), c.order...),
+		ctx.Send(w, msgDecide{Epoch: st.epoch,
+			Order:  append([]aria.TID(nil), st.order...),
 			Aborts: append([]aria.TID(nil), aborts...),
+			Final:  final,
 		}, c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
 }
 
 // scheduleFallback computes the deterministic fallback schedule over the
 // batch's conflict aborts: the dependency-graph pass (aria.Fallback) on
-// the global footprints merged from the batch votes, filtered down to
-// transactions that are actually retryable (an application error is a
-// definitive response, not a conflict — it never re-executes). Runs
+// the global footprints merged from the batch votes, filtered down to the
+// conflict-aborted members. An application error alone is definitive and
+// never re-executes — but an error on a member that also lost validation
+// is tentative (it was observed under a voided footprint), so it is
+// rescued like any other conflict abort. Runs
 // before the batch decide so the decide/apply wave and the response loop
 // both know which aborts the fallback phase rescues. A batch without
 // conflict aborts skips the merge and the graph pass entirely — the
 // uncontended hot path pays only the set shipping on votes.
-func (c *Coordinator) scheduleFallback(ctx *sim.Context) {
-	votes := c.fbVotes
-	c.fbVotes = nil
+func (c *Coordinator) scheduleFallback(ctx *sim.Context, st *epochState) {
+	votes := st.fbVotes
+	st.fbVotes = nil
 	conflicted := false
-	for _, tid := range c.order {
-		if c.unionAbort[tid] && c.batch[tid].err == "" {
+	for _, tid := range st.order {
+		if st.unionAbort[tid] {
 			conflicted = true
 			break
 		}
@@ -418,7 +543,7 @@ func (c *Coordinator) scheduleFallback(ctx *sim.Context) {
 			m.Merge(rw)
 		}
 	}
-	sched := aria.Fallback(c.order, merged)
+	sched := aria.Fallback(st.order, merged)
 	if len(sched.Commit) == 0 {
 		return
 	}
@@ -427,7 +552,12 @@ func (c *Coordinator) scheduleFallback(ctx *sim.Context) {
 	for _, members := range sched.Rounds {
 		var keep []aria.TID
 		for _, tid := range members {
-			if t, ok := c.batch[tid]; ok && t.err == "" && c.unionAbort[tid] {
+			// Conflict aborts are rescued whether or not the tentative
+			// execution errored: an error observed under a footprint that
+			// lost validation is void (the serial order may create the very
+			// entity the read missed), so it re-executes like any other
+			// rescued member rather than being answered as definitive.
+			if _, ok := st.batch[tid]; ok && st.unionAbort[tid] {
 				keep = append(keep, tid)
 				set[tid] = true
 			}
@@ -436,7 +566,7 @@ func (c *Coordinator) scheduleFallback(ctx *sim.Context) {
 			rounds = append(rounds, keep)
 		}
 	}
-	c.fbRounds, c.fbSet = rounds, set
+	st.fbRounds, st.fbSet = rounds, set
 	ctx.Work(time.Duration(len(set)) * c.sys.cfg.Costs.FallbackCPU)
 }
 
@@ -444,36 +574,34 @@ func (c *Coordinator) scheduleFallback(ctx *sim.Context) {
 // worker installed it: responses stage onto the durable log's group
 // commit, conflict-aborted transactions enter the fallback phase (or, if
 // it is disabled or did not rescue them, retry in the next batch), and
-// the next round or batch opens.
+// the next round opens or the commit slot is released.
 func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
-	if m.Epoch != c.epoch || c.phase != phaseApply || m.Round != c.fbRound {
+	st := c.commit
+	if st == nil || m.Epoch != st.epoch || st.phase != phaseApply || m.Round != st.fbRound {
 		return
 	}
-	if !c.applied[from] {
+	if !st.applied[from] {
 		c.progress++
 	}
-	c.applied[from] = true
-	if len(c.applied) < len(c.sys.workerIDs) {
+	st.applied[from] = true
+	if len(st.applied) < len(c.sys.workerIDs) {
 		return
 	}
-	if c.fbRound > 0 {
-		c.finishFallbackRound(ctx)
+	if st.fbRound > 0 {
+		c.finishFallbackRound(ctx, st)
 		return
 	}
-	ctx.Work(time.Duration(len(c.batch)) * c.sys.cfg.Costs.RoutingCPU)
-	for _, tid := range c.order {
-		t := c.batch[tid]
+	ctx.Work(time.Duration(len(st.batch)) * c.sys.cfg.Costs.RoutingCPU)
+	for _, tid := range st.order {
+		t := st.batch[tid]
 		switch {
-		case t.err != "":
-			// Application error: definitive, no retry.
-			c.Failures++
-			c.respond(ctx, t, sysapi.Response{
-				Req: t.req.Req, Err: t.err, Retries: t.retries,
-			})
-		case c.unionAbort[tid] && c.fbSet[tid]:
+		// The conflict cases come first: a conflict abort voids the
+		// tentative execution wholesale, errors included — the serial
+		// order the abort defers to may well remove the error's cause.
+		case st.unionAbort[tid] && st.fbSet[tid]:
 			// Conflict abort rescued by the fallback schedule: it
 			// re-executes (and responds) within this batch.
-		case c.unionAbort[tid]:
+		case st.unionAbort[tid]:
 			c.Aborts++
 			if t.retries+1 > c.sys.cfg.MaxRetries {
 				c.Failures++
@@ -486,6 +614,13 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 			c.pending = append(c.pending, pendingReq{
 				req: t.req, replyTo: t.replyTo, pos: t.pos, retries: t.retries + 1,
 			})
+		case t.err != "":
+			// Application error with a validated footprint: definitive,
+			// no retry.
+			c.Failures++
+			c.respond(ctx, t, sysapi.Response{
+				Req: t.req.Req, Err: t.err, Retries: t.retries,
+			})
 		default:
 			c.Commits++
 			c.respond(ctx, t, sysapi.Response{
@@ -493,12 +628,12 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 			})
 		}
 	}
-	c.groupCommit(ctx)
-	if len(c.fbRounds) > 0 {
-		c.startFallbackRound(ctx)
+	if len(st.fbRounds) > 0 {
+		c.groupCommit(ctx)
+		c.startFallbackRound(ctx, st)
 		return
 	}
-	c.finishBatch(ctx)
+	c.finishBatch(ctx, st)
 }
 
 // startFallbackRound dispatches the next fallback re-execution round:
@@ -508,16 +643,16 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 // declared footprints, so they re-execute concurrently; the round is then
 // validated like a miniature batch, which catches footprints that drifted
 // under the re-read values.
-func (c *Coordinator) startFallbackRound(ctx *sim.Context) {
-	round := c.fbRounds[0]
-	c.fbRounds = c.fbRounds[1:]
-	c.fbRound++
+func (c *Coordinator) startFallbackRound(ctx *sim.Context, st *epochState) {
+	round := st.fbRounds[0]
+	st.fbRounds = st.fbRounds[1:]
+	st.fbRound++
 	c.FallbackRounds++
-	c.fbOrder = round
-	c.unfinished = len(round)
-	c.enterPhase(ctx, phaseClosing)
+	st.fbOrder = round
+	st.unfinished = len(round)
+	c.enterPhase(ctx, st, phaseClosing)
 	for _, tid := range round {
-		t := c.batch[tid]
+		t := st.batch[tid]
 		t.finished, t.value, t.err = false, interp.None, ""
 		ev := &core.Event{
 			Kind:   core.EvInvoke,
@@ -526,7 +661,7 @@ func (c *Coordinator) startFallbackRound(ctx *sim.Context) {
 			Method: t.req.Method,
 			Args:   t.req.Args,
 		}
-		ctx.Send(c.sys.ownerOf(t.req.Target), msgTxnEvent{TID: tid, Epoch: c.epoch, Round: c.fbRound, Ev: ev},
+		ctx.Send(c.sys.ownerOf(t.req.Target), msgTxnEvent{TID: tid, Epoch: st.epoch, Round: st.fbRound, Ev: ev},
 			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
 }
@@ -534,20 +669,30 @@ func (c *Coordinator) startFallbackRound(ctx *sim.Context) {
 // decideFallbackRound broadcasts the round's deterministic decision once
 // its votes are unanimous: committed members apply, demoted members (a
 // conflict the declared footprints did not predict) re-run with the next
-// round.
-func (c *Coordinator) decideFallbackRound(ctx *sim.Context) {
+// round — unless the round budget is exhausted, in which case the epoch
+// ends here and the leftovers spill into the next batch.
+func (c *Coordinator) decideFallbackRound(ctx *sim.Context, st *epochState) {
 	aborts := make([]aria.TID, 0)
-	for _, tid := range c.fbOrder {
-		if c.unionAbort[tid] || c.batch[tid].err != "" {
+	demotable := 0
+	for _, tid := range st.fbOrder {
+		if st.unionAbort[tid] || st.batch[tid].err != "" {
 			aborts = append(aborts, tid)
 		}
+		if st.unionAbort[tid] {
+			demotable++
+		}
 	}
-	c.enterPhase(ctx, phaseApply)
-	c.applied = map[string]bool{}
+	moreRounds := len(st.fbRounds) > 0 || demotable > 0
+	if b := c.sys.cfg.FallbackRoundBudget; b > 0 && st.fbRound >= b {
+		moreRounds = false
+	}
+	c.enterPhase(ctx, st, phaseApply)
+	st.applied = map[string]bool{}
 	for _, w := range c.sys.workerIDs {
-		ctx.Send(w, msgDecide{Epoch: c.epoch, Round: c.fbRound,
-			Order:  append([]aria.TID(nil), c.fbOrder...),
+		ctx.Send(w, msgDecide{Epoch: st.epoch, Round: st.fbRound,
+			Order:  append([]aria.TID(nil), st.fbOrder...),
 			Aborts: append([]aria.TID(nil), aborts...),
+			Final:  !moreRounds,
 		}, c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
 }
@@ -558,20 +703,23 @@ func (c *Coordinator) decideFallbackRound(ctx *sim.Context) {
 // into the next round (kept in TID order, so the round's internal
 // validation stays deterministic). Validation commits at least the
 // lowest TID of every round, so the phase always drains within the
-// batch.
-func (c *Coordinator) finishFallbackRound(ctx *sim.Context) {
-	ctx.Work(time.Duration(len(c.fbOrder)) * c.sys.cfg.Costs.RoutingCPU)
+// batch — unless the round budget cuts it short, in which case every
+// still-unrescued member spills into the next batch's retry queue.
+func (c *Coordinator) finishFallbackRound(ctx *sim.Context, st *epochState) {
+	ctx.Work(time.Duration(len(st.fbOrder)) * c.sys.cfg.Costs.RoutingCPU)
 	var demoted []aria.TID
-	for _, tid := range c.fbOrder {
-		t := c.batch[tid]
+	for _, tid := range st.fbOrder {
+		t := st.batch[tid]
 		switch {
+		case st.unionAbort[tid]:
+			// Demotion trumps the tentative error: a drifted footprint
+			// voids the whole re-execution, error included.
+			demoted = append(demoted, tid)
 		case t.err != "":
 			c.Failures++
 			c.respond(ctx, t, sysapi.Response{
 				Req: t.req.Req, Err: t.err, Retries: t.retries,
 			})
-		case c.unionAbort[tid]:
-			demoted = append(demoted, tid)
 		default:
 			c.Commits++
 			c.FallbackCommits++
@@ -580,39 +728,89 @@ func (c *Coordinator) finishFallbackRound(ctx *sim.Context) {
 			})
 		}
 	}
-	c.groupCommit(ctx)
 	if len(demoted) > 0 {
-		if len(c.fbRounds) == 0 {
-			c.fbRounds = [][]aria.TID{demoted}
+		if len(st.fbRounds) == 0 {
+			st.fbRounds = [][]aria.TID{demoted}
 		} else {
-			merged := append(demoted, c.fbRounds[0]...)
+			merged := append(demoted, st.fbRounds[0]...)
 			sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
-			c.fbRounds[0] = merged
+			st.fbRounds[0] = merged
 		}
 	}
-	if len(c.fbRounds) > 0 {
-		c.startFallbackRound(ctx)
+	if b := c.sys.cfg.FallbackRoundBudget; b > 0 && st.fbRound >= b {
+		c.spillFallback(ctx, st)
+	}
+	if len(st.fbRounds) > 0 {
+		c.groupCommit(ctx)
+		c.startFallbackRound(ctx, st)
 		return
 	}
-	c.finishBatch(ctx)
+	c.finishBatch(ctx, st)
 }
 
-// resetFallback drops all batch-scoped fallback state.
-func (c *Coordinator) resetFallback() {
-	c.fbVotes, c.fbRounds, c.fbSet, c.fbRound, c.fbOrder = nil, nil, nil, 0, nil
+// spillFallback evicts every not-yet-executed fallback member into the
+// next batch's retry queue, TID-ordered: the round budget bounds how long
+// a pathologically contended batch can hold its epoch (and, pipelined,
+// the commit slot) hostage. Spilled members count as aborts — they take
+// the same next-batch retry path a non-rescued conflict abort takes, with
+// the same retry-budget bound.
+func (c *Coordinator) spillFallback(ctx *sim.Context, st *epochState) {
+	var spill []aria.TID
+	for _, round := range st.fbRounds {
+		spill = append(spill, round...)
+	}
+	st.fbRounds = nil
+	if len(spill) == 0 {
+		return
+	}
+	sort.Slice(spill, func(i, j int) bool { return spill[i] < spill[j] })
+	for _, tid := range spill {
+		t := st.batch[tid]
+		c.Aborts++
+		c.FallbackSpills++
+		if t.retries+1 > c.sys.cfg.MaxRetries {
+			c.Failures++
+			c.respond(ctx, t, sysapi.Response{
+				Req: t.req.Req, Err: "transaction aborted: retry budget exhausted",
+				Retries: t.retries,
+			})
+			continue
+		}
+		c.pending = append(c.pending, pendingReq{
+			req: t.req, replyTo: t.replyTo, pos: t.pos, retries: t.retries + 1,
+		})
+	}
 }
 
 // finishBatch closes the epoch's accounting once the batch — including
-// any fallback rounds — fully settled, then snapshots or opens the next
-// batch.
-func (c *Coordinator) finishBatch(ctx *sim.Context) {
-	c.resetFallback()
+// any fallback rounds — fully settled, then snapshots or releases the
+// commit slot.
+func (c *Coordinator) finishBatch(ctx *sim.Context, st *epochState) {
 	c.EpochsClosed++
 	if c.sys.cfg.SnapshotEvery > 0 && c.EpochsClosed%c.sys.cfg.SnapshotEvery == 0 {
-		c.startSnapshot(ctx)
+		// Snapshot epochs skip the batch's final group-commit sync: the
+		// staged responses ride the checkpoint that seals the snapshot
+		// instead, so the epoch's fsync and the checkpoint's fsync
+		// collapse into one.
+		c.startSnapshot(ctx, st)
 		return
 	}
-	c.openNextBatch(ctx)
+	c.groupCommit(ctx)
+	c.releaseCommit(ctx)
+}
+
+// releaseCommit frees the commit slot. Serial schedule: the next epoch
+// opens now. Pipelined: the next epoch is already open in the exec slot —
+// if its batch closed while the slot was busy, it promotes immediately
+// (the backpressure case); otherwise it keeps executing and promotes on
+// its own completion.
+func (c *Coordinator) releaseCommit(ctx *sim.Context) {
+	c.commit = nil
+	if c.exec == nil {
+		c.openEpoch(ctx)
+		return
+	}
+	c.maybePrepare(ctx, c.exec)
 }
 
 // respond releases one request's terminal response. Without a durable log
@@ -639,14 +837,19 @@ func (c *Coordinator) respond(ctx *sim.Context, t *txnState, resp sysapi.Respons
 		return // already in the pipeline (a stall recovery replayed its txn)
 	}
 	ctx.Work(c.sys.cfg.Costs.LogAppendCPU)
-	lsn := c.sys.Dlog.Append(encodeDeliveredRecord(id, ent))
+	rec := encodeDeliveredRecord(id, ent)
+	rec.At = int64(ent.at)
+	lsn := c.sys.Dlog.Append(rec)
+	c.lastLSN = lsn
 	c.staged = append(c.staged, stagedResponse{lsn: lsn, replyTo: t.replyTo, ent: ent})
 	c.stagedIDs[id] = true
 }
 
-// groupCommit issues one batched sync covering every response staged so
-// far and schedules the release at its completion — one fsync per batch,
-// not per response.
+// groupCommit issues one batched sync covering every record appended so
+// far — staged delivered-records and, pipelined, the successor epoch's
+// volatile advance record — and schedules the release at its completion:
+// one fsync per batch, shared across the two adjacent epochs, instead of
+// one per response plus one per epoch advance.
 func (c *Coordinator) groupCommit(ctx *sim.Context) {
 	if c.sys.Dlog == nil || len(c.staged) == 0 {
 		return
@@ -661,6 +864,7 @@ func (c *Coordinator) groupCommit(ctx *sim.Context) {
 // clients. Deliberately not epoch- or phase-guarded — released state is
 // from durably committed batches, valid across concurrent recoveries.
 func (c *Coordinator) onLogSynced(ctx *sim.Context, m msgLogSynced) {
+	c.markDurable(m.UpTo)
 	n := 0
 	for n < len(c.staged) && c.staged[n].lsn <= m.UpTo {
 		s := c.staged[n]
@@ -674,44 +878,89 @@ func (c *Coordinator) onLogSynced(ctx *sim.Context, m msgLogSynced) {
 	c.staged = c.staged[n:]
 }
 
-// logEpochSync durably records an epoch advance before any message of the
-// new epoch leaves the coordinator (blocking fsync: the view-change guard
-// is only sound if a restart recovers an epoch >= every epoch ever
-// spoken).
-func (c *Coordinator) logEpochSync(ctx *sim.Context) {
+func (c *Coordinator) markDurable(lsn int64) {
+	if lsn > c.durableLSN {
+		c.durableLSN = lsn
+	}
+}
+
+// logEpochAdvance durably records an epoch advance. Blocking (the serial
+// schedule, recovery view changes, and any advance while the previous one
+// is still volatile): the record is fsynced before any message of the new
+// epoch leaves the coordinator — the view-change guard is only sound if a
+// restart recovers an epoch >= every epoch ever spoken, minus the single
+// volatile advance the restart path compensates for. Non-blocking (the
+// pipelined steady state): the record is appended volatile and rides the
+// commit epoch's group-commit sync, merging the per-epoch fsync into the
+// per-batch one.
+func (c *Coordinator) logEpochAdvance(ctx *sim.Context, blocking bool) {
 	if c.sys.Dlog == nil {
 		return
 	}
+	if c.epochLSN > c.durableLSN {
+		// The previous advance is still volatile: never let two epoch
+		// records be at risk at once (the restart path compensates for
+		// exactly one).
+		blocking = true
+	}
 	ctx.Work(c.sys.cfg.Costs.LogAppendCPU)
-	c.sys.Dlog.Append(encodeEpochRecord(c.epoch))
-	ctx.Work(c.sys.cfg.Costs.LogSyncCPU)
-	c.sys.Dlog.SyncNow(ctx.Now())
+	rec := encodeEpochRecord(c.epoch)
+	rec.At = int64(ctx.Now())
+	lsn := c.sys.Dlog.Append(rec)
+	c.lastLSN, c.epochLSN = lsn, lsn
+	if blocking {
+		ctx.Work(c.sys.cfg.Costs.LogSyncCPU)
+		c.markDurable(c.sys.Dlog.SyncAt(ctx.Now()))
+	}
 }
 
-// startSnapshot persists an aligned snapshot: the epoch boundary is the
-// alignment point, so the images plus the source offsets form a
-// consistent cut (§3). Conflict-aborted requests awaiting retry were
-// consumed before the offset but have no effects in the images, so their
-// log positions are recorded too; recovery replays them alongside the
-// suffix.
-func (c *Coordinator) startSnapshot(ctx *sim.Context) {
-	c.enterPhase(ctx, phaseSnapshot)
-	offsets := map[string][]int64{sourceTopic: {c.consumed}}
+// startSnapshot persists an aligned snapshot: the committing epoch's
+// boundary is the alignment point, so the images plus the source offsets
+// form a consistent cut (§3). The offset is the epoch's own consumedEnd —
+// the pipelined successor has already drawn the cursor past the cut, and
+// its members (plus conflict-aborted requests awaiting retry) were
+// consumed but have no effects in the images: the ones before the offset
+// are recorded as pending positions, the rest replay with the suffix.
+func (c *Coordinator) startSnapshot(ctx *sim.Context, st *epochState) {
+	c.enterPhase(ctx, st, phaseSnapshot)
+	// The images the workers are about to write contain the staged
+	// transactions' effects while their delivered-records are still
+	// volatile — but that needs no WAL force here: a snapshot is
+	// restorable only once *sealed*, and the seal travels inside the
+	// checkpoint written when the images complete, whose own sync covers
+	// the staged records first. A crash before the seal lands discards
+	// the snapshot along with the torn records, keeping the two
+	// consistent; the staged responses release at the checkpoint instead
+	// of paying a dedicated fsync ahead of the cut.
+	offsets := map[string][]int64{sourceTopic: {st.consumedEnd}}
 	var pendingPos []int64
 	for _, p := range c.pending {
 		pendingPos = append(pendingPos, p.pos)
 	}
-	c.snapshotID = c.sys.Snapshots.BeginWithPending(c.epoch, offsets,
+	if c.exec != nil {
+		tids := make([]aria.TID, 0, len(c.exec.batch))
+		for tid := range c.exec.batch {
+			tids = append(tids, tid)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		for _, tid := range tids {
+			if t := c.exec.batch[tid]; t.pos < st.consumedEnd {
+				pendingPos = append(pendingPos, t.pos)
+			}
+		}
+	}
+	c.snapshotID = c.sys.Snapshots.BeginWithPending(st.epoch, offsets,
 		map[string][]int64{sourceTopic: pendingPos}, len(c.sys.workerIDs))
 	c.snapDone = map[string]bool{}
 	for _, w := range c.sys.workerIDs {
-		ctx.Send(w, msgTakeSnapshot{ID: c.snapshotID, Epoch: c.epoch},
+		ctx.Send(w, msgTakeSnapshot{ID: c.snapshotID, Epoch: st.epoch},
 			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
 }
 
 func (c *Coordinator) onSnapshotDone(ctx *sim.Context, from string, m msgSnapshotDone) {
-	if c.phase != phaseSnapshot || m.ID != c.snapshotID {
+	st := c.commit
+	if st == nil || st.phase != phaseSnapshot || m.ID != c.snapshotID {
 		return
 	}
 	if !c.snapDone[from] {
@@ -722,7 +971,7 @@ func (c *Coordinator) onSnapshotDone(ctx *sim.Context, from string, m msgSnapsho
 		return
 	}
 	c.writeCheckpoint(ctx)
-	c.openNextBatch(ctx)
+	c.releaseCommit(ctx)
 }
 
 // writeCheckpoint folds the coordinator's durable state into a dlog
@@ -755,7 +1004,8 @@ func (c *Coordinator) writeCheckpoint(ctx *sim.Context) {
 	// are about to be compacted away): bake them into the checkpoint so a
 	// later crash still suppresses their replays — the un-sent responses
 	// are then served via retry replay.
-	ck := walCheckpoint{epoch: c.epoch, nextTID: c.nextTID, delivered: c.delivered}
+	c.sealed = c.snapshotID
+	ck := walCheckpoint{epoch: c.epoch, nextTID: c.nextTID, sealed: c.sealed, delivered: c.delivered}
 	if len(c.staged) > 0 {
 		merged := make(map[string]deliveredEntry, len(c.delivered)+len(c.staged))
 		for id, ent := range c.delivered {
@@ -769,67 +1019,105 @@ func (c *Coordinator) writeCheckpoint(ctx *sim.Context) {
 	payload := encodeCheckpoint(ck)
 	ctx.Work(c.sys.cfg.Costs.StateCPU(len(payload)) + c.sys.cfg.Costs.LogSyncCPU)
 	c.sys.Dlog.Checkpoint(ctx.Now(), payload)
+	// The checkpoint write is itself durable and subsumes every record
+	// appended so far — including a volatile pipelined epoch advance
+	// (ck.epoch is the latest opened epoch) and the staged responses of
+	// the snapshot epoch, which release now: one checkpoint fsync stands
+	// in for the batch's group commit, the snapshot seal and the epoch
+	// record at once.
+	c.markDurable(c.lastLSN)
+	c.onLogSynced(ctx, msgLogSynced{UpTo: c.durableLSN})
 	if retain := c.sys.cfg.SnapshotRetain; retain > 0 {
 		c.sys.Snapshots.Compact(retain)
 	}
 }
 
-// openNextBatch advances the epoch (durably), drains buffered arrivals
-// and retries up to the batch cap, and rearms the epoch timer.
-func (c *Coordinator) openNextBatch(ctx *sim.Context) {
+// openEpoch advances the epoch (durably — blocking on the serial
+// schedule, riding the commit epoch's group commit on the pipelined one),
+// installs a fresh exec slot, drains buffered retries and arrivals up to
+// the batch cap, and arms the epoch timer.
+func (c *Coordinator) openEpoch(ctx *sim.Context) {
 	c.epoch++
-	c.logEpochSync(ctx)
-	c.phase = phaseOpen
-	c.batch = map[aria.TID]*txnState{}
-	c.order = nil
-	c.unfinished = 0
+	c.logEpochAdvance(ctx, c.sys.cfg.DisablePipelining)
+	st := &epochState{epoch: c.epoch, phase: phaseOpen, batch: map[aria.TID]*txnState{}}
+	c.exec = st
 	// Retries first (deterministic: they carry the smallest TIDs of the
 	// new batch, so starved transactions eventually win every conflict);
 	// past the cap they stay pending, ahead of the source backlog.
-	pend := c.pending
-	c.pending = nil
-	for i, p := range pend {
-		if c.batchFull() {
-			c.pending = append(c.pending, pend[i:]...)
-			break
-		}
-		c.assign(ctx, p)
-	}
+	c.drainPending(ctx, st)
 	// Then drain arrivals buffered in the source log, chunked by the cap:
 	// a post-recovery backlog replays over as many batches as it needs
 	// instead of ballooning one giant batch.
 	end, err := c.sys.RequestLog.End(sourceTopic, 0)
 	if err == nil {
-		for ; c.consumed < end && !c.batchFull(); c.consumed++ {
+		for ; c.consumed < end && !c.batchFull(st); c.consumed++ {
 			rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, c.consumed)
 			if err != nil || !ok {
 				break
 			}
 			m := rec.Payload.(sysapi.MsgRequest)
-			c.assign(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: c.consumed})
+			c.assign(ctx, st, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: c.consumed})
 		}
 	}
-	ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: c.epoch})
+	ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: st.epoch})
 }
 
-// onStallCheck fires the failure detector: if the epoch that armed it is
+// drainPending assigns buffered retries into the slot's batch up to the
+// cap; the rest stay pending, ahead of the source backlog.
+func (c *Coordinator) drainPending(ctx *sim.Context, st *epochState) {
+	pend := c.pending
+	c.pending = nil
+	for i, p := range pend {
+		if c.batchFull(st) {
+			c.pending = append(c.pending, pend[i:]...)
+			break
+		}
+		c.assign(ctx, st, p)
+	}
+}
+
+// onStallCheck fires the failure detector: if the slot that armed it is
 // still stuck in the same worker-dependent phase past the stall timeout
 // AND no worker message arrived since the check was armed, a worker is
 // presumed dead and recovery starts. With progress, the check re-arms:
-// slow is not dead.
+// slow is not dead. Both pipeline slots arm checks independently; either
+// one firing recovers the whole system.
 func (c *Coordinator) onStallCheck(ctx *sim.Context, m msgStallCheck) {
-	if m.Epoch != c.epoch || c.phase != m.Phase {
-		return
+	if m.Phase == phaseRecovering {
+		if !c.recovering || m.Epoch != c.epoch {
+			return
+		}
+	} else {
+		st := c.stageFor(m.Epoch)
+		if c.recovering || st == nil || st.phase != m.Phase {
+			return
+		}
 	}
 	if c.progress != m.Progress {
-		ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: c.phase, Progress: c.progress})
+		ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: m.Epoch, Phase: m.Phase, Progress: c.progress})
 		return
 	}
 	c.Recover(ctx)
 }
 
+// restorePoint returns the snapshot recovery (and snapshot-consistency
+// queries) may use. With a durable log that is exactly the latest sealed
+// snapshot — never a merely image-complete one, whose effects may depend
+// on delivered-records a crash could still tear. Without a log (legacy
+// in-memory mode, where responses are never staged) image completeness is
+// the only durability there is, so the latest complete snapshot stands.
+func (c *Coordinator) restorePoint() (snapshot.Meta, bool) {
+	if c.sys.Dlog == nil {
+		return c.sys.Snapshots.Latest()
+	}
+	if c.sealed == 0 {
+		return snapshot.Meta{}, false
+	}
+	return c.sys.Snapshots.Get(c.sealed)
+}
+
 // Recover rolls the system back to the latest snapshot: restart crashed
-// workers, restore every worker image, discard the in-flight batch, and
+// workers, restore every worker image, discard the in-flight epochs, and
 // replay the source suffix. Delivered-response deduplication keeps output
 // exactly-once across the replay.
 func (c *Coordinator) Recover(ctx *sim.Context) {
@@ -841,15 +1129,17 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	// epoch high-water mark). The bump is fsynced before the recover
 	// messages leave, so even a crash right here cannot fork the view.
 	c.epoch++
-	c.logEpochSync(ctx)
+	c.logEpochAdvance(ctx, true)
 	// The recovery phase is itself failure-guarded: if a recover message
 	// is lost (or a worker dies again mid-restore), the stall check fires
 	// and recovery restarts from the same snapshot — Recover is
 	// idempotent, so re-entering it is always safe.
-	c.enterPhase(ctx, phaseRecovering)
+	c.recovering = true
+	c.exec, c.commit = nil, nil
+	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: phaseRecovering, Progress: c.progress})
 	c.pending = nil
 	var snapID int64
-	if meta, ok := c.sys.Snapshots.Latest(); ok {
+	if meta, ok := c.restorePoint(); ok {
 		snapID = meta.ID
 		c.consumed = meta.SourceOffsets[sourceTopic][0]
 		// Re-queue the consumed-but-pending requests the snapshot
@@ -868,10 +1158,6 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	} else {
 		c.consumed = 0
 	}
-	c.batch = map[aria.TID]*txnState{}
-	c.order = nil
-	c.unfinished = 0
-	c.resetFallback()
 	c.rebuildSeen()
 	c.recovered = map[string]bool{}
 	c.snapshotID = snapID
@@ -935,6 +1221,12 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 		return
 	}
 	c.Restarts++
+	if c.exec != nil && c.commit != nil {
+		// Pre-crash in-memory state is observable to the test harness even
+		// though the protocol discards it: record that this reboot landed
+		// inside the two-epochs-in-flight window.
+		c.MidPipelineRestarts++
+	}
 	img := c.sys.Dlog.Recover(ctx.Now())
 	ck, err := decodeCheckpoint(img.Checkpoint)
 	if err != nil {
@@ -943,19 +1235,18 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 		// the replayable source and snapshots still bound the damage.
 		ck = walCheckpoint{delivered: map[string]deliveredEntry{}}
 	}
-	c.phase = phaseOpen
-	c.batch = map[aria.TID]*txnState{}
-	c.order = nil
-	c.unfinished = 0
+	c.exec, c.commit = nil, nil
+	c.recovering = false
 	c.pending = nil
-	c.votes, c.unionAbort, c.applied, c.snapDone, c.recovered = nil, nil, nil, nil, nil
-	c.resetFallback()
+	c.snapDone, c.recovered = nil, nil
 	c.staged = nil
 	c.stagedIDs = map[string]bool{}
 	c.seen = map[string]bool{}
 	c.progress = 0
+	c.lastLSN, c.durableLSN, c.epochLSN = 0, 0, 0
 	c.epoch = ck.epoch
 	c.nextTID = ck.nextTID
+	c.sealed = ck.sealed
 	c.delivered = ck.delivered
 	ctx.Work(c.sys.cfg.Costs.LogSyncCPU)
 	for _, r := range img.Records {
@@ -971,6 +1262,14 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 			}
 		}
 	}
+	if !c.sys.cfg.DisablePipelining {
+		// Compensate for the single epoch-advance record the pipelined
+		// schedule allows to be volatile: it may have been torn by the
+		// crash, so the durable high-water mark can trail the highest
+		// epoch ever spoken by exactly one. Over-bumping here (plus the
+		// view-change bump in Recover) restores epoch > everything spoken.
+		c.epoch++
+	}
 	c.Recover(ctx)
 }
 
@@ -978,7 +1277,7 @@ func (c *Coordinator) onRecovered(ctx *sim.Context, from string, m msgRecovered)
 	// The epoch check rejects acks from an earlier recovery round that
 	// happened to restore the same snapshot id — the worker they name has
 	// not rolled back in *this* round.
-	if c.phase != phaseRecovering || m.SnapshotID != c.snapshotID || m.Epoch != c.epoch {
+	if !c.recovering || m.SnapshotID != c.snapshotID || m.Epoch != c.epoch {
 		return
 	}
 	if !c.recovered[from] {
@@ -990,5 +1289,6 @@ func (c *Coordinator) onRecovered(ctx *sim.Context, from string, m msgRecovered)
 	}
 	// Epoch bump invalidates every stale in-flight message, then the
 	// source suffix replays through the normal batch machinery.
-	c.openNextBatch(ctx)
+	c.recovering = false
+	c.openEpoch(ctx)
 }

@@ -310,8 +310,8 @@ func TestBoundedBatchesChunkReplay(t *testing.T) {
 
 	maxBatch := 0
 	for i := 0; i < 2_000_000 && client.inner.Done < n; i++ {
-		if got := len(sys.coord.batch); got > maxBatch {
-			maxBatch = got
+		if st := sys.coord.exec; st != nil && len(st.batch) > maxBatch {
+			maxBatch = len(st.batch)
 		}
 		cluster.RunUntil(cluster.Now() + 100*time.Microsecond)
 	}

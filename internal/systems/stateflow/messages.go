@@ -58,12 +58,17 @@ type msgVote struct {
 // msgDecide broadcasts the deterministic global decision for the batch
 // (Round 0) or for one fallback round. The round guard matters for the
 // apply: a delayed duplicate of an earlier round's decide must not wipe
-// the workspaces of the round currently in flight.
+// the workspaces of the round currently in flight. Final marks the
+// epoch's last decide (no further fallback rounds will run): applying it
+// settles the epoch on the worker, which advances its applied high-water
+// mark and releases any buffered next-epoch events the pipelined
+// coordinator dispatched during the commit phase.
 type msgDecide struct {
 	Epoch  int64
 	Round  int
 	Order  []aria.TID
 	Aborts []aria.TID
+	Final  bool
 }
 
 // msgApplied acknowledges that a worker installed the batch's (or one

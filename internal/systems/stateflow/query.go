@@ -64,7 +64,10 @@ func (s *System) QueryWhere(class string, mode QueryConsistency, pred func(Row) 
 			}
 		}
 	case QuerySnapshot:
-		meta, ok := s.Snapshots.Latest()
+		// Sealed snapshots only: an image-complete but unsealed snapshot
+		// may hold effects a crash would roll back, and a query must never
+		// observe state recovery could later disown.
+		meta, ok := s.coord.restorePoint()
 		if !ok {
 			return nil, fmt.Errorf("stateflow: no snapshot available yet")
 		}

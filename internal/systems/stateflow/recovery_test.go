@@ -124,7 +124,10 @@ func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
 	// Advance in small steps until (a) a snapshot exists, (b) at least
 	// one response was delivered after it (so the replay must re-commit
 	// work whose response already went out), and (c) the coordinator is
-	// mid-batch — the batch closed with transactions still executing.
+	// mid-batch — the exec slot has transactions still executing. (With
+	// the pipelined schedule the open window and the execution window
+	// coincide: a batch whose events all finished promotes the instant it
+	// closes, so closed-but-executing is no longer a dwellable state.)
 	// Kill a worker at exactly that point.
 	snapCount := sys.Snapshots.Count()
 	commitsAtSnap := sys.Coordinator().Commits
@@ -133,8 +136,8 @@ func TestRecoveryMidBatchExactlyOnceDelivery(t *testing.T) {
 			snapCount = c
 			commitsAtSnap = sys.Coordinator().Commits
 		}
-		if snapCount > 1 && sys.Coordinator().Commits > commitsAtSnap &&
-			sys.coord.phase == phaseClosing && sys.coord.unfinished > 0 {
+		if st := sys.coord.exec; snapCount > 1 && sys.Coordinator().Commits > commitsAtSnap &&
+			st != nil && st.unfinished > 0 {
 			break
 		}
 		if i > 50_000 {
@@ -297,7 +300,7 @@ func TestRecoveryMidSnapshotRestoresLastComplete(t *testing.T) {
 	// still unwritten, then kill a worker that has not written yet.
 	var tornID int64
 	for i := 0; ; i++ {
-		if sys.coord.phase == phaseSnapshot {
+		if st := sys.coord.commit; st != nil && st.phase == phaseSnapshot {
 			id := sys.coord.snapshotID
 			written := map[string]bool{}
 			for _, w := range sys.Snapshots.Workers(id) {
@@ -339,4 +342,90 @@ func TestRecoveryMidSnapshotRestoresLastComplete(t *testing.T) {
 		t.Fatalf("Latest returned the torn snapshot %d", tornID)
 	}
 	f.assertExactlyOnce(t, t.Fatalf)
+}
+
+// TestCoordinatorCrashMidPipeline kills the coordinator at the pipelined
+// schedule's distinctive point: two epochs in flight — N in the commit
+// slot (validate/apply/snapshot, its responses possibly staged behind the
+// group-commit sync), N+1 open in the exec slot with transactions already
+// accepted, its epoch-advance record possibly still volatile (it rides
+// N's fsync rather than paying its own). The reboot must reconstruct both
+// from the log: N's committed responses replay exactly once from the
+// egress buffer, N+1's uncommitted transactions re-execute from the
+// source suffix, and the over-bumped epoch fences every pre-crash
+// message. The retrying client forces the replay path — a response
+// delivered right before the crash is suppressed on re-commit and must be
+// re-served from the durable buffer.
+func TestCoordinatorCrashMidPipeline(t *testing.T) {
+	const n = recoveryRequests
+	f := newRecoveryFixture(t, 42)
+	cluster, sys, client := f.cluster, f.sys, f.client
+	client.inner.RetryEvery = 20 * time.Millisecond
+	cluster.Start()
+
+	// Step finely until both pipeline slots are genuinely occupied: the
+	// commit slot mid-protocol AND the exec slot holding accepted
+	// transactions of the successor epoch — with at least one response
+	// already out, so the reboot has something to suppress.
+	for i := 0; ; i++ {
+		if exec, commit := sys.coord.exec, sys.coord.commit; exec != nil && commit != nil &&
+			len(exec.batch) > 0 && client.inner.Done > 0 {
+			break
+		}
+		if i > 500_000 {
+			t.Fatal("never caught two epochs in flight with accepted work")
+		}
+		cluster.RunUntil(cluster.Now() + 20*time.Microsecond)
+	}
+	if client.inner.Done == n {
+		t.Fatal("crash not mid-run: all responses already delivered")
+	}
+	execEpoch := sys.coord.exec.epoch
+	if commitEpoch := sys.coord.commit.epoch; execEpoch != commitEpoch+1 {
+		t.Fatalf("pipeline slots hold epochs %d/%d, want adjacent", commitEpoch, execEpoch)
+	}
+	cluster.Crash("sf-coord")
+	cluster.RunUntil(cluster.Now() + 30*time.Millisecond)
+	cluster.Restart("sf-coord")
+	cluster.RunUntil(20 * time.Second)
+
+	coord := sys.Coordinator()
+	if coord.Restarts == 0 {
+		t.Fatal("coordinator never rebooted from the log")
+	}
+	if coord.MidPipelineRestarts == 0 {
+		t.Fatal("reboot did not register the two-epochs-in-flight window")
+	}
+	// The view-change guard: the recovered epoch must fence both in-flight
+	// epochs, including the possibly-volatile advance of the exec epoch.
+	if sys.coord.epoch <= execEpoch {
+		t.Fatalf("recovered epoch %d does not fence in-flight epoch %d",
+			sys.coord.epoch, execEpoch)
+	}
+	if client.inner.Done != n {
+		t.Fatalf("responses: %d/%d", client.inner.Done, n)
+	}
+	if len(client.Deliveries) != n {
+		t.Fatalf("distinct responses: %d/%d", len(client.Deliveries), n)
+	}
+	// Exactly-once with a retrying client: the original send plus at most
+	// one replay per retry the client itself solicited (a retry that
+	// crosses the original response legitimately draws a second delivery
+	// from the egress buffer). Unsolicited duplicates stay bugs.
+	for id, count := range client.Deliveries {
+		if allowed := 1 + client.inner.Retries[id]; count < 1 || count > allowed {
+			t.Fatalf("request %s delivered %d times (%d retries allow %d)",
+				id, count, client.inner.Retries[id], allowed)
+		}
+	}
+	for id, resp := range client.inner.Responses {
+		if resp.Err != "" {
+			t.Fatalf("request %s failed: %s", id, resp.Err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if got := balance(t, f.sys, acct(i)); got != 100 {
+			t.Fatalf("%s: balance %d, want 100 (lost or duplicated effects)", acct(i), got)
+		}
+	}
 }

@@ -76,6 +76,22 @@ type Config struct {
 	// benchmarking). Not to be confused with MapFallback, which concerns
 	// the interpreter's slotted fast path.
 	DisableFallback bool
+	// FallbackRoundBudget caps the fallback re-execution rounds one epoch
+	// may run. When the cap is hit with rounds still scheduled, the
+	// remaining members spill TID-ordered into the next batch's retry
+	// queue, so one pathological conflict chain cannot stall the epoch
+	// pipeline behind an O(chain) round sequence. 0: unbounded (the
+	// fallback always drains within the batch).
+	FallbackRoundBudget int
+	// DisablePipelining forces the serial epoch schedule: the coordinator
+	// fully settles epoch N (validate, fallback, apply, group commit,
+	// snapshot) before opening epoch N+1. With pipelining on (the
+	// default), two epochs run in flight — while N commits, N+1 already
+	// accepts and executes — and N+1's epoch-advance record rides N's
+	// group-commit fsync instead of paying its own blocking sync. Kept
+	// for A/B benchmarking and differential tests, mirroring
+	// DisableFallback.
+	DisablePipelining bool
 }
 
 // DefaultConfig mirrors the paper's deployment shape.
@@ -219,12 +235,21 @@ func (s *System) PreloadEntity(class string, args ...interp.Value) error {
 // CheckpointPreloadedState writes an initial snapshot covering the
 // preloaded dataset so a recovery that happens before the first periodic
 // snapshot rolls back to the loaded state instead of to empty stores.
+// With the durable log on, the snapshot is also sealed by an initial log
+// checkpoint — only sealed snapshots are restorable, and the preloaded
+// dataset depends on no volatile records, so it is sealable immediately.
 func (s *System) CheckpointPreloadedState() {
 	id := s.Snapshots.BeginWithPending(0, map[string][]int64{sourceTopic: {0}}, nil, len(s.workers))
 	for _, w := range s.workers {
 		if err := s.Snapshots.Write(id, w.id, w.committed.Encode()); err != nil {
 			panic(fmt.Sprintf("stateflow: preload checkpoint: %v", err))
 		}
+	}
+	if s.Dlog != nil {
+		s.coord.sealed, s.coord.snapshotID = id, id
+		s.Dlog.Checkpoint(0, encodeCheckpoint(walCheckpoint{
+			sealed: id, delivered: map[string]deliveredEntry{},
+		}))
 	}
 }
 

@@ -18,10 +18,14 @@ import (
 
 // Record kinds of the coordinator WAL (dlog reserves kind 0).
 const (
-	// recKindEpoch logs an epoch advance. Synced blocking before any
-	// message of the new epoch is sent: after a restart the recovered
-	// epoch is therefore >= every epoch the old incarnation ever spoke,
-	// which is what makes the view-change stale-message guard sound.
+	// recKindEpoch logs an epoch advance. On the serial schedule (and for
+	// recovery view changes) it is synced blocking before any message of
+	// the new epoch is sent, so a restart recovers an epoch >= every
+	// epoch the old incarnation ever spoke — what makes the view-change
+	// stale-message guard sound. On the pipelined schedule the record
+	// rides the previous epoch's group-commit sync instead; at most one
+	// advance may be volatile at a time, and the restart path compensates
+	// by over-bumping the recovered epoch by one.
 	recKindEpoch dlog.Kind = 1
 	// recKindDelivered logs one released client response (request id,
 	// source-log position, release time, full response). Group-committed:
@@ -47,8 +51,16 @@ type deliveredEntry struct {
 // carries: everything the coordinator must remember that individual
 // records no longer cover once the log prefix is dropped.
 type walCheckpoint struct {
-	epoch     int64
-	nextTID   aria.TID
+	epoch   int64
+	nextTID aria.TID
+	// sealed is the id of the newest snapshot this checkpoint vouches
+	// for: its images are complete AND every delivered-record its state
+	// depends on is inside this checkpoint (or the durable log). Recovery
+	// restores only sealed snapshots — a snapshot whose images finished
+	// but whose seal never became durable is treated as if it were never
+	// taken, which is what lets the snapshot path skip the pre-image
+	// WAL force and ride the checkpoint's own sync instead.
+	sealed    int64
 	delivered map[string]deliveredEntry
 }
 
@@ -125,6 +137,7 @@ func encodeCheckpoint(c walCheckpoint) []byte {
 	e := interp.NewEncoder()
 	e.Varint(c.epoch)
 	e.Varint(int64(c.nextTID))
+	e.Varint(c.sealed)
 	e.Uvarint(uint64(len(c.delivered)))
 	// Deterministic order is not required for correctness (entries land in
 	// a map) but keeps same-run checkpoints byte-identical for tests.
@@ -148,11 +161,15 @@ func decodeCheckpoint(data []byte) (walCheckpoint, error) {
 	if err != nil {
 		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
 	}
+	sealed, err := d.Varint()
+	if err != nil {
+		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
+	}
 	n, err := d.Uvarint()
 	if err != nil {
 		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
 	}
-	out.epoch, out.nextTID = epoch, aria.TID(tid)
+	out.epoch, out.nextTID, out.sealed = epoch, aria.TID(tid), sealed
 	for i := uint64(0); i < n; i++ {
 		id, ent, err := readDelivered(d)
 		if err != nil {

@@ -3,6 +3,14 @@
 // workspaces, validates and applies batches, and persists snapshots. The
 // paper's deployment bundles "execution, state, and messaging" on each
 // worker core (§4), which is exactly this component.
+//
+// With the pipelined coordinator, two epochs can address a worker at
+// once: the committing epoch's prepare/decide wave and the next epoch's
+// execution events. The worker keeps per-epoch workspace sets — the epoch
+// stamp is a demultiplexing key, not just a staleness guard — and an
+// applied high-water mark: events for epoch N+1 buffer until N's final
+// decide is applied locally, so every execution still reads the
+// serializable committed prefix.
 package stateflow
 
 import (
@@ -17,26 +25,38 @@ import (
 	"statefulentities.dev/stateflow/internal/txn/aria"
 )
 
+// workerEpoch is one epoch's execution state on this worker: its live
+// workspaces and its fallback-round high-water mark (0: the batch's first
+// execution). A delayed or duplicated prepare/decide/event from a
+// finished round must be dropped — a stale decide would otherwise wipe
+// the current round's in-flight workspaces.
+type workerEpoch struct {
+	workspaces map[aria.TID]*aria.Workspace
+	round      int
+}
+
 // Worker is one StateFlow worker node.
 type Worker struct {
 	sys *System
 	id  string
 	idx int
 
-	committed  *state.Store
-	workspaces map[aria.TID]*aria.Workspace
+	committed *state.Store
 
-	// epoch is the worker's own high-water mark of the coordination
-	// epoch: messages carrying a lower epoch belong to a discarded world
-	// (a closed batch, or everything before a recovery's view change) and
-	// are dropped. Purely worker-local state — a real node could keep it.
-	epoch int64
-	// round is the high-water mark of the fallback re-execution round
-	// within the current epoch (0: the batch's first execution). A
-	// delayed or duplicated prepare/decide/event from a finished round
-	// must be dropped — a stale decide would otherwise wipe the current
-	// round's in-flight workspaces.
-	round int
+	// epochs holds per-epoch execution state, keyed by the coordination
+	// epoch; an epoch's entry is dropped when its final decide applies.
+	epochs map[int64]*workerEpoch
+	// appliedEpoch is the newest epoch whose final decide this worker
+	// installed (-1: nothing yet). It is both the staleness guard
+	// (messages at or below it belong to a settled or discarded world)
+	// and the serializability gate: epoch E may execute only once E-1 is
+	// applied here. Purely worker-local state — a real node could keep it.
+	appliedEpoch int64
+	// buffered parks execution events that arrived ahead of their
+	// predecessor's final decide (the pipelined coordinator dispatches
+	// epoch N+1 while N commits); they release when appliedEpoch reaches
+	// their epoch minus one.
+	buffered map[int64][]msgTxnEvent
 
 	// Breakdown attributes CPU time to runtime components for the §4
 	// overhead experiment.
@@ -47,46 +67,27 @@ type Worker struct {
 
 func newWorker(sys *System, idx int) *Worker {
 	return &Worker{
-		sys:        sys,
-		id:         workerID(idx),
-		idx:        idx,
-		committed:  state.NewStore(sys.prog.Layouts()),
-		workspaces: map[aria.TID]*aria.Workspace{},
-		Breakdown:  metrics.NewBreakdown(),
+		sys:          sys,
+		id:           workerID(idx),
+		idx:          idx,
+		committed:    state.NewStore(sys.prog.Layouts()),
+		epochs:       map[int64]*workerEpoch{},
+		appliedEpoch: -1,
+		buffered:     map[int64][]msgTxnEvent{},
+		Breakdown:    metrics.NewBreakdown(),
 	}
 }
 
 func workerID(idx int) string { return fmt.Sprintf("sf-worker-%d", idx) }
 
-// observe advances the worker's epoch high-water mark and reports whether
-// a message carrying the given epoch is current. Equal epochs are
-// current: duplicates within an epoch are handled by the idempotent
-// handlers (empty-workspace re-apply, first-write-wins snapshot images,
-// coordinator-side dedup of votes/acks).
-func (w *Worker) observe(epoch int64) bool {
-	if epoch < w.epoch {
-		return false
+// epochFor returns (creating if needed) the execution state of an epoch.
+func (w *Worker) epochFor(epoch int64) *workerEpoch {
+	ep, ok := w.epochs[epoch]
+	if !ok {
+		ep = &workerEpoch{workspaces: map[aria.TID]*aria.Workspace{}}
+		w.epochs[epoch] = ep
 	}
-	if epoch > w.epoch {
-		w.epoch = epoch
-		w.round = 0
-	}
-	return true
-}
-
-// observeRound additionally advances the fallback-round high-water mark
-// within the current epoch. Equal rounds are current (duplicates within a
-// round are handled like duplicates within an epoch); lower rounds belong
-// to a finished re-execution pass and are dropped.
-func (w *Worker) observeRound(epoch int64, round int) bool {
-	if !w.observe(epoch) {
-		return false
-	}
-	if round < w.round {
-		return false
-	}
-	w.round = round
-	return true
+	return ep
 }
 
 // Committed exposes the committed store (tests and state preloading).
@@ -108,28 +109,39 @@ func (w *Worker) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 	}
 }
 
-func (w *Worker) workspace(tid aria.TID) *aria.Workspace {
-	ws, ok := w.workspaces[tid]
+func (w *Worker) workspace(ep *workerEpoch, tid aria.TID) *aria.Workspace {
+	ws, ok := ep.workspaces[tid]
 	if !ok {
 		ws = aria.NewWorkspace(tid, w.committed)
-		w.workspaces[tid] = ws
+		ep.workspaces[tid] = ws
 	}
 	return ws
 }
 
 // onTxnEvent executes one dataflow event of a transaction on this
 // partition, charging the cost-model CPU components, and forwards the
-// produced events.
+// produced events. Events a pipelined coordinator dispatched ahead of
+// their predecessor epoch's final decide are buffered, not executed: the
+// committed store they would read is not yet the serializable prefix.
 func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
-	if !w.observeRound(m.Epoch, m.Round) {
-		// Stale event from a batch discarded by recovery or from a
-		// finished fallback round. (An old-epoch event arriving before
-		// this worker has seen anything newer can slip through and
-		// execute; its workspace is garbage that no decide order will
-		// ever reference, and its root response carries the old epoch or
-		// round, which the coordinator rejects.)
+	if m.Epoch <= w.appliedEpoch {
+		// Stale event from a settled epoch, a batch discarded by recovery
+		// or a finished fallback round. (An event from a discarded epoch
+		// above the high-water mark can slip through and execute; its
+		// workspace is garbage that no decide order will ever reference,
+		// and its root response carries the old epoch or round, which the
+		// coordinator rejects.)
 		return
 	}
+	if m.Epoch > w.appliedEpoch+1 {
+		w.buffered[m.Epoch] = append(w.buffered[m.Epoch], m)
+		return
+	}
+	ep := w.epochFor(m.Epoch)
+	if m.Round < ep.round {
+		return // finished fallback round
+	}
+	ep.round = m.Round
 	costs := w.sys.cfg.Costs
 
 	// Event deserialization.
@@ -150,7 +162,7 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 	ctx.Work(costs.SplitOverhead)
 	w.Breakdown.Add("splitting_instrumentation", costs.SplitOverhead)
 
-	ws := w.workspace(m.TID)
+	ws := w.workspace(ep, m.TID)
 	out, err := w.sys.executor.Step(m.Ev, ws)
 	ctx.Work(costs.ExecuteCPU)
 	w.Breakdown.Add("function_execution", costs.ExecuteCPU)
@@ -183,18 +195,23 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 // local reservation sets so the coordinator can build the global fallback
 // dependency graph.
 func (w *Worker) onPrepare(ctx *sim.Context, m msgPrepare) {
-	if !w.observeRound(m.Epoch, m.Round) {
-		return // stale (delayed or duplicated) prepare from a closed epoch/round
+	if m.Epoch <= w.appliedEpoch {
+		return // stale (delayed or duplicated) prepare from a settled epoch
 	}
+	ep := w.epochFor(m.Epoch)
+	if m.Round < ep.round {
+		return // finished fallback round
+	}
+	ep.round = m.Round
 	costs := w.sys.cfg.Costs
-	sets := make(map[aria.TID]*aria.RWSet, len(w.workspaces))
+	sets := make(map[aria.TID]*aria.RWSet, len(ep.workspaces))
 	for _, tid := range m.Order {
-		if ws, ok := w.workspaces[tid]; ok {
+		if ws, ok := ep.workspaces[tid]; ok {
 			sets[tid] = ws.RW
 		}
 	}
 	aborts := aria.Validate(m.Order, sets)
-	work := time.Duration(len(w.workspaces)) * costs.CommitCPU
+	work := time.Duration(len(ep.workspaces)) * costs.CommitCPU
 	vote := msgVote{Epoch: m.Epoch, Round: m.Round, Aborts: aborts}
 	if m.Round == 0 && !w.sys.cfg.DisableFallback {
 		// The extra fallback pass is priced per shipped reservation set:
@@ -209,22 +226,28 @@ func (w *Worker) onPrepare(ctx *sim.Context, m msgPrepare) {
 }
 
 // onDecide applies committed workspaces in TID order and discards the
-// rest.
+// rest. A final decide settles the epoch: the applied high-water mark
+// advances and any buffered successor-epoch events execute now, against
+// exactly the committed prefix they were waiting for.
 func (w *Worker) onDecide(ctx *sim.Context, m msgDecide) {
-	if !w.observeRound(m.Epoch, m.Round) {
-		// Stale decide from a closed epoch or a finished fallback round:
-		// without this guard a delayed duplicate would wipe the in-flight
-		// workspaces of the next epoch (or of the round currently
-		// re-executing), tearing any split transaction already running.
+	if m.Epoch <= w.appliedEpoch {
+		// Stale decide from a settled epoch: without this guard a delayed
+		// duplicate would wipe the in-flight workspaces of the next epoch,
+		// tearing any split transaction already running.
 		return
 	}
+	ep := w.epochFor(m.Epoch)
+	if m.Round < ep.round {
+		return // finished fallback round (same tearing hazard per round)
+	}
+	ep.round = m.Round
 	costs := w.sys.cfg.Costs
 	aborted := map[aria.TID]bool{}
 	for _, t := range m.Aborts {
 		aborted[t] = true
 	}
 	for _, tid := range m.Order {
-		ws, ok := w.workspaces[tid]
+		ws, ok := ep.workspaces[tid]
 		if !ok || aborted[tid] {
 			continue
 		}
@@ -236,18 +259,43 @@ func (w *Worker) onDecide(ctx *sim.Context, m msgDecide) {
 		ws.Apply(w.committed)
 		w.Applied++
 	}
-	w.workspaces = map[aria.TID]*aria.Workspace{}
+	if m.Final {
+		delete(w.epochs, m.Epoch)
+		w.appliedEpoch = m.Epoch
+		ctx.Send(w.sys.coordID, msgApplied{Epoch: m.Epoch, Round: m.Round},
+			costs.WorkerLink.Sample(ctx.Rand()))
+		w.releaseBuffered(ctx, m.Epoch+1)
+		return
+	}
+	ep.workspaces = map[aria.TID]*aria.Workspace{}
 	ctx.Send(w.sys.coordID, msgApplied{Epoch: m.Epoch, Round: m.Round},
 		costs.WorkerLink.Sample(ctx.Rand()))
 }
 
+// releaseBuffered re-dispatches the events an epoch parked while its
+// predecessor was committing; they pass the gate now that the high-water
+// mark advanced.
+func (w *Worker) releaseBuffered(ctx *sim.Context, epoch int64) {
+	evs, ok := w.buffered[epoch]
+	if !ok {
+		return
+	}
+	delete(w.buffered, epoch)
+	for _, m := range evs {
+		w.onTxnEvent(ctx, m)
+	}
+}
+
 // onSnapshot persists the committed store to the snapshot store.
 func (w *Worker) onSnapshot(ctx *sim.Context, m msgTakeSnapshot) {
-	if !w.observe(m.Epoch) {
+	if m.Epoch < w.appliedEpoch {
 		// Stale snapshot request: the aligned cut it belonged to is over
 		// (recovery's view change bumped the epoch past it). Writing the
 		// *current* store into the old snapshot id would mix state from
-		// two different cuts into one "complete" snapshot.
+		// two different cuts into one "complete" snapshot. (Equal is
+		// current: the cut is taken right after the epoch's final decide
+		// applied, and the successor cannot commit past it — it is stuck
+		// behind the snapshot in the coordinator's commit slot.)
 		return
 	}
 	costs := w.sys.cfg.Costs
@@ -262,17 +310,29 @@ func (w *Worker) onSnapshot(ctx *sim.Context, m msgTakeSnapshot) {
 }
 
 // onRecover rolls the worker back to a snapshot image (or empty state),
-// dropping every in-flight workspace.
+// dropping every in-flight workspace and buffered event.
 func (w *Worker) onRecover(ctx *sim.Context, m msgRecover) {
-	if !w.observe(m.Epoch) {
+	if m.Epoch < w.appliedEpoch {
 		// Stale recover: a copy arriving after the system moved past that
 		// recovery (any later batch or recovery bumped the epoch) must
-		// not wipe the worker. A same-epoch duplicate re-restores the
-		// same image before any later-epoch work existed — idempotent.
+		// not wipe the worker.
+		return
+	}
+	if m.Epoch == w.appliedEpoch {
+		// Wire duplicate of the round this worker already restored. The
+		// restore is NOT idempotent by now: the post-recovery epoch may
+		// already be executing in the workspaces, and re-wiping them would
+		// silently drop its writes at apply (the decide skips missing
+		// workspaces). Re-ack only — the original ack may be the copy the
+		// network lost.
+		ctx.Send(w.sys.coordID, msgRecovered{SnapshotID: m.SnapshotID, Epoch: m.Epoch},
+			w.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 		return
 	}
 	costs := w.sys.cfg.Costs
-	w.workspaces = map[aria.TID]*aria.Workspace{}
+	w.epochs = map[int64]*workerEpoch{}
+	w.buffered = map[int64][]msgTxnEvent{}
+	w.appliedEpoch = m.Epoch
 	if m.SnapshotID == 0 {
 		w.committed = state.NewStore(w.sys.prog.Layouts())
 	} else {

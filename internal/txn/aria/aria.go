@@ -231,15 +231,19 @@ func (s wsState) SetSlot(slot int, v interp.Value) {
 	e.row.SetSlot(slot, v)
 }
 
-// Lookup implements core.Store for the executor.
+// Lookup implements core.Store for the executor. Absence is an
+// observation too: a lookup that misses still reserves the key, so a
+// transaction that failed because an entity did not exist conflicts with
+// a same-batch creation of it — without the phantom read its error would
+// validate as definitive even though the serial order creates the entity
+// first.
 func (ws *Workspace) Lookup(ref interp.EntityRef) (interp.State, bool) {
 	key := ws.resKey(ref)
+	ws.RW.Read(key, EntityBit)
 	if e, ok := ws.writes[ref]; ok {
-		ws.RW.Read(key, EntityBit)
 		return wsState{ws: ws, ref: ref, key: key, row: e.row}, true
 	}
 	if base, exists := ws.committed.Lookup(ref); exists {
-		ws.RW.Read(key, EntityBit)
 		return wsState{ws: ws, ref: ref, key: key, row: base}, true
 	}
 	return nil, false

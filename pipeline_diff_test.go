@@ -1,0 +1,104 @@
+// Differential tests for the pipelined epoch schedule: the same workload
+// runs with epoch pipelining on (two epochs in flight, merged fsyncs) and
+// off (serial execute→commit→respond), and the two modes must produce
+// identical responses and byte-identical committed state. Pipelining is a
+// latency optimisation — it overlaps the successor epoch's execution with
+// the predecessor's commit phase — and must never change what commits or
+// what clients observe. The chained-transfer workload is additionally
+// checked against the StateFun-model baseline: its final balances are a
+// pure function of the transfer list, independent of the epoch schedule.
+package stateflow_test
+
+import (
+	"testing"
+	"time"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/chaos/oracle"
+	"statefulentities.dev/stateflow/internal/workload/ycsb"
+)
+
+// TestPipelineDifferentialOracleWorkloads drives the oracle's contended
+// workloads (banking: fully contended transfer pool; ycsb: mixed
+// read/update/transfer) fault-free on StateFlow with pipelining on and
+// off: transcripts and committed state must be byte-identical.
+func TestPipelineDifferentialOracleWorkloads(t *testing.T) {
+	for _, w := range []oracle.Workload{oracle.Banking(), oracle.YCSB()} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := oracle.DefaultConfig()
+				on, err := oracle.RunOnce(w, stateflow.BackendStateFlow, seed, nil, cfg)
+				if err != nil {
+					t.Fatalf("seed %d pipelining-on: %v", seed, err)
+				}
+				cfg.DisablePipelining = true
+				off, err := oracle.RunOnce(w, stateflow.BackendStateFlow, seed, nil, cfg)
+				if err != nil {
+					t.Fatalf("seed %d pipelining-off: %v", seed, err)
+				}
+				if on.Transcript != off.Transcript {
+					t.Fatalf("seed %d: transcripts diverge:\n--- pipelining on ---\n%s--- pipelining off ---\n%s",
+						seed, on.Transcript, off.Transcript)
+				}
+				if on.StateDigest != off.StateDigest {
+					t.Fatalf("seed %d: committed state diverges:\n--- pipelining on ---\n%s--- pipelining off ---\n%s",
+						seed, on.StateDigest, off.StateDigest)
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineDifferentialChainAcrossBackends commits a k=32 transfer
+// chain on StateFlow with pipelining on, with it off, and on the
+// StateFun-model baseline, and requires byte-identical final committed
+// state from all three: the chain's outcome is independent of the epoch
+// schedule, so any divergence is a lost or duplicated effect.
+func TestPipelineDifferentialChainAcrossBackends(t *testing.T) {
+	const k = 32
+	key := func(i int) string { return ycsb.Key(i) }
+
+	runChain := func(backend stateflow.Backend, disablePipelining bool) string {
+		prog := stateflow.MustCompile(ycsb.Program())
+		sim := stateflow.NewSimulation(prog, stateflow.SimConfig{
+			Backend:           backend,
+			Seed:              7,
+			Epoch:             20 * time.Millisecond,
+			DisablePipelining: disablePipelining,
+		})
+		admin := sim.Client().Admin()
+		for i := 0; i <= k; i++ {
+			if err := admin.Preload("Account",
+				stateflow.Str(key(i)), stateflow.Int(1000), stateflow.Str("")); err != nil {
+				t.Fatalf("preload: %v", err)
+			}
+		}
+		futs := make([]*stateflow.Future, 0, k)
+		for i := 0; i < k; i++ {
+			e := sim.Client().Entity("Account", key(i)).
+				With(stateflow.WithKind("transfer"), stateflow.WithTimeout(time.Minute))
+			futs = append(futs, e.Submit("transfer",
+				stateflow.Int(5), stateflow.Ref("Account", key(i+1))))
+		}
+		for i, f := range futs {
+			res, err := f.Wait()
+			if err != nil || res.Err != "" || !res.Value.B {
+				t.Fatalf("%s disablePipelining=%v: transfer %d: err=%v res=(%s,%q)",
+					backend, disablePipelining, i, err, res.Value.Repr(), res.Err)
+			}
+		}
+		sim.Run(time.Second) // settle
+		return dumpClass(admin, "Account")
+	}
+
+	on := runChain(stateflow.BackendStateFlow, false)
+	off := runChain(stateflow.BackendStateFlow, true)
+	base := runChain(stateflow.BackendStateFun, false)
+	if on != off {
+		t.Fatalf("StateFlow pipelining on/off state diverges:\n--- on ---\n%s--- off ---\n%s", on, off)
+	}
+	if on != base {
+		t.Fatalf("StateFlow/StateFun state diverges:\n--- stateflow ---\n%s--- statefun ---\n%s", on, base)
+	}
+}

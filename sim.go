@@ -47,6 +47,14 @@ type SimConfig struct {
 	// baseline backend. (MapFallback above concerns the interpreter, not
 	// the transaction protocol.)
 	DisableFallback bool
+	// DisablePipelining forces the StateFlow backend's serial epoch
+	// schedule: each epoch fully commits (and fsyncs) before the next one
+	// opens. With pipelining on (the default), two epochs run in flight —
+	// epoch N+1 opens and executes while N validates, applies and
+	// group-commits, and N+1's epoch-advance record rides N's fsync. Kept
+	// for A/B benchmarking and differential tests; no effect on the
+	// baseline backend.
+	DisablePipelining bool
 	// ClientRetry is the client-edge retransmission interval: a submitted
 	// request whose response has not arrived after this much virtual time
 	// is re-sent (same request id — the ingress dedupes in-flight copies
@@ -165,6 +173,7 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 		c.SnapshotEvery = cfg.SnapshotEvery
 		c.MapFallback = cfg.MapFallback
 		c.DisableFallback = cfg.DisableFallback
+		c.DisablePipelining = cfg.DisablePipelining
 		s.sf = sfsys.New(cluster, prog, c)
 		s.sys = s.sf
 	case BackendStateFun:
