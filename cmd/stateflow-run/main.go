@@ -17,6 +17,16 @@
 // fault plan derived from the seed (worker crash windows, message drops,
 // duplicates and latency spikes); the plan and the fault activity are
 // printed so any run reproduces from its two seeds.
+//
+// With -lin <hotkey|datadep|chain>, the YCSB driver is bypassed
+// entirely: the named adversarial profile runs on the chosen simulated
+// backend, fault-free and under the seed-derived chaos plan, and both
+// histories go to the serializability checker (internal/lin) instead of
+// the byte-equality oracle. This is the one-command reproduction for
+// adversarial sweep failures:
+//
+//	stateflow-run -lin datadep -seed 33 [-backend statefun]
+//	              [-no-fallback] [-no-pipelining]
 package main
 
 import (
@@ -28,6 +38,8 @@ import (
 
 	"statefulentities.dev/stateflow"
 	"statefulentities.dev/stateflow/internal/chaos"
+	"statefulentities.dev/stateflow/internal/chaos/oracle"
+	adversarial "statefulentities.dev/stateflow/internal/chaos/workload"
 	"statefulentities.dev/stateflow/internal/metrics"
 	"statefulentities.dev/stateflow/internal/sim"
 	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
@@ -51,7 +63,14 @@ func main() {
 		"disable Aria's deterministic fallback phase: conflict-aborted transactions retry in the next batch instead of re-executing inside the current one (A/B benchmarking)")
 	noPipelining := flag.Bool("no-pipelining", false,
 		"force the serial epoch schedule: the coordinator fully commits each epoch before opening the next instead of overlapping execute and commit phases (A/B benchmarking)")
+	linProfile := flag.String("lin", "",
+		"run an adversarial order-sensitive workload under the linearizability checker instead of YCSB: hotkey | datadep | chain. The workload, the fault plan and the verdict all derive from -seed; honors -backend (stateflow or statefun), -no-fallback and -no-pipelining")
 	flag.Parse()
+
+	if *linProfile != "" {
+		runLin(*linProfile, *backend, *seed, *noFallback, *noPipelining)
+		return
+	}
 
 	src := ycsb.Program()
 	if flag.NArg() == 1 {
@@ -217,6 +236,45 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 		for _, cl := range st.Clamped {
 			fmt.Printf("  clamped: %s\n", cl)
 		}
+	}
+}
+
+// runLin executes one adversarial profile under the history checker:
+// fault-free first, then under the seed's chaos plan, requiring both
+// observed histories to be serializable and value-conserving (and, on
+// StateFlow, at least one coordinator reboot survived). Everything —
+// traffic, fault plan, verdict — reproduces from the profile name and
+// the seed.
+func runLin(profile, backend string, seed int64, noFallback, noPipelining bool) {
+	var be stateflow.Backend
+	switch backend {
+	case "stateflow":
+		be = stateflow.BackendStateFlow
+	case "statefun":
+		be = stateflow.BackendStateFun
+	default:
+		check(fmt.Errorf("-lin needs a simulated backend (stateflow or statefun), got %q", backend))
+	}
+	p := adversarial.Profile(profile)
+	known := false
+	for _, k := range adversarial.Profiles {
+		known = known || k == p
+	}
+	if !known {
+		check(fmt.Errorf("unknown -lin profile %q (want one of %v)", profile, adversarial.Profiles))
+	}
+	cfg := oracle.DefaultConfig()
+	cfg.DisableFallback = noFallback
+	cfg.DisablePipelining = noPipelining
+	run, err := oracle.VerifyAdversarial(p, be, seed, cfg)
+	check(err)
+	fmt.Printf("profile %s on %s, seed %d: histories serializable and conserving, fault-free and under plan %s\n",
+		p, be, seed, chaos.FromSeed(seed, cfg.Horizon))
+	fmt.Printf("chaos activity: %d crash windows, %d dropped, %d duplicated, %d delayed\n",
+		run.Stats.CrashWindows, run.Stats.Dropped, run.Stats.Duplicated, run.Stats.Delayed)
+	if be == stateflow.BackendStateFlow {
+		fmt.Printf("stateflow: %d recoveries (%d coordinator reboots, %d mid-pipeline), %d egress replays, %d fallback drift demotions\n",
+			run.Recoveries, run.CoordRestarts, run.MidPipelineRestarts, run.Replays, run.FallbackDriftDemotions)
 	}
 }
 

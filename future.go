@@ -23,6 +23,7 @@ import "sync"
 type Future struct {
 	ref    EntityRef
 	method string
+	id     string
 
 	mu   sync.Mutex
 	done bool
@@ -51,6 +52,13 @@ func (f *Future) Target() EntityRef { return f.ref }
 
 // Method returns the invoked method name.
 func (f *Future) Method() string { return f.method }
+
+// RequestID returns the wire-level request id the runtime minted for this
+// submission, or "" when the runtime answers synchronously and mints none
+// (Local). The id is what dedup journals and the coordinator's commit tap
+// key on, so harnesses can join a Future's outcome against backend-side
+// observations (e.g. Simulation.CommitSerials).
+func (f *Future) RequestID() string { return f.id }
 
 // Wait returns the outcome, blocking (Live), driving virtual time
 // (Simulation) or returning immediately (Local) until it is known. The

@@ -1,0 +1,67 @@
+package chaos_test
+
+import (
+	"fmt"
+	"testing"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/chaos/oracle"
+	"statefulentities.dev/stateflow/internal/chaos/workload"
+)
+
+// stateflowCommits enumerates the StateFlow commit-strategy matrix the
+// adversarial sweep covers: both commit paths (deterministic fallback on
+// and off) crossed with both epoch schedules (pipelined and serial).
+var stateflowCommits = []struct {
+	name                         string
+	disableFallback, disablePipe bool
+}{
+	{"fb+pipe", false, false},
+	{"fb+serial", false, true},
+	{"nofb+pipe", true, false},
+	{"nofb+serial", true, true},
+}
+
+// TestAdversarialLinSweep is the order-sensitive acceptance gate: for
+// every adversarial profile it sweeps seeds across the full StateFlow
+// commit matrix plus the StateFun baseline, each seed deriving the same
+// chaos plan as the byte-equality sweep, and requires the observed
+// history to be serializable (lin.Check, serial mode on StateFlow via
+// the coordinator's commit tap) and value-conserving. VerifyAdversarial
+// additionally requires every StateFlow chaos run to have survived at
+// least one coordinator reboot, so the sweep cannot silently stop
+// exercising the restart path. A failure prints the profile, backend,
+// seed and full plan verbatim.
+func TestAdversarialLinSweep(t *testing.T) {
+	base := oracle.DefaultConfig()
+	for _, p := range workload.Profiles {
+		p := p
+		for _, combo := range stateflowCommits {
+			combo := combo
+			t.Run(fmt.Sprintf("%s/stateflow/%s", p, combo.name), func(t *testing.T) {
+				t.Parallel()
+				cfg := base
+				cfg.DisableFallback = combo.disableFallback
+				cfg.DisablePipelining = combo.disablePipe
+				restarts, demotions := 0, 0
+				for seed := int64(1); seed <= sweepSeeds(); seed++ {
+					run, err := oracle.VerifyAdversarial(p, stateflow.BackendStateFlow, seed, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					restarts += run.CoordRestarts
+					demotions += run.FallbackDriftDemotions
+				}
+				t.Logf("%d coordinator reboots survived, %d fallback drift demotions", restarts, demotions)
+			})
+		}
+		t.Run(fmt.Sprintf("%s/statefun", p), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= sweepSeeds(); seed++ {
+				if _, err := oracle.VerifyAdversarial(p, stateflow.BackendStateFun, seed, base); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

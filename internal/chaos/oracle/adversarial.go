@@ -1,0 +1,285 @@
+// Adversarial runs: order-sensitive workloads checked by the history
+// checker (internal/lin) instead of byte-equality against a reference
+// run. The catalogue workloads in workloads.go are built to be
+// order-insensitive so transcripts compare bytewise; the adversarial
+// profiles (internal/chaos/workload) are built to be the opposite —
+// contended, data-dependent, chained — and their correctness argument is
+// serializability of the observed history, which is exactly what
+// lin.Check decides.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/chaos"
+	"statefulentities.dev/stateflow/internal/chaos/workload"
+	"statefulentities.dev/stateflow/internal/lin"
+)
+
+// adversarialWindow is the in-flight window for the static profiles on
+// the transactional backend. Contention is the point, so the window is
+// wide; the non-transactional baseline gets window 1 (same reasoning as
+// Workload.Contended — its contract makes no isolation promise).
+const adversarialWindow = 8
+
+// RunAdversarial executes one adversarial workload spec on a backend —
+// fault-free when plan is nil, under the plan otherwise — and returns
+// the checker-ready history plus the run observables. On the StateFlow
+// backend the history carries the coordinator's commit tap (serial
+// mode); on the baseline the checker falls back to graph mode.
+//
+// The caller owns the verdict: pass the history to lin.Check (with
+// spec.Conservation()) — VerifyAdversarial does exactly that.
+func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, plan *chaos.Plan, cfg Config) (*lin.History, Run, error) {
+	prog, err := stateflow.Compile(workload.Program())
+	if err != nil {
+		return nil, Run{}, fmt.Errorf("compile workload program: %w", err)
+	}
+	simCfg := stateflow.SimConfig{
+		Backend:           backend,
+		Seed:              seed,
+		Epoch:             cfg.Epoch,
+		SnapshotEvery:     cfg.SnapshotEvery,
+		DisableFallback:   cfg.DisableFallback,
+		DisablePipelining: cfg.DisablePipelining,
+		// The commit tap is the serial order the checker validates against.
+		TraceCommits:           backend == stateflow.BackendStateFlow,
+		UncheckedFallbackDrift: cfg.UncheckedFallbackDrift,
+		UncheckedReplayOrder:   cfg.UncheckedReplayOrder,
+	}
+	var sim *stateflow.Simulation
+	if plan != nil {
+		sim = stateflow.NewSimulation(prog, simCfg, stateflow.WithChaos(*plan))
+	} else {
+		sim = stateflow.NewSimulation(prog, simCfg)
+	}
+	client := sim.Client()
+	admin := client.Admin()
+	if err := spec.Preload(admin); err != nil {
+		return nil, Run{}, fmt.Errorf("%s preload: %w", spec.Profile, err)
+	}
+
+	h := &lin.History{Initial: spec.Initial()}
+	reqOf := map[string]string{} // wire request id -> workload op id
+	lost := 0
+	var trace strings.Builder
+
+	submit := func(op workload.Op) *stateflow.Future {
+		kind := "update"
+		if op.Method == "get" {
+			kind = "read"
+		}
+		h.Invokes = append(h.Invokes, op.Invoke())
+		f := client.Entity(workload.Class, op.Key).
+			With(stateflow.WithKind(kind), stateflow.WithTimeout(cfg.Timeout)).
+			Submit(op.Method, op.Args()...)
+		if id := f.RequestID(); id != "" {
+			reqOf[id] = op.ID
+		}
+		return f
+	}
+	// settle waits for a future and folds its outcome into the history.
+	// ok=false means the request was lost (no response within the virtual
+	// timeout) — the history has no outcome for it and the run fails
+	// below, because an op with unknown effects makes the check vacuous.
+	settle := func(op workload.Op, f *stateflow.Future) (obs []lin.Observation, failed, ok bool) {
+		res, err := f.Wait()
+		if err != nil {
+			lost++
+			fmt.Fprintf(&trace, "LOST %s %s<%s>.%s: %v\n", op.ID, workload.Class, op.Key, op.Method, err)
+			return nil, true, false
+		}
+		out := lin.Outcome{ID: op.ID, Err: res.Err}
+		if res.Err == "" {
+			decoded, derr := workload.Decode(op, res.Value)
+			if derr != nil {
+				// A malformed response is a checker violation in its own
+				// right: record the op as errored so checkChain sees an
+				// effect-free op, and surface the decode failure.
+				fmt.Fprintf(&trace, "DECODE %s: %v\n", op.ID, derr)
+				out.Err = derr.Error()
+			} else {
+				out.Obs = decoded
+			}
+		}
+		h.Outcomes = append(h.Outcomes, out)
+		return out.Obs, out.Err != "", true
+	}
+
+	switch spec.Profile {
+	case workload.Chain:
+		// Response-driven chains: each chain has at most one op in flight,
+		// and the next op's target and arguments derive from the previous
+		// response. On the transactional backend the chains race each
+		// other; the baseline drives them one chain at a time (its
+		// contract makes no promise about interleaved multi-entity ops).
+		type pending struct {
+			op  workload.Op
+			fut *stateflow.Future
+		}
+		drive := func(active []pending) {
+			for len(active) > 0 {
+				next := make([]pending, 0, len(active))
+				for _, p := range active {
+					obs, failed, ok := settle(p.op, p.fut)
+					if !ok {
+						continue // lost: abandon the chain, fail the run below
+					}
+					nop, more := spec.Next(p.op, obs, failed)
+					if more {
+						next = append(next, pending{op: nop, fut: submit(nop)})
+					}
+				}
+				active = next
+			}
+		}
+		starts := spec.Starts()
+		if backend == stateflow.BackendStateFlow {
+			all := make([]pending, 0, len(starts))
+			for _, op := range starts {
+				all = append(all, pending{op: op, fut: submit(op)})
+			}
+			drive(all)
+		} else {
+			for _, op := range starts {
+				drive([]pending{{op: op, fut: submit(op)}})
+			}
+		}
+	default:
+		ops := spec.Static()
+		window := adversarialWindow
+		if backend != stateflow.BackendStateFlow {
+			window = 1
+		}
+		for base := 0; base < len(ops); base += window {
+			end := base + window
+			if end > len(ops) {
+				end = len(ops)
+			}
+			futs := make([]*stateflow.Future, 0, end-base)
+			for _, op := range ops[base:end] {
+				futs = append(futs, submit(op))
+			}
+			for i, f := range futs {
+				settle(ops[base+i], f)
+			}
+		}
+	}
+	if lost > 0 {
+		return nil, Run{}, fmt.Errorf("%s on %s: %d/%d requests lost (no response within %s of virtual time):\n%s",
+			spec.Profile, backend, lost, len(h.Invokes), cfg.Timeout, trace.String())
+	}
+
+	// Quiesce before reading taps and final state: delayed duplicates must
+	// land and any crash window scheduled past the last response must
+	// open, be detected and finish recovering (recovery replay re-commits
+	// work the clients already saw; the tap must record the converged
+	// apply order, not a replay in progress).
+	quiet := cfg.Horizon - sim.Cluster.Now()
+	if quiet < 0 {
+		quiet = 0
+	}
+	sim.Run(quiet + time.Second)
+
+	// Exactly-once at the client edge — same accounting as RunOnce: per
+	// id, the system's own sends (deliveries − injected dups + injected
+	// drops) must be at least one and at most one plus the solicitations
+	// for a resend (client retries + injected request duplicates).
+	deliveries := sim.ResponseDeliveries()
+	if len(deliveries) != len(h.Invokes) {
+		return nil, Run{}, fmt.Errorf("%s on %s: %d raw-delivery records for %d ops",
+			spec.Profile, backend, len(deliveries), len(h.Invokes))
+	}
+	stats := sim.ChaosStats()
+	retries := sim.ClientRetries()
+	bad := 0
+	for id, n := range deliveries {
+		sends := n - stats.DupResponses[id] + stats.DroppedResponses[id]
+		if sends < 1 {
+			bad++
+			fmt.Fprintf(&trace, "UNDERDELIVERED %s: %d deliveries, %d dups, %d drops\n",
+				id, n, stats.DupResponses[id], stats.DroppedResponses[id])
+			continue
+		}
+		if allowed := 1 + retries[id] + stats.DupRequests[id]; sends > allowed {
+			bad++
+			fmt.Fprintf(&trace, "DUPLICATE %s: system sent %d responses, allowed %d\n", id, sends, allowed)
+		}
+	}
+	if bad > 0 {
+		return nil, Run{}, fmt.Errorf("%s on %s: %d requests violate the exactly-once delivery accounting:\n%s",
+			spec.Profile, backend, bad, trace.String())
+	}
+
+	// Backend taps: the commit order (serial mode) and the settled state.
+	if serials := sim.CommitSerials(); serials != nil {
+		h.Serial = make(map[string]int64, len(reqOf))
+		for req, ser := range serials {
+			if opID, ok := reqOf[req]; ok {
+				h.Serial[opID] = ser
+			}
+		}
+	}
+	h.Final = make(map[lin.Entity]lin.State, spec.Cells)
+	for i := 0; i < spec.Cells; i++ {
+		key := workload.Key(i)
+		st, ok := admin.Inspect(workload.Class, key)
+		if !ok {
+			return nil, Run{}, fmt.Errorf("%s on %s: preloaded cell %s missing from committed state",
+				spec.Profile, backend, key)
+		}
+		h.Final[lin.Entity{Class: workload.Class, Key: key}] = lin.State{
+			Version: st["version"].I, Value: st["value"].I, Last: st["last"].S,
+		}
+	}
+
+	run := Run{Stats: stats, Trace: trace.String()}
+	if sf := sim.StateFlow(); sf != nil {
+		run.Recoveries = sf.Coordinator().Recoveries
+		run.CoordRestarts = sf.Coordinator().Restarts
+		run.MidPipelineRestarts = sf.Coordinator().MidPipelineRestarts
+		run.Replays = sf.Coordinator().Replays
+		run.FallbackDriftDemotions = sf.Coordinator().FallbackDriftDemotions
+	}
+	return h, run, nil
+}
+
+// VerifyAdversarial derives the spec and fault plan from a (profile,
+// seed) pair, runs the workload fault-free and under chaos on one
+// backend, and checks both histories for serializability plus the
+// profile's conservation invariant. On the StateFlow backend the chaos
+// run must additionally have survived at least one coordinator reboot —
+// every seeded plan schedules one, and a sweep that silently stopped
+// exercising the restart path would otherwise keep passing on easier
+// faults. The returned error embeds everything needed to reproduce the
+// run from two integers.
+func VerifyAdversarial(p workload.Profile, backend stateflow.Backend, seed int64, cfg Config) (Run, error) {
+	spec := workload.FromSeed(p, seed)
+	plan := chaos.FromSeed(seed, cfg.Horizon)
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("adversarial profile=%s backend=%s seed=%d plan=%s: %s",
+			p, backend, seed, plan, fmt.Sprintf(format, args...))
+	}
+
+	h, _, err := RunAdversarial(spec, backend, seed, nil, cfg)
+	if err != nil {
+		return Run{}, fail("fault-free run failed: %v", err)
+	}
+	if err := lin.Check(h, spec.Conservation()); err != nil {
+		return Run{}, fail("fault-free history rejected: %v", err)
+	}
+	h, got, err := RunAdversarial(spec, backend, seed, &plan, cfg)
+	if err != nil {
+		return got, fail("chaos run failed: %v", err)
+	}
+	if err := lin.Check(h, spec.Conservation()); err != nil {
+		return got, fail("chaos history rejected: %v", err)
+	}
+	if backend == stateflow.BackendStateFlow && got.CoordRestarts == 0 {
+		return got, fail("chaos run survived no coordinator reboot (restarts=0); the plan scheduled one, so the restart path went unexercised")
+	}
+	return got, nil
+}

@@ -111,6 +111,11 @@ type Run struct {
 	// Replays counts responses the egress re-served from its durable
 	// buffer to retrying clients.
 	Replays int
+	// FallbackDriftDemotions counts fallback members the coordinator
+	// pushed to a later round because their re-executed footprint drifted
+	// into a pending lower-TID member's declared one (adversarial runs;
+	// evidence the datadep profile actually provokes the drift path).
+	FallbackDriftDemotions int
 }
 
 // Config tunes oracle runs.
@@ -129,6 +134,15 @@ type Config struct {
 	// DisablePipelining forces the StateFlow backend's serial epoch
 	// schedule (differential runs compare it against the pipelined one).
 	DisablePipelining bool
+	// UncheckedFallbackDrift disables the coordinator's cross-round
+	// footprint re-validation (a test hook: regression tests re-introduce
+	// the pre-fix hole and assert the adversarial checker catches it).
+	UncheckedFallbackDrift bool
+	// UncheckedReplayOrder disables the coordinator's binding-prefix
+	// recovery replay (a test hook: regression tests re-introduce the
+	// pre-fix TID-order re-cut and assert the adversarial checker catches
+	// the divergence from released responses).
+	UncheckedReplayOrder bool
 }
 
 // DefaultConfig returns the sweep configuration.

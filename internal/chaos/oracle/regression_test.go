@@ -1,0 +1,118 @@
+package oracle
+
+import (
+	"testing"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/chaos"
+	"statefulentities.dev/stateflow/internal/chaos/workload"
+	"statefulentities.dev/stateflow/internal/lin"
+)
+
+// checkLegacy runs one adversarial datadep seed with the given pre-fix
+// hooks re-opened and returns the checker verdict plus the run stats.
+func checkLegacy(t *testing.T, seed int64, disablePipe, legacyReplay, noDriftGuard bool) (error, Run) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.DisablePipelining = disablePipe
+	cfg.UncheckedReplayOrder = legacyReplay
+	cfg.UncheckedFallbackDrift = noDriftGuard
+	spec := workload.FromSeed(workload.DataDep, seed)
+	plan := chaos.FromSeed(seed, cfg.Horizon)
+	h, run, err := RunAdversarial(spec, stateflow.BackendStateFlow, seed, &plan, cfg)
+	if err != nil {
+		t.Fatalf("seed %d (pipe=%v legacy=%v noguard=%v): run failed: %v",
+			seed, !disablePipe, legacyReplay, noDriftGuard, err)
+	}
+	return lin.Check(h, spec.Conservation()), run
+}
+
+// TestBindingReplayRegression pins the recovery binding-prefix replay as
+// load-bearing. With the UncheckedReplayOrder hook the coordinator
+// recovers the historical way — released work is re-cut into fresh
+// batches from the source log in TID order — and on this seed the re-cut
+// commits a conflicting pair in a different order than the responses the
+// clients already hold, which the history checker rejects. With the
+// binding replay (released responses re-commit serially in release
+// order) the same seed passes the full adversarial verdict.
+func TestBindingReplayRegression(t *testing.T) {
+	const seed = 33
+	for _, disablePipe := range []bool{false, true} {
+		// Pre-fix recovery (drift guard still on: the divergence is the
+		// replay order's own, not the fallback's).
+		if err, _ := checkLegacy(t, seed, disablePipe, true, false); err == nil {
+			t.Errorf("pipe=%v: TID-order recovery re-cut escaped the checker; the regression seed has gone stale", !disablePipe)
+		} else {
+			t.Logf("pipe=%v: checker caught the pre-fix re-cut: %v", !disablePipe, err)
+		}
+		// Post-fix: the full adversarial verdict (serializability,
+		// conservation, exactly-once accounting, reboot floor).
+		cfg := DefaultConfig()
+		cfg.DisablePipelining = disablePipe
+		if _, err := VerifyAdversarial(workload.DataDep, stateflow.BackendStateFlow, seed, cfg); err != nil {
+			t.Errorf("pipe=%v: post-fix verdict failed: %v", !disablePipe, err)
+		}
+	}
+}
+
+// TestFallbackDriftRegression pins the fallback footprint-drift guard
+// (demoteDriftedMembers) as load-bearing. The pre-fix hole: a fallback
+// round re-execution whose observed footprint drifted into conflict with
+// a not-yet-committed lower-TID member still committed, breaking the
+// invariant that conflicting transactions commit in source order. The
+// binding-prefix replay makes recovery faithful to whatever order
+// actually released, so surfacing the hole to clients also requires the
+// historical TID-order recovery re-cut — on these seeds:
+//
+//   - both holes open  -> the checker rejects the history;
+//   - drift guard on, historical recovery -> passes, and the guard
+//     demonstrably intervened (FallbackDriftDemotions > 0);
+//   - full fix -> the full adversarial verdict passes.
+func TestFallbackDriftRegression(t *testing.T) {
+	for _, seed := range []int64{84, 96} {
+		for _, disablePipe := range []bool{false, true} {
+			err, _ := checkLegacy(t, seed, disablePipe, true, true)
+			if err == nil {
+				t.Errorf("seed %d pipe=%v: unchecked fallback drift escaped the checker; the regression seed has gone stale", seed, !disablePipe)
+			} else {
+				t.Logf("seed %d pipe=%v: checker caught the pre-fix drift: %v", seed, !disablePipe, err)
+			}
+			err, run := checkLegacy(t, seed, disablePipe, true, false)
+			if err != nil {
+				t.Errorf("seed %d pipe=%v: drift guard did not close the hole: %v", seed, !disablePipe, err)
+			}
+			if run.FallbackDriftDemotions == 0 {
+				t.Errorf("seed %d pipe=%v: drift guard never demoted a member, so this seed does not exercise the hole", seed, !disablePipe)
+			}
+			cfg := DefaultConfig()
+			cfg.DisablePipelining = disablePipe
+			if _, err := VerifyAdversarial(workload.DataDep, stateflow.BackendStateFlow, seed, cfg); err != nil {
+				t.Errorf("seed %d pipe=%v: post-fix verdict failed: %v", seed, !disablePipe, err)
+			}
+		}
+	}
+}
+
+// TestFallbackDriftDemotesOnDefaultPath asserts the drift guard also
+// fires during ordinary (fully fixed) chaos runs — the regression seeds
+// above need the historical recovery to make drift client-visible, but
+// the guard itself must stay exercised on the default configuration or a
+// regression in its trigger condition would go unnoticed.
+func TestFallbackDriftDemotesOnDefaultPath(t *testing.T) {
+	demotions := 0
+	for _, tc := range []struct {
+		seed        int64
+		disablePipe bool
+	}{{13, false}, {19, false}, {10, true}, {28, true}, {58, true}} {
+		cfg := DefaultConfig()
+		cfg.DisablePipelining = tc.disablePipe
+		run, err := VerifyAdversarial(workload.DataDep, stateflow.BackendStateFlow, tc.seed, cfg)
+		if err != nil {
+			t.Fatalf("seed %d pipe=%v: %v", tc.seed, !tc.disablePipe, err)
+		}
+		demotions += run.FallbackDriftDemotions
+	}
+	if demotions == 0 {
+		t.Fatal("no fallback drift demotion across the pinned seeds; the guard (or the seeds) went stale")
+	}
+}

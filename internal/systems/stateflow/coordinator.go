@@ -36,6 +36,7 @@
 package stateflow
 
 import (
+	"math"
 	"sort"
 	"time"
 
@@ -95,6 +96,14 @@ type epochState struct {
 	epoch int64
 	phase phase
 
+	// binding marks a recovery replay epoch whose batch re-executes
+	// already-released responses (the binding prefix — see Recover). It
+	// admits no fresh arrivals, never pipelines, never snapshots, and its
+	// conflict aborts requeue to the front of the binding queue with no
+	// retry budget: a response a client already holds cannot be taken
+	// back, so its effects must be rebuilt no matter what.
+	binding bool
+
 	batch map[aria.TID]*txnState
 	order []aria.TID
 	// unfinished counts batch transactions whose root response has not
@@ -126,6 +135,12 @@ type epochState struct {
 	fbSet    map[aria.TID]bool
 	fbRound  int
 	fbOrder  []aria.TID
+	// fbFootprints retains the rescued members' merged footprints across
+	// the rounds (declared at schedule time, widened as re-executions
+	// drift): the per-round drift check compares a would-be committer's
+	// observed footprint against the not-yet-committed lower-TID members'
+	// retained ones.
+	fbFootprints map[aria.TID]*aria.RWSet
 }
 
 // Coordinator is the StateFlow coordinator node.
@@ -151,6 +166,21 @@ type Coordinator struct {
 	// retries of aborted transactions).
 	pending []pendingReq
 
+	// replaying is the binding replay queue a recovery builds: requests
+	// whose responses were already released to clients but whose effects
+	// the restored snapshot predates. They re-execute first — in release
+	// order, in dedicated binding epochs — so the rebuilt state agrees
+	// with every response that already escaped, before any pending retry
+	// or fresh suffix work commits (see Recover).
+	replaying []pendingReq
+
+	// snapCuts records each snapshot's aligned-cut virtual time (when its
+	// epoch staged its last response): a delivered entry released after
+	// the restored snapshot's cut has effects the images predate, which
+	// is exactly what makes it binding. The sealed snapshot's cut rides
+	// the dlog checkpoint so the classification survives reboots.
+	snapCuts map[int64]time.Duration
+
 	// Replayable source position: how many log records have been drawn
 	// into batches.
 	consumed int64
@@ -175,6 +205,15 @@ type Coordinator struct {
 	// whose copy was lost. Durable: rebuilt from the dlog on restart,
 	// compacted into checkpoints, pruned by the retention window.
 	delivered map[string]deliveredEntry
+
+	// dedupFloor records, per request-id source (a sysapi.Builder prefix +
+	// incarnation), the highest sequence number ever pruned from the
+	// dedup maps. Every lower sequence from that source was answered and
+	// retired, so an arrival at or below the floor is a very late
+	// duplicate — absorbed instead of re-executed, closing the
+	// duplicate-after-DedupRetention hole for builder-minted ids. Durable:
+	// carried in the dlog checkpoint that performed the prune.
+	dedupFloor map[string]int64
 
 	// seen dedupes request arrivals by id before they reach the source
 	// log (exactly-once input at the system border: a duplicated client
@@ -221,6 +260,16 @@ type Coordinator struct {
 	FallbackRounds  int
 	FallbackCommits int
 	FallbackSpills  int
+	// FallbackDriftDemotions counts round members demoted by the
+	// cross-round footprint-drift check: their re-execution's observed
+	// footprint conflicted with a not-yet-committed lower-TID member's,
+	// so committing them early would have broken the source-order
+	// guarantee for conflicting transactions.
+	FallbackDriftDemotions int
+	// LateDuplicates counts arrivals absorbed by the incarnation dedup
+	// floor: duplicates so late that their originals were already pruned
+	// from the dedup maps by the retention window.
+	LateDuplicates int
 	// Restarts counts coordinator reboots (crash recoveries via the
 	// durable log), a subset of Recoveries. MidPipelineRestarts counts the
 	// reboots that interrupted two in-flight epochs (the commit slot was
@@ -229,21 +278,34 @@ type Coordinator struct {
 	Restarts            int
 	MidPipelineRestarts int
 	// Replays counts responses re-served from the durable egress buffer
-	// to retrying clients.
-	Replays int
+	// to retrying clients. BindingReplays counts released responses whose
+	// transactions a recovery re-executed in binding epochs to rebuild
+	// the effects the restored snapshot predated.
+	Replays        int
+	BindingReplays int
 	// RestoredSnapshots records, per recovery, the snapshot id it rolled
 	// back to (0: reset to empty) — tests assert every restored id was a
 	// complete snapshot.
 	RestoredSnapshots []int64
+
+	// Commit-order tap (Config.TraceCommits): request id → position in
+	// the effective serial order the surviving state was built in.
+	// Overwritten when a recovery rolls a commit back and re-executes it;
+	// deliberately NOT reset on restart — like the stats, it is
+	// test-harness state about the whole run, not protocol state.
+	commitSerial int64
+	commitSeq    map[string]int64
 }
 
 func newCoordinator(sys *System) *Coordinator {
 	return &Coordinator{
-		sys:       sys,
-		exec:      &epochState{phase: phaseOpen, batch: map[aria.TID]*txnState{}},
-		delivered: map[string]deliveredEntry{},
-		seen:      map[string]bool{},
-		stagedIDs: map[string]bool{},
+		sys:        sys,
+		exec:       &epochState{phase: phaseOpen, batch: map[aria.TID]*txnState{}},
+		delivered:  map[string]deliveredEntry{},
+		seen:       map[string]bool{},
+		stagedIDs:  map[string]bool{},
+		dedupFloor: map[string]int64{},
+		snapCuts:   map[int64]time.Duration{},
 	}
 }
 
@@ -311,12 +373,23 @@ func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 	if c.seen[id] {
 		return // duplicate send of an in-flight request; already logged
 	}
+	if src, seq, ok := sysapi.SplitID(id); ok {
+		if floor, pruned := c.dedupFloor[src]; pruned && seq <= floor {
+			// The source's dedup entries up to this sequence were pruned
+			// by the retention window — the original was answered long
+			// ago and its client stopped retrying, so this copy is a very
+			// late wire duplicate. Absorbing it (no response) is the only
+			// exactly-once option left: the recorded response is gone.
+			c.LateDuplicates++
+			return
+		}
+	}
 	_, pos, err := c.sys.RequestLog.Produce(sourceTopic, id, m)
 	if err != nil {
 		return
 	}
 	c.seen[id] = true
-	if st := c.exec; !c.recovering && st != nil && st.phase == phaseOpen && !c.batchFull(st) {
+	if st := c.exec; !c.recovering && st != nil && st.phase == phaseOpen && !st.binding && !c.batchFull(st) {
 		c.consumed++
 		c.assign(ctx, st, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
 	}
@@ -426,6 +499,14 @@ func (c *Coordinator) promote(ctx *sim.Context, st *epochState) {
 		c.exec = nil
 	}
 	c.sendPrepare(ctx, st)
+	// Binding epochs pipeline like any other: the successor (the next
+	// binding member, or the first normal epoch once the replay queue
+	// drains) accumulates and executes while this epoch validates and
+	// group-commits. Order stays exact because workers buffer a pipelined
+	// epoch's events until the predecessor applies locally, and a
+	// single-member binding batch can neither conflict-abort nor enter
+	// the fallback phase — so nothing this epoch does can reorder work
+	// already handed to the successor.
 	if !c.sys.cfg.DisablePipelining {
 		ctx.Work(c.sys.cfg.Costs.PipelineCPU)
 		c.openEpoch(ctx)
@@ -480,7 +561,11 @@ func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
 		c.decideFallbackRound(ctx, st)
 		return
 	}
-	if !c.sys.cfg.DisableFallback {
+	// Binding epochs skip the fallback phase: its rescue rounds commit
+	// aborted members out of queue order within the batch, and the binding
+	// replay's whole contract is that conflicting members re-commit in
+	// release order. Their aborts requeue to the binding queue instead.
+	if !c.sys.cfg.DisableFallback && !st.binding {
 		c.scheduleFallback(ctx, st)
 	}
 	// A transaction that failed with an application error commits nothing:
@@ -567,6 +652,14 @@ func (c *Coordinator) scheduleFallback(ctx *sim.Context, st *epochState) {
 		}
 	}
 	st.fbRounds, st.fbSet = rounds, set
+	// Retain the rescued members' footprints: the schedule guarantees a
+	// member runs after every lower-TID member it (declaredly) conflicts
+	// with, and the per-round drift check needs these sets to keep that
+	// guarantee when re-executions drift off their declarations.
+	st.fbFootprints = make(map[aria.TID]*aria.RWSet, len(set))
+	for tid := range set {
+		st.fbFootprints[tid] = merged[tid]
+	}
 	ctx.Work(time.Duration(len(set)) * c.sys.cfg.Costs.FallbackCPU)
 }
 
@@ -592,6 +685,7 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 		return
 	}
 	ctx.Work(time.Duration(len(st.batch)) * c.sys.cfg.Costs.RoutingCPU)
+	var bindingRetry []pendingReq
 	for _, tid := range st.order {
 		t := st.batch[tid]
 		switch {
@@ -603,6 +697,15 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 			// re-executes (and responds) within this batch.
 		case st.unionAbort[tid]:
 			c.Aborts++
+			if st.binding {
+				// A binding member's response already escaped: it retries
+				// unconditionally (no budget, no retry bump) and ahead of
+				// the rest of the binding queue, preserving release order.
+				bindingRetry = append(bindingRetry, pendingReq{
+					req: t.req, replyTo: t.replyTo, pos: t.pos, retries: t.retries,
+				})
+				break
+			}
 			if t.retries+1 > c.sys.cfg.MaxRetries {
 				c.Failures++
 				c.respond(ctx, t, sysapi.Response{
@@ -623,10 +726,14 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 			})
 		default:
 			c.Commits++
+			c.traceCommit(t.req.Req)
 			c.respond(ctx, t, sysapi.Response{
 				Req: t.req.Req, Value: t.value, Retries: t.retries,
 			})
 		}
+	}
+	if len(bindingRetry) > 0 {
+		c.replaying = append(bindingRetry, c.replaying...)
 	}
 	if len(st.fbRounds) > 0 {
 		c.groupCommit(ctx)
@@ -672,6 +779,7 @@ func (c *Coordinator) startFallbackRound(ctx *sim.Context, st *epochState) {
 // round — unless the round budget is exhausted, in which case the epoch
 // ends here and the leftovers spill into the next batch.
 func (c *Coordinator) decideFallbackRound(ctx *sim.Context, st *epochState) {
+	c.demoteDriftedMembers(st)
 	aborts := make([]aria.TID, 0)
 	demotable := 0
 	for _, tid := range st.fbOrder {
@@ -695,6 +803,109 @@ func (c *Coordinator) decideFallbackRound(ctx *sim.Context, st *epochState) {
 			Final:  !moreRounds,
 		}, c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
+}
+
+// demoteDriftedMembers closes the fallback footprint-drift hole. A round
+// member re-executes against a later state than its first execution, so
+// its observed footprint can drift off the declared one the schedule was
+// computed from. Drift against same-round members is caught by the
+// round's own validation — but a would-be committer whose drifted
+// footprint newly conflicts with a *later-round, lower-TID* member would
+// commit ahead of it, breaking the invariant that conflicting
+// transactions commit in source order. That invariant is what lets any
+// schedule that re-derives commit order from the source log — the
+// historical TID-order recovery re-cut (see Config.UncheckedReplayOrder)
+// and the fallback-disabled differential — reproduce exactly the
+// responses this schedule released; silently giving it up is the bug
+// (the binding-prefix replay shields clients from the recovery half, but
+// the invariant is what the differential and the drift regression tests
+// pin). Demote such members instead: they merge into the next round and
+// re-run after the member they must follow. Round votes ship the
+// observed reservation sets (see Worker.onPrepare) to make the check
+// possible.
+func (c *Coordinator) demoteDriftedMembers(st *epochState) {
+	votes := st.fbVotes
+	st.fbVotes = nil
+	if c.sys.cfg.UncheckedFallbackDrift {
+		return // test hook: reproduce the pre-fix behavior
+	}
+	observed := map[aria.TID]*aria.RWSet{}
+	for _, sets := range votes {
+		for tid, rw := range sets {
+			m, ok := observed[tid]
+			if !ok {
+				m = aria.NewRWSet()
+				observed[tid] = m
+			}
+			m.Merge(rw)
+		}
+	}
+	// Not-yet-committed members: every later round's, plus this round's
+	// demotions as the ascending scan accumulates them — by the time a
+	// member is checked, every lower-TID same-round demotion is pending.
+	pending := map[aria.TID]bool{}
+	for _, round := range st.fbRounds {
+		for _, tid := range round {
+			pending[tid] = true
+		}
+	}
+	for _, tid := range st.fbOrder { // fbOrder is TID-sorted
+		if st.unionAbort[tid] {
+			pending[tid] = true
+			continue
+		}
+		if st.batch[tid].err != "" {
+			continue // definitive error: commits nothing, follows no one
+		}
+		rw := observed[tid]
+		if rw == nil {
+			continue
+		}
+		for lower := range pending {
+			fp := st.fbFootprints[lower]
+			if lower < tid && fp != nil && aria.Conflicts(rw, fp) {
+				st.unionAbort[tid] = true
+				pending[tid] = true
+				c.FallbackDriftDemotions++
+				break
+			}
+		}
+	}
+	// Widen demoted members' retained footprints by what this round
+	// observed: their next re-execution may drift either way, and later
+	// drift checks against them must stay conservative.
+	for tid := range st.unionAbort {
+		if rw := observed[tid]; rw != nil && st.fbFootprints[tid] != nil {
+			st.fbFootprints[tid].Merge(rw)
+		}
+	}
+}
+
+// traceCommit records a committed request's position in the effective
+// serial order — epochs in order, standard commits in TID order, then
+// fallback rounds — when the Config.TraceCommits tap is on. A recovery
+// that rolls a commit back and re-executes it overwrites the entry, so
+// the tap always reflects the order the surviving state was built in.
+func (c *Coordinator) traceCommit(id string) {
+	if !c.sys.cfg.TraceCommits {
+		return
+	}
+	if c.commitSeq == nil {
+		c.commitSeq = map[string]int64{}
+	}
+	c.commitSerial++
+	c.commitSeq[id] = c.commitSerial
+}
+
+// CommitSerials returns a copy of the commit-order tap (request id →
+// serial position; empty unless Config.TraceCommits). The
+// linearizability checker's serial mode consumes it.
+func (c *Coordinator) CommitSerials() map[string]int64 {
+	out := make(map[string]int64, len(c.commitSeq))
+	for id, s := range c.commitSeq {
+		out[id] = s
+	}
+	return out
 }
 
 // finishFallbackRound settles one applied fallback round: committed
@@ -723,6 +934,7 @@ func (c *Coordinator) finishFallbackRound(ctx *sim.Context, st *epochState) {
 		default:
 			c.Commits++
 			c.FallbackCommits++
+			c.traceCommit(t.req.Req)
 			c.respond(ctx, t, sysapi.Response{
 				Req: t.req.Req, Value: t.value, Retries: t.retries,
 			})
@@ -787,6 +999,17 @@ func (c *Coordinator) spillFallback(ctx *sim.Context, st *epochState) {
 // commit slot.
 func (c *Coordinator) finishBatch(ctx *sim.Context, st *epochState) {
 	c.EpochsClosed++
+	// No snapshot while a binding replay is in flight: the images would
+	// capture some binding effects but not the queued remainder, and the
+	// release-time classification (entry.at vs the snapshot's cut) cannot
+	// describe such a half-replayed state. Deferring to the next normal
+	// epoch keeps "released at or before the cut" equivalent to "effects
+	// inside the images".
+	if st.binding || len(c.replaying) > 0 {
+		c.groupCommit(ctx)
+		c.releaseCommit(ctx)
+		return
+	}
 	if c.sys.cfg.SnapshotEvery > 0 && c.EpochsClosed%c.sys.cfg.SnapshotEvery == 0 {
 		// Snapshot epochs skip the batch's final group-commit sync: the
 		// staged responses ride the checkpoint that seals the snapshot
@@ -951,6 +1174,11 @@ func (c *Coordinator) startSnapshot(ctx *sim.Context, st *epochState) {
 	}
 	c.snapshotID = c.sys.Snapshots.BeginWithPending(st.epoch, offsets,
 		map[string][]int64{sourceTopic: pendingPos}, len(c.sys.workerIDs))
+	// The cut's virtual time: this epoch's last response was staged in
+	// this same event (finishBatch runs inside the final apply), so every
+	// entry released at or before now has its effects in the images the
+	// workers are about to write — and every later release does not.
+	c.snapCuts[c.snapshotID] = ctx.Now()
 	c.snapDone = map[string]bool{}
 	for _, w := range c.sys.workerIDs {
 		ctx.Send(w, msgTakeSnapshot{ID: c.snapshotID, Epoch: st.epoch},
@@ -995,6 +1223,16 @@ func (c *Coordinator) writeCheckpoint(ctx *sim.Context) {
 		}
 		for id, ent := range c.delivered {
 			if ent.at+retention <= ctx.Now() && ent.pos < offset {
+				// Pruning forfeits the recorded response, so raise the
+				// source's dedup floor: any later arrival of this id (or
+				// a lower sequence) is a very late duplicate that must be
+				// absorbed, not re-executed. The floor rides this same
+				// checkpoint, so it is durable exactly when the prune is.
+				if src, seq, ok := sysapi.SplitID(id); ok {
+					if cur, has := c.dedupFloor[src]; !has || seq > cur {
+						c.dedupFloor[src] = seq
+					}
+				}
 				delete(c.delivered, id)
 				delete(c.seen, id)
 			}
@@ -1005,7 +1243,8 @@ func (c *Coordinator) writeCheckpoint(ctx *sim.Context) {
 	// later crash still suppresses their replays — the un-sent responses
 	// are then served via retry replay.
 	c.sealed = c.snapshotID
-	ck := walCheckpoint{epoch: c.epoch, nextTID: c.nextTID, sealed: c.sealed, delivered: c.delivered}
+	ck := walCheckpoint{epoch: c.epoch, nextTID: c.nextTID, sealed: c.sealed,
+		sealedCut: c.snapCuts[c.sealed], delivered: c.delivered, floors: c.dedupFloor}
 	if len(c.staged) > 0 {
 		merged := make(map[string]deliveredEntry, len(c.delivered)+len(c.staged))
 		for id, ent := range c.delivered {
@@ -1041,6 +1280,29 @@ func (c *Coordinator) openEpoch(ctx *sim.Context) {
 	c.logEpochAdvance(ctx, c.sys.cfg.DisablePipelining)
 	st := &epochState{epoch: c.epoch, phase: phaseOpen, batch: map[aria.TID]*txnState{}}
 	c.exec = st
+	// The binding replay queue preempts everything: released responses
+	// constrain what the rebuilt state must look like, so their
+	// transactions re-commit — in release order, one per epoch — before
+	// any pending retry or fresh arrival is allowed to interleave.
+	//
+	// Strictly one transaction per binding epoch, never a batch. Batching
+	// is unsound here: Aria commits every member with no lower-TID
+	// conflict, so when an early-queued member aborts, a later member can
+	// commit against state that is missing the earlier member's write —
+	// an order inversion the released responses already contradict. With
+	// data-dependent footprints the aborted member's re-execution can
+	// then drift off the contended cell and the inversion goes
+	// permanently unnoticed by conflict detection. Serial replay is
+	// exact: response staging advances virtual time per append, so the
+	// (at, pos) order is the original effective serial order, and a
+	// single-member batch has no conflicts to abort on.
+	if len(c.replaying) > 0 {
+		st.binding = true
+		c.assign(ctx, st, c.replaying[0])
+		c.replaying = c.replaying[1:]
+		ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: st.epoch})
+		return
+	}
 	// Retries first (deterministic: they carry the smallest TIDs of the
 	// new batch, so starved transactions eventually win every conflict);
 	// past the cap they stay pending, ahead of the source backlog.
@@ -1056,10 +1318,31 @@ func (c *Coordinator) openEpoch(ctx *sim.Context) {
 				break
 			}
 			m := rec.Payload.(sysapi.MsgRequest)
+			if !c.sys.cfg.UncheckedReplayOrder && c.answered(m.Request.Req) {
+				// A recovery rewound the cursor over this record, but its
+				// response is already delivered (or staged): its effects are
+				// either in the restored images or rebuilt by the binding
+				// replay, and re-assigning it would double-execute. (The
+				// UncheckedReplayOrder hook restores the historical re-cut:
+				// answered requests re-execute and only their duplicate
+				// response is suppressed.)
+				continue
+			}
 			c.assign(ctx, st, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: c.consumed})
 		}
 	}
 	ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: st.epoch})
+}
+
+// answered reports whether a request's response is already part of the
+// egress state — released (delivered) or staged awaiting its sync. Either
+// way the request must not execute again through the normal intake paths:
+// its effects are the binding replay's business, not the batch machinery's.
+func (c *Coordinator) answered(id string) bool {
+	if _, ok := c.delivered[id]; ok {
+		return true
+	}
+	return c.stagedIDs[id]
 }
 
 // drainPending assigns buffered retries into the slot's batch up to the
@@ -1116,6 +1399,76 @@ func (c *Coordinator) restorePoint() (snapshot.Meta, bool) {
 	return c.sys.Snapshots.Get(c.sealed)
 }
 
+// snapCut returns a snapshot's aligned-cut virtual time. Unknown (only
+// possible in the legacy in-memory mode, where nothing about a snapshot
+// is durable against the harness): treat every release as predating the
+// cut, i.e. replay nothing — the legacy mode's original, weaker contract.
+func (c *Coordinator) snapCut(id int64) time.Duration {
+	if cut, ok := c.snapCuts[id]; ok {
+		return cut
+	}
+	return time.Duration(math.MaxInt64)
+}
+
+// buildReplaying computes the binding prefix of a recovery: every
+// released (or staged — its sync is in flight and cannot be recalled)
+// successful response whose release postdates the restored snapshot's
+// cut. Those responses escaped to clients, but the restored images
+// predate their effects — so the rebuilt state is only consistent with
+// what clients saw if their transactions re-commit, before anything
+// else, in the order the responses were released.
+//
+// Release order is reconstructed as (release time, source position):
+// responses released in the same event belong to the same batch — whose
+// committed members are pairwise conflict-free, so position order within
+// the tie is as good as the original TID order — and across events the
+// release time is the group-commit LSN order itself. Re-executing that
+// sequence against the restored images reproduces each member's original
+// observations: a member that conflicts with an earlier-released one
+// lands in a later binding batch (the earlier one either commits first
+// or the conflict aborts the later member into the next binding round),
+// exactly mirroring the batch boundary that separated them originally.
+func (c *Coordinator) buildReplaying(cut time.Duration) {
+	type cand struct {
+		at time.Duration
+		p  pendingReq
+	}
+	var cands []cand
+	add := func(ent deliveredEntry) {
+		if ent.resp.Err != "" || ent.at <= cut {
+			return // definitive error (no effects), or effects in the images
+		}
+		rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, ent.pos)
+		if err != nil || !ok {
+			return
+		}
+		m, ok := rec.Payload.(sysapi.MsgRequest)
+		if !ok {
+			return
+		}
+		cands = append(cands, cand{at: ent.at, p: pendingReq{
+			req: m.Request, replyTo: m.ReplyTo, pos: ent.pos,
+		}})
+	}
+	for _, ent := range c.delivered {
+		add(ent)
+	}
+	for _, s := range c.staged {
+		add(s.ent)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].at != cands[j].at {
+			return cands[i].at < cands[j].at
+		}
+		return cands[i].p.pos < cands[j].p.pos
+	})
+	c.replaying = make([]pendingReq, 0, len(cands))
+	for _, cd := range cands {
+		c.replaying = append(c.replaying, cd.p)
+	}
+	c.BindingReplays += len(c.replaying)
+}
+
 // Recover rolls the system back to the latest snapshot: restart crashed
 // workers, restore every worker image, discard the in-flight epochs, and
 // replay the source suffix. Delivered-response deduplication keeps output
@@ -1137,26 +1490,36 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	c.recovering = true
 	c.exec, c.commit = nil, nil
 	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: c.epoch, Phase: phaseRecovering, Progress: c.progress})
-	c.pending = nil
+	c.pending, c.replaying = nil, nil
 	var snapID int64
+	cut := time.Duration(-1) // no snapshot: every release postdates the empty state
 	if meta, ok := c.restorePoint(); ok {
 		snapID = meta.ID
+		cut = c.snapCut(snapID)
 		c.consumed = meta.SourceOffsets[sourceTopic][0]
 		// Re-queue the consumed-but-pending requests the snapshot
 		// recorded: their positions predate the offset, so the suffix
-		// replay alone would lose them.
+		// replay alone would lose them. Answered ones are skipped — a
+		// definitive error keeps its recorded response, and a released
+		// commit is the binding replay's to re-execute.
 		for _, pos := range meta.PendingPositions[sourceTopic] {
 			rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, pos)
 			if err != nil || !ok {
 				continue
 			}
 			m := rec.Payload.(sysapi.MsgRequest)
+			if !c.sys.cfg.UncheckedReplayOrder && c.answered(m.Request.Req) {
+				continue
+			}
 			c.pending = append(c.pending, pendingReq{
 				req: m.Request, replyTo: m.ReplyTo, pos: pos,
 			})
 		}
 	} else {
 		c.consumed = 0
+	}
+	if !c.sys.cfg.UncheckedReplayOrder {
+		c.buildReplaying(cut)
 	}
 	c.rebuildSeen()
 	c.recovered = map[string]bool{}
@@ -1233,11 +1596,11 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 		// A durable checkpoint is written atomically; a decode failure
 		// means corruption outside the crash contract. Start from zero —
 		// the replayable source and snapshots still bound the damage.
-		ck = walCheckpoint{delivered: map[string]deliveredEntry{}}
+		ck = walCheckpoint{delivered: map[string]deliveredEntry{}, floors: map[string]int64{}}
 	}
 	c.exec, c.commit = nil, nil
 	c.recovering = false
-	c.pending = nil
+	c.pending, c.replaying = nil, nil
 	c.snapDone, c.recovered = nil, nil
 	c.staged = nil
 	c.stagedIDs = map[string]bool{}
@@ -1248,6 +1611,10 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 	c.nextTID = ck.nextTID
 	c.sealed = ck.sealed
 	c.delivered = ck.delivered
+	c.dedupFloor = ck.floors
+	// The sealed snapshot's cut is the only one a restart can restore to,
+	// so it is the only one the checkpoint needs to carry.
+	c.snapCuts = map[int64]time.Duration{ck.sealed: ck.sealedCut}
 	ctx.Work(c.sys.cfg.Costs.LogSyncCPU)
 	for _, r := range img.Records {
 		ctx.Work(c.sys.cfg.Costs.LogAppendCPU)

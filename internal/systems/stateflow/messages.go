@@ -44,10 +44,11 @@ type msgPrepare struct {
 }
 
 // msgVote returns a worker's local aborts for the batch or for a
-// fallback round. On the batch vote (Round 0, fallback phase enabled)
-// Sets additionally carries the worker's local reservation sets: the
-// coordinator merges them per TID into the global footprints that the
-// fallback dependency graph (aria.Fallback) is built from.
+// fallback round. With the fallback phase enabled, Sets additionally
+// carries the worker's local reservation sets: the batch vote (Round 0)
+// feeds the global footprints the fallback dependency graph
+// (aria.Fallback) is built from, and the round votes feed the
+// coordinator's cross-round footprint-drift check.
 type msgVote struct {
 	Epoch  int64
 	Round  int

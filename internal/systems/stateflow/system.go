@@ -92,6 +92,27 @@ type Config struct {
 	// for A/B benchmarking and differential tests, mirroring
 	// DisableFallback.
 	DisablePipelining bool
+	// TraceCommits records every committed request's position in the
+	// effective serial order (see Coordinator.CommitSerials) — the
+	// history tap the linearizability checker's serial mode consumes.
+	// Test instrumentation: the map grows with the run, so leave it off
+	// outside checker harnesses.
+	TraceCommits bool
+	// UncheckedFallbackDrift disables the fallback phase's cross-round
+	// footprint-drift check, restoring the historical behavior in which a
+	// re-execution whose footprint drifted into conflict with a
+	// later-round, lower-TID member still committed early. Test hook:
+	// exists solely so the drift regression test can demonstrate the
+	// linearizability checker catching the pre-fix bug.
+	UncheckedFallbackDrift bool
+	// UncheckedReplayOrder disables the recovery binding-prefix replay,
+	// restoring the historical recovery in which released responses'
+	// transactions were simply re-cut into fresh batches from the source
+	// log — in TID order, not release order — so a rebuilt state could
+	// diverge from what answered clients already observed. Test hook:
+	// exists solely so replay-order regression tests can demonstrate the
+	// linearizability checker catching the pre-fix divergence.
+	UncheckedReplayOrder bool
 }
 
 // DefaultConfig mirrors the paper's deployment shape.
@@ -245,10 +266,15 @@ func (s *System) CheckpointPreloadedState() {
 			panic(fmt.Sprintf("stateflow: preload checkpoint: %v", err))
 		}
 	}
+	// The preload images contain no released response's effects, so the
+	// snapshot's cut predates every release: -1, not the wall time of the
+	// preload (a release at virtual time zero must still classify as
+	// binding against it).
+	s.coord.snapCuts[id] = -1
 	if s.Dlog != nil {
 		s.coord.sealed, s.coord.snapshotID = id, id
 		s.Dlog.Checkpoint(0, encodeCheckpoint(walCheckpoint{
-			sealed: id, delivered: map[string]deliveredEntry{},
+			sealed: id, sealedCut: -1, delivered: map[string]deliveredEntry{},
 		}))
 	}
 }

@@ -60,8 +60,22 @@ type walCheckpoint struct {
 	// but whose seal never became durable is treated as if it were never
 	// taken, which is what lets the snapshot path skip the pre-image
 	// WAL force and ride the checkpoint's own sync instead.
-	sealed    int64
+	sealed int64
+	// sealedCut is the virtual time of the sealed snapshot's aligned cut
+	// (when its epoch staged its last response). Recovery compares each
+	// delivered entry's release time against it to decide whether the
+	// entry's effects are inside the restored images (released at or
+	// before the cut) or must be rebuilt by the binding replay (released
+	// after). Durable alongside sealed because the comparison must
+	// survive a coordinator reboot.
+	sealedCut time.Duration
 	delivered map[string]deliveredEntry
+	// floors carries the per-source incarnation dedup floors (highest
+	// pruned sequence per request-id source): once a source's entries
+	// are pruned from delivered, the floor is the only fact left that
+	// keeps a very late duplicate from re-executing, so it must survive
+	// restarts alongside the prune that raised it.
+	floors map[string]int64
 }
 
 func encodeEpochRecord(epoch int64) dlog.Record {
@@ -138,17 +152,28 @@ func encodeCheckpoint(c walCheckpoint) []byte {
 	e.Varint(c.epoch)
 	e.Varint(int64(c.nextTID))
 	e.Varint(c.sealed)
+	e.Varint(int64(c.sealedCut))
 	e.Uvarint(uint64(len(c.delivered)))
 	// Deterministic order is not required for correctness (entries land in
 	// a map) but keeps same-run checkpoints byte-identical for tests.
 	for _, id := range sortedKeys(c.delivered) {
 		appendDelivered(e, id, c.delivered[id])
 	}
+	e.Uvarint(uint64(len(c.floors)))
+	srcs := make([]string, 0, len(c.floors))
+	for src := range c.floors {
+		srcs = append(srcs, src)
+	}
+	sort.Strings(srcs)
+	for _, src := range srcs {
+		e.Str(src)
+		e.Varint(c.floors[src])
+	}
 	return e.Bytes()
 }
 
 func decodeCheckpoint(data []byte) (walCheckpoint, error) {
-	out := walCheckpoint{delivered: map[string]deliveredEntry{}}
+	out := walCheckpoint{delivered: map[string]deliveredEntry{}, floors: map[string]int64{}}
 	if len(data) == 0 {
 		return out, nil
 	}
@@ -165,17 +190,37 @@ func decodeCheckpoint(data []byte) (walCheckpoint, error) {
 	if err != nil {
 		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
 	}
+	sealedCut, err := d.Varint()
+	if err != nil {
+		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
+	}
 	n, err := d.Uvarint()
 	if err != nil {
 		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
 	}
 	out.epoch, out.nextTID, out.sealed = epoch, aria.TID(tid), sealed
+	out.sealedCut = time.Duration(sealedCut)
 	for i := uint64(0); i < n; i++ {
 		id, ent, err := readDelivered(d)
 		if err != nil {
 			return out, err
 		}
 		out.delivered[id] = ent
+	}
+	nf, err := d.Uvarint()
+	if err != nil {
+		return out, fmt.Errorf("stateflow: checkpoint: %w", err)
+	}
+	for i := uint64(0); i < nf; i++ {
+		src, err := d.Str()
+		if err != nil {
+			return out, fmt.Errorf("stateflow: checkpoint: %w", err)
+		}
+		floor, err := d.Varint()
+		if err != nil {
+			return out, fmt.Errorf("stateflow: checkpoint: %w", err)
+		}
+		out.floors[src] = floor
 	}
 	return out, nil
 }

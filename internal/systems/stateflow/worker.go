@@ -190,10 +190,12 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 }
 
 // onPrepare validates local reservations for the batch — or for one
-// fallback re-execution round — (Aria's conflict rules) and votes. On the
-// batch vote with the fallback phase enabled, the vote also ships the
-// local reservation sets so the coordinator can build the global fallback
-// dependency graph.
+// fallback re-execution round — (Aria's conflict rules) and votes. With
+// the fallback phase enabled every vote also ships the local reservation
+// sets: the batch vote feeds the global fallback dependency graph, and
+// the round votes feed the coordinator's cross-round footprint-drift
+// check (a re-execution's observed footprint can differ from the
+// declared one the schedule was computed from).
 func (w *Worker) onPrepare(ctx *sim.Context, m msgPrepare) {
 	if m.Epoch <= w.appliedEpoch {
 		return // stale (delayed or duplicated) prepare from a settled epoch
@@ -213,7 +215,7 @@ func (w *Worker) onPrepare(ctx *sim.Context, m msgPrepare) {
 	aborts := aria.Validate(m.Order, sets)
 	work := time.Duration(len(ep.workspaces)) * costs.CommitCPU
 	vote := msgVote{Epoch: m.Epoch, Round: m.Round, Aborts: aborts}
-	if m.Round == 0 && !w.sys.cfg.DisableFallback {
+	if !w.sys.cfg.DisableFallback {
 		// The extra fallback pass is priced per shipped reservation set:
 		// serializing the footprints is work the legacy protocol never
 		// paid.

@@ -314,6 +314,15 @@ type broker struct {
 	// errs conservative; the bound on the set size is unaffected).
 	seen      map[string]time.Duration
 	seenOrder []seenEntry
+	// floors records, per request-id source (sysapi.SplitID), the highest
+	// sequence number pruneSeen ever retired: an arrival at or below its
+	// source's floor is a very late duplicate of an already-answered
+	// request and is absorbed instead of re-produced. Closes the same
+	// duplicate-after-retention hole the StateFlow coordinator closes
+	// with its durable dedup floors.
+	floors map[string]int64
+	// LateDuplicates counts arrivals the floor absorbed.
+	LateDuplicates int
 }
 
 // seenEntry is one ingress dedup record awaiting retention expiry.
@@ -339,6 +348,14 @@ func (b *broker) pruneSeen(now time.Duration) {
 			b.seenOrder = append(b.seenOrder, seenEntry{id: e.id, at: last})
 			continue
 		}
+		if src, seq, ok := sysapi.SplitID(e.id); ok {
+			if b.floors == nil {
+				b.floors = map[string]int64{}
+			}
+			if cur, has := b.floors[src]; !has || seq > cur {
+				b.floors[src] = seq
+			}
+		}
 		delete(b.seen, e.id)
 	}
 }
@@ -356,6 +373,12 @@ func (b *broker) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 			// window: an in-flight retry must never age out of the set.
 			b.seen[m.Request.Req] = ctx.Now()
 			return
+		}
+		if src, seq, ok := sysapi.SplitID(m.Request.Req); ok {
+			if floor, pruned := b.floors[src]; pruned && seq <= floor {
+				b.LateDuplicates++
+				return // very late duplicate: original answered and pruned
+			}
 		}
 		b.seen[m.Request.Req] = ctx.Now()
 		b.seenOrder = append(b.seenOrder, seenEntry{id: m.Request.Req, at: ctx.Now()})

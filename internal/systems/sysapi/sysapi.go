@@ -6,6 +6,8 @@ package sysapi
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"statefulentities.dev/stateflow/internal/chaos"
@@ -82,14 +84,33 @@ type Backend interface {
 // Builder mints uniquely-identified requests. The Simulation client, the
 // scripted clients and the workload generators all build requests through
 // it, so id formatting and request assembly live in one place.
+//
+// Ids have the form "<prefix><incarnation>.<seq>". The source — prefix
+// plus incarnation — names one life of one client; the sequence grows
+// monotonically within it. Runtimes exploit the structure for dedup
+// beyond the retention window: once a source's answered entries are
+// pruned, the highest pruned sequence becomes the source's floor, and
+// any arrival at or below it is provably a very late duplicate (the
+// client that minted it numbered every later request higher). A
+// restarted client that lost its counter must take a fresh incarnation
+// (NewIncarnation) so its new life is never mistaken for its old one.
 type Builder struct {
 	prefix string
+	inc    int
 	seq    int
 }
 
-// NewBuilder builds a request builder; prefix keeps ids unique across
-// multiple request sources sharing a deployment.
-func NewBuilder(prefix string) *Builder { return &Builder{prefix: prefix} }
+// NewBuilder builds a request builder for incarnation 1 of the source;
+// prefix keeps ids unique across request sources sharing a deployment.
+func NewBuilder(prefix string) *Builder { return &Builder{prefix: prefix, inc: 1} }
+
+// NewIncarnation builds a builder for a later life of the same source: a
+// restarted client whose sequence counter is gone. Ids from different
+// incarnations never collide, and dedup floors are tracked per
+// incarnation, so the reborn client starts clean.
+func NewIncarnation(prefix string, inc int) *Builder {
+	return &Builder{prefix: prefix, inc: inc}
+}
 
 // Next assembles the next sequentially-numbered request.
 func (b *Builder) Next(target interp.EntityRef, method string, args []interp.Value, kind string) Request {
@@ -101,12 +122,28 @@ func (b *Builder) Next(target interp.EntityRef, method string, args []interp.Val
 // driven by an external index (the i-th workload operation) use this form.
 func (b *Builder) At(i int, target interp.EntityRef, method string, args []interp.Value, kind string) Request {
 	return Request{
-		Req:    fmt.Sprintf("%s%d", b.prefix, i),
+		Req:    fmt.Sprintf("%s%d.%d", b.prefix, b.inc, i),
 		Target: target,
 		Method: method,
 		Args:   args,
 		Kind:   kind,
 	}
+}
+
+// SplitID splits a Builder-minted request id into its source (prefix +
+// incarnation) and sequence number. Ids minted elsewhere report ok =
+// false — they carry no sequence contract, so floor-based dedup must
+// not apply to them.
+func SplitID(id string) (source string, seq int64, ok bool) {
+	dot := strings.LastIndexByte(id, '.')
+	if dot <= 0 || dot == len(id)-1 {
+		return "", 0, false
+	}
+	n, err := strconv.ParseInt(id[dot+1:], 10, 64)
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return id[:dot], n, true
 }
 
 // ---------------------------------------------------------------------------

@@ -159,18 +159,47 @@ func TestBuilder(t *testing.T) {
 	target := interp.EntityRef{Class: "Account", Key: "alice"}
 	r1 := b.Next(target, "read", nil, "read")
 	r2 := b.Next(target, "update", []interp.Value{interp.IntV(5)}, "update")
-	if r1.Req != "req-1" || r2.Req != "req-2" {
+	if r1.Req != "req-1.1" || r2.Req != "req-1.2" {
 		t.Fatalf("sequential ids: %s %s", r1.Req, r2.Req)
 	}
 	if r2.Method != "update" || r2.Kind != "update" || len(r2.Args) != 1 {
 		t.Fatalf("request fields: %+v", r2)
 	}
 	at := b.At(7, target, "read", nil, "")
-	if at.Req != "req-7" || at.Target != target {
+	if at.Req != "req-1.7" || at.Target != target {
 		t.Fatalf("At: %+v", at)
 	}
 	// At does not advance the sequence.
-	if r3 := b.Next(target, "read", nil, ""); r3.Req != "req-3" {
+	if r3 := b.Next(target, "read", nil, ""); r3.Req != "req-1.3" {
 		t.Fatalf("sequence after At: %s", r3.Req)
+	}
+}
+
+func TestBuilderIncarnations(t *testing.T) {
+	target := interp.EntityRef{Class: "Account", Key: "alice"}
+	b2 := NewIncarnation("req-", 2)
+	r := b2.Next(target, "read", nil, "")
+	if r.Req != "req-2.1" {
+		t.Fatalf("incarnation id: %s", r.Req)
+	}
+	if r1 := NewBuilder("req-").Next(target, "read", nil, ""); r1.Req == r.Req {
+		t.Fatalf("incarnations collide: %s", r.Req)
+	}
+}
+
+func TestSplitID(t *testing.T) {
+	src, seq, ok := SplitID("api-1.42")
+	if !ok || src != "api-1" || seq != 42 {
+		t.Fatalf("SplitID(api-1.42) = %q %d %v", src, seq, ok)
+	}
+	// Prefixes containing dots split at the LAST dot.
+	src, seq, ok = SplitID("node.a-3.7")
+	if !ok || src != "node.a-3" || seq != 7 {
+		t.Fatalf("SplitID(node.a-3.7) = %q %d %v", src, seq, ok)
+	}
+	for _, id := range []string{"", "noseq", "x.", ".5", "x.-1", "x.5z"} {
+		if _, _, ok := SplitID(id); ok {
+			t.Fatalf("SplitID(%q) accepted a non-builder id", id)
+		}
 	}
 }

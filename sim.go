@@ -55,6 +55,23 @@ type SimConfig struct {
 	// for A/B benchmarking and differential tests; no effect on the
 	// baseline backend.
 	DisablePipelining bool
+	// TraceCommits turns on the StateFlow coordinator's commit-order tap
+	// (see Simulation.CommitSerials): every committed request records its
+	// position in the effective serial order. The linearizability checker
+	// consumes it; the map grows with the run, so leave it off elsewhere.
+	// No effect on the baseline backend.
+	TraceCommits bool
+	// UncheckedFallbackDrift disables the StateFlow fallback phase's
+	// cross-round footprint-drift check (test hook — exists solely so the
+	// drift regression test can reproduce the pre-fix bug and show the
+	// linearizability checker catching it).
+	UncheckedFallbackDrift bool
+	// UncheckedReplayOrder disables the StateFlow recovery binding-prefix
+	// replay, restoring the historical recovery that re-cut released work
+	// into fresh batches in TID order (test hook — exists solely so the
+	// replay-order regression tests can reproduce the pre-fix divergence
+	// and show the linearizability checker catching it).
+	UncheckedReplayOrder bool
 	// ClientRetry is the client-edge retransmission interval: a submitted
 	// request whose response has not arrived after this much virtual time
 	// is re-sent (same request id — the ingress dedupes in-flight copies
@@ -174,6 +191,9 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 		c.MapFallback = cfg.MapFallback
 		c.DisableFallback = cfg.DisableFallback
 		c.DisablePipelining = cfg.DisablePipelining
+		c.TraceCommits = cfg.TraceCommits
+		c.UncheckedFallbackDrift = cfg.UncheckedFallbackDrift
+		c.UncheckedReplayOrder = cfg.UncheckedReplayOrder
 		s.sf = sfsys.New(cluster, prog, c)
 		s.sys = s.sf
 	case BackendStateFun:
@@ -208,6 +228,18 @@ func (s *Simulation) StateFlow() *sfsys.System { return s.sf }
 
 // StateFun returns the underlying baseline system (nil for StateFlow).
 func (s *Simulation) StateFun() *statefun.System { return s.sfu }
+
+// CommitSerials returns the StateFlow coordinator's commit-order tap
+// (request id → position in the effective serial order the surviving
+// state was built in). Empty unless SimConfig.TraceCommits is set; nil
+// on the baseline backend, which has no coordinator — a checker driving
+// the baseline falls back to graph mode.
+func (s *Simulation) CommitSerials() map[string]int64 {
+	if s.sf == nil {
+		return nil
+	}
+	return s.sf.Coordinator().CommitSerials()
+}
 
 // Preload installs an entity built by __init__ with the given args,
 // bypassing the dataflow. Must be called before the first Call.
@@ -310,7 +342,9 @@ func (c *simulationClient) submit(ref EntityRef, method string, args []Value, o 
 		return res, nil, ok
 	}
 	wait := func() (Result, error) { return c.s.await(id, o) }
-	return newFuture(ref, method, poll, wait)
+	f := newFuture(ref, method, poll, wait)
+	f.id = id
+	return f
 }
 
 // Inspect implements Admin.
