@@ -206,6 +206,14 @@ type LiveConfig struct {
 	// retried request ids (see WithRequestID) instead of re-executing.
 	// Torn tails from a crash mid-append are detected and discarded.
 	JournalPath string
+	// JournalCheckpointEvery compacts the journal after this many
+	// appended outcomes, bounding the file (default 1024; negative
+	// disables compaction).
+	JournalCheckpointEvery int
+	// JournalRetention prunes journaled outcomes older than this at each
+	// compaction: a retry arriving after the window re-executes instead
+	// of replaying. Zero keeps every outcome forever.
+	JournalRetention time.Duration
 }
 
 // NewLive starts a Live runtime for a compiled program. Close it when
@@ -224,6 +232,7 @@ func NewLive(prog *Program, cfg LiveConfig) *Live {
 func OpenLive(prog *Program, cfg LiveConfig) (*Live, error) {
 	return live.Open(prog, live.Config{
 		Workers: cfg.Workers, MailboxDepth: cfg.MailboxDepth, JournalPath: cfg.JournalPath,
+		JournalCheckpointEvery: cfg.JournalCheckpointEvery, JournalRetention: cfg.JournalRetention,
 	})
 }
 

@@ -1,9 +1,9 @@
 // Command bench-compare is the CI bench-regression gate: it compares a
 // freshly re-run contention benchmark against the checked-in baseline
-// (BENCH_pr6.json) and fails if the Aria fallback's wins or the epoch
-// pipeline's fsync merge regress.
+// (BENCH_pr8.json) and fails if the Aria fallback's wins, the epoch
+// pipeline's fsync merge, or the sharded topology's scaling regress.
 //
-//	bench-compare -baseline BENCH_pr6.json -current /tmp/BENCH_now.json
+//	bench-compare -baseline BENCH_pr8.json -current /tmp/BENCH_now.json
 //
 // The gated metrics are deterministic functions of the simulation seed —
 // commits-per-batch and the fallback-on/off virtual-latency ratio — so
@@ -27,6 +27,12 @@
 //     than the baseline's. The serial baseline row resolves from the
 //     ".../pipeline=off" name, falling back to the PR 5-era
 //     "coordinator-hotpath/dlog=on" so older artifacts still gate.
+//  5. the sharded topology must keep scaling: 4-shard virtual throughput
+//     on the sharded mix at least 2.5x the 1-shard row, and the realized
+//     scaling ratio must not regress more than 15% against the baseline.
+//     Skipped (with a note) when the baseline predates the sharding rows
+//     (BENCH_pr6.json-era artifacts); the current artifact must carry
+//     them once the baseline does.
 package main
 
 import (
@@ -45,8 +51,13 @@ const tolerance = 0.15
 // group-commit sync, so fsyncs per commit must drop at least 1.5x.
 const syncMergeFactor = 1.5
 
+// shardScalingFloor is the minimum 4-shard/1-shard virtual-throughput
+// ratio on the sharded scaling mix: four coordinator groups must buy at
+// least 2.5x the single-coordinator drain rate.
+const shardScalingFloor = 2.5
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_pr6.json", "checked-in benchmark baseline")
+	baselinePath := flag.String("baseline", "BENCH_pr8.json", "checked-in benchmark baseline")
 	currentPath := flag.String("current", "", "freshly generated benchmark artifact to gate")
 	flag.Parse()
 	if *currentPath == "" {
@@ -161,6 +172,42 @@ func main() {
 		}
 		fmt.Printf("bench-compare: fsync merge %.2fx vs serial baseline; pipelined p50 %.3fms (serial baseline %.3fms); on/off syncs ratio %.4f\n",
 			merge, curPipe.VirtualP50Ms, baseSerial.VirtualP50Ms, curRatio)
+	}
+
+	// 5. Sharded scaling. Gated only once the baseline carries the rows:
+	// a BENCH_pr6.json-era baseline predates the sharded topology, and
+	// requiring rows it cannot have would block the artifact handover.
+	if len(baseline.Sharding) == 0 {
+		fmt.Println("bench-compare: baseline has no sharding rows (pre-PR 8 artifact); scaling gate skipped")
+	} else {
+		cur1, err := current.FindSharding(1)
+		check(err)
+		cur4, err := current.FindSharding(4)
+		check(err)
+		base1, err := baseline.FindSharding(1)
+		check(err)
+		base4, err := baseline.FindSharding(4)
+		check(err)
+		if cur1.TxnPerVirtualSec <= 0 || base1.TxnPerVirtualSec <= 0 {
+			fail("degenerate 1-shard throughput (current %.0f, baseline %.0f)",
+				cur1.TxnPerVirtualSec, base1.TxnPerVirtualSec)
+		} else {
+			scale := cur4.TxnPerVirtualSec / cur1.TxnPerVirtualSec
+			baseScale := base4.TxnPerVirtualSec / base1.TxnPerVirtualSec
+			if scale < shardScalingFloor {
+				fail("4-shard scaling below floor: %.2fx the 1-shard throughput (need >= %.1fx)",
+					scale, shardScalingFloor)
+			}
+			if scale < baseScale*(1-tolerance) {
+				fail("4-shard scaling ratio regressed: %.2fx (baseline %.2fx, tolerance %d%%)",
+					scale, baseScale, int(tolerance*100))
+			}
+			if cur4.GlobalTxns == 0 {
+				fail("4-shard mix routed no global transactions — the cross-shard tail went unexercised")
+			}
+			fmt.Printf("bench-compare: sharded scaling 4/1: %.2fx (baseline %.2fx); 4-shard globals %d in %d batches\n",
+				scale, baseScale, cur4.GlobalTxns, cur4.GlobalBatches)
+		}
 	}
 
 	if failures > 0 {

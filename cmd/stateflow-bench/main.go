@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3 | fig4 | overhead | consistency | dlog | contention | all")
+	exp := flag.String("exp", "all", "experiment: fig3 | fig4 | overhead | consistency | dlog | contention | sharding | all")
 	duration := flag.Duration("duration", 30*time.Second, "measured virtual time per point")
 	warmup := flag.Duration("warmup", 3*time.Second, "virtual warm-up discarded from stats")
 	records := flag.Int("records", 1000, "YCSB dataset size")
@@ -81,18 +81,25 @@ func main() {
 				check(bench.WriteDlogJSON(*benchJSON, opt, rows))
 				fmt.Printf("wrote %s\n", *benchJSON)
 			}
+		case "sharding":
+			rows, err := bench.RunSharding(opt)
+			check(err)
+			fmt.Print(bench.PrintSharding(rows))
 		case "contention":
 			rows, err := bench.RunContention(opt)
 			check(err)
 			fmt.Print(bench.PrintContention(rows))
 			if *benchJSON != "" {
-				// The artifact carries the dlog experiment too: one
-				// BENCH_*.json per PR accumulates the whole perf
-				// trajectory (see cmd/bench-compare).
+				// The artifact carries the dlog and sharded-scaling
+				// experiments too: one BENCH_*.json per PR accumulates the
+				// whole perf trajectory (see cmd/bench-compare).
 				dlogRows, err := bench.RunDlog(opt)
 				check(err)
 				fmt.Print(bench.PrintDlog(dlogRows))
-				check(bench.WritePR5JSON(*benchJSON, opt, rows, dlogRows))
+				shardRows, err := bench.RunSharding(opt)
+				check(err)
+				fmt.Print(bench.PrintSharding(shardRows))
+				check(bench.WritePR5JSON(*benchJSON, opt, rows, dlogRows, shardRows))
 				fmt.Printf("wrote %s\n", *benchJSON)
 			}
 		default:

@@ -18,7 +18,7 @@
 // duplicates and latency spikes); the plan and the fault activity are
 // printed so any run reproduces from its two seeds.
 //
-// With -lin <hotkey|datadep|chain>, the YCSB driver is bypassed
+// With -lin <hotkey|datadep|chain|xshard>, the YCSB driver is bypassed
 // entirely: the named adversarial profile runs on the chosen simulated
 // backend, fault-free and under the seed-derived chaos plan, and both
 // histories go to the serializability checker (internal/lin) instead of
@@ -26,7 +26,11 @@
 // adversarial sweep failures:
 //
 //	stateflow-run -lin datadep -seed 33 [-backend statefun]
-//	              [-no-fallback] [-no-pipelining]
+//	              [-no-fallback] [-no-pipelining] [-shards N]
+//
+// With -shards N (N > 1), the StateFlow backend deploys as N sharded
+// coordinator groups behind a global sequencer; -shards 1 is the classic
+// single-coordinator topology, byte-identical to omitting the flag.
 package main
 
 import (
@@ -64,11 +68,13 @@ func main() {
 	noPipelining := flag.Bool("no-pipelining", false,
 		"force the serial epoch schedule: the coordinator fully commits each epoch before opening the next instead of overlapping execute and commit phases (A/B benchmarking)")
 	linProfile := flag.String("lin", "",
-		"run an adversarial order-sensitive workload under the linearizability checker instead of YCSB: hotkey | datadep | chain. The workload, the fault plan and the verdict all derive from -seed; honors -backend (stateflow or statefun), -no-fallback and -no-pipelining")
+		"run an adversarial order-sensitive workload under the linearizability checker instead of YCSB: hotkey | datadep | chain | xshard. The workload, the fault plan and the verdict all derive from -seed; honors -backend (stateflow or statefun), -no-fallback, -no-pipelining and -shards")
+	shards := flag.Int("shards", 1,
+		"deploy the StateFlow backend as this many sharded coordinator groups behind a global sequencer (1: the classic single-coordinator topology)")
 	flag.Parse()
 
 	if *linProfile != "" {
-		runLin(*linProfile, *backend, *seed, *noFallback, *noPipelining)
+		runLin(*linProfile, *backend, *seed, *noFallback, *noPipelining, *shards)
 		return
 	}
 
@@ -98,7 +104,7 @@ func main() {
 		runClient("live runtime (8 workers)", stateflow.NewLiveClient(prog, stateflow.LiveConfig{Workers: 8}),
 			16, wgen, *records, *rate, *duration)
 	case "stateflow", "statefun":
-		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch, *noFallback, *noPipelining)
+		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch, *noFallback, *noPipelining, *shards)
 	default:
 		fmt.Fprintf(os.Stderr, "stateflow-run: unknown backend %q\n", *backend)
 		os.Exit(2)
@@ -171,10 +177,11 @@ func min(a, b int) int {
 // runSim executes the workload on a simulated distributed deployment with
 // an open-loop generator (arrivals do not wait for responses), optionally
 // under a seeded fault plan.
-func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int, noFallback, noPipelining bool) {
+func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int, noFallback, noPipelining bool, shards int) {
 	cluster := sim.New(seed)
 	var sys sysapi.Backend
 	var sf *sfsys.System
+	var sh *sfsys.ShardedSystem
 	if backend == "stateflow" {
 		cfg := sfsys.DefaultConfig()
 		cfg.MaxBatch = maxBatch
@@ -183,8 +190,13 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 		if chaosSeed != 0 {
 			cfg.SnapshotEvery = 20 // give recovery real snapshots to roll back to
 		}
-		sf = sfsys.New(cluster, prog, cfg)
-		sys = sf
+		if shards > 1 {
+			sh = sfsys.NewSharded(cluster, prog, shards, cfg)
+			sys = sh
+		} else {
+			sf = sfsys.New(cluster, prog, cfg)
+			sys = sf
+		}
 	} else {
 		sys = statefun.New(cluster, prog, statefun.DefaultConfig())
 	}
@@ -209,6 +221,9 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 	if sf != nil {
 		sf.CheckpointPreloadedState()
 	}
+	if sh != nil {
+		sh.CheckpointPreloadedState()
+	}
 	cluster.Start()
 	start := time.Now()
 	cluster.RunUntil(duration + 10*time.Second)
@@ -229,6 +244,16 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 				ls.Appends, ls.AppendedBytes, ls.Syncs, ls.Checkpoints, ls.Compacted, ls.TornTails)
 		}
 	}
+	if sh != nil {
+		q := sh.Sequencer()
+		fmt.Printf("sharded routing: %d single-shard forwards, %d global transactions in %d batches\n",
+			q.SingleShard, q.GlobalTxns, q.GlobalBatches)
+		for i, shard := range sh.Shards() {
+			c := shard.Coordinator()
+			fmt.Printf("  shard %d: %d committed, %d aborted, %d epochs, %d recoveries (%d reboots), %d fences, %d applies\n",
+				i, c.Commits, c.Aborts, c.EpochsClosed, c.Recoveries, c.Restarts, c.GlobalFences, c.GlobalApplies)
+		}
+	}
 	if eng != nil {
 		st := eng.Stats()
 		fmt.Printf("chaos activity: %d crash windows, %d dropped, %d duplicated, %d delayed (clamped: %d drops, %d dups); %d client retries\n",
@@ -245,7 +270,7 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 // StateFlow, at least one coordinator reboot survived). Everything —
 // traffic, fault plan, verdict — reproduces from the profile name and
 // the seed.
-func runLin(profile, backend string, seed int64, noFallback, noPipelining bool) {
+func runLin(profile, backend string, seed int64, noFallback, noPipelining bool, shards int) {
 	var be stateflow.Backend
 	switch backend {
 	case "stateflow":
@@ -266,6 +291,7 @@ func runLin(profile, backend string, seed int64, noFallback, noPipelining bool) 
 	cfg := oracle.DefaultConfig()
 	cfg.DisableFallback = noFallback
 	cfg.DisablePipelining = noPipelining
+	cfg.Shards = shards
 	run, err := oracle.VerifyAdversarial(p, be, seed, cfg)
 	check(err)
 	fmt.Printf("profile %s on %s, seed %d: histories serializable and conserving, fault-free and under plan %s\n",
@@ -275,6 +301,9 @@ func runLin(profile, backend string, seed int64, noFallback, noPipelining bool) 
 	if be == stateflow.BackendStateFlow {
 		fmt.Printf("stateflow: %d recoveries (%d coordinator reboots, %d mid-pipeline), %d egress replays, %d fallback drift demotions\n",
 			run.Recoveries, run.CoordRestarts, run.MidPipelineRestarts, run.Replays, run.FallbackDriftDemotions)
+	}
+	if shards > 1 {
+		fmt.Printf("sharded (%d shards): %d transactions sequenced globally\n", shards, run.GlobalTxns)
 	}
 }
 

@@ -174,12 +174,13 @@ func PrintContention(rows []ContentionRow) string {
 	return b.String()
 }
 
-// PR5Doc is the BENCH_pr5.json / BENCH_pr6.json schema: the contention
-// experiment that gates regressions plus the dlog experiment carried
-// forward, so the benchmark trajectory accumulates in one artifact per
-// PR. From PR 6 on, both sections carry the epoch-schedule dimension
-// (".../pipeline=on|off" rows); bench-compare accepts older artifacts
-// without it.
+// PR5Doc is the BENCH_pr5.json / BENCH_pr6.json / BENCH_pr8.json schema:
+// the contention experiment that gates regressions plus the dlog
+// experiment carried forward, so the benchmark trajectory accumulates in
+// one artifact per PR. From PR 6 on, both sections carry the
+// epoch-schedule dimension (".../pipeline=on|off" rows); from PR 8 on,
+// the sharded-scaling rows ride along too. bench-compare accepts older
+// artifacts without either.
 type PR5Doc struct {
 	Benchmark  string          `json:"benchmark"`
 	Chain      int             `json:"chain"`
@@ -188,12 +189,14 @@ type PR5Doc struct {
 	Epoch      string          `json:"epoch"`
 	Contention []ContentionRow `json:"contention"`
 	Dlog       []DlogRow       `json:"dlog"`
+	Sharding   []ShardingRow   `json:"sharding,omitempty"`
 }
 
 // WritePR5JSON writes the benchmark artifact checked in as
-// BENCH_pr6.json (BENCH_pr5.json historically) and enforced by the CI
-// bench-compare step.
-func WritePR5JSON(path string, opt Options, cont []ContentionRow, dlog []DlogRow) error {
+// BENCH_pr8.json (BENCH_pr5.json / BENCH_pr6.json historically) and
+// enforced by the CI bench-compare step. shard may be nil (pre-PR 8
+// artifact shape).
+func WritePR5JSON(path string, opt Options, cont []ContentionRow, dlog []DlogRow, shard []ShardingRow) error {
 	doc := PR5Doc{
 		Benchmark:  "aria-fallback-contention",
 		Chain:      contentionChain,
@@ -202,6 +205,7 @@ func WritePR5JSON(path string, opt Options, cont []ContentionRow, dlog []DlogRow
 		Epoch:      contentionEpoch.String(),
 		Contention: cont,
 		Dlog:       dlog,
+		Sharding:   shard,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -247,4 +251,14 @@ func (d PR5Doc) FindDlog(names ...string) (DlogRow, error) {
 		}
 	}
 	return DlogRow{}, fmt.Errorf("benchmark doc has no dlog row %q", strings.Join(names, `" or "`))
+}
+
+// FindSharding returns the row measured at the given shard count.
+func (d PR5Doc) FindSharding(shards int) (ShardingRow, error) {
+	for _, r := range d.Sharding {
+		if r.Shards == shards {
+			return r, nil
+		}
+	}
+	return ShardingRow{}, fmt.Errorf("benchmark doc has no sharding row for %d shards", shards)
 }

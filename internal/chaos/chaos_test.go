@@ -30,6 +30,18 @@ func sweepSeeds() int64 {
 	return 20
 }
 
+// sweepShards returns the StateFlow shard count the sweeps deploy: the
+// classic single-coordinator topology by default, or the CHAOS_SHARDS
+// override (the CI matrix runs 1, 2 and 4). Other backends ignore it.
+func sweepShards() int {
+	if s := os.Getenv("CHAOS_SHARDS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
 // TestOracleSeedSweep is the acceptance gate: for every workload × backend
 // combo it sweeps seeds, each seed deriving a fault plan with crash, drop,
 // duplicate and delay faults enabled, and requires every oracle property —
@@ -38,6 +50,7 @@ func sweepSeeds() int64 {
 // prints the workload, backend, seed and the full plan verbatim.
 func TestOracleSeedSweep(t *testing.T) {
 	cfg := oracle.DefaultConfig()
+	cfg.Shards = sweepShards()
 	for _, w := range oracle.Workloads() {
 		w := w
 		for _, backend := range backends {
@@ -89,7 +102,12 @@ func TestOracleSeedSweep(t *testing.T) {
 				// The un-clamped client edge must actually lose responses
 				// somewhere in the sweep — and the egress replay must have
 				// healed some of them — or the drop-safety claim is vacuous.
-				if backend == stateflow.BackendStateFlow {
+				// The floors are calibrated for the classic topology: a
+				// sharded sweep splits the same load across shards, so
+				// per-shard overlap (and with it mid-pipeline reboots)
+				// thins out legitimately; its dedicated gates live in
+				// the sharded tests.
+				if backend == stateflow.BackendStateFlow && sweepShards() <= 1 {
 					if clientDrops == 0 {
 						t.Fatal("sweep never dropped a client-bound response")
 					}

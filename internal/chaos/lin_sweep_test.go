@@ -34,6 +34,7 @@ var stateflowCommits = []struct {
 // seed and full plan verbatim.
 func TestAdversarialLinSweep(t *testing.T) {
 	base := oracle.DefaultConfig()
+	base.Shards = sweepShards()
 	for _, p := range workload.Profiles {
 		p := p
 		for _, combo := range stateflowCommits {
@@ -62,6 +63,40 @@ func TestAdversarialLinSweep(t *testing.T) {
 					t.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// TestShardedAdversarialXShard is the sharded order-sensitive gate, run
+// regardless of the CHAOS_SHARDS matrix: the cross-shard transfer
+// profile sweeps a handful of seeds on 2- and 4-shard deployments, and
+// every chaos run must produce a serializable, conserving history while
+// surviving at least one single-shard coordinator crash and routing real
+// traffic through the global sequencer (VerifyAdversarial enforces both
+// floors when Config.Shards > 1). Failures reproduce from two integers:
+//
+//	stateflow-run -lin xshard -seed N -shards 2
+func TestShardedAdversarialXShard(t *testing.T) {
+	seeds := int64(3)
+	if s := sweepSeeds(); s < seeds {
+		seeds = s
+	}
+	for _, shards := range []int{2, 4} {
+		shards := shards
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			t.Parallel()
+			cfg := oracle.DefaultConfig()
+			cfg.Shards = shards
+			restarts, globals := 0, 0
+			for seed := int64(1); seed <= seeds; seed++ {
+				run, err := oracle.VerifyAdversarial(workload.XShard, stateflow.BackendStateFlow, seed, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				restarts += run.CoordRestarts
+				globals += run.GlobalTxns
+			}
+			t.Logf("%d shard-coordinator reboots survived, %d global transactions sequenced", restarts, globals)
 		})
 	}
 }

@@ -45,10 +45,14 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 		SnapshotEvery:     cfg.SnapshotEvery,
 		DisableFallback:   cfg.DisableFallback,
 		DisablePipelining: cfg.DisablePipelining,
-		// The commit tap is the serial order the checker validates against.
-		TraceCommits:           backend == stateflow.BackendStateFlow,
+		// The commit tap is the serial order the checker validates
+		// against — it exists only on the single-coordinator topology;
+		// sharded deployments have no one coordinator whose tap is the
+		// whole serial order, so the checker falls back to graph mode.
+		TraceCommits:           backend == stateflow.BackendStateFlow && cfg.Shards <= 1,
 		UncheckedFallbackDrift: cfg.UncheckedFallbackDrift,
 		UncheckedReplayOrder:   cfg.UncheckedReplayOrder,
+		Shards:                 cfg.Shards,
 	}
 	var sim *stateflow.Simulation
 	if plan != nil {
@@ -243,6 +247,16 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 		run.MidPipelineRestarts = sf.Coordinator().MidPipelineRestarts
 		run.Replays = sf.Coordinator().Replays
 		run.FallbackDriftDemotions = sf.Coordinator().FallbackDriftDemotions
+	} else if sh := sim.Sharded(); sh != nil {
+		for _, shard := range sh.Shards() {
+			c := shard.Coordinator()
+			run.Recoveries += c.Recoveries
+			run.CoordRestarts += c.Restarts
+			run.MidPipelineRestarts += c.MidPipelineRestarts
+			run.Replays += c.Replays
+			run.FallbackDriftDemotions += c.FallbackDriftDemotions
+		}
+		run.GlobalTxns = sh.Sequencer().GlobalTxns
 	}
 	return h, run, nil
 }
@@ -280,6 +294,16 @@ func VerifyAdversarial(p workload.Profile, backend stateflow.Backend, seed int64
 	}
 	if backend == stateflow.BackendStateFlow && got.CoordRestarts == 0 {
 		return got, fail("chaos run survived no coordinator reboot (restarts=0); the plan scheduled one, so the restart path went unexercised")
+	}
+	if backend == stateflow.BackendStateFlow && cfg.Shards > 1 {
+		// On a sharded deployment the coordinator role spans the shard
+		// coordinators, so the reboot floor above already demands a
+		// single-shard crash survived. Additionally demand that the
+		// traffic actually crossed shards: a sweep whose every op stayed
+		// shard-local would validate the fast path and nothing else.
+		if got.GlobalTxns == 0 {
+			return got, fail("chaos run routed no transaction through the global sequencer (shards=%d); the cross-shard commit path went unexercised", cfg.Shards)
+		}
 	}
 	return got, nil
 }

@@ -116,6 +116,11 @@ type Run struct {
 	// into a pending lower-TID member's declared one (adversarial runs;
 	// evidence the datadep profile actually provokes the drift path).
 	FallbackDriftDemotions int
+	// GlobalTxns counts transactions routed through the global sequencer
+	// (zero unless the run deployed Config.Shards > 1): evidence the
+	// workload actually exercised cross-shard histories rather than
+	// degenerating into per-shard traffic.
+	GlobalTxns int
 }
 
 // Config tunes oracle runs.
@@ -143,6 +148,10 @@ type Config struct {
 	// pre-fix TID-order re-cut and assert the adversarial checker catches
 	// the divergence from released responses).
 	UncheckedReplayOrder bool
+	// Shards deploys the StateFlow backend as that many coordinator
+	// groups behind a global sequencer (0 or 1 keeps the classic
+	// single-coordinator topology). Other backends ignore it.
+	Shards int
 }
 
 // DefaultConfig returns the sweep configuration.
@@ -169,6 +178,7 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		SnapshotEvery:     cfg.SnapshotEvery,
 		DisableFallback:   cfg.DisableFallback,
 		DisablePipelining: cfg.DisablePipelining,
+		Shards:            cfg.Shards,
 	}
 	var sim *stateflow.Simulation
 	if plan != nil {
@@ -281,6 +291,15 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		run.CoordRestarts = sf.Coordinator().Restarts
 		run.MidPipelineRestarts = sf.Coordinator().MidPipelineRestarts
 		run.Replays = sf.Coordinator().Replays
+	} else if sh := sim.Sharded(); sh != nil {
+		for _, shard := range sh.Shards() {
+			c := shard.Coordinator()
+			run.Recoveries += c.Recoveries
+			run.CoordRestarts += c.Restarts
+			run.MidPipelineRestarts += c.MidPipelineRestarts
+			run.Replays += c.Replays
+		}
+		run.GlobalTxns = sh.Sequencer().GlobalTxns
 	}
 	fmt.Fprintf(&trace, "delivered=%d now=%s recoveries=%d restarts=%d midpipeline=%d replays=%d\n",
 		sim.Cluster.Delivered, sim.Cluster.Now(), run.Recoveries, run.CoordRestarts,

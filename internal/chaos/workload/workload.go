@@ -23,6 +23,11 @@
 //     only after the previous response arrives, with its target and
 //     amount derived from the observed values (read-your-writes across
 //     the chain, checked via lin session edges).
+//   - XShard: transfer-heavy traffic over a wide cell population, paired
+//     so that under a sharded deployment most moves span two coordinator
+//     groups — the profile that drives the global sequencing path
+//     (fence, reconnaissance reads, blind apply) hot while single-shard
+//     bumps race it on every shard.
 package workload
 
 import (
@@ -43,10 +48,11 @@ const (
 	HotKey  Profile = "hotkey"
 	DataDep Profile = "datadep"
 	Chain   Profile = "chain"
+	XShard  Profile = "xshard"
 )
 
 // Profiles lists every profile, for sweeps.
-var Profiles = []Profile{HotKey, DataDep, Chain}
+var Profiles = []Profile{HotKey, DataDep, Chain, XShard}
 
 // ByName resolves a profile name.
 func ByName(name string) (Profile, error) {
@@ -55,7 +61,7 @@ func ByName(name string) (Profile, error) {
 			return p, nil
 		}
 	}
-	return "", fmt.Errorf("workload: unknown profile %q (have hotkey, datadep, chain)", name)
+	return "", fmt.Errorf("workload: unknown profile %q (have hotkey, datadep, chain, xshard)", name)
 }
 
 // Class is the entity class every profile drives.
@@ -144,6 +150,10 @@ func FromSeed(p Profile, seed int64) Spec {
 		s.Cells, s.Ops = 10, 60
 	case Chain:
 		s.Cells, s.Chains, s.Steps = 10, 6, 10
+	case XShard:
+		// A wide population: random pairs land on distinct shards with
+		// high probability for any shard count the sweeps deploy.
+		s.Cells, s.Ops = 16, 60
 	}
 	return s
 }
@@ -199,6 +209,25 @@ func (s Spec) Static() []Op {
 			default:
 				op.Method = "move"
 				op.To = pick()
+				for op.To == op.Key {
+					op.To = Key(rng.Intn(s.Cells))
+				}
+			}
+		case XShard:
+			// Transfer chains across the whole population: mostly moves
+			// between uniformly random distinct cells (cross-shard with
+			// high probability on a sharded deployment), with enough
+			// bumps and reads mixed in that shard-local epochs keep
+			// interleaving between the global batches.
+			op.Key = Key(rng.Intn(s.Cells))
+			switch r := rng.Intn(100); {
+			case r < 15:
+				op.Method = "get"
+			case r < 35:
+				op.Method = "bump"
+			default:
+				op.Method = "move"
+				op.To = Key(rng.Intn(s.Cells))
 				for op.To == op.Key {
 					op.To = Key(rng.Intn(s.Cells))
 				}

@@ -1,0 +1,116 @@
+package ir
+
+import (
+	"statefulentities.dev/stateflow/internal/lang/ast"
+)
+
+// RefClosed reports whether class.method has a statically known entity
+// footprint: every entity the method (transitively) touches is either the
+// invocation target itself or one of the entity references passed as
+// arguments. A sharded router can then decide from the request alone
+// whether the transaction stays inside one shard — the footprint is
+// {target} ∪ {entity-valued args} — without reconnaissance.
+//
+// The analysis is conservative. A method is ref-closed when every Invoke
+// terminator (the only way a split method leaves its operator) satisfies:
+//
+//   - the receiver is `self` or an entity-typed parameter that is never
+//     reassigned in the method body, and
+//   - every entity-typed argument it forwards is likewise `self` or a
+//     clean entity parameter, and
+//   - the callee is itself ref-closed.
+//
+// Constructor invokes (Recv == nil) create entities on partitions chosen
+// at runtime and are never ref-closed. Simple methods contain no remote
+// calls at all, so they are trivially ref-closed.
+func (p *Program) RefClosed(class, method string) bool {
+	return p.refClosed(class, method, map[string]bool{})
+}
+
+// refClosed recurses with a visited set; cycles are treated as closed
+// while in progress (any violating call site fails on its own).
+func (p *Program) refClosed(class, method string, visiting map[string]bool) bool {
+	key := class + "." + method
+	if visiting[key] {
+		return true
+	}
+	m := p.MethodOf(class, method)
+	if m == nil {
+		return false
+	}
+	if m.Simple {
+		return true
+	}
+	visiting[key] = true
+	defer delete(visiting, key)
+
+	entityParams := map[string]bool{}
+	for _, f := range m.Params {
+		if f.Type.Entity {
+			entityParams[f.Name] = true
+		}
+	}
+	reassigned := methodReassignments(m)
+
+	clean := func(e ast.Expr) bool {
+		switch x := e.(type) {
+		case *ast.SelfRef:
+			return true
+		case *ast.Name:
+			return entityParams[x.Ident] && !reassigned[x.Ident]
+		}
+		return false
+	}
+
+	for _, b := range m.Blocks {
+		inv, ok := b.Term.(Invoke)
+		if !ok {
+			continue
+		}
+		if inv.Recv == nil || !clean(inv.Recv) {
+			return false
+		}
+		callee := p.MethodOf(inv.Class, inv.Method)
+		if callee == nil || len(inv.Args) > len(callee.Params) {
+			return false
+		}
+		for i, a := range inv.Args {
+			if callee.Params[i].Type.Entity && !clean(a) {
+				return false
+			}
+		}
+		if !p.refClosed(inv.Class, inv.Method, visiting) {
+			return false
+		}
+	}
+	return true
+}
+
+// methodReassignments collects every variable name assigned anywhere in
+// the method's blocks (plain and augmented assignment targets, loop
+// variables). Parameters in this set cannot be trusted to still hold the
+// entity reference the caller passed.
+func methodReassignments(m *Method) map[string]bool {
+	out := map[string]bool{}
+	for _, b := range m.Blocks {
+		ast.WalkStmts(b.Stmts, func(st ast.Stmt) {
+			switch x := st.(type) {
+			case *ast.AssignStmt:
+				if n, ok := x.Target.(*ast.Name); ok {
+					out[n.Ident] = true
+				}
+			case *ast.AugAssignStmt:
+				if n, ok := x.Target.(*ast.Name); ok {
+					out[n.Ident] = true
+				}
+			case *ast.ForStmt:
+				out[x.Var] = true
+			}
+		})
+		// Invoke results bind a variable too.
+		if inv, ok := b.Term.(Invoke); ok && inv.AssignTo != "" {
+			out[inv.AssignTo] = true
+		}
+	}
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"statefulentities.dev/stateflow/internal/compiler"
 	"statefulentities.dev/stateflow/internal/interp"
@@ -159,6 +160,82 @@ func TestJournalMintedIDsDoNotCollideAcrossIncarnations(t *testing.T) {
 	}
 	if st, ok := rt2.EntityState("Counter", "c1"); !ok || st["n"].I != 3 {
 		t.Fatalf("state after fresh execution: %v ok=%v", st, ok)
+	}
+}
+
+// TestJournalRetentionBoundsAndReplaysWithinWindow pins the journal's
+// retention contract. Pre-fix, the journal only ever grew: every outcome
+// stayed appended forever, and Open never decoded a checkpoint record —
+// so compacting at all would have silently dropped every journaled
+// outcome on the next restart. Post-fix: compaction folds the replay
+// entries still inside JournalRetention into one checkpoint record and
+// prunes the rest, and a reopened runtime replays from the checkpoint
+// plus the frames behind it — retries inside the window replay across
+// restarts, retries outside it re-execute.
+func TestJournalRetentionBoundsAndReplaysWithinWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.dlog")
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Workers: 2, JournalPath: path,
+		JournalCheckpointEvery: 8, JournalRetention: 50 * time.Millisecond}
+	rt, err := Open(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Create("Counter", interp.StrV("c1")); err != nil { // append 1
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // appends 2..7
+		id := fmt.Sprintf("old-%d", i)
+		if _, _, err := rt.SubmitWithID(id, "Counter", "c1", "bump", interp.IntV(1)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(60 * time.Millisecond) // age the old outcomes past retention
+
+	// Appends 8 and 9: the 8th crosses JournalCheckpointEvery and compacts,
+	// pruning everything older than the window; the 9th lands as a frame
+	// behind the fresh checkpoint.
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("new-%d", i)
+		if _, _, err := rt.SubmitWithID(id, "Counter", "c1", "bump", interp.IntV(1)).Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.journal.Stats().Checkpoints; got != 1 {
+		t.Fatalf("checkpoints after 9 appends with every=8: %d, want 1", got)
+	}
+	if _, ok := rt.replay.Load("old-0"); ok {
+		t.Fatal("outcome older than the retention window survived compaction")
+	}
+	if _, ok := rt.replay.Load("new-0"); !ok {
+		t.Fatal("outcome inside the retention window pruned")
+	}
+	rt.Close()
+	if rt.JournalErrors() != 0 {
+		t.Fatalf("journal errors: %d", rt.JournalErrors())
+	}
+
+	// New process, same journal: replay must survive the compaction —
+	// new-0 from the checkpoint record, new-1 from the frame behind it.
+	// (This is the leg the pre-fix Open failed: it never read
+	// Recovered().Checkpoint.) A pruned id re-executes — here against an
+	// incarnation with no entity, so it fails instead of replaying.
+	rt2, err := Open(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt2.Close()
+	for _, id := range []string{"new-0", "new-1"} {
+		v, errStr, err := rt2.SubmitWithID(id, "Counter", "c1", "bump", interp.IntV(1)).Wait()
+		if err != nil || errStr != "" || v.Kind != interp.KInt {
+			t.Fatalf("replay %s across compaction+restart: %v %q %v", id, v, errStr, err)
+		}
+	}
+	if _, errStr, err := rt2.SubmitWithID("old-0", "Counter", "c1", "bump", interp.IntV(1)).Wait(); err != nil || errStr == "" {
+		t.Fatalf("pruned id should re-execute (and fail on empty state): err=%v app=%q", err, errStr)
 	}
 }
 

@@ -53,6 +53,20 @@ type Config struct {
 	// response-replay egress of the Live runtime, surviving process
 	// restarts. Empty: no journal.
 	JournalPath string
+	// JournalCheckpointEvery compacts the journal after this many
+	// appended outcomes: the retained replay entries are folded into a
+	// single checkpoint record and the appended frames behind them are
+	// discarded, bounding the file (default 1024; negative disables
+	// compaction entirely).
+	JournalCheckpointEvery int
+	// JournalRetention bounds how long a journaled outcome stays
+	// replayable: entries whose record timestamp is older than this are
+	// pruned at the next compaction, from the file and from the in-memory
+	// replay map alike — a retry arriving after the window re-executes,
+	// which is the documented exactly-once boundary (the same per-source
+	// floor contract the simulated egress keeps). Zero keeps every
+	// outcome forever.
+	JournalRetention time.Duration
 }
 
 // journalResponse is the journal's record kind (dlog reserves kind 0).
@@ -73,9 +87,17 @@ type Runtime struct {
 	// journal, so an auto-minted id can never collide with a journaled
 	// one from an earlier incarnation.
 	journal     *dlog.FileLog
-	replay      sync.Map // req id -> result
+	replay      sync.Map // req id -> journalEntry
 	incarnation string
 	journalErrs atomic.Int64
+	// jmu serializes journal appends (read side) against compaction
+	// (write side): Checkpoint atomically replaces the file with the
+	// retained replay entries, so an append racing the swap would vanish
+	// from the durable image while staying in the replay map.
+	jmu              sync.RWMutex
+	retention        time.Duration
+	checkpointEvery  int
+	appendsSinceCkpt atomic.Int64
 	// quit broadcasts shutdown: senders and idle workers select on it, so
 	// no channel is ever closed while sends race it.
 	quit chan struct{}
@@ -86,6 +108,15 @@ type result struct {
 	value interp.Value
 	err   string // application-level error
 	fail  error  // transport-level error (shutdown)
+}
+
+// journalEntry is a replayable outcome plus the record timestamp the
+// retention window is measured against (UnixNano; carried through
+// checkpoints so a restart prunes on the original completion time, not
+// the reload time).
+type journalEntry struct {
+	res result
+	at  int64
 }
 
 // Pending is an in-flight invocation: a future completed exactly once by
@@ -198,7 +229,11 @@ func Open(prog *ir.Program, cfg Config) (*Runtime, error) {
 	if cfg.MailboxDepth <= 0 {
 		cfg.MailboxDepth = 1024
 	}
-	rt := &Runtime{prog: prog, ex: core.NewExecutor(prog), quit: make(chan struct{})}
+	if cfg.JournalCheckpointEvery == 0 {
+		cfg.JournalCheckpointEvery = 1024
+	}
+	rt := &Runtime{prog: prog, ex: core.NewExecutor(prog), quit: make(chan struct{}),
+		retention: cfg.JournalRetention, checkpointEvery: cfg.JournalCheckpointEvery}
 	if cfg.JournalPath != "" {
 		jl, err := dlog.OpenFile(cfg.JournalPath)
 		if err != nil {
@@ -206,12 +241,25 @@ func Open(prog *ir.Program, cfg Config) (*Runtime, error) {
 		}
 		rt.journal = jl
 		rt.incarnation = fmt.Sprintf("i%x-", time.Now().UnixNano())
-		for _, rec := range jl.Recovered().Records {
+		// The durable image is the last checkpoint's retained entries
+		// plus every frame appended after it, in that order (a frame
+		// re-journaling a checkpointed id just overwrites it in place).
+		recovered := jl.Recovered()
+		if len(recovered.Checkpoint) > 0 {
+			entries, err := decodeJournalCheckpoint(recovered.Checkpoint)
+			if err != nil {
+				return nil, fmt.Errorf("live: journal checkpoint at %s corrupt: %w", cfg.JournalPath, err)
+			}
+			for id, en := range entries {
+				rt.replay.Store(id, en)
+			}
+		}
+		for _, rec := range recovered.Records {
 			if rec.Kind != journalResponse {
 				continue
 			}
 			if id, res, err := decodeJournalResponse(rec.Data); err == nil {
-				rt.replay.Store(id, res)
+				rt.replay.Store(id, journalEntry{res: res, at: rec.At})
 			}
 		}
 	}
@@ -253,6 +301,87 @@ func decodeJournalResponse(data []byte) (string, result, error) {
 		return "", result{}, err
 	}
 	return id, result{value: v, err: errStr}, nil
+}
+
+// encodeJournalCheckpoint frames the retained replay entries (sorted by
+// id, so the payload is deterministic for a given map).
+func encodeJournalCheckpoint(entries map[string]journalEntry) []byte {
+	ids := make([]string, 0, len(entries))
+	for id := range entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	e := interp.NewEncoder()
+	e.Uvarint(uint64(len(ids)))
+	for _, id := range ids {
+		en := entries[id]
+		e.Str(id)
+		e.Value(en.res.value)
+		e.Str(en.res.err)
+		e.Uvarint(uint64(en.at))
+	}
+	return e.Bytes()
+}
+
+func decodeJournalCheckpoint(data []byte) (map[string]journalEntry, error) {
+	d := interp.NewDecoder(data)
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]journalEntry, n)
+	for i := uint64(0); i < n; i++ {
+		id, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.Value()
+		if err != nil {
+			return nil, err
+		}
+		errStr, err := d.Str()
+		if err != nil {
+			return nil, err
+		}
+		at, err := d.Uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out[id] = journalEntry{res: result{value: v, err: errStr}, at: int64(at)}
+	}
+	return out, nil
+}
+
+// checkpointJournal compacts the journal: replay entries still inside
+// the retention window are written as one checkpoint record replacing
+// the file, entries outside it are pruned from the file and the replay
+// map alike. Appends are held out (jmu) for the duration so no outcome
+// can slip between the payload snapshot and the file swap.
+func (rt *Runtime) checkpointJournal() {
+	rt.jmu.Lock()
+	defer rt.jmu.Unlock()
+	if rt.appendsSinceCkpt.Load() < int64(rt.checkpointEvery) {
+		return // another completer compacted while we waited for the lock
+	}
+	var cutoff int64
+	if rt.retention > 0 {
+		cutoff = time.Now().Add(-rt.retention).UnixNano()
+	}
+	keep := make(map[string]journalEntry)
+	rt.replay.Range(func(k, v any) bool {
+		en := v.(journalEntry)
+		if en.at < cutoff {
+			rt.replay.Delete(k)
+			return true
+		}
+		keep[k.(string)] = en
+		return true
+	})
+	if err := rt.journal.Checkpoint(encodeJournalCheckpoint(keep)); err != nil {
+		rt.journalErrs.Add(1)
+		return
+	}
+	rt.appendsSinceCkpt.Store(0)
 }
 
 // JournalErrors reports journal append/sync failures (outcomes were still
@@ -319,12 +448,19 @@ func (rt *Runtime) send(ev *core.Event) {
 // egress, idempotence preserved under races).
 func (rt *Runtime) complete(id string, r result) {
 	if rt.journal != nil && r.fail == nil {
-		if _, dup := rt.replay.LoadOrStore(id, r); !dup {
-			rec := dlog.Record{Kind: journalResponse, At: time.Now().UnixNano(), Data: encodeJournalResponse(id, r)}
+		at := time.Now().UnixNano()
+		if _, dup := rt.replay.LoadOrStore(id, journalEntry{res: r, at: at}); !dup {
+			rec := dlog.Record{Kind: journalResponse, At: at, Data: encodeJournalResponse(id, r)}
+			rt.jmu.RLock()
 			if err := rt.journal.Append(rec); err != nil {
 				rt.journalErrs.Add(1)
 			} else if err := rt.journal.Sync(); err != nil {
 				rt.journalErrs.Add(1)
+			}
+			rt.jmu.RUnlock()
+			if rt.checkpointEvery > 0 &&
+				rt.appendsSinceCkpt.Add(1) >= int64(rt.checkpointEvery) {
+				rt.checkpointJournal()
 			}
 		}
 	}
@@ -353,7 +489,7 @@ func (rt *Runtime) SubmitWithID(id, class, key, method string, args ...interp.Va
 		id = fmt.Sprintf("live-%s%d", rt.incarnation, rt.nextReq.Add(1))
 	} else if r, ok := rt.replay.Load(id); ok {
 		p := newPending(id)
-		p.complete(r.(result))
+		p.complete(r.(journalEntry).res)
 		return p
 	}
 	p := newPending(id)
@@ -372,7 +508,7 @@ func (rt *Runtime) SubmitWithID(id, class, key, method string, args ...interp.Va
 	// it resolved p with the same outcome; don't complete twice.)
 	if r, ok := rt.replay.Load(id); ok {
 		if _, mine := rt.pending.LoadAndDelete(id); mine {
-			p.complete(r.(result))
+			p.complete(r.(journalEntry).res)
 		}
 		return p
 	}

@@ -295,6 +295,26 @@ type Coordinator struct {
 	// test-harness state about the whole run, not protocol state.
 	commitSerial int64
 	commitSeq    map[string]int64
+
+	// Sharded global-commit fence state (see fence.go and sharded.go).
+	// fencePending is a fence request received but not yet quiesced (0:
+	// none), fenceFrom its sender. fenced marks the parked window between
+	// the durable __fence__ marker and its __unfence__; fenceSeq is the
+	// active global batch id. fenceDone is the highest batch whose unfence
+	// marker was appended (idempotent re-acks for lost acks). fenceApply
+	// holds an unanswered __apply__ record the recovery scan found in the
+	// log suffix; it executes once the binding replay drains.
+	fencePending int64
+	fenceFrom    string
+	fenced       bool
+	fenceSeq     int64
+	fenceDone    int64
+	fenceApply   *pendingReq
+
+	// GlobalFences counts fence parks for the sharded global-commit
+	// protocol; GlobalApplies counts executed global write-set applies.
+	GlobalFences  int
+	GlobalApplies int
 }
 
 func newCoordinator(sys *System) *Coordinator {
@@ -335,6 +355,12 @@ func (c *Coordinator) OnMessage(ctx *sim.Context, from string, msg sim.Message) 
 		c.onStallCheck(ctx, m)
 	case msgRecovered:
 		c.onRecovered(ctx, from, m)
+	case msgFence:
+		c.onFence(ctx, m)
+	case msgUnfence:
+		c.onUnfence(ctx, m)
+	case msgGlobalRead:
+		c.onGlobalRead(ctx, m)
 	}
 }
 
@@ -384,17 +410,36 @@ func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 			return
 		}
 	}
+	if m.Request.Method == applyMethod {
+		// A global write-set apply is only meaningful inside its fence
+		// window; outside it (or mid-recovery) the copy is stale or early —
+		// drop it unlogged and let the sequencer's stall guard re-send.
+		if !c.fenced || c.recovering || markerSeq(m.Request) != c.fenceSeq {
+			return
+		}
+	}
 	_, pos, err := c.sys.RequestLog.Produce(sourceTopic, id, m)
 	if err != nil {
 		return
 	}
 	c.seen[id] = true
-	if st := c.exec; !c.recovering && st != nil && st.phase == phaseOpen && !st.binding && !c.batchFull(st) {
+	if m.Request.Method == applyMethod {
+		// The apply is durable in the source log (the shard-local atomic
+		// commit point for the global batch); run it through the parked
+		// epoch. consumed does NOT advance — arrivals queued during the
+		// fence sit between the cursor and this record, and the post-
+		// unfence drain skips it as answered.
+		c.startApply(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
+		return
+	}
+	if st := c.exec; !c.recovering && !c.fenced && c.fencePending == 0 &&
+		st != nil && st.phase == phaseOpen && !st.binding && !c.batchFull(st) {
 		c.consumed++
 		c.assign(ctx, st, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
 	}
 	// Otherwise the record waits in the log; it is drained when a batch
-	// with capacity opens.
+	// with capacity opens (for a fencing or fenced shard: after the
+	// global batch unfences).
 }
 
 // assign gives a request a TID in the slot's batch and dispatches its
@@ -425,10 +470,20 @@ func (c *Coordinator) onTick(ctx *sim.Context, m msgEpochTick) {
 	if c.recovering || st == nil || m.Epoch != st.epoch || st.phase != phaseOpen {
 		return
 	}
+	if c.fenced && !st.binding {
+		// Parked for a global batch: the fence epoch has no timer-driven
+		// closes — it closes when the sequencer's apply arrives, and the
+		// tick chain resumes at unfence. (Binding replay epochs keep their
+		// ticks: they rebuild released effects even under a fence.)
+		return
+	}
 	if len(st.batch) == 0 {
 		c.drainPending(ctx, st)
 	}
 	if len(st.batch) == 0 {
+		if c.fencePending != 0 && c.maybeFence(ctx) {
+			return // parked; the tick chain stops until unfence
+		}
 		// Nothing arrived: stay open and retick.
 		ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: st.epoch})
 		return
@@ -507,7 +562,10 @@ func (c *Coordinator) promote(ctx *sim.Context, st *epochState) {
 	// single-member binding batch can neither conflict-abort nor enter
 	// the fallback phase — so nothing this epoch does can reorder work
 	// already handed to the successor.
-	if !c.sys.cfg.DisablePipelining {
+	// While fenced, the successor epoch waits for releaseCommit instead:
+	// the fenced openEpoch path parks it (or runs a queued apply), and
+	// opening it early would just park it sooner with nothing to do.
+	if !c.sys.cfg.DisablePipelining && !c.fenced {
 		ctx.Work(c.sys.cfg.Costs.PipelineCPU)
 		c.openEpoch(ctx)
 	}
@@ -1005,7 +1063,11 @@ func (c *Coordinator) finishBatch(ctx *sim.Context, st *epochState) {
 	// describe such a half-replayed state. Deferring to the next normal
 	// epoch keeps "released at or before the cut" equivalent to "effects
 	// inside the images".
-	if st.binding || len(c.replaying) > 0 {
+	// Likewise no snapshot while fenced for a global batch: a snapshot
+	// offset must never land between a fence marker and its unfence, or
+	// the restart scan could miss the unbalanced marker — and the images
+	// would capture a half-applied global batch.
+	if st.binding || len(c.replaying) > 0 || c.fenced {
 		c.groupCommit(ctx)
 		c.releaseCommit(ctx)
 		return
@@ -1099,6 +1161,11 @@ func (c *Coordinator) onLogSynced(ctx *sim.Context, m msgLogSynced) {
 		n++
 	}
 	c.staged = c.staged[n:]
+	if c.fencePending != 0 {
+		// Draining the staged queue may have been the last quiesce
+		// condition a pending fence was waiting on.
+		c.maybeFence(ctx)
+	}
 }
 
 func (c *Coordinator) markDurable(lsn int64) {
@@ -1303,21 +1370,51 @@ func (c *Coordinator) openEpoch(ctx *sim.Context) {
 		ctx.After(c.sys.cfg.EpochInterval, msgEpochTick{Epoch: st.epoch})
 		return
 	}
+	// While fenced for a global batch the epoch parks: no timer, no
+	// source drain — it accepts only the sequencer's write-set apply, so
+	// the shard's committed state stays exactly what the sequencer read.
+	// A queued apply (the previous fenced epoch was busy when it arrived,
+	// or the recovery scan found it unanswered in the log suffix) runs
+	// now that the binding replay has drained.
+	if c.fenced {
+		if c.fenceApply != nil {
+			p := *c.fenceApply
+			c.fenceApply = nil
+			c.startApply(ctx, p)
+		}
+		return
+	}
+	c.fillEpoch(ctx, st)
+}
+
+// fillEpoch populates a freshly opened (non-binding, unfenced) epoch:
+// pending retries, then the source-log backlog, then the close timer.
+// Also the resume step when an unfence releases a parked epoch.
+func (c *Coordinator) fillEpoch(ctx *sim.Context, st *epochState) {
 	// Retries first (deterministic: they carry the smallest TIDs of the
 	// new batch, so starved transactions eventually win every conflict);
 	// past the cap they stay pending, ahead of the source backlog.
 	c.drainPending(ctx, st)
 	// Then drain arrivals buffered in the source log, chunked by the cap:
 	// a post-recovery backlog replays over as many batches as it needs
-	// instead of ballooning one giant batch.
+	// instead of ballooning one giant batch. A quiescing shard (fence
+	// pending) stops drawing from the source so sustained load cannot
+	// starve the fence; the backlog drains after the unfence.
 	end, err := c.sys.RequestLog.End(sourceTopic, 0)
-	if err == nil {
+	if err == nil && c.fencePending == 0 {
 		for ; c.consumed < end && !c.batchFull(st); c.consumed++ {
 			rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, c.consumed)
 			if err != nil || !ok {
 				break
 			}
 			m := rec.Payload.(sysapi.MsgRequest)
+			if isGlobalRecord(m.Request.Method) {
+				// Fence/unfence markers and write-set applies never enter
+				// the batch intake: markers are recovery metadata, and an
+				// apply below the cursor was answered inside its fence
+				// window (or replayed as binding).
+				continue
+			}
 			if !c.sys.cfg.UncheckedReplayOrder && c.answered(m.Request.Req) {
 				// A recovery rewound the cursor over this record, but its
 				// response is already delivered (or staged): its effects are
@@ -1522,6 +1619,12 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 		c.buildReplaying(cut)
 	}
 	c.rebuildSeen()
+	// Re-derive the fence state from the durable markers in the log
+	// suffix: a shard that crashed (or stalled) inside a global batch's
+	// fence window comes back still fenced and parks again after the
+	// binding replay, instead of resuming normal epochs between the
+	// sequencer's reads and its writes.
+	c.scanFenceState()
 	c.recovered = map[string]bool{}
 	c.snapshotID = snapID
 	c.RestoredSnapshots = append(c.RestoredSnapshots, snapID)
@@ -1607,6 +1710,11 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 	c.seen = map[string]bool{}
 	c.progress = 0
 	c.lastLSN, c.durableLSN, c.epochLSN = 0, 0, 0
+	// Fence state is volatile here; Recover's marker scan rebuilds it
+	// (fenceFrom need not survive — re-sent fence messages carry the
+	// sender, and the re-ack path answers them).
+	c.fencePending, c.fenceSeq, c.fenceDone = 0, 0, 0
+	c.fenced, c.fenceApply, c.fenceFrom = false, nil, ""
 	c.epoch = ck.epoch
 	c.nextTID = ck.nextTID
 	c.sealed = ck.sealed

@@ -130,3 +130,59 @@ type msgRecovered struct {
 	SnapshotID int64
 	Epoch      int64
 }
+
+// ---------------------------------------------------------------------------
+// Sharded global-commit protocol (sequencer <-> shard coordinator).
+//
+// Cross-shard transactions run at the global sequencer against a fenced,
+// quiescent snapshot of the involved shards, then commit back into each
+// shard as a blind write-set riding the shard's ordinary Aria machinery.
+// The fence is durable on the shard side (a __fence__ marker in the
+// source log precedes the ack), so a shard that crashes mid-batch comes
+// back still fenced and cannot interleave fresh transactions between the
+// sequencer's reads and its writes.
+
+// msgFence asks a shard coordinator to quiesce: finish every in-flight
+// epoch, drain its staged responses to durability, park with an open
+// empty epoch, append a durable fence marker, and ack. Seq is the global
+// batch id; stale copies (Seq <= the shard's completed high-water mark)
+// are re-acked idempotently.
+type msgFence struct {
+	Seq  int64
+	From string
+}
+
+// msgFenceAck confirms one shard is parked for global batch Seq.
+type msgFenceAck struct{ Seq int64 }
+
+// msgUnfence releases a parked shard after the global batch's writes are
+// durable everywhere. The shard appends a durable __unfence__ marker,
+// resumes normal epochs and acks.
+type msgUnfence struct {
+	Seq  int64
+	From string
+}
+
+// msgUnfenceAck confirms the shard resumed after batch Seq.
+type msgUnfenceAck struct{ Seq int64 }
+
+// msgGlobalRead fetches one entity's committed state from a parked shard
+// (the sequencer's reconnaissance reads). Only answered while fenced for
+// Seq with replay fully drained — the parked store is then exactly the
+// durable, recovery-reconstructible prefix.
+type msgGlobalRead struct {
+	Seq   int64
+	Class string
+	Key   string
+	From  string
+}
+
+// msgGlobalState answers a reconnaissance read. State is a deep copy;
+// Exists is false for entities not yet created.
+type msgGlobalState struct {
+	Seq    int64
+	Class  string
+	Key    string
+	State  interp.MapState
+	Exists bool
+}

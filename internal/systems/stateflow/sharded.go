@@ -1,0 +1,727 @@
+// Sharded multi-coordinator topology: the entity space is partitioned
+// across N independent StateFlow deployments (each with its own
+// coordinator, worker pool, Aria epochs and dlog recovery domain), in
+// front of which a thin Calvin-style sequencing layer assigns global
+// batch ids to cross-shard transactions so they order deterministically
+// across the whole cluster — while single-shard transactions never leave
+// their shard.
+//
+// Routing hashes (class-id, key) — the compiler's slotted class ids, not
+// class names — onto the shard ring. A request whose method is ref-closed
+// (its transitive footprint is derivable from the receiver and its
+// entity-ref arguments, see ir.RefClosed) and whose refs all land on one
+// shard takes the fast path: the sequencer forwards it to that shard's
+// coordinator and the shard answers the client directly, paying nothing
+// for the existence of other shards. Everything else becomes a global
+// transaction:
+//
+//	seq    = next global batch id (all queued globals join the batch)
+//	fence  = every shard quiesces and parks (durable marker, fence.go)
+//	exec   = the sequencer runs the batch serially against an overlay
+//	         store, fetching entity images from the parked shards with
+//	         reconnaissance reads (re-executing a transaction from
+//	         scratch whenever a fetch discovers a new footprint member)
+//	apply  = each shard with writes gets ONE __apply__ transaction —
+//	         the final entity images, installed blindly through the
+//	         shard's ordinary Aria machinery (the shard-local atomic
+//	         commit point)
+//	reply  = client responses release once every apply is durable
+//	unfence= shards resume; parked single-shard arrivals drain after
+//	         the global writes, completing the deterministic order
+//
+// The sequencer holds no durable state and is not crashable (a real
+// deployment would replicate it); all recovery state lives in the shards'
+// durable fence markers, so any shard may crash at any point of the
+// protocol and the stall-driven re-sends converge.
+package stateflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"statefulentities.dev/stateflow/internal/chaos"
+	"statefulentities.dev/stateflow/internal/core"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+)
+
+// ShardedSystem is a sysapi.Backend composed of N shard deployments plus
+// the global sequencer.
+type ShardedSystem struct {
+	cfg    Config
+	prog   *ir.Program
+	shards []*System
+	seq    *Sequencer
+	seqID  string
+}
+
+// NewSharded builds and registers an n-shard StateFlow deployment. Shard
+// i gets the component prefix "sf<i>-"; the sequencer registers as
+// "sf-seq". cfg applies to every shard (its IDPrefix is overwritten).
+func NewSharded(cluster *sim.Cluster, prog *ir.Program, n int, cfg Config) *ShardedSystem {
+	if n <= 0 {
+		n = 1
+	}
+	s := &ShardedSystem{cfg: cfg, prog: prog, seqID: "sf-seq"}
+	for i := 0; i < n; i++ {
+		sc := cfg
+		sc.IDPrefix = fmt.Sprintf("sf%d-", i)
+		s.shards = append(s.shards, New(cluster, prog, sc))
+	}
+	s.seq = newSequencer(s)
+	cluster.Add(s.seqID, s.seq)
+	return s
+}
+
+// ShardOf routes an entity to its shard by stable (class-id, key) hash.
+// The class id comes from the compiler's slotted layout registry, so two
+// deployments of the same program always agree on the ring.
+func (s *ShardedSystem) ShardOf(ref interp.EntityRef) int {
+	h := fnv.New32a()
+	var cid [4]byte
+	binary.LittleEndian.PutUint32(cid[:], uint32(s.prog.Layouts().IDOf(ref.Class)))
+	_, _ = h.Write(cid[:])
+	_, _ = h.Write([]byte(ref.Key))
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+// Shards exposes the shard deployments (stats, tests).
+func (s *ShardedSystem) Shards() []*System { return s.shards }
+
+// Sequencer exposes the global sequencing layer.
+func (s *ShardedSystem) Sequencer() *Sequencer { return s.seq }
+
+// IngressID implements sysapi.System: clients talk to the sequencer.
+func (s *ShardedSystem) IngressID() string { return s.seqID }
+
+// ClientLink implements sysapi.System.
+func (s *ShardedSystem) ClientLink() sim.Latency { return s.cfg.Costs.ClientLink }
+
+// KeyForCtor implements sysapi.Backend.
+func (s *ShardedSystem) KeyForCtor(class string, args []interp.Value) (string, error) {
+	return s.shards[0].KeyForCtor(class, args)
+}
+
+// Preload installs entity state on its owning shard.
+func (s *ShardedSystem) Preload(ref interp.EntityRef, st interp.MapState) {
+	s.shards[s.ShardOf(ref)].Preload(ref, st)
+}
+
+// PreloadEntity implements sysapi.Backend.
+func (s *ShardedSystem) PreloadEntity(class string, args ...interp.Value) error {
+	key, err := s.KeyForCtor(class, args)
+	if err != nil {
+		return err
+	}
+	ref := interp.EntityRef{Class: class, Key: key}
+	return s.shards[s.ShardOf(ref)].PreloadEntity(class, args...)
+}
+
+// CheckpointPreloadedState seals the preloaded dataset on every shard.
+func (s *ShardedSystem) CheckpointPreloadedState() {
+	for _, sh := range s.shards {
+		sh.CheckpointPreloadedState()
+	}
+}
+
+// EntityState implements sysapi.Backend.
+func (s *ShardedSystem) EntityState(class, key string) (interp.MapState, bool) {
+	ref := interp.EntityRef{Class: class, Key: key}
+	return s.shards[s.ShardOf(ref)].EntityState(class, key)
+}
+
+// Keys implements sysapi.Backend: merged across shards.
+func (s *ShardedSystem) Keys(class string) []string {
+	var out []string
+	for _, sh := range s.shards {
+		out = append(out, sh.Keys(class)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ChaosTopology implements sysapi.Backend: the union of every shard's
+// contract plus the sequencing layer. The aggregate "coordinator" and
+// "worker" roles span all shards, so a chaos plan that crashes "the
+// coordinator" picks one shard's coordinator — exactly the
+// single-shard-crash coverage the adversarial sweep requires. The
+// sequencer is not crashable: it holds no durable state by design (the
+// shards' fence markers carry all recovery state), so a sequencer crash
+// model would add nothing the protocol claims to survive.
+func (s *ShardedSystem) ChaosTopology() chaos.Topology {
+	members := map[string]bool{s.seqID: true}
+	var coords, workers []string
+	for _, sh := range s.shards {
+		members[sh.coordID] = true
+		coords = append(coords, sh.coordID)
+		for _, w := range sh.workerIDs {
+			members[w] = true
+			workers = append(workers, w)
+		}
+	}
+	durable := s.cfg.DisableDlog == false
+	return chaos.Topology{
+		Roles: map[string][]string{
+			"coordinator": coords,
+			"worker":      workers,
+			"sequencer":   {s.seqID},
+		},
+		Crashable: map[string]bool{
+			"worker": true, "coordinator": durable, "sequencer": false,
+		},
+		DropSafe: func(from, to string, msg sim.Message) bool {
+			if members[from] && members[to] {
+				// Intra-cluster: lost fence-protocol messages re-send off
+				// the sequencer's stall timer, lost shard-internal
+				// messages trigger the shard's own recovery.
+				return true
+			}
+			if !durable {
+				return false
+			}
+			if !members[from] && members[to] {
+				_, ok := msg.(sysapi.MsgRequest)
+				return ok // clients retry; sequencer and shards dedupe
+			}
+			if members[from] && !members[to] {
+				_, ok := msg.(sysapi.MsgResponse)
+				return ok // re-served from egress buffers on retry
+			}
+			return false
+		},
+		DupSafe: func(from, to string, msg sim.Message) bool {
+			switch msg.(type) {
+			case msgTxnFinished, msgPrepare, msgVote, msgDecide, msgApplied,
+				msgTakeSnapshot, msgSnapshotDone, msgRecover, msgRecovered,
+				msgFence, msgFenceAck, msgUnfence, msgUnfenceAck,
+				msgGlobalRead, msgGlobalState:
+				return true
+			case sysapi.MsgRequest, sysapi.MsgResponse:
+				return true
+			}
+			return false
+		},
+		ResponseID: func(msg sim.Message) (string, bool) {
+			if m, ok := msg.(sysapi.MsgResponse); ok {
+				return m.Response.Req, true
+			}
+			return "", false
+		},
+		RequestID: func(msg sim.Message) (string, bool) {
+			if m, ok := msg.(sysapi.MsgRequest); ok {
+				return m.Request.Req, true
+			}
+			return "", false
+		},
+	}
+}
+
+var _ sysapi.Backend = (*ShardedSystem)(nil)
+
+// ---------------------------------------------------------------------------
+// The sequencer.
+
+// gPhase is a global batch's protocol phase.
+type gPhase int
+
+const (
+	gFencing gPhase = iota
+	gExecuting
+	gApplying
+	gUnfencing
+)
+
+// msgSeqTick is the sequencer's per-batch stall timer: while a batch is
+// in flight it periodically re-sends whatever messages the current phase
+// is still waiting on (fences, reconnaissance reads, applies, unfences),
+// so any single loss or shard crash-recovery converges.
+type msgSeqTick struct{ Seq int64 }
+
+// globalTxn is one client transaction riding a global batch.
+type globalTxn struct {
+	req     sysapi.Request
+	replyTo string
+	res     sysapi.Response
+}
+
+// entityImage is the sequencer's overlay view of one entity: the fetched
+// (or batch-written) state, whether the entity exists, and whether the
+// batch dirtied it (dirty images form the apply write-sets).
+type entityImage struct {
+	st     interp.MapState
+	exists bool
+	dirty  bool
+}
+
+// globalBatch is one in-flight global batch.
+type globalBatch struct {
+	seq   int64
+	txns  []*globalTxn
+	phase gPhase
+	acked map[string]bool // per-shard fence/unfence acks (phase-local)
+
+	next     int // index of the transaction currently executing
+	overlay  map[interp.EntityRef]*entityImage
+	fetching map[interp.EntityRef]bool
+
+	applies map[string]sysapi.MsgRequest // shard coordID -> its apply
+	applied map[string]bool
+}
+
+// Sequencer is the Calvin-style global sequencing layer: it routes
+// single-shard transactions straight to their shard and runs everything
+// else through fenced global batches. Volatile by design — see the
+// package comment.
+type Sequencer struct {
+	sys *ShardedSystem
+	ex  *core.Executor
+
+	nextSeq   int64
+	queue     []*globalTxn
+	inFlight  map[string]bool            // global req ids queued or in the current batch
+	delivered map[string]sysapi.Response // answered global requests (volatile re-serve buffer)
+	cur       *globalBatch
+
+	// SingleShard / GlobalTxns / GlobalBatches count fast-path forwards,
+	// globally sequenced transactions, and fence windows.
+	SingleShard   int
+	GlobalTxns    int
+	GlobalBatches int
+}
+
+func newSequencer(sys *ShardedSystem) *Sequencer {
+	ex := core.NewExecutor(sys.prog)
+	// The overlay store serves MapState images fetched off the wire, so
+	// the sequencer executes through the name-keyed path; the slotted and
+	// map paths are pinned byte-identical by the differential tests.
+	ex.Interp().SetSlotted(false)
+	return &Sequencer{
+		sys:       sys,
+		ex:        ex,
+		inFlight:  map[string]bool{},
+		delivered: map[string]sysapi.Response{},
+	}
+}
+
+// OnMessage implements sim.Handler.
+func (q *Sequencer) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
+	switch m := msg.(type) {
+	case sysapi.MsgRequest:
+		q.onRequest(ctx, m)
+	case sysapi.MsgResponse:
+		q.onApplyDone(ctx, m)
+	case msgFenceAck:
+		q.onFenceAck(ctx, from, m)
+	case msgUnfenceAck:
+		q.onUnfenceAck(ctx, from, m)
+	case msgGlobalState:
+		q.onGlobalState(ctx, m)
+	case msgSeqTick:
+		q.onTick(ctx, m)
+	}
+}
+
+// refsOf collects a request's statically known footprint: the receiver
+// plus every entity-ref argument.
+func refsOf(req sysapi.Request) []interp.EntityRef {
+	refs := []interp.EntityRef{req.Target}
+	for _, a := range req.Args {
+		if a.Kind == interp.KRef {
+			refs = append(refs, a.R)
+		}
+	}
+	return refs
+}
+
+// onRequest routes one client request: re-serve, dedupe, fast-path to a
+// single shard, or enqueue as a global transaction.
+func (q *Sequencer) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
+	ctx.Work(q.sys.cfg.Costs.RoutingCPU)
+	if res, ok := q.delivered[m.Request.Req]; ok {
+		ctx.Send(m.ReplyTo, sysapi.MsgResponse{Response: res},
+			q.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		return
+	}
+	if q.inFlight[m.Request.Req] {
+		return // retry of a queued or executing global transaction
+	}
+	refs := refsOf(m.Request)
+	target := q.sys.ShardOf(refs[0])
+	single := m.Request.Method == "__init__" ||
+		q.sys.prog.RefClosed(m.Request.Target.Class, m.Request.Method)
+	for _, r := range refs[1:] {
+		if q.sys.ShardOf(r) != target {
+			single = false
+		}
+	}
+	if single {
+		// Fast path: the footprint is provably confined to one shard.
+		// Forward with the client's reply address — the shard answers
+		// (and dedupes, and re-serves) exactly as an unsharded
+		// deployment would; the sequencer keeps no record of it.
+		q.SingleShard++
+		ctx.Send(q.sys.shards[target].coordID, m,
+			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+		return
+	}
+	q.GlobalTxns++
+	q.inFlight[m.Request.Req] = true
+	q.queue = append(q.queue, &globalTxn{req: m.Request, replyTo: m.ReplyTo})
+	if q.cur == nil {
+		q.startBatch(ctx)
+	}
+}
+
+// startBatch opens the next fence window over every queued global
+// transaction.
+func (q *Sequencer) startBatch(ctx *sim.Context) {
+	q.nextSeq++
+	q.GlobalBatches++
+	q.cur = &globalBatch{
+		seq:      q.nextSeq,
+		txns:     q.queue,
+		phase:    gFencing,
+		acked:    map[string]bool{},
+		overlay:  map[interp.EntityRef]*entityImage{},
+		fetching: map[interp.EntityRef]bool{},
+	}
+	q.queue = nil
+	for _, sh := range q.sys.shards {
+		ctx.Send(sh.coordID, msgFence{Seq: q.cur.seq, From: q.sys.seqID},
+			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+	ctx.After(q.sys.cfg.StallTimeout, msgSeqTick{Seq: q.cur.seq})
+}
+
+func (q *Sequencer) onFenceAck(ctx *sim.Context, from string, m msgFenceAck) {
+	b := q.cur
+	if b == nil || b.phase != gFencing || m.Seq != b.seq {
+		return
+	}
+	b.acked[from] = true
+	if len(b.acked) == len(q.sys.shards) {
+		b.phase = gExecuting
+		q.advance(ctx)
+	}
+}
+
+// advance executes batch transactions in order until one needs entity
+// images the overlay does not hold yet (then reconnaissance reads are in
+// flight and execution resumes on their answers) or the batch is done.
+func (q *Sequencer) advance(ctx *sim.Context) {
+	b := q.cur
+	for b.next < len(b.txns) {
+		t := b.txns[b.next]
+		missing := q.execute(ctx, b, t)
+		if len(missing) > 0 {
+			for _, ref := range missing {
+				b.fetching[ref] = true
+				ctx.Send(q.sys.shards[q.sys.ShardOf(ref)].coordID,
+					msgGlobalRead{Seq: b.seq, Class: ref.Class, Key: ref.Key, From: q.sys.seqID},
+					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+			}
+			return
+		}
+		b.next++
+	}
+	q.beginApply(ctx)
+}
+
+func (q *Sequencer) onGlobalState(ctx *sim.Context, m msgGlobalState) {
+	b := q.cur
+	if b == nil || b.phase != gExecuting || m.Seq != b.seq {
+		return
+	}
+	ref := interp.EntityRef{Class: m.Class, Key: m.Key}
+	if !b.fetching[ref] {
+		return // duplicate answer
+	}
+	delete(b.fetching, ref)
+	if _, ok := b.overlay[ref]; !ok { // never clobber a batch-written image
+		st := m.State
+		if st == nil {
+			st = interp.MapState{}
+		}
+		b.overlay[ref] = &entityImage{st: st, exists: m.Exists}
+	}
+	if len(b.fetching) == 0 {
+		q.advance(ctx)
+	}
+}
+
+// attemptStore is the per-attempt copy-on-write view the executor runs
+// against: reads come from the batch overlay, writes stay attempt-local
+// until the transaction completes without discovering new footprint
+// members. Lookup/Create on an entity the overlay has no image of
+// records a miss — the attempt is then void and re-executes from scratch
+// once the image arrives.
+type attemptStore struct {
+	b       *globalBatch
+	touched map[interp.EntityRef]interp.MapState
+	created map[interp.EntityRef]bool
+	missing map[interp.EntityRef]bool
+}
+
+func copyState(st interp.MapState) interp.MapState {
+	out := make(interp.MapState, len(st))
+	for k, v := range st {
+		out[k] = v.Clone()
+	}
+	return out
+}
+
+// Lookup implements core.Store.
+func (a *attemptStore) Lookup(ref interp.EntityRef) (interp.State, bool) {
+	if st, ok := a.touched[ref]; ok {
+		return st, true
+	}
+	img, ok := a.b.overlay[ref]
+	if !ok {
+		a.missing[ref] = true
+		return nil, false
+	}
+	if !img.exists {
+		return nil, false
+	}
+	st := copyState(img.st)
+	a.touched[ref] = st
+	return st, true
+}
+
+// Create implements core.Store.
+func (a *attemptStore) Create(ref interp.EntityRef) (interp.State, error) {
+	if a.created[ref] {
+		return nil, fmt.Errorf("entity %s already exists", ref)
+	}
+	img, ok := a.b.overlay[ref]
+	if !ok {
+		a.missing[ref] = true
+		return nil, fmt.Errorf("entity %s not fetched", ref)
+	}
+	if img.exists {
+		return nil, fmt.Errorf("entity %s already exists", ref)
+	}
+	st := interp.MapState{}
+	a.touched[ref] = st
+	a.created[ref] = true
+	return st, nil
+}
+
+// execute runs one attempt of a global transaction. A non-empty return
+// is the sorted set of footprint members the overlay is missing: the
+// attempt's effects are void and it will re-run. Otherwise the result is
+// recorded and — for error-free completions — the attempt's writes fold
+// into the overlay (an application error commits nothing, matching the
+// shard runtime's abort-on-error contract).
+func (q *Sequencer) execute(ctx *sim.Context, b *globalBatch, t *globalTxn) []interp.EntityRef {
+	store := &attemptStore{
+		b:       b,
+		touched: map[interp.EntityRef]interp.MapState{},
+		created: map[interp.EntityRef]bool{},
+		missing: map[interp.EntityRef]bool{},
+	}
+	root := &core.Event{
+		Kind:   core.EvInvoke,
+		Req:    t.req.Req,
+		Target: t.req.Target,
+		Method: t.req.Method,
+		Args:   t.req.Args,
+	}
+	res := sysapi.Response{Req: t.req.Req}
+	queue := []*core.Event{root}
+	for steps := 0; len(queue) > 0; steps++ {
+		if steps > 1_000_000 {
+			res.Err = "sequencer: event loop exceeded step bound"
+			break
+		}
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.Kind == core.EvResponse {
+			res.Value, res.Err = cur.Value, cur.Err
+			break
+		}
+		ctx.Work(q.sys.cfg.Costs.ExecuteCPU)
+		out, err := q.ex.Step(cur, store)
+		if err != nil {
+			res.Err = err.Error()
+			break
+		}
+		queue = append(queue, out...)
+	}
+	if len(store.missing) > 0 {
+		refs := make([]interp.EntityRef, 0, len(store.missing))
+		for ref := range store.missing {
+			refs = append(refs, ref)
+		}
+		sort.Slice(refs, func(i, j int) bool {
+			if refs[i].Class != refs[j].Class {
+				return refs[i].Class < refs[j].Class
+			}
+			return refs[i].Key < refs[j].Key
+		})
+		return refs
+	}
+	t.res = res
+	if res.Err != "" {
+		return nil
+	}
+	for ref, st := range store.touched {
+		base, ok := b.overlay[ref]
+		if ok && base.exists && !store.created[ref] && encodeState(st) == encodeState(base.st) {
+			continue // read-only member: keep it out of the write-set
+		}
+		b.overlay[ref] = &entityImage{st: st, exists: true, dirty: true}
+	}
+	return nil
+}
+
+func encodeState(st interp.MapState) string {
+	e := interp.NewEncoder()
+	e.State(st)
+	return string(e.Bytes())
+}
+
+// beginApply turns the batch's dirty overlay into one write-set apply
+// per involved shard and sends them. A batch with no writes (all
+// transactions errored or read-only) skips straight to respond+unfence.
+func (q *Sequencer) beginApply(ctx *sim.Context) {
+	b := q.cur
+	groups := make(map[int][]writeSetEntry)
+	for ref, img := range b.overlay {
+		if img.dirty {
+			groups[q.sys.ShardOf(ref)] = append(groups[q.sys.ShardOf(ref)], writeSetEntry{Ref: ref, St: img.st})
+		}
+	}
+	b.applies = map[string]sysapi.MsgRequest{}
+	b.applied = map[string]bool{}
+	for idx, entries := range groups {
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].Ref.Class != entries[j].Ref.Class {
+				return entries[i].Ref.Class < entries[j].Ref.Class
+			}
+			return entries[i].Ref.Key < entries[j].Ref.Key
+		})
+		req := sysapi.Request{
+			// Dotless id: the global-commit protocol opts out of the
+			// per-source incarnation floor (see sysapi.SplitID).
+			Req:    fmt.Sprintf("gapply-%d-%d", b.seq, idx),
+			Target: entries[0].Ref,
+			Method: applyMethod,
+			Args: []interp.Value{
+				interp.IntV(b.seq),
+				interp.StrV(encodeWriteSet(entries)),
+			},
+		}
+		b.applies[q.sys.shards[idx].coordID] = sysapi.MsgRequest{Request: req, ReplyTo: q.sys.seqID}
+	}
+	if len(b.applies) == 0 {
+		q.finishBatch(ctx)
+		return
+	}
+	b.phase = gApplying
+	for coordID, m := range b.applies {
+		ctx.Send(coordID, m, q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+// onApplyDone marks one shard's write-set durably committed (the shard
+// releases the response only after its group-commit fsync).
+func (q *Sequencer) onApplyDone(ctx *sim.Context, m sysapi.MsgResponse) {
+	b := q.cur
+	if b == nil || b.phase != gApplying {
+		return
+	}
+	var coordID string
+	for id, req := range b.applies {
+		if req.Request.Req == m.Response.Req {
+			coordID = id
+		}
+	}
+	if coordID == "" || b.applied[coordID] {
+		return
+	}
+	b.applied[coordID] = true
+	if len(b.applied) == len(b.applies) {
+		q.finishBatch(ctx)
+	}
+}
+
+// finishBatch releases the batch's client responses — every shard's
+// write-set is durable, so the outcomes can no longer be lost — and
+// unfences the shards.
+func (q *Sequencer) finishBatch(ctx *sim.Context) {
+	b := q.cur
+	for _, t := range b.txns {
+		q.delivered[t.req.Req] = t.res
+		delete(q.inFlight, t.req.Req)
+		if t.replyTo != "" {
+			ctx.Send(t.replyTo, sysapi.MsgResponse{Response: t.res},
+				q.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		}
+	}
+	b.phase = gUnfencing
+	b.acked = map[string]bool{}
+	for _, sh := range q.sys.shards {
+		ctx.Send(sh.coordID, msgUnfence{Seq: b.seq, From: q.sys.seqID},
+			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+}
+
+func (q *Sequencer) onUnfenceAck(ctx *sim.Context, from string, m msgUnfenceAck) {
+	b := q.cur
+	if b == nil || b.phase != gUnfencing || m.Seq != b.seq {
+		return
+	}
+	b.acked[from] = true
+	if len(b.acked) == len(q.sys.shards) {
+		q.cur = nil
+		if len(q.queue) > 0 {
+			q.startBatch(ctx)
+		}
+	}
+}
+
+// onTick is the per-batch stall guard: re-send whatever the current
+// phase still waits on. Shard-side handlers are all idempotent (fence
+// and unfence re-ack, reads re-answer, applies dedupe or re-serve), so
+// over-sending is safe; a shard mid-crash-recovery simply answers after
+// its recovery converges, still fenced thanks to the durable marker.
+func (q *Sequencer) onTick(ctx *sim.Context, m msgSeqTick) {
+	b := q.cur
+	if b == nil || m.Seq != b.seq {
+		return
+	}
+	switch b.phase {
+	case gFencing:
+		for _, sh := range q.sys.shards {
+			if !b.acked[sh.coordID] {
+				ctx.Send(sh.coordID, msgFence{Seq: b.seq, From: q.sys.seqID},
+					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+			}
+		}
+	case gExecuting:
+		for ref := range b.fetching {
+			ctx.Send(q.sys.shards[q.sys.ShardOf(ref)].coordID,
+				msgGlobalRead{Seq: b.seq, Class: ref.Class, Key: ref.Key, From: q.sys.seqID},
+				q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+		}
+	case gApplying:
+		for coordID, req := range b.applies {
+			if !b.applied[coordID] {
+				ctx.Send(coordID, req, q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+			}
+		}
+	case gUnfencing:
+		for _, sh := range q.sys.shards {
+			if !b.acked[sh.coordID] {
+				ctx.Send(sh.coordID, msgUnfence{Seq: b.seq, From: q.sys.seqID},
+					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+			}
+		}
+	}
+	ctx.After(q.sys.cfg.StallTimeout, msgSeqTick{Seq: b.seq})
+}

@@ -1,0 +1,418 @@
+package stateflow
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"statefulentities.dev/stateflow/internal/compiler"
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+)
+
+type shardedFixture struct {
+	cluster *sim.Cluster
+	sys     *ShardedSystem
+	client  *sysapi.ScriptClient
+}
+
+func newShardedFixture(t *testing.T, cfg Config, shards, accounts int, script []sysapi.Scheduled) *shardedFixture {
+	t.Helper()
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cluster := sim.New(42)
+	sys := NewSharded(cluster, prog, shards, cfg)
+	for i := 0; i < accounts; i++ {
+		if err := sys.PreloadEntity("Account",
+			interp.StrV(acct(i)), interp.IntV(100)); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	sys.CheckpointPreloadedState()
+	client := sysapi.NewScriptClient("client", sys, script)
+	cluster.Add("client", client)
+	cluster.Start()
+	return &shardedFixture{cluster: cluster, sys: sys, client: client}
+}
+
+// accountPair finds one same-shard and one cross-shard account pair among
+// the first n preloadable accounts.
+func accountPair(t *testing.T, sys *ShardedSystem, n int, cross bool) (string, string) {
+	t.Helper()
+	ref := func(i int) interp.EntityRef {
+		return interp.EntityRef{Class: "Account", Key: acct(i)}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			same := sys.ShardOf(ref(i)) == sys.ShardOf(ref(j))
+			if same != cross {
+				return acct(i), acct(j)
+			}
+		}
+	}
+	t.Fatalf("no account pair with cross=%v among %d accounts", cross, n)
+	return "", ""
+}
+
+// TestShardedSingleShardFastPath: a transfer whose footprint stays on one
+// shard is forwarded to that shard's coordinator and never becomes a
+// global transaction.
+func TestShardedSingleShardFastPath(t *testing.T) {
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if !prog.RefClosed("Account", "transfer") {
+		t.Fatal("bank transfer should be ref-closed")
+	}
+
+	fx := newShardedFixture(t, DefaultConfig(), 2, 8, nil)
+	from, to := accountPair(t, fx.sys, 8, false)
+	fx.cluster.Inject(time.Millisecond, "client", fx.sys.IngressID(),
+		sysapi.MsgRequest{Request: transferReq("t1", from, to, 30), ReplyTo: "client"})
+	fx.cluster.RunUntil(time.Second)
+
+	resp, ok := fx.client.Responses["t1"]
+	if !ok {
+		t.Fatal("no response")
+	}
+	if resp.Err != "" || !resp.Value.B {
+		t.Fatalf("transfer failed: %+v", resp)
+	}
+	if fx.sys.Sequencer().SingleShard != 1 {
+		t.Fatalf("SingleShard = %d, want 1", fx.sys.Sequencer().SingleShard)
+	}
+	if fx.sys.Sequencer().GlobalTxns != 0 {
+		t.Fatalf("GlobalTxns = %d, want 0", fx.sys.Sequencer().GlobalTxns)
+	}
+	st, _ := fx.sys.EntityState("Account", from)
+	if st["balance"].I != 70 {
+		t.Fatalf("src balance: %d", st["balance"].I)
+	}
+	st, _ = fx.sys.EntityState("Account", to)
+	if st["balance"].I != 130 {
+		t.Fatalf("dst balance: %d", st["balance"].I)
+	}
+}
+
+// TestShardedCrossShardTransfer: a transfer spanning two shards runs as a
+// global transaction — fence, sequencer execution, one write-set apply
+// per shard — and commits atomically on both sides.
+func TestShardedCrossShardTransfer(t *testing.T) {
+	fx := newShardedFixture(t, DefaultConfig(), 2, 8, nil)
+	from, to := accountPair(t, fx.sys, 8, true)
+	fx.cluster.Inject(time.Millisecond, "client", fx.sys.IngressID(),
+		sysapi.MsgRequest{Request: transferReq("x1", from, to, 25), ReplyTo: "client"})
+	fx.cluster.RunUntil(time.Second)
+
+	resp, ok := fx.client.Responses["x1"]
+	if !ok {
+		t.Fatal("no response")
+	}
+	if resp.Err != "" || !resp.Value.B {
+		t.Fatalf("transfer failed: %+v", resp)
+	}
+	seq := fx.sys.Sequencer()
+	if seq.GlobalTxns != 1 || seq.GlobalBatches != 1 {
+		t.Fatalf("GlobalTxns=%d GlobalBatches=%d, want 1/1", seq.GlobalTxns, seq.GlobalBatches)
+	}
+	fences, applies := 0, 0
+	for _, sh := range fx.sys.Shards() {
+		fences += sh.Coordinator().GlobalFences
+		applies += sh.Coordinator().GlobalApplies
+	}
+	if fences != 2 {
+		t.Fatalf("GlobalFences = %d, want 2 (both shards parked)", fences)
+	}
+	if applies != 2 {
+		t.Fatalf("GlobalApplies = %d, want 2 (one write-set per shard)", applies)
+	}
+	st, _ := fx.sys.EntityState("Account", from)
+	if st["balance"].I != 75 {
+		t.Fatalf("src balance: %d", st["balance"].I)
+	}
+	st, _ = fx.sys.EntityState("Account", to)
+	if st["balance"].I != 125 {
+		t.Fatalf("dst balance: %d", st["balance"].I)
+	}
+}
+
+// TestShardedMixedLoadConservation: a sustained mix of single-shard and
+// cross-shard transfers settles every request exactly once and conserves
+// the total balance across all shards.
+func TestShardedMixedLoadConservation(t *testing.T) {
+	const accounts = 16
+	fx := newShardedFixture(t, DefaultConfig(), 4, accounts, nil)
+	sFrom, sTo := accountPair(t, fx.sys, accounts, false)
+	xFrom, xTo := accountPair(t, fx.sys, accounts, true)
+	n := 0
+	for i := 0; i < 40; i++ {
+		from, to := sFrom, sTo
+		if i%4 == 3 { // every fourth transfer crosses shards
+			from, to = xFrom, xTo
+		}
+		if i%2 == 1 {
+			from, to = to, from // alternate direction so funds round-trip
+		}
+		n++
+		fx.cluster.Inject(time.Duration(i+1)*4*time.Millisecond, "client", fx.sys.IngressID(),
+			sysapi.MsgRequest{Request: transferReq(fmt.Sprintf("m%d", i), from, to, 5), ReplyTo: "client"})
+	}
+	fx.cluster.RunUntil(5 * time.Second)
+
+	if fx.client.Done != n {
+		t.Fatalf("settled %d/%d requests", fx.client.Done, n)
+	}
+	seq := fx.sys.Sequencer()
+	if seq.GlobalTxns == 0 {
+		t.Fatal("expected some cross-shard transfers in the mix")
+	}
+	if seq.SingleShard == 0 {
+		t.Fatal("expected some single-shard transfers in the mix")
+	}
+	var sum int64
+	for i := 0; i < accounts; i++ {
+		st, ok := fx.sys.EntityState("Account", acct(i))
+		if !ok {
+			t.Fatalf("account %s missing", acct(i))
+		}
+		sum += st["balance"].I
+	}
+	if sum != int64(accounts)*100 {
+		t.Fatalf("balances sum to %d, want %d (atomicity violated)", sum, accounts*100)
+	}
+}
+
+// shardedProbe builds a throwaway sharded system just to compute shard
+// routing (ShardOf depends only on the program's layouts and the shard
+// count, so it agrees with any same-shaped deployment).
+func shardedProbe(t *testing.T, shards int) *ShardedSystem {
+	t.Helper()
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return NewSharded(sim.New(1), prog, shards, DefaultConfig())
+}
+
+func shardedSum(t *testing.T, sys *ShardedSystem, accounts int) int64 {
+	t.Helper()
+	var sum int64
+	for i := 0; i < accounts; i++ {
+		st, ok := sys.EntityState("Account", acct(i))
+		if !ok {
+			t.Fatalf("account %s missing", acct(i))
+		}
+		sum += st["balance"].I
+	}
+	return sum
+}
+
+// TestShardedShardCrashRecovery crashes one shard's coordinator in the
+// middle of a mixed single-/cross-shard load. The durable fence markers
+// plus client retries must converge: every request settles exactly once
+// and the cross-shard atomicity invariant holds.
+func TestShardedShardCrashRecovery(t *testing.T) {
+	const accounts = 16
+	probe := shardedProbe(t, 2)
+	sFrom, sTo := accountPair(t, probe, accounts, false)
+	xFrom, xTo := accountPair(t, probe, accounts, true)
+
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 4
+	b := sysapi.NewBuilder("cl-")
+	var script []sysapi.Scheduled
+	n := 0
+	for i := 0; i < 60; i++ {
+		from, to := sFrom, sTo
+		if i%3 == 2 { // every third transfer crosses shards
+			from, to = xFrom, xTo
+		}
+		if i%2 == 1 {
+			from, to = to, from
+		}
+		script = append(script, sysapi.Scheduled{
+			At: time.Duration(i+1) * 3 * time.Millisecond,
+			Req: b.Next(interp.EntityRef{Class: "Account", Key: from}, "transfer",
+				[]interp.Value{interp.IntV(5), interp.RefV("Account", to)}, "transfer"),
+		})
+		n++
+	}
+
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cluster := sim.New(7)
+	sys := NewSharded(cluster, prog, 2, cfg)
+	for i := 0; i < accounts; i++ {
+		if err := sys.PreloadEntity("Account",
+			interp.StrV(acct(i)), interp.IntV(100)); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	sys.CheckpointPreloadedState()
+	client := sysapi.NewScriptClient("client", sys, script)
+	client.RetryEvery = 50 * time.Millisecond
+	cluster.Add("client", client)
+	cluster.Start()
+
+	cluster.RunUntil(70 * time.Millisecond)
+	cluster.Crash("sf0-coord")
+	cluster.RunUntil(cluster.Now() + 25*time.Millisecond)
+	cluster.Restart("sf0-coord")
+	cluster.RunUntil(5 * time.Second)
+
+	if client.Done != n {
+		t.Fatalf("settled %d/%d requests after the shard crash", client.Done, n)
+	}
+	if sys.Shards()[0].Coordinator().Restarts == 0 {
+		t.Fatal("shard 0 coordinator never rebooted; the crash exercised nothing")
+	}
+	if sys.Sequencer().GlobalTxns == 0 {
+		t.Fatal("no cross-shard transactions in the mix")
+	}
+	if got := shardedSum(t, sys, accounts); got != accounts*100 {
+		t.Fatalf("balances sum to %d, want %d", got, accounts*100)
+	}
+}
+
+// shardAccounts groups the first n account keys by owning shard.
+func shardAccounts(sys *ShardedSystem, n int) map[int][]string {
+	out := map[int][]string{}
+	for i := 0; i < n; i++ {
+		ref := interp.EntityRef{Class: "Account", Key: acct(i)}
+		out[sys.ShardOf(ref)] = append(out[sys.ShardOf(ref)], acct(i))
+	}
+	return out
+}
+
+// TestShardedFloorIsolationAcrossShardReboot pins the per-shard scoping
+// of the incarnation dedup floor (the PR's third bug sweep item): one
+// client source's sequence stream is partitioned across shards by
+// deterministic routing, so each shard's durable floor covers exactly
+// the subsequence it absorbed. A shard reboot rebuilds that shard's
+// floor from its own checkpoint and cannot lower — or raise — another
+// shard's floor; a very late duplicate still routes to the shard that
+// pruned it and is absorbed there.
+func TestShardedFloorIsolationAcrossShardReboot(t *testing.T) {
+	const accounts = 16
+	probe := shardedProbe(t, 2)
+	groups := shardAccounts(probe, accounts)
+	if len(groups[0]) < 2 || len(groups[1]) < 2 {
+		t.Fatalf("accounts did not spread over both shards: %v", groups)
+	}
+
+	cfg := DefaultConfig()
+	cfg.SnapshotEvery = 2
+	cfg.EpochInterval = 10 * time.Millisecond
+	cfg.DedupRetention = 50 * time.Millisecond
+
+	// One source, streams interleaved across both shards: even seqs land
+	// on shard 0, odd seqs on shard 1 (all single-shard fast paths).
+	cl := sysapi.NewBuilder("cl-")
+	var script []sysapi.Scheduled
+	var wave []sysapi.Request
+	for i := 0; i < 8; i++ {
+		g := groups[i%2]
+		req := cl.Next(interp.EntityRef{Class: "Account", Key: g[0]}, "transfer",
+			[]interp.Value{interp.IntV(1), interp.RefV("Account", g[1])}, "transfer")
+		wave = append(wave, req)
+		script = append(script, sysapi.Scheduled{At: time.Duration(i+1) * 5 * time.Millisecond, Req: req})
+	}
+	// Background traffic on both shards keeps epochs closing and
+	// snapshots sealing so the retention prune runs everywhere.
+	bg := sysapi.NewBuilder("bg-")
+	for i := 0; i < 24; i++ {
+		g := groups[i%2]
+		script = append(script, sysapi.Scheduled{
+			At: 100*time.Millisecond + time.Duration(i)*10*time.Millisecond,
+			Req: bg.Next(interp.EntityRef{Class: "Account", Key: g[0]}, "transfer",
+				[]interp.Value{interp.IntV(1), interp.RefV("Account", g[1])}, "transfer"),
+		})
+	}
+
+	prog, err := compiler.Compile(bank)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	cluster := sim.New(7)
+	sys := NewSharded(cluster, prog, 2, cfg)
+	for i := 0; i < accounts; i++ {
+		if err := sys.PreloadEntity("Account",
+			interp.StrV(acct(i)), interp.IntV(100)); err != nil {
+			t.Fatalf("preload: %v", err)
+		}
+	}
+	sys.CheckpointPreloadedState()
+	client := &countingClient{
+		inner:      sysapi.NewScriptClient("client", sys, script),
+		Deliveries: map[string]int{},
+	}
+	cluster.Add("client", client)
+	cluster.Start()
+	cluster.RunUntil(450 * time.Millisecond)
+
+	const total = 32
+	if client.inner.Done != total {
+		t.Fatalf("settled %d/%d requests before the reboot", client.inner.Done, total)
+	}
+	src, seq0, ok := sysapi.SplitID(wave[0].Req)
+	if !ok {
+		t.Fatalf("%s did not split as a builder id", wave[0].Req)
+	}
+	_, seqLastOdd, _ := sysapi.SplitID(wave[7].Req)
+	c0, c1 := sys.Shards()[0].Coordinator(), sys.Shards()[1].Coordinator()
+	if _, held := c0.delivered[wave[0].Req]; held {
+		t.Fatalf("%s still in shard 0's delivered buffer; retention never pruned it", wave[0].Req)
+	}
+	floor0 := c0.dedupFloor[src]
+	floor1 := c1.dedupFloor[src]
+	if floor0 < seq0 {
+		t.Fatalf("shard 0 floor for %s is %d, want >= %d after its prune", src, floor0, seq0)
+	}
+	if floor1 < seqLastOdd {
+		t.Fatalf("shard 1 floor for %s is %d, want >= %d after its prune", src, floor1, seqLastOdd)
+	}
+	// The floors are per-shard subsequence high-water marks, not a shared
+	// global: shard 0 only ever saw even seqs, so its floor must sit
+	// strictly below shard 1's odd tail.
+	if floor0 >= floor1 {
+		t.Fatalf("shard 0 floor %d >= shard 1 floor %d; floors are not shard-scoped", floor0, floor1)
+	}
+
+	// Reboot shard 1. Its floor must come back from its own checkpoint;
+	// shard 0's floor must not move at all.
+	cluster.Crash("sf1-coord")
+	cluster.RunUntil(cluster.Now() + 30*time.Millisecond)
+	cluster.Restart("sf1-coord")
+	cluster.RunUntil(cluster.Now() + 80*time.Millisecond)
+	c1 = sys.Shards()[1].Coordinator()
+	if got := c1.dedupFloor[src]; got != floor1 {
+		t.Fatalf("shard 1 floor for %s is %d after reboot, want %d (checkpoint did not restore it)", src, got, floor1)
+	}
+	if got := sys.Shards()[0].Coordinator().dedupFloor[src]; got != floor0 {
+		t.Fatalf("shard 0 floor for %s moved to %d across shard 1's reboot, want %d", src, got, floor0)
+	}
+
+	// The very late duplicate of shard 0's first request: deterministic
+	// routing sends it back to shard 0, whose floor absorbs it.
+	cluster.Inject(cluster.Now()+time.Millisecond, "client", sys.IngressID(),
+		sysapi.MsgRequest{Request: wave[0], ReplyTo: "client"})
+	cluster.RunUntil(cluster.Now() + 200*time.Millisecond)
+	if sys.Shards()[0].Coordinator().LateDuplicates == 0 {
+		t.Fatal("late duplicate was not absorbed by shard 0's floor")
+	}
+	if n := client.Deliveries[wave[0].Req]; n != 1 {
+		t.Fatalf("request %s delivered %d times, want exactly 1", wave[0].Req, n)
+	}
+	if got := shardedSum(t, sys, accounts); got != accounts*100 {
+		t.Fatalf("balances sum to %d, want %d (the duplicate re-executed)", got, accounts*100)
+	}
+}

@@ -105,6 +105,13 @@ type Config struct {
 	// exists solely so the drift regression test can demonstrate the
 	// linearizability checker catching the pre-fix bug.
 	UncheckedFallbackDrift bool
+	// IDPrefix prefixes every component id this deployment registers on
+	// the cluster ("<prefix>coord", "<prefix>worker-<i>"). Empty means the
+	// historical "sf-", so a default deployment keeps its exact component
+	// names. The sharded topology gives each shard its own prefix
+	// ("sf0-", "sf1-", …) so N independent coordinator groups coexist in
+	// one cluster.
+	IDPrefix string
 	// UncheckedReplayOrder disables the recovery binding-prefix replay,
 	// restoring the historical recovery in which released responses'
 	// transactions were simply re-cut into fresh batches from the source
@@ -157,11 +164,14 @@ func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "sf-"
+	}
 	sys := &System{
 		cfg:        cfg,
 		prog:       prog,
 		executor:   core.NewExecutor(prog),
-		coordID:    "sf-coord",
+		coordID:    cfg.IDPrefix + "coord",
 		RequestLog: queue.NewLog(),
 		Snapshots:  snapshot.NewStore(prog.Layouts()),
 		restart:    cluster.Restart,

@@ -68,7 +68,7 @@ type Worker struct {
 func newWorker(sys *System, idx int) *Worker {
 	return &Worker{
 		sys:          sys,
-		id:           workerID(idx),
+		id:           workerID(sys.cfg.IDPrefix, idx),
 		idx:          idx,
 		committed:    state.NewStore(sys.prog.Layouts()),
 		epochs:       map[int64]*workerEpoch{},
@@ -78,7 +78,7 @@ func newWorker(sys *System, idx int) *Worker {
 	}
 }
 
-func workerID(idx int) string { return fmt.Sprintf("sf-worker-%d", idx) }
+func workerID(prefix string, idx int) string { return fmt.Sprintf("%sworker-%d", prefix, idx) }
 
 // epochFor returns (creating if needed) the execution state of an epoch.
 func (w *Worker) epochFor(epoch int64) *workerEpoch {
@@ -163,7 +163,13 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 	w.Breakdown.Add("splitting_instrumentation", costs.SplitOverhead)
 
 	ws := w.workspace(ep, m.TID)
-	out, err := w.sys.executor.Step(m.Ev, ws)
+	var out []*core.Event
+	var err error
+	if m.Ev.Kind == core.EvInvoke && m.Ev.Method == applyMethod {
+		out, err = w.applyGlobal(ws, m.Ev)
+	} else {
+		out, err = w.sys.executor.Step(m.Ev, ws)
+	}
 	ctx.Work(costs.ExecuteCPU)
 	w.Breakdown.Add("function_execution", costs.ExecuteCPU)
 	if err != nil {
@@ -187,6 +193,42 @@ func (w *Worker) onTxnEvent(ctx *sim.Context, m msgTxnEvent) {
 			ctx.Send(target, msgTxnEvent{TID: m.TID, Epoch: m.Epoch, Round: m.Round, Ev: ev}, lat)
 		}
 	}
+}
+
+// applyGlobal installs this partition's slice of a global batch's
+// write-set as blind writes into the transaction's workspace and chains
+// the remainder to the next owning worker — the same event-forwarding
+// shape a split method uses, so the apply commits through the unchanged
+// Aria machinery (single-member batch: the whole-row reservations cannot
+// conflict). The last worker in the chain emits the root response.
+func (w *Worker) applyGlobal(ws *aria.Workspace, ev *core.Event) ([]*core.Event, error) {
+	if len(ev.Args) < 2 || ev.Args[1].Kind != interp.KStr {
+		return nil, fmt.Errorf("malformed global apply %s", ev.Req)
+	}
+	entries, err := decodeWriteSet(ev.Args[1].S)
+	if err != nil {
+		return nil, err
+	}
+	var rest []writeSetEntry
+	for _, e := range entries {
+		if w.sys.ownerOf(e.Ref) == w.id {
+			ws.PutBlind(e.Ref, e.St)
+		} else {
+			rest = append(rest, e)
+		}
+	}
+	if len(rest) == 0 {
+		// End of the chain: answer with the batch id (Args[0]).
+		return []*core.Event{{Kind: core.EvResponse, Req: ev.Req, Value: ev.Args[0]}}, nil
+	}
+	return []*core.Event{{
+		Kind:   core.EvInvoke,
+		Req:    ev.Req,
+		Target: rest[0].Ref,
+		Method: applyMethod,
+		Args:   []interp.Value{ev.Args[0], interp.StrV(encodeWriteSet(rest))},
+		Hops:   ev.Hops + 1,
+	}}, nil
 }
 
 // onPrepare validates local reservations for the batch — or for one

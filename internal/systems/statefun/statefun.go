@@ -57,6 +57,12 @@ type Config struct {
 	// expired id can linger up to one extra window — erring toward
 	// suppression, never toward double execution. 0: keep forever.
 	DedupRetention time.Duration
+	// UncheckedIngressFloor disables the broker's per-source dedup floor
+	// (a test hook: regression tests re-introduce the pre-fix hole —
+	// a duplicate arriving after retention pruned its seen-entry was
+	// re-produced into the ingress topic and executed a second time —
+	// and assert the double execution the floor prevents).
+	UncheckedIngressFloor bool
 }
 
 // DefaultConfig mirrors the paper's balanced deployment.
@@ -348,7 +354,7 @@ func (b *broker) pruneSeen(now time.Duration) {
 			b.seenOrder = append(b.seenOrder, seenEntry{id: e.id, at: last})
 			continue
 		}
-		if src, seq, ok := sysapi.SplitID(e.id); ok {
+		if src, seq, ok := sysapi.SplitID(e.id); ok && !b.sys.cfg.UncheckedIngressFloor {
 			if b.floors == nil {
 				b.floors = map[string]int64{}
 			}

@@ -151,3 +151,73 @@ func TestBreakdownRecorded(t *testing.T) {
 		t.Fatalf("splitting share: %f", frac)
 	}
 }
+
+// TestIngressFloorAbsorbsPostPruneDuplicate pins the broker's per-source
+// dedup floor, the statefun-side port of the StateFlow coordinator's
+// dedupFloor (see stateflow's TestLateDuplicateAbsorbedAfterPruning).
+// Pre-fix, the ingress dedup set was the broker's ONLY duplicate
+// defense: once retention pruned a builder-minted id's seen-entry, a
+// very late wire duplicate of that id was re-produced into the ingress
+// topic and the update executed a second time. Post-fix, pruning a
+// builder id raises its source's floor, and any arrival at or below the
+// floor is absorbed (counted in LateDuplicates) instead of re-produced.
+// The UncheckedIngressFloor hook re-introduces the pre-fix hole and the
+// test asserts the double execution the floor prevents — proving the
+// floor is load-bearing, not incidental. (The broker models a durable
+// external log and is not crashable in the sim, so unlike the StateFlow
+// pin there is no reboot leg here.)
+func TestIngressFloorAbsorbsPostPruneDuplicate(t *testing.T) {
+	script := func() (first sysapi.Request, sched []sysapi.Scheduled) {
+		b := sysapi.NewBuilder("cl-")
+		first = b.Next(interp.EntityRef{Class: "Account", Key: acct(0)}, "update",
+			[]interp.Value{interp.IntV(10)}, "update")
+		probe := b.Next(interp.EntityRef{Class: "Account", Key: acct(0)}, "read", nil, "read")
+		return first, []sysapi.Scheduled{
+			{At: time.Millisecond, Req: first},
+			// A full retention window later: this arrival's prune pass
+			// retires first's seen-entry and (post-fix) records the floor.
+			{At: 40 * time.Second, Req: probe},
+			// The very late wire duplicate, well past the prune.
+			{At: 50 * time.Second, Req: first},
+		}
+	}
+
+	t.Run("floor", func(t *testing.T) {
+		first, sched := script()
+		fx := newFixture(t, 1, sched) // default config: retention 30s, floor on
+		fx.cluster.RunUntil(60 * time.Second)
+		src, seq, ok := sysapi.SplitID(first.Req)
+		if !ok {
+			t.Fatalf("%s did not split as a builder id", first.Req)
+		}
+		br := fx.sys.broker
+		if _, held := br.seen[first.Req]; held {
+			t.Fatalf("%s still in the dedup set; retention never pruned it, the test exercises nothing", first.Req)
+		}
+		if floor := br.floors[src]; floor < seq {
+			t.Fatalf("floor for %s is %d, want >= %d after the prune", src, floor, seq)
+		}
+		if br.LateDuplicates == 0 {
+			t.Fatal("late duplicate was not absorbed by the floor (LateDuplicates == 0)")
+		}
+		if got := balance(t, fx.sys, acct(0)); got != 110 {
+			t.Fatalf("balance %d, want 110 (the late duplicate re-executed)", got)
+		}
+	})
+
+	t.Run("unchecked", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.UncheckedIngressFloor = true // the pre-fix hole
+		first, sched := script()
+		fx := newFixtureCfg(t, cfg, 1, sched)
+		fx.cluster.RunUntil(60 * time.Second)
+		br := fx.sys.broker
+		if br.LateDuplicates != 0 {
+			t.Fatalf("LateDuplicates = %d with the floor disabled", br.LateDuplicates)
+		}
+		if got := balance(t, fx.sys, acct(0)); got != 120 {
+			t.Fatalf("balance %d, want 120 (pre-fix, the post-prune duplicate executes twice); "+
+				"first request id %s", got, first.Req)
+		}
+	})
+}

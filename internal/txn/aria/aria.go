@@ -264,6 +264,23 @@ func (ws *Workspace) Create(ref interp.EntityRef) (interp.State, error) {
 	return wsState{ws: ws, ref: ref, key: key}, nil
 }
 
+// PutBlind installs a complete entity image as a blind write: the whole
+// working row is replaced by st and Apply installs it wholesale, so the
+// reservation covers every slot. Sharded runtimes use this to replay a
+// globally-sequenced transaction's write-set into one shard without
+// re-executing the method there.
+func (ws *Workspace) PutBlind(ref interp.EntityRef, st interp.MapState) {
+	ws.RW.Write(ws.resKey(ref), AllBits)
+	row := interp.RowFromMap(ws.committed.Layouts().LayoutOf(ref.Class), st)
+	e, ok := ws.writes[ref]
+	if !ok {
+		e = &wsEntry{}
+		ws.writes[ref] = e
+	}
+	e.row = row
+	e.wroteBits |= EntityBit
+}
+
 // Apply installs the workspace's buffered writes into the committed
 // store. Whole-entity writes (creations, extra attributes) install the
 // working row; plain attribute writes merge slot-by-slot so lower-TID

@@ -1,0 +1,94 @@
+// Differential tests for the sharded multi-coordinator topology: the
+// same workload runs on the classic single-coordinator deployment and on
+// sharded deployments, and the outcomes must agree where the deployment
+// contract says they must.
+//
+// Two distinct claims are pinned here. First, Shards=1 is not a "small
+// sharded cluster" — it is the classic topology, byte-for-byte: the
+// config only changes the wiring when there is more than one shard, so a
+// 1-shard run reproduces today's single-coordinator transcripts exactly,
+// including the fault-sensitive trace (latencies, delivery counts,
+// virtual clock). Second, sharding is a throughput topology, not a
+// semantics change: with 2 or 4 shards the responses and the committed
+// state must be byte-identical to the unsharded run — routing a
+// transaction through the global sequencer or a shard-local epoch must
+// never change what commits or what clients observe.
+package stateflow_test
+
+import (
+	"testing"
+
+	"statefulentities.dev/stateflow"
+	"statefulentities.dev/stateflow/internal/chaos/oracle"
+)
+
+// TestShardedOneShardByteIdentical pins the deployment contract's strict
+// half: a Shards=1 config is byte-identical to one that never mentions
+// sharding — transcript, committed state, and the fault-sensitive trace.
+func TestShardedOneShardByteIdentical(t *testing.T) {
+	for _, w := range []oracle.Workload{oracle.Banking(), oracle.YCSB()} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				cfg := oracle.DefaultConfig()
+				ref, err := oracle.RunOnce(w, stateflow.BackendStateFlow, seed, nil, cfg)
+				if err != nil {
+					t.Fatalf("seed %d unsharded: %v", seed, err)
+				}
+				cfg.Shards = 1
+				one, err := oracle.RunOnce(w, stateflow.BackendStateFlow, seed, nil, cfg)
+				if err != nil {
+					t.Fatalf("seed %d shards=1: %v", seed, err)
+				}
+				if one.Transcript != ref.Transcript {
+					t.Fatalf("seed %d: transcripts diverge:\n--- unsharded ---\n%s--- shards=1 ---\n%s",
+						seed, ref.Transcript, one.Transcript)
+				}
+				if one.StateDigest != ref.StateDigest {
+					t.Fatalf("seed %d: committed state diverges:\n--- unsharded ---\n%s--- shards=1 ---\n%s",
+						seed, ref.StateDigest, one.StateDigest)
+				}
+				if one.Trace != ref.Trace {
+					t.Fatalf("seed %d: traces diverge (shards=1 is not the classic wiring):\n--- unsharded ---\n%s--- shards=1 ---\n%s",
+						seed, ref.Trace, one.Trace)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDifferentialOracleWorkloads pins the semantic half: 2- and
+// 4-shard deployments must produce the same responses and byte-identical
+// committed state as the unsharded run. The oracle workloads are
+// order-insensitive under the concurrency the driver applies, so any
+// divergence is a lost, duplicated, or misrouted effect in the sharded
+// commit path.
+func TestShardedDifferentialOracleWorkloads(t *testing.T) {
+	for _, w := range []oracle.Workload{oracle.Banking(), oracle.YCSB()} {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 2; seed++ {
+				cfg := oracle.DefaultConfig()
+				ref, err := oracle.RunOnce(w, stateflow.BackendStateFlow, seed, nil, cfg)
+				if err != nil {
+					t.Fatalf("seed %d unsharded: %v", seed, err)
+				}
+				for _, shards := range []int{2, 4} {
+					cfg.Shards = shards
+					got, err := oracle.RunOnce(w, stateflow.BackendStateFlow, seed, nil, cfg)
+					if err != nil {
+						t.Fatalf("seed %d shards=%d: %v", seed, shards, err)
+					}
+					if got.Transcript != ref.Transcript {
+						t.Fatalf("seed %d shards=%d: transcripts diverge:\n--- unsharded ---\n%s--- sharded ---\n%s",
+							seed, shards, ref.Transcript, got.Transcript)
+					}
+					if got.StateDigest != ref.StateDigest {
+						t.Fatalf("seed %d shards=%d: committed state diverges:\n--- unsharded ---\n%s--- sharded ---\n%s",
+							seed, shards, ref.StateDigest, got.StateDigest)
+					}
+				}
+			}
+		})
+	}
+}

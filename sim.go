@@ -36,6 +36,13 @@ type SimConfig struct {
 	SnapshotEvery int
 	// Seed makes the simulation deterministic (default 1).
 	Seed int64
+	// Shards partitions the entity space across this many independent
+	// coordinator+worker groups, fronted by a thin global sequencing
+	// layer: single-shard transactions go straight to their shard,
+	// cross-shard transactions order through fenced global batches. 0 or
+	// 1 deploys the classic single-coordinator topology — byte-identical
+	// to a deployment without this field. StateFlow backend only.
+	Shards int
 	// MapFallback disables the slotted execution fast path, forcing
 	// name-keyed variable and attribute resolution. Differential tests
 	// run both modes and assert identical results and committed state.
@@ -96,6 +103,7 @@ type Simulation struct {
 	Cluster *sim.Cluster
 	kind    Backend
 	sf      *sfsys.System
+	sfSh    *sfsys.ShardedSystem
 	sfu     *statefun.System
 	// sys is the deployed runtime behind one facade: all dispatch that
 	// used to branch on the backend goes through it.
@@ -194,8 +202,16 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 		c.TraceCommits = cfg.TraceCommits
 		c.UncheckedFallbackDrift = cfg.UncheckedFallbackDrift
 		c.UncheckedReplayOrder = cfg.UncheckedReplayOrder
-		s.sf = sfsys.New(cluster, prog, c)
-		s.sys = s.sf
+		if cfg.Shards > 1 {
+			s.sfSh = sfsys.NewSharded(cluster, prog, cfg.Shards, c)
+			s.sys = s.sfSh
+		} else {
+			// Shards <= 1 takes the exact single-coordinator construction
+			// path, so an unsharded config stays byte-identical to every
+			// pre-sharding transcript.
+			s.sf = sfsys.New(cluster, prog, c)
+			s.sys = s.sf
+		}
 	case BackendStateFun:
 		c := statefun.DefaultConfig()
 		if cfg.Workers > 0 {
@@ -223,8 +239,12 @@ func (s *Simulation) Client() Client { return s.api }
 func (s *Simulation) Backend() Backend { return s.kind }
 
 // StateFlow returns the underlying StateFlow system (nil for the baseline
-// backend).
+// backend and for sharded deployments — see Sharded).
 func (s *Simulation) StateFlow() *sfsys.System { return s.sf }
+
+// Sharded returns the underlying sharded StateFlow deployment (nil unless
+// SimConfig.Shards > 1 on the StateFlow backend).
+func (s *Simulation) Sharded() *sfsys.ShardedSystem { return s.sfSh }
 
 // StateFun returns the underlying baseline system (nil for StateFlow).
 func (s *Simulation) StateFun() *statefun.System { return s.sfu }
@@ -254,6 +274,9 @@ func (s *Simulation) ensureStarted() {
 	if !s.started {
 		if s.sf != nil {
 			s.sf.CheckpointPreloadedState()
+		}
+		if s.sfSh != nil {
+			s.sfSh.CheckpointPreloadedState()
 		}
 		s.Cluster.Start()
 		s.started = true
