@@ -214,6 +214,12 @@ type LiveConfig struct {
 	// compaction: a retry arriving after the window re-executes instead
 	// of replaying. Zero keeps every outcome forever.
 	JournalRetention time.Duration
+	// MetricsAddr, when non-empty, serves the runtime's metric registry
+	// over HTTP on this address: Prometheus text exposition on /metrics,
+	// expvar JSON on /debug/vars. ":0" picks a free port — read it back
+	// with Live.MetricsAddr. The registry (Live.Metrics) is always live;
+	// this only adds the HTTP listener.
+	MetricsAddr string
 }
 
 // NewLive starts a Live runtime for a compiled program. Close it when
@@ -233,6 +239,7 @@ func OpenLive(prog *Program, cfg LiveConfig) (*Live, error) {
 	return live.Open(prog, live.Config{
 		Workers: cfg.Workers, MailboxDepth: cfg.MailboxDepth, JournalPath: cfg.JournalPath,
 		JournalCheckpointEvery: cfg.JournalCheckpointEvery, JournalRetention: cfg.JournalRetention,
+		MetricsAddr: cfg.MetricsAddr,
 	})
 }
 

@@ -45,6 +45,7 @@ import (
 	"statefulentities.dev/stateflow/internal/chaos/oracle"
 	adversarial "statefulentities.dev/stateflow/internal/chaos/workload"
 	"statefulentities.dev/stateflow/internal/metrics"
+	"statefulentities.dev/stateflow/internal/obs"
 	"statefulentities.dev/stateflow/internal/sim"
 	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
 	"statefulentities.dev/stateflow/internal/systems/statefun"
@@ -71,6 +72,8 @@ func main() {
 		"run an adversarial order-sensitive workload under the linearizability checker instead of YCSB: hotkey | datadep | chain | xshard. The workload, the fault plan and the verdict all derive from -seed; honors -backend (stateflow or statefun), -no-fallback, -no-pipelining and -shards")
 	shards := flag.Int("shards", 1,
 		"deploy the StateFlow backend as this many sharded coordinator groups behind a global sequencer (1: the classic single-coordinator topology)")
+	tracePath := flag.String("trace", "",
+		"write the run's transaction phase spans to this file as Chrome trace-event JSON (open in Perfetto or chrome://tracing; simulated stateflow backend only)")
 	flag.Parse()
 
 	if *linProfile != "" {
@@ -104,7 +107,7 @@ func main() {
 		runClient("live runtime (8 workers)", stateflow.NewLiveClient(prog, stateflow.LiveConfig{Workers: 8}),
 			16, wgen, *records, *rate, *duration)
 	case "stateflow", "statefun":
-		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch, *noFallback, *noPipelining, *shards)
+		runSim(*backend, prog, wgen, *records, *rate, *duration, *seed, *chaosSeed, *maxBatch, *noFallback, *noPipelining, *shards, *tracePath)
 	default:
 		fmt.Fprintf(os.Stderr, "stateflow-run: unknown backend %q\n", *backend)
 		os.Exit(2)
@@ -125,7 +128,7 @@ func runClient(label string, c stateflow.Client, clients int, wgen *ycsb.Generat
 	}
 	total := int(rate * duration.Seconds())
 	var mu sync.Mutex
-	lat := metrics.NewSeries()
+	lat := metrics.NewBoundedSeries(sysapi.LatencyReservoir)
 	errs := 0
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -177,8 +180,17 @@ func min(a, b int) int {
 // runSim executes the workload on a simulated distributed deployment with
 // an open-loop generator (arrivals do not wait for responses), optionally
 // under a seeded fault plan.
-func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int, noFallback, noPipelining bool, shards int) {
+func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, records int, rate float64, duration time.Duration, seed, chaosSeed int64, maxBatch int, noFallback, noPipelining bool, shards int, tracePath string) {
+	var tracer *obs.Tracer
+	if tracePath != "" {
+		if backend != "stateflow" {
+			check(fmt.Errorf("-trace needs the stateflow backend (tracing instruments the transactional protocol), got %q", backend))
+		}
+		tracer = obs.NewTracer()
+	}
 	cluster := sim.New(seed)
+	flight := obs.NewFlightRecorder(0)
+	cluster.SetFlightRecorder(flight)
 	var sys sysapi.Backend
 	var sf *sfsys.System
 	var sh *sfsys.ShardedSystem
@@ -187,6 +199,8 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 		cfg.MaxBatch = maxBatch
 		cfg.DisableFallback = noFallback
 		cfg.DisablePipelining = noPipelining
+		cfg.Tracer = tracer
+		cfg.Flight = flight
 		if chaosSeed != 0 {
 			cfg.SnapshotEvery = 20 // give recovery real snapshots to roll back to
 		}
@@ -253,6 +267,13 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 			fmt.Printf("  shard %d: %d committed, %d aborted, %d epochs, %d recoveries (%d reboots), %d fences, %d applies\n",
 				i, c.Commits, c.Aborts, c.EpochsClosed, c.Recoveries, c.Restarts, c.GlobalFences, c.GlobalApplies)
 		}
+	}
+	if tracer != nil {
+		f, err := os.Create(tracePath)
+		check(err)
+		check(tracer.WriteJSON(f))
+		check(f.Close())
+		fmt.Printf("trace: %d events written to %s (open in Perfetto or chrome://tracing)\n", tracer.Len(), tracePath)
 	}
 	if eng != nil {
 		st := eng.Stats()

@@ -55,9 +55,10 @@ func runStateFlowPoint(cfg stateflow.Config, mix ycsb.Mix, dist string, rate flo
 	cluster.Add("client", gen)
 	cluster.Start()
 	cluster.RunUntil(opt.Duration + 10*time.Second)
+	st := gen.Latency.Stats()
 	return AblationRow{
-		P50:     gen.Latency.Percentile(50),
-		P99:     gen.Latency.Percentile(99),
+		P50:     st.P50,
+		P99:     st.P99,
 		Aborts:  sys.Coordinator().Aborts,
 		Commits: sys.Coordinator().Commits,
 		Errors:  gen.Errors,

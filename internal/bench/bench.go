@@ -116,10 +116,10 @@ func runOne(system string, mix ycsb.Mix, dist string, rate float64, opt Options)
 	cluster.Start()
 	cluster.RunUntil(opt.Duration + 10*time.Second) // grace to drain
 
+	st := gen.Latency.Stats()
 	pt := RunPoint{
 		System: system, Workload: mix.Name, Dist: dist, RateRPS: rate,
-		Mean: gen.Latency.Mean(), P50: gen.Latency.Percentile(50),
-		P99: gen.Latency.Percentile(99), Samples: gen.Latency.Count(),
+		Mean: st.Mean, P50: st.P50, P99: st.P99, Samples: int(st.Count),
 		Errors: gen.Errors, Done: gen.Done,
 	}
 	if sfSys != nil {

@@ -133,14 +133,15 @@ func RunContention(opt Options) ([]ContentionRow, error) {
 			return nil, fmt.Errorf("contention (%s): %d/%d responses", tc.name, client.Done, total)
 		}
 		coord := sys.Coordinator()
+		lat := client.Latency.Stats()
 		row := ContentionRow{
 			Name:           tc.name,
 			Commits:        coord.Commits,
 			Batches:        coord.EpochsClosed,
 			Retried:        coord.Aborts,
 			FallbackRounds: coord.FallbackRounds,
-			VirtualP50Ms:   float64(client.Latency.Percentile(50)) / float64(time.Millisecond),
-			VirtualP99Ms:   float64(client.Latency.Percentile(99)) / float64(time.Millisecond),
+			VirtualP50Ms:   lat.P50Ms(),
+			VirtualP99Ms:   lat.P99Ms(),
 			WallMs:         float64(wall) / float64(time.Millisecond),
 		}
 		for _, r := range client.Responses {

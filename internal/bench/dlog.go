@@ -92,10 +92,11 @@ func RunDlog(opt Options) ([]DlogRow, error) {
 		wall := time.Since(start)
 
 		commits := sys.Coordinator().Commits
+		lat := gen.Latency.Stats()
 		row := DlogRow{
 			Name:         tc.name,
-			VirtualP50Ms: float64(gen.Latency.Percentile(50)) / float64(time.Millisecond),
-			VirtualP99Ms: float64(gen.Latency.Percentile(99)) / float64(time.Millisecond),
+			VirtualP50Ms: lat.P50Ms(),
+			VirtualP99Ms: lat.P99Ms(),
 			Commits:      commits,
 			WallMs:       float64(wall) / float64(time.Millisecond),
 		}

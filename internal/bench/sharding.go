@@ -158,13 +158,14 @@ func runShardingPoint(opt Options, shards int) (ShardingRow, error) {
 	}
 
 	makespan := cluster.Now() - time.Millisecond // first arrival at 1ms
+	lat := client.Latency.Stats()
 	row := ShardingRow{
 		Name:              fmt.Sprintf("sharding/shards=%d", shards),
 		Shards:            shards,
 		TxnPerVirtualSec:  float64(total) / makespan.Seconds(),
 		VirtualMakespanMs: float64(makespan) / float64(time.Millisecond),
-		VirtualP50Ms:      float64(client.Latency.Percentile(50)) / float64(time.Millisecond),
-		VirtualP99Ms:      float64(client.Latency.Percentile(99)) / float64(time.Millisecond),
+		VirtualP50Ms:      lat.P50Ms(),
+		VirtualP99Ms:      lat.P99Ms(),
 		SingleShard:       sys.Sequencer().SingleShard,
 		GlobalTxns:        sys.Sequencer().GlobalTxns,
 		GlobalBatches:     sys.Sequencer().GlobalBatches,

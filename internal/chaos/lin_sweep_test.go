@@ -35,6 +35,7 @@ var stateflowCommits = []struct {
 func TestAdversarialLinSweep(t *testing.T) {
 	base := oracle.DefaultConfig()
 	base.Shards = sweepShards()
+	base.Traced = sweepTraced()
 	for _, p := range workload.Profiles {
 		p := p
 		for _, combo := range stateflowCommits {

@@ -54,6 +54,9 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 		UncheckedReplayOrder:   cfg.UncheckedReplayOrder,
 		Shards:                 cfg.Shards,
 	}
+	if cfg.Traced {
+		simCfg.Tracer = stateflow.NewTracer()
+	}
 	var sim *stateflow.Simulation
 	if plan != nil {
 		sim = stateflow.NewSimulation(prog, simCfg, stateflow.WithChaos(*plan))
@@ -173,7 +176,7 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 		}
 	}
 	if lost > 0 {
-		return nil, Run{}, fmt.Errorf("%s on %s: %d/%d requests lost (no response within %s of virtual time):\n%s",
+		return nil, Run{Flight: sim.FlightRecorder().Dump()}, fmt.Errorf("%s on %s: %d/%d requests lost (no response within %s of virtual time):\n%s",
 			spec.Profile, backend, lost, len(h.Invokes), cfg.Timeout, trace.String())
 	}
 
@@ -194,7 +197,7 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 	// for a resend (client retries + injected request duplicates).
 	deliveries := sim.ResponseDeliveries()
 	if len(deliveries) != len(h.Invokes) {
-		return nil, Run{}, fmt.Errorf("%s on %s: %d raw-delivery records for %d ops",
+		return nil, Run{Flight: sim.FlightRecorder().Dump()}, fmt.Errorf("%s on %s: %d raw-delivery records for %d ops",
 			spec.Profile, backend, len(deliveries), len(h.Invokes))
 	}
 	stats := sim.ChaosStats()
@@ -214,7 +217,7 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 		}
 	}
 	if bad > 0 {
-		return nil, Run{}, fmt.Errorf("%s on %s: %d requests violate the exactly-once delivery accounting:\n%s",
+		return nil, Run{Flight: sim.FlightRecorder().Dump()}, fmt.Errorf("%s on %s: %d requests violate the exactly-once delivery accounting:\n%s",
 			spec.Profile, backend, bad, trace.String())
 	}
 
@@ -240,7 +243,7 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 		}
 	}
 
-	run := Run{Stats: stats, Trace: trace.String()}
+	run := Run{Stats: stats, Trace: trace.String(), Flight: sim.FlightRecorder().Dump()}
 	if sf := sim.StateFlow(); sf != nil {
 		run.Recoveries = sf.Coordinator().Recoveries
 		run.CoordRestarts = sf.Coordinator().Restarts
@@ -287,13 +290,13 @@ func VerifyAdversarial(p workload.Profile, backend stateflow.Backend, seed int64
 	}
 	h, got, err := RunAdversarial(spec, backend, seed, &plan, cfg)
 	if err != nil {
-		return got, fail("chaos run failed: %v", err)
+		return got, withFlight(fail("chaos run failed: %v", err), got.Flight)
 	}
 	if err := lin.Check(h, spec.Conservation()); err != nil {
-		return got, fail("chaos history rejected: %v", err)
+		return got, withFlight(fail("chaos history rejected: %v", err), got.Flight)
 	}
 	if backend == stateflow.BackendStateFlow && got.CoordRestarts == 0 {
-		return got, fail("chaos run survived no coordinator reboot (restarts=0); the plan scheduled one, so the restart path went unexercised")
+		return got, withFlight(fail("chaos run survived no coordinator reboot (restarts=0); the plan scheduled one, so the restart path went unexercised"), got.Flight)
 	}
 	if backend == stateflow.BackendStateFlow && cfg.Shards > 1 {
 		// On a sharded deployment the coordinator role spans the shard
@@ -302,7 +305,7 @@ func VerifyAdversarial(p workload.Profile, backend stateflow.Backend, seed int64
 		// traffic actually crossed shards: a sweep whose every op stayed
 		// shard-local would validate the fast path and nothing else.
 		if got.GlobalTxns == 0 {
-			return got, fail("chaos run routed no transaction through the global sequencer (shards=%d); the cross-shard commit path went unexercised", cfg.Shards)
+			return got, withFlight(fail("chaos run routed no transaction through the global sequencer (shards=%d); the cross-shard commit path went unexercised", cfg.Shards), got.Flight)
 		}
 	}
 	return got, nil

@@ -121,6 +121,11 @@ type Run struct {
 	// workload actually exercised cross-shard histories rather than
 	// degenerating into per-shard traffic.
 	GlobalTxns int
+	// Flight is the cluster's flight-recorder dump (crashes, reboots,
+	// epoch advances, fences, replay decisions in virtual-time order).
+	// Verify appends it to failure reports so a failing seed arrives
+	// with its timeline attached.
+	Flight string
 }
 
 // Config tunes oracle runs.
@@ -152,6 +157,10 @@ type Config struct {
 	// groups behind a global sequencer (0 or 1 keeps the classic
 	// single-coordinator topology). Other backends ignore it.
 	Shards int
+	// Traced attaches a transaction tracer to every run. Tracing is
+	// deterministically inert, so a traced sweep must pass exactly as an
+	// untraced one — CI runs a short traced sweep as the inertness pin.
+	Traced bool
 }
 
 // DefaultConfig returns the sweep configuration.
@@ -179,6 +188,9 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		DisableFallback:   cfg.DisableFallback,
 		DisablePipelining: cfg.DisablePipelining,
 		Shards:            cfg.Shards,
+	}
+	if cfg.Traced {
+		simCfg.Tracer = stateflow.NewTracer()
 	}
 	var sim *stateflow.Simulation
 	if plan != nil {
@@ -224,7 +236,7 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		}
 	}
 	if lost > 0 {
-		return Run{Transcript: transcript.String()},
+		return Run{Transcript: transcript.String(), Flight: sim.FlightRecorder().Dump()},
 			fmt.Errorf("%s on %s: %d/%d requests lost (no response within %s of virtual time)",
 				w.Name, backend, lost, len(ops), cfg.Timeout)
 	}
@@ -255,8 +267,9 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 	// deliveries == 1 + injected duplicates.
 	deliveries := sim.ResponseDeliveries()
 	if len(deliveries) != len(ops) {
-		return Run{}, fmt.Errorf("%s on %s: %d raw-delivery records for %d ops",
-			w.Name, backend, len(deliveries), len(ops))
+		return Run{Flight: sim.FlightRecorder().Dump()},
+			fmt.Errorf("%s on %s: %d raw-delivery records for %d ops",
+				w.Name, backend, len(deliveries), len(ops))
 	}
 	stats := sim.ChaosStats()
 	retries := sim.ClientRetries()
@@ -277,14 +290,16 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		}
 	}
 	if bad > 0 {
-		return Run{}, fmt.Errorf("%s on %s: %d requests violate the exactly-once delivery accounting (unsolicited duplicates or unexplained losses):\n%s",
-			w.Name, backend, bad, trace.String())
+		return Run{Flight: sim.FlightRecorder().Dump()},
+			fmt.Errorf("%s on %s: %d requests violate the exactly-once delivery accounting (unsolicited duplicates or unexplained losses):\n%s",
+				w.Name, backend, bad, trace.String())
 	}
 
 	run := Run{
 		Transcript:  transcript.String(),
 		StateDigest: stateDigest(admin, w.Classes),
 		Stats:       stats,
+		Flight:      sim.FlightRecorder().Dump(),
 	}
 	if sf := sim.StateFlow(); sf != nil {
 		run.Recoveries = sf.Coordinator().Recoveries
@@ -356,15 +371,26 @@ func Verify(w Workload, backend stateflow.Backend, seed int64, cfg Config) (Run,
 	}
 	got, err := RunOnce(w, backend, seed, &plan, cfg)
 	if err != nil {
-		return got, fail("chaos run failed: %v", err)
+		return got, withFlight(fail("chaos run failed: %v", err), got.Flight)
 	}
 	if got.Transcript != ref.Transcript {
-		return got, fail("response transcripts diverge:\n--- reference ---\n%s--- chaos ---\n%s",
-			ref.Transcript, got.Transcript)
+		return got, withFlight(fail("response transcripts diverge:\n--- reference ---\n%s--- chaos ---\n%s",
+			ref.Transcript, got.Transcript), got.Flight)
 	}
 	if got.StateDigest != ref.StateDigest {
-		return got, fail("committed state diverges:\n--- reference ---\n%s--- chaos ---\n%s",
-			ref.StateDigest, got.StateDigest)
+		return got, withFlight(fail("committed state diverges:\n--- reference ---\n%s--- chaos ---\n%s",
+			ref.StateDigest, got.StateDigest), got.Flight)
 	}
 	return got, nil
+}
+
+// withFlight appends the chaos run's flight-recorder dump to a failure:
+// the report then carries the cluster timeline (crashes, reboots, epoch
+// advances, fences, replay decisions) next to the seed and plan that
+// reproduce it.
+func withFlight(err error, flight string) error {
+	if flight == "" {
+		return err
+	}
+	return fmt.Errorf("%w\n%s", err, flight)
 }

@@ -10,94 +10,64 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"statefulentities.dev/stateflow/internal/obs"
 )
 
-// Series collects duration samples and answers percentile queries.
+// Series collects duration samples and answers percentile queries. It
+// is a thin veneer over obs.Histogram — the repo's one quantile
+// implementation — kept for its established API. By default every
+// sample is retained (exact percentiles); Bound switches to a
+// fixed-capacity reservoir for unbounded runs such as the nightly
+// 100-seed sweeps, where count/mean/min/max stay exact and percentiles
+// become estimates.
 type Series struct {
-	samples []time.Duration
-	sorted  bool
+	h obs.Histogram
 }
 
-// NewSeries returns an empty series.
+// NewSeries returns an empty exact-mode series.
 func NewSeries() *Series { return &Series{} }
 
+// NewBoundedSeries returns a series retaining at most capacity samples
+// (reservoir mode).
+func NewBoundedSeries(capacity int) *Series {
+	s := &Series{}
+	s.h.Bound(capacity)
+	return s
+}
+
+// Bound switches the series to reservoir mode with the given capacity.
+func (s *Series) Bound(capacity int) { s.h.Bound(capacity) }
+
+// Hist exposes the underlying histogram, e.g. to register the series
+// under a name in an obs.Registry.
+func (s *Series) Hist() *obs.Histogram { return &s.h }
+
 // Add records one sample.
-func (s *Series) Add(d time.Duration) {
-	s.samples = append(s.samples, d)
-	s.sorted = false
-}
+func (s *Series) Add(d time.Duration) { s.h.Observe(d) }
 
-// Count returns the number of samples.
-func (s *Series) Count() int { return len(s.samples) }
-
-func (s *Series) sortOnce() {
-	if !s.sorted {
-		sort.Slice(s.samples, func(i, j int) bool { return s.samples[i] < s.samples[j] })
-		s.sorted = true
-	}
-}
+// Count returns the number of recorded samples.
+func (s *Series) Count() int { return int(s.h.Count()) }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using
 // nearest-rank. It returns 0 for an empty series.
-func (s *Series) Percentile(p float64) time.Duration {
-	if len(s.samples) == 0 {
-		return 0
-	}
-	s.sortOnce()
-	if p <= 0 {
-		return s.samples[0]
-	}
-	if p >= 100 {
-		return s.samples[len(s.samples)-1]
-	}
-	rank := int(p/100*float64(len(s.samples))+0.9999999) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(s.samples) {
-		rank = len(s.samples) - 1
-	}
-	return s.samples[rank]
-}
+func (s *Series) Percentile(p float64) time.Duration { return s.h.Percentile(p) }
 
 // Mean returns the arithmetic mean.
-func (s *Series) Mean() time.Duration {
-	if len(s.samples) == 0 {
-		return 0
-	}
-	var total time.Duration
-	for _, d := range s.samples {
-		total += d
-	}
-	return total / time.Duration(len(s.samples))
-}
+func (s *Series) Mean() time.Duration { return s.h.Mean() }
 
 // Min returns the smallest sample.
-func (s *Series) Min() time.Duration {
-	if len(s.samples) == 0 {
-		return 0
-	}
-	s.sortOnce()
-	return s.samples[0]
-}
+func (s *Series) Min() time.Duration { return s.h.Min() }
 
 // Max returns the largest sample.
-func (s *Series) Max() time.Duration {
-	if len(s.samples) == 0 {
-		return 0
-	}
-	s.sortOnce()
-	return s.samples[len(s.samples)-1]
-}
+func (s *Series) Max() time.Duration { return s.h.Max() }
+
+// Stats reads the count/mean/min/max/p50/p99 summary in one consistent
+// view — the shared row shape of the benchmark tables and artifacts.
+func (s *Series) Stats() obs.HistSnapshot { return s.h.Snapshot() }
 
 // Summary renders count/mean/p50/p99/max in one line.
-func (s *Series) Summary() string {
-	return fmt.Sprintf("n=%d mean=%s p50=%s p99=%s max=%s",
-		s.Count(), s.Mean().Round(time.Microsecond),
-		s.Percentile(50).Round(time.Microsecond),
-		s.Percentile(99).Round(time.Microsecond),
-		s.Max().Round(time.Microsecond))
-}
+func (s *Series) Summary() string { return s.Stats().String() }
 
 // Breakdown accumulates time attributed to named runtime components (the
 // §4 overhead experiment). Attribution keys are free-form; the StateFlow

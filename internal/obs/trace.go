@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// SpanContext is the trace identity minted alongside a request id in
+// sysapi.Builder and carried on the protocol messages: every span a
+// runtime closes out for the request (ingress queueing, execution,
+// validation, fallback rounds, group-commit fsync wait, fence wait) is
+// tagged with it, so one transaction's phases line up as one story in
+// the trace viewer. The id is derived purely from the request id — no
+// randomness — so traces are byte-identical across same-seed runs.
+type SpanContext struct {
+	// ID is the trace id (the request id of the root invocation).
+	ID string
+}
+
+// traceEvent is one recorded trace event in the Chrome trace-event
+// model: a complete span (ph 'X') or an instant (ph 'i').
+type traceEvent struct {
+	name string
+	cat  string
+	ph   byte
+	lane int
+	ts   time.Duration
+	dur  time.Duration
+	args []string // alternating key, value
+}
+
+// Tracer records spans and instants and serializes them as Chrome
+// trace-event JSON (chrome://tracing, Perfetto). Timestamps are
+// durations from an epoch the caller defines: virtual time under the
+// simulator, wall time since runtime start under Live. A nil *Tracer
+// accepts every call as a no-op, so instrumentation sites never branch
+// on whether tracing is enabled.
+//
+// Events are kept in recording order and lanes are numbered in
+// first-seen order; with a deterministic caller (the simulator) the
+// serialized trace is byte-identical across runs of the same seed.
+type Tracer struct {
+	mu     sync.Mutex
+	lanes  map[string]int
+	order  []string
+	events []traceEvent
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{lanes: map[string]int{}} }
+
+// Enabled reports whether the tracer records (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// laneLocked interns a lane name ("sf-coord", "sf-seq", "worker-2") to
+// a stable thread id.
+func (t *Tracer) laneLocked(name string) int {
+	id, ok := t.lanes[name]
+	if !ok {
+		id = len(t.order) + 1
+		t.lanes[name] = id
+		t.order = append(t.order, name)
+	}
+	return id
+}
+
+// Span records one completed phase [start, end) on a lane. Args are
+// alternating key/value strings (e.g. "trace", ctx.ID, "epoch", "42").
+func (t *Tracer) Span(lane, cat, name string, start, end time.Duration, args ...string) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		end = start
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'X', lane: t.laneLocked(lane),
+		ts: start, dur: end - start, args: args,
+	})
+}
+
+// Instant records a point event on a lane.
+func (t *Tracer) Instant(lane, cat, name string, at time.Duration, args ...string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, traceEvent{
+		name: name, cat: cat, ph: 'i', lane: t.laneLocked(lane), ts: at, args: args,
+	})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// SpanNames returns the distinct recorded span/instant names (sorted) —
+// the coverage surface tests assert against.
+func (t *Tracer) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := map[string]bool{}
+	for _, e := range t.events {
+		seen[e.name] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// micros renders a duration as a microsecond timestamp with nanosecond
+// precision (Chrome trace timestamps are fractional microseconds).
+func micros(d time.Duration) string {
+	us := d / time.Microsecond
+	ns := d % time.Microsecond
+	if ns == 0 {
+		return strconv.FormatInt(int64(us), 10)
+	}
+	return fmt.Sprintf("%d.%03d", us, ns)
+}
+
+// WriteJSON serializes the trace in the Chrome trace-event format:
+// open the output in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// The writer is hand-rolled and walks events in recording order with
+// lane metadata first, so the bytes are a pure function of the recorded
+// events — the trace-determinism tests compare outputs bytewise.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, "{\"traceEvents\":[]}\n")
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, err := io.WriteString(w, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(s string) error {
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err := io.WriteString(w, s)
+		return err
+	}
+	// Lane metadata: one process, one named thread per lane.
+	for i, lane := range t.order {
+		ev := fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":%s}}`,
+			i+1, strconv.Quote(lane))
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	for _, e := range t.events {
+		var b []byte
+		b = append(b, `{"name":`...)
+		b = strconv.AppendQuote(b, e.name)
+		b = append(b, `,"cat":`...)
+		b = strconv.AppendQuote(b, e.cat)
+		b = append(b, `,"ph":"`...)
+		b = append(b, e.ph)
+		b = append(b, `","pid":1,"tid":`...)
+		b = strconv.AppendInt(b, int64(e.lane), 10)
+		b = append(b, `,"ts":`...)
+		b = append(b, micros(e.ts)...)
+		if e.ph == 'X' {
+			b = append(b, `,"dur":`...)
+			b = append(b, micros(e.dur)...)
+		}
+		if e.ph == 'i' {
+			b = append(b, `,"s":"t"`...)
+		}
+		if len(e.args) >= 2 {
+			b = append(b, `,"args":{`...)
+			for i := 0; i+1 < len(e.args); i += 2 {
+				if i > 0 {
+					b = append(b, ',')
+				}
+				b = strconv.AppendQuote(b, e.args[i])
+				b = append(b, ':')
+				b = strconv.AppendQuote(b, e.args[i+1])
+			}
+			b = append(b, '}')
+		}
+		b = append(b, '}')
+		if err := emit(string(b)); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

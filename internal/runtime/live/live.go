@@ -21,8 +21,11 @@ package live
 import (
 	"context"
 	"errors"
+	"expvar"
 	"fmt"
 	"hash/fnv"
+	"net"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +35,7 @@ import (
 	"statefulentities.dev/stateflow/internal/dlog"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/obs"
 	"statefulentities.dev/stateflow/internal/state"
 )
 
@@ -67,6 +71,13 @@ type Config struct {
 	// floor contract the simulated egress keeps). Zero keeps every
 	// outcome forever.
 	JournalRetention time.Duration
+	// MetricsAddr, when non-empty, serves the runtime's metric registry
+	// over HTTP on this address: Prometheus text exposition on /metrics,
+	// the standard expvar JSON on /debug/vars. ":0" picks a free port —
+	// read the bound address back with Runtime.MetricsAddr. The registry
+	// itself is always live (see Runtime.Metrics); the address only adds
+	// the HTTP listener.
+	MetricsAddr string
 }
 
 // journalResponse is the journal's record kind (dlog reserves kind 0).
@@ -102,6 +113,15 @@ type Runtime struct {
 	// no channel is ever closed while sends race it.
 	quit chan struct{}
 	wg   sync.WaitGroup
+	// metrics is the runtime's registry (always built; the HTTP listener
+	// below is optional). submits and replays are native counters on the
+	// submission hot path; everything else reads through to existing
+	// atomics at exposition time.
+	metrics   *obs.Registry
+	submits   *obs.Counter
+	replays   *obs.Counter
+	metricsLn net.Listener
+	metricsWg sync.WaitGroup
 }
 
 type result struct {
@@ -274,7 +294,69 @@ func Open(prog *ir.Program, cfg Config) (*Runtime, error) {
 		rt.wg.Add(1)
 		go w.run()
 	}
+	rt.registerMetrics()
+	if cfg.MetricsAddr != "" {
+		if err := rt.serveMetrics(cfg.MetricsAddr); err != nil {
+			rt.Close()
+			return nil, err
+		}
+	}
 	return rt, nil
+}
+
+// registerMetrics builds the runtime's registry: native counters for the
+// submission path, read-through funcs over the atomics the runtime
+// already keeps. All reads are lock-free, so exposition never contends
+// with workers.
+func (rt *Runtime) registerMetrics() {
+	reg := obs.NewRegistry()
+	rt.metrics = reg
+	rt.submits = reg.Counter("live.submits")
+	rt.replays = reg.Counter("live.journal.replays")
+	reg.Func("live.workers", func() int64 { return int64(len(rt.workers)) })
+	reg.Func("live.processed", rt.Processed)
+	reg.Func("live.journal.errors", rt.journalErrs.Load)
+	if rt.journal != nil {
+		jl := rt.journal
+		reg.Func("live.journal.appends", func() int64 { return int64(jl.Stats().Appends) })
+		reg.Func("live.journal.appended_bytes", func() int64 { return int64(jl.Stats().AppendedBytes) })
+		reg.Func("live.journal.syncs", func() int64 { return int64(jl.Stats().Syncs) })
+		reg.Func("live.journal.checkpoints", func() int64 { return int64(jl.Stats().Checkpoints) })
+	}
+}
+
+// serveMetrics binds the metrics listener and serves /metrics (Prometheus
+// text) and /debug/vars (expvar) until Close.
+func (rt *Runtime) serveMetrics(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("live: metrics listener on %s: %w", addr, err)
+	}
+	rt.metricsLn = ln
+	rt.metrics.PublishExpvar("stateflow.live")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", rt.metrics.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	rt.metricsWg.Add(1)
+	go func() {
+		defer rt.metricsWg.Done()
+		_ = srv.Serve(ln) // returns once Close closes the listener
+	}()
+	return nil
+}
+
+// Metrics returns the runtime's metric registry (always non-nil).
+func (rt *Runtime) Metrics() *obs.Registry { return rt.metrics }
+
+// MetricsAddr returns the bound metrics address (empty when no
+// Config.MetricsAddr was configured). With ":0" this is where the free
+// port landed.
+func (rt *Runtime) MetricsAddr() string {
+	if rt.metricsLn == nil {
+		return ""
+	}
+	return rt.metricsLn.Addr().String()
 }
 
 // encodeJournalResponse frames one completed outcome.
@@ -396,6 +478,10 @@ func (rt *Runtime) Close() {
 	if rt.closed.Swap(true) {
 		return
 	}
+	if rt.metricsLn != nil {
+		rt.metricsLn.Close() // unblocks Serve; scrapes in flight finish on their conns
+		rt.metricsWg.Wait()
+	}
 	close(rt.quit)
 	rt.wg.Wait()
 	rt.pending.Range(func(k, _ any) bool {
@@ -485,9 +571,11 @@ func (rt *Runtime) Submit(class, key, method string, args ...interp.Value) *Pend
 // incarnation prefix so they cannot collide with a previous process's
 // journaled ids.
 func (rt *Runtime) SubmitWithID(id, class, key, method string, args ...interp.Value) *Pending {
+	rt.submits.Inc()
 	if id == "" {
 		id = fmt.Sprintf("live-%s%d", rt.incarnation, rt.nextReq.Add(1))
 	} else if r, ok := rt.replay.Load(id); ok {
+		rt.replays.Inc()
 		p := newPending(id)
 		p.complete(r.(journalEntry).res)
 		return p
@@ -508,6 +596,7 @@ func (rt *Runtime) SubmitWithID(id, class, key, method string, args ...interp.Va
 	// it resolved p with the same outcome; don't complete twice.)
 	if r, ok := rt.replay.Load(id); ok {
 		if _, mine := rt.pending.LoadAndDelete(id); mine {
+			rt.replays.Inc()
 			p.complete(r.(journalEntry).res)
 		}
 		return p

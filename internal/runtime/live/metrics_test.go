@@ -1,0 +1,116 @@
+package live
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"statefulentities.dev/stateflow/internal/compiler"
+	"statefulentities.dev/stateflow/internal/interp"
+)
+
+// newMetricsRT opens a runtime with the /metrics endpoint bound to a
+// free port.
+func newMetricsRT(t *testing.T, workers int) *Runtime {
+	t.Helper()
+	prog, err := compiler.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Open(prog, Config{Workers: workers, MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// TestMetricsEndpoint pins the exposition surface: /metrics serves the
+// Prometheus text format with the live.* metrics, and /debug/vars
+// serves the expvar snapshot.
+func TestMetricsEndpoint(t *testing.T) {
+	rt := newMetricsRT(t, 2)
+	if _, err := rt.Create("Counter", interp.StrV("c1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, errs, err := rt.Invoke("Counter", "c1", "bump", interp.IntV(1)); err != nil || errs != "" {
+		t.Fatalf("bump: %v %s", err, errs)
+	}
+	addr := rt.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr is empty with MetricsAddr configured")
+	}
+	body := httpGet(t, "http://"+addr+"/metrics")
+	for _, want := range []string{"# TYPE live_submits counter", "live_processed", "live_workers 2"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics is missing %q:\n%s", want, body)
+		}
+	}
+	vars := httpGet(t, "http://"+addr+"/debug/vars")
+	if !strings.Contains(vars, "stateflow.live") {
+		t.Errorf("/debug/vars is missing the published registry:\n%s", vars)
+	}
+}
+
+// TestMetricsExpositionRace hammers /metrics (and the expvar page) from
+// readers while writers submit invocations: the -race job fails on any
+// unsynchronized access between the hot submit path's counters and the
+// exposition walk.
+func TestMetricsExpositionRace(t *testing.T) {
+	rt := newMetricsRT(t, 4)
+	if _, err := rt.Create("Counter", interp.StrV("c1")); err != nil {
+		t.Fatal(err)
+	}
+	addr := rt.MetricsAddr()
+	const writers, readers, rounds = 4, 4, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				id := fmt.Sprintf("race-%d-%d", w, i)
+				p := rt.SubmitWithID(id, "Counter", "c1", "bump", interp.IntV(1))
+				if _, errs, err := p.Wait(); err != nil || errs != "" {
+					t.Errorf("bump %s: %v %s", id, err, errs)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				httpGet(t, "http://"+addr+"/metrics")
+				httpGet(t, "http://"+addr+"/debug/vars")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := rt.metrics.Snapshot()["live.submits"]; got < writers*rounds {
+		t.Fatalf("live.submits = %d, want at least %d", got, writers*rounds)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, res.StatusCode)
+	}
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b)
+}

@@ -18,6 +18,8 @@ import (
 	"math/rand"
 	"sort"
 	"time"
+
+	"statefulentities.dev/stateflow/internal/obs"
 )
 
 // Message is an opaque payload delivered to a component.
@@ -157,6 +159,10 @@ type Cluster struct {
 	// crashWatch holds per-component crash observers (durable-storage
 	// models apply their device crash contract at the crash instant).
 	crashWatch map[string][]func(at time.Duration)
+	// flight, when set, records cluster-level lifecycle events (crashes,
+	// reboots) for post-mortem timelines. Purely observational: recording
+	// never touches the RNG, the event queue, or virtual time.
+	flight *obs.FlightRecorder
 	// Delivered counts total messages delivered, as a sanity metric.
 	Delivered uint64
 }
@@ -189,6 +195,13 @@ func (c *Cluster) Component(id string) Handler {
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() time.Duration { return c.now }
+
+// SetFlightRecorder attaches a flight recorder that receives component
+// crash/reboot events. Pass nil to detach.
+func (c *Cluster) SetFlightRecorder(f *obs.FlightRecorder) { c.flight = f }
+
+// FlightRecorder returns the attached recorder (nil when none).
+func (c *Cluster) FlightRecorder() *obs.FlightRecorder { return c.flight }
 
 // Rand exposes the cluster's deterministic randomness source.
 func (c *Cluster) Rand() *rand.Rand { return c.rng }
@@ -257,6 +270,7 @@ func (c *Cluster) markCrashed(comp *component) {
 	for _, fn := range c.crashWatch[comp.id] {
 		fn(c.now)
 	}
+	c.flight.Record(c.now, comp.id, "crash", "")
 }
 
 // WatchCrash registers fn to run at the virtual instant id crashes (on
@@ -292,6 +306,9 @@ func (c *Cluster) Restart(id string) {
 	}
 	rh, hasHook := comp.h.(RestartHandler)
 	if !comp.crashed || !hasHook {
+		if comp.crashed {
+			c.flight.Record(c.now, comp.id, "reboot", "")
+		}
 		comp.crashed = false
 		comp.busyUntil = c.now
 		return
@@ -307,6 +324,7 @@ func (c *Cluster) Restart(id string) {
 		comp.booting = false
 		comp.crashed = false
 		comp.busyUntil = cl.now
+		cl.flight.Record(cl.now, comp.id, "reboot", "recovering")
 		ctx := &Context{cluster: cl, self: comp.id, effective: cl.now}
 		rh.OnRestart(ctx)
 		comp.busyUntil = ctx.effective

@@ -38,10 +38,12 @@ package stateflow
 import (
 	"math"
 	"sort"
+	"strconv"
 	"time"
 
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/obs"
 	"statefulentities.dev/stateflow/internal/sim"
 	"statefulentities.dev/stateflow/internal/snapshot"
 	"statefulentities.dev/stateflow/internal/systems/sysapi"
@@ -84,6 +86,12 @@ type pendingReq struct {
 	replyTo string
 	pos     int64 // source-log position of the request
 	retries int
+	// arrivedAt is when the request entered (or re-entered) the intake
+	// queue — the start of its ingress.queue trace span. Zero when the
+	// enqueue instant is unknown (e.g. a source-log drain after
+	// recovery); assign then clamps the span to zero length. Purely
+	// observational.
+	arrivedAt time.Duration
 }
 
 // epochState is one slot of the coordinator's pipeline stage table: the
@@ -95,6 +103,10 @@ type pendingReq struct {
 type epochState struct {
 	epoch int64
 	phase phase
+	// phaseAt is when the current phase began (set by enterPhase and at
+	// batch close) — the start timestamp of the phase's trace span.
+	// Purely observational.
+	phaseAt time.Duration
 
 	// binding marks a recovery replay epoch whose batch re-executes
 	// already-released responses (the binding prefix — see Recover). It
@@ -310,12 +322,22 @@ type Coordinator struct {
 	fenceSeq     int64
 	fenceDone    int64
 	fenceApply   *pendingReq
+	// fencedAt is when the shard parked (trace-span start of the fence
+	// window). Purely observational.
+	fencedAt time.Duration
 
 	// GlobalFences counts fence parks for the sharded global-commit
 	// protocol; GlobalApplies counts executed global write-set applies.
 	GlobalFences  int
 	GlobalApplies int
 }
+
+// tracer and flight return the deployment's observability sinks (nil
+// handles are accepted by every obs method as no-ops). Instrumentation
+// sites only read ctx.Now() — never ctx.Work or ctx.Rand — so tracing
+// cannot perturb a deterministic run.
+func (c *Coordinator) tracer() *obs.Tracer         { return c.sys.cfg.Tracer }
+func (c *Coordinator) flight() *obs.FlightRecorder { return c.sys.cfg.Flight }
 
 func newCoordinator(sys *System) *Coordinator {
 	return &Coordinator{
@@ -429,13 +451,13 @@ func (c *Coordinator) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 		// epoch. consumed does NOT advance — arrivals queued during the
 		// fence sit between the cursor and this record, and the post-
 		// unfence drain skips it as answered.
-		c.startApply(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
+		c.startApply(ctx, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos, arrivedAt: ctx.Now()})
 		return
 	}
 	if st := c.exec; !c.recovering && !c.fenced && c.fencePending == 0 &&
 		st != nil && st.phase == phaseOpen && !st.binding && !c.batchFull(st) {
 		c.consumed++
-		c.assign(ctx, st, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos})
+		c.assign(ctx, st, pendingReq{req: m.Request, replyTo: m.ReplyTo, pos: pos, arrivedAt: ctx.Now()})
 	}
 	// Otherwise the record waits in the log; it is drained when a batch
 	// with capacity opens (for a fencing or fenced shard: after the
@@ -449,6 +471,14 @@ func (c *Coordinator) assign(ctx *sim.Context, st *epochState, p pendingReq) {
 	tid := c.nextTID
 	st.batch[tid] = &txnState{req: p.req, replyTo: p.replyTo, pos: p.pos, retries: p.retries}
 	st.unfinished++
+	if tr := c.tracer(); tr.Enabled() {
+		start := p.arrivedAt
+		if start == 0 || start > ctx.Now() {
+			start = ctx.Now()
+		}
+		tr.Span(c.sys.coordID, "txn", "ingress.queue", start, ctx.Now(),
+			"trace", p.req.Trace.ID, "epoch", strconv.FormatInt(st.epoch, 10))
+	}
 	ev := &core.Event{
 		Kind:   core.EvInvoke,
 		Req:    p.req.Req,
@@ -501,6 +531,7 @@ func (c *Coordinator) onTick(ctx *sim.Context, m msgEpochTick) {
 // so a worker crash or a lost message can never deadlock the pipeline.
 func (c *Coordinator) enterPhase(ctx *sim.Context, st *epochState, p phase) {
 	st.phase = p
+	st.phaseAt = ctx.Now()
 	ctx.After(c.sys.cfg.StallTimeout, msgStallCheck{Epoch: st.epoch, Phase: p, Progress: c.progress})
 }
 
@@ -574,6 +605,16 @@ func (c *Coordinator) promote(ctx *sim.Context, st *epochState) {
 // sendPrepare starts validation on every worker: of the batch (round 0,
 // Order is the full batch TID order) or of the fallback round in flight.
 func (c *Coordinator) sendPrepare(ctx *sim.Context, st *epochState) {
+	if tr := c.tracer(); tr.Enabled() {
+		// The execution window just ended: phaseAt was stamped when the
+		// batch closed (or the fallback round dispatched).
+		name := "execute"
+		if st.fbRound > 0 {
+			name = "fallback.round"
+		}
+		tr.Span(c.sys.coordID, "epoch", name, st.phaseAt, ctx.Now(),
+			"epoch", strconv.FormatInt(st.epoch, 10), "round", strconv.Itoa(st.fbRound))
+	}
 	c.enterPhase(ctx, st, phasePrepare)
 	st.votes = map[string]bool{}
 	st.unionAbort = map[aria.TID]bool{}
@@ -614,6 +655,10 @@ func (c *Coordinator) onVote(ctx *sim.Context, from string, m msgVote) {
 	}
 	if len(st.votes) < len(c.sys.workerIDs) {
 		return
+	}
+	if tr := c.tracer(); tr.Enabled() {
+		tr.Span(c.sys.coordID, "epoch", "validate", st.phaseAt, ctx.Now(),
+			"epoch", strconv.FormatInt(st.epoch, 10), "round", strconv.Itoa(st.fbRound))
 	}
 	if st.fbRound > 0 {
 		c.decideFallbackRound(ctx, st)
@@ -738,6 +783,10 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 	if len(st.applied) < len(c.sys.workerIDs) {
 		return
 	}
+	if tr := c.tracer(); tr.Enabled() {
+		tr.Span(c.sys.coordID, "epoch", "apply", st.phaseAt, ctx.Now(),
+			"epoch", strconv.FormatInt(st.epoch, 10), "round", strconv.Itoa(st.fbRound))
+	}
 	if st.fbRound > 0 {
 		c.finishFallbackRound(ctx, st)
 		return
@@ -761,6 +810,7 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 				// the rest of the binding queue, preserving release order.
 				bindingRetry = append(bindingRetry, pendingReq{
 					req: t.req, replyTo: t.replyTo, pos: t.pos, retries: t.retries,
+					arrivedAt: ctx.Now(),
 				})
 				break
 			}
@@ -774,6 +824,7 @@ func (c *Coordinator) onApplied(ctx *sim.Context, from string, m msgApplied) {
 			}
 			c.pending = append(c.pending, pendingReq{
 				req: t.req, replyTo: t.replyTo, pos: t.pos, retries: t.retries + 1,
+				arrivedAt: ctx.Now(),
 			})
 		case t.err != "":
 			// Application error with a validated footprint: definitive,
@@ -1048,6 +1099,7 @@ func (c *Coordinator) spillFallback(ctx *sim.Context, st *epochState) {
 		}
 		c.pending = append(c.pending, pendingReq{
 			req: t.req, replyTo: t.replyTo, pos: t.pos, retries: t.retries + 1,
+			arrivedAt: ctx.Now(),
 		})
 	}
 }
@@ -1141,6 +1193,11 @@ func (c *Coordinator) groupCommit(ctx *sim.Context) {
 	}
 	delay := c.sys.cfg.Costs.LogGroupDelay
 	upTo := c.sys.Dlog.SyncAt(ctx.Now() + delay)
+	if tr := c.tracer(); tr.Enabled() {
+		tr.Span(c.sys.coordID, "dlog", "commit.fsync", ctx.Now(), ctx.Now()+delay,
+			"upto", strconv.FormatInt(upTo, 10),
+			"staged", strconv.Itoa(len(c.staged)))
+	}
 	ctx.After(delay, msgLogSynced{UpTo: upTo})
 }
 
@@ -1345,6 +1402,12 @@ func (c *Coordinator) writeCheckpoint(ctx *sim.Context) {
 func (c *Coordinator) openEpoch(ctx *sim.Context) {
 	c.epoch++
 	c.logEpochAdvance(ctx, c.sys.cfg.DisablePipelining)
+	c.flight().Recordf(ctx.Now(), c.sys.coordID, "epoch.advance",
+		"epoch %d (%d binding queued)", c.epoch, len(c.replaying))
+	if tr := c.tracer(); tr.Enabled() {
+		tr.Instant(c.sys.coordID, "epoch", "epoch.advance", ctx.Now(),
+			"epoch", strconv.FormatInt(c.epoch, 10))
+	}
 	st := &epochState{epoch: c.epoch, phase: phaseOpen, batch: map[aria.TID]*txnState{}}
 	c.exec = st
 	// The binding replay queue preempts everything: released responses
@@ -1628,6 +1691,9 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	c.recovered = map[string]bool{}
 	c.snapshotID = snapID
 	c.RestoredSnapshots = append(c.RestoredSnapshots, snapID)
+	c.flight().Recordf(ctx.Now(), c.sys.coordID, "recovery",
+		"epoch %d: restored snapshot %d, %d binding replays, %d pending",
+		c.epoch, snapID, len(c.replaying), len(c.pending))
 	for _, w := range c.sys.workerIDs {
 		// Only dead workers get respawned (the cluster-manager model); a
 		// live worker keeps its CPU backlog and merely rolls its state
@@ -1745,6 +1811,9 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 		// view-change bump in Recover) restores epoch > everything spoken.
 		c.epoch++
 	}
+	c.flight().Recordf(ctx.Now(), c.sys.coordID, "restore",
+		"rebooted from dlog: epoch %d, %d delivered, %d log records",
+		c.epoch, len(c.delivered), len(img.Records))
 	c.Recover(ctx)
 }
 

@@ -26,6 +26,7 @@ package stateflow
 
 import (
 	"fmt"
+	"strconv"
 
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/sim"
@@ -141,7 +142,9 @@ func (c *Coordinator) maybeFence(ctx *sim.Context) bool {
 	c.produceMarker(ctx, fenceMethod, seq)
 	c.fenced, c.fenceSeq = true, seq
 	c.fencePending = 0
+	c.fencedAt = ctx.Now()
 	c.GlobalFences++
+	c.flight().Recordf(ctx.Now(), c.sys.coordID, "fence", "parked for global batch %d", seq)
 	ctx.Send(c.fenceFrom, msgFenceAck{Seq: seq},
 		c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	return true
@@ -161,6 +164,11 @@ func (c *Coordinator) onUnfence(ctx *sim.Context, m msgUnfence) {
 		return // out-of-order copy for a batch this shard is not parked on
 	}
 	c.produceMarker(ctx, unfenceMethod, m.Seq)
+	if tr := c.tracer(); tr.Enabled() {
+		tr.Span(c.sys.coordID, "fence", "fence.park", c.fencedAt, ctx.Now(),
+			"seq", strconv.FormatInt(m.Seq, 10))
+	}
+	c.flight().Recordf(ctx.Now(), c.sys.coordID, "unfence", "resumed after global batch %d", m.Seq)
 	c.fenced = false
 	c.fenceDone = m.Seq
 	c.fenceSeq = 0
@@ -225,6 +233,12 @@ func (c *Coordinator) startApply(ctx *sim.Context, p pendingReq) {
 		return
 	}
 	c.GlobalApplies++
+	c.flight().Recordf(ctx.Now(), c.sys.coordID, "global.batch",
+		"executing write-set apply %s", p.req.Req)
+	if tr := c.tracer(); tr.Enabled() {
+		tr.Instant(c.sys.coordID, "fence", applyMethod, ctx.Now(),
+			"trace", p.req.Trace.ID, "req", p.req.Req)
+	}
 	c.assign(ctx, st, p)
 	st.consumedEnd = c.consumed
 	c.enterPhase(ctx, st, phaseClosing)

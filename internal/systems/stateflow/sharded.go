@@ -40,11 +40,14 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strconv"
+	"time"
 
 	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/obs"
 	"statefulentities.dev/stateflow/internal/sim"
 	"statefulentities.dev/stateflow/internal/systems/sysapi"
 )
@@ -94,6 +97,18 @@ func (s *ShardedSystem) Shards() []*System { return s.shards }
 
 // Sequencer exposes the global sequencing layer.
 func (s *ShardedSystem) Sequencer() *Sequencer { return s.seq }
+
+// RegisterMetrics publishes every shard's counters plus the sequencing
+// layer's, each under its own namespace (see System.RegisterMetrics).
+func (s *ShardedSystem) RegisterMetrics(reg *obs.Registry) {
+	for _, sh := range s.shards {
+		sh.RegisterMetrics(reg)
+	}
+	q := s.seq
+	reg.Func("stateflow.sequencer.single_shard", func() int64 { return int64(q.SingleShard) })
+	reg.Func("stateflow.sequencer.global_txns", func() int64 { return int64(q.GlobalTxns) })
+	reg.Func("stateflow.sequencer.global_batches", func() int64 { return int64(q.GlobalBatches) })
+}
 
 // IngressID implements sysapi.System: clients talk to the sequencer.
 func (s *ShardedSystem) IngressID() string { return s.seqID }
@@ -262,7 +277,10 @@ type globalBatch struct {
 	seq   int64
 	txns  []*globalTxn
 	phase gPhase
-	acked map[string]bool // per-shard fence/unfence acks (phase-local)
+	// phaseAt is when the current protocol phase began (trace-span
+	// start). Purely observational.
+	phaseAt time.Duration
+	acked   map[string]bool // per-shard fence/unfence acks (phase-local)
 
 	next     int // index of the transaction currently executing
 	overlay  map[interp.EntityRef]*entityImage
@@ -385,11 +403,14 @@ func (q *Sequencer) startBatch(ctx *sim.Context) {
 		seq:      q.nextSeq,
 		txns:     q.queue,
 		phase:    gFencing,
+		phaseAt:  ctx.Now(),
 		acked:    map[string]bool{},
 		overlay:  map[interp.EntityRef]*entityImage{},
 		fetching: map[interp.EntityRef]bool{},
 	}
 	q.queue = nil
+	q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "global.batch",
+		"batch %d opened with %d txns", q.cur.seq, len(q.cur.txns))
 	for _, sh := range q.sys.shards {
 		ctx.Send(sh.coordID, msgFence{Seq: q.cur.seq, From: q.sys.seqID},
 			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
@@ -404,7 +425,12 @@ func (q *Sequencer) onFenceAck(ctx *sim.Context, from string, m msgFenceAck) {
 	}
 	b.acked[from] = true
 	if len(b.acked) == len(q.sys.shards) {
+		if tr := q.sys.cfg.Tracer; tr.Enabled() {
+			tr.Span(q.sys.seqID, "global", "fence.wait", b.phaseAt, ctx.Now(),
+				"seq", strconv.FormatInt(b.seq, 10))
+		}
 		b.phase = gExecuting
+		b.phaseAt = ctx.Now()
 		q.advance(ctx)
 	}
 }
@@ -553,17 +579,7 @@ func (q *Sequencer) execute(ctx *sim.Context, b *globalBatch, t *globalTxn) []in
 		queue = append(queue, out...)
 	}
 	if len(store.missing) > 0 {
-		refs := make([]interp.EntityRef, 0, len(store.missing))
-		for ref := range store.missing {
-			refs = append(refs, ref)
-		}
-		sort.Slice(refs, func(i, j int) bool {
-			if refs[i].Class != refs[j].Class {
-				return refs[i].Class < refs[j].Class
-			}
-			return refs[i].Key < refs[j].Key
-		})
-		return refs
+		return sortedRefs(store.missing)
 	}
 	t.res = res
 	if res.Err != "" {
@@ -585,11 +601,34 @@ func encodeState(st interp.MapState) string {
 	return string(e.Bytes())
 }
 
+// sortedRefs flattens a ref set into class/key order. Every sequencer
+// loop that sends messages (and samples link delays) per entity walks
+// refs through here: Go map iteration order is randomized per run, and
+// drawing RNG samples in map order would make same-seed runs diverge.
+func sortedRefs(set map[interp.EntityRef]bool) []interp.EntityRef {
+	refs := make([]interp.EntityRef, 0, len(set))
+	for ref := range set {
+		refs = append(refs, ref)
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Class != refs[j].Class {
+			return refs[i].Class < refs[j].Class
+		}
+		return refs[i].Key < refs[j].Key
+	})
+	return refs
+}
+
 // beginApply turns the batch's dirty overlay into one write-set apply
 // per involved shard and sends them. A batch with no writes (all
 // transactions errored or read-only) skips straight to respond+unfence.
 func (q *Sequencer) beginApply(ctx *sim.Context) {
 	b := q.cur
+	if tr := q.sys.cfg.Tracer; tr.Enabled() {
+		tr.Span(q.sys.seqID, "global", "global.execute", b.phaseAt, ctx.Now(),
+			"seq", strconv.FormatInt(b.seq, 10),
+			"txns", strconv.Itoa(len(b.txns)))
+	}
 	groups := make(map[int][]writeSetEntry)
 	for ref, img := range b.overlay {
 		if img.dirty {
@@ -623,8 +662,14 @@ func (q *Sequencer) beginApply(ctx *sim.Context) {
 		return
 	}
 	b.phase = gApplying
-	for coordID, m := range b.applies {
-		ctx.Send(coordID, m, q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	b.phaseAt = ctx.Now()
+	// Walk shards in index order, not b.applies in map order: the link
+	// delay samples below must come off the RNG in a deterministic
+	// sequence or same-seed runs diverge.
+	for _, sh := range q.sys.shards {
+		if m, ok := b.applies[sh.coordID]; ok {
+			ctx.Send(sh.coordID, m, q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+		}
 	}
 }
 
@@ -655,6 +700,13 @@ func (q *Sequencer) onApplyDone(ctx *sim.Context, m sysapi.MsgResponse) {
 // unfences the shards.
 func (q *Sequencer) finishBatch(ctx *sim.Context) {
 	b := q.cur
+	if b.phase == gApplying {
+		if tr := q.sys.cfg.Tracer; tr.Enabled() {
+			tr.Span(q.sys.seqID, "global", applyMethod, b.phaseAt, ctx.Now(),
+				"seq", strconv.FormatInt(b.seq, 10),
+				"shards", strconv.Itoa(len(b.applies)))
+		}
+	}
 	for _, t := range b.txns {
 		q.delivered[t.req.Req] = t.res
 		delete(q.inFlight, t.req.Req)
@@ -664,6 +716,7 @@ func (q *Sequencer) finishBatch(ctx *sim.Context) {
 		}
 	}
 	b.phase = gUnfencing
+	b.phaseAt = ctx.Now()
 	b.acked = map[string]bool{}
 	for _, sh := range q.sys.shards {
 		ctx.Send(sh.coordID, msgUnfence{Seq: b.seq, From: q.sys.seqID},
@@ -678,6 +731,12 @@ func (q *Sequencer) onUnfenceAck(ctx *sim.Context, from string, m msgUnfenceAck)
 	}
 	b.acked[from] = true
 	if len(b.acked) == len(q.sys.shards) {
+		if tr := q.sys.cfg.Tracer; tr.Enabled() {
+			tr.Span(q.sys.seqID, "global", "unfence", b.phaseAt, ctx.Now(),
+				"seq", strconv.FormatInt(b.seq, 10))
+		}
+		q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "global.batch",
+			"batch %d complete", b.seq)
 		q.cur = nil
 		if len(q.queue) > 0 {
 			q.startBatch(ctx)
@@ -704,15 +763,15 @@ func (q *Sequencer) onTick(ctx *sim.Context, m msgSeqTick) {
 			}
 		}
 	case gExecuting:
-		for ref := range b.fetching {
+		for _, ref := range sortedRefs(b.fetching) {
 			ctx.Send(q.sys.shards[q.sys.ShardOf(ref)].coordID,
 				msgGlobalRead{Seq: b.seq, Class: ref.Class, Key: ref.Key, From: q.sys.seqID},
 				q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 		}
 	case gApplying:
-		for coordID, req := range b.applies {
-			if !b.applied[coordID] {
-				ctx.Send(coordID, req, q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+		for _, sh := range q.sys.shards {
+			if req, ok := b.applies[sh.coordID]; ok && !b.applied[sh.coordID] {
+				ctx.Send(sh.coordID, req, q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 			}
 		}
 	case gUnfencing:

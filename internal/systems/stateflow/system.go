@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"time"
 
 	"statefulentities.dev/stateflow/internal/chaos"
@@ -19,6 +20,7 @@ import (
 	"statefulentities.dev/stateflow/internal/dlog"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
+	"statefulentities.dev/stateflow/internal/obs"
 	"statefulentities.dev/stateflow/internal/queue"
 	"statefulentities.dev/stateflow/internal/sim"
 	"statefulentities.dev/stateflow/internal/snapshot"
@@ -120,6 +122,17 @@ type Config struct {
 	// exists solely so replay-order regression tests can demonstrate the
 	// linearizability checker catching the pre-fix divergence.
 	UncheckedReplayOrder bool
+	// Tracer, when non-nil, records per-phase transaction spans (ingress
+	// queueing, execution, validation, fallback rounds, group-commit
+	// fsync, fence windows) in virtual time. Deterministically inert: the
+	// instrumentation only reads the clock and never touches the
+	// simulation RNG or charges CPU, so a traced run's transcript is
+	// byte-identical to an untraced one.
+	Tracer *obs.Tracer
+	// Flight, when non-nil, records cluster lifecycle events (epoch
+	// advances, recoveries, replay decisions, fence transitions) for
+	// post-mortem timelines. Inert like Tracer.
+	Flight *obs.FlightRecorder
 }
 
 // DefaultConfig mirrors the paper's deployment shape.
@@ -208,6 +221,60 @@ func (s *System) ClientLink() sim.Latency { return s.cfg.Costs.ClientLink }
 
 // Coordinator exposes the coordinator for stats and recovery control.
 func (s *System) Coordinator() *Coordinator { return s.coord }
+
+// MetricsNamespace returns the deployment's dotted metric prefix: the
+// historical default deployment keeps the bare "stateflow." namespace,
+// while sharded deployments nest their shard prefix ("stateflow.sf0.")
+// so N shards coexist in one registry.
+func (s *System) MetricsNamespace() string {
+	if s.cfg.IDPrefix == "sf-" {
+		return "stateflow."
+	}
+	return "stateflow." + strings.TrimSuffix(s.cfg.IDPrefix, "-") + "."
+}
+
+// RegisterMetrics publishes the deployment's stat counters into a
+// registry under stable dotted names. The coordinator's exported int
+// fields stay the canonical storage (the hot paths and every existing
+// test read them directly); the registry reads them through closures at
+// exposition time, so migrating them cost no call-site churn.
+func (s *System) RegisterMetrics(reg *obs.Registry) {
+	ns := s.MetricsNamespace()
+	c := s.coord
+	for name, read := range map[string]func() int64{
+		"coordinator.commits":                  func() int64 { return int64(c.Commits) },
+		"coordinator.aborts":                   func() int64 { return int64(c.Aborts) },
+		"coordinator.failures":                 func() int64 { return int64(c.Failures) },
+		"coordinator.recoveries":               func() int64 { return int64(c.Recoveries) },
+		"coordinator.epochs_closed":            func() int64 { return int64(c.EpochsClosed) },
+		"coordinator.fallback_rounds":          func() int64 { return int64(c.FallbackRounds) },
+		"coordinator.fallback_commits":         func() int64 { return int64(c.FallbackCommits) },
+		"coordinator.fallback_spills":          func() int64 { return int64(c.FallbackSpills) },
+		"coordinator.fallback_drift_demotions": func() int64 { return int64(c.FallbackDriftDemotions) },
+		"coordinator.late_duplicates":          func() int64 { return int64(c.LateDuplicates) },
+		"coordinator.restarts":                 func() int64 { return int64(c.Restarts) },
+		"coordinator.mid_pipeline_restarts":    func() int64 { return int64(c.MidPipelineRestarts) },
+		"coordinator.replays":                  func() int64 { return int64(c.Replays) },
+		"coordinator.binding_replays":          func() int64 { return int64(c.BindingReplays) },
+		"coordinator.global_fences":            func() int64 { return int64(c.GlobalFences) },
+		"coordinator.global_applies":           func() int64 { return int64(c.GlobalApplies) },
+	} {
+		reg.Func(ns+name, read)
+	}
+	if s.Dlog != nil {
+		dl := s.Dlog
+		for name, read := range map[string]func() int64{
+			"dlog.appends":        func() int64 { return int64(dl.Stats().Appends) },
+			"dlog.appended_bytes": func() int64 { return int64(dl.Stats().AppendedBytes) },
+			"dlog.syncs":          func() int64 { return int64(dl.Stats().Syncs) },
+			"dlog.checkpoints":    func() int64 { return int64(dl.Stats().Checkpoints) },
+			"dlog.compacted":      func() int64 { return int64(dl.Stats().Compacted) },
+			"dlog.torn_tails":     func() int64 { return int64(dl.Stats().TornTails) },
+		} {
+			reg.Func(ns+name, read)
+		}
+	}
+}
 
 // Workers exposes the worker components.
 func (s *System) Workers() []*Worker { return s.workers }

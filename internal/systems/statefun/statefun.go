@@ -26,6 +26,7 @@ import (
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/ir"
 	"statefulentities.dev/stateflow/internal/metrics"
+	"statefulentities.dev/stateflow/internal/obs"
 	"statefulentities.dev/stateflow/internal/queue"
 	"statefulentities.dev/stateflow/internal/sim"
 	"statefulentities.dev/stateflow/internal/state"
@@ -145,6 +146,31 @@ func (s *System) Workers() []*flinkWorker { return s.workers }
 
 // FnRuntimes exposes the remote function runtimes.
 func (s *System) FnRuntimes() []*fnRuntime { return s.fns }
+
+// RegisterMetrics publishes the deployment's stat counters into a
+// registry under stable dotted names, reading the exported int fields
+// through closures at exposition time (the fields remain the canonical
+// storage; see the StateFlow coordinator's migration for the pattern).
+func (s *System) RegisterMetrics(reg *obs.Registry) {
+	b := s.broker
+	reg.Func("statefun.broker.produced", func() int64 { return int64(b.Produced) })
+	reg.Func("statefun.broker.late_duplicates", func() int64 { return int64(b.LateDuplicates) })
+	workers, fns := s.workers, s.fns
+	reg.Func("statefun.worker.races", func() int64 {
+		var n int64
+		for _, w := range workers {
+			n += int64(w.Races)
+		}
+		return n
+	})
+	reg.Func("statefun.fn.invocations", func() int64 {
+		var n int64
+		for _, f := range fns {
+			n += int64(f.Invocations)
+		}
+		return n
+	})
+}
 
 func (s *System) ownerOf(ref interp.EntityRef) *flinkWorker {
 	h := fnv.New32a()

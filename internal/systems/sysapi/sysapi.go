@@ -13,6 +13,7 @@ import (
 	"statefulentities.dev/stateflow/internal/chaos"
 	"statefulentities.dev/stateflow/internal/interp"
 	"statefulentities.dev/stateflow/internal/metrics"
+	"statefulentities.dev/stateflow/internal/obs"
 	"statefulentities.dev/stateflow/internal/sim"
 )
 
@@ -26,6 +27,14 @@ type Request struct {
 	// Kind tags the request for per-operation metrics (e.g. "read",
 	// "update", "transfer"); the runtimes ignore it.
 	Kind string
+	// Trace is the span context minted with the request id (see
+	// Builder): protocol messages carry it end to end so every phase a
+	// runtime closes out — ingress queueing, execution, validation,
+	// fallback rounds, commit fsync waits, fence waits — tags its span
+	// with the same trace id. Purely observational: no runtime branches
+	// on it, and it is derived from the request id alone, so it is
+	// identical whether or not a tracer is attached.
+	Trace obs.SpanContext
 }
 
 // Response is the terminal outcome of a request.
@@ -121,12 +130,14 @@ func (b *Builder) Next(target interp.EntityRef, method string, args []interp.Val
 // At assembles a request with an explicit sequence number; generators
 // driven by an external index (the i-th workload operation) use this form.
 func (b *Builder) At(i int, target interp.EntityRef, method string, args []interp.Value, kind string) Request {
+	id := fmt.Sprintf("%s%d.%d", b.prefix, b.inc, i)
 	return Request{
-		Req:    fmt.Sprintf("%s%d.%d", b.prefix, b.inc, i),
+		Req:    id,
 		Target: target,
 		Method: method,
 		Args:   args,
 		Kind:   kind,
+		Trace:  obs.SpanContext{ID: id},
 	}
 }
 
@@ -268,12 +279,25 @@ type ScriptClient struct {
 	Done int
 }
 
+// LatencyReservoir caps client-side latency series memory: beyond this
+// many samples a series degrades to a deterministic reservoir estimate
+// (count/mean/min/max stay exact). Every gated benchmark run stays far
+// below the cap, so bounding is behavior-neutral there; long runs — the
+// nightly 100-seed sweeps, open-loop soak benchmarks — get constant
+// memory instead of retaining every sample forever.
+const LatencyReservoir = 1 << 18
+
+// newLatencySeries returns a series bounded at LatencyReservoir.
+func newLatencySeries() *metrics.Series {
+	return metrics.NewBoundedSeries(LatencyReservoir)
+}
+
 // NewScriptClient builds a scripted client.
 func NewScriptClient(id string, sys System, script []Scheduled) *ScriptClient {
 	return &ScriptClient{
 		ID: id, Sys: sys, Script: script,
 		Responses: map[string]Response{},
-		Latency:   metrics.NewSeries(),
+		Latency:   newLatencySeries(),
 		PerKind:   map[string]*metrics.Series{},
 		Retries:   map[string]int{},
 		sentAt:    map[string]time.Duration{},
@@ -318,7 +342,7 @@ func (c *ScriptClient) OnMessage(ctx *sim.Context, from string, msg sim.Message)
 			if kind != "" {
 				s, ok := c.PerKind[kind]
 				if !ok {
-					s = metrics.NewSeries()
+					s = newLatencySeries()
 					c.PerKind[kind] = s
 				}
 				s.Add(lat)
@@ -365,7 +389,7 @@ type Generator struct {
 func NewGenerator(id string, sys System, rate float64, horizon, warmUp time.Duration, next func(i int) Request) *Generator {
 	return &Generator{
 		ID: id, Sys: sys, Rate: rate, Horizon: horizon, WarmUp: warmUp, Next: next,
-		Latency: metrics.NewSeries(),
+		Latency: newLatencySeries(),
 		PerKind: map[string]*metrics.Series{},
 		sentAt:  map[string]time.Duration{},
 		kinds:   map[string]string{},
@@ -429,7 +453,7 @@ func (g *Generator) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 		if kind != "" {
 			s, ok := g.PerKind[kind]
 			if !ok {
-				s = metrics.NewSeries()
+				s = newLatencySeries()
 				g.PerKind[kind] = s
 			}
 			s.Add(lat)

@@ -1,0 +1,39 @@
+package stateflow
+
+import (
+	"statefulentities.dev/stateflow/internal/obs"
+)
+
+// Tracer records transaction spans for export as Chrome trace-event JSON
+// (chrome://tracing, Perfetto). Attach one to a Simulation via
+// SimConfig.Tracer; a nil Tracer disables tracing at zero cost. Tracing
+// is deterministically inert: spans are derived purely from virtual
+// timestamps the runtime already computes, so a traced run's transcripts
+// and committed state are byte-identical to an untraced one.
+type Tracer = obs.Tracer
+
+// NewTracer returns an empty trace buffer ready to attach to a
+// Simulation.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// FlightRecorder is a bounded ring of structured cluster events (epoch
+// advances, crashes, reboots, fences, replay decisions). Every
+// Simulation carries one; its Dump is appended to chaos-oracle failure
+// reports so a failing seed arrives with its cluster timeline attached.
+type FlightRecorder = obs.FlightRecorder
+
+// FlightEvent is one recorded cluster event.
+type FlightEvent = obs.FlightEvent
+
+// NewFlightRecorder returns a flight recorder keeping the last capacity
+// events (0 selects the default).
+func NewFlightRecorder(capacity int) *FlightRecorder { return obs.NewFlightRecorder(capacity) }
+
+// MetricsRegistry is a named-metric registry (counters, gauges,
+// histograms) with Prometheus text exposition. Simulation.Metrics
+// returns one covering the deployed backend; the Live runtime serves
+// its own on LiveConfig.MetricsAddr.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }

@@ -86,6 +86,15 @@ type SimConfig struct {
 	// durable buffer). This is what makes client-edge message drops
 	// survivable. 0 selects the 50ms default; negative disables retries.
 	ClientRetry time.Duration
+	// Tracer, when non-nil, records per-transaction phase spans (ingress
+	// queue, execute, validate, fallback rounds, group-commit fsync, and
+	// the cross-shard fence/execute/apply/unfence cycle) on the StateFlow
+	// backend, exportable as Chrome trace-event JSON via Tracer.WriteJSON.
+	// Tracing is deterministically inert: it never touches the simulation
+	// RNG or schedules work, so a traced run's transcripts and committed
+	// state are byte-identical to an untraced one, and two traced runs of
+	// the same seed emit byte-identical traces.
+	Tracer *Tracer
 }
 
 // DefaultClientRetry is the client retransmission interval used when
@@ -112,6 +121,9 @@ type Simulation struct {
 	reqs    *sysapi.Builder
 	api     *simulationClient
 	chaos   *chaos.Engine
+	tracer  *Tracer
+	flight  *FlightRecorder
+	metrics *MetricsRegistry
 	started bool
 }
 
@@ -173,9 +185,15 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 		retryEvery = DefaultClientRetry
 	}
 	cluster := sim.New(cfg.Seed)
+	// Every simulation carries a flight recorder: the ring is cheap, and a
+	// chaos failure with no timeline attached is a debugging dead end.
+	flight := NewFlightRecorder(0)
+	cluster.SetFlightRecorder(flight)
 	s := &Simulation{
 		Cluster: cluster,
 		kind:    cfg.Backend,
+		tracer:  cfg.Tracer,
+		flight:  flight,
 		client: &simClient{
 			rx:         sysapi.Retransmitter{ReplyTo: "api-client", Every: retryEvery},
 			responses:  map[string]sysapi.Response{},
@@ -202,6 +220,8 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 		c.TraceCommits = cfg.TraceCommits
 		c.UncheckedFallbackDrift = cfg.UncheckedFallbackDrift
 		c.UncheckedReplayOrder = cfg.UncheckedReplayOrder
+		c.Tracer = cfg.Tracer
+		c.Flight = flight
 		if cfg.Shards > 1 {
 			s.sfSh = sfsys.NewSharded(cluster, prog, cfg.Shards, c)
 			s.sys = s.sfSh
@@ -248,6 +268,34 @@ func (s *Simulation) Sharded() *sfsys.ShardedSystem { return s.sfSh }
 
 // StateFun returns the underlying baseline system (nil for StateFlow).
 func (s *Simulation) StateFun() *statefun.System { return s.sfu }
+
+// Tracer returns the trace buffer attached via SimConfig.Tracer (nil
+// when tracing is off). Export it with Tracer.WriteJSON.
+func (s *Simulation) Tracer() *Tracer { return s.tracer }
+
+// FlightRecorder returns the simulation's cluster-event ring: crashes,
+// reboots, epoch advances, fences and replay decisions, in virtual-time
+// order. It is always recording; chaos and linearizability failures
+// dump it alongside the seed and plan.
+func (s *Simulation) FlightRecorder() *FlightRecorder { return s.flight }
+
+// Metrics returns a registry exposing the deployed backend's counters
+// (and the durable log's, when one is configured) under stable dotted
+// names. Built on first use; reading the registry is side-effect-free.
+func (s *Simulation) Metrics() *MetricsRegistry {
+	if s.metrics == nil {
+		s.metrics = NewMetricsRegistry()
+		switch {
+		case s.sf != nil:
+			s.sf.RegisterMetrics(s.metrics)
+		case s.sfSh != nil:
+			s.sfSh.RegisterMetrics(s.metrics)
+		case s.sfu != nil:
+			s.sfu.RegisterMetrics(s.metrics)
+		}
+	}
+	return s.metrics
+}
 
 // CommitSerials returns the StateFlow coordinator's commit-order tap
 // (request id → position in the effective serial order the surviving
