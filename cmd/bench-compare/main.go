@@ -1,9 +1,10 @@
 // Command bench-compare is the CI bench-regression gate: it compares a
 // freshly re-run contention benchmark against the checked-in baseline
-// (BENCH_pr8.json) and fails if the Aria fallback's wins, the epoch
-// pipeline's fsync merge, or the sharded topology's scaling regress.
+// (BENCH_pr10.json) and fails if the Aria fallback's wins, the epoch
+// pipeline's fsync merge, the sharded topology's scaling, or the
+// footprint-scoped fence schedule's untouched-shard win regress.
 //
-//	bench-compare -baseline BENCH_pr8.json -current /tmp/BENCH_now.json
+//	bench-compare -baseline BENCH_pr10.json -current /tmp/BENCH_now.json
 //
 // The gated metrics are deterministic functions of the simulation seed —
 // commits-per-batch and the fallback-on/off virtual-latency ratio — so
@@ -33,6 +34,16 @@
 //     Skipped (with a note) when the baseline predates the sharding rows
 //     (BENCH_pr6.json-era artifacts); the current artifact must carry
 //     them once the baseline does.
+//  6. footprint-scoped fences must keep untouched shards fast: on the
+//     mixed workload (updates pinned to shards the transfers never touch)
+//     the scoped schedule's untouched-shard throughput must be at least
+//     1.5x the fence-everything reference, and the realized ratio must
+//     not regress more than 15% against the baseline. The scoped row must
+//     record ScopedFences > 0 and the reference row ScopedFences == 0 —
+//     otherwise the comparison is vacuous (the workload stopped
+//     exercising scoping, or the reference stopped fencing everything).
+//     Skipped (with a note) when the baseline predates the scoped-fence
+//     rows (pre-PR 10 artifacts).
 package main
 
 import (
@@ -56,8 +67,14 @@ const syncMergeFactor = 1.5
 // least 2.5x the single-coordinator drain rate.
 const shardScalingFloor = 2.5
 
+// scopedFenceFloor is the minimum untouched-shard throughput ratio of
+// the footprint-scoped fence schedule over the fence-everything
+// reference: traffic outside a global batch's footprint must run at
+// least 1.5x faster than it would if every batch parked the cluster.
+const scopedFenceFloor = 1.5
+
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_pr8.json", "checked-in benchmark baseline")
+	baselinePath := flag.String("baseline", "BENCH_pr10.json", "checked-in benchmark baseline")
 	currentPath := flag.String("current", "", "freshly generated benchmark artifact to gate")
 	flag.Parse()
 	if *currentPath == "" {
@@ -207,6 +224,45 @@ func main() {
 			}
 			fmt.Printf("bench-compare: sharded scaling 4/1: %.2fx (baseline %.2fx); 4-shard globals %d in %d batches\n",
 				scale, baseScale, cur4.GlobalTxns, cur4.GlobalBatches)
+		}
+	}
+
+	// 6. Footprint-scoped fences. Gated only once the baseline carries
+	// the rows: a pre-PR 10 baseline predates the scoped schedule.
+	if len(baseline.ScopedFence) == 0 {
+		fmt.Println("bench-compare: baseline has no scoped-fence rows (pre-PR 10 artifact); scoped-fence gate skipped")
+	} else {
+		curScoped, err := current.FindScopedFence(false)
+		check(err)
+		curFull, err := current.FindScopedFence(true)
+		check(err)
+		baseScoped, err := baseline.FindScopedFence(false)
+		check(err)
+		baseFull, err := baseline.FindScopedFence(true)
+		check(err)
+		if curScoped.ScopedFences == 0 {
+			fail("scoped-fence run recorded no scoped fences — every global batch fenced the whole cluster, the gate is vacuous")
+		}
+		if curFull.ScopedFences != 0 {
+			fail("fence-everything reference recorded %d scoped fences — the reference schedule is no longer full-fence",
+				curFull.ScopedFences)
+		}
+		if curFull.UntouchedTxnPerVirtualSec <= 0 || baseFull.UntouchedTxnPerVirtualSec <= 0 {
+			fail("degenerate full-fence untouched throughput (current %.0f, baseline %.0f)",
+				curFull.UntouchedTxnPerVirtualSec, baseFull.UntouchedTxnPerVirtualSec)
+		} else {
+			win := curScoped.UntouchedTxnPerVirtualSec / curFull.UntouchedTxnPerVirtualSec
+			baseWin := baseScoped.UntouchedTxnPerVirtualSec / baseFull.UntouchedTxnPerVirtualSec
+			if win < scopedFenceFloor {
+				fail("scoped-fence untouched-shard win below floor: %.2fx the full-fence throughput (need >= %.1fx)",
+					win, scopedFenceFloor)
+			}
+			if win < baseWin*(1-tolerance) {
+				fail("scoped-fence untouched-shard win regressed: %.2fx (baseline %.2fx, tolerance %d%%)",
+					win, baseWin, int(tolerance*100))
+			}
+			fmt.Printf("bench-compare: scoped-fence untouched win %.2fx (baseline %.2fx); %d scoped fences over %d global batches\n",
+				win, baseWin, curScoped.ScopedFences, curScoped.GlobalBatches)
 		}
 	}
 

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3 | fig4 | overhead | consistency | dlog | contention | sharding | all")
+	exp := flag.String("exp", "all", "experiment: fig3 | fig4 | overhead | consistency | dlog | contention | sharding | scoped | all")
 	duration := flag.Duration("duration", 30*time.Second, "measured virtual time per point")
 	warmup := flag.Duration("warmup", 3*time.Second, "virtual warm-up discarded from stats")
 	records := flag.Int("records", 1000, "YCSB dataset size")
@@ -85,21 +85,29 @@ func main() {
 			rows, err := bench.RunSharding(opt)
 			check(err)
 			fmt.Print(bench.PrintSharding(rows))
+		case "scoped":
+			rows, err := bench.RunScopedFences(opt)
+			check(err)
+			fmt.Print(bench.PrintScopedFences(rows))
 		case "contention":
 			rows, err := bench.RunContention(opt)
 			check(err)
 			fmt.Print(bench.PrintContention(rows))
 			if *benchJSON != "" {
-				// The artifact carries the dlog and sharded-scaling
-				// experiments too: one BENCH_*.json per PR accumulates the
-				// whole perf trajectory (see cmd/bench-compare).
+				// The artifact carries the dlog, sharded-scaling and
+				// scoped-fence experiments too: one BENCH_*.json per PR
+				// accumulates the whole perf trajectory (see
+				// cmd/bench-compare).
 				dlogRows, err := bench.RunDlog(opt)
 				check(err)
 				fmt.Print(bench.PrintDlog(dlogRows))
 				shardRows, err := bench.RunSharding(opt)
 				check(err)
 				fmt.Print(bench.PrintSharding(shardRows))
-				check(bench.WritePR5JSON(*benchJSON, opt, rows, dlogRows, shardRows))
+				scopedRows, err := bench.RunScopedFences(opt)
+				check(err)
+				fmt.Print(bench.PrintScopedFences(scopedRows))
+				check(bench.WritePR5JSON(*benchJSON, opt, rows, dlogRows, shardRows, scopedRows))
 				fmt.Printf("wrote %s\n", *benchJSON)
 			}
 		default:

@@ -204,11 +204,13 @@ func runSim(backend string, prog *stateflow.Program, wgen *ycsb.Generator, recor
 		if chaosSeed != 0 {
 			cfg.SnapshotEvery = 20 // give recovery real snapshots to roll back to
 		}
-		if shards > 1 {
-			sh = sfsys.NewSharded(cluster, prog, shards, cfg)
+		cfg.Shards = shards
+		dep := sfsys.New(cluster, prog, cfg)
+		if dep.Sequencer() != nil {
+			sh = dep
 			sys = sh
 		} else {
-			sf = sfsys.New(cluster, prog, cfg)
+			sf = dep.Single()
 			sys = sf
 		}
 	} else {
@@ -324,7 +326,10 @@ func runLin(profile, backend string, seed int64, noFallback, noPipelining bool, 
 			run.Recoveries, run.CoordRestarts, run.MidPipelineRestarts, run.Replays, run.FallbackDriftDemotions)
 	}
 	if shards > 1 {
-		fmt.Printf("sharded (%d shards): %d transactions sequenced globally\n", shards, run.GlobalTxns)
+		fmt.Printf("sharded (%d shards): %d transactions sequenced globally in %d batches (%d scoped / %d full fences); %d sequencer failovers (%d batches rolled forward, %d abandoned pre-apply)\n",
+			shards, run.GlobalTxns, run.Sequencer.GlobalBatches,
+			run.Sequencer.ScopedFences, run.Sequencer.FullFences,
+			run.Sequencer.Failovers, run.Sequencer.RederivedBatches, run.Sequencer.AbortedBatches)
 	}
 }
 

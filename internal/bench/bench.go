@@ -89,7 +89,7 @@ func runOne(system string, mix ycsb.Mix, dist string, rate float64, opt Options)
 		cfg.EpochInterval = opt.Epoch
 		cfg.DisableFallback = opt.NoFallback
 		cfg.DisablePipelining = opt.NoPipelining
-		sfSys = stateflow.New(cluster, prog, cfg)
+		sfSys = stateflow.New(cluster, prog, cfg).Single()
 		sys = sfSys
 	case "statefun":
 		sys = statefun.New(cluster, prog, statefun.DefaultConfig())
@@ -332,7 +332,7 @@ func RunConsistency(opt Options) ([]ConsistencyResult, error) {
 		if system == "stateflow" {
 			cfg := stateflow.DefaultConfig()
 			cfg.EpochInterval = opt.Epoch
-			sf = stateflow.New(cluster, prog, cfg)
+			sf = stateflow.New(cluster, prog, cfg).Single()
 			sys = sf
 		} else {
 			sys = statefun.New(cluster, prog, statefun.DefaultConfig())

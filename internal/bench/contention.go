@@ -175,38 +175,41 @@ func PrintContention(rows []ContentionRow) string {
 	return b.String()
 }
 
-// PR5Doc is the BENCH_pr5.json / BENCH_pr6.json / BENCH_pr8.json schema:
-// the contention experiment that gates regressions plus the dlog
-// experiment carried forward, so the benchmark trajectory accumulates in
-// one artifact per PR. From PR 6 on, both sections carry the
-// epoch-schedule dimension (".../pipeline=on|off" rows); from PR 8 on,
-// the sharded-scaling rows ride along too. bench-compare accepts older
-// artifacts without either.
+// PR5Doc is the BENCH_pr5.json / BENCH_pr6.json / BENCH_pr8.json /
+// BENCH_pr10.json schema: the contention experiment that gates
+// regressions plus the dlog experiment carried forward, so the benchmark
+// trajectory accumulates in one artifact per PR. From PR 6 on, both
+// sections carry the epoch-schedule dimension (".../pipeline=on|off"
+// rows); from PR 8 on, the sharded-scaling rows ride along too; from
+// PR 10 on, the scoped-fence rows. bench-compare accepts older artifacts
+// without any of them.
 type PR5Doc struct {
-	Benchmark  string          `json:"benchmark"`
-	Chain      int             `json:"chain"`
-	Waves      int             `json:"waves"`
-	Seed       int64           `json:"seed"`
-	Epoch      string          `json:"epoch"`
-	Contention []ContentionRow `json:"contention"`
-	Dlog       []DlogRow       `json:"dlog"`
-	Sharding   []ShardingRow   `json:"sharding,omitempty"`
+	Benchmark   string           `json:"benchmark"`
+	Chain       int              `json:"chain"`
+	Waves       int              `json:"waves"`
+	Seed        int64            `json:"seed"`
+	Epoch       string           `json:"epoch"`
+	Contention  []ContentionRow  `json:"contention"`
+	Dlog        []DlogRow        `json:"dlog"`
+	Sharding    []ShardingRow    `json:"sharding,omitempty"`
+	ScopedFence []ScopedFenceRow `json:"scoped_fence,omitempty"`
 }
 
 // WritePR5JSON writes the benchmark artifact checked in as
-// BENCH_pr8.json (BENCH_pr5.json / BENCH_pr6.json historically) and
-// enforced by the CI bench-compare step. shard may be nil (pre-PR 8
-// artifact shape).
-func WritePR5JSON(path string, opt Options, cont []ContentionRow, dlog []DlogRow, shard []ShardingRow) error {
+// BENCH_pr10.json (BENCH_pr5/6/8.json historically) and enforced by the
+// CI bench-compare step. shard and scoped may be nil (older artifact
+// shapes).
+func WritePR5JSON(path string, opt Options, cont []ContentionRow, dlog []DlogRow, shard []ShardingRow, scoped []ScopedFenceRow) error {
 	doc := PR5Doc{
-		Benchmark:  "aria-fallback-contention",
-		Chain:      contentionChain,
-		Waves:      contentionWaves,
-		Seed:       opt.Seed,
-		Epoch:      contentionEpoch.String(),
-		Contention: cont,
-		Dlog:       dlog,
-		Sharding:   shard,
+		Benchmark:   "aria-fallback-contention",
+		Chain:       contentionChain,
+		Waves:       contentionWaves,
+		Seed:        opt.Seed,
+		Epoch:       contentionEpoch.String(),
+		Contention:  cont,
+		Dlog:        dlog,
+		Sharding:    shard,
+		ScopedFence: scoped,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -262,4 +265,14 @@ func (d PR5Doc) FindSharding(shards int) (ShardingRow, error) {
 		}
 	}
 	return ShardingRow{}, fmt.Errorf("benchmark doc has no sharding row for %d shards", shards)
+}
+
+// FindScopedFence returns the scoped-fence row for one fence schedule.
+func (d PR5Doc) FindScopedFence(fullFences bool) (ScopedFenceRow, error) {
+	for _, r := range d.ScopedFence {
+		if r.FullFences == fullFences {
+			return r, nil
+		}
+	}
+	return ScopedFenceRow{}, fmt.Errorf("benchmark doc has no scoped-fence row with full_fences=%v", fullFences)
 }

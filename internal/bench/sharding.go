@@ -27,10 +27,11 @@ const (
 	shardingUpdates  = 4800 // single-shard (ref-closed) update transactions
 	// shardingXfers is the cross-shard tail: transfers whose two accounts
 	// hash to different shards become globally sequenced transactions.
-	// Deliberately sparse — every global batch fences the whole cluster,
-	// so the mix models a workload where cross-shard commerce is the rare
-	// case the routing fast path is designed around. On one shard every
-	// pair is trivially co-located and the tail rides the fast path too.
+	// Deliberately sparse — every global batch fences its footprint (both
+	// shards at 2, so effectively the cluster), so the mix models a
+	// workload where cross-shard commerce is the rare case the routing
+	// fast path is designed around. On one shard the classic topology
+	// deploys and every pair is trivially co-located.
 	shardingXfers = 12
 	// shardingSpacing offers ~20k RPS — far beyond one shard's worker
 	// pool (5 workers at ~0.5ms of CPU per transaction saturate near
@@ -93,7 +94,8 @@ func runShardingPoint(opt Options, shards int) (ShardingRow, error) {
 	cfg := stateflow.DefaultConfig()
 	cfg.EpochInterval = shardingEpoch
 	cfg.SnapshotEvery = 10
-	sys := stateflow.NewSharded(cluster, prog, shards, cfg)
+	cfg.Shards = shards
+	sys := stateflow.New(cluster, prog, cfg)
 	for i := 0; i < shardingAccounts; i++ {
 		if err := sys.PreloadEntity("Account",
 			interp.StrV(ycsb.Key(i)), interp.IntV(ycsb.InitialBalance), interp.StrV("")); err != nil {
@@ -166,10 +168,17 @@ func runShardingPoint(opt Options, shards int) (ShardingRow, error) {
 		VirtualMakespanMs: float64(makespan) / float64(time.Millisecond),
 		VirtualP50Ms:      lat.P50Ms(),
 		VirtualP99Ms:      lat.P99Ms(),
-		SingleShard:       sys.Sequencer().SingleShard,
-		GlobalTxns:        sys.Sequencer().GlobalTxns,
-		GlobalBatches:     sys.Sequencer().GlobalBatches,
 		WallMs:            float64(wall) / float64(time.Millisecond),
+	}
+	// The 1-shard point deploys the classic topology (no sequencer): every
+	// transaction is trivially single-"shard" and there is no routing
+	// split to record.
+	if q := sys.Sequencer(); q != nil {
+		row.SingleShard = q.SingleShard
+		row.GlobalTxns = q.GlobalTxns
+		row.GlobalBatches = q.GlobalBatches
+	} else {
+		row.SingleShard = total
 	}
 	for _, sh := range sys.Shards() {
 		row.Commits += sh.Coordinator().Commits

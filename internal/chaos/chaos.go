@@ -66,6 +66,18 @@ type Crash struct {
 	Every time.Duration
 	// Count is the number of windows per victim (default 1).
 	Count int
+	// Pinned skips the RNG victim shuffle and targets the first Victims
+	// components of the sorted pool. The draw matters: rand.Perm consumes
+	// one value even for a single-member pool, so a shuffled crash
+	// appended to an already-observed plan shifts every later latency and
+	// perturbation draw and the whole schedule diverges from t=0. A
+	// pinned crash installs with the cluster RNG untouched, so the
+	// appending caller gets a byte-identical schedule prefix up to the
+	// new instant — which is how the adversarial oracle aims a sequencer
+	// crash at the midpoint of a fence window it observed in a previous
+	// run. Mostly meaningful for single-member pools, where the pinned
+	// choice is the only choice.
+	Pinned bool
 }
 
 // Edge selects message deliveries by (sender role, receiver role); "*"
@@ -110,8 +122,12 @@ func (p Plan) String() string {
 			if i > 0 {
 				b.WriteString(", ")
 			}
-			fmt.Fprintf(&b, "{Role: %q, Victims: %d, At: %s, Downtime: %s, Every: %s, Count: %d}",
+			fmt.Fprintf(&b, "{Role: %q, Victims: %d, At: %s, Downtime: %s, Every: %s, Count: %d",
 				c.Role, c.Victims, goDur(c.At), goDur(c.Downtime), goDur(c.Every), c.Count)
+			if c.Pinned {
+				b.WriteString(", Pinned: true")
+			}
+			b.WriteString("}")
 		}
 		b.WriteString("}")
 	}
@@ -268,10 +284,20 @@ func (e *Engine) installCrash(cr Crash) {
 		count = 1
 	}
 	// Deterministic victim choice from the cluster's RNG; sort first so
-	// the pool order never depends on map iteration upstream.
+	// the pool order never depends on map iteration upstream. A pinned
+	// crash takes the sorted pool head instead, consuming no RNG (see
+	// Crash.Pinned).
 	pool := append([]string(nil), ids...)
 	sort.Strings(pool)
-	perm := e.cluster.Rand().Perm(len(pool))
+	var perm []int
+	if cr.Pinned {
+		perm = make([]int, len(pool))
+		for i := range perm {
+			perm[i] = i
+		}
+	} else {
+		perm = e.cluster.Rand().Perm(len(pool))
+	}
 	for v := 0; v < victims; v++ {
 		id := pool[perm[v]]
 		for k := 0; k < count; k++ {
@@ -493,6 +519,32 @@ func FromSeed(seed int64, horizon time.Duration) Plan {
 				Jitter: time.Duration(rng.Int63n(int64(8*time.Millisecond))) + time.Millisecond,
 			},
 		},
+	}
+	// A sequencer crash window, drawn strictly after every other draw so
+	// the plan for any given seed is unchanged from older releases up to
+	// this appended entry, and Pinned so installing it consumes no
+	// cluster RNG either (unsharded topologies additionally clamp it: no
+	// sequencer role). Several instants per plan for the same reason as
+	// the coordinator window above: the sequencer holds fences for a
+	// large fraction of each global batch, so a handful of spread
+	// instants all but guarantees at least one reboot lands inside a
+	// fenced window — the failover path (fence re-derivation, apply
+	// roll-forward, abandoned-batch release) the sweep must exercise.
+	{
+		downtime := time.Duration(rng.Int63n(int64(12*time.Millisecond))) + 8*time.Millisecond
+		at := active/8 + time.Duration(rng.Int63n(int64(active)/2))
+		if at+downtime > horizon {
+			at = horizon - downtime
+		}
+		p.Crashes = append(p.Crashes, Crash{
+			Role:     "sequencer",
+			Victims:  1,
+			At:       at,
+			Downtime: downtime,
+			Every:    downtime + 12*time.Millisecond + time.Duration(rng.Int63n(int64(10*time.Millisecond))),
+			Count:    4,
+			Pinned:   true,
+		})
 	}
 	return p
 }

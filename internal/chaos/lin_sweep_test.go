@@ -72,9 +72,14 @@ func TestAdversarialLinSweep(t *testing.T) {
 // regardless of the CHAOS_SHARDS matrix: the cross-shard transfer
 // profile sweeps a handful of seeds on 2- and 4-shard deployments, and
 // every chaos run must produce a serializable, conserving history while
-// surviving at least one single-shard coordinator crash and routing real
-// traffic through the global sequencer (VerifyAdversarial enforces both
-// floors when Config.Shards > 1). Failures reproduce from two integers:
+// surviving at least one single-shard coordinator crash, routing real
+// traffic through the global sequencer, and living through sequencer
+// failovers — including one crash aimed at the midpoint of an observed
+// fence window, which VerifyAdversarial appends as a third run per seed
+// and requires to have re-derived or abandoned an in-flight batch
+// (exactly-once delivery accounting runs on that history too, pinning
+// no-double-execution across the failover). Failures reproduce from two
+// integers:
 //
 //	stateflow-run -lin xshard -seed N -shards 2
 func TestShardedAdversarialXShard(t *testing.T) {
@@ -88,7 +93,7 @@ func TestShardedAdversarialXShard(t *testing.T) {
 			t.Parallel()
 			cfg := oracle.DefaultConfig()
 			cfg.Shards = shards
-			restarts, globals := 0, 0
+			restarts, globals, failovers, rederived := 0, 0, 0, 0
 			for seed := int64(1); seed <= seeds; seed++ {
 				run, err := oracle.VerifyAdversarial(workload.XShard, stateflow.BackendStateFlow, seed, cfg)
 				if err != nil {
@@ -96,8 +101,11 @@ func TestShardedAdversarialXShard(t *testing.T) {
 				}
 				restarts += run.CoordRestarts
 				globals += run.GlobalTxns
+				failovers += run.Sequencer.Failovers
+				rederived += run.Sequencer.RederivedBatches + run.Sequencer.AbortedBatches
 			}
-			t.Logf("%d shard-coordinator reboots survived, %d global transactions sequenced", restarts, globals)
+			t.Logf("%d shard-coordinator reboots survived, %d global transactions sequenced, %d sequencer failovers (%d batches re-derived or abandoned)",
+				restarts, globals, failovers, rederived)
 		})
 	}
 }

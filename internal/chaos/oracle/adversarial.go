@@ -53,6 +53,7 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 		UncheckedFallbackDrift: cfg.UncheckedFallbackDrift,
 		UncheckedReplayOrder:   cfg.UncheckedReplayOrder,
 		Shards:                 cfg.Shards,
+		FullFences:             cfg.FullFences,
 	}
 	if cfg.Traced {
 		simCfg.Tracer = stateflow.NewTracer()
@@ -260,6 +261,8 @@ func RunAdversarial(spec workload.Spec, backend stateflow.Backend, seed int64, p
 			run.FallbackDriftDemotions += c.FallbackDriftDemotions
 		}
 		run.GlobalTxns = sh.Sequencer().GlobalTxns
+		run.Sequencer = sh.Sequencer().Stats()
+		run.FenceWindows = fenceWindows(sim.FlightRecorder().Events())
 	}
 	return h, run, nil
 }
@@ -307,6 +310,72 @@ func VerifyAdversarial(p workload.Profile, backend stateflow.Backend, seed int64
 		if got.GlobalTxns == 0 {
 			return got, withFlight(fail("chaos run routed no transaction through the global sequencer (shards=%d); the cross-shard commit path went unexercised", cfg.Shards), got.Flight)
 		}
+		// Every seeded plan schedules sequencer crash windows; a sweep
+		// that stopped rebooting the sequencer would silently shrink to
+		// shard-local fault coverage.
+		if got.Sequencer.Failovers == 0 {
+			return got, withFlight(fail("chaos run survived no sequencer failover (the plan scheduled crash windows); the recovery handshake went unexercised"), got.Flight)
+		}
+		if len(got.FenceWindows) == 0 {
+			return got, withFlight(fail("chaos run recorded no completed fence window despite %d global txns; cannot target a mid-fence crash", got.GlobalTxns), got.Flight)
+		}
+		// Third run: the seeded windows land wherever the RNG put them,
+		// so additionally aim one sequencer crash at the midpoint of a
+		// fence window observed under the plan. The crash is appended
+		// last and Pinned, so installing it consumes no cluster RNG and
+		// the schedule prefix replays byte-for-byte — the window seen in
+		// the second run is guaranteed to be open at that instant in the
+		// third, and the reboot lands with a shard provably parked,
+		// forcing fence re-derivation and a roll-forward or abandon
+		// decision rather than merely permitting one.
+		// Candidate windows must open before the horizon: installCrash
+		// drops instants past it, so a midpoint beyond the horizon would
+		// silently schedule nothing. Windows can also outlive the horizon
+		// (the run itself continues until traffic settles), so clip each
+		// to it and pick the widest clipped span — the most room for the
+		// crash to land with the shard still provably parked.
+		var win FenceWindow
+		var span time.Duration
+		for _, w := range got.FenceWindows {
+			to := w.To
+			if to > plan.Horizon {
+				to = plan.Horizon
+			}
+			if d := to - w.From; d > span || (d == span && w.From < win.From) {
+				win, span = w, d
+			}
+		}
+		if span <= 0 {
+			return got, withFlight(fail("every observed fence window opens past the plan horizon %s; cannot aim a mid-fence crash", cfg.Horizon), got.Flight)
+		}
+		targeted := plan
+		targeted.Name = plan.Name + "+seq-mid-fence"
+		targeted.Crashes = append(append([]chaos.Crash(nil), plan.Crashes...), chaos.Crash{
+			Role:     "sequencer",
+			Victims:  1,
+			At:       win.From + span/2,
+			Downtime: 10 * time.Millisecond,
+			Count:    1,
+			Pinned:   true,
+		})
+		h, tgt, err := RunAdversarial(spec, backend, seed, &targeted, cfg)
+		if err != nil {
+			return tgt, withFlight(fail("targeted mid-fence crash run failed: %v", err), tgt.Flight)
+		}
+		if err := lin.Check(h, spec.Conservation()); err != nil {
+			return tgt, withFlight(fail("targeted mid-fence crash history rejected: %v", err), tgt.Flight)
+		}
+		if tgt.Sequencer.Failovers == 0 {
+			return tgt, withFlight(fail("targeted run survived no sequencer failover (crash aimed at %s inside fence window [%s, %s] on %s)",
+				win.From+span/2, win.From, win.To, win.Node), tgt.Flight)
+		}
+		if tgt.Sequencer.RederivedBatches+tgt.Sequencer.AbortedBatches == 0 {
+			return tgt, withFlight(fail("targeted mid-fence crash neither rolled a batch forward nor abandoned one (failovers=%d); the crash missed every fenced window",
+				tgt.Sequencer.Failovers), tgt.Flight)
+		}
+		got.Sequencer.Failovers += tgt.Sequencer.Failovers
+		got.Sequencer.RederivedBatches += tgt.Sequencer.RederivedBatches
+		got.Sequencer.AbortedBatches += tgt.Sequencer.AbortedBatches
 	}
 	return got, nil
 }

@@ -121,6 +121,15 @@ type Run struct {
 	// workload actually exercised cross-shard histories rather than
 	// degenerating into per-shard traffic.
 	GlobalTxns int
+	// Sequencer snapshots the sequencing layer's full counter set (zero
+	// value unless Config.Shards > 1): scoped vs full fence schedules,
+	// sequencer failovers, batches re-derived from durable manifests or
+	// abandoned. Floors over these prove the failover machinery ran.
+	Sequencer stateflow.SequencerStats
+	// FenceWindows lists every completed per-shard fence park observed in
+	// the flight recorder, in park order. The adversarial sweep's
+	// targeted sequencer crash is aimed inside one of them.
+	FenceWindows []FenceWindow
 	// Flight is the cluster's flight-recorder dump (crashes, reboots,
 	// epoch advances, fences, replay decisions in virtual-time order).
 	// Verify appends it to failure reports so a failing seed arrives
@@ -157,6 +166,9 @@ type Config struct {
 	// groups behind a global sequencer (0 or 1 keeps the classic
 	// single-coordinator topology). Other backends ignore it.
 	Shards int
+	// FullFences forces the sequencer's historical fence-everything
+	// schedule (the scoped-fence differential runs compare the two).
+	FullFences bool
 	// Traced attaches a transaction tracer to every run. Tracing is
 	// deterministically inert, so a traced sweep must pass exactly as an
 	// untraced one — CI runs a short traced sweep as the inertness pin.
@@ -188,6 +200,7 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		DisableFallback:   cfg.DisableFallback,
 		DisablePipelining: cfg.DisablePipelining,
 		Shards:            cfg.Shards,
+		FullFences:        cfg.FullFences,
 	}
 	if cfg.Traced {
 		simCfg.Tracer = stateflow.NewTracer()
@@ -315,6 +328,8 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 			run.Replays += c.Replays
 		}
 		run.GlobalTxns = sh.Sequencer().GlobalTxns
+		run.Sequencer = sh.Sequencer().Stats()
+		run.FenceWindows = fenceWindows(sim.FlightRecorder().Events())
 	}
 	fmt.Fprintf(&trace, "delivered=%d now=%s recoveries=%d restarts=%d midpipeline=%d replays=%d\n",
 		sim.Cluster.Delivered, sim.Cluster.Now(), run.Recoveries, run.CoordRestarts,
@@ -327,6 +342,45 @@ func RunOnce(w Workload, backend stateflow.Backend, seed int64, plan *chaos.Plan
 		}
 	}
 	return run, nil
+}
+
+// FenceWindow is one completed per-shard fence park: the interval during
+// which Node (a shard coordinator) was quiesced for a global batch.
+type FenceWindow struct {
+	Node string
+	From time.Duration
+	To   time.Duration
+}
+
+// fenceWindows pairs the shard coordinators' park/resume flight events
+// into completed fence windows, in park order. Windows still open when
+// the run quiesced are dropped — a targeted crash needs a bounded
+// interval to land in. A crash of the parked node closes its window at
+// the crash instant: the reboot re-derives the durable fence silently
+// (no second park event), so pairing across the crash would weld the
+// pre-crash park to a much later resume into one phantom mega-window
+// whose midpoint may not be fenced at all.
+func fenceWindows(events []stateflow.FlightEvent) []FenceWindow {
+	open := map[string]time.Duration{}
+	var out []FenceWindow
+	for _, ev := range events {
+		switch ev.Kind {
+		case "fence":
+			open[ev.Node] = ev.At
+		case "unfence", "crash":
+			if from, ok := open[ev.Node]; ok && ev.At > from {
+				out = append(out, FenceWindow{Node: ev.Node, From: from, To: ev.At})
+				delete(open, ev.Node)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
 }
 
 // stateDigest canonically dumps the committed state of the classes.

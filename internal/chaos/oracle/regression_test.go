@@ -93,6 +93,37 @@ func TestFallbackDriftRegression(t *testing.T) {
 	}
 }
 
+// TestSequencerFailoverRegression pins the sequencer's crash recovery
+// as load-bearing. On this seed the 2-shard deployment takes sequencer
+// crashes inside held fence windows — including the targeted mid-fence
+// crash VerifyAdversarial aims at the midpoint of the widest observed
+// window, which lands while a global batch's per-shard __apply__
+// installs are in flight. The rebooted sequencer must re-derive the
+// in-flight batch from the durable per-shard fence markers and roll it
+// forward exactly once: the full adversarial verdict (serializability,
+// conservation, exactly-once accounting) rejects a double-applied or
+// half-applied batch, and this test additionally requires that at least
+// one batch was genuinely rolled forward (not merely abandoned
+// pre-apply), so the roll-forward path itself stays exercised.
+func TestSequencerFailoverRegression(t *testing.T) {
+	const seed = 2
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	run, err := VerifyAdversarial(workload.XShard, stateflow.BackendStateFlow, seed, cfg)
+	if err != nil {
+		t.Fatalf("seed %d shards=%d: %v", seed, cfg.Shards, err)
+	}
+	if run.Sequencer.Failovers == 0 {
+		t.Fatal("no sequencer failover on the pinned seed; the regression seed went stale")
+	}
+	if run.Sequencer.RederivedBatches == 0 {
+		t.Fatalf("sequencer failed over %d times but never rolled an in-flight batch forward; the mid-__apply__ recovery path went unexercised",
+			run.Sequencer.Failovers)
+	}
+	t.Logf("seed %d shards=%d: %d failovers, %d batches rolled forward, %d abandoned pre-apply",
+		seed, cfg.Shards, run.Sequencer.Failovers, run.Sequencer.RederivedBatches, run.Sequencer.AbortedBatches)
+}
+
 // TestFallbackDriftDemotesOnDefaultPath asserts the drift guard also
 // fires during ordinary (fully fixed) chaos runs — the regression seeds
 // above need the historical recovery to make drift client-visible, but

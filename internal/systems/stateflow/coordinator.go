@@ -322,6 +322,9 @@ type Coordinator struct {
 	fenceSeq     int64
 	fenceDone    int64
 	fenceApply   *pendingReq
+	// parkWatch is the batch id a live fence-park watchdog chain covers
+	// (0: none) — at most one chain per park (see onFenceParkTick).
+	parkWatch int64
 	// fencedAt is when the shard parked (trace-span start of the fence
 	// window). Purely observational.
 	fencedAt time.Duration
@@ -383,6 +386,12 @@ func (c *Coordinator) OnMessage(ctx *sim.Context, from string, msg sim.Message) 
 		c.onUnfence(ctx, m)
 	case msgGlobalRead:
 		c.onGlobalRead(ctx, m)
+	case msgFenceParkTick:
+		c.onFenceParkTick(ctx, m)
+	case msgSeqFenceQuery:
+		c.onSeqFenceQuery(ctx, m)
+	case msgSeqProbe:
+		c.onSeqProbe(ctx, m)
 	}
 }
 
@@ -1156,18 +1165,35 @@ func (c *Coordinator) releaseCommit(ctx *sim.Context) {
 // group-commit sync, so a response a client could have seen is always in
 // the recoverable prefix.
 func (c *Coordinator) respond(ctx *sim.Context, t *txnState, resp sysapi.Response) {
+	if t.req.Method == applyMethod {
+		// A global batch's apply: before the apply's own ack, stage the
+		// batch transactions' responses this shard is home to into the
+		// durable egress buffer (write-ahead order — a durable apply ack
+		// must imply durable embedded responses, or a sequencer failover
+		// could re-sequence an answered transaction; see failover.go).
+		c.stageEmbeddedResponses(ctx, t)
+	}
 	if t.replyTo == "" {
 		return
 	}
-	id := resp.Req
+	c.stage(ctx, t.replyTo, deliveredEntry{resp: resp, at: ctx.Now(), pos: t.pos})
+}
+
+// stage appends one response's delivered-record and queues its release
+// on the next group-commit sync. replyTo may be empty: the record is
+// then a pure dedup/re-serve entry (an embedded global-batch response
+// whose client talks to the sequencer) and no send happens at sync time.
+func (c *Coordinator) stage(ctx *sim.Context, replyTo string, ent deliveredEntry) {
+	id := ent.resp.Req
 	if _, done := c.delivered[id]; done {
 		return
 	}
-	ent := deliveredEntry{resp: resp, at: ctx.Now(), pos: t.pos}
 	if c.sys.Dlog == nil {
 		c.delivered[id] = ent
-		ctx.Send(t.replyTo, sysapi.MsgResponse{Response: resp},
-			c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		if replyTo != "" {
+			ctx.Send(replyTo, sysapi.MsgResponse{Response: ent.resp},
+				c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		}
 		return
 	}
 	if c.stagedIDs[id] {
@@ -1178,8 +1204,28 @@ func (c *Coordinator) respond(ctx *sim.Context, t *txnState, resp sysapi.Respons
 	rec.At = int64(ent.at)
 	lsn := c.sys.Dlog.Append(rec)
 	c.lastLSN = lsn
-	c.staged = append(c.staged, stagedResponse{lsn: lsn, replyTo: t.replyTo, ent: ent})
+	c.staged = append(c.staged, stagedResponse{lsn: lsn, replyTo: replyTo, ent: ent})
 	c.stagedIDs[id] = true
+}
+
+// stageEmbeddedResponses durably records the responses of the global
+// batch transactions homed on this shard, decoded from the manifest
+// riding the apply. They ride the apply's own group-commit sync, cost
+// one delivered-record each, and are never sent from here — the
+// sequencer releases them — but they make this shard the transaction's
+// durable exactly-once witness: a failed-over sequencer probes them
+// (onSeqProbe) before re-sequencing an unrecognized global id.
+func (c *Coordinator) stageEmbeddedResponses(ctx *sim.Context, t *txnState) {
+	man, err := decodeManifest(manifestOf(t.req))
+	if err != nil {
+		return // pre-manifest apply (none in this tree; defensive)
+	}
+	for _, mt := range man.txns {
+		if mt.home != c.sys.shardIndex {
+			continue
+		}
+		c.stage(ctx, "", deliveredEntry{resp: mt.res, at: ctx.Now(), pos: t.pos})
+	}
 }
 
 // groupCommit issues one batched sync covering every record appended so
@@ -1213,8 +1259,10 @@ func (c *Coordinator) onLogSynced(ctx *sim.Context, m msgLogSynced) {
 		id := s.ent.resp.Req
 		c.delivered[id] = s.ent
 		delete(c.stagedIDs, id)
-		ctx.Send(s.replyTo, sysapi.MsgResponse{Response: s.ent.resp},
-			c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		if s.replyTo != "" {
+			ctx.Send(s.replyTo, sysapi.MsgResponse{Response: s.ent.resp},
+				c.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		}
 		n++
 	}
 	c.staged = c.staged[n:]
@@ -1688,6 +1736,12 @@ func (c *Coordinator) Recover(ctx *sim.Context) {
 	// binding replay, instead of resuming normal epochs between the
 	// sequencer's reads and its writes.
 	c.scanFenceState()
+	if c.fenced {
+		// The crash voided any pre-crash watchdog chain; a rebuilt park
+		// needs a fresh one (re-acks resume once a fence or recovery
+		// query restores fenceFrom).
+		c.armParkWatchdog(ctx, c.fenceSeq)
+	}
 	c.recovered = map[string]bool{}
 	c.snapshotID = snapID
 	c.RestoredSnapshots = append(c.RestoredSnapshots, snapID)
@@ -1781,6 +1835,7 @@ func (c *Coordinator) OnRestart(ctx *sim.Context) {
 	// sender, and the re-ack path answers them).
 	c.fencePending, c.fenceSeq, c.fenceDone = 0, 0, 0
 	c.fenced, c.fenceApply, c.fenceFrom = false, nil, ""
+	c.parkWatch = 0
 	c.epoch = ck.epoch
 	c.nextTID = ck.nextTID
 	c.sealed = ck.sealed

@@ -64,7 +64,7 @@ func TestLateDuplicateAbsorbedAfterPruning(t *testing.T) {
 		t.Fatalf("compile: %v", cerr)
 	}
 	cluster := sim.New(7)
-	sys := New(cluster, prog, cfg)
+	sys := New(cluster, prog, cfg).Single()
 	for i := 0; i < 4; i++ {
 		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
 			t.Fatalf("preload: %v", err)

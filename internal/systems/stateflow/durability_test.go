@@ -40,7 +40,7 @@ func newDurableFixture(t *testing.T, seed int64, cfg Config, n, accounts int) *d
 		})
 	}
 	cluster := sim.New(seed)
-	sys := New(cluster, prog, cfg)
+	sys := New(cluster, prog, cfg).Single()
 	for i := 0; i < accounts; i++ {
 		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
 			t.Fatalf("preload: %v", err)
@@ -233,7 +233,7 @@ func TestDedupMapsPrunedAtCheckpoint(t *testing.T) {
 		})
 	}
 	cluster := sim.New(13)
-	sys := New(cluster, prog, cfg)
+	sys := New(cluster, prog, cfg).Single()
 	for i := 0; i < A; i++ {
 		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
 			t.Fatalf("preload: %v", err)
@@ -291,7 +291,7 @@ func TestBoundedBatchesChunkReplay(t *testing.T) {
 		})
 	}
 	cluster := sim.New(17)
-	sys := New(cluster, prog, cfg)
+	sys := New(cluster, prog, cfg).Single()
 	for i := 0; i < 4; i++ {
 		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
 			t.Fatalf("preload: %v", err)

@@ -1,0 +1,438 @@
+// Sequencer crash recovery.
+//
+// The sequencer keeps no durable state of its own — by design, all of a
+// global batch's recovery state lives in the shards' durable logs:
+//
+//   - The fence window itself: a shard parked for batch S carries an
+//     unbalanced __fence__ marker, so "which shards are fenced, and for
+//     what" survives any combination of shard and sequencer crashes.
+//   - The batch manifest: every __apply__ the sequencer sends carries,
+//     besides its own shard's write-set, an encoding of the whole batch
+//     (footprint, per-transaction responses, every shard's write-set).
+//     One durable apply anywhere is therefore enough to finish the batch
+//     exactly as the dead incarnation would have.
+//
+// On reboot the sequencer queries every shard's fence state
+// (msgSeqFenceQuery → msgSeqFenceReport) and distinguishes:
+//
+//   - Some fenced shard holds the batch's __apply__: the batch reached
+//     its commit phase, so it may already be partially installed — and
+//     some responses may already have been released. Roll it FORWARD:
+//     rebuild the batch from the manifest (rederiveBatch), re-send every
+//     apply (shards dedupe by the incarnation-stable apply id), then
+//     re-release the responses and unfence. Exactly-once holds because
+//     applies, responses and unfences are all idempotent downstream.
+//   - Shards are fenced but no apply is durable anywhere: nothing of the
+//     batch committed and no response can have been released (responses
+//     only go out after every apply ack). Abandon it: unfence the parked
+//     shards and let the clients' retries re-sequence the lost
+//     transactions from scratch.
+//
+// One hazard remains: the reboot wipes the sequencer's volatile
+// delivered-map, so a client retry of an already-answered global
+// transaction would look fresh and re-execute. The shards close this
+// hole: each global transaction's home shard stages the transaction's
+// response into its durable egress buffer when it installs the batch's
+// apply (coordinator.go), and a failed-over sequencer probes that buffer
+// (msgSeqProbe → msgSeqProbeAck) for every global id it does not
+// recognize before re-sequencing it.
+package stateflow
+
+import (
+	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/sim"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
+)
+
+// manifestTxn is one client transaction recorded in a batch manifest:
+// its identity, where the response goes, its home shard, and the
+// response the batch computed for it.
+type manifestTxn struct {
+	req     string
+	replyTo string
+	home    int
+	res     sysapi.Response
+}
+
+// manifestApply is one shard's slice of the batch: the write-set string
+// (fence.go encoding) and the entity the apply transaction targets.
+type manifestApply struct {
+	shard  int
+	target interp.EntityRef
+	writes string
+}
+
+// batchManifest is the durable recovery record of one global batch,
+// riding every __apply__ as an encoded string argument (Args[2]).
+type batchManifest struct {
+	seq       int64
+	footprint []int
+	txns      []manifestTxn
+	applies   []manifestApply
+}
+
+func encodeManifest(m *batchManifest) string {
+	e := interp.NewEncoder()
+	e.Varint(m.seq)
+	e.Uvarint(uint64(len(m.footprint)))
+	for _, idx := range m.footprint {
+		e.Varint(int64(idx))
+	}
+	e.Uvarint(uint64(len(m.txns)))
+	for _, t := range m.txns {
+		e.Str(t.req)
+		e.Str(t.replyTo)
+		e.Varint(int64(t.home))
+		e.Value(t.res.Value)
+		e.Str(t.res.Err)
+		e.Varint(int64(t.res.Retries))
+	}
+	e.Uvarint(uint64(len(m.applies)))
+	for _, a := range m.applies {
+		e.Varint(int64(a.shard))
+		e.Str(a.target.Class)
+		e.Str(a.target.Key)
+		e.Str(a.writes)
+	}
+	return string(e.Bytes())
+}
+
+func decodeManifest(s string) (*batchManifest, error) {
+	d := interp.NewDecoder([]byte(s))
+	m := &batchManifest{}
+	var err error
+	if m.seq, err = d.Varint(); err != nil {
+		return nil, err
+	}
+	n, err := d.Uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		idx, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		m.footprint = append(m.footprint, int(idx))
+	}
+	if n, err = d.Uvarint(); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var t manifestTxn
+		if t.req, err = d.Str(); err != nil {
+			return nil, err
+		}
+		if t.replyTo, err = d.Str(); err != nil {
+			return nil, err
+		}
+		home, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		t.home = int(home)
+		if t.res.Value, err = d.Value(); err != nil {
+			return nil, err
+		}
+		if t.res.Err, err = d.Str(); err != nil {
+			return nil, err
+		}
+		retries, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		t.res.Retries = int(retries)
+		t.res.Req = t.req
+		m.txns = append(m.txns, t)
+	}
+	if n, err = d.Uvarint(); err != nil {
+		return nil, err
+	}
+	for i := uint64(0); i < n; i++ {
+		var a manifestApply
+		shard, err := d.Varint()
+		if err != nil {
+			return nil, err
+		}
+		a.shard = int(shard)
+		if a.target.Class, err = d.Str(); err != nil {
+			return nil, err
+		}
+		if a.target.Key, err = d.Str(); err != nil {
+			return nil, err
+		}
+		if a.writes, err = d.Str(); err != nil {
+			return nil, err
+		}
+		m.applies = append(m.applies, a)
+	}
+	return m, nil
+}
+
+// buildManifest snapshots the batch at commit time: transactions in
+// batch order with their computed responses, applies in shard ring
+// order. The encoding is deterministic, so every shard's copy of the
+// manifest is byte-identical.
+func (q *Sequencer) buildManifest(b *globalBatch, groups map[int][]writeSetEntry, targets map[int]interp.EntityRef) *batchManifest {
+	m := &batchManifest{seq: b.seq, footprint: sortedShards(b.footprint)}
+	for _, t := range b.txns {
+		m.txns = append(m.txns, manifestTxn{
+			req:     t.req.Req,
+			replyTo: t.replyTo,
+			home:    q.sys.ShardOf(t.req.Target),
+			res:     t.res,
+		})
+	}
+	set := map[int]bool{}
+	for idx := range targets {
+		set[idx] = true
+	}
+	for _, idx := range sortedShards(set) {
+		m.applies = append(m.applies, manifestApply{
+			shard:  idx,
+			target: targets[idx],
+			writes: encodeWriteSet(groups[idx]),
+		})
+	}
+	return m
+}
+
+// manifestOf extracts the manifest string riding an apply request ("" if
+// absent — pre-manifest applies cannot be rederived, only re-served).
+func manifestOf(req sysapi.Request) string {
+	if len(req.Args) > 2 && req.Args[2].Kind == interp.KStr {
+		return req.Args[2].S
+	}
+	return ""
+}
+
+// ---------------------------------------------------------------------------
+// The rebooted sequencer.
+
+// OnRestart implements sim.RestartHandler: the sequencer machine came
+// back with its memory gone. Query every shard's durable fence state;
+// completeRecovery resolves the in-flight batch once all have reported.
+func (q *Sequencer) OnRestart(ctx *sim.Context) {
+	q.Failovers++
+	q.cur = nil
+	q.queue = nil
+	q.nextSeq = 0
+	q.inFlight = map[string]bool{}
+	q.delivered = map[string]sysapi.Response{}
+	q.probing = map[string]*globalTxn{}
+	q.reports = map[int]msgSeqFenceReport{}
+	q.recovering, q.failedOver = true, true
+	q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "failover",
+		"sequencer rebooted: querying %d shards for fence state", len(q.sys.shards))
+	for _, sh := range q.sys.shards {
+		ctx.Send(sh.coordID, msgSeqFenceQuery{From: q.sys.seqID},
+			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+	ctx.After(q.sys.cfg.StallTimeout, msgSeqRecoverTick{})
+}
+
+// onRecoverTick re-queries shards that have not reported yet (the query
+// or its report was lost, or the shard was itself mid-recovery).
+func (q *Sequencer) onRecoverTick(ctx *sim.Context, _ msgSeqRecoverTick) {
+	if !q.recovering {
+		return
+	}
+	for i, sh := range q.sys.shards {
+		if _, ok := q.reports[i]; !ok {
+			ctx.Send(sh.coordID, msgSeqFenceQuery{From: q.sys.seqID},
+				q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+		}
+	}
+	ctx.After(q.sys.cfg.StallTimeout, msgSeqRecoverTick{})
+}
+
+func (q *Sequencer) onFenceReport(ctx *sim.Context, from string, m msgSeqFenceReport) {
+	idx, ok := q.sys.shardIdx[from]
+	if !ok || !q.recovering || idx != m.Shard {
+		return
+	}
+	if _, dup := q.reports[idx]; dup {
+		return
+	}
+	q.reports[idx] = m
+	if len(q.reports) == len(q.sys.shards) {
+		q.completeRecovery(ctx)
+	}
+}
+
+// completeRecovery resolves the fence state the shards reported: advance
+// nextSeq past every batch id any shard has seen, then roll the
+// in-flight batch forward (a durable apply exists) or abandon it (none
+// does — nothing committed, nothing was released).
+func (q *Sequencer) completeRecovery(ctx *sim.Context) {
+	q.recovering = false
+	fencedSeq := map[int]int64{}
+	var apply *sysapi.MsgRequest
+	for i := 0; i < len(q.sys.shards); i++ {
+		r := q.reports[i]
+		if r.FenceSeq > q.nextSeq {
+			q.nextSeq = r.FenceSeq
+		}
+		if r.FenceDone > q.nextSeq {
+			q.nextSeq = r.FenceDone
+		}
+		if r.Fenced {
+			fencedSeq[i] = r.FenceSeq
+			if r.HasApply && apply == nil {
+				a := r.Apply
+				apply = &a
+			}
+		}
+	}
+	q.reports = nil
+	if apply != nil {
+		if man, err := decodeManifest(manifestOf(apply.Request)); err == nil {
+			q.rederiveBatch(ctx, man, manifestOf(apply.Request))
+		}
+	}
+	// Release every parked shard the rolled-forward batch (if any) does
+	// not cover: orphans of even older incarnations, or the whole fenced
+	// set when the batch is being abandoned. Their fence watchdogs would
+	// surface them eventually (maybeReleaseOrphan); releasing here saves
+	// the stall timeout.
+	released := false
+	for _, idx := range sortedShards(boolSet(fencedSeq)) {
+		if b := q.cur; b != nil && b.footprint[idx] && fencedSeq[idx] == b.seq {
+			continue
+		}
+		released = true
+		ctx.Send(q.sys.shards[idx].coordID,
+			msgUnfence{Seq: fencedSeq[idx], From: q.sys.seqID},
+			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+	if released && q.cur == nil {
+		q.AbortedBatches++
+		q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "failover",
+			"abandoned uncommitted batch: unfenced %d shards, clients will retry", len(fencedSeq))
+	}
+	if q.cur == nil {
+		q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "failover",
+			"recovery complete: resuming at batch %d", q.nextSeq+1)
+		if len(q.queue) > 0 {
+			q.startBatch(ctx)
+		}
+	}
+}
+
+func boolSet(m map[int]int64) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// rederiveBatch rebuilds the in-flight batch from a durable manifest and
+// resumes it at the apply phase. Every downstream step is idempotent:
+// re-sent applies dedupe (or re-serve) by their incarnation-stable id,
+// re-released responses are wire duplicates to the clients, and re-sent
+// unfences re-ack off the shards' fence-done high-water marks.
+func (q *Sequencer) rederiveBatch(ctx *sim.Context, man *batchManifest, manStr string) {
+	q.RederivedBatches++
+	b := &globalBatch{
+		seq:          man.seq,
+		phase:        gApplying,
+		openedAt:     ctx.Now(),
+		phaseAt:      ctx.Now(),
+		footprint:    map[int]bool{},
+		fenceAcked:   map[int]bool{},
+		unfenceAcked: map[int]bool{},
+		overlay:      map[interp.EntityRef]*entityImage{},
+		fetching:     map[interp.EntityRef]bool{},
+		rederived:    true,
+		applies:      map[int]sysapi.MsgRequest{},
+		applied:      map[int]bool{},
+	}
+	for _, idx := range man.footprint {
+		b.footprint[idx] = true
+		b.fenceAcked[idx] = true
+	}
+	for _, mt := range man.txns {
+		// Only the id survives in the manifest; the rebuilt request is a
+		// stub — finishBatch and the dedup maps key on req.Req alone.
+		t := &globalTxn{
+			req:     sysapi.Request{Req: mt.req},
+			replyTo: mt.replyTo,
+			res:     mt.res,
+		}
+		b.txns = append(b.txns, t)
+		q.inFlight[mt.req] = true
+		delete(q.probing, mt.req)
+	}
+	// Drop manifest members from the retry queue: a probe answered
+	// "unknown" before recovery completed may have re-enqueued one.
+	if len(q.queue) > 0 {
+		kept := q.queue[:0]
+		for _, t := range q.queue {
+			if !q.inFlight[t.req.Req] {
+				kept = append(kept, t)
+				continue
+			}
+			dup := false
+			for _, mt := range man.txns {
+				if mt.req == t.req.Req {
+					dup = true
+				}
+			}
+			if !dup {
+				kept = append(kept, t)
+			}
+		}
+		q.queue = kept
+	}
+	if man.seq > q.nextSeq {
+		q.nextSeq = man.seq
+	}
+	for _, ma := range man.applies {
+		b.applies[ma.shard] = sysapi.MsgRequest{
+			Request: sysapi.Request{
+				Req:    applyID(man.seq, ma.shard),
+				Target: ma.target,
+				Method: applyMethod,
+				Args: []interp.Value{
+					interp.IntV(man.seq),
+					interp.StrV(ma.writes),
+					interp.StrV(manStr),
+				},
+			},
+			ReplyTo: q.sys.seqID,
+		}
+	}
+	q.cur = b
+	q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "failover",
+		"re-derived batch %d from durable manifest: %d txns, %d applies, rolling forward",
+		man.seq, len(man.txns), len(man.applies))
+	q.sendApplies(ctx, b)
+	ctx.After(q.sys.cfg.StallTimeout, msgSeqTick{Seq: b.seq})
+}
+
+// onProbeAck resolves one unknown global id a client retried after the
+// failover: the home shard either holds the durably recorded response
+// (re-serve it) or has never committed the transaction (sequence it).
+func (q *Sequencer) onProbeAck(ctx *sim.Context, m msgSeqProbeAck) {
+	t, ok := q.probing[m.Req]
+	if !ok {
+		return
+	}
+	delete(q.probing, m.Req)
+	if m.Known {
+		q.delivered[m.Req] = m.Res
+		if t.replyTo != "" {
+			ctx.Send(t.replyTo, sysapi.MsgResponse{Response: m.Res},
+				q.sys.cfg.Costs.ClientLink.Sample(ctx.Rand()))
+		}
+		return
+	}
+	if q.inFlight[m.Req] {
+		return // a rederived batch already carries it
+	}
+	if _, done := q.delivered[m.Req]; done {
+		return
+	}
+	q.enqueueGlobal(ctx, t)
+}

@@ -200,7 +200,7 @@ func TestCoordinatorCrashMidFallback(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	cluster := sim.New(42)
-	sys := New(cluster, prog, cfg)
+	sys := New(cluster, prog, cfg).Single()
 	for i := 0; i <= k; i++ {
 		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
 			t.Fatalf("preload: %v", err)

@@ -110,6 +110,12 @@ func decodeWriteSet(s string) ([]writeSetEntry, error) {
 // already idle.
 func (c *Coordinator) onFence(ctx *sim.Context, m msgFence) {
 	if m.Seq <= c.fenceDone || (c.fenced && m.Seq == c.fenceSeq) {
+		if c.fenced && m.Seq == c.fenceSeq {
+			// Re-point the park at the sender: after a coordinator restart
+			// the scan rebuilds the fence but not who asked for it, and the
+			// park watchdog needs a live address to re-ack to.
+			c.fenceFrom = m.From
+		}
 		ctx.Send(m.From, msgFenceAck{Seq: m.Seq},
 			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 		return
@@ -147,7 +153,105 @@ func (c *Coordinator) maybeFence(ctx *sim.Context) bool {
 	c.flight().Recordf(ctx.Now(), c.sys.coordID, "fence", "parked for global batch %d", seq)
 	ctx.Send(c.fenceFrom, msgFenceAck{Seq: seq},
 		c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	c.armParkWatchdog(ctx, seq)
 	return true
+}
+
+// armParkWatchdog starts the fence-park watchdog chain for batch seq
+// (at most one live chain per park; see onFenceParkTick).
+func (c *Coordinator) armParkWatchdog(ctx *sim.Context, seq int64) {
+	if c.parkWatch == seq {
+		return
+	}
+	c.parkWatch = seq
+	ctx.After(c.sys.cfg.StallTimeout, msgFenceParkTick{Seq: seq})
+}
+
+// onFenceParkTick re-acks the fence while the shard stays parked. In the
+// normal schedule this is a harmless duplicate; its purpose is the
+// orphaned park — a fence from a dead sequencer incarnation that arrived
+// after the recovery handshake — which only this re-ack surfaces (the
+// new incarnation answers it with the releasing unfence, see
+// maybeReleaseOrphan). The chain dies with the park.
+func (c *Coordinator) onFenceParkTick(ctx *sim.Context, m msgFenceParkTick) {
+	if !c.fenced || m.Seq != c.fenceSeq {
+		if c.parkWatch == m.Seq {
+			c.parkWatch = 0
+		}
+		return
+	}
+	if c.fenceFrom != "" {
+		ctx.Send(c.fenceFrom, msgFenceAck{Seq: m.Seq},
+			c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	}
+	ctx.After(c.sys.cfg.StallTimeout, msgFenceParkTick{Seq: m.Seq})
+}
+
+// onSeqFenceQuery answers a rebooted sequencer's recovery handshake with
+// this shard's durable fence state: parked or not, for which batch, the
+// completed high-water mark, and — if parked with the batch's __apply__
+// already in the source log — that apply verbatim, so the sequencer can
+// re-derive the batch from its manifest. Any fence still pending from
+// the dead incarnation is dropped: its batch is either being rolled
+// forward (the re-sent fence will re-arm it) or abandoned.
+func (c *Coordinator) onSeqFenceQuery(ctx *sim.Context, m msgSeqFenceQuery) {
+	if c.recovering {
+		return // report after recovery converges; the sequencer re-queries
+	}
+	c.fencePending = 0
+	rep := msgSeqFenceReport{
+		Shard:     c.sys.shardIndex,
+		Fenced:    c.fenced,
+		FenceSeq:  c.fenceSeq,
+		FenceDone: c.fenceDone,
+	}
+	if c.fenced {
+		c.fenceFrom = m.From // future park re-acks go to the new incarnation
+		if rec := c.findApplyRecord(c.fenceSeq); rec != nil {
+			rep.HasApply = true
+			rep.Apply = *rec
+		}
+	}
+	ctx.Send(m.From, rep, c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+}
+
+// findApplyRecord scans the source-log suffix for the fenced batch's
+// __apply__ (answered or not — the recovery handshake needs its manifest
+// either way; scanFenceState's answered-filter only applies to
+// re-execution).
+func (c *Coordinator) findApplyRecord(seq int64) *sysapi.MsgRequest {
+	end, err := c.sys.RequestLog.End(sourceTopic, 0)
+	if err != nil {
+		return nil
+	}
+	for pos := end - 1; pos >= c.consumed; pos-- {
+		rec, ok, err := c.sys.RequestLog.Fetch(sourceTopic, 0, pos)
+		if err != nil || !ok {
+			break
+		}
+		m, ok := rec.Payload.(sysapi.MsgRequest)
+		if !ok {
+			continue
+		}
+		if m.Request.Method == applyMethod && markerSeq(m.Request) == seq {
+			return &m
+		}
+	}
+	return nil
+}
+
+// onSeqProbe answers a failed-over sequencer's exactly-once probe from
+// the durable egress buffer: Known means this shard released (or is
+// about to release — delivered only, staged responses become visible on
+// their sync and the probe is re-sent by the client's next retry) the
+// transaction's response as part of an installed global batch.
+func (c *Coordinator) onSeqProbe(ctx *sim.Context, m msgSeqProbe) {
+	ctx.Work(c.sys.cfg.Costs.RoutingCPU)
+	ack := msgSeqProbeAck{Req: m.Req}
+	if ent, ok := c.delivered[m.Req]; ok {
+		ack.Known, ack.Res = true, ent.resp
+	}
+	ctx.Send(m.From, ack, c.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 }
 
 // onUnfence releases the park: the global batch's writes are durable on

@@ -4,6 +4,7 @@ package stateflow
 import (
 	"statefulentities.dev/stateflow/internal/core"
 	"statefulentities.dev/stateflow/internal/interp"
+	"statefulentities.dev/stateflow/internal/systems/sysapi"
 	"statefulentities.dev/stateflow/internal/txn/aria"
 )
 
@@ -186,3 +187,61 @@ type msgGlobalState struct {
 	State  interp.MapState
 	Exists bool
 }
+
+// ---------------------------------------------------------------------------
+// Sequencer failover (failover.go). The sequencer keeps no durable
+// state; on reboot it reconstructs the in-flight global batch from the
+// shards' durable fence markers and the batch manifest riding each
+// __apply__ record.
+
+// msgSeqFenceQuery asks a shard coordinator for its fence state after a
+// sequencer reboot. Answered whenever the shard is not itself mid-
+// recovery; a fenced shard also re-points its park watchdog at From, the
+// new incarnation.
+type msgSeqFenceQuery struct{ From string }
+
+// msgSeqFenceReport is one shard's answer: whether it is parked right
+// now (and for which batch), its completed fence high-water mark, and —
+// if its durable log holds the fenced batch's __apply__ — that apply
+// transaction verbatim, whose manifest argument lets the sequencer
+// re-derive the whole batch.
+type msgSeqFenceReport struct {
+	Shard    int
+	Fenced   bool
+	FenceSeq int64
+	// FenceDone is the highest batch the shard completed an unfence for.
+	FenceDone int64
+	HasApply  bool
+	Apply     sysapi.MsgRequest
+}
+
+// msgSeqProbe asks a transaction's home shard whether its durable egress
+// buffer holds the transaction's response. A failed-over sequencer sends
+// one for every global request id it does not recognize: the volatile
+// delivered map died with the previous incarnation, and re-executing an
+// already-answered transaction would break exactly-once.
+type msgSeqProbe struct {
+	Req  string
+	From string
+}
+
+// msgSeqProbeAck answers a probe. Known is false when the home shard has
+// no delivered record — the transaction never committed, so the
+// sequencer may safely sequence it (again).
+type msgSeqProbeAck struct {
+	Req   string
+	Known bool
+	Res   sysapi.Response
+}
+
+// msgSeqRecoverTick re-queries shards that have not reported their fence
+// state while the rebooted sequencer is still recovering.
+type msgSeqRecoverTick struct{}
+
+// msgFenceParkTick is the shard-side park watchdog: while the shard
+// stays fenced for Seq it periodically re-acks the fence to the
+// sequencer. A fence from a dead sequencer incarnation can park a shard
+// *after* the recovery handshake reported it unfenced (the fence was in
+// flight across the crash); the re-ack is what surfaces such an orphaned
+// park, and the sequencer answers with the releasing unfence.
+type msgFenceParkTick struct{ Seq int64 }

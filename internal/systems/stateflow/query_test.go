@@ -91,7 +91,7 @@ func TestQuerySnapshotWithoutSnapshotFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	cluster := sim.New(1)
-	sys := New(cluster, prog, DefaultConfig())
+	sys := New(cluster, prog, DefaultConfig()).Single()
 	// No CheckpointPreloadedState, no periodic snapshots: snapshot queries
 	// must report that no consistent cut exists yet.
 	if _, err := sys.Query("Account", QuerySnapshot); err == nil {

@@ -64,7 +64,7 @@ func newRecoveryFixture(t *testing.T, seed int64, mods ...func(*Config)) *recove
 		})
 	}
 	cluster := sim.New(seed)
-	sys := New(cluster, prog, cfg)
+	sys := New(cluster, prog, cfg).Single()
 	for i := 0; i < 4; i++ {
 		if err := sys.PreloadEntity("Account", interp.StrV(acct(i)), interp.IntV(100)); err != nil {
 			t.Fatalf("preload: %v", err)

@@ -16,23 +16,36 @@
 // transaction:
 //
 //	seq    = next global batch id (all queued globals join the batch)
-//	fence  = every shard quiesces and parks (durable marker, fence.go)
+//	fence  = the batch's footprint shards quiesce and park (durable
+//	         marker, fence.go); shards outside the footprint keep
+//	         executing and committing their own epochs concurrently
 //	exec   = the sequencer runs the batch serially against an overlay
 //	         store, fetching entity images from the parked shards with
 //	         reconnaissance reads (re-executing a transaction from
-//	         scratch whenever a fetch discovers a new footprint member)
-//	apply  = each shard with writes gets ONE __apply__ transaction —
-//	         the final entity images, installed blindly through the
-//	         shard's ordinary Aria machinery (the shard-local atomic
-//	         commit point)
+//	         scratch whenever a fetch discovers a new footprint member,
+//	         and fencing any shard the discovery drags in)
+//	apply  = each footprint shard that has writes or is home to a batch
+//	         transaction gets ONE __apply__ transaction — the final
+//	         entity images plus the batch manifest (failover.go),
+//	         installed through the shard's ordinary Aria machinery (the
+//	         shard-local atomic commit point)
 //	reply  = client responses release once every apply is durable
-//	unfence= shards resume; parked single-shard arrivals drain after
-//	         the global writes, completing the deterministic order
+//	unfence= footprint shards resume; parked single-shard arrivals drain
+//	         after the global writes, completing the deterministic order
 //
-// The sequencer holds no durable state and is not crashable (a real
-// deployment would replicate it); all recovery state lives in the shards'
-// durable fence markers, so any shard may crash at any point of the
-// protocol and the stall-driven re-sends converge.
+// Scoped fencing is serializable for the same reason strict two-phase
+// locking is: the sequencer runs one global batch at a time, a fence is
+// an exclusive lock on a whole shard held until the batch's writes are
+// durable, and growth only ever acquires — never releases — mid-batch.
+// Config.FullFences restores the historical fence-everything schedule;
+// the differential test pins both schedules byte-identical on
+// transcripts and committed state.
+//
+// The sequencer keeps no durable state, but it is crashable: every
+// global batch's recovery record (the manifest riding each __apply__)
+// and the fence window itself live in the shards' durable logs, so a
+// rebooted sequencer re-derives the in-flight batch from per-shard fence
+// state and either rolls it forward or abandons it — see failover.go.
 package stateflow
 
 import (
@@ -52,33 +65,67 @@ import (
 	"statefulentities.dev/stateflow/internal/systems/sysapi"
 )
 
-// ShardedSystem is a sysapi.Backend composed of N shard deployments plus
-// the global sequencer.
+// ShardedSystem is a sysapi.Backend deploying Config.Shards coordinator
+// groups. With Shards <= 1 it is the classic topology — exactly one
+// deployment, no sequencer — and the embedded *System exposes the full
+// single-deployment surface (Coordinator, Workers, Dlog, …) directly.
 type ShardedSystem struct {
-	cfg    Config
-	prog   *ir.Program
-	shards []*System
-	seq    *Sequencer
-	seqID  string
+	// System is the sole deployment of a classic (Shards <= 1) topology;
+	// nil when a sequencer fronts multiple shards, so misrouted
+	// single-deployment accesses fail loudly instead of silently reading
+	// shard 0.
+	*System
+
+	cfg      Config
+	prog     *ir.Program
+	shards   []*System
+	shardIdx map[string]int // coordID -> shard ring position
+	seq      *Sequencer
+	seqID    string
 }
 
-// NewSharded builds and registers an n-shard StateFlow deployment. Shard
-// i gets the component prefix "sf<i>-"; the sequencer registers as
-// "sf-seq". cfg applies to every shard (its IDPrefix is overwritten).
-func NewSharded(cluster *sim.Cluster, prog *ir.Program, n int, cfg Config) *ShardedSystem {
-	if n <= 0 {
-		n = 1
+// New builds and registers a StateFlow deployment on the cluster.
+// cfg.Shards picks the topology: 0 or 1 deploys the classic
+// single-coordinator runtime (component ids "sf-coord", "sf-worker-<i>",
+// byte-identical to the historical unsharded deployment), anything
+// larger deploys that many coordinator groups ("sf<i>-…") behind the
+// global sequencer "sf-seq".
+func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *ShardedSystem {
+	s := &ShardedSystem{cfg: cfg, prog: prog, seqID: "sf-seq", shardIdx: map[string]int{}}
+	if cfg.Shards <= 1 {
+		sys := newSystem(cluster, prog, cfg)
+		s.System = sys
+		s.shards = []*System{sys}
+		s.shardIdx[sys.coordID] = 0
+		return s
 	}
-	s := &ShardedSystem{cfg: cfg, prog: prog, seqID: "sf-seq"}
-	for i := 0; i < n; i++ {
+	for i := 0; i < cfg.Shards; i++ {
 		sc := cfg
 		sc.IDPrefix = fmt.Sprintf("sf%d-", i)
-		s.shards = append(s.shards, New(cluster, prog, sc))
+		sh := newSystem(cluster, prog, sc)
+		sh.shardIndex = i
+		s.shards = append(s.shards, sh)
+		s.shardIdx[sh.coordID] = i
 	}
 	s.seq = newSequencer(s)
 	cluster.Add(s.seqID, s.seq)
 	return s
 }
+
+// NewSharded builds and registers an n-shard StateFlow deployment.
+//
+// Deprecated: use New with Config.Shards set; this wrapper only rewrites
+// cfg.Shards. Note one historical difference: NewSharded(…, 1, …) used to
+// deploy a 1-shard ring behind a sequencer, while the unified constructor
+// deploys the classic topology for Shards <= 1.
+func NewSharded(cluster *sim.Cluster, prog *ir.Program, n int, cfg Config) *ShardedSystem {
+	cfg.Shards = n
+	return New(cluster, prog, cfg)
+}
+
+// Single returns the classic topology's sole deployment (nil when a
+// sequencer fronts multiple shards).
+func (s *ShardedSystem) Single() *System { return s.System }
 
 // ShardOf routes an entity to its shard by stable (class-id, key) hash.
 // The class id comes from the compiler's slotted layout registry, so two
@@ -95,7 +142,7 @@ func (s *ShardedSystem) ShardOf(ref interp.EntityRef) int {
 // Shards exposes the shard deployments (stats, tests).
 func (s *ShardedSystem) Shards() []*System { return s.shards }
 
-// Sequencer exposes the global sequencing layer.
+// Sequencer exposes the global sequencing layer (nil for Shards <= 1).
 func (s *ShardedSystem) Sequencer() *Sequencer { return s.seq }
 
 // RegisterMetrics publishes every shard's counters plus the sequencing
@@ -104,14 +151,33 @@ func (s *ShardedSystem) RegisterMetrics(reg *obs.Registry) {
 	for _, sh := range s.shards {
 		sh.RegisterMetrics(reg)
 	}
+	if s.seq == nil {
+		return
+	}
 	q := s.seq
-	reg.Func("stateflow.sequencer.single_shard", func() int64 { return int64(q.SingleShard) })
-	reg.Func("stateflow.sequencer.global_txns", func() int64 { return int64(q.GlobalTxns) })
-	reg.Func("stateflow.sequencer.global_batches", func() int64 { return int64(q.GlobalBatches) })
+	for name, read := range map[string]func() int64{
+		"stateflow.sequencer.single_shard":      func() int64 { return int64(q.SingleShard) },
+		"stateflow.sequencer.global_txns":       func() int64 { return int64(q.GlobalTxns) },
+		"stateflow.sequencer.global_batches":    func() int64 { return int64(q.GlobalBatches) },
+		"stateflow.sequencer.scoped_fences":     func() int64 { return int64(q.ScopedFences) },
+		"stateflow.sequencer.full_fences":       func() int64 { return int64(q.FullFences) },
+		"stateflow.sequencer.fence_waits":       func() int64 { return int64(q.FenceWaits) },
+		"stateflow.sequencer.failovers":         func() int64 { return int64(q.Failovers) },
+		"stateflow.sequencer.rederived_batches": func() int64 { return int64(q.RederivedBatches) },
+		"stateflow.sequencer.aborted_batches":   func() int64 { return int64(q.AbortedBatches) },
+	} {
+		reg.Func(name, read)
+	}
 }
 
-// IngressID implements sysapi.System: clients talk to the sequencer.
-func (s *ShardedSystem) IngressID() string { return s.seqID }
+// IngressID implements sysapi.System: clients talk to the sequencer (or
+// straight to the coordinator in the classic topology).
+func (s *ShardedSystem) IngressID() string {
+	if s.seq == nil {
+		return s.shards[0].coordID
+	}
+	return s.seqID
+}
 
 // ClientLink implements sysapi.System.
 func (s *ShardedSystem) ClientLink() sim.Latency { return s.cfg.Costs.ClientLink }
@@ -164,10 +230,15 @@ func (s *ShardedSystem) Keys(class string) []string {
 // "worker" roles span all shards, so a chaos plan that crashes "the
 // coordinator" picks one shard's coordinator — exactly the
 // single-shard-crash coverage the adversarial sweep requires. The
-// sequencer is not crashable: it holds no durable state by design (the
-// shards' fence markers carry all recovery state), so a sequencer crash
-// model would add nothing the protocol claims to survive.
+// sequencer is crashable: it keeps no durable state, but every in-flight
+// batch is re-derivable from the shards' durable fence markers and the
+// manifests riding the __apply__ records, so a reboot re-fences, rolls
+// forward or abandons the batch, and re-serves answered transactions
+// through the shards' durable egress buffers (failover.go).
 func (s *ShardedSystem) ChaosTopology() chaos.Topology {
+	if s.seq == nil {
+		return s.shards[0].ChaosTopology()
+	}
 	members := map[string]bool{s.seqID: true}
 	var coords, workers []string
 	for _, sh := range s.shards {
@@ -186,7 +257,7 @@ func (s *ShardedSystem) ChaosTopology() chaos.Topology {
 			"sequencer":   {s.seqID},
 		},
 		Crashable: map[string]bool{
-			"worker": true, "coordinator": durable, "sequencer": false,
+			"worker": true, "coordinator": durable, "sequencer": true,
 		},
 		DropSafe: func(from, to string, msg sim.Message) bool {
 			if members[from] && members[to] {
@@ -213,7 +284,8 @@ func (s *ShardedSystem) ChaosTopology() chaos.Topology {
 			case msgTxnFinished, msgPrepare, msgVote, msgDecide, msgApplied,
 				msgTakeSnapshot, msgSnapshotDone, msgRecover, msgRecovered,
 				msgFence, msgFenceAck, msgUnfence, msgUnfenceAck,
-				msgGlobalRead, msgGlobalState:
+				msgGlobalRead, msgGlobalState,
+				msgSeqFenceQuery, msgSeqFenceReport, msgSeqProbe, msgSeqProbeAck:
 				return true
 			case sysapi.MsgRequest, sysapi.MsgResponse:
 				return true
@@ -277,23 +349,65 @@ type globalBatch struct {
 	seq   int64
 	txns  []*globalTxn
 	phase gPhase
-	// phaseAt is when the current protocol phase began (trace-span
-	// start). Purely observational.
-	phaseAt time.Duration
-	acked   map[string]bool // per-shard fence/unfence acks (phase-local)
+	// openedAt/phaseAt time the whole batch and the current protocol
+	// phase (trace-span bounds). Purely observational.
+	openedAt time.Duration
+	phaseAt  time.Duration
+
+	// footprint is the set of shard ring positions this batch fences:
+	// seeded from the transactions' statically known refs, grown by
+	// reconnaissance misses that land on new shards. Shards outside it
+	// never see the batch. fenceAcked/unfenceAcked track per-shard acks.
+	footprint    map[int]bool
+	fenceAcked   map[int]bool
+	unfenceAcked map[int]bool
+
+	// rederived marks a batch rebuilt from a durable manifest after a
+	// sequencer failover; aborted marks a synthetic unfence-only batch
+	// releasing the fences of an abandoned one (failover.go). Neither
+	// counts toward the scoped/full fence-schedule stats.
+	rederived bool
+	aborted   bool
 
 	next     int // index of the transaction currently executing
 	overlay  map[interp.EntityRef]*entityImage
 	fetching map[interp.EntityRef]bool
 
-	applies map[string]sysapi.MsgRequest // shard coordID -> its apply
-	applied map[string]bool
+	applies map[int]sysapi.MsgRequest // shard index -> its apply
+	applied map[int]bool
+}
+
+// SequencerStats are the sequencing layer's canonical counters, exported
+// as typed fields (mirroring the coordinator/dlog pattern) and published
+// through RegisterMetrics.
+type SequencerStats struct {
+	// SingleShard counts fast-path forwards; GlobalTxns transactions
+	// sequenced through global batches; GlobalBatches fence windows.
+	SingleShard   int
+	GlobalTxns    int
+	GlobalBatches int
+	// ScopedFences counts completed batches that fenced a strict subset
+	// of the shard ring; FullFences those that fenced every shard
+	// (forced by Config.FullFences or a footprint that grew to cover the
+	// ring). Failover-synthesized batches count toward neither.
+	ScopedFences int
+	FullFences   int
+	// FenceWaits counts per-shard fence acknowledgements awaited across
+	// all batches (the fences the scoped schedule saves show up here).
+	FenceWaits int
+	// Failovers counts sequencer reboots; RederivedBatches in-flight
+	// batches rolled forward from a durable manifest after one;
+	// AbortedBatches fenced-but-uncommitted batches a failover released.
+	Failovers        int
+	RederivedBatches int
+	AbortedBatches   int
 }
 
 // Sequencer is the Calvin-style global sequencing layer: it routes
 // single-shard transactions straight to their shard and runs everything
-// else through fenced global batches. Volatile by design — see the
-// package comment.
+// else through fenced global batches. Its working state is volatile; its
+// recovery state lives in the shards (see failover.go and the package
+// comment).
 type Sequencer struct {
 	sys *ShardedSystem
 	ex  *core.Executor
@@ -304,12 +418,22 @@ type Sequencer struct {
 	delivered map[string]sysapi.Response // answered global requests (volatile re-serve buffer)
 	cur       *globalBatch
 
-	// SingleShard / GlobalTxns / GlobalBatches count fast-path forwards,
-	// globally sequenced transactions, and fence windows.
-	SingleShard   int
-	GlobalTxns    int
-	GlobalBatches int
+	// recovering is true from reboot until every shard reported its
+	// fence state; reports accumulates those reports. failedOver stays
+	// true for the rest of the run: the volatile delivered map has lost
+	// an unknown set of answered transactions, so unknown global ids
+	// probe their home shard's durable egress buffer before enqueueing
+	// (probing holds the transactions waiting on a probe answer).
+	recovering bool
+	failedOver bool
+	reports    map[int]msgSeqFenceReport
+	probing    map[string]*globalTxn
+
+	SequencerStats
 }
+
+// Stats snapshots the sequencing layer's counters.
+func (q *Sequencer) Stats() SequencerStats { return q.SequencerStats }
 
 func newSequencer(sys *ShardedSystem) *Sequencer {
 	ex := core.NewExecutor(sys.prog)
@@ -322,6 +446,7 @@ func newSequencer(sys *ShardedSystem) *Sequencer {
 		ex:        ex,
 		inFlight:  map[string]bool{},
 		delivered: map[string]sysapi.Response{},
+		probing:   map[string]*globalTxn{},
 	}
 }
 
@@ -340,6 +465,12 @@ func (q *Sequencer) OnMessage(ctx *sim.Context, from string, msg sim.Message) {
 		q.onGlobalState(ctx, m)
 	case msgSeqTick:
 		q.onTick(ctx, m)
+	case msgSeqFenceReport:
+		q.onFenceReport(ctx, from, m)
+	case msgSeqProbeAck:
+		q.onProbeAck(ctx, m)
+	case msgSeqRecoverTick:
+		q.onRecoverTick(ctx, m)
 	}
 }
 
@@ -356,7 +487,8 @@ func refsOf(req sysapi.Request) []interp.EntityRef {
 }
 
 // onRequest routes one client request: re-serve, dedupe, fast-path to a
-// single shard, or enqueue as a global transaction.
+// single shard, probe (after a failover), or enqueue as a global
+// transaction.
 func (q *Sequencer) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 	ctx.Work(q.sys.cfg.Costs.RoutingCPU)
 	if res, ok := q.delivered[m.Request.Req]; ok {
@@ -386,58 +518,157 @@ func (q *Sequencer) onRequest(ctx *sim.Context, m sysapi.MsgRequest) {
 			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 		return
 	}
+	if q.failedOver {
+		// The volatile delivered map died with the previous incarnation,
+		// so an unknown global id may be a retry of a transaction whose
+		// response was already released. Its home shard's durable egress
+		// buffer kept the embedded response (coordinator.go); ask it
+		// before re-enqueueing. A retry while the probe is outstanding
+		// re-probes (the first probe or its answer may have been lost).
+		if _, outstanding := q.probing[m.Request.Req]; !outstanding {
+			q.probing[m.Request.Req] = &globalTxn{req: m.Request, replyTo: m.ReplyTo}
+		}
+		ctx.Send(q.sys.shards[target].coordID,
+			msgSeqProbe{Req: m.Request.Req, From: q.sys.seqID},
+			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+		return
+	}
+	q.enqueueGlobal(ctx, &globalTxn{req: m.Request, replyTo: m.ReplyTo})
+}
+
+// enqueueGlobal admits one transaction into the global queue and opens a
+// batch if none is in flight (and the sequencer is not mid-recovery).
+func (q *Sequencer) enqueueGlobal(ctx *sim.Context, t *globalTxn) {
 	q.GlobalTxns++
-	q.inFlight[m.Request.Req] = true
-	q.queue = append(q.queue, &globalTxn{req: m.Request, replyTo: m.ReplyTo})
-	if q.cur == nil {
+	q.inFlight[t.req.Req] = true
+	q.queue = append(q.queue, t)
+	if q.cur == nil && !q.recovering {
 		q.startBatch(ctx)
 	}
 }
 
+// sortedShards flattens a shard-index set into ring order. Like
+// sortedRefs, every loop that sends messages (and samples link delays)
+// per shard walks through here so the RNG draw order is deterministic.
+func sortedShards(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for idx := range set {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
 // startBatch opens the next fence window over every queued global
-// transaction.
+// transaction, fencing only the batch's shard footprint (every shard
+// under Config.FullFences).
 func (q *Sequencer) startBatch(ctx *sim.Context) {
 	q.nextSeq++
 	q.GlobalBatches++
-	q.cur = &globalBatch{
-		seq:      q.nextSeq,
-		txns:     q.queue,
-		phase:    gFencing,
-		phaseAt:  ctx.Now(),
-		acked:    map[string]bool{},
-		overlay:  map[interp.EntityRef]*entityImage{},
-		fetching: map[interp.EntityRef]bool{},
+	b := &globalBatch{
+		seq:          q.nextSeq,
+		txns:         q.queue,
+		phase:        gFencing,
+		openedAt:     ctx.Now(),
+		phaseAt:      ctx.Now(),
+		footprint:    map[int]bool{},
+		fenceAcked:   map[int]bool{},
+		unfenceAcked: map[int]bool{},
+		overlay:      map[interp.EntityRef]*entityImage{},
+		fetching:     map[interp.EntityRef]bool{},
 	}
 	q.queue = nil
+	q.cur = b
+	if q.sys.cfg.FullFences {
+		for i := range q.sys.shards {
+			b.footprint[i] = true
+		}
+	} else {
+		for _, t := range b.txns {
+			for _, ref := range refsOf(t.req) {
+				b.footprint[q.sys.ShardOf(ref)] = true
+			}
+		}
+	}
 	q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "global.batch",
-		"batch %d opened with %d txns", q.cur.seq, len(q.cur.txns))
-	for _, sh := range q.sys.shards {
-		ctx.Send(sh.coordID, msgFence{Seq: q.cur.seq, From: q.sys.seqID},
+		"batch %d opened with %d txns", b.seq, len(b.txns))
+	q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "fence.scope",
+		"batch %d fences shards %v (%d of %d)",
+		b.seq, sortedShards(b.footprint), len(b.footprint), len(q.sys.shards))
+	for _, idx := range sortedShards(b.footprint) {
+		ctx.Send(q.sys.shards[idx].coordID, msgFence{Seq: b.seq, From: q.sys.seqID},
 			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
-	ctx.After(q.sys.cfg.StallTimeout, msgSeqTick{Seq: q.cur.seq})
+	ctx.After(q.sys.cfg.StallTimeout, msgSeqTick{Seq: b.seq})
 }
 
 func (q *Sequencer) onFenceAck(ctx *sim.Context, from string, m msgFenceAck) {
-	b := q.cur
-	if b == nil || b.phase != gFencing || m.Seq != b.seq {
+	idx, ok := q.sys.shardIdx[from]
+	if !ok || q.recovering {
 		return
 	}
-	b.acked[from] = true
-	if len(b.acked) == len(q.sys.shards) {
-		if tr := q.sys.cfg.Tracer; tr.Enabled() {
-			tr.Span(q.sys.seqID, "global", "fence.wait", b.phaseAt, ctx.Now(),
-				"seq", strconv.FormatInt(b.seq, 10))
-		}
-		b.phase = gExecuting
-		b.phaseAt = ctx.Now()
-		q.advance(ctx)
+	b := q.cur
+	if b == nil || m.Seq != b.seq || !b.footprint[idx] {
+		q.maybeReleaseOrphan(ctx, from, idx, m.Seq)
+		return
 	}
+	if b.fenceAcked[idx] {
+		return
+	}
+	switch b.phase {
+	case gFencing:
+		b.fenceAcked[idx] = true
+		if len(b.fenceAcked) == len(b.footprint) {
+			q.FenceWaits += len(b.footprint)
+			if tr := q.sys.cfg.Tracer; tr.Enabled() {
+				tr.Span(q.sys.seqID, "global", "fence.wait", b.phaseAt, ctx.Now(),
+					"seq", strconv.FormatInt(b.seq, 10),
+					"shards", strconv.Itoa(len(b.footprint)))
+			}
+			b.phase = gExecuting
+			b.phaseAt = ctx.Now()
+			q.advance(ctx)
+		}
+	case gExecuting:
+		// A shard dragged into the footprint mid-execution just parked:
+		// release the reconnaissance reads that were waiting on it.
+		b.fenceAcked[idx] = true
+		q.FenceWaits++
+		for _, ref := range sortedRefs(b.fetching) {
+			if q.sys.ShardOf(ref) == idx {
+				ctx.Send(from,
+					msgGlobalRead{Seq: b.seq, Class: ref.Class, Key: ref.Key, From: q.sys.seqID},
+					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+			}
+		}
+	}
+}
+
+// maybeReleaseOrphan handles a fence ack for a batch the sequencer no
+// longer owns: a shard parked on a fence from a dead incarnation (the
+// fence was in flight when the sequencer crashed, so no recovery report
+// covered it), or whose unfence was lost past the batch's lifetime. The
+// shard's park watchdog re-acks until someone reacts (fence.go); the
+// reaction is an unfence, which the shard-side handler accepts for
+// exactly the seq it is parked on.
+func (q *Sequencer) maybeReleaseOrphan(ctx *sim.Context, from string, idx int, seq int64) {
+	b := q.cur
+	stale := (b == nil && seq <= q.nextSeq) ||
+		(b != nil && (seq < b.seq || (seq == b.seq && !b.footprint[idx])))
+	if !stale {
+		return
+	}
+	q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "fence.orphan",
+		"releasing %s from orphaned fence %d", from, seq)
+	ctx.Send(from, msgUnfence{Seq: seq, From: q.sys.seqID},
+		q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 }
 
 // advance executes batch transactions in order until one needs entity
 // images the overlay does not hold yet (then reconnaissance reads are in
 // flight and execution resumes on their answers) or the batch is done.
+// A miss landing on a shard outside the footprint first fences it: the
+// read is deferred until that shard's fence ack arrives.
 func (q *Sequencer) advance(ctx *sim.Context) {
 	b := q.cur
 	for b.next < len(b.txns) {
@@ -446,9 +677,22 @@ func (q *Sequencer) advance(ctx *sim.Context) {
 		if len(missing) > 0 {
 			for _, ref := range missing {
 				b.fetching[ref] = true
-				ctx.Send(q.sys.shards[q.sys.ShardOf(ref)].coordID,
-					msgGlobalRead{Seq: b.seq, Class: ref.Class, Key: ref.Key, From: q.sys.seqID},
-					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+				idx := q.sys.ShardOf(ref)
+				if !b.footprint[idx] {
+					b.footprint[idx] = true
+					q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "fence.scope",
+						"batch %d footprint grows to shard %d (%s<%s>)",
+						b.seq, idx, ref.Class, ref.Key)
+					ctx.Send(q.sys.shards[idx].coordID,
+						msgFence{Seq: b.seq, From: q.sys.seqID},
+						q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+					continue // the read follows the shard's fence ack
+				}
+				if b.fenceAcked[idx] {
+					ctx.Send(q.sys.shards[idx].coordID,
+						msgGlobalRead{Seq: b.seq, Class: ref.Class, Key: ref.Key, From: q.sys.seqID},
+						q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+				}
 			}
 			return
 		}
@@ -619,9 +863,21 @@ func sortedRefs(set map[interp.EntityRef]bool) []interp.EntityRef {
 	return refs
 }
 
-// beginApply turns the batch's dirty overlay into one write-set apply
-// per involved shard and sends them. A batch with no writes (all
-// transactions errored or read-only) skips straight to respond+unfence.
+// applyID is the dotless id of one shard's write-set apply: the
+// global-commit protocol opts out of the per-source incarnation floor
+// (see sysapi.SplitID), and the id survives sequencer incarnations so a
+// rebooted sequencer's re-sent apply dedupes against the original.
+func applyID(seq int64, shard int) string {
+	return fmt.Sprintf("gapply-%d-%d", seq, shard)
+}
+
+// beginApply turns the batch into one apply per involved shard and sends
+// them. A shard is involved if the overlay dirtied entities it owns or
+// if it is home to a batch transaction's target: home shards get an
+// apply even with an empty write-set, because the manifest riding every
+// apply (failover.go) is both the batch's durable recovery record and
+// the home shard's order to stage the transaction's response into its
+// durable egress buffer.
 func (q *Sequencer) beginApply(ctx *sim.Context) {
 	b := q.cur
 	if tr := q.sys.cfg.Tracer; tr.Enabled() {
@@ -635,8 +891,7 @@ func (q *Sequencer) beginApply(ctx *sim.Context) {
 			groups[q.sys.ShardOf(ref)] = append(groups[q.sys.ShardOf(ref)], writeSetEntry{Ref: ref, St: img.st})
 		}
 	}
-	b.applies = map[string]sysapi.MsgRequest{}
-	b.applied = map[string]bool{}
+	targets := map[int]interp.EntityRef{}
 	for idx, entries := range groups {
 		sort.Slice(entries, func(i, j int) bool {
 			if entries[i].Ref.Class != entries[j].Ref.Class {
@@ -644,18 +899,30 @@ func (q *Sequencer) beginApply(ctx *sim.Context) {
 			}
 			return entries[i].Ref.Key < entries[j].Ref.Key
 		})
+		groups[idx] = entries
+		targets[idx] = entries[0].Ref
+	}
+	for _, t := range b.txns {
+		home := q.sys.ShardOf(t.req.Target)
+		if _, ok := targets[home]; !ok {
+			targets[home] = t.req.Target
+		}
+	}
+	man := interp.StrV(encodeManifest(q.buildManifest(b, groups, targets)))
+	b.applies = map[int]sysapi.MsgRequest{}
+	b.applied = map[int]bool{}
+	for idx := range targets {
 		req := sysapi.Request{
-			// Dotless id: the global-commit protocol opts out of the
-			// per-source incarnation floor (see sysapi.SplitID).
-			Req:    fmt.Sprintf("gapply-%d-%d", b.seq, idx),
-			Target: entries[0].Ref,
+			Req:    applyID(b.seq, idx),
+			Target: targets[idx],
 			Method: applyMethod,
 			Args: []interp.Value{
 				interp.IntV(b.seq),
-				interp.StrV(encodeWriteSet(entries)),
+				interp.StrV(encodeWriteSet(groups[idx])),
+				man,
 			},
 		}
-		b.applies[q.sys.shards[idx].coordID] = sysapi.MsgRequest{Request: req, ReplyTo: q.sys.seqID}
+		b.applies[idx] = sysapi.MsgRequest{Request: req, ReplyTo: q.sys.seqID}
 	}
 	if len(b.applies) == 0 {
 		q.finishBatch(ctx)
@@ -663,12 +930,21 @@ func (q *Sequencer) beginApply(ctx *sim.Context) {
 	}
 	b.phase = gApplying
 	b.phaseAt = ctx.Now()
-	// Walk shards in index order, not b.applies in map order: the link
-	// delay samples below must come off the RNG in a deterministic
-	// sequence or same-seed runs diverge.
-	for _, sh := range q.sys.shards {
-		if m, ok := b.applies[sh.coordID]; ok {
-			ctx.Send(sh.coordID, m, q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+	q.sendApplies(ctx, b)
+}
+
+// sendApplies walks the batch's applies in shard ring order, not map
+// order: the link delay samples must come off the RNG in a deterministic
+// sequence or same-seed runs diverge.
+func (q *Sequencer) sendApplies(ctx *sim.Context, b *globalBatch) {
+	set := map[int]bool{}
+	for idx := range b.applies {
+		set[idx] = true
+	}
+	for _, idx := range sortedShards(set) {
+		if !b.applied[idx] {
+			ctx.Send(q.sys.shards[idx].coordID, b.applies[idx],
+				q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 		}
 	}
 }
@@ -680,16 +956,16 @@ func (q *Sequencer) onApplyDone(ctx *sim.Context, m sysapi.MsgResponse) {
 	if b == nil || b.phase != gApplying {
 		return
 	}
-	var coordID string
-	for id, req := range b.applies {
+	shard := -1
+	for idx, req := range b.applies {
 		if req.Request.Req == m.Response.Req {
-			coordID = id
+			shard = idx
 		}
 	}
-	if coordID == "" || b.applied[coordID] {
+	if shard < 0 || b.applied[shard] {
 		return
 	}
-	b.applied[coordID] = true
+	b.applied[shard] = true
 	if len(b.applied) == len(b.applies) {
 		q.finishBatch(ctx)
 	}
@@ -697,7 +973,7 @@ func (q *Sequencer) onApplyDone(ctx *sim.Context, m sysapi.MsgResponse) {
 
 // finishBatch releases the batch's client responses — every shard's
 // write-set is durable, so the outcomes can no longer be lost — and
-// unfences the shards.
+// unfences the footprint shards.
 func (q *Sequencer) finishBatch(ctx *sim.Context) {
 	b := q.cur
 	if b.phase == gApplying {
@@ -717,30 +993,55 @@ func (q *Sequencer) finishBatch(ctx *sim.Context) {
 	}
 	b.phase = gUnfencing
 	b.phaseAt = ctx.Now()
-	b.acked = map[string]bool{}
-	for _, sh := range q.sys.shards {
-		ctx.Send(sh.coordID, msgUnfence{Seq: b.seq, From: q.sys.seqID},
+	for _, idx := range sortedShards(b.footprint) {
+		ctx.Send(q.sys.shards[idx].coordID, msgUnfence{Seq: b.seq, From: q.sys.seqID},
 			q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 	}
 }
 
 func (q *Sequencer) onUnfenceAck(ctx *sim.Context, from string, m msgUnfenceAck) {
-	b := q.cur
-	if b == nil || b.phase != gUnfencing || m.Seq != b.seq {
+	idx, ok := q.sys.shardIdx[from]
+	if !ok || q.recovering {
 		return
 	}
-	b.acked[from] = true
-	if len(b.acked) == len(q.sys.shards) {
-		if tr := q.sys.cfg.Tracer; tr.Enabled() {
-			tr.Span(q.sys.seqID, "global", "unfence", b.phaseAt, ctx.Now(),
-				"seq", strconv.FormatInt(b.seq, 10))
+	b := q.cur
+	if b == nil || b.phase != gUnfencing || m.Seq != b.seq || !b.footprint[idx] {
+		return
+	}
+	if b.unfenceAcked[idx] {
+		return
+	}
+	b.unfenceAcked[idx] = true
+	if len(b.unfenceAcked) == len(b.footprint) {
+		q.closeBatch(ctx, b)
+	}
+}
+
+// closeBatch retires a fully unfenced batch: record its fence-scope
+// span and stats, then open the next batch if transactions queued up
+// behind it.
+func (q *Sequencer) closeBatch(ctx *sim.Context, b *globalBatch) {
+	if tr := q.sys.cfg.Tracer; tr.Enabled() {
+		tr.Span(q.sys.seqID, "global", "unfence", b.phaseAt, ctx.Now(),
+			"seq", strconv.FormatInt(b.seq, 10))
+		tr.Span(q.sys.seqID, "global", "fence.scope", b.openedAt, ctx.Now(),
+			"seq", strconv.FormatInt(b.seq, 10),
+			"shards", strconv.Itoa(len(b.footprint)),
+			"of", strconv.Itoa(len(q.sys.shards)),
+			"scoped", strconv.FormatBool(len(b.footprint) < len(q.sys.shards)))
+	}
+	if !b.aborted && !b.rederived {
+		if len(b.footprint) < len(q.sys.shards) {
+			q.ScopedFences++
+		} else {
+			q.FullFences++
 		}
-		q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "global.batch",
-			"batch %d complete", b.seq)
-		q.cur = nil
-		if len(q.queue) > 0 {
-			q.startBatch(ctx)
-		}
+	}
+	q.sys.cfg.Flight.Recordf(ctx.Now(), q.sys.seqID, "global.batch",
+		"batch %d complete", b.seq)
+	q.cur = nil
+	if len(q.queue) > 0 {
+		q.startBatch(ctx)
 	}
 }
 
@@ -756,28 +1057,32 @@ func (q *Sequencer) onTick(ctx *sim.Context, m msgSeqTick) {
 	}
 	switch b.phase {
 	case gFencing:
-		for _, sh := range q.sys.shards {
-			if !b.acked[sh.coordID] {
-				ctx.Send(sh.coordID, msgFence{Seq: b.seq, From: q.sys.seqID},
+		for _, idx := range sortedShards(b.footprint) {
+			if !b.fenceAcked[idx] {
+				ctx.Send(q.sys.shards[idx].coordID, msgFence{Seq: b.seq, From: q.sys.seqID},
 					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 			}
 		}
 	case gExecuting:
-		for _, ref := range sortedRefs(b.fetching) {
-			ctx.Send(q.sys.shards[q.sys.ShardOf(ref)].coordID,
-				msgGlobalRead{Seq: b.seq, Class: ref.Class, Key: ref.Key, From: q.sys.seqID},
-				q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
-		}
-	case gApplying:
-		for _, sh := range q.sys.shards {
-			if req, ok := b.applies[sh.coordID]; ok && !b.applied[sh.coordID] {
-				ctx.Send(sh.coordID, req, q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+		for _, idx := range sortedShards(b.footprint) {
+			if !b.fenceAcked[idx] {
+				ctx.Send(q.sys.shards[idx].coordID, msgFence{Seq: b.seq, From: q.sys.seqID},
+					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 			}
 		}
+		for _, ref := range sortedRefs(b.fetching) {
+			if idx := q.sys.ShardOf(ref); b.fenceAcked[idx] {
+				ctx.Send(q.sys.shards[idx].coordID,
+					msgGlobalRead{Seq: b.seq, Class: ref.Class, Key: ref.Key, From: q.sys.seqID},
+					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
+			}
+		}
+	case gApplying:
+		q.sendApplies(ctx, b)
 	case gUnfencing:
-		for _, sh := range q.sys.shards {
-			if !b.acked[sh.coordID] {
-				ctx.Send(sh.coordID, msgUnfence{Seq: b.seq, From: q.sys.seqID},
+		for _, idx := range sortedShards(b.footprint) {
+			if !b.unfenceAcked[idx] {
+				ctx.Send(q.sys.shards[idx].coordID, msgUnfence{Seq: b.seq, From: q.sys.seqID},
 					q.sys.cfg.Costs.WorkerLink.Sample(ctx.Rand()))
 			}
 		}

@@ -24,7 +24,8 @@ func newShardedFixture(t *testing.T, cfg Config, shards, accounts int, script []
 		t.Fatalf("compile: %v", err)
 	}
 	cluster := sim.New(42)
-	sys := NewSharded(cluster, prog, shards, cfg)
+	cfg.Shards = shards
+	sys := New(cluster, prog, cfg)
 	for i := 0; i < accounts; i++ {
 		if err := sys.PreloadEntity("Account",
 			interp.StrV(acct(i)), interp.IntV(100)); err != nil {
@@ -250,7 +251,8 @@ func TestShardedShardCrashRecovery(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	cluster := sim.New(7)
-	sys := NewSharded(cluster, prog, 2, cfg)
+	cfg.Shards = 2
+	sys := New(cluster, prog, cfg)
 	for i := 0; i < accounts; i++ {
 		if err := sys.PreloadEntity("Account",
 			interp.StrV(acct(i)), interp.IntV(100)); err != nil {
@@ -343,7 +345,8 @@ func TestShardedFloorIsolationAcrossShardReboot(t *testing.T) {
 		t.Fatalf("compile: %v", err)
 	}
 	cluster := sim.New(7)
-	sys := NewSharded(cluster, prog, 2, cfg)
+	cfg.Shards = 2
+	sys := New(cluster, prog, cfg)
 	for i := 0; i < accounts; i++ {
 		if err := sys.PreloadEntity("Account",
 			interp.StrV(acct(i)), interp.IntV(100)); err != nil {

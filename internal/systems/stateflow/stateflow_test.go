@@ -56,7 +56,7 @@ func newFixture(t *testing.T, cfg Config, accounts int, script []sysapi.Schedule
 		t.Fatalf("compile: %v", err)
 	}
 	cluster := sim.New(42)
-	sys := New(cluster, prog, cfg)
+	sys := New(cluster, prog, cfg).Single()
 	for i := 0; i < accounts; i++ {
 		if err := sys.PreloadEntity("Account",
 			interp.StrV(acct(i)), interp.IntV(100)); err != nil {

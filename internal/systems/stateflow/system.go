@@ -114,6 +114,15 @@ type Config struct {
 	// ("sf0-", "sf1-", …) so N independent coordinator groups coexist in
 	// one cluster.
 	IDPrefix string
+	// Shards deploys the runtime as that many independent coordinator
+	// groups behind a global sequencer (see sharded.go). 0 or 1 keeps the
+	// classic single-coordinator topology with no sequencing layer.
+	Shards int
+	// FullFences forces the sequencer's historical schedule in which every
+	// global batch fences every shard, not just the batch's footprint.
+	// Kept as the reference schedule for the scoped-fence differential
+	// tests and the bench gate; no effect on the classic topology.
+	FullFences bool
 	// UncheckedReplayOrder disables the recovery binding-prefix replay,
 	// restoring the historical recovery in which released responses'
 	// transactions were simply re-cut into fresh batches from the source
@@ -170,10 +179,17 @@ type System struct {
 
 	restart   func(id string)
 	isCrashed func(id string) bool
+
+	// shardIndex is this deployment's position on the shard ring (0 in
+	// the classic topology): the coordinator uses it to pick out its own
+	// home-shard responses from a global batch manifest.
+	shardIndex int
 }
 
-// New builds and registers a StateFlow deployment on the cluster.
-func New(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
+// newSystem builds and registers one coordinator group on the cluster.
+// Callers outside the package use New (sharded.go), which deploys either
+// the classic topology or N groups behind a sequencer per Config.Shards.
+func newSystem(cluster *sim.Cluster, prog *ir.Program, cfg Config) *System {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 1
 	}

@@ -2,7 +2,14 @@ package stateflow
 
 import (
 	"statefulentities.dev/stateflow/internal/obs"
+	sfsys "statefulentities.dev/stateflow/internal/systems/stateflow"
 )
+
+// SequencerStats are the sharded topology's sequencing-layer counters
+// (global batches, scoped vs full fences, failovers, re-derived
+// batches), snapshotted via Sharded().Sequencer().Stats(). Zero-valued
+// on unsharded deployments.
+type SequencerStats = sfsys.SequencerStats
 
 // Tracer records transaction spans for export as Chrome trace-event JSON
 // (chrome://tracing, Perfetto). Attach one to a Simulation via

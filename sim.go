@@ -43,6 +43,12 @@ type SimConfig struct {
 	// 1 deploys the classic single-coordinator topology — byte-identical
 	// to a deployment without this field. StateFlow backend only.
 	Shards int
+	// FullFences forces the sequencer's historical schedule in which
+	// every global batch fences every shard instead of just the batch's
+	// footprint. Kept as the reference schedule for the scoped-fence
+	// differential tests and the bench comparison; no effect unless
+	// Shards > 1.
+	FullFences bool
 	// MapFallback disables the slotted execution fast path, forcing
 	// name-keyed variable and attribute resolution. Differential tests
 	// run both modes and assert identical results and committed state.
@@ -222,14 +228,18 @@ func NewSimulation(prog *Program, cfg SimConfig, opts ...SimOption) *Simulation 
 		c.UncheckedReplayOrder = cfg.UncheckedReplayOrder
 		c.Tracer = cfg.Tracer
 		c.Flight = flight
-		if cfg.Shards > 1 {
-			s.sfSh = sfsys.NewSharded(cluster, prog, cfg.Shards, c)
+		c.Shards = cfg.Shards
+		c.FullFences = cfg.FullFences
+		sh := sfsys.New(cluster, prog, c)
+		if sh.Sequencer() != nil {
+			s.sfSh = sh
 			s.sys = s.sfSh
 		} else {
 			// Shards <= 1 takes the exact single-coordinator construction
-			// path, so an unsharded config stays byte-identical to every
-			// pre-sharding transcript.
-			s.sf = sfsys.New(cluster, prog, c)
+			// path (New deploys one classic group and no sequencer), so an
+			// unsharded config stays byte-identical to every pre-sharding
+			// transcript.
+			s.sf = sh.Single()
 			s.sys = s.sf
 		}
 	case BackendStateFun:
